@@ -1,0 +1,77 @@
+"""Shared benchmark machinery.
+
+Every benchmark regenerates one of the paper's tables or figures.  Results
+go two places:
+
+- the pytest-benchmark wall-clock table (is the harness itself fast?);
+- ``benchmarks/results/<name>.txt`` — the reproduced table, paper value vs
+  measured simulated value per cell, which EXPERIMENTS.md indexes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+class TableReport:
+    """Accumulates paper-vs-measured rows and writes the result file."""
+
+    def __init__(self, name: str, title: str, columns: list[str]) -> None:
+        self.name = name
+        self.title = title
+        self.columns = columns
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells) -> None:
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines) + "\n"
+
+    def save(self, directory: Path) -> Path:
+        directory.mkdir(exist_ok=True)
+        path = directory / f"{self.name}.txt"
+        path.write_text(self.render())
+        return path
+
+
+@pytest.fixture
+def report(results_dir):
+    """Factory: report(name, title, columns) -> TableReport, auto-saved."""
+    made: list[TableReport] = []
+
+    def factory(name: str, title: str, columns: list[str]) -> TableReport:
+        table = TableReport(name, title, columns)
+        made.append(table)
+        return table
+
+    yield factory
+    for table in made:
+        table.save(results_dir)
+
+
+def within(measured: float, paper: float, rel: float) -> bool:
+    """Shape check helper: measured within a relative band of the paper."""
+    if paper == 0:
+        return abs(measured) < 1e-9
+    return abs(measured - paper) / abs(paper) <= rel

@@ -1,0 +1,107 @@
+"""Ablation — dataset distribution vs framebuffer (tile) distribution.
+
+§3.2.5 offers both modes without saying when each wins.  The trade-off the
+cost model encodes:
+
+- *dataset* distribution divides geometry work (each service transforms
+  only its subset) but every frame moves full-resolution framebuffers with
+  depth for compositing;
+- *framebuffer* distribution duplicates geometry work on every assistant
+  (each renders the whole scene) but moves only color tiles.
+
+So dataset distribution should win on geometry-heavy scenes and tile
+distribution on fill/transfer-bound ones.  This ablation sweeps polygon
+count and reports the simulated frame latency of both modes on the same
+two-service testbed, locating the crossover.
+"""
+
+import pytest
+
+from repro.core.session import CollaborativeSession
+from repro.data.generators import skeleton
+from repro.scenegraph.nodes import CameraNode, MeshNode
+from repro.scenegraph.tree import SceneTree
+from repro.testbed import build_testbed
+
+POLY_COUNTS = (5_000, 20_000, 60_000)
+
+
+@pytest.fixture(scope="module")
+def tb():
+    testbed = build_testbed(render_hosts=("centrino", "athlon"))
+    for n in POLY_COUNTS:
+        tree = SceneTree(f"scene-{n}")
+        tree.add(MeshNode(skeleton(n).normalized(), name="skel"))
+        testbed.publish_tree(f"scene-{n}", tree)
+    return testbed
+
+
+def run_modes(tb, n):
+    cam = CameraNode(position=(1.0, 1.6, 0.3))
+    width = height = 128
+
+    # dataset mode: split the scene, composite by depth.  The fps target
+    # sits between "one machine fits it" (11e6/n) and "the pool fits it"
+    # (19.4e6/n), forcing a genuine split that remains feasible.
+    cs = CollaborativeSession(tb.data_service, f"scene-{n}",
+                              target_fps=15e6 / n)
+    cs.connect(tb.render_service("centrino"))
+    cs.connect(tb.render_service("athlon"))
+    try:
+        cs.place_dataset()
+        _, dataset_latency = cs.render_composite(cam, width, height)
+    finally:
+        for service in list(cs.render_services):
+            cs.disconnect(service)
+
+    # tile mode: both render everything, assemble tiles
+    cs2 = CollaborativeSession(tb.data_service, f"scene-{n}")
+    cs2.connect(tb.render_service("centrino"))
+    cs2.connect(tb.render_service("athlon"))
+    try:
+        _, _, tile_latency = cs2.render_tiled(cam, width, height)
+    finally:
+        for service in list(cs2.render_services):
+            cs2.disconnect(service)
+    return dataset_latency, tile_latency
+
+
+def test_distribution_mode_ablation(tb, report, benchmark):
+    def sweep():
+        return {n: run_modes(tb, n) for n in POLY_COUNTS}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = report(
+        "ablation_distribution_modes",
+        "Ablation: dataset vs framebuffer distribution, simulated frame "
+        "latency (s)",
+        ["Polygons", "Dataset mode", "Tile mode", "Winner"],
+    )
+    for n, (d, t) in results.items():
+        table.add_row(f"{n:,}", f"{d:.4f}", f"{t:.4f}",
+                      "dataset" if d < t else "tile")
+
+    small_d, small_t = results[POLY_COUNTS[0]]
+    big_d, big_t = results[POLY_COUNTS[-1]]
+    # geometry-light scenes: tiles win (framebuffer+depth transfers
+    # dominate the dataset mode)
+    assert small_t < small_d
+    # the dataset mode's relative cost improves as geometry grows: the
+    # split amortizes geometry work that tile mode duplicates
+    assert (big_d / big_t) < (small_d / small_t)
+
+
+def test_dataset_mode_shares_geometry_work(tb, benchmark):
+    """In dataset mode no service transforms the whole scene."""
+    n = POLY_COUNTS[-1]
+    cs = CollaborativeSession(tb.data_service, f"scene-{n}",
+                              target_fps=15e6 / n)
+    cs.connect(tb.render_service("centrino"))
+    cs.connect(tb.render_service("athlon"))
+    placement = benchmark.pedantic(cs.place_dataset, rounds=1, iterations=1)
+    assert placement.mode == "dataset-distributed"
+    total = cs.master_tree.total_polygons()
+    for service in cs.render_services:
+        assert service.committed_polygons() < total
+    for service in list(cs.render_services):
+        cs.disconnect(service)

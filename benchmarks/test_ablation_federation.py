@@ -1,0 +1,86 @@
+"""Ablation — single data service vs a sharded federation (§6 future work).
+
+"We will consider the distribution of the data across several data
+servers, to match our render service workload distribution.  This will
+alleviate any bottleneck in our system."
+
+The bottleneck in question is Table 5's marshalling-bound bootstrap.  With
+the scene sharded across N data servers, each shard marshals on its own
+machine concurrently; the subscriber's bootstrap time becomes the slowest
+shard instead of the whole-scene sum.
+"""
+
+import pytest
+
+from repro.data.generators import skeletal_hand
+from repro.scenegraph.nodes import MeshNode
+from repro.scenegraph.tree import SceneTree
+from repro.services.container import ServiceContainer
+from repro.services.data_service import DataService
+from repro.services.federation import DataFederation
+from repro.testbed import build_testbed
+
+
+@pytest.fixture(scope="module")
+def setup():
+    tb = build_testbed()
+    members = [tb.data_service]
+    for i, host in enumerate(("athlon", "onyx")):
+        container = ServiceContainer(host, tb.network,
+                                     http_port=9500 + i)
+        members.append(DataService(f"fed-{host}", container))
+    federation = DataFederation("fed", members)
+
+    tree = SceneTree("big")
+    mesh = skeletal_hand(240_000).normalized()
+    for piece in mesh.split_spatially(6):
+        tree.add(MeshNode(piece, name=f"part"))
+    tb.publish_tree("big-single", SceneTree.from_wire(tree.to_wire()))
+    federation.create_session("big-fed", tree)
+    return tb, federation
+
+
+def measure(tb, federation):
+    t0 = tb.clock.now
+    tb.data_service.subscribe("big-single", f"serial-{t0}", "centrino")
+    serial = tb.clock.now - t0
+    t0 = tb.clock.now
+    federation.subscribe("big-fed", f"fed-{t0}", "centrino")
+    parallel = tb.clock.now - t0
+    return serial, parallel
+
+
+def test_federation_ablation(setup, report, benchmark):
+    tb, federation = setup
+    serial, parallel = benchmark.pedantic(measure, args=(tb, federation),
+                                          rounds=1, iterations=1)
+    table = report(
+        "ablation_federation",
+        "Ablation: bootstrap via one data server vs a 3-member federation",
+        ["Configuration", "Bootstrap (s)"],
+    )
+    table.add_row("single data service", f"{serial:.1f}")
+    table.add_row("3-shard federation", f"{parallel:.1f}")
+    table.add_row("speed-up", f"{serial / parallel:.1f}x")
+
+    # three-way sharding should cut the marshalling-bound bootstrap by
+    # well over half (perfect scaling would be ~3x; handshakes and the
+    # shared subscriber-side demarshal keep it below that)
+    assert parallel < 0.6 * serial
+
+
+def test_federation_routing_overhead_is_negligible(setup, benchmark):
+    """Routing an update through the federation costs no more than a
+    direct publish (one dictionary lookup plus the member's path)."""
+    from repro.scenegraph.updates import SetProperty
+
+    tb, federation = setup
+    session = federation.session("big-fed")
+    target_id = next(iter(session.shards[0].node_ids))
+
+    def publish():
+        return federation.publish_update("big-fed", SetProperty(
+            node_id=target_id, field_name="name", value="x"))
+
+    deliveries = benchmark(publish)
+    assert isinstance(deliveries, dict)

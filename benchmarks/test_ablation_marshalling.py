@@ -1,0 +1,68 @@
+"""Ablation — introspection marshalling vs direct binary streaming.
+
+The paper names reflective marshalling as its bootstrap bottleneck and
+plans to "directly send a native Java3D stream" instead.  This ablation
+re-runs the Table 5 bootstrap with both marshallers and reports the
+speed-up the planned fix would deliver.
+"""
+
+import pytest
+
+from repro.data.generators import make_model
+from repro.testbed import build_testbed
+
+
+@pytest.fixture(scope="module")
+def tb():
+    testbed = build_testbed(render_hosts=("centrino", "athlon"))
+    testbed.publish_model(
+        "hand", make_model("skeletal_hand", paper_scale=True).normalized())
+    return testbed
+
+
+def bootstrap(tb, host, introspective):
+    rs = tb.render_service(host)
+    session, timing = rs.create_render_session(
+        tb.data_service, "hand", introspective=introspective)
+    # closing the last session drops the shared copy and the subscription,
+    # so the next bootstrap re-transfers
+    rs.close_render_session(session.render_session_id)
+    return timing
+
+
+def test_marshalling_ablation(tb, report, benchmark):
+    def run():
+        slow = bootstrap(tb, "centrino", introspective=True)
+        fast = bootstrap(tb, "centrino", introspective=False)
+        return slow, fast
+
+    slow, fast = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = report(
+        "ablation_marshalling",
+        "Ablation: introspection vs binary-stream bootstrap (0.83M-poly "
+        "hand)",
+        ["Path", "Marshal s", "Demarshal s", "Transfer s", "Total s"],
+    )
+    for label, t in (("introspection (shipped)", slow),
+                     ("binary stream (planned fix)", fast)):
+        table.add_row(label, f"{t.marshal_seconds:.1f}",
+                      f"{t.demarshal_seconds:.1f}",
+                      f"{t.transfer_seconds:.2f}",
+                      f"{t.total_seconds:.1f}")
+
+    # identical bytes moved either way
+    assert slow.nbytes == fast.nbytes
+    # the bottleneck: introspection CPU dwarfs the binary path's
+    assert slow.marshal_seconds > 30 * fast.marshal_seconds
+    # fixing marshalling turns a ~70 s bootstrap into ~instance-creation
+    # + wire time
+    assert fast.total_seconds < 0.25 * slow.total_seconds
+    assert fast.total_seconds < 9.8 + 0.5 + 4 * fast.transfer_seconds
+
+
+def test_binary_path_is_network_bound(tb, benchmark):
+    """After the fix the wire, not the CPU, dominates — the healthy state."""
+    timing = benchmark.pedantic(
+        bootstrap, args=(tb, "centrino", False), rounds=1, iterations=1)
+    cpu = timing.marshal_seconds + timing.demarshal_seconds
+    assert cpu < timing.transfer_seconds

@@ -1,0 +1,58 @@
+"""Figure 4 — Simple UDDI registry GUI.
+
+The paper's screenshot shows two machines ("tower" and "adrenochrome")
+registered with the UDDI server, data- and render-service instances on
+each (e.g. render service "Skull-internal" on tower, bootstrapped from
+data service "Skull" on adrenochrome), and an italic "Create new
+instance" action at the bottom of each listing.
+
+We rebuild that exact state over the live registry/browser stack and
+save the textual rendering the figure screenshots.
+"""
+
+import pytest
+
+from repro.collab.gui import RegistryBrowser
+from repro.data.generators import galleon
+from repro.data.obj import write_obj
+from repro.testbed import build_testbed
+
+
+@pytest.fixture(scope="module")
+def tb():
+    return build_testbed(render_hosts=("centrino", "athlon"))
+
+
+def build_figure_state(tb, tmp_path):
+    browser = RegistryBrowser(
+        tb.registry, tb.containers,
+        data_services={tb.data_service.host: tb.data_service},
+        render_services=dict(tb.render_services))
+    # "adrenochrome" hosts the data service with a 'Skull' session...
+    skull = tmp_path / "Skull.obj"
+    write_obj(galleon().normalized(), skull)
+    browser.create_data_instance(tb.data_service.host, f"file://{skull}")
+    # ...and "tower" runs a render service bootstrapped from it
+    browser.create_render_instance("centrino", tb.data_service.host,
+                                   "Skull")
+    return browser
+
+
+def test_fig4_registry_listing(tb, results_dir, tmp_path, benchmark):
+    browser = build_figure_state(tb, tmp_path)
+    text = benchmark(browser.render_text, "RAVE project")
+    (results_dir / "fig4_registry_browser.txt").write_text(text)
+
+    # the figure's structure: business > hosts > services > instances
+    assert "RAVE project" in text
+    lines = text.splitlines()
+    host_lines = [ln for ln in lines if ln.strip() in tb.containers]
+    assert len(host_lines) >= 2
+    assert "Skull" in text                       # the data session
+    assert "Skull@rs-centrino" in text           # the render instance
+    assert text.count("*Create new instance*") >= 2
+
+    # create-new-instance actions work from the listing
+    rows = browser.rows("RAVE project")
+    actions = {r.action for r in rows if r.action}
+    assert actions == {"create-data", "create-render"}

@@ -1,0 +1,92 @@
+"""Wall-clock performance of the software-rendering substrate itself.
+
+Unlike the paper-table benchmarks (simulated seconds), these measure the
+real throughput of the NumPy rasterizer, the compositor, the codecs and
+the binary marshaller on the machine running the suite — the numbers a
+downstream user of this library actually cares about.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression import RleCodec
+from repro.data.generators import make_model
+from repro.network.marshalling import BinaryMarshaller
+from repro.render.camera import Camera
+from repro.render.compositor import depth_composite
+from repro.render.framebuffer import FrameBuffer
+from repro.render.rasterizer import rasterize_mesh
+
+
+@pytest.fixture(scope="module")
+def elle_mesh():
+    return make_model("elle", 50_000).normalized()
+
+
+@pytest.fixture(scope="module")
+def cam():
+    return Camera.looking_at((2.2, 1.4, 1.2))
+
+
+def test_rasterize_50k_at_200(benchmark, elle_mesh, cam):
+    def run():
+        fb = FrameBuffer(200, 200)
+        rasterize_mesh(elle_mesh, cam, fb)
+        return fb
+
+    fb = benchmark(run)
+    assert fb.coverage() > 0.02
+
+
+def test_rasterize_50k_at_400(benchmark, elle_mesh, cam):
+    def run():
+        fb = FrameBuffer(400, 400)
+        rasterize_mesh(elle_mesh, cam, fb)
+        return fb
+
+    fb = benchmark(run)
+    assert fb.coverage() > 0.02
+
+
+def test_rasterize_gouraud_overhead(benchmark, elle_mesh, cam):
+    def run():
+        fb = FrameBuffer(200, 200)
+        rasterize_mesh(elle_mesh, cam, fb, shading="gouraud")
+        return fb
+
+    fb = benchmark(run)
+    assert fb.coverage() > 0.02
+
+
+def test_depth_composite_three_buffers(benchmark, elle_mesh, cam):
+    buffers = []
+    for piece in elle_mesh.split_spatially(3):
+        fb = FrameBuffer(256, 256)
+        rasterize_mesh(piece, cam, fb)
+        buffers.append(fb)
+
+    merged = benchmark(depth_composite, buffers)
+    assert merged.coverage() > 0.02
+
+
+def test_rle_encode_frame(benchmark, elle_mesh, cam):
+    fb = FrameBuffer(200, 200)
+    rasterize_mesh(elle_mesh, cam, fb)
+    codec = RleCodec()
+
+    enc = benchmark(codec.encode, fb)
+    assert enc.ratio > 1.5
+
+
+def test_binary_marshal_megabyte(benchmark):
+    value = {"vertices": np.zeros((30_000, 3), np.float32),
+             "faces": np.zeros((60_000, 3), np.int32)}
+    marshaller = BinaryMarshaller()
+
+    result = benchmark(marshaller.marshal, value)
+    assert result.nbytes > 10**6
+
+
+def test_model_generation_throughput(benchmark):
+    mesh = benchmark(make_model, "skeleton", 200_000)
+    assert mesh.n_triangles > 150_000

@@ -1,0 +1,85 @@
+"""Table 3 — Off-screen render timings (400x400), % of on-screen speed.
+
+Paper:
+    400x400 image        GeForce2 420 Go  GeForce2 GTS   XVR-4000
+    Dataset              Centrino 1.6GHz  Athlon 1.2GHz  V880z
+    "Elle" (50k poly)    35%              40%            3%
+    "Galleon" (5.5k)     9%               9%             16%
+
+Our engine model computes efficiency mechanistically (off-screen request/
+poll/copy overhead on NVIDIA hardware; software-fallback re-render on the
+XVR-4000).  Deviations are recorded in EXPERIMENTS.md; the defining shapes
+are asserted here.
+"""
+
+import pytest
+
+from benchmarks.conftest import within
+from repro.hardware.profiles import get_profile
+from repro.render.engine import RenderEngine
+
+PAPER_400 = {
+    # (machine, dataset polygons) -> paper efficiency
+    ("centrino", 50_000): 0.35,
+    ("centrino", 5_500): 0.09,
+    ("athlon", 50_000): 0.40,
+    ("athlon", 5_500): 0.09,
+    ("v880z", 50_000): 0.03,
+    ("v880z", 5_500): 0.16,
+}
+
+DATASETS = {"Elle": 50_000, "Galleon": 5_500}
+MACHINES = ("centrino", "athlon", "v880z")
+PIXELS = 400 * 400
+
+
+def compute_table():
+    out = {}
+    for machine in MACHINES:
+        engine = RenderEngine(get_profile(machine))
+        for label, polys in DATASETS.items():
+            out[(machine, polys)] = engine.offscreen_efficiency(polys,
+                                                                PIXELS)
+    return out
+
+
+def test_table3_reproduction(report, benchmark):
+    measured = benchmark(compute_table)
+    table = report(
+        "table3_offscreen_400",
+        "Table 3: off-screen efficiency at 400x400 (paper% / measured%)",
+        ["Dataset"] + list(MACHINES),
+    )
+    for label, polys in DATASETS.items():
+        cells = [label]
+        for machine in MACHINES:
+            paper = PAPER_400[(machine, polys)]
+            got = measured[(machine, polys)]
+            cells.append(f"{paper:.0%} / {got:.0%}")
+        table.add_row(*cells)
+
+    # calibrated cells: NVIDIA columns within a few points of the paper
+    for machine in ("centrino", "athlon"):
+        for polys in DATASETS.values():
+            assert abs(measured[(machine, polys)]
+                       - PAPER_400[(machine, polys)]) < 0.06, machine
+
+    # the XVR-4000 Elle catastrophe (software fallback)
+    assert measured[("v880z", 50_000)] < 0.06
+    # known deviation: the paper's Galleon/XVR cell (16%) is inconsistent
+    # with any single software rate; we reproduce "much slower than the
+    # NVIDIA hardware path" qualitatively
+    assert measured[("v880z", 5_500)] < 0.25
+
+
+def test_table3_shapes(benchmark):
+    measured = benchmark(compute_table)
+    # off-screen always slower than on-screen
+    assert all(0 < eff < 1 for eff in measured.values())
+    # on NVIDIA hardware the small model suffers relatively more
+    for machine in ("centrino", "athlon"):
+        assert measured[(machine, 5_500)] < measured[(machine, 50_000)]
+    # the software-fallback machine is the worst on the big model
+    worst = min(MACHINES,
+                key=lambda m: measured[(m, 50_000)])
+    assert worst == "v880z"

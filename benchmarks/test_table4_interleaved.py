@@ -1,0 +1,89 @@
+"""Table 4 — Off-screen render timings (200x200), sequential vs interleaved.
+
+Paper (four 200x200 images, "seq" = one at a time, "int" = 4 outstanding):
+
+    Dataset     GeForce2 420 Go   GeForce2 GTS     XVR-4000
+    "Elle"      seq:55%  int:90%  seq:51% int:90%  seq:3%  int:4%
+    "Galleon"   seq:9%   int:33%  seq:11% int:41%  seq:30% int:48%
+
+The experiment demonstrated that interleaving off-screen requests recovers
+most of the on-screen speed on hardware off-screen paths ("with a Linux
+workstation, the on-screen rendering speed is available if multiple images
+are rendered") but not on the V880z software fallback.
+"""
+
+import pytest
+
+from repro.hardware.profiles import get_profile
+from repro.render.engine import RenderEngine
+
+PAPER_200 = {
+    ("centrino", 50_000): (0.55, 0.90),
+    ("centrino", 5_500): (0.09, 0.33),
+    ("athlon", 50_000): (0.51, 0.90),
+    ("athlon", 5_500): (0.11, 0.41),
+    ("v880z", 50_000): (0.03, 0.04),
+    ("v880z", 5_500): (0.30, 0.48),
+}
+
+DATASETS = {"Elle": 50_000, "Galleon": 5_500}
+MACHINES = ("centrino", "athlon", "v880z")
+PIXELS = 200 * 200
+
+
+def compute_table():
+    out = {}
+    for machine in MACHINES:
+        engine = RenderEngine(get_profile(machine))
+        for polys in DATASETS.values():
+            out[(machine, polys)] = (
+                engine.offscreen_efficiency(polys, PIXELS, interleaved=1),
+                engine.offscreen_efficiency(polys, PIXELS, interleaved=4),
+            )
+    return out
+
+
+def test_table4_reproduction(report, benchmark):
+    measured = benchmark(compute_table)
+    table = report(
+        "table4_offscreen_200_interleaved",
+        "Table 4: 200x200 off-screen efficiency seq/int "
+        "(paper / measured)",
+        ["Dataset"] + list(MACHINES),
+    )
+    for label, polys in DATASETS.items():
+        cells = [label]
+        for machine in MACHINES:
+            p_seq, p_int = PAPER_200[(machine, polys)]
+            m_seq, m_int = measured[(machine, polys)]
+            cells.append(
+                f"seq {p_seq:.0%}/{m_seq:.0%} int {p_int:.0%}/{m_int:.0%}")
+        table.add_row(*cells)
+
+    # calibrated sequential cells on the NVIDIA machines
+    for machine in ("centrino", "athlon"):
+        m_seq, _ = measured[(machine, 50_000)]
+        p_seq, _ = PAPER_200[(machine, 50_000)]
+        assert abs(m_seq - p_seq) < 0.08, machine
+
+
+def test_table4_interleaving_recovery(benchmark):
+    """The headline finding: interleaving recovers on-screen speed on
+    hardware off-screen paths; the software fallback barely improves."""
+    measured = benchmark(compute_table)
+    for machine in ("centrino", "athlon"):
+        seq, inter = measured[(machine, 50_000)]
+        assert inter > 0.75            # paper: 90%
+        assert inter > 1.4 * seq       # big recovery
+    seq, inter = measured[("v880z", 50_000)]
+    assert inter < 0.10                # paper: 4%
+    assert inter < seq * 2.0           # no meaningful recovery
+
+
+def test_table4_small_model_interleaving(benchmark):
+    """Galleon: interleaving helps but cannot reach on-screen speed
+    (paper 9% -> 33%)."""
+    measured = benchmark(compute_table)
+    seq, inter = measured[("centrino", 5_500)]
+    assert inter > 2.0 * seq
+    assert inter < 0.6

@@ -1,0 +1,104 @@
+"""Table 5 — Timings of UDDI recruitment and subsequent service bootstrap.
+
+Paper (100 Mbit ethernet):
+
+    Model          Data file  UDDI scan            Service bootstrap
+    Galleon        0.3 MB     0.73 s (4.8 s full)  10.5 s
+    Skeletal Hand  20 MB      0.70 s (4.2 s full)  68.2 s
+
+The scan times are discovery-protocol costs (independent of model size);
+the bootstrap is instance creation + SOAP subscription + the introspection-
+marshalled scene transfer — the paper's identified bottleneck ("presently
+bottlenecking on Java's marshalling/demarshalling").
+"""
+
+import pytest
+
+from benchmarks.conftest import within
+from repro.data.generators import make_model
+from repro.testbed import build_testbed
+
+PAPER = {
+    "galleon": dict(warm=0.73, full=4.8, bootstrap=10.5),
+    "skeletal_hand": dict(warm=0.70, full=4.2, bootstrap=68.2),
+}
+
+
+@pytest.fixture(scope="module")
+def tb():
+    testbed = build_testbed(render_hosts=("centrino", "athlon"))
+    for name in ("galleon", "skeletal_hand"):
+        testbed.publish_model(name,
+                              make_model(name, paper_scale=True).normalized())
+    return testbed
+
+
+def run_uddi_scans(tb):
+    client = tb.uddi_client("centrino")
+    full = client.full_bootstrap("RAVE project", "RaveRenderService")
+    warm = client.scan_access_points("RAVE project", "RaveRenderService")
+    return warm, full
+
+
+def run_bootstrap(tb, model):
+    # the Centrino is the calibration reference CPU (cpu_factor 1.0)
+    rs = tb.render_service("centrino")
+    _, timing = rs.create_render_session(tb.data_service, model)
+    return timing
+
+
+def test_table5_uddi_scans(tb, report, benchmark):
+    warm, full = benchmark.pedantic(run_uddi_scans, args=(tb,), rounds=1,
+                                    iterations=1)
+    table = report(
+        "table5_uddi",
+        "Table 5 (UDDI): scan timings, paper vs measured",
+        ["Scan", "Paper (s)", "Measured (s)"],
+    )
+    table.add_row("warm access-point scan", "0.70-0.73",
+                  f"{warm.elapsed_seconds:.2f}")
+    table.add_row("full bootstrap scan", "4.2-4.8",
+                  f"{full.elapsed_seconds:.2f}")
+
+    assert 0.65 <= warm.elapsed_seconds <= 0.80
+    assert 4.0 <= full.elapsed_seconds <= 5.0
+    assert full.elapsed_seconds > 5 * warm.elapsed_seconds
+    assert len(full.access_points) == 2
+
+
+@pytest.mark.parametrize("model", ["galleon", "skeletal_hand"])
+def test_table5_service_bootstrap(tb, report, benchmark, model):
+    timing = benchmark.pedantic(run_bootstrap, args=(tb, model), rounds=1,
+                                iterations=1)
+    paper = PAPER[model]["bootstrap"]
+    table = report(
+        f"table5_bootstrap_{model}",
+        f"Table 5 (bootstrap, {model}): paper vs measured, with breakdown",
+        ["Component", "Seconds"],
+    )
+    table.add_row("paper total", f"{paper:.1f}")
+    table.add_row("measured total", f"{timing.total_seconds:.1f}")
+    table.add_row("  instance creation", f"{timing.instance_seconds:.1f}")
+    table.add_row("  SOAP handshakes", f"{timing.handshake_seconds:.2f}")
+    table.add_row("  marshal (introspection)",
+                  f"{timing.marshal_seconds:.1f}")
+    table.add_row("  network transfer", f"{timing.transfer_seconds:.2f}")
+    table.add_row("  demarshal", f"{timing.demarshal_seconds:.1f}")
+    table.add_row("  payload bytes", f"{timing.nbytes}")
+
+    assert within(timing.total_seconds, paper, 0.20)
+
+
+def test_table5_marshalling_is_the_bottleneck(tb, benchmark):
+    """The paper's analysis: for the big model, CPU marshalling dwarfs the
+    wire time on 100 Mbit ethernet."""
+
+    def measure():
+        rs = tb.render_service("athlon")
+        _, timing = rs.create_render_session(tb.data_service,
+                                             "skeletal_hand")
+        return timing
+
+    timing = benchmark.pedantic(measure, rounds=1, iterations=1)
+    cpu = timing.marshal_seconds + timing.demarshal_seconds
+    assert cpu > 10 * timing.transfer_seconds

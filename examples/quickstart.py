@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: publish a model, render it remotely, view it on a PDA.
+
+This is the smallest complete RAVE workflow:
+
+1. build the paper's testbed (six machines, wired LAN + 802.11b cell);
+2. import the Galleon model into the data service as a session;
+3. bootstrap a render service from the data service;
+4. attach a thin client (the Zaurus) and request frames.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from pathlib import Path
+
+from repro import build_testbed
+from repro.data import galleon
+
+OUTPUT = Path(__file__).parent / "output"
+
+
+def main() -> None:
+    OUTPUT.mkdir(exist_ok=True)
+
+    print("Building the SC2004 testbed (simulated)...")
+    tb = build_testbed()
+
+    print("Importing the Galleon model into the data service...")
+    mesh = galleon(20_000).normalized()
+    tb.publish_model("galleon-demo", mesh)
+    print(f"  session 'galleon-demo': {mesh.n_triangles:,} triangles")
+
+    print("Bootstrapping a render service on the Centrino laptop...")
+    rs = tb.render_service("centrino")
+    rsession, boot = rs.create_render_session(tb.data_service,
+                                              "galleon-demo")
+    print(f"  bootstrap took {boot.total_seconds:.1f} simulated seconds "
+          f"({boot.nbytes / 1e3:.0f} kB transferred)")
+
+    print("Attaching the PDA thin client over 802.11b...")
+    client = tb.thin_client("quickstart-user")
+    client.attach(rs, rsession.render_session_id)
+    client.move_camera(position=(2.2, 1.4, 1.2))
+
+    for i in range(3):
+        frame, timing = client.request_frame(200, 200)
+        print(f"  frame {i}: {timing.fps:.1f} fps "
+              f"(render {timing.render_seconds * 1000:.0f} ms, "
+              f"receipt {timing.image_receipt_seconds * 1000:.0f} ms, "
+              f"overheads {timing.overhead_seconds * 1000:.0f} ms)")
+        client.orbit(azimuth=0.4)
+
+    out = OUTPUT / "quickstart_galleon.ppm"
+    frame.save_ppm(out)
+    print(f"Saved the last frame to {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""RAVE — Resource-Aware Visualization Environment (reproduction).
+
+A from-scratch Python reproduction of *"Automatic Distribution of Rendering
+Workloads in a Grid Enabled Collaborative Visualization Environment"*
+(Grimstead, Avis & Walker, SC 2004): a grid-enabled collaborative
+visualization system with a persistent data service, render services that
+draw on- or off-screen, thin clients down to PDA class, UDDI/WSDL/SOAP
+discovery, and — the core contribution — automatic, capacity-aware
+distribution and migration of rendering workloads.
+
+Quick start::
+
+    from repro import build_testbed
+    from repro.data import galleon
+
+    tb = build_testbed()
+    session = tb.publish_model("demo", galleon().normalized())
+    rs = tb.render_service("centrino")
+    rsession, boot = rs.create_render_session(tb.data_service, "demo")
+    client = tb.thin_client("viewer")
+    client.attach(rs, rsession.render_session_id)
+    frame, timing = client.request_frame(200, 200)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.testbed import Testbed, build_testbed
+from repro.core import (
+    CapacityReport,
+    CollaborativeSession,
+    DatasetDistributor,
+    FramebufferDistributor,
+    RenderCapacity,
+    RenderServiceScheduler,
+    WorkloadMigrator,
+)
+from repro.errors import (
+    InsufficientResources,
+    RaveError,
+    RenderError,
+    SceneGraphError,
+    ServiceError,
+)
+from repro.render import Camera, FrameBuffer, RenderEngine
+from repro.scenegraph import SceneTree, MeshNode, CameraNode
+from repro.services import (
+    DataService,
+    RenderService,
+    ServiceContainer,
+    ThinClient,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Testbed",
+    "build_testbed",
+    "CollaborativeSession",
+    "RenderServiceScheduler",
+    "DatasetDistributor",
+    "FramebufferDistributor",
+    "WorkloadMigrator",
+    "RenderCapacity",
+    "CapacityReport",
+    "Camera",
+    "FrameBuffer",
+    "RenderEngine",
+    "SceneTree",
+    "MeshNode",
+    "CameraNode",
+    "DataService",
+    "RenderService",
+    "ServiceContainer",
+    "ThinClient",
+    "RaveError",
+    "SceneGraphError",
+    "RenderError",
+    "ServiceError",
+    "InsufficientResources",
+    "__version__",
+]

@@ -1,0 +1,155 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+- ``info``        — package, testbed and model inventory;
+- ``quickstart``  — run the README quickstart and save a frame;
+- ``table2``      — regenerate the paper's Table 2 (PDA timings);
+- ``tables34``    — regenerate Tables 3/4 (off-screen efficiency);
+- ``table5``      — regenerate Table 5 (UDDI + bootstrap timings).
+
+The full per-table/per-figure harness lives in ``benchmarks/`` (run with
+``pytest benchmarks/ --benchmark-only``); these subcommands are the quick
+interactive versions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_info(args) -> int:
+    import repro
+    from repro.data.generators import MODEL_REGISTRY, PAPER_TRIANGLES
+    from repro.hardware.profiles import TESTBED
+
+    print(f"RAVE reproduction v{repro.__version__}")
+    print("\ntestbed machines:")
+    for name, profile in sorted(TESTBED.items()):
+        rate = (f"{profile.polygon_rate / 1e6:.1f}M polys/s"
+                if profile.can_render else "thin client")
+        print(f"  {name:<10} {rate:<18} {profile.description}")
+    print("\nbenchmark models (paper polygon budgets):")
+    for name in sorted(MODEL_REGISTRY):
+        print(f"  {name:<15} {PAPER_TRIANGLES[name]:>12,} triangles")
+    return 0
+
+
+def cmd_quickstart(args) -> int:
+    from repro import build_testbed
+    from repro.data import galleon
+
+    tb = build_testbed()
+    tb.publish_model("demo", galleon(20_000).normalized())
+    rs = tb.render_service("centrino")
+    rsession, boot = rs.create_render_session(tb.data_service, "demo")
+    print(f"bootstrap: {boot.total_seconds:.1f} simulated seconds")
+    client = tb.thin_client("cli-user")
+    client.attach(rs, rsession.render_session_id)
+    client.move_camera(position=(2.2, 1.4, 1.2))
+    frame, timing = client.request_frame(200, 200)
+    print(f"frame: {timing.fps:.1f} fps "
+          f"(render {timing.render_seconds:.3f}s, "
+          f"receipt {timing.image_receipt_seconds:.3f}s)")
+    frame.save_ppm(args.output)
+    print(f"saved {args.output}")
+    return 0
+
+
+def cmd_table2(args) -> int:
+    from repro.data.generators import make_model
+    from repro.testbed import build_testbed
+
+    tb = build_testbed(render_hosts=("centrino",))
+    paper = {"skeletal_hand": (2.9, 0.339), "skeleton": (1.6, 0.598)}
+    print(f"{'model':<15} {'paper fps':>9} {'ours':>6} "
+          f"{'paper total':>11} {'ours':>6}")
+    for name in ("skeletal_hand", "skeleton"):
+        mesh = make_model(name, paper_scale=True).normalized()
+        tb.publish_model(name, mesh)
+        rs = tb.render_service("centrino")
+        rsession, _ = rs.create_render_session(tb.data_service, name)
+        client = tb.thin_client(f"cli-{name}")
+        client.attach(rs, rsession.render_session_id)
+        client.move_camera(position=(0.4, 2.2, 1.0))
+        _, t = client.request_frame(200, 200)
+        p_fps, p_total = paper[name]
+        print(f"{name:<15} {p_fps:>9.1f} {t.fps:>6.2f} "
+              f"{p_total:>11.3f} {t.total_latency:>6.3f}")
+    return 0
+
+
+def cmd_tables34(args) -> int:
+    from repro.hardware.profiles import get_profile
+    from repro.render.engine import RenderEngine
+
+    datasets = {"Elle (50k)": 50_000, "Galleon (5.5k)": 5_500}
+    machines = ("centrino", "athlon", "v880z")
+    for pixels, label in ((400 * 400, "Table 3 (400x400)"),
+                          (200 * 200, "Table 4 (200x200, seq/int)")):
+        print(f"\n{label}")
+        header = f"{'dataset':<16}" + "".join(f"{m:>18}" for m in machines)
+        print(header)
+        for ds_label, polys in datasets.items():
+            cells = [f"{ds_label:<16}"]
+            for machine in machines:
+                engine = RenderEngine(get_profile(machine))
+                if pixels == 400 * 400:
+                    cells.append(
+                        f"{engine.offscreen_efficiency(polys, pixels):>17.0%} ")
+                else:
+                    seq = engine.offscreen_efficiency(polys, pixels, 1)
+                    inter = engine.offscreen_efficiency(polys, pixels, 4)
+                    cells.append(f"{seq:>8.0%}/{inter:<8.0%}")
+            print("".join(cells))
+    return 0
+
+
+def cmd_table5(args) -> int:
+    from repro.data.generators import make_model
+    from repro.testbed import build_testbed
+
+    tb = build_testbed(render_hosts=("centrino", "athlon"))
+    client = tb.uddi_client("centrino")
+    full = client.full_bootstrap("RAVE project", "RaveRenderService")
+    warm = client.scan_access_points("RAVE project", "RaveRenderService")
+    print(f"UDDI warm scan: {warm.elapsed_seconds:.2f}s "
+          "(paper 0.70-0.73)")
+    print(f"UDDI full bootstrap: {full.elapsed_seconds:.2f}s "
+          "(paper 4.2-4.8)")
+    for name, paper in (("galleon", 10.5), ("skeletal_hand", 68.2)):
+        tb.publish_model(name,
+                         make_model(name, paper_scale=True).normalized())
+        rs = tb.render_service("centrino")
+        _, timing = rs.create_render_session(tb.data_service, name)
+        print(f"bootstrap {name}: {timing.total_seconds:.1f}s "
+              f"(paper {paper})")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="RAVE (SC 2004) reproduction command line")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("info", help="package and testbed inventory")
+    quick = sub.add_parser("quickstart", help="run the README quickstart")
+    quick.add_argument("--output", default="rave_quickstart.ppm",
+                       help="where to save the rendered frame")
+    sub.add_parser("table2", help="regenerate Table 2 (PDA timings)")
+    sub.add_parser("tables34", help="regenerate Tables 3/4 (off-screen)")
+    sub.add_parser("table5", help="regenerate Table 5 (UDDI/bootstrap)")
+    args = parser.parse_args(argv)
+    handler = {
+        "info": cmd_info,
+        "quickstart": cmd_quickstart,
+        "table2": cmd_table2,
+        "tables34": cmd_tables34,
+        "table5": cmd_table5,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

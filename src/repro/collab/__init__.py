@@ -1,0 +1,17 @@
+"""Collaboration layer: avatars, interrogation-based interaction, registry GUI."""
+
+from repro.collab.avatar import AvatarManager
+from repro.collab.interaction import (
+    InteractionController,
+    MenuEntry,
+    discover_menu,
+)
+from repro.collab.gui import RegistryBrowser
+
+__all__ = [
+    "AvatarManager",
+    "InteractionController",
+    "MenuEntry",
+    "discover_menu",
+    "RegistryBrowser",
+]

@@ -1,0 +1,101 @@
+"""Avatar management for collaborative sessions.
+
+"Clients are represented in the dataset by an avatar — a simple graphical
+object to indicate the position and view of the client" (paper §3.2.4);
+Figure 3 shows "a cone pointing in the direction of the user's view, and
+the name of the user or host".
+
+The :class:`AvatarManager` owns the avatar lifecycle on top of a data
+service session: join (AddNode), camera-follows (MoveAvatar), leave
+(RemoveNode), and the echo-suppression rule that a user never renders their
+own avatar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SessionError
+from repro.scenegraph.nodes import AvatarNode, CameraNode
+from repro.scenegraph.updates import AddNode, MoveAvatar, RemoveNode
+
+
+@dataclass(frozen=True)
+class CollaboratorView:
+    """What one user sees of another: label + pose."""
+
+    user: str
+    host: str
+    position: tuple[float, float, float]
+    view_direction: tuple[float, float, float]
+
+
+class AvatarManager:
+    """Avatar lifecycle for one data-service session."""
+
+    def __init__(self, data_service, session_id: str) -> None:
+        self.data_service = data_service
+        self.session_id = session_id
+        #: user → avatar node id
+        self._avatars: dict[str, int] = {}
+
+    @property
+    def master_tree(self):
+        return self.data_service.session(self.session_id).tree
+
+    def join(self, user: str, host: str, camera: CameraNode) -> int:
+        """Publish a new avatar for a user; returns its node id."""
+        if user in self._avatars:
+            raise SessionError(f"{user!r} already has an avatar")
+        tree = self.master_tree
+        avatar = AvatarNode(user=user, host=host,
+                            position=camera.position.copy(),
+                            view_direction=camera.view_direction())
+        node_id = max((n.node_id for n in tree), default=0) + 1
+        update = AddNode.of(avatar, parent_id=tree.root.node_id,
+                            node_id=node_id, origin=user)
+        self.data_service.publish_update(self.session_id, update)
+        self._avatars[user] = node_id
+        return node_id
+
+    def follow(self, user: str, camera: CameraNode) -> None:
+        """Move a user's avatar to track their camera."""
+        node_id = self._require(user)
+        update = MoveAvatar(node_id=node_id, origin=user,
+                            position=camera.position.copy(),
+                            view_direction=camera.view_direction())
+        self.data_service.publish_update(self.session_id, update)
+
+    def leave(self, user: str) -> None:
+        node_id = self._avatars.pop(self._check_user(user))
+        update = RemoveNode(node_id=node_id, origin=user)
+        self.data_service.publish_update(self.session_id, update)
+
+    def collaborators(self, excluding: str | None = None
+                      ) -> list[CollaboratorView]:
+        """Everyone's avatar pose (minus the asking user's own)."""
+        tree = self.master_tree
+        out = []
+        for user, node_id in self._avatars.items():
+            if user == excluding or node_id not in tree:
+                continue
+            node = tree.node(node_id)
+            assert isinstance(node, AvatarNode)
+            out.append(CollaboratorView(
+                user=node.user, host=node.host,
+                position=tuple(float(x) for x in node.position),
+                view_direction=tuple(float(x)
+                                     for x in node.view_direction)))
+        return out
+
+    def avatar_node_ids(self, excluding: str | None = None) -> set[int]:
+        return {nid for user, nid in self._avatars.items()
+                if user != excluding}
+
+    def _check_user(self, user: str) -> str:
+        if user not in self._avatars:
+            raise SessionError(f"{user!r} has no avatar in this session")
+        return user
+
+    def _require(self, user: str) -> int:
+        return self._avatars[self._check_user(user)]

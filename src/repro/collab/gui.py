@@ -1,0 +1,120 @@
+"""The registry-browser GUI model (Figure 4).
+
+"We use a simple client GUI to examine a UDDI registry, which then reports
+on what instances are available at each resource. ... The GUI also has the
+option of creating new instances, by clicking on the 'Create new instance'
+service instance, in italics at the bottom of each service instance
+listing.  This permits the entry of a data URL to create a data service, or
+the URL of the data service instance to create a new render service."
+
+:class:`RegistryBrowser` renders the textual tree the figure shows and
+implements both create actions against live containers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DiscoveryError, ServiceError
+from repro.services.uddi import UddiRegistry
+
+
+@dataclass
+class BrowserRow:
+    """One line of the browser tree."""
+
+    depth: int
+    text: str
+    action: str | None = None     # "create-data" | "create-render" | None
+
+    def render(self) -> str:
+        prefix = "  " * self.depth
+        text = f"*{self.text}*" if self.action else self.text  # italics
+        return prefix + text
+
+
+class RegistryBrowser:
+    """The Figure 4 browser: machines → services → instances (+ create)."""
+
+    def __init__(self, registry: UddiRegistry,
+                 containers: dict[str, object],
+                 data_services: dict[str, object] | None = None,
+                 render_services: dict[str, object] | None = None) -> None:
+        #: host name → ServiceContainer
+        self.registry = registry
+        self.containers = dict(containers)
+        self.data_services = dict(data_services or {})
+        self.render_services = dict(render_services or {})
+
+    # -- view ----------------------------------------------------------------------
+
+    def rows(self, business_name: str) -> list[BrowserRow]:
+        business = self.registry.find_business(business_name)
+        rows: list[BrowserRow] = [BrowserRow(0, business.name)]
+        hosts = sorted({b.access_point.host
+                        for s in business.services for b in s.bindings})
+        for host in hosts:
+            rows.append(BrowserRow(1, host))
+            container = self.containers.get(host)
+            services_here = [
+                s for s in business.services
+                if any(b.access_point.host == host for b in s.bindings)]
+            for service in sorted(services_here, key=lambda s: s.name):
+                rows.append(BrowserRow(2, service.name))
+                if container is not None:
+                    kind = ("data" if "Data" in service.name else "render")
+                    for inst in container.instances(kind):
+                        rows.append(BrowserRow(3, inst.label))
+                    rows.append(BrowserRow(
+                        3, "Create new instance",
+                        action=f"create-{kind}"))
+        return rows
+
+    def render_text(self, business_name: str) -> str:
+        """The whole browser as text (what Figure 4 screenshots)."""
+        return "\n".join(row.render() for row in self.rows(business_name))
+
+    # -- create actions ----------------------------------------------------------------
+
+    def create_data_instance(self, host: str, data_url: str) -> str:
+        """'Entry of a data URL to create a data service' instance.
+
+        Loads the model behind ``data_url`` into the host's data service as
+        a new session; returns the session id.
+        """
+        service = self.data_services.get(host)
+        if service is None:
+            raise DiscoveryError(f"no data service runs on {host!r}")
+        from pathlib import Path
+
+        from repro.data.obj import read_obj
+        from repro.data.ply import read_ply
+        from repro.scenegraph.nodes import MeshNode
+        from repro.scenegraph.tree import SceneTree
+
+        path = Path(data_url.removeprefix("file://"))
+        if path.suffix == ".obj":
+            mesh = read_obj(path)
+        elif path.suffix == ".ply":
+            mesh = read_ply(path)
+        else:
+            raise ServiceError(f"unsupported data URL {data_url!r}")
+        tree = SceneTree(name=path.stem)
+        tree.add(MeshNode(mesh))
+        session_id = path.stem
+        service.create_session(session_id, tree)
+        return session_id
+
+    def create_render_instance(self, host: str, data_service_host: str,
+                               session_id: str):
+        """'The URL of the data service instance to create a new render
+        service (as a render service needs a data service to bootstrap
+        from)'.  Returns (render session, bootstrap timing)."""
+        render_service = self.render_services.get(host)
+        if render_service is None:
+            raise DiscoveryError(f"no render service runs on {host!r}")
+        data_service = self.data_services.get(data_service_host)
+        if data_service is None:
+            raise DiscoveryError(
+                f"no data service runs on {data_service_host!r}")
+        return render_service.create_render_session(data_service, session_id)

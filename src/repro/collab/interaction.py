@@ -1,0 +1,253 @@
+"""Interrogation-based interaction.
+
+"Our current GUI enables users to carry out actions with specific objects
+(such as the user's camera), with selected objects or relative to selected
+objects (such as rotate the camera around a selected object).  The GUI
+interrogates objects for any supported interactions, and reflects this in
+the drop-down menus; all interactions are based on clicking to select /
+deselect an object, and dragging.  ...  The interrogation approach was
+selected as this permits alterations of the supported interactions without
+affecting any part of the GUI or underlying message transport."
+
+:func:`discover_menu` is the interrogation; :class:`InteractionController`
+maps (selection, verb, drag) to scene updates, so new node types with new
+``supported_interactions`` work without touching this file — the property
+the paper designed for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SceneGraphError
+from repro.scenegraph.nodes import (
+    CameraNode,
+    MeshNode,
+    SceneNode,
+    TransformNode,
+)
+from repro.scenegraph.picking import Ray, pick_tree
+from repro.scenegraph.tree import SceneTree
+from repro.scenegraph.updates import SceneUpdate, SetCamera, SetTransform
+
+
+@dataclass(frozen=True)
+class MenuEntry:
+    """One drop-down entry the GUI shows for a selected object."""
+
+    verb: str
+    target_id: int
+    target_name: str
+
+
+def discover_menu(node: SceneNode) -> list[MenuEntry]:
+    """Interrogate a node for its supported interactions."""
+    return [MenuEntry(verb=verb, target_id=node.node_id,
+                      target_name=node.name)
+            for verb in node.supported_interactions()]
+
+
+class InteractionController:
+    """Maps click-and-drag gestures to scene updates.
+
+    With a ``publish`` callback (normally the data service's
+    ``publish_update`` partially applied to the session), every update an
+    object-verb gesture generates — including the structural splice that
+    wraps a bare node in a transform — is published automatically, so
+    collaborators' copies stay consistent.  Camera gestures return their
+    update but are not auto-published (the camera may be local-only).
+    """
+
+    def __init__(self, tree: SceneTree, user: str = "",
+                 publish=None) -> None:
+        self.tree = tree
+        self.user = user
+        self.publish = publish
+        self.selection: SceneNode | None = None
+
+    # -- selection ----------------------------------------------------------------
+
+    def click(self, camera: CameraNode, px: float, py: float,
+              width: int, height: int) -> SceneNode | None:
+        """Click to select (or deselect when the same object is hit again)."""
+        ray = Ray.through_pixel(camera, px, py, width, height)
+        hit = pick_tree(ray, self.tree)
+        if hit is None or hit.node is None:
+            self.selection = None
+        elif hit.node is self.selection:
+            self.selection = None          # click again to deselect
+        else:
+            self.selection = hit.node
+        return self.selection
+
+    def menu(self) -> list[MenuEntry]:
+        """The drop-down for the current selection (empty menu when none)."""
+        if self.selection is None:
+            return []
+        return discover_menu(self.selection)
+
+    # -- verbs ---------------------------------------------------------------------
+
+    def drag(self, verb: str, camera: CameraNode,
+             dx: float, dy: float) -> SceneUpdate | None:
+        """Perform a drag gesture for a verb; returns the resulting update.
+
+        Camera verbs mutate the camera and return a :class:`SetCamera`;
+        object verbs return a :class:`SetTransform` against the selection's
+        transform (wrapping the object in one if needed).  The update has
+        already been applied locally — publish it to share.
+        """
+        if verb in ("orbit", "zoom", "pan", "rotate-around-selection"):
+            return self._camera_verb(verb, camera, dx, dy)
+        if self.selection is None:
+            raise SceneGraphError(f"verb {verb!r} needs a selected object")
+        if verb not in self.selection.supported_interactions():
+            raise SceneGraphError(
+                f"{self.selection.name!r} does not support {verb!r}")
+        if verb in ("translate", "rotate", "scale"):
+            return self._object_verb(verb, camera, dx, dy)
+        if verb in ("select", "rename", "recolor"):
+            return None  # dialog verbs: see rename() / recolor()
+        raise SceneGraphError(f"unknown verb {verb!r}")
+
+    # -- dialog verbs ------------------------------------------------------------
+
+    def rename(self, new_name: str) -> SceneUpdate:
+        """The rename dialog: set the selection's name."""
+        from repro.scenegraph.updates import SetProperty
+
+        if self.selection is None:
+            raise SceneGraphError("rename needs a selected object")
+        update = SetProperty(node_id=self.selection.node_id,
+                             origin=self.user, field_name="name",
+                             value=str(new_name))
+        update.apply(self.tree)
+        if self.publish is not None:
+            self.publish(update)
+        return update
+
+    def recolor(self, rgb) -> SceneUpdate:
+        """The recolor dialog: flat-tint the selected mesh's vertices."""
+        from repro.scenegraph.nodes import MeshNode
+        from repro.scenegraph.updates import ModifyGeometry
+
+        node = self.selection
+        if not isinstance(node, MeshNode):
+            raise SceneGraphError("recolor needs a selected mesh")
+        rgb = np.clip(np.asarray(rgb, dtype=np.float32), 0.0, 1.0)
+        if rgb.shape != (3,):
+            raise SceneGraphError(f"recolor expects RGB; got {rgb!r}")
+        colors = np.broadcast_to(rgb, (node.mesh.n_vertices, 3)).copy()
+        update = ModifyGeometry(node_id=node.node_id, origin=self.user,
+                                fields={"vertices": node.mesh.vertices,
+                                        "faces": node.mesh.faces,
+                                        "colors": colors})
+        update.apply(self.tree)
+        self.selection = self.tree.node(node.node_id)
+        if self.publish is not None:
+            self.publish(update)
+        return update
+
+    # -- camera verbs -----------------------------------------------------------------
+
+    def _camera_verb(self, verb: str, camera: CameraNode,
+                     dx: float, dy: float) -> SceneUpdate:
+        if verb == "orbit":
+            camera.orbit(azimuth=dx * 2 * np.pi,
+                         elevation=dy * np.pi)
+        elif verb == "zoom":
+            rel = camera.position - camera.target
+            camera.position = camera.target + rel * float(
+                np.clip(1.0 - dy, 0.2, 5.0))
+        elif verb == "pan":
+            fwd = camera.view_direction()
+            up = camera.up / np.linalg.norm(camera.up)
+            right = np.cross(fwd, up)
+            span = np.linalg.norm(camera.position - camera.target)
+            shift = (-dx * right + dy * up) * span
+            camera.position = camera.position + shift
+            camera.target = camera.target + shift
+        elif verb == "rotate-around-selection":
+            if self.selection is None:
+                raise SceneGraphError(
+                    "rotate-around-selection needs a selected object")
+            pivot = self._selection_center()
+            camera.target = pivot
+            camera.orbit(azimuth=dx * 2 * np.pi, elevation=dy * np.pi)
+        return SetCamera.of(camera, origin=self.user)
+
+    def _selection_center(self) -> np.ndarray:
+        node = self.selection
+        if isinstance(node, MeshNode):
+            world = self.tree.world_transform(node)
+            c = node.mesh.centroid().astype(np.float64)
+            return world[:3, :3] @ c + world[:3, 3]
+        if hasattr(node, "position"):
+            return np.asarray(node.position, dtype=np.float64)
+        return np.zeros(3)
+
+    # -- object verbs -------------------------------------------------------------------
+
+    def _ensure_transform(self) -> TransformNode:
+        """The selection's transform parent, wrapping the node if absent.
+
+        The splice (parent -> new transform -> node) is expressed as scene
+        updates so it replays identically on every collaborator's copy:
+        AddNode(transform), RemoveNode(node), AddNode(node under the
+        transform, keeping its id).
+        """
+        from repro.scenegraph.nodes import node_to_wire
+        from repro.scenegraph.updates import AddNode, RemoveNode
+
+        node = self.selection
+        assert node is not None
+        if isinstance(node.parent, TransformNode):
+            return node.parent
+        parent = node.parent
+        if parent is None:
+            raise SceneGraphError("cannot transform the root")
+        node_id = node.node_id      # RemoveNode resets the instance's id
+        xf_id = max(n.node_id for n in self.tree) + 1
+        payload = node_to_wire(node)
+        splice = [
+            AddNode.of(TransformNode(name=f"{node.name}:xf"),
+                       parent_id=parent.node_id, node_id=xf_id,
+                       origin=self.user),
+            RemoveNode(node_id=node_id, origin=self.user),
+            AddNode(node_id=node_id, origin=self.user,
+                    parent_id=xf_id, node_payload=payload),
+        ]
+        for update in splice:
+            update.apply(self.tree)
+            if self.publish is not None:
+                self.publish(update)
+        self.selection = self.tree.node(node_id)   # the re-added copy
+        return self.tree.node(xf_id)
+
+    def _object_verb(self, verb: str, camera: CameraNode,
+                     dx: float, dy: float) -> SceneUpdate:
+        xf = self._ensure_transform()
+        m = xf.matrix.copy()
+        if verb == "translate":
+            fwd = camera.view_direction()
+            up = camera.up / np.linalg.norm(camera.up)
+            right = np.cross(fwd, up)
+            span = np.linalg.norm(camera.position - camera.target)
+            m[:3, 3] += (dx * right - dy * up) * span * 0.5
+        elif verb == "rotate":
+            angle = dx * 2 * np.pi
+            c, s = np.cos(angle), np.sin(angle)
+            rot = np.eye(4)
+            rot[0, 0], rot[0, 1], rot[1, 0], rot[1, 1] = c, -s, s, c
+            m = m @ rot
+        elif verb == "scale":
+            factor = float(np.clip(1.0 + dy, 0.1, 10.0))
+            m[:3, :3] *= factor
+        xf.set_matrix(m)
+        update = SetTransform(node_id=xf.node_id, origin=self.user,
+                              matrix=m)
+        if self.publish is not None:
+            self.publish(update)
+        return update

@@ -1,0 +1,171 @@
+"""The adaptive compression controller.
+
+"Wireless network bandwidth is shared between other network users, and is
+proportional to signal quality ... We need a compression algorithm that can
+adapt on the fly to changing network conditions."  (paper §5.1)
+
+:class:`BandwidthEstimator` tracks goodput from observed transfers (EWMA);
+:class:`AdaptiveCodec` picks, per frame, the cheapest codec whose expected
+wire time meets the latency budget, preferring lossless when the link
+affords it:
+
+    raw  →  delta  →  rle  →  rgb565  →  rgb565-over-delta
+
+The choice is re-evaluated every frame, so a user walking away from the
+access point (dropping signal quality) degrades smoothly instead of
+stalling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compression.base import Codec, EncodedFrame, RawCodec
+from repro.compression.delta import DeltaCodec
+from repro.compression.quantize import Rgb565Codec
+from repro.compression.rle import RleCodec
+from repro.errors import DataFormatError
+from repro.render.framebuffer import FrameBuffer
+
+
+class BandwidthEstimator:
+    """EWMA goodput estimate from (nbytes, seconds) observations."""
+
+    def __init__(self, initial_bps: float = 4.8e6,
+                 alpha: float = 0.3) -> None:
+        if initial_bps <= 0:
+            raise ValueError("initial bandwidth must be positive")
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.bps = initial_bps
+        self.alpha = alpha
+        self.observations = 0
+
+    def observe(self, nbytes: int, seconds: float) -> None:
+        if seconds <= 0 or nbytes <= 0:
+            return
+        sample = nbytes * 8.0 / seconds
+        self.bps = self.alpha * sample + (1 - self.alpha) * self.bps
+        self.observations += 1
+
+    def expected_seconds(self, nbytes: int) -> float:
+        return nbytes * 8.0 / self.bps
+
+
+@dataclass
+class AdaptiveChoice:
+    codec_name: str
+    expected_wire_seconds: float
+    budget_seconds: float
+
+
+class AdaptiveCodec(Codec):
+    """Meta-codec delegating to the best child codec per frame."""
+
+    NAME = "adaptive"
+    LOSSLESS = False  # may choose a lossy child under pressure
+
+    def __init__(self, estimator: BandwidthEstimator | None = None,
+                 latency_budget: float = 0.25,
+                 cpu_factor: float = 1.0) -> None:
+        super().__init__(cpu_factor)
+        self.estimator = estimator or BandwidthEstimator()
+        self.latency_budget = latency_budget
+        self._raw = RawCodec(cpu_factor)
+        self._delta = DeltaCodec(cpu_factor)
+        self._rle = RleCodec(cpu_factor)
+        self._rgb565 = Rgb565Codec(cpu_factor)
+        self._lossy_delta = DeltaCodec(cpu_factor, tolerance=12)
+        self._children: dict[str, Codec] = {
+            c.NAME: c for c in (self._raw, self._delta, self._rle,
+                                self._rgb565, self._lossy_delta)}
+        self.choices: list[AdaptiveChoice] = []
+
+    def reset(self) -> None:
+        self._delta.reset()
+        self._lossy_delta.reset()
+
+    def encode(self, fb: FrameBuffer) -> EncodedFrame:
+        budget = self.latency_budget
+        # Candidate order: lossless first, then progressively lossy.
+        # Delta and RLE sizes are content-dependent — encode and check.
+        # Stateful (delta) codecs must only advance their reference when
+        # actually chosen, or the decoder's mirror state desynchronises —
+        # snapshot and restore the losers afterwards.
+        delta_state = (self._delta._reference_enc,
+                       self._lossy_delta._reference_enc)
+        candidates: list[EncodedFrame] = []
+        raw = self._raw.encode(fb)
+        if self.estimator.expected_seconds(raw.nbytes) <= budget:
+            chosen = raw
+        else:
+            candidates.append(self._delta.encode(fb))
+            candidates.append(self._rle.encode(fb))
+            candidates.append(self._rgb565.encode(fb))
+            fitting = [c for c in candidates
+                       if self.estimator.expected_seconds(c.nbytes) <= budget]
+            if fitting:
+                # prefer lossless among those that fit, then smallest
+                fitting.sort(key=lambda c: (not c.lossless, c.nbytes))
+                chosen = fitting[0]
+            else:
+                # last resort: tolerant delta (smallest thing we have)
+                lossy = self._lossy_delta.encode(fb)
+                candidates.append(lossy)
+                chosen = min(candidates, key=lambda c: c.nbytes)
+        if chosen.codec != self._delta.NAME:
+            self._delta._reference_enc = delta_state[0]
+        if chosen.codec != self._lossy_delta.NAME:
+            self._lossy_delta._reference_enc = delta_state[1]
+        # Seed the delta references from the frame the receiver will
+        # actually hold (its decoded view), whatever codec carried it —
+        # so the very next frame can be a delta even after a key/lossy
+        # frame.  The decoder mirrors this in decode().
+        receiver_view = self._receiver_view(chosen)
+        self._delta._reference_enc = receiver_view
+        self._lossy_delta._reference_enc = receiver_view
+        wrapped = EncodedFrame(
+            codec=self.NAME, data=chosen.data, width=chosen.width,
+            height=chosen.height, encode_seconds=chosen.encode_seconds,
+            lossless=chosen.lossless,
+            meta={**chosen.meta, "inner": chosen.codec})
+        self.choices.append(AdaptiveChoice(
+            codec_name=chosen.codec,
+            expected_wire_seconds=self.estimator.expected_seconds(
+                chosen.nbytes),
+            budget_seconds=budget))
+        return wrapped
+
+    def _receiver_view(self, chosen: EncodedFrame):
+        """The pixel state the receiver holds after this frame, flattened.
+
+        Exact for lossless codecs; for lossy ones the encoder re-decodes
+        its own output so both sides agree bit-for-bit.
+        """
+        child = self._children[chosen.codec]
+        if chosen.codec.startswith("delta"):
+            # the delta codec's own reference already equals the
+            # receiver's post-apply state
+            return child._reference_enc
+        fb, _ = child.decode(chosen, chosen.width, chosen.height)
+        return fb.color.reshape(-1, 3).copy()
+
+    def decode(self, frame: EncodedFrame, width: int, height: int
+               ) -> tuple[FrameBuffer, float]:
+        if frame.codec != self.NAME:
+            raise DataFormatError(
+                f"adaptive codec cannot decode {frame.codec!r} frames")
+        inner_name = frame.meta.get("inner")
+        child = self._children.get(inner_name)
+        if child is None:
+            raise DataFormatError(f"unknown inner codec {inner_name!r}")
+        inner = EncodedFrame(codec=inner_name, data=frame.data,
+                             width=frame.width, height=frame.height,
+                             encode_seconds=frame.encode_seconds,
+                             lossless=frame.lossless, meta=frame.meta)
+        fb, cpu = child.decode(inner, width, height)
+        # mirror the encoder: any decoded frame becomes the delta reference
+        flat = fb.color.reshape(-1, 3).copy()
+        self._delta._reference_dec = flat
+        self._lossy_delta._reference_dec = flat
+        return fb, cpu

@@ -1,0 +1,108 @@
+"""Codec protocol shared by all framebuffer compressors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DataFormatError
+from repro.render.framebuffer import FrameBuffer
+
+
+@dataclass(frozen=True)
+class EncodedFrame:
+    """A compressed frame plus its (simulated) encode cost and metadata."""
+
+    codec: str
+    data: bytes
+    width: int
+    height: int
+    encode_seconds: float
+    lossless: bool
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.data)
+
+    @property
+    def raw_nbytes(self) -> int:
+        return self.width * self.height * 3
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio (raw / encoded); > 1 means smaller."""
+        return self.raw_nbytes / max(1, self.nbytes)
+
+
+class Codec:
+    """Base codec.  Subclasses implement ``_encode`` / ``_decode`` and give
+    per-byte CPU cost constants (simulated seconds, reference CPU)."""
+
+    NAME = "base"
+    LOSSLESS = True
+    ENCODE_SECONDS_PER_BYTE = 2e-8
+    DECODE_SECONDS_PER_BYTE = 1.5e-8
+
+    def __init__(self, cpu_factor: float = 1.0) -> None:
+        if cpu_factor <= 0:
+            raise ValueError("cpu_factor must be positive")
+        self.cpu_factor = cpu_factor
+
+    # subclass surface -----------------------------------------------------------
+
+    def _encode(self, fb: FrameBuffer) -> tuple[bytes, dict]:
+        raise NotImplementedError
+
+    def _decode(self, frame: EncodedFrame) -> np.ndarray:
+        raise NotImplementedError
+
+    # public API ----------------------------------------------------------------
+
+    def encode(self, fb: FrameBuffer) -> EncodedFrame:
+        data, meta = self._encode(fb)
+        cpu = (fb.nbytes_color * self.ENCODE_SECONDS_PER_BYTE
+               / self.cpu_factor)
+        return EncodedFrame(codec=self.NAME, data=data, width=fb.width,
+                            height=fb.height, encode_seconds=cpu,
+                            lossless=self.LOSSLESS, meta=meta)
+
+    def decode(self, frame: EncodedFrame, width: int, height: int
+               ) -> tuple[FrameBuffer, float]:
+        if frame.codec != self.NAME:
+            raise DataFormatError(
+                f"{self.NAME} codec cannot decode {frame.codec!r} frames")
+        if (frame.width, frame.height) != (width, height):
+            raise DataFormatError(
+                f"frame is {frame.width}x{frame.height}, expected "
+                f"{width}x{height}")
+        color = self._decode(frame)
+        if color.shape != (height, width, 3):
+            raise DataFormatError(
+                f"decoder produced {color.shape}, expected "
+                f"{(height, width, 3)}")
+        fb = FrameBuffer(width, height)
+        fb.color[:] = color
+        cpu = (frame.raw_nbytes * self.DECODE_SECONDS_PER_BYTE
+               / self.cpu_factor)
+        return fb, cpu
+
+
+class RawCodec(Codec):
+    """Identity codec: raw RGB bytes (what the paper ships today)."""
+
+    NAME = "raw"
+    ENCODE_SECONDS_PER_BYTE = 2e-9
+    DECODE_SECONDS_PER_BYTE = 2e-9
+
+    def _encode(self, fb: FrameBuffer) -> tuple[bytes, dict]:
+        return fb.color.tobytes(), {}
+
+    def _decode(self, frame: EncodedFrame) -> np.ndarray:
+        expected = frame.raw_nbytes
+        if len(frame.data) != expected:
+            raise DataFormatError(
+                f"raw frame has {len(frame.data)} bytes, expected {expected}")
+        return np.frombuffer(frame.data, dtype=np.uint8).reshape(
+            frame.height, frame.width, 3)

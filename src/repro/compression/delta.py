@@ -1,0 +1,102 @@
+"""Inter-frame delta coding.
+
+Interactive navigation changes only part of the image between frames (the
+model moves, the background stays).  The encoder keeps the last acknowledged
+frame per stream and sends only changed pixels as (index u32, RGB) records,
+falling back to a key frame when the delta would be larger than raw.
+Decoder state mirrors the encoder's, so streams must decode in order.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.compression.base import Codec, EncodedFrame
+from repro.errors import DataFormatError
+from repro.render.framebuffer import FrameBuffer
+
+_KEY = 0
+_DELTA = 1
+
+
+class DeltaCodec(Codec):
+    """Inter-frame delta codec: changed pixels only, key frame fallback.
+
+    Stateful — encoder and decoder each track the last frame, so a stream
+    must decode in order.  ``tolerance > 0`` makes it lossy (small
+    per-channel changes are suppressed) and renames the codec so decode
+    routing stays unambiguous.
+    """
+
+    NAME = "delta"
+    LOSSLESS = True
+    ENCODE_SECONDS_PER_BYTE = 3e-8
+    DECODE_SECONDS_PER_BYTE = 2.5e-8
+
+    def __init__(self, cpu_factor: float = 1.0,
+                 tolerance: int = 0) -> None:
+        super().__init__(cpu_factor)
+        #: per-channel difference below which a pixel counts as unchanged
+        #: (0 = exact; >0 trades loss for ratio)
+        self.tolerance = int(tolerance)
+        if tolerance > 0:
+            # Stateful codecs are routed by name at decode time, so the
+            # tolerant variant must be distinguishable from the exact one.
+            self.NAME = f"delta~{tolerance}"
+            self.LOSSLESS = False
+        self._reference_enc: np.ndarray | None = None
+        self._reference_dec: np.ndarray | None = None
+
+    def reset(self) -> None:
+        """Forget stream state (forces the next frame to be a key frame)."""
+        self._reference_enc = None
+        self._reference_dec = None
+
+    def _encode(self, fb: FrameBuffer) -> tuple[bytes, dict]:
+        flat = fb.color.reshape(-1, 3)
+        ref = self._reference_enc
+        if ref is not None and ref.shape == flat.shape:
+            diff = np.abs(flat.astype(np.int16) - ref.astype(np.int16))
+            changed = (diff > self.tolerance).any(axis=1)
+            idx = np.nonzero(changed)[0]
+            delta_bytes = 5 + len(idx) * 7
+            if delta_bytes < flat.nbytes:
+                rec = np.empty(len(idx), dtype=np.dtype(
+                    [("i", "<u4"), ("rgb", "u1", 3)]))
+                rec["i"] = idx
+                rec["rgb"] = flat[idx]
+                self._reference_enc = flat.copy()
+                return (struct.pack("<BI", _DELTA, len(idx))
+                        + rec.tobytes(), {"changed": int(len(idx))})
+        self._reference_enc = flat.copy()
+        return (struct.pack("<BI", _KEY, 0) + flat.tobytes(),
+                {"changed": int(len(flat))})
+
+    def _decode(self, frame: EncodedFrame) -> np.ndarray:
+        if len(frame.data) < 5:
+            raise DataFormatError("delta frame shorter than its header")
+        kind, count = struct.unpack_from("<BI", frame.data)
+        body = frame.data[5:]
+        n_pixels = frame.width * frame.height
+        if kind == _KEY:
+            if len(body) != n_pixels * 3:
+                raise DataFormatError("key frame has wrong payload size")
+            flat = np.frombuffer(body, dtype=np.uint8).reshape(-1, 3).copy()
+        elif kind == _DELTA:
+            if self._reference_dec is None:
+                raise DataFormatError(
+                    "delta frame received before any key frame")
+            rec_dtype = np.dtype([("i", "<u4"), ("rgb", "u1", 3)])
+            if len(body) != count * rec_dtype.itemsize:
+                raise DataFormatError("delta frame has wrong payload size")
+            rec = np.frombuffer(body, dtype=rec_dtype)
+            if count and rec["i"].max() >= n_pixels:
+                raise DataFormatError("delta frame indexes out of range")
+            flat = self._reference_dec.copy()
+            flat[rec["i"]] = rec["rgb"]
+        else:
+            raise DataFormatError(f"unknown delta frame kind {kind}")
+        self._reference_dec = flat
+        return flat.reshape(frame.height, frame.width, 3)

@@ -1,0 +1,49 @@
+"""RGB565 quantization: fixed 2 bytes/pixel, lossy but bounded error.
+
+The workhorse for mid-quality wireless links — a guaranteed 1.5x reduction
+with ≤ 8 levels of rounding error per channel, decodable on a PDA with two
+shifts and a mask (the pointer-cast-friendly layout the paper's C++ client
+wants).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import Codec, EncodedFrame
+from repro.errors import DataFormatError
+from repro.render.framebuffer import FrameBuffer
+
+
+class Rgb565Codec(Codec):
+    """Lossy 16-bit quantization: fixed 2 bytes/pixel, error <= 8/channel."""
+
+    NAME = "rgb565"
+    LOSSLESS = False
+    ENCODE_SECONDS_PER_BYTE = 2.5e-8
+    DECODE_SECONDS_PER_BYTE = 2.5e-8
+
+    def _encode(self, fb: FrameBuffer) -> tuple[bytes, dict]:
+        c = fb.color.astype(np.uint16)
+        packed = (((c[..., 0] >> 3) << 11)
+                  | ((c[..., 1] >> 2) << 5)
+                  | (c[..., 2] >> 3)).astype("<u2")
+        return packed.tobytes(), {}
+
+    def _decode(self, frame: EncodedFrame) -> np.ndarray:
+        expected = frame.width * frame.height * 2
+        if len(frame.data) != expected:
+            raise DataFormatError(
+                f"RGB565 frame has {len(frame.data)} bytes, expected "
+                f"{expected}")
+        packed = np.frombuffer(frame.data, dtype="<u2").reshape(
+            frame.height, frame.width)
+        out = np.empty((frame.height, frame.width, 3), dtype=np.uint8)
+        # replicate high bits into low bits so white stays white
+        r = (packed >> 11) & 0x1F
+        g = (packed >> 5) & 0x3F
+        b = packed & 0x1F
+        out[..., 0] = ((r << 3) | (r >> 2)).astype(np.uint8)
+        out[..., 1] = ((g << 2) | (g >> 4)).astype(np.uint8)
+        out[..., 2] = ((b << 3) | (b >> 2)).astype(np.uint8)
+        return out

@@ -1,0 +1,61 @@
+"""RAVE's primary contribution: resource-aware workload distribution.
+
+The policy layer that makes the system "resource-aware":
+
+- :mod:`repro.core.capacity` — render-service capacity interrogation
+  ("available polygons per second, texture memory, support for hardware
+  assisted volume rendering");
+- :mod:`repro.core.cost` — how much capacity a set of scene nodes or tiles
+  consumes ("how much data are contained in a given set of nodes");
+- :mod:`repro.core.scheduler` — render-service selection for a client
+  request, including the refusal path;
+- :mod:`repro.core.distribution` — the two distribution modes: scene-subset
+  (dataset) distribution and framebuffer (tile) distribution;
+- :mod:`repro.core.recruitment` — UDDI-driven recruitment of render
+  services not yet connected to the data service;
+- :mod:`repro.core.migration` — load-triggered workload migration with
+  fine-grain node selection and usage smoothing;
+- :mod:`repro.core.session` — the orchestrator tying data service, render
+  services, clients and policies into a collaborative session.
+"""
+
+from repro.core.capacity import CapacityReport, RenderCapacity, interrogate
+from repro.core.cost import NodeCost, node_cost, subtree_cost, tile_cost
+from repro.core.scheduler import RenderServiceScheduler, Placement
+from repro.core.distribution import (
+    DatasetDistributor,
+    DistributionPlan,
+    FramebufferDistributor,
+    TilePlan,
+)
+from repro.core.recruitment import Recruiter, RecruitmentResult
+from repro.core.migration import (
+    LoadSample,
+    LoadTracker,
+    MigrationAction,
+    WorkloadMigrator,
+)
+from repro.core.session import CollaborativeSession
+
+__all__ = [
+    "RenderCapacity",
+    "CapacityReport",
+    "interrogate",
+    "NodeCost",
+    "node_cost",
+    "subtree_cost",
+    "tile_cost",
+    "RenderServiceScheduler",
+    "Placement",
+    "DatasetDistributor",
+    "FramebufferDistributor",
+    "DistributionPlan",
+    "TilePlan",
+    "Recruiter",
+    "RecruitmentResult",
+    "LoadSample",
+    "LoadTracker",
+    "MigrationAction",
+    "WorkloadMigrator",
+    "CollaborativeSession",
+]

@@ -1,0 +1,125 @@
+"""Node and tile cost metrics.
+
+"We will use metrics to define ... how much data are contained in a given
+set of nodes (in terms of texture memory and number of
+polygons/voxels/points).  We can then select an appropriate set of nodes or
+tiles to move in order to load balance the system."  (paper §3.2.7)
+
+:class:`NodeCost` is that vector; costs add, compare against a
+:class:`~repro.core.capacity.RenderCapacity` budget, and normalise to a
+scalar *render-load* (seconds of work per frame on a unit-rate machine) for
+the migration knapsack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.capacity import DEFAULT_TARGET_FPS, RenderCapacity
+from repro.scenegraph.nodes import SceneNode
+from repro.scenegraph.tree import SceneTree
+from repro.render.framebuffer import Tile
+
+
+@dataclass(frozen=True)
+class NodeCost:
+    """Resource demand of a node set."""
+
+    polygons: int = 0
+    points: int = 0
+    voxels: int = 0
+    texture_bytes: int = 0
+    payload_bytes: int = 0
+
+    def __add__(self, other: "NodeCost") -> "NodeCost":
+        return NodeCost(
+            polygons=self.polygons + other.polygons,
+            points=self.points + other.points,
+            voxels=self.voxels + other.voxels,
+            texture_bytes=self.texture_bytes + other.texture_bytes,
+            payload_bytes=self.payload_bytes + other.payload_bytes,
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        return (self.polygons == 0 and self.points == 0 and self.voxels == 0
+                and self.texture_bytes == 0)
+
+    def render_load(self, capacity: RenderCapacity) -> float:
+        """Seconds per frame this cost demands of the given capacity."""
+        load = 0.0
+        if self.polygons:
+            if capacity.polygons_per_second <= 0:
+                return float("inf")
+            load += self.polygons / capacity.polygons_per_second
+        if self.points:
+            if capacity.points_per_second <= 0:
+                return float("inf")
+            load += self.points / capacity.points_per_second
+        if self.voxels:
+            if capacity.voxels_per_second <= 0:
+                return float("inf")
+            load += self.voxels / capacity.voxels_per_second
+        return load
+
+    def fits(self, capacity: RenderCapacity,
+             target_fps: float = DEFAULT_TARGET_FPS,
+             committed: "NodeCost | None" = None) -> bool:
+        """Can this cost (plus already-committed work) sustain target fps?"""
+        total = self if committed is None else self + committed
+        if total.texture_bytes > capacity.texture_memory_bytes:
+            return False
+        if total.voxels and not capacity.volume_support:
+            return False
+        return total.render_load(capacity) <= 1.0 / target_fps
+
+
+def node_cost(node: SceneNode) -> NodeCost:
+    """Cost of a single node (not its children)."""
+    # Texture demand: a mesh's bound texture image, or — for volumes —
+    # the voxel payload resident as a 3-D texture on hardware volume
+    # renderers.
+    texture = node.texture_bytes
+    if node.n_voxels:
+        texture = node.payload_bytes
+    return NodeCost(
+        polygons=node.n_polygons,
+        points=node.n_points,
+        voxels=node.n_voxels,
+        texture_bytes=texture,
+        payload_bytes=node.payload_bytes,
+    )
+
+
+def subtree_cost(node: SceneNode) -> NodeCost:
+    """Aggregate cost of a node and everything below it."""
+    total = NodeCost()
+    for sub in node.iter_subtree():
+        total = total + node_cost(sub)
+    return total
+
+
+def tree_cost(tree: SceneTree) -> NodeCost:
+    return subtree_cost(tree.root)
+
+
+def tile_cost(tile: Tile, full_width: int, full_height: int,
+              scene: NodeCost) -> NodeCost:
+    """Approximate cost of rendering one tile of the scene.
+
+    Geometry processing is not reduced by tiling (every triangle is still
+    transformed), but fill work scales with tile area; RAVE's tile
+    assistance trades *fill + framebuffer transfer* for *duplicate geometry
+    work*.  We charge the full geometry plus an area-proportional share of
+    payload (the transferred framebuffer).
+    """
+    if full_width <= 0 or full_height <= 0:
+        raise ValueError("target dimensions must be positive")
+    area_fraction = tile.pixels / (full_width * full_height)
+    return NodeCost(
+        polygons=scene.polygons,
+        points=scene.points,
+        voxels=scene.voxels,
+        texture_bytes=scene.texture_bytes,
+        payload_bytes=int(scene.payload_bytes * area_fraction),
+    )

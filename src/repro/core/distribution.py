@@ -1,0 +1,317 @@
+"""The two workload-distribution modes.
+
+Paper §3.2.5: "There are two approaches to workload distribution: dataset
+distribution and framebuffer distribution."
+
+**Dataset distribution** (:class:`DatasetDistributor`): the data service
+hands each render service a subset of the scene tree (with ancestor chain
+and the client camera), each renders its subset with the shared camera,
+and the client's service depth-composites the framebuffers.  Oversized
+mesh nodes are *exploded* into spatial pieces so assignments can match
+per-service budgets at fine grain.
+
+**Framebuffer distribution** (:class:`FramebufferDistributor`): the
+requesting service splits its target framebuffer into tiles, keeps one,
+and farms the rest out to assistants, which render to off-screen buffers
+forwarded "directly to the requesting render service".  Tile areas are
+sized proportionally to each service's capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cost import NodeCost, node_cost
+from repro.errors import SceneGraphError
+from repro.render.framebuffer import Tile
+from repro.scenegraph.nodes import GroupNode, MeshNode, SceneNode, VolumeNode
+from repro.scenegraph.tree import SceneTree
+
+
+# --------------------------------------------------------------------------
+# dataset distribution
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class DistributionPlan:
+    """Which node ids go to which render service."""
+
+    #: service name → set of node ids it is responsible for
+    shares: dict[str, set[int]] = field(default_factory=dict)
+    #: service name → assigned cost
+    costs: dict[str, NodeCost] = field(default_factory=dict)
+    #: node ids created by exploding oversized meshes
+    exploded: list[int] = field(default_factory=list)
+
+    @property
+    def n_services(self) -> int:
+        return len(self.shares)
+
+    def share_of(self, service_name: str) -> set[int]:
+        return self.shares.get(service_name, set())
+
+
+def explode_mesh_node(tree: SceneTree, node_id: int,
+                      n_parts: int) -> list[int]:
+    """Replace one mesh node by a group of spatially-split sub-meshes.
+
+    Returns the new leaf node ids.  The group keeps the original node's id
+    so existing interests/assignments keep working.
+    """
+    node = tree.node(node_id)
+    if not isinstance(node, MeshNode):
+        raise SceneGraphError(f"node {node_id} is not a mesh")
+    if n_parts < 2:
+        return [node_id]
+    pieces = node.mesh.split_spatially(n_parts)
+    parent = node.parent
+    if parent is None:
+        raise SceneGraphError("cannot explode the root")
+    tree.remove(node)
+    group = GroupNode(name=f"{node.name}:exploded")
+    tree.add(group, parent=parent, node_id=node_id)
+    new_ids = []
+    for i, piece in enumerate(pieces):
+        child = MeshNode(piece, name=f"{node.name}:part{i}")
+        tree.add(child, parent=group)
+        new_ids.append(child.node_id)
+    return new_ids
+
+
+class DatasetDistributor:
+    """Plan scene-subset assignments against per-service polygon budgets."""
+
+    def __init__(self, max_grain_polygons: int = 50_000) -> None:
+        #: meshes larger than this are exploded for fine-grain assignment
+        self.max_grain_polygons = max_grain_polygons
+
+    @staticmethod
+    def _polygon_equivalent(node: SceneNode) -> int:
+        """Render weight in polygon units: points cost ~1/3 polygon each
+        (capacity quotes point throughput at 3x the triangle rate)."""
+        cost = node_cost(node)
+        return cost.polygons + -(-cost.points // 3)
+
+    def plan(self, tree: SceneTree, budgets: dict[str, float],
+             volume_hosts: set[str] | None = None) -> DistributionPlan:
+        """Assign geometry nodes to services, respecting polygon budgets.
+
+        ``budgets`` maps service name → polygon budget.  Greedy
+        largest-node-first into the service with the most remaining budget
+        (LPT scheduling); oversized meshes are exploded first so no single
+        node exceeds the largest budget or the grain limit.  Point clouds
+        weigh in at a third of a polygon per point; volume nodes are only
+        placed on services named in ``volume_hosts`` ("support for
+        hardware assisted volume rendering" is a capacity metric).
+        """
+        if not budgets:
+            raise ValueError("no services to distribute over")
+        volumes = [n for n in tree.geometry_nodes() if n.n_voxels]
+        if volumes:
+            hosts = volume_hosts if volume_hosts is not None else set()
+            missing = hosts - set(budgets)
+            if missing:
+                raise ValueError(
+                    f"volume hosts {sorted(missing)} not in budgets")
+            if not hosts:
+                raise SceneGraphError(
+                    "the scene contains volumes but no service supports "
+                    "hardware volume rendering")
+        total_budget = sum(budgets.values())
+        demand = sum(self._polygon_equivalent(n)
+                     for n in tree.geometry_nodes())
+        if demand > total_budget:
+            raise SceneGraphError(
+                f"dataset demands {demand} polygon-equivalents but "
+                f"budgets total {total_budget:.0f}")
+
+        # Grain: parts must fit the *smallest* budget, or LPT packing can
+        # strand a piece with no bin large enough.  On a packing failure
+        # (fragmentation), retry at half the grain.
+        positive = [b for b in budgets.values() if b > 0]
+        if not positive:
+            raise SceneGraphError("every service has zero budget")
+        grain = min(self.max_grain_polygons, max(min(positive), 1.0))
+        last_error: SceneGraphError | None = None
+        exploded: list[int] = []
+        for _ in range(4):
+            exploded.extend(self._explode_to_grain(tree, int(grain)))
+            plan = self._assign(tree, budgets, volume_hosts or set())
+            if plan is not None:
+                plan.exploded = exploded
+                return plan
+            last_error = SceneGraphError(
+                f"could not pack dataset at grain {grain:.0f}")
+            grain = max(1.0, grain / 2)
+        raise last_error  # pragma: no cover - needs adversarial budgets
+
+    def _explode_to_grain(self, tree: SceneTree, grain: int) -> list[int]:
+        created: list[int] = []
+        for node in list(tree.geometry_nodes()):
+            if isinstance(node, MeshNode) and node.n_polygons > grain:
+                n_parts = int(np.ceil(node.n_polygons / grain))
+                created.extend(
+                    explode_mesh_node(tree, node.node_id, n_parts))
+        return created
+
+    def _assign(self, tree: SceneTree, budgets: dict[str, float],
+                volume_hosts: set[str]) -> DistributionPlan | None:
+        """LPT packing; None when fragmentation defeats it at this grain."""
+        plan = DistributionPlan(
+            shares={name: set() for name in budgets},
+            costs={name: NodeCost() for name in budgets})
+        leaves = list(tree.geometry_nodes())
+        leaves.sort(key=lambda n: -self._polygon_equivalent(n))
+        remaining = dict(budgets)
+        for node in leaves:
+            cost = node_cost(node)
+            weight = self._polygon_equivalent(node)
+            if cost.voxels:
+                # volumes go to the volume-capable service with the most
+                # remaining budget (voxel work is fill-bound, not counted
+                # against the polygon budget)
+                candidates = {k: remaining[k] for k in volume_hosts}
+                if not candidates:
+                    return None
+                name = max(candidates, key=lambda k: candidates[k])
+            else:
+                name = max(remaining, key=lambda k: remaining[k])
+                if weight > remaining[name] + 1e-9:
+                    return None
+                remaining[name] -= weight
+            plan.shares[name].add(node.node_id)
+            plan.costs[name] = plan.costs[name] + cost
+        return plan
+
+    def subtree_for(self, tree: SceneTree, plan: DistributionPlan,
+                    service_name: str, camera=None) -> SceneTree:
+        """Extract the self-contained subtree for one service's share."""
+        ids = sorted(plan.share_of(service_name))
+        return tree.extract_subtree(ids, camera=camera)
+
+
+# --------------------------------------------------------------------------
+# framebuffer distribution
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TileAssignment:
+    tile: Tile
+    service_name: str
+    #: True for the requester's locally-rendered tile
+    local: bool
+
+
+@dataclass
+class TilePlan:
+    width: int
+    height: int
+    assignments: list[TileAssignment] = field(default_factory=list)
+
+    @property
+    def tiles(self) -> list[Tile]:
+        return [a.tile for a in self.assignments]
+
+    def tiles_of(self, service_name: str) -> list[Tile]:
+        return [a.tile for a in self.assignments
+                if a.service_name == service_name]
+
+
+class FramebufferDistributor:
+    """Split a target framebuffer into capacity-proportional column tiles.
+
+    Columns (full-height vertical strips) keep the assembly trivial and
+    match the paper's two-tile galleon demonstration; the requester always
+    takes the first strip ("a single tile is rendered locally, whilst the
+    remaining tiles are rendered remotely").
+    """
+
+    def plan(self, width: int, height: int, local_service: str,
+             assistants: dict[str, float],
+             local_share: float | None = None) -> TilePlan:
+        """``assistants`` maps service name → relative capacity weight."""
+        if width <= 0 or height <= 0:
+            raise ValueError("target size must be positive")
+        if any(w <= 0 for w in assistants.values()):
+            raise ValueError("assistant weights must be positive")
+        weights: list[tuple[str, float, bool]] = []
+        local_w = (local_share if local_share is not None
+                   else (sum(assistants.values()) / max(1, len(assistants))
+                         if assistants else 1.0))
+        weights.append((local_service, local_w, True))
+        for name, w in assistants.items():
+            weights.append((name, w, False))
+        total = sum(w for _, w, _ in weights)
+        # proportional column split with rounding correction
+        edges = [0]
+        acc = 0.0
+        for _, w, _ in weights:
+            acc += w
+            edges.append(int(round(width * acc / total)))
+        edges[-1] = width
+        plan = TilePlan(width=width, height=height)
+        for (name, _, is_local), x0, x1 in zip(weights, edges[:-1],
+                                               edges[1:]):
+            if x1 <= x0:
+                raise ValueError(
+                    f"tile for {name!r} would be empty; fewer assistants "
+                    "or a wider target needed")
+            plan.assignments.append(TileAssignment(
+                tile=Tile(x0=x0, y0=0, width=x1 - x0, height=height),
+                service_name=name, local=is_local))
+        return plan
+
+    def plan_grid(self, width: int, height: int, nx: int, ny: int,
+                  local_service: str,
+                  assistants: dict[str, float],
+                  local_share: float | None = None) -> TilePlan:
+        """An ``nx x ny`` tile grid with capacity-weighted assignment.
+
+        Finer than column strips: each service receives a number of grid
+        cells proportional to its weight (largest-remainder rounding), the
+        local service taking the first cells.  Useful when per-tile render
+        cost varies across the image (the grid averages hot spots out).
+        """
+        from repro.render.framebuffer import split_tiles
+
+        tiles = split_tiles(width, height, nx, ny)
+        weights: list[tuple[str, float, bool]] = []
+        local_w = (local_share if local_share is not None
+                   else (sum(assistants.values()) / max(1, len(assistants))
+                         if assistants else 1.0))
+        weights.append((local_service, local_w, True))
+        for name, w in assistants.items():
+            if w <= 0:
+                raise ValueError("assistant weights must be positive")
+            weights.append((name, w, False))
+        total_w = sum(w for _, w, _ in weights)
+        n_tiles = len(tiles)
+        # largest-remainder apportionment; everyone keeps >= 1 tile
+        exact = [n_tiles * w / total_w for _, w, _ in weights]
+        counts = [max(1, int(e)) for e in exact]
+        while sum(counts) > n_tiles:
+            k = max(range(len(counts)),
+                    key=lambda i: (counts[i] - exact[i], counts[i]))
+            if counts[k] <= 1:
+                raise ValueError(
+                    f"grid of {n_tiles} tiles cannot give every one of "
+                    f"{len(weights)} services a tile")
+            counts[k] -= 1
+        remainders = [(e - int(e), i) for i, e in enumerate(exact)]
+        for _, i in sorted(remainders, reverse=True):
+            if sum(counts) >= n_tiles:
+                break
+            counts[i] += 1
+
+        plan = TilePlan(width=width, height=height)
+        cursor = 0
+        for (name, _, is_local), count in zip(weights, counts):
+            for tile in tiles[cursor:cursor + count]:
+                plan.assignments.append(TileAssignment(
+                    tile=tile, service_name=name, local=is_local))
+            cursor += count
+        return plan

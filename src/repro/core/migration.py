@@ -1,0 +1,279 @@
+"""Load-triggered workload migration.
+
+Paper §3.2.7: "When a render service becomes overloaded (i.e. its rendering
+rate drops below a given threshold), it informs the data server.  The data
+server then examines available render services to find which service has
+spare capacity ... removing nodes or tiles from the overloaded service and
+adding them to an alternate service. ... When a render service is
+significantly underloaded (for a given amount of time, to smooth out spikes
+of usage), the data service again redistributes data. ... Nodes must [be]
+carefully selected to perform a fine-grain movement of work.  If an
+underloaded service has capacity for another 5k polygons/sec and still
+maintain its current interactive frame rate, we do not want to add 100k
+polygons by mistake."
+
+Implementation:
+
+- :class:`LoadTracker` — smoothed fps/utilisation history per service with
+  sustained-duration thresholds (the "smooth out spikes" requirement);
+- :class:`WorkloadMigrator` — the policy: detect overload/underload, pick a
+  peer with headroom, and choose the node set to move with a greedy
+  knapsack over per-node costs that never overshoots the receiver's
+  headroom (the fine-grain guarantee).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.capacity import DEFAULT_TARGET_FPS
+from repro.core.cost import node_cost
+
+
+@dataclass(frozen=True)
+class LoadSample:
+    time: float
+    fps: float
+    utilisation: float
+
+
+class LoadTracker:
+    """Sliding-window load history for one render service."""
+
+    def __init__(self, window_seconds: float = 10.0) -> None:
+        self.window_seconds = window_seconds
+        self._samples: deque[LoadSample] = deque()
+
+    def record(self, sample: LoadSample) -> None:
+        if self._samples and sample.time < self._samples[-1].time:
+            raise ValueError("load samples must be time-ordered")
+        self._samples.append(sample)
+        cutoff = sample.time - self.window_seconds
+        while self._samples and self._samples[0].time < cutoff:
+            self._samples.popleft()
+
+    @property
+    def n_samples(self) -> int:
+        return len(self._samples)
+
+    def smoothed_fps(self) -> float:
+        if not self._samples:
+            return float("inf")
+        return sum(s.fps for s in self._samples) / len(self._samples)
+
+    def smoothed_utilisation(self) -> float:
+        if not self._samples:
+            return 0.0
+        return (sum(s.utilisation for s in self._samples)
+                / len(self._samples))
+
+    def sustained_below_fps(self, threshold: float,
+                            duration: float) -> bool:
+        """Has fps stayed below ``threshold`` for at least ``duration``?"""
+        if not self._samples:
+            return False
+        span = self._samples[-1].time - self._samples[0].time
+        if span < duration:
+            return False
+        return all(s.fps < threshold for s in self._samples
+                   if s.time >= self._samples[-1].time - duration)
+
+    def sustained_below_utilisation(self, threshold: float,
+                                    duration: float) -> bool:
+        if not self._samples:
+            return False
+        span = self._samples[-1].time - self._samples[0].time
+        if span < duration:
+            return False
+        return all(s.utilisation < threshold for s in self._samples
+                   if s.time >= self._samples[-1].time - duration)
+
+
+@dataclass(frozen=True)
+class MigrationAction:
+    """A planned movement of work between two render services."""
+
+    source: str
+    destination: str
+    node_ids: tuple[int, ...]
+    polygons: int
+    reason: str          # "overload" | "underload"
+
+
+class WorkloadMigrator:
+    """The data service's migration policy engine."""
+
+    def __init__(self,
+                 target_fps: float = DEFAULT_TARGET_FPS,
+                 overload_fps: float = 8.0,
+                 underload_utilisation: float = 0.3,
+                 smoothing_seconds: float = 3.0) -> None:
+        self.target_fps = target_fps
+        self.overload_fps = overload_fps
+        self.underload_utilisation = underload_utilisation
+        self.smoothing_seconds = smoothing_seconds
+        self.trackers: dict[str, LoadTracker] = {}
+        self.actions: list[MigrationAction] = []
+
+    def tracker(self, service_name: str) -> LoadTracker:
+        if service_name not in self.trackers:
+            self.trackers[service_name] = LoadTracker(
+                window_seconds=max(10.0, 3 * self.smoothing_seconds))
+        return self.trackers[service_name]
+
+    def record_frame(self, service, time: float, fps: float) -> None:
+        """Feed one rendered-frame observation into the tracker."""
+        self.tracker(service.name).record(LoadSample(
+            time=time, fps=fps,
+            utilisation=service.utilisation(self.target_fps)))
+
+    # -- detection -------------------------------------------------------------
+
+    def overloaded(self, service) -> bool:
+        return self.tracker(service.name).sustained_below_fps(
+            self.overload_fps, self.smoothing_seconds)
+
+    def underloaded(self, service) -> bool:
+        t = self.tracker(service.name)
+        return (t.n_samples > 0
+                and t.sustained_below_utilisation(
+                    self.underload_utilisation, self.smoothing_seconds))
+
+    # -- node selection (the fine-grain knapsack) -------------------------------------
+
+    @staticmethod
+    def select_nodes(tree, candidate_ids: set[int], polygons_needed: float,
+                     receiver_headroom: float) -> tuple[list[int], int]:
+        """Choose nodes to move: total ≥ needed, never above headroom.
+
+        Greedy largest-first up to the need, then smallest-first to top up;
+        nodes that would overshoot the receiver's headroom are skipped —
+        the "do not want to add 100k polygons by mistake" rule.
+        Returns (node ids, polygons moved).
+        """
+        if polygons_needed <= 0:
+            return [], 0
+        costed = []
+        for nid in candidate_ids:
+            if nid not in tree:
+                continue
+            polys = node_cost(tree.node(nid)).polygons
+            if polys > 0:
+                costed.append((polys, nid))
+        if not costed:
+            return [], 0
+        # The budget tracks the need, but always admits the smallest
+        # movable node (otherwise coarse scenes could never make progress)
+        # and never exceeds what the receiver can absorb.
+        smallest = min(p for p, _ in costed)
+        budget = min(receiver_headroom,
+                     max(polygons_needed * 1.5, smallest))
+        costed.sort(reverse=True)
+        chosen: list[int] = []
+        moved = 0
+        for polys, nid in costed:
+            if moved >= polygons_needed:
+                break
+            if moved + polys > budget:
+                continue
+            chosen.append(nid)
+            moved += polys
+        return chosen, moved
+
+    # -- the rebalancing pass ------------------------------------------------------------
+
+    def plan(self, session) -> list[MigrationAction]:
+        """One policy pass over a :class:`CollaborativeSession`.
+
+        Overloaded services shed work to the peer with the most headroom
+        (recruiting via the session when nobody has spare capacity);
+        underloaded services take work from the most loaded peer.
+        """
+        actions: list[MigrationAction] = []
+        services = list(session.render_services)
+
+        for service in services:
+            if not self.overloaded(service):
+                continue
+            # work to shed: enough to get back to the target frame time
+            over = service.committed_polygons() - (
+                service.capacity().polygon_budget(self.target_fps))
+            needed = max(over,
+                         0.1 * service.capacity().polygon_budget(
+                             self.target_fps))
+            receiver = self._best_receiver(services, exclude=service)
+            if receiver is None and session.recruiter is not None:
+                recruited = session.recruit_more()
+                if recruited:
+                    services = list(session.render_services)
+                    receiver = self._best_receiver(services, exclude=service)
+            if receiver is None:
+                continue
+            action = self._move(session, service, receiver, needed,
+                                reason="overload")
+            if action is not None:
+                actions.append(action)
+
+        for service in list(services):
+            if not self.underloaded(service):
+                continue
+            donor = self._most_loaded(services, exclude=service)
+            if donor is None:
+                continue
+            headroom = self._headroom(service)
+            if headroom <= 0:
+                continue
+            action = self._move(session, donor, service,
+                                polygons_needed=headroom * 0.5,
+                                reason="underload")
+            if action is not None:
+                actions.append(action)
+
+        self.actions.extend(actions)
+        return actions
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def _headroom(self, service) -> float:
+        return max(0.0, service.capacity().polygon_budget(self.target_fps)
+                   - service.committed_polygons())
+
+    def _best_receiver(self, services, exclude):
+        candidates = [s for s in services
+                      if s is not exclude and self._headroom(s) > 0]
+        if not candidates:
+            return None
+        return max(candidates, key=self._headroom)
+
+    def _most_loaded(self, services, exclude):
+        candidates = [s for s in services if s is not exclude
+                      and s.committed_polygons() > 0]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda s: s.utilisation(self.target_fps))
+
+    def _move(self, session, source, destination, polygons_needed: float,
+              reason: str) -> MigrationAction | None:
+        share = session.share_of(source)
+        if not share:
+            return None
+        headroom = self._headroom(destination)
+        node_ids, moved = self.select_nodes(
+            session.master_tree, share, polygons_needed,
+            receiver_headroom=headroom)
+        if not node_ids and hasattr(session, "refine_share"):
+            # Monolithic nodes too big to move anywhere: explode them to a
+            # grain the receiver can absorb, then retry.
+            grain = max(1, int(headroom * 0.5))
+            if session.refine_share(source, grain):
+                share = session.share_of(source)
+                node_ids, moved = self.select_nodes(
+                    session.master_tree, share, polygons_needed,
+                    receiver_headroom=headroom)
+        if not node_ids:
+            return None
+        session.reassign_nodes(source, destination, node_ids)
+        return MigrationAction(
+            source=source.name, destination=destination.name,
+            node_ids=tuple(sorted(node_ids)), polygons=moved, reason=reason)

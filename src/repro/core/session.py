@@ -1,0 +1,348 @@
+"""The collaborative-session orchestrator.
+
+Ties the pieces into the paper's workflow: a data service hosts the scene;
+render services connect (or are recruited via UDDI); a scheduler places the
+dataset; the distributors split work; render services draw; the compositor
+merges; the migrator rebalances as load changes.  This is the top-level
+object the examples and benchmarks drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.capacity import DEFAULT_TARGET_FPS
+from repro.core.cost import tree_cost
+from repro.core.distribution import (
+    DatasetDistributor,
+    DistributionPlan,
+    FramebufferDistributor,
+    TilePlan,
+)
+from repro.core.migration import WorkloadMigrator
+from repro.core.scheduler import Placement, RenderServiceScheduler
+from repro.errors import ServiceError, SessionError
+from repro.render.camera import Camera
+from repro.render.compositor import assemble_tiles, depth_composite
+from repro.render.framebuffer import FrameBuffer
+from repro.scenegraph.nodes import CameraNode
+
+
+@dataclass
+class ServiceAttachment:
+    """A render service participating in this session."""
+
+    service: object                    # RenderService
+    render_session_id: str
+    bootstrap_seconds: float
+    share: set[int] = field(default_factory=set)
+
+
+class CollaborativeSession:
+    """One shared visualization session across the grid."""
+
+    def __init__(self, data_service, session_id: str,
+                 target_fps: float = DEFAULT_TARGET_FPS,
+                 recruiter=None,
+                 distributor: DatasetDistributor | None = None,
+                 migrator: WorkloadMigrator | None = None) -> None:
+        self.data_service = data_service
+        self.session_id = session_id
+        self.target_fps = target_fps
+        self.recruiter = recruiter
+        self.scheduler = RenderServiceScheduler(
+            data_service, target_fps=target_fps, recruiter=recruiter)
+        self.distributor = distributor or DatasetDistributor()
+        self.tile_distributor = FramebufferDistributor()
+        self.migrator = migrator or WorkloadMigrator(target_fps=target_fps)
+        self._attachments: dict[str, ServiceAttachment] = {}
+        self.placement: Placement | None = None
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def master_tree(self):
+        return self.data_service.session(self.session_id).tree
+
+    @property
+    def render_services(self) -> list:
+        return [a.service for a in self._attachments.values()]
+
+    def attachment(self, service) -> ServiceAttachment:
+        name = getattr(service, "name", service)
+        try:
+            return self._attachments[name]
+        except KeyError:
+            raise SessionError(
+                f"render service {name!r} is not attached") from None
+
+    def share_of(self, service) -> set[int]:
+        return self.attachment(service).share
+
+    # -- membership ------------------------------------------------------------------
+
+    def connect(self, render_service, subset_ids: set[int] | None = None,
+                introspective: bool = True) -> ServiceAttachment:
+        """Attach a render service (bootstrapping its scene copy)."""
+        if render_service.name in self._attachments:
+            raise SessionError(
+                f"{render_service.name!r} already attached")
+        rsession, timing = render_service.create_render_session(
+            self.data_service, self.session_id, subset_ids=subset_ids,
+            introspective=introspective)
+        attachment = ServiceAttachment(
+            service=render_service,
+            render_session_id=rsession.render_session_id,
+            bootstrap_seconds=timing.total_seconds,
+            share=set(subset_ids) if subset_ids is not None else set())
+        self._attachments[render_service.name] = attachment
+        return attachment
+
+    def disconnect(self, render_service) -> None:
+        attachment = self.attachment(render_service)
+        render_service.close_render_session(attachment.render_session_id)
+        del self._attachments[render_service.name]
+
+    def recruit_more(self) -> list:
+        """Ask UDDI for unconnected render services and attach them."""
+        if self.recruiter is None:
+            return []
+        result = self.recruiter.recruit(
+            exclude=set(self._attachments))
+        attached = []
+        for service in result.services:
+            if service.name not in self._attachments:
+                self.connect(service)
+                attached.append(service)
+        return attached
+
+    # -- placement & distribution ----------------------------------------------------------
+
+    def place_dataset(self) -> Placement:
+        """Run the scheduler over the current pool (recruiting if needed).
+
+        On a distributed placement, plans and applies the scene-subset
+        split: every service's render session is narrowed to its share and
+        the data service's interest sets follow.
+        """
+        cost = tree_cost(self.master_tree)
+        pool = self.render_services
+        if not pool and self.recruiter is not None:
+            self.recruit_more()
+            pool = self.render_services
+        if not pool:
+            raise ServiceError("no render services available or discoverable")
+        # Release this session's existing shares before interrogation —
+        # capacity already committed to *this* dataset is available for
+        # its own (re-)placement; other sessions' commitments still count.
+        for attachment in self._attachments.values():
+            attachment.share = set()
+            self._narrow(attachment.service, set())
+        placement = self.scheduler.place(cost, pool)
+        for service in placement.recruited:
+            if service.name not in self._attachments:
+                self.connect(service)
+
+        if placement.mode == "single":
+            service = placement.assignments[0].service
+            for attachment in self._attachments.values():
+                attachment.share = set()
+                self._narrow(attachment.service, set())
+            self.attachment(service).share = {
+                n.node_id for n in self.master_tree.geometry_nodes()}
+            self._narrow(service, None)
+        else:
+            # Budgets are each assignee's full headroom, not its nominal
+            # share — integer-grain packing needs the slack (the scheduler
+            # already verified the total fits).
+            budgets = {
+                a.service.name: float(a.report.headroom(self.target_fps))
+                for a in placement.assignments
+            }
+            volume_hosts = {
+                a.service.name for a in placement.assignments
+                if a.report.capacity.volume_support
+            }
+            plan = self.distributor.plan(self.master_tree, budgets,
+                                         volume_hosts=volume_hosts)
+            self.apply_distribution(plan)
+        self.placement = placement
+        return placement
+
+    def apply_distribution(self, plan: DistributionPlan) -> None:
+        for name, ids in plan.shares.items():
+            attachment = self._attachments.get(name)
+            if attachment is None:
+                raise SessionError(
+                    f"plan references unattached service {name!r}")
+            attachment.share = set(ids)
+            self._hand_off_share(attachment)
+
+    def _hand_off_share(self, attachment: ServiceAttachment) -> None:
+        """Ship a service its share as a self-contained subtree.
+
+        Needed whenever the share references nodes the service's bootstrap
+        copy predates (exploded meshes) or lacks (migration receivers).
+        """
+        service = attachment.service
+        if attachment.share:
+            subtree = self.master_tree.extract_subtree(
+                sorted(attachment.share))
+            service.assign_subset(attachment.render_session_id, subtree,
+                                  attachment.share,
+                                  from_host=self.data_service.host)
+        else:
+            service.render_session(
+                attachment.render_session_id).assigned_ids = set()
+        subscriber = self._find_subscription(service)
+        if subscriber is not None:
+            self.data_service.set_interests(
+                self.session_id, subscriber,
+                set(attachment.share) if attachment.share else set())
+
+    def _narrow(self, service, ids: set[int] | None) -> None:
+        """Restrict a service's render session + interests to its share."""
+        attachment = self.attachment(service)
+        rsession = service.render_session(attachment.render_session_id)
+        rsession.assigned_ids = set(ids) if ids is not None else None
+        subscriber = self._find_subscription(service)
+        if subscriber is not None:
+            self.data_service.set_interests(
+                self.session_id, subscriber,
+                set(ids) if ids is not None else None)
+
+    def _find_subscription(self, service) -> str | None:
+        session = self.data_service.session(self.session_id)
+        for name in session.subscribers:
+            if name.startswith(f"{service.name}/"):
+                return name
+        return None
+
+    def refine_share(self, service, grain: int) -> bool:
+        """Explode a service's oversized mesh nodes so migration can move
+        fine-grained pieces ("nodes must [be] carefully selected to perform
+        a fine-grain movement of work").  Returns True when anything split.
+        """
+        import math
+
+        from repro.core.distribution import explode_mesh_node
+        from repro.scenegraph.nodes import MeshNode
+
+        if grain < 1:
+            raise ValueError("grain must be >= 1")
+        attachment = self.attachment(service)
+        changed = False
+        for nid in list(attachment.share):
+            if nid not in self.master_tree:
+                continue
+            node = self.master_tree.node(nid)
+            if isinstance(node, MeshNode) and node.n_polygons > grain:
+                n_parts = math.ceil(node.n_polygons / grain)
+                new_ids = explode_mesh_node(self.master_tree, nid, n_parts)
+                attachment.share.discard(nid)
+                attachment.share.update(new_ids)
+                changed = True
+        if changed:
+            self._hand_off_share(attachment)
+        return changed
+
+    def reassign_nodes(self, source, destination, node_ids: list[int]
+                       ) -> None:
+        """Move responsibility for nodes between services (migration).
+
+        The receiver gets the moved nodes' geometry shipped as a subtree;
+        the donor merely narrows its assignment (its copy keeps the stale
+        geometry until the session ends, as the paper's scheme does).
+        """
+        src = self.attachment(source)
+        dst = self.attachment(destination)
+        moving = set(node_ids)
+        missing = moving - src.share
+        if missing:
+            raise SessionError(
+                f"{source.name!r} does not own nodes {sorted(missing)}")
+        src.share -= moving
+        dst.share |= moving
+        self._narrow(source, src.share)
+        self._hand_off_share(dst)
+
+    # -- rendering ---------------------------------------------------------------------------
+
+    def render_composite(self, camera: CameraNode | Camera, width: int,
+                         height: int) -> tuple[FrameBuffer, float]:
+        """Dataset-distributed frame: every share renders, depth-composite.
+
+        Returns the merged framebuffer and the simulated frame latency
+        (slowest share + framebuffer transfers to the compositing service).
+        """
+        active = [a for a in self._attachments.values() if a.share]
+        if not active:
+            raise SessionError("no service holds a share; call "
+                               "place_dataset() first")
+        clock = self.data_service.network.sim.clock
+        compositor_host = active[0].service.host
+        buffers = []
+        slowest = 0.0
+        transfer_total = 0.0
+        for attachment in active:
+            t0 = clock.now
+            fb, _ = attachment.service.render_view(
+                attachment.render_session_id, camera, width, height,
+                offscreen=True)
+            elapsed = clock.now - t0
+            slowest = max(slowest, elapsed)
+            if attachment.service.host != compositor_host:
+                transfer_total += self.data_service.network.transfer_time(
+                    attachment.service.host, compositor_host,
+                    fb.nbytes_with_depth)
+            buffers.append(fb)
+        merged = depth_composite(buffers)
+        latency = slowest + transfer_total
+        return merged, latency
+
+    def render_tiled(self, camera: CameraNode | Camera, width: int,
+                     height: int, local_service=None
+                     ) -> tuple[FrameBuffer, TilePlan, float]:
+        """Framebuffer-distributed frame across all attached services."""
+        services = self.render_services
+        if not services:
+            raise SessionError("no render services attached")
+        local = local_service or services[0]
+        assistants = {
+            s.name: s.capacity().polygons_per_second
+            for s in services if s is not local
+        }
+        plan = self.tile_distributor.plan(
+            width, height, local.name, assistants,
+            local_share=local.capacity().polygons_per_second)
+        clock = self.data_service.network.sim.clock
+        target = FrameBuffer(width, height)
+        by_name = {s.name: s for s in services}
+        tiles = []
+        slowest = 0.0
+        for assignment in plan.assignments:
+            service = by_name[assignment.service_name]
+            attachment = self.attachment(service)
+            t0 = clock.now
+            fb, _ = service.render_tile(
+                attachment.render_session_id, camera, assignment.tile,
+                width, height)
+            elapsed = clock.now - t0
+            if not assignment.local:
+                elapsed += self.data_service.network.transfer_time(
+                    service.host, local.host, fb.nbytes_with_depth)
+            slowest = max(slowest, elapsed)
+            tiles.append((assignment.tile, fb))
+        assemble_tiles(target, tiles)
+        return target, plan, slowest
+
+    # -- migration ---------------------------------------------------------------------------
+
+    def observe_frame(self, service, fps: float) -> None:
+        """Feed a frame-rate observation into the migration policy."""
+        self.migrator.record_frame(
+            service, self.data_service.network.sim.clock.now, fps)
+
+    def rebalance(self) -> list:
+        """One migration-policy pass; returns the actions taken."""
+        return self.migrator.plan(self)

@@ -1,0 +1,66 @@
+"""Dataset substrate: meshes, volumes, file formats and provenance pipelines.
+
+The paper benchmarks two polygonal models it could not redistribute (the
+Clemson skeletal hand, 0.83 M triangles / 20 MB, and the Visible-Man
+skeleton, 2.8 M triangles / 75 MB) plus two small scenes ("Galleon",
+5.5 k and "Elle", 50 k).  This subpackage regenerates equivalents:
+
+- :mod:`repro.data.meshes` — indexed triangle mesh container and statistics;
+- :mod:`repro.data.generators` — deterministic procedural generators for all
+  four named models, scalable to the paper's exact polygon counts;
+- :mod:`repro.data.ply` / :mod:`repro.data.obj` — real PLY and Wavefront OBJ
+  readers/writers (the paper converts PLY to OBJ before import);
+- :mod:`repro.data.convert` — that PLY→OBJ ingest pipeline;
+- :mod:`repro.data.volumes` + :mod:`repro.data.marching_cubes` +
+  :mod:`repro.data.decimation` — the stated provenance of the skeleton model
+  (CT volume → marching cubes → polygon decimation), implemented for real.
+"""
+
+from repro.data.meshes import Mesh, MeshStats, merge_meshes
+from repro.data.generators import (
+    elle,
+    galleon,
+    make_model,
+    skeletal_hand,
+    skeleton,
+    MODEL_REGISTRY,
+)
+from repro.data.ply import read_ply, write_ply
+from repro.data.obj import read_obj, write_obj
+from repro.data.convert import ply_to_obj
+from repro.data.volumes import VoxelVolume, visible_human_phantom
+from repro.data.marching_cubes import marching_cubes
+from repro.data.decimation import decimate
+from repro.data.textures import (
+    Texture,
+    checkerboard,
+    gradient,
+    marble,
+    planar_uv,
+)
+
+__all__ = [
+    "Mesh",
+    "MeshStats",
+    "merge_meshes",
+    "skeletal_hand",
+    "skeleton",
+    "galleon",
+    "elle",
+    "make_model",
+    "MODEL_REGISTRY",
+    "read_ply",
+    "write_ply",
+    "read_obj",
+    "write_obj",
+    "ply_to_obj",
+    "VoxelVolume",
+    "visible_human_phantom",
+    "marching_cubes",
+    "decimate",
+    "Texture",
+    "checkerboard",
+    "marble",
+    "gradient",
+    "planar_uv",
+]

@@ -1,0 +1,183 @@
+"""Iso-surface extraction (the skeleton model's stated provenance).
+
+The paper: the skeleton "was processed by marching cubes and a polygon
+decimation algorithm".  This module implements iso-surface extraction using
+the marching-tetrahedra decomposition of marching cubes: each cell is split
+into six tetrahedra, and each tetrahedron contributes 0, 1 or 2 triangles
+with vertices interpolated along its edges.  The tetrahedral variant is
+topologically unambiguous (no marching-cubes case-13 holes) and its case
+analysis is derived in code rather than from a transcribed 256-entry table.
+
+The implementation is vectorized per (tetrahedron, case) pair — at most
+6 x 14 small iterations, each operating on every matching cell at once.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.data.meshes import Mesh
+from repro.data.volumes import VoxelVolume
+
+# Cube corners indexed 0..7 with bit k of the index giving the offset along
+# axis k: corner c has offset ((c >> 0) & 1, (c >> 1) & 1, (c >> 2) & 1).
+_CORNER_OFFSETS = np.array(
+    [[(c >> 0) & 1, (c >> 1) & 1, (c >> 2) & 1] for c in range(8)],
+    dtype=np.int64,
+)
+
+# Six-tetrahedra decomposition of the cube around the main diagonal 0-7.
+# Every tetrahedron shares corners 0 and 7, walking the remaining corners
+# along faces; this tiling is conforming across neighbouring cubes.
+_TETS = np.array([
+    [0, 1, 3, 7],
+    [0, 3, 2, 7],
+    [0, 2, 6, 7],
+    [0, 6, 4, 7],
+    [0, 4, 5, 7],
+    [0, 5, 1, 7],
+], dtype=np.int64)
+
+# Tetrahedron edges as (corner a, corner b) local index pairs.
+_TET_EDGES = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+_EDGE_INDEX = {e: i for i, e in enumerate(_TET_EDGES)}
+
+
+def _case_triangles(case: int) -> list[tuple[tuple[int, int], ...]]:
+    """Triangles (as tuples of tet edges) for one inside/outside case.
+
+    ``case`` bit k set means local tet vertex k is inside (value >= iso).
+    Winding is fixed afterwards by a geometric orientation pass, so only
+    the edge sets matter here.
+    """
+    inside = [k for k in range(4) if case & (1 << k)]
+    outside = [k for k in range(4) if not case & (1 << k)]
+    if len(inside) in (0, 4):
+        return []
+
+    def edge(a: int, b: int) -> tuple[int, int]:
+        return (a, b) if (a, b) in _EDGE_INDEX else (b, a)
+
+    if len(inside) == 1:
+        i = inside[0]
+        e = [edge(i, j) for j in outside]
+        return [(e[0], e[1], e[2])]
+    if len(inside) == 3:
+        o = outside[0]
+        e = [edge(o, j) for j in inside]
+        return [(e[0], e[1], e[2])]
+    # two inside, two outside: quad split into two triangles
+    i0, i1 = inside
+    o0, o1 = outside
+    a = edge(i0, o0)
+    b = edge(i0, o1)
+    c = edge(i1, o1)
+    d = edge(i1, o0)
+    return [(a, b, c), (a, c, d)]
+
+
+_CASE_TABLE = {case: _case_triangles(case) for case in range(16)}
+
+
+def marching_cubes(volume: VoxelVolume, iso: float) -> Mesh:
+    """Extract the ``iso``-surface of a voxel volume as a triangle mesh.
+
+    Vertices land on cell edges by linear interpolation; triangles are
+    consistently wound so normals point from the inside (>= iso) region
+    outwards.
+    """
+    vals = volume.values.astype(np.float64)
+    nx, ny, nz = vals.shape
+    if min(nx, ny, nz) < 2:
+        return Mesh(np.zeros((0, 3), np.float32), np.zeros((0, 3), np.int32),
+                    name=f"{volume.name}_iso")
+
+    # Per-corner value and world-position arrays over all cells, flattened.
+    xs, ys, zs = volume.world_coords()
+    cell_idx = np.stack(np.meshgrid(
+        np.arange(nx - 1), np.arange(ny - 1), np.arange(nz - 1),
+        indexing="ij"), axis=-1).reshape(-1, 3)
+
+    corner_vals = np.empty((len(cell_idx), 8), dtype=np.float64)
+    corner_pos = np.empty((len(cell_idx), 8, 3), dtype=np.float64)
+    for c in range(8):
+        off = _CORNER_OFFSETS[c]
+        ii = cell_idx[:, 0] + off[0]
+        jj = cell_idx[:, 1] + off[1]
+        kk = cell_idx[:, 2] + off[2]
+        corner_vals[:, c] = vals[ii, jj, kk]
+        corner_pos[:, c, 0] = xs[ii]
+        corner_pos[:, c, 1] = ys[jj]
+        corner_pos[:, c, 2] = zs[kk]
+
+    # Skip cells whose value range cannot cross the iso level.
+    active = (corner_vals.min(axis=1) <= iso) & (corner_vals.max(axis=1) >= iso)
+    corner_vals = corner_vals[active]
+    corner_pos = corner_pos[active]
+
+    tri_chunks: list[np.ndarray] = []
+    for tet in _TETS:
+        tvals = corner_vals[:, tet]                    # (m, 4)
+        tpos = corner_pos[:, tet, :]                   # (m, 4, 3)
+        inside = tvals >= iso
+        case_ids = (inside * (1 << np.arange(4))).sum(axis=1)
+        for case, triangles in _CASE_TABLE.items():
+            if not triangles:
+                continue
+            mask = case_ids == case
+            if not mask.any():
+                continue
+            cv = tvals[mask]
+            cp = tpos[mask]
+
+            def interp(edge: tuple[int, int]) -> np.ndarray:
+                a, b = edge
+                va, vb = cv[:, a], cv[:, b]
+                denom = vb - va
+                t = np.where(np.abs(denom) > 1e-30, (iso - va) / denom, 0.5)
+                t = np.clip(t, 0.0, 1.0)[:, None]
+                return cp[:, a, :] * (1 - t) + cp[:, b, :] * t
+
+            inside_vertex = [k for k in range(4) if case & (1 << k)][0]
+            anchor = cp[:, inside_vertex, :]
+            for tri in triangles:
+                p0 = interp(tri[0])
+                p1 = interp(tri[1])
+                p2 = interp(tri[2])
+                # Orient so the normal points away from the inside region.
+                normal = np.cross(p1 - p0, p2 - p0)
+                centroid = (p0 + p1 + p2) / 3.0
+                flip = (normal * (centroid - anchor)).sum(axis=1) < 0
+                p1f = np.where(flip[:, None], p2, p1)
+                p2f = np.where(flip[:, None], p1, p2)
+                tri_chunks.append(
+                    np.stack([p0, p1f, p2f], axis=1).reshape(-1, 3)
+                )
+
+    if not tri_chunks:
+        return Mesh(np.zeros((0, 3), np.float32), np.zeros((0, 3), np.int32),
+                    name=f"{volume.name}_iso")
+
+    soup = np.concatenate(tri_chunks)                  # (3*t, 3) vertex soup
+    # Weld shared vertices: edge intersections are computed identically for
+    # neighbouring tets, so exact quantized dedup is safe.
+    quant = np.round(soup / 1e-7).astype(np.int64)
+    uniq, inverse = np.unique(quant, axis=0, return_inverse=True)
+    verts = np.zeros((len(uniq), 3), dtype=np.float64)
+    counts = np.bincount(inverse, minlength=len(uniq)).astype(np.float64)
+    for axis in range(3):
+        verts[:, axis] = (
+            np.bincount(inverse, weights=soup[:, axis], minlength=len(uniq))
+            / counts
+        )
+    faces = inverse.reshape(-1, 3).astype(np.int32)
+    # Drop degenerate (zero-area after welding) triangles.
+    keep = (
+        (faces[:, 0] != faces[:, 1])
+        & (faces[:, 1] != faces[:, 2])
+        & (faces[:, 0] != faces[:, 2])
+    )
+    return Mesh(verts.astype(np.float32), faces[keep],
+                name=f"{volume.name}_iso")

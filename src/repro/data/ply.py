@@ -1,0 +1,191 @@
+"""PLY (Stanford polygon format) reader and writer.
+
+The paper's models originate as PLY files from the Georgia Tech Large
+Geometric Models Archive; RAVE converts them to Wavefront OBJ before import.
+Both ``ascii 1.0`` and ``binary_little_endian 1.0`` variants are supported —
+binary is what the archives actually ship and what keeps 2.8 M-triangle
+round-trips fast (bulk ``numpy`` reads, no per-element Python loops).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.meshes import Mesh
+from repro.errors import DataFormatError
+
+_PLY_DTYPES = {
+    "char": "i1", "int8": "i1",
+    "uchar": "u1", "uint8": "u1",
+    "short": "i2", "int16": "i2",
+    "ushort": "u2", "uint16": "u2",
+    "int": "i4", "int32": "i4",
+    "uint": "u4", "uint32": "u4",
+    "float": "f4", "float32": "f4",
+    "double": "f8", "float64": "f8",
+}
+
+
+def write_ply(mesh: Mesh, path: str | Path, binary: bool = True) -> int:
+    """Write a mesh as PLY; returns the number of bytes written."""
+    path = Path(path)
+    has_color = mesh.colors is not None
+    fmt = "binary_little_endian" if binary else "ascii"
+    header_lines = [
+        "ply",
+        f"format {fmt} 1.0",
+        "comment produced by the RAVE reproduction",
+        f"element vertex {mesh.n_vertices}",
+        "property float x",
+        "property float y",
+        "property float z",
+    ]
+    if has_color:
+        header_lines += [
+            "property uchar red",
+            "property uchar green",
+            "property uchar blue",
+        ]
+    header_lines += [
+        f"element face {mesh.n_triangles}",
+        "property list uchar int vertex_indices",
+        "end_header",
+    ]
+    header = ("\n".join(header_lines) + "\n").encode("ascii")
+
+    with path.open("wb") as fh:
+        fh.write(header)
+        if binary:
+            if has_color:
+                vdt = np.dtype([("xyz", "<f4", 3), ("rgb", "u1", 3)])
+                vbuf = np.empty(mesh.n_vertices, dtype=vdt)
+                vbuf["xyz"] = mesh.vertices
+                vbuf["rgb"] = np.clip(mesh.colors * 255.0, 0, 255).astype("u1")
+            else:
+                vbuf = mesh.vertices.astype("<f4")
+            fh.write(vbuf.tobytes())
+            fdt = np.dtype([("n", "u1"), ("idx", "<i4", 3)])
+            fbuf = np.empty(mesh.n_triangles, dtype=fdt)
+            fbuf["n"] = 3
+            fbuf["idx"] = mesh.faces
+            fh.write(fbuf.tobytes())
+        else:
+            out = io.StringIO()
+            if has_color:
+                rgb = np.clip(mesh.colors * 255.0, 0, 255).astype(int)
+                for (x, y, z), (r, g, b) in zip(mesh.vertices, rgb):
+                    out.write(f"{x:g} {y:g} {z:g} {r} {g} {b}\n")
+            else:
+                for x, y, z in mesh.vertices:
+                    out.write(f"{x:g} {y:g} {z:g}\n")
+            for a, b, c in mesh.faces:
+                out.write(f"3 {a} {b} {c}\n")
+            fh.write(out.getvalue().encode("ascii"))
+    return path.stat().st_size
+
+
+def _parse_header(fh) -> tuple[str, list[tuple[str, int, list[tuple[str, str]]]]]:
+    """Parse the PLY header; returns (format, [(element, count, props)])."""
+    magic = fh.readline().strip()
+    if magic != b"ply":
+        raise DataFormatError("not a PLY file (missing 'ply' magic)")
+    fmt = None
+    elements: list[tuple[str, int, list[tuple[str, str]]]] = []
+    while True:
+        line = fh.readline()
+        if not line:
+            raise DataFormatError("PLY header truncated (no end_header)")
+        tokens = line.decode("ascii", "replace").strip().split()
+        if not tokens or tokens[0] == "comment":
+            continue
+        if tokens[0] == "format":
+            fmt = tokens[1]
+        elif tokens[0] == "element":
+            elements.append((tokens[1], int(tokens[2]), []))
+        elif tokens[0] == "property":
+            if not elements:
+                raise DataFormatError("property before element in PLY header")
+            if tokens[1] == "list":
+                elements[-1][2].append(("list", f"{tokens[2]}:{tokens[3]}"))
+            else:
+                elements[-1][2].append((tokens[2], tokens[1]))
+        elif tokens[0] == "end_header":
+            break
+    if fmt not in ("ascii", "binary_little_endian"):
+        raise DataFormatError(f"unsupported PLY format {fmt!r}")
+    return fmt, elements
+
+
+def read_ply(path: str | Path) -> Mesh:
+    """Read a PLY file (ascii or binary little-endian) into a :class:`Mesh`."""
+    path = Path(path)
+    with path.open("rb") as fh:
+        fmt, elements = _parse_header(fh)
+        vertices = None
+        colors = None
+        faces = None
+        for name, count, props in elements:
+            if name == "vertex":
+                scalar_props = [(pn, pt) for pn, pt in props if pn != "list"]
+                dtype = np.dtype([
+                    (pn, "<" + _PLY_DTYPES[pt]) for pn, pt in scalar_props
+                ])
+                if fmt == "binary_little_endian":
+                    raw = fh.read(dtype.itemsize * count)
+                    if len(raw) != dtype.itemsize * count:
+                        raise DataFormatError("PLY vertex data truncated")
+                    rec = np.frombuffer(raw, dtype=dtype)
+                else:
+                    rows = [fh.readline().split() for _ in range(count)]
+                    arr = np.array(rows, dtype=np.float64)
+                    rec_dtype = np.dtype(
+                        [(pn, "f8") for pn, _ in scalar_props])
+                    rec = np.zeros(count, dtype=rec_dtype)
+                    for i, (pn, _) in enumerate(scalar_props):
+                        rec[pn] = arr[:, i]
+                names = rec.dtype.names
+                for axis in "xyz":
+                    if axis not in names:
+                        raise DataFormatError(f"PLY vertex missing {axis!r}")
+                vertices = np.stack(
+                    [rec["x"], rec["y"], rec["z"]], axis=1
+                ).astype(np.float32)
+                if all(ch in names for ch in ("red", "green", "blue")):
+                    colors = np.stack(
+                        [rec["red"], rec["green"], rec["blue"]], axis=1
+                    ).astype(np.float32) / 255.0
+            elif name == "face":
+                if fmt == "binary_little_endian":
+                    # Fast path: assume uniform triangles (true for every
+                    # archive model the paper uses); verify as we go.
+                    list_type = next(pt for pn, pt in props if pn == "list")
+                    cnt_t, idx_t = list_type.split(":")
+                    fdt = np.dtype([
+                        ("n", _PLY_DTYPES[cnt_t]),
+                        ("idx", "<" + _PLY_DTYPES[idx_t], 3),
+                    ])
+                    raw = fh.read(fdt.itemsize * count)
+                    if len(raw) != fdt.itemsize * count:
+                        raise DataFormatError("PLY face data truncated")
+                    rec = np.frombuffer(raw, dtype=fdt)
+                    if count and not (rec["n"] == 3).all():
+                        raise DataFormatError(
+                            "non-triangular PLY faces are not supported"
+                        )
+                    faces = rec["idx"].astype(np.int32)
+                else:
+                    rows = []
+                    for _ in range(count):
+                        tok = fh.readline().split()
+                        if int(tok[0]) != 3:
+                            raise DataFormatError(
+                                "non-triangular PLY faces are not supported"
+                            )
+                        rows.append([int(tok[1]), int(tok[2]), int(tok[3])])
+                    faces = np.array(rows, dtype=np.int32).reshape(-1, 3)
+    if vertices is None or faces is None:
+        raise DataFormatError("PLY file lacks vertex or face element")
+    return Mesh(vertices, faces, colors, name=path.stem)

@@ -1,0 +1,130 @@
+"""Textures.
+
+"Texture memory" is one of RAVE's capacity metrics ("available polygons
+per second, texture memory, support for hardware assisted volume
+rendering") and one of its node-cost metrics ("in terms of texture memory
+and number of polygons/voxels/points").  This module makes that concrete:
+a :class:`Texture` is an RGB image a mesh references through per-vertex UV
+coordinates; the rasterizer samples it, the cost model counts its bytes,
+and the scheduler refuses placements that exceed a service's texture
+memory.
+
+Procedural generators (checkerboard, turbulence marble, linear gradient)
+stand in for scanned texture assets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataFormatError
+
+
+class Texture:
+    """An RGB texture image with wrap-around sampling."""
+
+    __slots__ = ("image", "name")
+
+    def __init__(self, image: np.ndarray, name: str = "texture") -> None:
+        image = np.ascontiguousarray(image, dtype=np.uint8)
+        if image.ndim != 3 or image.shape[2] != 3:
+            raise DataFormatError(
+                f"texture must be (h, w, 3) uint8; got {image.shape}")
+        if image.shape[0] < 1 or image.shape[1] < 1:
+            raise DataFormatError("texture must have at least one texel")
+        self.image = image
+        self.name = name
+
+    @property
+    def width(self) -> int:
+        return self.image.shape[1]
+
+    @property
+    def height(self) -> int:
+        return self.image.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        return self.image.nbytes
+
+    def sample(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Nearest-texel lookup with wrap addressing; u/v in [0, 1)."""
+        u = np.asarray(u, dtype=np.float64)
+        v = np.asarray(v, dtype=np.float64)
+        x = (np.floor(u * self.width).astype(np.int64)) % self.width
+        # image row 0 is the top; v grows upward in UV convention
+        y = (self.height - 1
+             - np.floor(v * self.height).astype(np.int64) % self.height)
+        return self.image[y, x].astype(np.float64)
+
+    def __repr__(self) -> str:
+        return (f"Texture(name={self.name!r}, {self.width}x{self.height}, "
+                f"{self.nbytes / 1024:.0f} kB)")
+
+
+def checkerboard(size: int = 64, squares: int = 8,
+                 color_a=(230, 230, 230), color_b=(40, 40, 60)) -> Texture:
+    """The classic UV-debugging checkerboard."""
+    if squares < 1 or size < squares:
+        raise DataFormatError("need size >= squares >= 1")
+    idx = (np.arange(size) * squares // size)
+    pattern = (idx[:, None] + idx[None, :]) % 2
+    img = np.where(pattern[..., None] == 0,
+                   np.asarray(color_a, np.uint8),
+                   np.asarray(color_b, np.uint8))
+    return Texture(img.astype(np.uint8), name=f"checker{squares}")
+
+
+def marble(size: int = 128, seed: int = 5,
+           base=(200, 195, 185), vein=(90, 80, 110)) -> Texture:
+    """Turbulence-based marble (sum of octave noise through a sine)."""
+    rng = np.random.default_rng(seed)
+    noise = np.zeros((size, size))
+    for octave in range(1, 5):
+        freq = 2 ** octave
+        grid = rng.random((freq + 1, freq + 1))
+        ix = np.linspace(0, freq, size)
+        x0 = np.clip(ix.astype(int), 0, freq - 1)
+        fx = ix - x0
+        # bilinear upsample of the octave grid
+        row = (grid[x0][:, x0] * (1 - fx)[None, :]
+               + grid[x0][:, x0 + 1] * fx[None, :])
+        row2 = (grid[x0 + 1][:, x0] * (1 - fx)[None, :]
+                + grid[x0 + 1][:, x0 + 1] * fx[None, :])
+        noise += (row * (1 - fx)[:, None] + row2 * fx[:, None]) / freq
+    xs = np.linspace(0, 4 * np.pi, size)
+    stripes = np.sin(xs[None, :] + noise * 12.0) * 0.5 + 0.5
+    base_arr = np.asarray(base, np.float64)
+    vein_arr = np.asarray(vein, np.float64)
+    img = (stripes[..., None] * base_arr
+           + (1 - stripes[..., None]) * vein_arr)
+    return Texture(np.clip(img, 0, 255).astype(np.uint8), name="marble")
+
+
+def gradient(size: int = 64, start=(255, 60, 40),
+             end=(30, 70, 255), axis: int = 1) -> Texture:
+    """Linear two-color gradient along an axis (0 = vertical)."""
+    t = np.linspace(0.0, 1.0, size)
+    ramp = (np.outer(1 - t, np.asarray(start, np.float64))
+            + np.outer(t, np.asarray(end, np.float64)))
+    if axis == 1:
+        img = np.broadcast_to(ramp[None, :, :], (size, size, 3))
+    else:
+        img = np.broadcast_to(ramp[:, None, :], (size, size, 3))
+    return Texture(np.ascontiguousarray(img).astype(np.uint8),
+                   name="gradient")
+
+
+def planar_uv(vertices: np.ndarray, axis_u: int = 0,
+              axis_v: int = 1) -> np.ndarray:
+    """Planar-projected UVs normalised to the mesh's bounding box."""
+    v = np.asarray(vertices, dtype=np.float64)
+    if v.ndim != 2 or v.shape[1] != 3:
+        raise DataFormatError(f"vertices must be (n, 3); got {v.shape}")
+    uv = np.empty((len(v), 2), dtype=np.float32)
+    for col, axis in enumerate((axis_u, axis_v)):
+        lo = v[:, axis].min() if len(v) else 0.0
+        hi = v[:, axis].max() if len(v) else 1.0
+        span = (hi - lo) or 1.0
+        uv[:, col] = ((v[:, axis] - lo) / span).astype(np.float32)
+    return np.clip(uv, 0.0, 0.999999)

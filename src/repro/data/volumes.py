@@ -1,0 +1,156 @@
+"""Voxel volumes.
+
+The paper's skeleton model "is taken from the Visible Man project ...
+processed by marching cubes and a polygon decimation algorithm", and its
+future-work section extends RAVE to voxel rendering with back-to-front
+blended volume subsets (à la Visapult).  :class:`VoxelVolume` is the
+container both paths use, and :func:`visible_human_phantom` synthesizes a
+CT-like density volume whose iso-surface is a recognisable long-bone/torso
+phantom — the closest redistributable equivalent of the Visible Man data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataFormatError
+
+
+@dataclass(frozen=True)
+class VolumeStats:
+    shape: tuple[int, int, int]
+    spacing: tuple[float, float, float]
+    vmin: float
+    vmax: float
+    byte_size: int
+
+
+class VoxelVolume:
+    """A scalar voxel grid with physical spacing.
+
+    Values are float32; ``spacing`` gives the voxel pitch so the iso-surface
+    comes out in world units.
+    """
+
+    __slots__ = ("values", "spacing", "origin", "name")
+
+    def __init__(self, values: np.ndarray,
+                 spacing=(1.0, 1.0, 1.0),
+                 origin=(0.0, 0.0, 0.0),
+                 name: str = "volume") -> None:
+        values = np.ascontiguousarray(values, dtype=np.float32)
+        if values.ndim != 3:
+            raise DataFormatError(f"volume must be 3-D; got shape {values.shape}")
+        self.values = values
+        self.spacing = tuple(float(s) for s in spacing)
+        self.origin = tuple(float(o) for o in origin)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return self.values.shape  # type: ignore[return-value]
+
+    @property
+    def byte_size(self) -> int:
+        return self.values.nbytes
+
+    def stats(self) -> VolumeStats:
+        return VolumeStats(
+            shape=self.shape,
+            spacing=self.spacing,
+            vmin=float(self.values.min()),
+            vmax=float(self.values.max()),
+            byte_size=self.byte_size,
+        )
+
+    def world_coords(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-axis world coordinates of voxel centers."""
+        return tuple(
+            self.origin[a] + self.spacing[a] * np.arange(self.shape[a])
+            for a in range(3)
+        )  # type: ignore[return-value]
+
+    def split_slabs(self, n_parts: int, axis: int = 2) -> list["VoxelVolume"]:
+        """Split into contiguous slabs along ``axis``.
+
+        This is the volume analogue of :meth:`Mesh.split_spatially`; slabs
+        carry correct ``origin`` offsets so back-to-front blending of their
+        independently-rendered images reconstructs the full volume (the
+        Visapult scheme the paper's future work adopts).
+        """
+        if not 1 <= n_parts <= self.shape[axis]:
+            raise ValueError(
+                f"n_parts must be in [1, {self.shape[axis]}]; got {n_parts}"
+            )
+        pieces = []
+        bounds = np.linspace(0, self.shape[axis], n_parts + 1).astype(int)
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            index = [slice(None)] * 3
+            index[axis] = slice(lo, hi)
+            origin = list(self.origin)
+            origin[axis] += self.spacing[axis] * lo
+            pieces.append(VoxelVolume(
+                self.values[tuple(index)], self.spacing, tuple(origin),
+                name=f"{self.name}[{lo}:{hi}@{axis}]",
+            ))
+        return pieces
+
+
+def _capsule_density(grid: tuple[np.ndarray, np.ndarray, np.ndarray],
+                     p0, p1, radius: float) -> np.ndarray:
+    """Soft density of a capsule (cylinder with spherical caps)."""
+    X, Y, Z = grid
+    p0 = np.asarray(p0, dtype=np.float64)
+    p1 = np.asarray(p1, dtype=np.float64)
+    d = p1 - p0
+    len2 = float(d @ d) or 1e-12
+    # Projection parameter of each voxel onto the segment, clamped
+    t = ((X - p0[0]) * d[0] + (Y - p0[1]) * d[1] + (Z - p0[2]) * d[2]) / len2
+    t = np.clip(t, 0.0, 1.0)
+    cx = p0[0] + t * d[0]
+    cy = p0[1] + t * d[1]
+    cz = p0[2] + t * d[2]
+    dist2 = (X - cx) ** 2 + (Y - cy) ** 2 + (Z - cz) ** 2
+    return np.exp(-dist2 / (2.0 * (radius / 2.0) ** 2))
+
+
+def visible_human_phantom(resolution: int = 64) -> VoxelVolume:
+    """Synthetic CT-like torso phantom (bone-density structures in soft tissue).
+
+    The density field contains a spine (bright capsule chain), rib-like
+    arcs, and two femur heads, embedded in low-density tissue with smooth
+    falloff — enough anatomy that marching cubes + decimation reproduces
+    the paper's skeleton-provenance pipeline end to end.
+    """
+    if resolution < 8:
+        raise ValueError("resolution must be >= 8")
+    n = resolution
+    lin = np.linspace(-1.0, 1.0, n)
+    X, Y, Z = np.meshgrid(lin, lin, lin, indexing="ij")
+    grid = (X, Y, Z)
+
+    density = 0.08 * np.exp(-(X ** 2 + Y ** 2) / 0.8)  # soft tissue halo
+
+    # spine: chain of capsules along z
+    zs = np.linspace(-0.85, 0.85, 9)
+    for z0, z1 in zip(zs[:-1], zs[1:]):
+        density += 0.9 * _capsule_density(grid, (0, 0.25, z0), (0, 0.25, z1),
+                                          0.14)
+    # ribs: arcs in x/y at several heights
+    theta = np.linspace(0.25 * np.pi, 0.75 * np.pi, 5)
+    for zr in np.linspace(0.1, 0.7, 4):
+        for t0, t1 in zip(theta[:-1], theta[1:]):
+            for side in (-1.0, 1.0):
+                a = (side * 0.6 * np.cos(t0), 0.25 - 0.55 * np.sin(t0), zr)
+                b = (side * 0.6 * np.cos(t1), 0.25 - 0.55 * np.sin(t1), zr)
+                density += 0.55 * _capsule_density(grid, a, b, 0.07)
+    # femur heads
+    for side in (-1.0, 1.0):
+        density += 0.8 * _capsule_density(
+            grid, (side * 0.3, 0.0, -0.75), (side * 0.35, 0.0, -0.95), 0.12)
+
+    spacing = 2.0 / (n - 1)
+    return VoxelVolume(density, spacing=(spacing,) * 3,
+                       origin=(-1.0, -1.0, -1.0), name="visible_human_phantom")

@@ -1,0 +1,10 @@
+"""Hardware profiles of the paper's testbed (§4.4)."""
+
+from repro.hardware.profiles import (
+    MachineProfile,
+    PdaClientProfile,
+    TESTBED,
+    get_profile,
+)
+
+__all__ = ["MachineProfile", "PdaClientProfile", "TESTBED", "get_profile"]

@@ -1,0 +1,252 @@
+"""Machine profiles for the paper's testbed.
+
+§4.4: "Our resources are an SGI Onyx 3000 with 32 CPUs and three Infinite
+Reality graphics pipelines, a Sun Microsystems Inc. V880z with XVR4000, an
+Intel Centrino 1.6GHz laptop with nVidia GeForce2 420 Go graphics, a dual
+2.4GHz Xeon desktop with nVidia FX3000G graphics, an AMD Athlon 1.2GHz
+desktop with nVidia GeForce2 GTS, and a Sharp Zaurus PDA."
+
+Each profile holds the parameters of the render-engine timing model (see
+:mod:`repro.render.engine`):
+
+- on-screen frame time ``T = frame_setup + polys / polygon_rate +
+  pixels / fill_rate``;
+- hardware off-screen adds ``offscreen_fixed + pixels *
+  offscreen_pixel_cost`` (Java3D's render-request/poll/copy path), an
+  overhead that *overlaps* across interleaved outstanding requests;
+- machines whose Java3D off-screen path falls back to software rendering
+  (the paper suspects this of the XVR-4000: "possibly indicate off-screen
+  rendering is carried out in software") instead re-render at
+  ``software_polygon_rate`` / ``software_fill_rate``.
+
+Calibration provenance (constants below are FIT to the paper, not read by
+policy code):
+
+- Centrino/GeForce2-420Go polygon rate: Table 2 render times (0.091 s for
+  0.83 M polys, 0.355 s for 2.8 M) bracket 7.5-9.1 M polys/s → 8.4e6.
+- Centrino off-screen overhead: solving Table 3/4's Elle+Galleon
+  percentage pairs for ``C = K + pixels*k`` gives K ≈ 2.9 ms,
+  k ≈ 57 ns/pixel (consistent across 400² and 200² within the paper's
+  measurement noise).
+- Athlon/GTS: same procedure on its column → K ≈ 3.8 ms, k ≈ 23 ns/pixel,
+  polygon rate 11e6.
+- V880z/XVR-4000: Table 3's 3 % for Elle implies a ~0.45 M polys/s
+  software path (the Galleon cell is not consistent with any single
+  rate — recorded as a deviation in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachineProfile:
+    """Render/CPU capability description of one testbed machine."""
+
+    name: str
+    description: str
+    #: CPU speed relative to the Centrino 1.6 GHz reference (marshalling etc.)
+    cpu_factor: float
+    #: sustained triangles/second through Java3D on-screen
+    polygon_rate: float
+    #: pixels/second fill
+    fill_rate: float
+    #: fixed per-frame setup seconds
+    frame_setup: float
+    #: texture memory in bytes (a capacity metric the data service queries)
+    texture_memory: int
+    #: hardware-assisted volume rendering available
+    volume_support: bool
+    #: number of independent graphics pipes (Onyx has 3)
+    graphics_pipes: int = 1
+    #: off-screen path: "hardware" or "software"
+    offscreen_mode: str = "hardware"
+    #: fixed off-screen overhead per frame (hardware mode), seconds
+    offscreen_fixed: float = 0.0
+    #: off-screen overhead per pixel (buffer create/copy/readback), seconds
+    offscreen_pixel_cost: float = 0.0
+    #: non-overlappable fraction of the off-screen overhead when interleaved
+    offscreen_serial_fraction: float = 0.0
+    #: software-fallback rates (used when offscreen_mode == "software")
+    software_polygon_rate: float = 0.0
+    software_fill_rate: float = 0.0
+    software_frame_setup: float = 0.0
+    #: display refresh (on-screen frame rate ceiling), Hz
+    refresh_hz: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cpu_factor <= 0:
+            raise ValueError(f"{self.name}: cpu_factor must be positive")
+        if self.offscreen_mode not in ("hardware", "software", "none"):
+            raise ValueError(
+                f"{self.name}: bad offscreen_mode {self.offscreen_mode!r}")
+        if (self.offscreen_mode == "software"
+                and self.software_polygon_rate <= 0):
+            raise ValueError(
+                f"{self.name}: software offscreen needs software rates")
+
+    @property
+    def can_render(self) -> bool:
+        return self.polygon_rate > 0
+
+
+@dataclass(frozen=True)
+class PdaClientProfile:
+    """Thin-client device profile (the Sharp Zaurus).
+
+    The paper's J2ME finding: sending an image "manually (by sending each
+    pixel one at a time ...) took over two minutes to send a single frame",
+    while the C/C++ client casting the byte array into the image format
+    takes "approximately 0.2s to receive and blit" — of which transfer is
+    ~0.19 s, so the blit itself is tens of milliseconds.
+    """
+
+    name: str
+    display_width: int
+    display_height: int
+    #: per-pixel Java (J2ME boxed) image conversion, seconds/pixel
+    j2me_seconds_per_pixel: float
+    #: C/C++ pointer-cast blit, seconds/byte (effectively memcpy + paint)
+    cpp_seconds_per_byte: float
+    #: fixed GUI/present overhead per frame, seconds
+    present_fixed: float
+
+    def blit_seconds(self, width: int, height: int,
+                     path: str = "cpp") -> float:
+        """Client-side time to convert+paint one RGB frame."""
+        pixels = width * height
+        if path == "cpp":
+            return self.present_fixed + pixels * 3 * self.cpp_seconds_per_byte
+        if path == "j2me":
+            return self.present_fixed + pixels * self.j2me_seconds_per_pixel
+        raise ValueError(f"unknown blit path {path!r}")
+
+
+#: the six testbed machines (+ a generic immersive display host)
+TESTBED: dict[str, MachineProfile] = {
+    "onyx": MachineProfile(
+        name="onyx",
+        description="SGI Onyx 3000, 32 CPUs, 3x InfiniteReality pipes",
+        cpu_factor=0.8,
+        polygon_rate=13e6,
+        fill_rate=2.6e9,
+        frame_setup=5e-4,
+        texture_memory=1024 * 2**20,
+        volume_support=True,
+        graphics_pipes=3,
+        offscreen_mode="hardware",
+        offscreen_fixed=2.0e-3,
+        offscreen_pixel_cost=40e-9,
+        refresh_hz=72.0,
+    ),
+    "v880z": MachineProfile(
+        name="v880z",
+        description="Sun Fire V880z, UltraSPARC III 900 MHz, XVR-4000",
+        cpu_factor=0.75,
+        polygon_rate=15e6,
+        fill_rate=2.0e9,
+        frame_setup=4e-4,
+        texture_memory=256 * 2**20,
+        volume_support=True,
+        offscreen_mode="software",   # the paper's suspected Java3D fallback
+        offscreen_pixel_cost=60e-9,
+        software_polygon_rate=0.45e6,
+        software_fill_rate=30e6,
+        software_frame_setup=1.5e-3,
+        refresh_hz=76.0,
+    ),
+    "centrino": MachineProfile(
+        name="centrino",
+        description="Intel Centrino 1.6 GHz laptop, GeForce2 420 Go",
+        cpu_factor=1.0,
+        polygon_rate=8.4e6,
+        fill_rate=1.2e9,
+        frame_setup=4.05e-4,
+        texture_memory=32 * 2**20,
+        volume_support=False,
+        offscreen_mode="hardware",
+        offscreen_fixed=2.95e-3,
+        offscreen_pixel_cost=57e-9,
+        refresh_hz=60.0,
+    ),
+    "xeon": MachineProfile(
+        name="xeon",
+        description="Dual 2.4 GHz Xeon desktop, nVidia FX3000G",
+        cpu_factor=1.5,
+        polygon_rate=40e6,
+        fill_rate=3.2e9,
+        frame_setup=3e-4,
+        texture_memory=256 * 2**20,
+        volume_support=True,
+        offscreen_mode="hardware",
+        offscreen_fixed=1.8e-3,
+        offscreen_pixel_cost=20e-9,
+        refresh_hz=85.0,
+    ),
+    "athlon": MachineProfile(
+        name="athlon",
+        description="AMD Athlon 1.2 GHz desktop, GeForce2 GTS",
+        cpu_factor=0.75,
+        polygon_rate=11e6,
+        fill_rate=1.6e9,
+        frame_setup=3.5e-4,
+        texture_memory=32 * 2**20,
+        volume_support=False,
+        offscreen_mode="hardware",
+        offscreen_fixed=3.8e-3,
+        offscreen_pixel_cost=23e-9,
+        refresh_hz=75.0,
+    ),
+    "zaurus": MachineProfile(
+        name="zaurus",
+        description="Sharp Zaurus PDA (Linux), thin client only",
+        cpu_factor=0.05,
+        polygon_rate=0.0,
+        fill_rate=0.0,
+        frame_setup=0.0,
+        texture_memory=0,
+        volume_support=False,
+        offscreen_mode="none",
+    ),
+    "workwall": MachineProfile(
+        name="workwall",
+        description="FakeSpace Portico rear-projection stereo Workwall host",
+        cpu_factor=1.2,
+        polygon_rate=26e6,
+        fill_rate=3.0e9,
+        frame_setup=4e-4,
+        texture_memory=256 * 2**20,
+        volume_support=True,
+        graphics_pipes=2,
+        offscreen_mode="hardware",
+        offscreen_fixed=2.2e-3,
+        offscreen_pixel_cost=30e-9,
+        refresh_hz=96.0,
+    ),
+}
+
+#: the Zaurus client-side profile
+ZAURUS_CLIENT = PdaClientProfile(
+    name="zaurus",
+    display_width=640,
+    display_height=480,
+    # >2 minutes for a 200x200 image → ≈ 3.1 ms/pixel through boxed J2ME IO
+    j2me_seconds_per_pixel=3.1e-3,
+    # 0.2 s receive+blit at ~0.19 s transfer → ~10 ms blit for 120 kB
+    cpp_seconds_per_byte=8.5e-8,
+    # Table 2's "other overheads" residual (47-49 ms) minus the SOAP
+    # request and the cast-blit is ~35 ms of GUI event/paint work on the
+    # 206 MHz StrongARM — charged as the fixed present cost
+    present_fixed=3.4e-2,
+)
+
+
+def get_profile(name: str) -> MachineProfile:
+    """Look up a testbed machine profile by name."""
+    try:
+        return TESTBED[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine {name!r}; testbed: {sorted(TESTBED)}"
+        ) from None

@@ -1,0 +1,40 @@
+"""Simulated network substrate.
+
+The paper ran over 100 Mbit switched ethernet and an 11 Mbit/s 802.11b
+wireless LAN.  This subpackage provides a deterministic, discrete-event
+replacement for that infrastructure:
+
+- :mod:`repro.network.clock` — simulated time source and event scheduler;
+- :mod:`repro.network.simnet` — hosts, links (wired and shared wireless),
+  routing, unicast/multicast transfers with per-transfer accounting;
+- :mod:`repro.network.transport` — message channels: raw binary sockets vs
+  SOAP-over-HTTP, including marshalling cost models;
+- :mod:`repro.network.marshalling` — the Java-style introspection marshaller
+  the paper identifies as its bootstrap bottleneck, and the fast binary
+  path RAVE uses after "backing off from SOAP".
+"""
+
+from repro.network.clock import SimClock, Simulator
+from repro.network.simnet import Host, Link, Network, TransferRecord, WirelessCell
+from repro.network.transport import BinaryChannel, Channel, SoapChannel
+from repro.network.marshalling import (
+    BinaryMarshaller,
+    IntrospectionMarshaller,
+    MarshalResult,
+)
+
+__all__ = [
+    "SimClock",
+    "Simulator",
+    "Host",
+    "Link",
+    "Network",
+    "TransferRecord",
+    "WirelessCell",
+    "Channel",
+    "BinaryChannel",
+    "SoapChannel",
+    "BinaryMarshaller",
+    "IntrospectionMarshaller",
+    "MarshalResult",
+]

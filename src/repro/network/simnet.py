@@ -1,0 +1,296 @@
+"""Discrete-event network simulator.
+
+Replaces the paper's physical testbed network: 100 Mbit switched ethernet
+between the workstations/servers, and an 11 Mbit/s 802.11b wireless cell for
+the PDA whose *effective* bandwidth depends on signal quality and sharing
+("bandwidth is shared between other network users, and is proportional to
+signal quality").
+
+Model choices (documented limitations, adequate for the paper's shapes):
+
+- store-and-forward per link; transfer time on a link is
+  ``latency + bytes * 8 / effective_bandwidth``;
+- contention uses the link's in-flight transfer count *at transfer start*
+  (fluid-flow rate re-negotiation mid-transfer is not modelled);
+- 802.11b MAC efficiency defaults to 0.44, matching both real 11 Mbit
+  deployments (~4.8 Mbit/s goodput) and the paper's own measurement
+  (120 kB frame in ~0.2 s);
+- multicast sends the payload once on shared upstream links and fans out
+  per-receiver downstream (the data service's "bandwidth-saving" update
+  distribution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.errors import NetworkError
+from repro.network.clock import Simulator
+
+
+@dataclass
+class Host:
+    """A machine on the network."""
+
+    name: str
+    #: optional machine-profile key (see repro.hardware.profiles)
+    profile: str = ""
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+@dataclass
+class Link:
+    """A directed-capacity, bidirectional network segment."""
+
+    a: str
+    b: str
+    bandwidth_bps: float
+    latency_s: float
+    kind: str = "ethernet"
+    #: live signal quality in (0, 1]; only meaningful for wireless links
+    signal_quality: float = 1.0
+    #: MAC-layer efficiency (goodput / nominal); 802.11b ≈ 0.44
+    mac_efficiency: float = 1.0
+    #: number of transfers currently using this link
+    active: int = 0
+    up: bool = True
+
+    def effective_bandwidth(self, extra_flows: int = 1) -> float:
+        """Per-transfer goodput for a *new* transfer, in bits/second.
+
+        ``extra_flows`` is how many flows the caller is about to add (the
+        hypothetical transfer itself by default); ``active`` counts flows
+        already in flight.
+        """
+        if not self.up:
+            return 0.0
+        share = max(1, self.active + extra_flows)
+        return (self.bandwidth_bps * self.mac_efficiency
+                * self.signal_quality / share)
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.a, self.b) if self.a <= self.b else (self.b, self.a)
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """Accounting entry for one completed (or scheduled) transfer."""
+
+    src: str
+    dst: str
+    nbytes: int
+    start: float
+    duration: float
+    path: tuple[str, ...]
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    @property
+    def goodput_bps(self) -> float:
+        return self.nbytes * 8.0 / self.duration if self.duration > 0 else 0.0
+
+
+class WirelessCell:
+    """A shared 802.11b cell: every member reaches the access point over the
+    same medium, so their links share one contention domain."""
+
+    def __init__(self, network: "Network", access_point: str,
+                 nominal_bps: float = 11e6, mac_efficiency: float = 0.44,
+                 latency_s: float = 0.004) -> None:
+        self.network = network
+        self.access_point = access_point
+        self.nominal_bps = nominal_bps
+        self.mac_efficiency = mac_efficiency
+        self.latency_s = latency_s
+        self.members: list[str] = []
+
+    def join(self, host: str, signal_quality: float = 1.0) -> Link:
+        link = self.network.add_link(
+            host, self.access_point, self.nominal_bps, self.latency_s,
+            kind="wireless", signal_quality=signal_quality,
+            mac_efficiency=self.mac_efficiency)
+        self.members.append(host)
+        return link
+
+    def set_signal_quality(self, host: str, quality: float) -> None:
+        """Degrade/restore a member's signal (user walks away from the AP)."""
+        if not 0.0 < quality <= 1.0:
+            raise ValueError("signal quality must be in (0, 1]")
+        self.network.link_between(host, self.access_point).signal_quality = \
+            quality
+
+
+class Network:
+    """Hosts + links + routing + transfer scheduling."""
+
+    def __init__(self, simulator: Simulator | None = None) -> None:
+        self.sim = simulator if simulator is not None else Simulator()
+        self.hosts: dict[str, Host] = {}
+        self._links: dict[tuple[str, str], Link] = {}
+        self._graph = nx.Graph()
+        self.transfers: list[TransferRecord] = []
+
+    # -- topology ---------------------------------------------------------------
+
+    def add_host(self, name: str, profile: str = "") -> Host:
+        if name in self.hosts:
+            raise NetworkError(f"host {name!r} already exists")
+        host = Host(name=name, profile=profile)
+        self.hosts[name] = host
+        self._graph.add_node(name)
+        return host
+
+    def add_link(self, a: str, b: str, bandwidth_bps: float,
+                 latency_s: float, kind: str = "ethernet",
+                 signal_quality: float = 1.0,
+                 mac_efficiency: float = 1.0) -> Link:
+        for h in (a, b):
+            if h not in self.hosts:
+                raise NetworkError(f"unknown host {h!r}")
+        if bandwidth_bps <= 0:
+            raise NetworkError("bandwidth must be positive")
+        link = Link(a=a, b=b, bandwidth_bps=bandwidth_bps,
+                    latency_s=latency_s, kind=kind,
+                    signal_quality=signal_quality,
+                    mac_efficiency=mac_efficiency)
+        if link.key in self._links:
+            raise NetworkError(f"link {a!r}-{b!r} already exists")
+        self._links[link.key] = link
+        self._graph.add_edge(a, b, latency=latency_s)
+        return link
+
+    def add_ethernet_segment(self, hosts: list[str], switch: str,
+                             bandwidth_bps: float = 100e6,
+                             latency_s: float = 0.0002) -> None:
+        """Star topology through a named switch (the testbed's 100 Mbit LAN)."""
+        if switch not in self.hosts:
+            self.add_host(switch)
+        for h in hosts:
+            self.add_link(h, switch, bandwidth_bps, latency_s)
+
+    def link_between(self, a: str, b: str) -> Link:
+        key = (a, b) if a <= b else (b, a)
+        try:
+            return self._links[key]
+        except KeyError:
+            raise NetworkError(f"no link between {a!r} and {b!r}") from None
+
+    def set_link_up(self, a: str, b: str, up: bool) -> None:
+        self.link_between(a, b).up = up
+
+    def path(self, src: str, dst: str) -> list[str]:
+        for h in (src, dst):
+            if h not in self.hosts:
+                raise NetworkError(f"unknown host {h!r}")
+        try:
+            # Route around downed links.
+            usable = nx.Graph(
+                (a, b, d) for a, b, d in self._graph.edges(data=True)
+                if self._links[(a, b) if a <= b else (b, a)].up
+            )
+            usable.add_nodes_from(self._graph.nodes)
+            return nx.shortest_path(usable, src, dst, weight="latency")
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            raise NetworkError(f"no route from {src!r} to {dst!r}") from None
+
+    def path_links(self, src: str, dst: str) -> list[Link]:
+        nodes = self.path(src, dst)
+        return [self.link_between(a, b) for a, b in zip(nodes[:-1], nodes[1:])]
+
+    # -- analytic transfer times ---------------------------------------------------
+
+    def transfer_time(self, src: str, dst: str, nbytes: int) -> float:
+        """Store-and-forward time using *current* contention and signal."""
+        if src == dst:
+            return 0.0
+        if nbytes < 0:
+            raise NetworkError("nbytes must be non-negative")
+        total = 0.0
+        for link in self.path_links(src, dst):
+            bw = link.effective_bandwidth()
+            if bw <= 0:
+                raise NetworkError(
+                    f"link {link.a!r}-{link.b!r} is down")
+            total += link.latency_s + nbytes * 8.0 / bw
+        return total
+
+    def round_trip_time(self, src: str, dst: str,
+                        request_bytes: int = 512,
+                        response_bytes: int = 512) -> float:
+        return (self.transfer_time(src, dst, request_bytes)
+                + self.transfer_time(dst, src, response_bytes))
+
+    # -- scheduled transfers (contention-aware) --------------------------------------
+
+    def send(self, src: str, dst: str, nbytes: int,
+             on_complete=None) -> TransferRecord:
+        """Schedule a transfer in the simulator; links stay busy for its span.
+
+        Effective bandwidth is sampled at start (fluid re-negotiation is not
+        modelled); concurrent transfers therefore slow each other only if
+        already in flight when a new one begins.
+        """
+        links = self.path_links(src, dst) if src != dst else []
+        # Rate is sampled before this transfer joins the links (the
+        # transfer itself counts via effective_bandwidth's extra flow).
+        duration = self.transfer_time(src, dst, nbytes) if links else 0.0
+        for link in links:
+            link.active += 1
+        record = TransferRecord(src=src, dst=dst, nbytes=nbytes,
+                                start=self.sim.now, duration=duration,
+                                path=tuple(self.path(src, dst)))
+        self.transfers.append(record)
+
+        def finish() -> None:
+            for link in links:
+                link.active -= 1
+            if on_complete is not None:
+                on_complete(record)
+
+        self.sim.schedule(duration, finish)
+        return record
+
+    def multicast_times(self, src: str, dsts: list[str],
+                        nbytes: int) -> dict[str, float]:
+        """Per-destination completion time for one multicast payload.
+
+        Links shared by several receivers carry the payload once: each
+        link's serialisation cost is charged once per multicast, then each
+        receiver accumulates the latency+serialisation of the links on its
+        own path, with shared prefixes not double-charged.
+        """
+        charged: set[tuple[str, str]] = set()
+        times: dict[str, float] = {}
+        for dst in dsts:
+            if dst == src:
+                times[dst] = 0.0
+                continue
+            t = 0.0
+            for link in self.path_links(src, dst):
+                if link.key in charged:
+                    t += link.latency_s  # payload already on this segment
+                else:
+                    bw = link.effective_bandwidth()
+                    if bw <= 0:
+                        raise NetworkError(
+                            f"link {link.a!r}-{link.b!r} is down")
+                    t += link.latency_s + nbytes * 8.0 / bw
+                    charged.add(link.key)
+            times[dst] = t
+        return times
+
+    # -- accounting -------------------------------------------------------------------
+
+    def bytes_moved(self) -> int:
+        return sum(t.nbytes for t in self.transfers)
+
+    def __repr__(self) -> str:
+        return (f"Network(hosts={len(self.hosts)}, links={len(self._links)}, "
+                f"transfers={len(self.transfers)})")

@@ -1,0 +1,170 @@
+"""Message channels over the simulated network.
+
+RAVE's two-plane design (paper §4.3): "we only use Grid/Web services for
+initial service discovery (via UDDI), status interrogation and subsequent
+subscription.  We then back off from SOAP and use direct socket
+communication to send binary information."
+
+:class:`SoapChannel` and :class:`BinaryChannel` implement the two planes
+over the same :class:`~repro.network.simnet.Network`.  Each ``send`` (a)
+produces the actual bytes, (b) advances simulated time by marshalling CPU +
+transfer + demarshalling CPU, and (c) returns both the decoded value and a
+:class:`ChannelTiming` breakdown — the raw material of Tables 2 and 5 and
+the SOAP-vs-binary ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import NetworkError
+from repro.network.marshalling import BinaryMarshaller, IntrospectionMarshaller
+from repro.network.simnet import Network
+
+
+@dataclass(frozen=True)
+class ChannelTiming:
+    """Where the time of one message went."""
+
+    marshal_seconds: float
+    transfer_seconds: float
+    demarshal_seconds: float
+    nbytes: int
+
+    @property
+    def total_seconds(self) -> float:
+        return (self.marshal_seconds + self.transfer_seconds
+                + self.demarshal_seconds)
+
+
+class Channel:
+    """Base channel between two hosts; concrete classes choose the codec."""
+
+    def __init__(self, network: Network, src: str, dst: str) -> None:
+        for h in (src, dst):
+            if h not in network.hosts:
+                raise NetworkError(f"unknown host {h!r}")
+        self.network = network
+        self.src = src
+        self.dst = dst
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def _encode(self, value) -> tuple[bytes, float]:
+        raise NotImplementedError
+
+    def _decode(self, data: bytes) -> tuple[object, float]:
+        raise NotImplementedError
+
+    def send(self, value, advance_clock: bool = True
+             ) -> tuple[object, ChannelTiming]:
+        """Encode, transfer and decode one message; returns (value, timing)."""
+        data, marshal_cpu = self._encode(value)
+        transfer = self.network.transfer_time(self.src, self.dst, len(data))
+        decoded, demarshal_cpu = self._decode(data)
+        timing = ChannelTiming(marshal_seconds=marshal_cpu,
+                               transfer_seconds=transfer,
+                               demarshal_seconds=demarshal_cpu,
+                               nbytes=len(data))
+        if advance_clock:
+            self.network.sim.clock.advance(timing.total_seconds)
+        self.messages_sent += 1
+        self.bytes_sent += len(data)
+        return decoded, timing
+
+    def _reversed(self) -> "Channel":
+        """The response-direction channel with identical configuration."""
+        raise NotImplementedError
+
+    def request(self, value, response, advance_clock: bool = True
+                ) -> tuple[object, ChannelTiming]:
+        """A round trip: send ``value``, get ``response`` back.
+
+        Returns the decoded response and the *combined* timing.
+        """
+        _, t_req = self.send(value, advance_clock=advance_clock)
+        back = self._reversed()
+        decoded, t_resp = back.send(response, advance_clock=advance_clock)
+        return decoded, ChannelTiming(
+            marshal_seconds=t_req.marshal_seconds + t_resp.marshal_seconds,
+            transfer_seconds=t_req.transfer_seconds + t_resp.transfer_seconds,
+            demarshal_seconds=(t_req.demarshal_seconds
+                               + t_resp.demarshal_seconds),
+            nbytes=t_req.nbytes + t_resp.nbytes,
+        )
+
+
+class BinaryChannel(Channel):
+    """The data plane: framed binary messages, fast buffer marshalling.
+
+    ``introspective=True`` switches to the reflective marshaller — the
+    configuration RAVE actually shipped with at publication (its stated
+    bootstrap bottleneck); the default fast path is the "directly sending a
+    native stream" alternative the paper says it will move to.
+    """
+
+    def __init__(self, network: Network, src: str, dst: str,
+                 cpu_factor: float = 1.0, introspective: bool = False) -> None:
+        super().__init__(network, src, dst)
+        self.cpu_factor = cpu_factor
+        self.introspective = introspective
+        if introspective:
+            self.marshaller = IntrospectionMarshaller(cpu_factor=cpu_factor)
+        else:
+            self.marshaller = BinaryMarshaller(cpu_factor=cpu_factor)
+
+    def _reversed(self) -> "BinaryChannel":
+        return BinaryChannel(self.network, self.dst, self.src,
+                             cpu_factor=self.cpu_factor,
+                             introspective=self.introspective)
+
+    def _encode(self, value) -> tuple[bytes, float]:
+        from repro.services.protocol import frame_message
+
+        result = self.marshaller.marshal(value)
+        return frame_message(result.data), result.cpu_seconds
+
+    def _decode(self, data: bytes) -> tuple[object, float]:
+        from repro.services.protocol import unframe_message
+
+        _, body = unframe_message(data)
+        return self.marshaller.demarshal(body)
+
+
+class SoapChannel(Channel):
+    """The control plane: SOAP envelopes (XML + base64 payload expansion).
+
+    Messages must be ``(operation, body_dict)`` tuples or plain dicts (sent
+    as operation ``"call"``).
+    """
+
+    def __init__(self, network: Network, src: str, dst: str,
+                 cpu_factor: float = 1.0) -> None:
+        super().__init__(network, src, dst)
+        self.cpu_factor = cpu_factor
+
+    def _reversed(self) -> "SoapChannel":
+        return SoapChannel(self.network, self.dst, self.src,
+                           cpu_factor=self.cpu_factor)
+
+    def _split(self, value) -> tuple[str, dict]:
+        if isinstance(value, tuple) and len(value) == 2:
+            return str(value[0]), dict(value[1])
+        if isinstance(value, dict):
+            return "call", value
+        raise NetworkError(
+            "SoapChannel payloads must be (operation, body) or dict")
+
+    def _encode(self, value) -> tuple[bytes, float]:
+        from repro.services.soap import soap_cpu_seconds, soap_encode
+
+        operation, body = self._split(value)
+        data = soap_encode(operation, body)
+        return data, soap_cpu_seconds(len(data), self.cpu_factor)
+
+    def _decode(self, data: bytes) -> tuple[object, float]:
+        from repro.services.soap import soap_cpu_seconds, soap_decode
+
+        envelope = soap_decode(data)
+        return ((envelope.operation, envelope.body),
+                soap_cpu_seconds(len(data), self.cpu_factor))

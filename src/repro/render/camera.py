@@ -1,0 +1,110 @@
+"""Camera transforms: world → view → clip → screen.
+
+Right-handed look-at view matrix, OpenGL-style perspective projection, and
+a viewport mapping to pixel coordinates with y down (image convention).
+The projection keeps ``w = -z_view`` so depth interpolation can be done
+perspective-correctly in the rasterizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import RenderError
+from repro.scenegraph.nodes import CameraNode
+
+
+@dataclass
+class Camera:
+    """An immutable-ish camera with cached matrices."""
+
+    position: np.ndarray
+    target: np.ndarray
+    up: np.ndarray
+    fov_degrees: float
+    near: float = 0.05
+    far: float = 1000.0
+
+    @classmethod
+    def from_node(cls, node: CameraNode, near: float = 0.05,
+                  far: float = 1000.0) -> "Camera":
+        return cls(position=np.asarray(node.position, dtype=np.float64),
+                   target=np.asarray(node.target, dtype=np.float64),
+                   up=np.asarray(node.up, dtype=np.float64),
+                   fov_degrees=float(node.fov_degrees), near=near, far=far)
+
+    @classmethod
+    def looking_at(cls, position, target=(0.0, 0.0, 0.0),
+                   up=(0.0, 0.0, 1.0), fov_degrees: float = 45.0,
+                   **kw) -> "Camera":
+        return cls(position=np.asarray(position, dtype=np.float64),
+                   target=np.asarray(target, dtype=np.float64),
+                   up=np.asarray(up, dtype=np.float64),
+                   fov_degrees=float(fov_degrees), **kw)
+
+    # -- matrices -------------------------------------------------------------
+
+    def view_matrix(self) -> np.ndarray:
+        fwd = self.target - self.position
+        norm = np.linalg.norm(fwd)
+        if norm == 0:
+            raise RenderError("camera position and target coincide")
+        fwd = fwd / norm
+        upn = self.up / np.linalg.norm(self.up)
+        if abs(float(fwd @ upn)) > 0.999:
+            # Degenerate up vector: pick any perpendicular axis.
+            upn = (np.array([1.0, 0.0, 0.0])
+                   if abs(fwd[0]) < 0.9 else np.array([0.0, 1.0, 0.0]))
+        right = np.cross(fwd, upn)
+        right /= np.linalg.norm(right)
+        true_up = np.cross(right, fwd)
+        m = np.eye(4)
+        m[0, :3] = right
+        m[1, :3] = true_up
+        m[2, :3] = -fwd
+        m[:3, 3] = -m[:3, :3] @ self.position
+        return m
+
+    def projection_matrix(self, aspect: float) -> np.ndarray:
+        if self.near <= 0 or self.far <= self.near:
+            raise RenderError(
+                f"bad clip planes near={self.near}, far={self.far}")
+        f = 1.0 / np.tan(np.radians(self.fov_degrees) / 2.0)
+        m = np.zeros((4, 4))
+        m[0, 0] = f / aspect
+        m[1, 1] = f
+        m[2, 2] = (self.far + self.near) / (self.near - self.far)
+        m[2, 3] = 2 * self.far * self.near / (self.near - self.far)
+        m[3, 2] = -1.0
+        return m
+
+    # -- vertex pipeline --------------------------------------------------------
+
+    def project_vertices(self, vertices: np.ndarray, width: int, height: int
+                         ) -> tuple[np.ndarray, np.ndarray]:
+        """World-space ``(n, 3)`` → screen ``(n, 3)`` of (x_px, y_px, depth)
+        plus the clip-space w (camera distance) for culling/interpolation.
+
+        Screen y grows downward.  ``depth`` is the view-space distance
+        (positive in front of the camera) — what the z-buffer compares and
+        what depth compositing exchanges between render services.
+        """
+        v = np.asarray(vertices, dtype=np.float64)
+        if v.ndim != 2 or v.shape[1] != 3:
+            raise RenderError(f"vertices must be (n, 3); got {v.shape}")
+        view = self.view_matrix()
+        proj = self.projection_matrix(width / height)
+        vh = np.empty((len(v), 4))
+        vh[:, :3] = v
+        vh[:, 3] = 1.0
+        clip = vh @ (proj @ view).T
+        w = clip[:, 3]                      # = -z_view = distance along view
+        safe_w = np.where(np.abs(w) < 1e-12, 1e-12, w)
+        ndc = clip[:, :3] / safe_w[:, None]
+        screen = np.empty((len(v), 3))
+        screen[:, 0] = (ndc[:, 0] + 1.0) * 0.5 * width
+        screen[:, 1] = (1.0 - ndc[:, 1]) * 0.5 * height
+        screen[:, 2] = w                    # view-space depth
+        return screen, w

@@ -1,0 +1,178 @@
+"""Compositing distributed rendering results.
+
+Three schemes from the paper:
+
+1. **depth compositing** of whole framebuffers — scene-subset distribution:
+   each render service renders its subset with the shared camera, then the
+   client's service takes the nearest fragment per pixel.  "Compositing is
+   currently restricted to opaque solids, as this does not require any
+   specific ordering of frame buffers" — :func:`depth_composite`;
+2. **tile assembly** — framebuffer distribution: each assistant renders one
+   tile, the requester pastes them into the target (:func:`assemble_tiles`),
+   with best-effort pasting producing the tearing of Figure 5
+   (:func:`seam_discontinuity` measures it, :class:`FrameSynchronizer`
+   removes it);
+3. **back-to-front slab blending** for distributed volume rendering — the
+   Visapult scheme the future work adopts: slabs "can be blended, even
+   though they contain transparency, by considering their relative distance
+   from the view in the order of blending" — :func:`blend_slabs`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import RenderError
+from repro.render.framebuffer import FrameBuffer, Tile
+from repro.render.volume import VolumeImage
+
+
+def depth_composite(buffers: list[FrameBuffer]) -> FrameBuffer:
+    """Per-pixel nearest-fragment merge of equally-sized framebuffers."""
+    if not buffers:
+        raise RenderError("nothing to composite")
+    first = buffers[0]
+    for fb in buffers[1:]:
+        if (fb.width, fb.height) != (first.width, first.height):
+            raise RenderError(
+                f"framebuffer sizes differ: {fb.width}x{fb.height} vs "
+                f"{first.width}x{first.height}")
+    out = first.copy()
+    for fb in buffers[1:]:
+        nearer = fb.depth < out.depth
+        out.depth[nearer] = fb.depth[nearer]
+        out.color[nearer] = fb.color[nearer]
+    return out
+
+
+def assemble_tiles(target: FrameBuffer,
+                   tiles: list[tuple[Tile, FrameBuffer]]) -> FrameBuffer:
+    """Paste rendered tiles into the target framebuffer (best effort).
+
+    Tiles may come from different frames — that is precisely how the
+    Figure 5 tearing arises; callers wanting consistency use
+    :class:`FrameSynchronizer`.
+    """
+    for tile, fb in tiles:
+        target.paste(tile, fb)
+    return target
+
+
+def check_tiling(width: int, height: int, tiles: list[Tile]) -> None:
+    """Assert a tile set exactly covers the target with no overlap."""
+    cover = np.zeros((height, width), dtype=np.int32)
+    for tile in tiles:
+        rows, cols = tile.slices
+        if tile.y0 + tile.height > height or tile.x0 + tile.width > width:
+            raise RenderError(f"{tile!r} exceeds {width}x{height}")
+        cover[rows, cols] += 1
+    if (cover != 1).any():
+        missing = int((cover == 0).sum())
+        overlap = int((cover > 1).sum())
+        raise RenderError(
+            f"bad tiling: {missing} uncovered px, {overlap} overlapped px")
+
+
+def seam_discontinuity(fb: FrameBuffer, tiles: list[Tile]) -> float:
+    """Tearing metric: color discontinuity across tile seams vs interior.
+
+    Returns the ratio of the mean absolute color step across tile-boundary
+    pixel pairs to the mean step across all neighbouring pixel pairs.  A
+    consistent frame scores ≈ 1; a torn frame (stale tile pasted next to a
+    fresh one, Figure 5) scores noticeably above 1.
+    """
+    img = fb.color.astype(np.float64)
+    # vertical seams: columns where a tile starts (x0 > 0)
+    seam_cols = sorted({t.x0 for t in tiles if t.x0 > 0})
+    seam_rows = sorted({t.y0 for t in tiles if t.y0 > 0})
+    if not seam_cols and not seam_rows:
+        return 1.0
+    diffs = []
+    for c in seam_cols:
+        diffs.append(np.abs(img[:, c] - img[:, c - 1]).mean())
+    for r in seam_rows:
+        diffs.append(np.abs(img[r, :] - img[r - 1, :]).mean())
+    seam = float(np.mean(diffs))
+    dx = np.abs(np.diff(img, axis=1)).mean()
+    dy = np.abs(np.diff(img, axis=0)).mean()
+    interior = float((dx + dy) / 2.0)
+    if interior < 1e-9:
+        return 1.0 if seam < 1e-9 else np.inf
+    return seam / interior
+
+
+class FrameSynchronizer:
+    """Holds tiles until a full consistent frame is available.
+
+    The paper: "we are not using any synchronisation between frame buffers,
+    local and remote simply rendering best effort ... this can result in
+    visual artifacts such as tearing ... we will need to implement
+    synchronisation with complex scenes."  This class is that future-work
+    synchroniser: tiles are keyed by frame sequence number, and
+    :meth:`take_frame` only releases a frame once every tile of that
+    sequence has arrived.
+    """
+
+    def __init__(self, tiles: list[Tile]) -> None:
+        if not tiles:
+            raise RenderError("synchronizer needs at least one tile")
+        self.tiles = list(tiles)
+        self._pending: dict[int, dict[int, FrameBuffer]] = {}
+        self.frames_released = 0
+        self.frames_dropped = 0
+
+    def submit(self, sequence: int, tile_index: int, fb: FrameBuffer) -> None:
+        if not 0 <= tile_index < len(self.tiles):
+            raise RenderError(f"tile index {tile_index} out of range")
+        tile = self.tiles[tile_index]
+        if (fb.width, fb.height) != (tile.width, tile.height):
+            raise RenderError("tile framebuffer has wrong size")
+        self._pending.setdefault(sequence, {})[tile_index] = fb
+
+    def take_frame(self, target: FrameBuffer) -> int | None:
+        """Assemble the oldest complete frame into ``target``.
+
+        Returns its sequence number, or ``None`` if no frame is complete.
+        Older incomplete frames are dropped once a newer frame completes
+        (a late tile must not tear a frame already shown).
+        """
+        complete = sorted(
+            seq for seq, got in self._pending.items()
+            if len(got) == len(self.tiles))
+        if not complete:
+            return None
+        seq = complete[0]
+        parts = self._pending.pop(seq)
+        for idx, tile in enumerate(self.tiles):
+            target.paste(tile, parts[idx])
+        stale = [s for s in self._pending if s < seq]
+        for s in stale:
+            self._pending.pop(s)
+            self.frames_dropped += 1
+        self.frames_released += 1
+        return seq
+
+
+def blend_slabs(slabs: list[VolumeImage],
+                background=(0.0, 0.0, 0.0)) -> np.ndarray:
+    """Back-to-front *over* blending of independently rendered volume slabs.
+
+    Slabs are sorted by their distance from the viewer (farthest first) —
+    the ordering rule that makes transparency composable across render
+    services.  Returns an (h, w, 3) float image in [0, 1].
+    """
+    if not slabs:
+        raise RenderError("nothing to blend")
+    shape = slabs[0].rgba.shape
+    for s in slabs[1:]:
+        if s.rgba.shape != shape:
+            raise RenderError("slab image sizes differ")
+    ordered = sorted(slabs, key=lambda s: -s.view_distance)
+    h, w = shape[:2]
+    out = np.empty((h, w, 3), dtype=np.float64)
+    out[:] = np.asarray(background, dtype=np.float64)
+    for slab in ordered:
+        rgb = slab.rgba[..., :3].astype(np.float64)
+        a = slab.rgba[..., 3:4].astype(np.float64)
+        out = rgb + (1.0 - a) * out   # premultiplied over
+    return np.clip(out, 0.0, 1.0)

@@ -1,0 +1,44 @@
+"""Lambert shading: flat (per-face) and Gouraud (per-vertex) intensities.
+
+Matches the Java3D default pipeline closely enough for the figures: a
+single directional light plus an ambient term, intensities in [0, 1].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.meshes import Mesh
+
+#: default light: over the viewer's left shoulder
+DEFAULT_LIGHT_DIRECTION = np.array([-0.4, -0.35, -0.85])
+DEFAULT_AMBIENT = 0.25
+
+
+def _unit(v: np.ndarray) -> np.ndarray:
+    n = np.linalg.norm(v)
+    if n == 0:
+        raise ValueError("light direction must be non-zero")
+    return v / n
+
+
+def flat_intensity(mesh: Mesh, light_direction=None,
+                   ambient: float = DEFAULT_AMBIENT) -> np.ndarray:
+    """Per-face intensity ``(m,)`` from face normals (two-sided)."""
+    light = _unit(np.asarray(
+        DEFAULT_LIGHT_DIRECTION if light_direction is None
+        else light_direction, dtype=np.float64))
+    normals = mesh.face_normals().astype(np.float64)
+    lambert = np.abs(normals @ -light)  # two-sided: ignore winding
+    return np.clip(ambient + (1.0 - ambient) * lambert, 0.0, 1.0)
+
+
+def gouraud_intensity(mesh: Mesh, light_direction=None,
+                      ambient: float = DEFAULT_AMBIENT) -> np.ndarray:
+    """Per-vertex intensity ``(n,)`` from area-weighted vertex normals."""
+    light = _unit(np.asarray(
+        DEFAULT_LIGHT_DIRECTION if light_direction is None
+        else light_direction, dtype=np.float64))
+    normals = mesh.vertex_normals().astype(np.float64)
+    lambert = np.abs(normals @ -light)
+    return np.clip(ambient + (1.0 - ambient) * lambert, 0.0, 1.0)

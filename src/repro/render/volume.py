@@ -1,0 +1,142 @@
+"""Volume ray-marching (emission-absorption), with slab support.
+
+Implements the Visapult-style distributed volume rendering the paper's
+future work adopts: a :class:`~repro.data.volumes.VoxelVolume` (or one of
+its slabs) renders to an RGBA image + a representative depth, and slabs
+rendered on different services blend back-to-front by their distance from
+the viewer (:func:`repro.render.compositor.blend_slabs`).
+
+Rays are generated for every pixel at once; marching is a fixed-step loop
+whose body is fully vectorized (one trilinear interpolation per step over
+all rays via ``scipy.ndimage.map_coordinates``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from repro.data.volumes import VoxelVolume
+from repro.errors import RenderError
+from repro.render.camera import Camera
+
+
+@dataclass
+class VolumeImage:
+    """RGBA float image + alpha-weighted depth, the slab-blending unit."""
+
+    rgba: np.ndarray          # (h, w, 4) float32, premultiplied alpha
+    depth: np.ndarray         # (h, w) float32, mean contribution distance
+    #: distance from the camera to the slab centroid (the blending key)
+    view_distance: float
+
+    @property
+    def coverage(self) -> float:
+        return float((self.rgba[..., 3] > 1e-3).mean())
+
+
+#: simple grayscale-to-warm transfer function
+def default_transfer(density: np.ndarray, opacity_scale: float
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """density → (rgb emission (n,3), alpha (n,))"""
+    d = np.clip(density, 0.0, 1.0)
+    alpha = np.clip(d * opacity_scale, 0.0, 1.0)
+    rgb = np.stack([
+        np.clip(0.4 + 0.8 * d, 0, 1),
+        np.clip(0.3 + 0.7 * d, 0, 1),
+        np.clip(0.25 + 0.5 * d, 0, 1),
+    ], axis=-1)
+    return rgb, alpha
+
+
+def raymarch_volume(volume: VoxelVolume, camera: Camera, width: int,
+                    height: int, n_steps: int = 64,
+                    opacity_scale: float = 0.08,
+                    density_floor: float = 0.02) -> VolumeImage:
+    """Front-to-back emission-absorption ray-march of a volume.
+
+    Returns premultiplied RGBA so slabs blend with the standard *over*
+    operator.  ``density_floor`` skips empty space (no emission below it).
+    """
+    if n_steps < 2:
+        raise RenderError("n_steps must be >= 2")
+    h, w_pix = height, width
+    # Ray directions through each pixel center (same math as picking).
+    fwd = camera.target - camera.position
+    fwd = fwd / np.linalg.norm(fwd)
+    upn = camera.up / np.linalg.norm(camera.up)
+    if abs(float(fwd @ upn)) > 0.999:
+        upn = (np.array([1.0, 0.0, 0.0])
+               if abs(fwd[0]) < 0.9 else np.array([0.0, 1.0, 0.0]))
+    right = np.cross(fwd, upn)
+    right /= np.linalg.norm(right)
+    true_up = np.cross(right, fwd)
+    aspect = w_pix / h
+    tan_half = np.tan(np.radians(camera.fov_degrees) / 2.0)
+    xs = (2.0 * (np.arange(w_pix) + 0.5) / w_pix - 1.0) * tan_half * aspect
+    ys = (1.0 - 2.0 * (np.arange(h) + 0.5) / h) * tan_half
+    dirs = (fwd[None, None, :]
+            + xs[None, :, None] * right[None, None, :]
+            + ys[:, None, None] * true_up[None, None, :])
+    dirs /= np.linalg.norm(dirs, axis=-1, keepdims=True)
+
+    # Slab entry/exit: intersect rays with the volume's AABB.
+    origin = np.asarray(volume.origin)
+    spacing = np.asarray(volume.spacing)
+    vmax = origin + spacing * (np.asarray(volume.shape) - 1)
+    eye = camera.position
+    with np.errstate(divide="ignore", invalid="ignore"):
+        inv_d = 1.0 / dirs
+        t0 = (origin[None, None, :] - eye[None, None, :]) * inv_d
+        t1 = (vmax[None, None, :] - eye[None, None, :]) * inv_d
+    lo = np.minimum(t0, t1)
+    hi = np.maximum(t0, t1)
+    # NaN = ray parallel to a slab while starting on its plane: that axis
+    # imposes no constraint, so its interval is (-inf, inf).
+    lo = np.where(np.isnan(lo), -np.inf, lo)
+    hi = np.where(np.isnan(hi), np.inf, hi)
+    t_near = lo.max(axis=-1)
+    t_far = hi.min(axis=-1)
+    t_near = np.maximum(t_near, camera.near)
+    hit = t_far > t_near
+
+    rgba = np.zeros((h, w_pix, 4), dtype=np.float32)
+    depth_sum = np.zeros((h, w_pix), dtype=np.float64)
+    alpha_sum = np.zeros((h, w_pix), dtype=np.float64)
+    if hit.any():
+        hy, hx = np.nonzero(hit)
+        d = dirs[hy, hx]                          # (r, 3)
+        tn = t_near[hy, hx]
+        tf = t_far[hy, hx]
+        dt = (tf - tn) / n_steps
+        acc_rgb = np.zeros((len(hy), 3), dtype=np.float64)
+        acc_a = np.zeros(len(hy), dtype=np.float64)
+        for step in range(n_steps):
+            t = tn + (step + 0.5) * dt
+            pos = eye[None, :] + t[:, None] * d
+            coords = ((pos - origin[None, :]) / spacing[None, :]).T
+            density = ndimage.map_coordinates(
+                volume.values, coords, order=1, mode="constant", cval=0.0)
+            emit = density > density_floor
+            if emit.any():
+                rgb, alpha = default_transfer(density, opacity_scale)
+                # opacity correction for the step length
+                a_step = 1.0 - np.power(1.0 - alpha, dt * n_steps / 2.0)
+                a_step = np.where(emit, a_step, 0.0)
+                weight = (1.0 - acc_a) * a_step
+                acc_rgb += weight[:, None] * rgb
+                acc_a += weight
+                depth_sum[hy, hx] += weight * t
+                alpha_sum[hy, hx] += weight
+            if (acc_a > 0.995).all():
+                break
+        rgba[hy, hx, :3] = acc_rgb
+        rgba[hy, hx, 3] = acc_a
+
+    depth = np.where(alpha_sum > 1e-9, depth_sum / np.maximum(alpha_sum, 1e-9),
+                     np.inf).astype(np.float32)
+    centroid = origin + 0.5 * spacing * (np.asarray(volume.shape) - 1)
+    view_distance = float(np.linalg.norm(centroid - eye))
+    return VolumeImage(rgba=rgba, depth=depth, view_distance=view_distance)

@@ -1,0 +1,127 @@
+"""The audit trail: persistent, replayable session recording.
+
+Paper §3.1.1: "The data are intermittently streamed to disk, recording any
+changes that are made in the form of an audit trail.  A recorded session may
+be played back at a later date; this enables users to append to a recorded
+session, collaborating asynchronously with previous users."
+
+The on-disk format is a self-describing binary stream (no pickle): a header,
+then length-prefixed records of (timestamp, wire-dict) encoded with the
+binary marshaller's dict codec.  Appending re-opens the file in append mode;
+playback applies updates to a fresh tree, optionally up to a cut-off time.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import DataFormatError
+from repro.scenegraph.tree import SceneTree
+from repro.scenegraph.updates import SceneUpdate, update_from_wire
+
+_MAGIC = b"RAVEAUD1"
+
+
+class AuditTrail:
+    """Append-only log of timestamped scene updates."""
+
+    def __init__(self) -> None:
+        self._records: list[tuple[float, SceneUpdate]] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[tuple[float, SceneUpdate]]:
+        return iter(self._records)
+
+    @property
+    def duration(self) -> float:
+        if not self._records:
+            return 0.0
+        return self._records[-1][0] - self._records[0][0]
+
+    def record(self, time: float, update: SceneUpdate) -> None:
+        """Append an update; timestamps must be non-decreasing."""
+        if self._records and time < self._records[-1][0]:
+            raise ValueError(
+                f"audit timestamps must be monotonic: {time} < "
+                f"{self._records[-1][0]}")
+        self._records.append((float(time), update))
+
+    # -- playback ---------------------------------------------------------------
+
+    def playback(self, until: float | None = None,
+                 tree: SceneTree | None = None) -> SceneTree:
+        """Apply recorded updates (up to ``until``) onto a tree.
+
+        With the default fresh tree this reconstructs the session state at
+        any point in time; with an existing tree it appends a recorded
+        session onto live state (the paper's asynchronous collaboration).
+        """
+        tree = tree if tree is not None else SceneTree(name="playback")
+        for t, update in self._records:
+            if until is not None and t > until:
+                break
+            update.apply(tree)
+        return tree
+
+    def updates_between(self, t0: float, t1: float) -> list[SceneUpdate]:
+        return [u for t, u in self._records if t0 <= t <= t1]
+
+    # -- persistence --------------------------------------------------------------
+
+    def save(self, path: str | Path) -> int:
+        """Write the whole trail; returns bytes written."""
+        from repro.network.marshalling import encode_value
+
+        path = Path(path)
+        with path.open("wb") as fh:
+            fh.write(_MAGIC)
+            fh.write(struct.pack("<Q", len(self._records)))
+            for t, update in self._records:
+                body = encode_value(update.to_wire())
+                fh.write(struct.pack("<dI", t, len(body)))
+                fh.write(body)
+        return path.stat().st_size
+
+    def append_to(self, path: str | Path) -> None:
+        """Append this trail's records to an existing file on disk."""
+        from repro.network.marshalling import encode_value
+
+        path = Path(path)
+        existing = AuditTrail.load(path)
+        if (self._records and existing._records
+                and self._records[0][0] < existing._records[-1][0]):
+            raise ValueError("appended records precede the recorded session")
+        with path.open("r+b") as fh:
+            fh.seek(len(_MAGIC))
+            fh.write(struct.pack("<Q", len(existing) + len(self)))
+            fh.seek(0, 2)  # end
+            for t, update in self._records:
+                body = encode_value(update.to_wire())
+                fh.write(struct.pack("<dI", t, len(body)))
+                fh.write(body)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "AuditTrail":
+        from repro.network.marshalling import decode_value
+
+        path = Path(path)
+        trail = cls()
+        with path.open("rb") as fh:
+            magic = fh.read(len(_MAGIC))
+            if magic != _MAGIC:
+                raise DataFormatError(f"{path.name}: not an audit-trail file")
+            (count,) = struct.unpack("<Q", fh.read(8))
+            for _ in range(count):
+                head = fh.read(12)
+                if len(head) != 12:
+                    raise DataFormatError(f"{path.name}: truncated record")
+                t, size = struct.unpack("<dI", head)
+                body = fh.read(size)
+                if len(body) != size:
+                    raise DataFormatError(f"{path.name}: truncated body")
+                trail._records.append((t, update_from_wire(decode_value(body))))
+        return trail

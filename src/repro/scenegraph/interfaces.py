@@ -1,0 +1,60 @@
+"""Introspection interfaces over scene nodes.
+
+The paper (§5.5): "We are using introspection, where each node in the scene
+graph is examined for implemented interfaces, and the appropriate interface
+is used to extract the data and publish it on the network. ... many items
+have a 'Position' field, so this is an interface we check for."
+
+An :class:`Interface` names a set of fields; :func:`discover_interfaces`
+returns the interfaces a node implements by checking which wire fields it
+exposes.  The introspection marshaller charges per-interface-check and
+per-field reflection costs — the mechanism behind the Table 5 bootstrap
+bottleneck — while the GUI uses the same discovery to populate its
+interaction menus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.scenegraph.nodes import SceneNode
+
+
+@dataclass(frozen=True)
+class Interface:
+    """A named group of wire fields."""
+
+    name: str
+    fields: tuple[str, ...]
+
+    def implemented_by(self, wire_fields: dict) -> bool:
+        return all(f in wire_fields for f in self.fields)
+
+
+#: The interface catalogue, checked in order for every node (the paper's
+#: maintenance-friendly "code sharing" scheme — and its marshalling cost).
+INTERFACES: tuple[Interface, ...] = (
+    Interface("Named", ("name",)),
+    Interface("Position", ("position",)),
+    Interface("ViewDirection", ("view_direction",)),
+    Interface("Camera", ("position", "target", "up", "fov_degrees")),
+    Interface("Transform", ("matrix",)),
+    Interface("PolygonGeometry", ("vertices", "faces")),
+    Interface("VertexColors", ("colors",)),
+    Interface("PointGeometry", ("points",)),
+    Interface("VoxelGeometry", ("values", "spacing", "origin")),
+    Interface("IsoSurface", ("iso",)),
+    Interface("Light", ("direction", "ambient")),
+    Interface("Identity", ("user", "host")),
+)
+
+
+def discover_interfaces(node: SceneNode) -> list[Interface]:
+    """All interfaces a node implements, from its wire-field surface."""
+    fields = node.wire_fields()
+    return [itf for itf in INTERFACES if itf.implemented_by(fields)]
+
+
+def interface_fields(node: SceneNode) -> dict[str, list[str]]:
+    """Interface name → field names, for GUI display and marshalling plans."""
+    return {itf.name: list(itf.fields) for itf in discover_interfaces(node)}

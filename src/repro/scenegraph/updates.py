@@ -1,0 +1,220 @@
+"""The scene-update delta protocol.
+
+"Changes made locally are transmitted back to the data service, propagating
+to other members of this collaborative session" — these are the messages
+that propagate.  Each update serialises to a wire dict (for either channel),
+applies to a :class:`SceneTree`, and reports its payload size so the network
+simulator and the interest-management filter can reason about it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SceneGraphError
+from repro.scenegraph.nodes import (
+    AvatarNode,
+    CameraNode,
+    SceneNode,
+    node_from_wire,
+    node_to_wire,
+)
+from repro.scenegraph.tree import SceneTree
+
+
+def _array_bytes(value) -> int:
+    if isinstance(value, np.ndarray):
+        return value.nbytes
+    if isinstance(value, dict):
+        return sum(_array_bytes(v) for v in value.values())
+    if isinstance(value, (list, tuple)):
+        return sum(_array_bytes(v) for v in value)
+    if isinstance(value, str):
+        return len(value)
+    return 8
+
+
+@dataclass
+class SceneUpdate:
+    """Base update message."""
+
+    KIND = "update"
+
+    #: id of the node the update targets (semantics vary per subclass)
+    node_id: int = -1
+    #: originating client/service, for echo suppression and avatars
+    origin: str = ""
+
+    def apply(self, tree: SceneTree) -> None:
+        raise NotImplementedError
+
+    def touched_ids(self) -> set[int]:
+        """Node ids this update modifies — interest management uses this."""
+        return {self.node_id}
+
+    def to_wire(self) -> dict:
+        return {"kind": self.KIND, "node_id": self.node_id,
+                "origin": self.origin}
+
+    @property
+    def payload_bytes(self) -> int:
+        """Approximate binary wire size of the update body."""
+        return _array_bytes(self.to_wire())
+
+
+@dataclass
+class AddNode(SceneUpdate):
+    KIND = "add"
+
+    #: parent under which the new node is attached
+    parent_id: int = 0
+    #: wire payload of the node (``node_to_wire`` output)
+    node_payload: dict = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, node: SceneNode, parent_id: int, node_id: int,
+           origin: str = "") -> "AddNode":
+        return cls(node_id=node_id, origin=origin, parent_id=parent_id,
+                   node_payload=node_to_wire(node))
+
+    def apply(self, tree: SceneTree) -> None:
+        if self.node_id in tree:
+            raise SceneGraphError(f"node id {self.node_id} already present")
+        node = node_from_wire(self.node_payload)
+        tree.add(node, parent=self.parent_id, node_id=self.node_id)
+
+    def to_wire(self) -> dict:
+        return {**super().to_wire(), "parent_id": self.parent_id,
+                "node_payload": self.node_payload}
+
+
+@dataclass
+class RemoveNode(SceneUpdate):
+    KIND = "remove"
+
+    def apply(self, tree: SceneTree) -> None:
+        tree.remove(self.node_id)
+
+
+@dataclass
+class SetTransform(SceneUpdate):
+    KIND = "set_transform"
+
+    matrix: np.ndarray = field(default_factory=lambda: np.eye(4))
+
+    def apply(self, tree: SceneTree) -> None:
+        node = tree.node(self.node_id)
+        if not hasattr(node, "set_matrix"):
+            raise SceneGraphError(
+                f"node {self.node_id} ({node.TYPE}) has no transform")
+        node.set_matrix(self.matrix)
+
+    def to_wire(self) -> dict:
+        return {**super().to_wire(), "matrix": np.asarray(self.matrix)}
+
+
+@dataclass
+class SetCamera(SceneUpdate):
+    KIND = "set_camera"
+
+    position: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    target: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    fov_degrees: float = 45.0
+
+    @classmethod
+    def of(cls, camera: CameraNode, origin: str = "") -> "SetCamera":
+        return cls(node_id=camera.node_id, origin=origin,
+                   position=camera.position.copy(),
+                   target=camera.target.copy(),
+                   fov_degrees=camera.fov_degrees)
+
+    def apply(self, tree: SceneTree) -> None:
+        node = tree.node(self.node_id)
+        if not isinstance(node, CameraNode):
+            raise SceneGraphError(f"node {self.node_id} is not a camera")
+        node.position = np.asarray(self.position, dtype=np.float64).copy()
+        node.target = np.asarray(self.target, dtype=np.float64).copy()
+        node.fov_degrees = float(self.fov_degrees)
+
+    def to_wire(self) -> dict:
+        return {**super().to_wire(), "position": np.asarray(self.position),
+                "target": np.asarray(self.target),
+                "fov_degrees": self.fov_degrees}
+
+
+@dataclass
+class SetProperty(SceneUpdate):
+    """Generic field update routed through the introspection surface."""
+
+    KIND = "set_property"
+
+    field_name: str = ""
+    value: object = None
+
+    def apply(self, tree: SceneTree) -> None:
+        node = tree.node(self.node_id)
+        if self.field_name not in node.wire_fields():
+            raise SceneGraphError(
+                f"node {self.node_id} ({node.TYPE}) has no field "
+                f"{self.field_name!r}")
+        node.apply_wire_fields({self.field_name: self.value})
+
+    def to_wire(self) -> dict:
+        return {**super().to_wire(), "field_name": self.field_name,
+                "value": self.value}
+
+
+@dataclass
+class ModifyGeometry(SceneUpdate):
+    """Replace a geometry node's payload (e.g. a new simulation timestep)."""
+
+    KIND = "modify_geometry"
+
+    fields: dict = field(default_factory=dict)
+
+    def apply(self, tree: SceneTree) -> None:
+        tree.node(self.node_id).apply_wire_fields(self.fields)
+
+    def to_wire(self) -> dict:
+        return {**super().to_wire(), "fields": self.fields}
+
+
+@dataclass
+class MoveAvatar(SceneUpdate):
+    KIND = "move_avatar"
+
+    position: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    view_direction: np.ndarray = field(
+        default_factory=lambda: np.array([0.0, 0.0, -1.0]))
+
+    def apply(self, tree: SceneTree) -> None:
+        node = tree.node(self.node_id)
+        if not isinstance(node, AvatarNode):
+            raise SceneGraphError(f"node {self.node_id} is not an avatar")
+        node.position = np.asarray(self.position, dtype=np.float64).copy()
+        node.view_direction = np.asarray(self.view_direction,
+                                         dtype=np.float64).copy()
+
+    def to_wire(self) -> dict:
+        return {**super().to_wire(), "position": np.asarray(self.position),
+                "view_direction": np.asarray(self.view_direction)}
+
+
+_UPDATE_KINDS: dict[str, type[SceneUpdate]] = {
+    cls.KIND: cls
+    for cls in (AddNode, RemoveNode, SetTransform, SetCamera, SetProperty,
+                ModifyGeometry, MoveAvatar)
+}
+
+
+def update_from_wire(payload: dict) -> SceneUpdate:
+    """Reconstruct an update message from its wire dict."""
+    kind = payload.get("kind")
+    try:
+        cls = _UPDATE_KINDS[kind]  # type: ignore[index]
+    except KeyError:
+        raise SceneGraphError(f"unknown update kind {kind!r}") from None
+    kwargs = {k: v for k, v in payload.items() if k != "kind"}
+    return cls(**kwargs)

@@ -1,0 +1,146 @@
+"""The service container (Apache Axis + Tomcat stand-in).
+
+"RAVE runs as a background process using Grid/Web services, enabling us to
+share resources with other users rather than commandeering an entire
+machine."  A :class:`ServiceContainer` lives on one host of the simulated
+network, exposes deployed services' WSDL documents, and implements the
+factory pattern the paper describes for making stateless Web services
+stateful: "passing the name of an instance as the first argument to all
+instance related methods".
+
+Instance creation is expensive — Axis deployment plus (for render services)
+Java3D initialisation.  Calibration: Table 5's bootstrap intercept (~10 s
+at zero payload) minus the subscription handshakes gives
+``INSTANCE_CREATION_SECONDS = 9.8`` on the reference CPU.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import ServiceError
+from repro.hardware.profiles import MachineProfile, get_profile
+from repro.network.simnet import Network
+from repro.services.wsdl import WsdlDocument
+
+#: simulated seconds to create a service instance on the reference CPU
+INSTANCE_CREATION_SECONDS = 9.8
+
+
+@dataclass
+class ServiceInstance:
+    """One factory-created instance living inside a container."""
+
+    instance_id: str
+    kind: str                 # e.g. "data" / "render"
+    created_at: float
+    #: the service-specific state object
+    state: object = None
+    #: human-readable label shown by the registry GUI (e.g. "Skull-internal")
+    label: str = ""
+
+
+class ServiceContainer:
+    """An Axis/Tomcat-like container bound to one network host."""
+
+    def __init__(self, host: str, network: Network,
+                 profile: MachineProfile | str | None = None,
+                 http_port: int = 8080, flavor: str = "axis") -> None:
+        if host not in network.hosts:
+            raise ServiceError(f"host {host!r} is not on the network")
+        if flavor not in ("axis", "gt3"):
+            raise ServiceError(f"unknown container flavor {flavor!r}")
+        self.host = host
+        self.network = network
+        #: "axis" (Apache Axis + Tomcat, the paper's choice) or "gt3"
+        #: (Globus Toolkit 3: slower instance creation, GSI certificates)
+        self.flavor = flavor
+        if isinstance(profile, str):
+            profile = get_profile(profile)
+        if profile is None:
+            profile_name = network.hosts[host].profile
+            profile = get_profile(profile_name) if profile_name else None
+        self.profile = profile
+        self.http_port = http_port
+        self._wsdl: dict[str, WsdlDocument] = {}
+        self._instances: dict[str, ServiceInstance] = {}
+        self._seq = itertools.count(1)
+
+    @property
+    def cpu_factor(self) -> float:
+        return self.profile.cpu_factor if self.profile is not None else 1.0
+
+    def endpoint(self, service_name: str) -> str:
+        return f"http://{self.host}:{self.http_port}/axis/{service_name}"
+
+    # -- deployment --------------------------------------------------------------
+
+    def deploy(self, wsdl: WsdlDocument) -> str:
+        """Expose a service description; returns its endpoint URL."""
+        if wsdl.service_name in self._wsdl:
+            raise ServiceError(
+                f"{wsdl.service_name!r} already deployed on {self.host}")
+        url = self.endpoint(wsdl.service_name)
+        self._wsdl[wsdl.service_name] = WsdlDocument(
+            service_name=wsdl.service_name, namespace=wsdl.namespace,
+            operations=wsdl.operations, endpoint=url,
+            documentation=wsdl.documentation)
+        return url
+
+    def wsdl_for(self, service_name: str) -> WsdlDocument:
+        try:
+            return self._wsdl[service_name]
+        except KeyError:
+            raise ServiceError(
+                f"no service {service_name!r} on {self.host}") from None
+
+    # -- the factory pattern ---------------------------------------------------------
+
+    def create_instance(self, kind: str, label: str = "",
+                        state: object = None,
+                        charge_time: bool = True) -> ServiceInstance:
+        """Create a named instance (the paper's Web-service factory trick).
+
+        Advances the simulated clock by the instance-creation cost unless
+        ``charge_time`` is disabled (tests).  GT3 containers pay the
+        paper's noted build/deploy penalty over Axis.
+        """
+        if charge_time:
+            from repro.services.security import GT3_INSTANCE_FACTOR
+
+            cost = INSTANCE_CREATION_SECONDS / self.cpu_factor
+            if self.flavor == "gt3":
+                cost *= GT3_INSTANCE_FACTOR
+            self.network.sim.clock.advance(cost)
+        instance_id = f"{kind}-{self.host}-{next(self._seq):04d}"
+        instance = ServiceInstance(
+            instance_id=instance_id, kind=kind,
+            created_at=self.network.sim.clock.now,
+            state=state, label=label or instance_id)
+        self._instances[instance_id] = instance
+        return instance
+
+    def instance(self, instance_id: str) -> ServiceInstance:
+        try:
+            return self._instances[instance_id]
+        except KeyError:
+            raise ServiceError(
+                f"no instance {instance_id!r} on {self.host}") from None
+
+    def instances(self, kind: str | None = None) -> list[ServiceInstance]:
+        out = list(self._instances.values())
+        if kind is not None:
+            out = [i for i in out if i.kind == kind]
+        return out
+
+    def destroy_instance(self, instance_id: str) -> None:
+        if instance_id not in self._instances:
+            raise ServiceError(
+                f"no instance {instance_id!r} on {self.host}")
+        del self._instances[instance_id]
+
+    def __repr__(self) -> str:
+        return (f"ServiceContainer(host={self.host!r}, "
+                f"services={sorted(self._wsdl)}, "
+                f"instances={len(self._instances)})")

@@ -1,0 +1,182 @@
+"""Live data feeds and computational steering bridges.
+
+Two pieces of the paper beyond static files:
+
+- §3.1.1: "The data service imports data from either a static file or a
+  **live feed from an external program**" — :class:`LiveFeed` pumps an
+  external simulation's timesteps into a session as geometry updates.
+- §5.2: "We will later create additional interactions for special
+  objects, such as **bridging objects into remote processes**.  An example
+  would be to exert a force on a molecule, which is displayed via RAVE but
+  the molecule's behaviour is computed remotely via a third-party
+  simulator; RAVE is used as the display and collaboration mechanism." —
+  :class:`SteeringBridge` routes a user's drag on a bridged object back
+  into the simulator as a force.
+
+:class:`MoleculeSimulator` is the third-party-simulator stand-in: a small
+deterministic mass-spring molecular toy whose state renders as a point
+cloud (atoms) — enough dynamics that steering visibly matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ServiceError, SessionError
+from repro.scenegraph.nodes import PointCloudNode
+from repro.scenegraph.tree import SceneTree
+from repro.scenegraph.updates import AddNode, ModifyGeometry
+
+
+class MoleculeSimulator:
+    """Deterministic mass-spring 'molecule' (the remote third party).
+
+    Atoms connected by springs along a backbone plus a few cross-links;
+    velocity-Verlet integration with damping.  External forces applied via
+    :meth:`apply_force` persist for one step — the steering input.
+    """
+
+    def __init__(self, n_atoms: int = 32, seed: int = 7,
+                 spring_k: float = 40.0, damping: float = 2.0,
+                 dt: float = 0.02) -> None:
+        if n_atoms < 2:
+            raise ValueError("a molecule needs at least two atoms")
+        rng = np.random.default_rng(seed)
+        t = np.linspace(0, 3 * np.pi, n_atoms)
+        self.positions = np.stack([
+            np.cos(t), np.sin(t), t / (3 * np.pi) * 2 - 1], axis=1)
+        self.positions += rng.normal(0, 0.02, self.positions.shape)
+        self.velocities = np.zeros_like(self.positions)
+        bonds = [(i, i + 1) for i in range(n_atoms - 1)]
+        bonds += [(i, i + 4) for i in range(0, n_atoms - 4, 5)]
+        self.bonds = np.asarray(bonds, dtype=np.int64)
+        self.rest_lengths = np.linalg.norm(
+            self.positions[self.bonds[:, 0]]
+            - self.positions[self.bonds[:, 1]], axis=1)
+        self.spring_k = spring_k
+        self.damping = damping
+        self.dt = dt
+        self._pending_force = np.zeros_like(self.positions)
+        self.steps = 0
+
+    @property
+    def n_atoms(self) -> int:
+        return len(self.positions)
+
+    def apply_force(self, atom: int, force) -> None:
+        """Queue an external force on one atom for the next step."""
+        if not 0 <= atom < self.n_atoms:
+            raise ValueError(f"no atom {atom}")
+        self._pending_force[atom] += np.asarray(force, dtype=np.float64)
+
+    def _forces(self) -> np.ndarray:
+        f = np.zeros_like(self.positions)
+        a = self.bonds[:, 0]
+        b = self.bonds[:, 1]
+        delta = self.positions[b] - self.positions[a]
+        length = np.linalg.norm(delta, axis=1)
+        length = np.maximum(length, 1e-12)
+        stretch = (length - self.rest_lengths) / length
+        pull = self.spring_k * stretch[:, None] * delta
+        np.add.at(f, a, pull)
+        np.add.at(f, b, -pull)
+        f -= self.damping * self.velocities
+        f += self._pending_force
+        return f
+
+    def step(self) -> np.ndarray:
+        """One velocity-Verlet step; returns the new positions (view)."""
+        f = self._forces()
+        self.velocities += f * self.dt
+        self.positions += self.velocities * self.dt
+        self._pending_force[:] = 0.0
+        self.steps += 1
+        return self.positions
+
+    def kinetic_energy(self) -> float:
+        return 0.5 * float((self.velocities ** 2).sum())
+
+
+@dataclass
+class FeedStats:
+    timesteps_published: int = 0
+    bytes_published: int = 0
+    subscribers_reached: int = 0
+
+
+class LiveFeed:
+    """Pumps an external simulator's state into a data-service session."""
+
+    def __init__(self, data_service, session_id: str,
+                 simulator: MoleculeSimulator,
+                 node_name: str = "molecule",
+                 point_size: float = 2.0,
+                 origin: str = "livefeed") -> None:
+        self.data_service = data_service
+        self.session_id = session_id
+        self.simulator = simulator
+        self.origin = origin
+        self.stats = FeedStats()
+        session = data_service.session(session_id)
+        existing = session.tree.find_by_name(node_name)
+        if existing:
+            self.node_id = existing[0].node_id
+        else:
+            node = PointCloudNode(
+                simulator.positions.astype(np.float32),
+                point_size=point_size, name=node_name)
+            self.node_id = max(n.node_id for n in session.tree) + 1
+            data_service.publish_update(session_id, AddNode.of(
+                node, parent_id=session.tree.root.node_id,
+                node_id=self.node_id, origin=origin))
+
+    def pump(self, n_steps: int = 1) -> dict[str, float]:
+        """Advance the simulator and publish the new geometry."""
+        if n_steps < 1:
+            raise ServiceError("n_steps must be >= 1")
+        for _ in range(n_steps):
+            positions = self.simulator.step()
+        update = ModifyGeometry(
+            node_id=self.node_id, origin=self.origin,
+            fields={"points": positions.astype(np.float32)})
+        deliveries = self.data_service.publish_update(self.session_id,
+                                                      update)
+        self.stats.timesteps_published += 1
+        self.stats.bytes_published += update.payload_bytes
+        self.stats.subscribers_reached += len(deliveries)
+        return deliveries
+
+
+class SteeringBridge:
+    """Routes user interaction on a bridged object into the simulator.
+
+    The GUI side sees a normal scene node; a drag on it becomes
+    :meth:`steer`, which converts the gesture into a force on the nearest
+    atom and pumps the feed so every collaborator sees the response — the
+    paper's molecule example verbatim.
+    """
+
+    def __init__(self, feed: LiveFeed, force_scale: float = 60.0) -> None:
+        self.feed = feed
+        self.force_scale = force_scale
+        self.steers = 0
+
+    def nearest_atom(self, point) -> int:
+        point = np.asarray(point, dtype=np.float64)
+        d = np.linalg.norm(self.feed.simulator.positions - point, axis=1)
+        return int(np.argmin(d))
+
+    def steer(self, grab_point, drag_vector,
+              settle_steps: int = 3) -> dict[str, float]:
+        """Grab near ``grab_point``, pull along ``drag_vector``."""
+        atom = self.nearest_atom(grab_point)
+        force = np.asarray(drag_vector, dtype=np.float64) * self.force_scale
+        self.feed.simulator.apply_force(atom, force)
+        self.steers += 1
+        return self.feed.pump(n_steps=settle_steps)
+
+    def bridged_interactions(self) -> list[str]:
+        """What the interrogating GUI shows for the bridged object."""
+        return ["select", "steer-force"]

@@ -1,0 +1,56 @@
+"""Binary data-plane message framing.
+
+"The sockets are specified during the initial SOAP-based service
+subscription by the client" — once subscribed, RAVE talks length-prefixed
+binary frames.  A frame is a fixed little-endian header (magic, version,
+payload length, CRC32) followed by the payload produced by
+:mod:`repro.network.marshalling`.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import MarshallingError
+
+_MAGIC = 0x52415645  # "RAVE"
+_VERSION = 1
+_HEADER = struct.Struct("<IHHIQ")  # magic, version, flags, crc32, length
+
+
+@dataclass(frozen=True)
+class FrameHeader:
+    version: int
+    flags: int
+    crc32: int
+    length: int
+
+
+def frame_message(payload: bytes, flags: int = 0) -> bytes:
+    """Wrap a payload in a RAVE frame."""
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    return _HEADER.pack(_MAGIC, _VERSION, flags, crc, len(payload)) + payload
+
+
+def unframe_message(data: bytes) -> tuple[FrameHeader, bytes]:
+    """Unwrap a frame, validating magic, version, length and checksum."""
+    if len(data) < _HEADER.size:
+        raise MarshallingError(
+            f"frame shorter than header ({len(data)} bytes)")
+    magic, version, flags, crc, length = _HEADER.unpack_from(data)
+    if magic != _MAGIC:
+        raise MarshallingError(f"bad frame magic 0x{magic:08x}")
+    if version != _VERSION:
+        raise MarshallingError(f"unsupported frame version {version}")
+    body = data[_HEADER.size:]
+    if len(body) != length:
+        raise MarshallingError(
+            f"frame length mismatch: header says {length}, got {len(body)}")
+    actual = zlib.crc32(body) & 0xFFFFFFFF
+    if actual != crc:
+        raise MarshallingError(
+            f"frame checksum mismatch: 0x{actual:08x} != 0x{crc:08x}")
+    return FrameHeader(version=version, flags=flags, crc32=crc,
+                       length=length), body

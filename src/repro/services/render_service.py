@@ -1,0 +1,385 @@
+"""The RAVE render service.
+
+"Render services connect to the data service, and request a copy of the
+latest data ... can be exposed to the local console ... can also render
+off-screen for remote users ... may be requested to render a subset of the
+scene tree or frame buffer."  (paper §3.1.2)
+
+A :class:`RenderService` owns a :class:`~repro.render.engine.RenderEngine`
+for its machine profile, keeps one shared scene copy per data session
+("if multiple users view the same session, then a single copy of the data
+are stored in the render service to save resources"), and serves:
+
+- full-frame off-screen renders for thin clients;
+- scene-subset renders (dataset distribution) — the caller composites by
+  depth;
+- tile renders (framebuffer distribution) — the caller assembles tiles;
+- capacity and load reports for the data service's policy engine.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.capacity import (
+    DEFAULT_TARGET_FPS,
+    RenderCapacity,
+    capacity_from_profile,
+)
+from repro.errors import RenderError, ServiceError, SessionError
+from repro.render.camera import Camera
+from repro.render.engine import RenderEngine, RenderTiming
+from repro.render.framebuffer import FrameBuffer, Tile
+from repro.render.points import rasterize_points
+from repro.render.rasterizer import rasterize_mesh
+from repro.render.volume import raymarch_volume
+from repro.scenegraph.nodes import (
+    AvatarNode,
+    CameraNode,
+    MeshNode,
+    PointCloudNode,
+    VolumeNode,
+)
+from repro.scenegraph.tree import SceneTree
+from repro.scenegraph.updates import SceneUpdate
+from repro.services.container import ServiceContainer
+from repro.services.data_service import BootstrapTiming, DataService
+
+import numpy as np
+
+
+@dataclass
+class RenderSession:
+    """One render session: a user (or assisting service) viewing a dataset."""
+
+    render_session_id: str
+    data_service: DataService
+    session_id: str
+    #: the shared local scene copy (one per (service, session_id))
+    tree: SceneTree
+    #: node ids this service is responsible for; None = whole scene
+    assigned_ids: set[int] | None = None
+    #: tile assignment when assisting framebuffer distribution
+    assigned_tile: Tile | None = None
+    frames_rendered: int = 0
+
+    def assigned_polygons(self) -> int:
+        if self.assigned_ids is None:
+            return self.tree.total_polygons()
+        total = 0
+        for nid in self.assigned_ids:
+            if nid in self.tree:
+                node = self.tree.node(nid)
+                total += sum(n.n_polygons for n in node.iter_subtree())
+        return total
+
+
+class RenderService:
+    """A render service deployed in a container on one host."""
+
+    def __init__(self, name: str, container: ServiceContainer) -> None:
+        from repro.services.wsdl import RENDER_SERVICE_WSDL
+
+        if container.profile is None or not container.profile.can_render:
+            raise ServiceError(
+                f"host {container.host!r} cannot run a render service")
+        self.name = name
+        self.container = container
+        self.endpoint = container.deploy(RENDER_SERVICE_WSDL)
+        self.engine = RenderEngine(container.profile)
+        self._sessions: dict[str, RenderSession] = {}
+        #: shared scene copies, one per (data service, session)
+        self._scene_cache: dict[tuple[str, str], SceneTree] = {}
+        #: data-service subscription names, keyed like the scene cache
+        self._subscriptions: dict[tuple[str, str],
+                                  tuple[DataService, str]] = {}
+        self._seq = itertools.count(1)
+        #: exponentially-smoothed frames/second estimate (migration input)
+        self.reported_fps: float = float("inf")
+
+    @property
+    def host(self) -> str:
+        return self.container.host
+
+    @property
+    def network(self):
+        return self.container.network
+
+    @property
+    def profile(self):
+        return self.container.profile
+
+    # -- capacity ---------------------------------------------------------------
+
+    def capacity(self) -> RenderCapacity:
+        return capacity_from_profile(self.profile)
+
+    def committed_polygons(self) -> float:
+        """Polygons this service must redraw each frame across sessions."""
+        return float(sum(s.assigned_polygons()
+                         for s in self._sessions.values()))
+
+    def utilisation(self, target_fps: float = DEFAULT_TARGET_FPS) -> float:
+        """Committed render work as a fraction of the target-fps budget."""
+        budget = self.capacity().polygon_budget(target_fps)
+        return self.committed_polygons() / budget if budget > 0 else float("inf")
+
+    # -- session bootstrap ----------------------------------------------------------
+
+    def create_render_session(self, data_service: DataService,
+                              session_id: str,
+                              subset_ids: set[int] | None = None,
+                              introspective: bool = True,
+                              charge_instance: bool = True) -> tuple[
+                                  RenderSession, BootstrapTiming]:
+        """Bootstrap from a data service (the Table 5 "service bootstrap").
+
+        A shared scene copy is reused when this service already subscribes
+        to the session — additional users then cost no extra bootstrap
+        transfer ("a single copy of the data are stored").
+        """
+        clock = self.network.sim.clock
+        t0 = clock.now
+        if charge_instance:
+            self.container.create_instance(
+                "render", label=f"{session_id}@{self.name}")
+        instance_seconds = clock.now - t0
+
+        cache_key = (data_service.name, session_id)
+        if cache_key in self._scene_cache:
+            tree = self._scene_cache[cache_key]
+            timing = BootstrapTiming(
+                instance_seconds=instance_seconds, handshake_seconds=0.0,
+                marshal_seconds=0.0, transfer_seconds=0.0,
+                demarshal_seconds=0.0, nbytes=0)
+        else:
+            subscriber_name = f"{self.name}/{session_id}"
+            tree, sub_timing = data_service.subscribe(
+                session_id, subscriber_name=subscriber_name,
+                host=self.host, kind="render",
+                interests=subset_ids,
+                on_update=self._make_update_handler(cache_key),
+                introspective=introspective,
+                subscriber_cpu_factor=self.container.cpu_factor)
+            self._scene_cache[cache_key] = tree
+            self._subscriptions[cache_key] = (data_service, subscriber_name)
+            timing = BootstrapTiming(
+                instance_seconds=instance_seconds,
+                handshake_seconds=sub_timing.handshake_seconds,
+                marshal_seconds=sub_timing.marshal_seconds,
+                transfer_seconds=sub_timing.transfer_seconds,
+                demarshal_seconds=sub_timing.demarshal_seconds,
+                nbytes=sub_timing.nbytes)
+
+        rsid = f"rs-{self.name}-{next(self._seq):04d}"
+        session = RenderSession(
+            render_session_id=rsid, data_service=data_service,
+            session_id=session_id, tree=tree, assigned_ids=subset_ids)
+        self._sessions[rsid] = session
+        return session, timing
+
+    def _make_update_handler(self, cache_key: tuple[str, str]):
+        def handler(update: SceneUpdate) -> None:
+            tree = self._scene_cache.get(cache_key)
+            if tree is not None:
+                update.apply(tree)
+        return handler
+
+    def assign_subset(self, rsid: str, subtree: SceneTree,
+                      share_ids: set[int] | None,
+                      from_host: str | None = None,
+                      charge_time: bool = True) -> None:
+        """Receive a scene subset for this session (dataset distribution).
+
+        The paper: "The render service itself is thus given a subset of
+        the scene tree, including the parent nodes to orientate the scene
+        subset in the world."  The subset replaces the session's local
+        copy; transfer + binary marshalling time is charged when
+        ``from_host`` is given.
+        """
+        session = self.render_session(rsid)
+        if charge_time and from_host is not None:
+            from repro.network.marshalling import BinaryMarshaller
+
+            marshaller = BinaryMarshaller(self.container.cpu_factor)
+            result = marshaller.marshal(subtree.to_wire())
+            transfer = self.network.transfer_time(from_host, self.host,
+                                                  result.nbytes)
+            _, demarshal = marshaller.demarshal(result.data)
+            self.network.sim.clock.advance(
+                result.cpu_seconds + transfer + demarshal)
+        session.tree = subtree
+        session.assigned_ids = (set(share_ids)
+                                if share_ids is not None else None)
+        key = (session.data_service.name, session.session_id)
+        self._scene_cache[key] = subtree
+
+    def render_session(self, rsid: str) -> RenderSession:
+        try:
+            return self._sessions[rsid]
+        except KeyError:
+            raise SessionError(
+                f"no render session {rsid!r} on {self.name!r}") from None
+
+    def render_sessions(self) -> list[RenderSession]:
+        return list(self._sessions.values())
+
+    def close_render_session(self, rsid: str) -> None:
+        session = self.render_session(rsid)
+        del self._sessions[rsid]
+        # Drop the shared copy (and the data-service subscription) when
+        # nobody uses it any more.
+        key = (session.data_service.name, session.session_id)
+        if not any((s.data_service.name, s.session_id) == key
+                   for s in self._sessions.values()):
+            self._scene_cache.pop(key, None)
+            sub = self._subscriptions.pop(key, None)
+            if sub is not None:
+                from repro.errors import SessionError
+
+                data_service, subscriber_name = sub
+                try:
+                    data_service.unsubscribe(session.session_id,
+                                             subscriber_name)
+                except SessionError:
+                    pass  # already unsubscribed out of band
+
+    # -- rendering ---------------------------------------------------------------------
+
+    def _draw_tree(self, session: RenderSession, camera: Camera,
+                   fb: FrameBuffer, include_avatars: bool = True) -> int:
+        """Rasterize the session's (assigned part of the) tree; returns
+        polygons drawn."""
+        tree = session.tree
+        drawn = 0
+        allowed = session.assigned_ids
+        for node in tree:
+            if allowed is not None and node.node_id not in allowed:
+                # children of an assigned node are included via assignment
+                if not any(a.node_id in allowed
+                           for a in tree.path_to_root(node)):
+                    continue
+            world = tree.world_transform(node)
+            is_identity = np.allclose(world, np.eye(4))
+            if isinstance(node, MeshNode):
+                mesh = node.mesh if is_identity else node.mesh.transformed(world)
+                rasterize_mesh(mesh, camera, fb, shading="flat")
+                drawn += mesh.n_triangles
+            elif isinstance(node, PointCloudNode):
+                pts = node.points if is_identity else (
+                    node.points @ world[:3, :3].T + world[:3, 3]).astype(
+                        np.float32)
+                rasterize_points(pts, camera, fb, colors=node.colors,
+                                 point_size=max(1, int(node.point_size)))
+            elif isinstance(node, VolumeNode):
+                img = raymarch_volume(node.volume, camera, fb.width,
+                                      fb.height,
+                                      opacity_scale=node.opacity_scale)
+                solid = img.rgba[..., 3] > 0.05
+                nearer = solid & (img.depth < fb.depth)
+                fb.depth[nearer] = img.depth[nearer]
+                fb.color[nearer] = np.clip(
+                    img.rgba[..., :3][nearer] * 255.0, 0, 255).astype(
+                        np.uint8)
+            elif isinstance(node, AvatarNode) and include_avatars:
+                cone = node.cone_geometry()
+                rasterize_mesh(cone, camera, fb, shading="flat",
+                               base_color=(240, 180, 60))
+                drawn += cone.n_triangles
+        session.frames_rendered += 1
+        return drawn
+
+    def render_view(self, rsid: str, camera: CameraNode | Camera,
+                    width: int, height: int, offscreen: bool = True,
+                    interleaved: int = 1, background=(12, 12, 24),
+                    include_avatars: bool = True
+                    ) -> tuple[FrameBuffer, RenderTiming]:
+        """Render a full view; advances the clock by the modelled frame time."""
+        session = self.render_session(rsid)
+        cam = camera if isinstance(camera, Camera) else Camera.from_node(camera)
+        fb = FrameBuffer(width, height, background=background)
+        self._draw_tree(session, cam, fb, include_avatars=include_avatars)
+        timing = self.engine.timing(session.assigned_polygons(),
+                                    fb.pixels, offscreen=offscreen,
+                                    interleaved=interleaved)
+        self.network.sim.clock.advance(timing.total_seconds)
+        self._update_reported_fps(timing)
+        return fb, timing
+
+    def render_views_parallel(self, requests: list[tuple],
+                              offscreen: bool = True,
+                              background=(12, 12, 24)
+                              ) -> list[tuple[FrameBuffer, RenderTiming]]:
+        """Serve several render requests across the machine's graphics pipes.
+
+        "Multiple render sessions are supported by each render service, so
+        multiple users may share available rendering resources" — and the
+        Onyx brings three InfiniteReality pipes to that sharing.  Requests
+        are ``(rsid, camera, width, height)`` tuples; they execute in
+        batches of ``graphics_pipes``, each batch's wall time being its
+        slowest member (pipes run concurrently), batches serialising.
+
+        Returns per-request ``(framebuffer, timing)`` in input order; the
+        simulated clock advances by the total schedule, not the sum of
+        frame times.
+        """
+        from repro.network.clock import SimClock
+
+        if not requests:
+            return []
+        pipes = max(1, self.profile.graphics_pipes)
+        sim = self.network.sim
+        real_clock = sim.clock
+        results: list[tuple[FrameBuffer, RenderTiming]] = []
+        total = 0.0
+        try:
+            for start in range(0, len(requests), pipes):
+                batch = requests[start:start + pipes]
+                slowest = 0.0
+                for rsid, camera, width, height in batch:
+                    scratch = SimClock(real_clock.now + total)
+                    sim.clock = scratch
+                    fb, timing = self.render_view(
+                        rsid, camera, width, height, offscreen=offscreen,
+                        background=background)
+                    results.append((fb, timing))
+                    slowest = max(slowest,
+                                  scratch.now - (real_clock.now + total))
+                total += slowest
+        finally:
+            sim.clock = real_clock
+        real_clock.advance(total)
+        return results
+
+    def render_tile(self, rsid: str, camera: CameraNode | Camera,
+                    tile: Tile, full_width: int, full_height: int,
+                    background=(12, 12, 24)
+                    ) -> tuple[FrameBuffer, RenderTiming]:
+        """Render one tile of the shared view (framebuffer distribution).
+
+        The whole view is rasterized at full resolution and the tile
+        extracted — geometry work is not reduced by tiling, exactly the
+        trade-off the cost model charges.
+        """
+        session = self.render_session(rsid)
+        cam = camera if isinstance(camera, Camera) else Camera.from_node(camera)
+        full = FrameBuffer(full_width, full_height, background=background)
+        self._draw_tree(session, cam, full)
+        timing = self.engine.timing(session.assigned_polygons(), tile.pixels,
+                                    offscreen=True)
+        self.network.sim.clock.advance(timing.total_seconds)
+        self._update_reported_fps(timing)
+        return full.extract(tile), timing
+
+    def _update_reported_fps(self, timing: RenderTiming,
+                             alpha: float = 0.3) -> None:
+        fps = timing.fps
+        if self.reported_fps == float("inf"):
+            self.reported_fps = fps
+        else:
+            self.reported_fps = alpha * fps + (1 - alpha) * self.reported_fps
+
+    def __repr__(self) -> str:
+        return (f"RenderService(name={self.name!r}, host={self.host!r}, "
+                f"sessions={len(self._sessions)})")

@@ -1,0 +1,133 @@
+"""Access control and the Axis-vs-GT3 container trade-off.
+
+Two security-adjacent threads from the paper:
+
+- §3.2.2: services connect "automatically (no configuration is required
+  by the client, although **resources may need to have access permissions
+  modified to permit new users**)" — :class:`AccessPolicy` is that
+  permission list, enforced at subscription time with a SOAP fault on
+  denial.
+- §4.3: "We may switch back to using GT3 when we wish to use **Grid
+  security certificates to authorise users**.  However ... the build
+  process [of Axis] is simpler and faster than Globus Toolkit 3" —
+  :class:`GridCertificate` + :func:`gt3_handshake_seconds` model the GT3
+  certificate path: mutual authentication adds per-connection handshakes,
+  and GT3 instance creation is slower than Axis's (the reason the paper
+  stayed on Axis during development).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.errors import SoapFault
+
+#: GT3 instance creation relative to Axis (the paper: Axis "simpler and
+#: faster"; GT3 builds/deploys measured in multiples)
+GT3_INSTANCE_FACTOR = 2.5
+#: per-connection GSI mutual-authentication handshake (certificate chain
+#: verification on 2004 CPUs)
+GT3_HANDSHAKE_SECONDS = 0.35
+
+
+@dataclass(frozen=True)
+class GridCertificate:
+    """A toy X.509-like identity certificate.
+
+    ``subject`` is the user, ``issuer`` the signing CA; the signature is a
+    digest over (subject, issuer) with the CA's key material — enough to
+    test verification and forgery rejection without real crypto.
+    """
+
+    subject: str
+    issuer: str
+    signature: str
+
+    @staticmethod
+    def _sign(subject: str, issuer: str, ca_secret: str) -> str:
+        return hashlib.sha256(
+            f"{subject}|{issuer}|{ca_secret}".encode()).hexdigest()
+
+    @classmethod
+    def issue(cls, subject: str, issuer: str,
+              ca_secret: str) -> "GridCertificate":
+        return cls(subject=subject, issuer=issuer,
+                   signature=cls._sign(subject, issuer, ca_secret))
+
+    def verify(self, issuer: str, ca_secret: str) -> bool:
+        return (self.issuer == issuer
+                and self.signature == self._sign(self.subject, issuer,
+                                                 ca_secret))
+
+
+@dataclass
+class AccessPolicy:
+    """Per-resource permission list with optional certificate checking.
+
+    Modes:
+
+    - open (default): anyone connects — the Axis/Web-services deployment;
+    - allow-list: only named users;
+    - certificates: only users presenting a certificate from the trusted
+      CA (the GT3 deployment), optionally intersected with the allow-list.
+    """
+
+    #: None = everyone; else the permitted user names
+    allowed_users: set[str] | None = None
+    #: trusted CA name + secret; None disables certificate checks
+    trusted_issuer: str | None = None
+    _ca_secret: str = field(default="", repr=False)
+    denials: int = 0
+
+    @classmethod
+    def open(cls) -> "AccessPolicy":
+        return cls()
+
+    @classmethod
+    def allow(cls, *users: str) -> "AccessPolicy":
+        return cls(allowed_users=set(users))
+
+    @classmethod
+    def certified(cls, issuer: str, ca_secret: str,
+                  users: set[str] | None = None) -> "AccessPolicy":
+        return cls(allowed_users=users, trusted_issuer=issuer,
+                   _ca_secret=ca_secret)
+
+    def permit(self, user: str) -> None:
+        """The administrator action the paper describes: modify access
+        permissions to permit a new user."""
+        if self.allowed_users is None:
+            self.allowed_users = set()
+        self.allowed_users.add(user)
+
+    def revoke(self, user: str) -> None:
+        if self.allowed_users is not None:
+            self.allowed_users.discard(user)
+
+    def authorize(self, user: str,
+                  certificate: GridCertificate | None = None) -> None:
+        """Raise a SOAP fault unless the user may connect."""
+        if self.trusted_issuer is not None:
+            if certificate is None:
+                self.denials += 1
+                raise SoapFault("Sender",
+                                f"{user!r} must present a grid certificate")
+            if certificate.subject != user or not certificate.verify(
+                    self.trusted_issuer, self._ca_secret):
+                self.denials += 1
+                raise SoapFault("Sender",
+                                f"certificate for {user!r} not trusted")
+        if self.allowed_users is not None and user not in self.allowed_users:
+            self.denials += 1
+            raise SoapFault(
+                "Sender",
+                f"{user!r} is not permitted on this resource; ask the "
+                "administrator to modify access permissions")
+
+
+def gt3_handshake_seconds(cpu_factor: float = 1.0) -> float:
+    """Per-connection GSI authentication cost on a given machine."""
+    if cpu_factor <= 0:
+        raise ValueError("cpu_factor must be positive")
+    return GT3_HANDSHAKE_SECONDS / cpu_factor

@@ -1,0 +1,123 @@
+"""Continuous frame streaming (paper §5.5).
+
+"At present we are not using any synchronisation between frame buffers,
+local and remote simply rendering 'best effort' and continuously stream
+images to the user."
+
+Table 2's frame rates are *request-response*: fps = 1/(render + transfer +
+overheads) because nothing overlaps.  A streaming service can instead
+pipeline — render frame n+1 while frame n crosses the network — which this
+module implements over the discrete-event simulator: the render engine and
+the network act as two resources with their own busy timelines, and the
+steady-state period becomes max(render, transfer) rather than the sum.
+
+:class:`FrameStreamer` runs both modes so the pipelining ablation can
+quantify the paper's follow-up opportunity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ServiceError
+
+
+@dataclass
+class StreamStats:
+    """What a streaming run delivered."""
+
+    frames: int
+    elapsed_seconds: float
+    #: per-frame arrival times at the client (simulated)
+    arrivals: list[float] = field(default_factory=list)
+
+    @property
+    def fps(self) -> float:
+        return self.frames / self.elapsed_seconds if self.elapsed_seconds \
+            else 0.0
+
+    @property
+    def steady_period(self) -> float:
+        """Median inter-arrival gap once the pipeline is full."""
+        if len(self.arrivals) < 3:
+            return self.elapsed_seconds / max(1, self.frames)
+        gaps = sorted(b - a for a, b in zip(self.arrivals[1:-1],
+                                            self.arrivals[2:]))
+        return gaps[len(gaps) // 2]
+
+
+class FrameStreamer:
+    """Streams frames from a render service to a thin-client host."""
+
+    def __init__(self, render_service, render_session_id: str,
+                 client_host: str, width: int = 200, height: int = 200,
+                 blit_seconds: float = 0.0) -> None:
+        render_service.render_session(render_session_id)  # validate
+        self.service = render_service
+        self.rsid = render_session_id
+        self.client_host = client_host
+        self.width = width
+        self.height = height
+        self.blit_seconds = blit_seconds
+
+    def _frame_costs(self) -> tuple[float, float]:
+        """(render seconds, transfer seconds) for one frame right now."""
+        session = self.service.render_session(self.rsid)
+        timing = self.service.engine.timing(
+            session.assigned_polygons(), self.width * self.height,
+            offscreen=True)
+        nbytes = self.width * self.height * 3
+        transfer = self.service.network.transfer_time(
+            self.service.host, self.client_host, nbytes)
+        return timing.total_seconds, transfer
+
+    # -- request/response (what the paper measured in Table 2) ------------------
+
+    def stream_lockstep(self, n_frames: int) -> StreamStats:
+        """Request → render → transfer → blit, strictly serialised."""
+        if n_frames < 1:
+            raise ServiceError("need at least one frame")
+        clock = self.service.network.sim.clock
+        t0 = clock.now
+        arrivals = []
+        for _ in range(n_frames):
+            render, transfer = self._frame_costs()
+            clock.advance(render + transfer + self.blit_seconds)
+            arrivals.append(clock.now)
+        return StreamStats(frames=n_frames,
+                           elapsed_seconds=clock.now - t0,
+                           arrivals=arrivals)
+
+    # -- pipelined streaming (the §5.5 behaviour, modelled on the DES) -----------
+
+    def stream_pipelined(self, n_frames: int) -> StreamStats:
+        """Render and transfer overlap: two resources, event-driven.
+
+        The renderer starts frame k+1 as soon as frame k finishes
+        rendering; the network sends frame k as soon as both the frame is
+        rendered and the previous transfer is done.  Best-effort, no
+        synchronisation — exactly the paper's streaming mode.
+        """
+        if n_frames < 1:
+            raise ServiceError("need at least one frame")
+        sim = self.service.network.sim
+        t0 = sim.clock.now
+        arrivals: list[float] = []
+
+        render_free_at = t0
+        net_free_at = t0
+        for _ in range(n_frames):
+            render, transfer = self._frame_costs()
+            render_done = max(render_free_at, sim.clock.now) + render
+            render_free_at = render_done
+            send_start = max(render_done, net_free_at)
+            arrival = send_start + transfer
+            net_free_at = arrival
+            # schedule the arrival event so downstream consumers (e.g. a
+            # FrameSynchronizer feeding a display) can react in order
+            sim.schedule_at(arrival + self.blit_seconds,
+                            lambda t=arrival: arrivals.append(t))
+        sim.run()
+        return StreamStats(frames=n_frames,
+                           elapsed_seconds=sim.clock.now - t0,
+                           arrivals=sorted(arrivals))

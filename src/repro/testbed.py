@@ -1,0 +1,164 @@
+"""One-call construction of the paper's testbed.
+
+Builds the §4.4 environment: the six machines on 100 Mbit switched
+ethernet, the Zaurus on an 11 Mbit 802.11b cell, service containers, a UDDI
+registry (jUDDI stand-in) with the RAVE business and both technical models,
+a data service, and render services on every render-capable machine — all
+over one simulated clock.
+
+Every example, test and benchmark that needs "the paper's setup" starts
+from :func:`build_testbed` so the topology lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.recruitment import (
+    DATA_TMODEL,
+    RAVE_BUSINESS,
+    RENDER_TMODEL,
+    Recruiter,
+)
+from repro.data.meshes import Mesh
+from repro.errors import ServiceError
+from repro.hardware.profiles import TESTBED as PROFILES
+from repro.network.simnet import Network, WirelessCell
+from repro.scenegraph.nodes import MeshNode
+from repro.scenegraph.tree import SceneTree
+from repro.services.clients import ActiveRenderClient, ThinClient
+from repro.services.container import ServiceContainer
+from repro.services.data_service import DataService, DataSession
+from repro.services.render_service import RenderService
+from repro.services.uddi import AccessPoint, UddiClient, UddiRegistry
+from repro.services.wsdl import DATA_SERVICE_WSDL, RENDER_SERVICE_WSDL
+
+#: machines that run render services in the default testbed
+RENDER_HOSTS = ("onyx", "v880z", "centrino", "xeon", "athlon")
+#: the host carrying the data service (the dual-Xeon desktop)
+DATA_HOST = "xeon"
+#: the wireless thin-client host
+PDA_HOST = "zaurus"
+
+
+@dataclass
+class Testbed:
+    """The assembled environment."""
+
+    network: Network
+    registry: UddiRegistry
+    containers: dict[str, ServiceContainer]
+    data_service: DataService
+    render_services: dict[str, RenderService]
+    wireless: WirelessCell
+    business_key: str = ""
+    _clients: list = field(default_factory=list)
+
+    @property
+    def clock(self):
+        return self.network.sim.clock
+
+    def render_service(self, host: str) -> RenderService:
+        try:
+            return self.render_services[host]
+        except KeyError:
+            raise ServiceError(
+                f"no render service on {host!r}; render hosts: "
+                f"{sorted(self.render_services)}") from None
+
+    def publish_model(self, session_id: str, mesh: Mesh,
+                      charge_time: bool = False) -> DataSession:
+        """Import a mesh into the data service as a new session."""
+        tree = SceneTree(name=session_id)
+        tree.add(MeshNode(mesh))
+        return self.data_service.create_session(session_id, tree,
+                                                charge_time=charge_time)
+
+    def publish_tree(self, session_id: str, tree: SceneTree,
+                     charge_time: bool = False) -> DataSession:
+        return self.data_service.create_session(session_id, tree,
+                                                charge_time=charge_time)
+
+    def thin_client(self, name: str, host: str = PDA_HOST,
+                    blit_path: str = "cpp") -> ThinClient:
+        client = ThinClient(name, host, self.network, blit_path=blit_path)
+        self._clients.append(client)
+        return client
+
+    def active_client(self, name: str, host: str) -> ActiveRenderClient:
+        client = ActiveRenderClient(name, host, self.network,
+                                    PROFILES[host])
+        self._clients.append(client)
+        return client
+
+    def uddi_client(self, from_host: str) -> UddiClient:
+        profile = PROFILES.get(from_host)
+        return UddiClient(self.registry, self.network, from_host,
+                          "registry-host",
+                          cpu_factor=profile.cpu_factor if profile else 1.0)
+
+    def recruiter(self, from_host: str | None = None,
+                  exclude_hosts: tuple[str, ...] = ()) -> Recruiter:
+        """A recruiter resolving the registry's render-service endpoints."""
+        directory = {
+            service.endpoint: service
+            for host, service in self.render_services.items()
+            if host not in exclude_hosts
+        }
+        return Recruiter(self.uddi_client(from_host or DATA_HOST), directory)
+
+
+def build_testbed(render_hosts: tuple[str, ...] = RENDER_HOSTS,
+                  data_host: str = DATA_HOST,
+                  pda_signal_quality: float = 1.0,
+                  register_uddi: bool = True) -> Testbed:
+    """Assemble the §4.4 testbed.  See module docstring."""
+    network = Network()
+    for name in set(render_hosts) | {data_host}:
+        if name not in PROFILES:
+            raise ServiceError(f"unknown machine {name!r}")
+        network.add_host(name, profile=name)
+    if PDA_HOST not in network.hosts:
+        network.add_host(PDA_HOST, profile=PDA_HOST)
+    network.add_host("registry-host")
+
+    wired = sorted((set(render_hosts) | {data_host, "registry-host"}))
+    network.add_ethernet_segment(wired, "switch", bandwidth_bps=100e6)
+    wireless = WirelessCell(network, "switch")
+    wireless.join(PDA_HOST, signal_quality=pda_signal_quality)
+
+    containers = {
+        host: ServiceContainer(host, network)
+        for host in set(render_hosts) | {data_host}
+    }
+    data_service = DataService("rave-data", containers[data_host])
+    render_services = {}
+    for host in render_hosts:
+        container = containers[host]
+        if container is containers[data_host] and host == data_host:
+            pass  # data + render share the container on the data host
+        render_services[host] = RenderService(f"rs-{host}", container)
+
+    registry = UddiRegistry("wesc-uddi")
+    business_key = ""
+    if register_uddi:
+        business = registry.register_business(
+            RAVE_BUSINESS, "Resource-Aware Visualization Environment")
+        business_key = business.business_key
+        data_tm = registry.register_tmodel(DATA_TMODEL, DATA_SERVICE_WSDL)
+        render_tm = registry.register_tmodel(RENDER_TMODEL,
+                                             RENDER_SERVICE_WSDL)
+        registry.register_service(
+            business.business_key, f"RaveDataService@{data_host}",
+            AccessPoint(url=data_service.endpoint, host=data_host),
+            [data_tm])
+        for host, service in render_services.items():
+            registry.register_service(
+                business.business_key, f"RaveRenderService@{host}",
+                AccessPoint(url=service.endpoint, host=host),
+                [render_tm])
+
+    return Testbed(network=network, registry=registry,
+                   containers=containers, data_service=data_service,
+                   render_services=render_services, wireless=wireless,
+                   business_key=business_key)

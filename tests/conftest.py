@@ -1,0 +1,64 @@
+"""Shared fixtures: small deterministic meshes, trees and testbeds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.meshes import Mesh
+from repro.scenegraph.nodes import CameraNode, MeshNode, TransformNode
+from repro.scenegraph.tree import SceneTree
+
+
+@pytest.fixture
+def triangle() -> Mesh:
+    """One triangle in the z=0 plane."""
+    return Mesh(
+        np.array([[-1.0, -1.0, 0.0], [1.0, -1.0, 0.0], [0.0, 1.0, 0.0]],
+                 dtype=np.float32),
+        np.array([[0, 1, 2]], dtype=np.int32),
+        name="tri",
+    )
+
+
+@pytest.fixture
+def quad() -> Mesh:
+    """A unit quad (two triangles) in the z=0 plane."""
+    return Mesh(
+        np.array([[-1, -1, 0], [1, -1, 0], [1, 1, 0], [-1, 1, 0]],
+                 dtype=np.float32),
+        np.array([[0, 1, 2], [0, 2, 3]], dtype=np.int32),
+        name="quad",
+    )
+
+
+@pytest.fixture
+def small_galleon() -> Mesh:
+    from repro.data.generators import galleon
+
+    return galleon().normalized()
+
+
+@pytest.fixture
+def simple_tree(quad) -> SceneTree:
+    """root -> transform -> mesh, plus a camera."""
+    tree = SceneTree("fixture")
+    xf = tree.add(TransformNode.from_translation((1.0, 0.0, 0.0), name="xf"))
+    tree.add(MeshNode(quad, name="quad"), parent=xf)
+    tree.add(CameraNode(position=(0, 0, 5), target=(0, 0, 0), name="cam"))
+    return tree
+
+
+@pytest.fixture
+def testbed():
+    from repro.testbed import build_testbed
+
+    return build_testbed()
+
+
+@pytest.fixture
+def small_testbed():
+    """Two render hosts only — faster for service-level tests."""
+    from repro.testbed import build_testbed
+
+    return build_testbed(render_hosts=("centrino", "athlon"))

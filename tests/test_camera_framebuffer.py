@@ -1,0 +1,165 @@
+"""Camera projection and framebuffer/tiling invariants."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RenderError
+from repro.render.camera import Camera
+from repro.render.framebuffer import FrameBuffer, Tile, split_tiles
+from repro.scenegraph.nodes import CameraNode
+
+
+class TestCamera:
+    def make(self):
+        return Camera.looking_at((0, 0, 5), target=(0, 0, 0), up=(0, 1, 0))
+
+    def test_target_projects_to_center(self):
+        cam = self.make()
+        screen, w = cam.project_vertices(np.zeros((1, 3)), 200, 200)
+        assert screen[0, 0] == pytest.approx(100.0)
+        assert screen[0, 1] == pytest.approx(100.0)
+        assert w[0] == pytest.approx(5.0)
+
+    def test_depth_is_view_distance(self):
+        cam = self.make()
+        pts = np.array([[0, 0, 0], [0, 0, 2], [0, 0, -3]], dtype=float)
+        screen, w = cam.project_vertices(pts, 100, 100)
+        assert np.allclose(w, [5.0, 3.0, 8.0])
+        assert np.allclose(screen[:, 2], w)
+
+    def test_right_is_positive_x(self):
+        cam = self.make()
+        screen, _ = cam.project_vertices(np.array([[1.0, 0, 0]]), 200, 200)
+        assert screen[0, 0] > 100
+
+    def test_up_is_negative_y_pixels(self):
+        cam = self.make()
+        screen, _ = cam.project_vertices(np.array([[0, 1.0, 0]]), 200, 200)
+        assert screen[0, 1] < 100
+
+    def test_fov_controls_spread(self):
+        narrow = Camera.looking_at((0, 0, 5), fov_degrees=20)
+        wide = Camera.looking_at((0, 0, 5), fov_degrees=90)
+        pt = np.array([[1.0, 0, 0]])
+        sn, _ = narrow.project_vertices(pt, 200, 200)
+        sw, _ = wide.project_vertices(pt, 200, 200)
+        center = np.array([100.0, 100.0])
+        assert (np.linalg.norm(sn[0, :2] - center)
+                > np.linalg.norm(sw[0, :2] - center))
+
+    def test_from_node(self):
+        node = CameraNode(position=(1, 2, 3), fov_degrees=33.0)
+        cam = Camera.from_node(node)
+        assert cam.fov_degrees == 33.0
+        assert np.allclose(cam.position, [1, 2, 3])
+
+    def test_degenerate_camera_rejected(self):
+        cam = Camera.looking_at((0, 0, 0), target=(0, 0, 0))
+        with pytest.raises(RenderError):
+            cam.view_matrix()
+
+    def test_bad_clip_planes(self):
+        cam = Camera.looking_at((0, 0, 5), near=1.0, far=0.5)
+        with pytest.raises(RenderError):
+            cam.projection_matrix(1.0)
+
+    def test_parallel_up_vector_recovered(self):
+        cam = Camera.looking_at((0, 0, 5), target=(0, 0, 0), up=(0, 0, 1))
+        m = cam.view_matrix()           # must not blow up
+        assert np.isfinite(m).all()
+
+    def test_bad_vertex_shape(self):
+        with pytest.raises(RenderError):
+            self.make().project_vertices(np.zeros((3, 2)), 10, 10)
+
+
+class TestFrameBuffer:
+    def test_initial_state(self):
+        fb = FrameBuffer(10, 8, background=(1, 2, 3))
+        assert fb.width == 10 and fb.height == 8
+        assert (fb.color[0, 0] == [1, 2, 3]).all()
+        assert np.isinf(fb.depth).all()
+        assert fb.coverage() == 0.0
+
+    def test_byte_sizes(self):
+        fb = FrameBuffer(200, 200)
+        assert fb.nbytes_color == 120_000        # the paper's 120 kB frame
+        assert fb.nbytes_with_depth == 120_000 + 160_000
+
+    def test_invalid_size(self):
+        with pytest.raises(RenderError):
+            FrameBuffer(0, 10)
+
+    def test_copy_independent(self):
+        fb = FrameBuffer(4, 4)
+        cp = fb.copy()
+        cp.color[0, 0] = 255
+        assert (fb.color[0, 0] == 0).all()
+
+    def test_extract_paste_roundtrip(self):
+        fb = FrameBuffer(10, 10)
+        fb.color[2:5, 3:7] = 200
+        fb.depth[2:5, 3:7] = 1.0
+        tile = Tile(x0=3, y0=2, width=4, height=3)
+        sub = fb.extract(tile)
+        assert (sub.color == 200).all()
+        target = FrameBuffer(10, 10)
+        target.paste(tile, sub)
+        assert (target.color[2:5, 3:7] == 200).all()
+        assert (target.color[0, 0] == 0).all()
+
+    def test_extract_out_of_bounds(self):
+        with pytest.raises(RenderError):
+            FrameBuffer(10, 10).extract(Tile(8, 8, 5, 5))
+
+    def test_paste_size_mismatch(self):
+        with pytest.raises(RenderError):
+            FrameBuffer(10, 10).paste(Tile(0, 0, 4, 4), FrameBuffer(3, 3))
+
+    def test_mean_abs_diff(self):
+        a = FrameBuffer(4, 4)
+        b = FrameBuffer(4, 4)
+        b.color[:] = 10
+        assert a.mean_abs_diff(b) == pytest.approx(10.0)
+        with pytest.raises(RenderError):
+            a.mean_abs_diff(FrameBuffer(5, 5))
+
+    def test_ppm_export(self, tmp_path):
+        fb = FrameBuffer(3, 2, background=(255, 0, 0))
+        data = fb.to_ppm()
+        assert data.startswith(b"P6\n3 2\n255\n")
+        assert len(data) == len(b"P6\n3 2\n255\n") + 18
+        n = fb.save_ppm(tmp_path / "x.ppm")
+        assert (tmp_path / "x.ppm").stat().st_size == n
+
+
+class TestTiles:
+    def test_tile_validation(self):
+        with pytest.raises(RenderError):
+            Tile(0, 0, 0, 5)
+        with pytest.raises(RenderError):
+            Tile(-1, 0, 5, 5)
+
+    def test_tile_contains(self):
+        t = Tile(2, 3, 4, 5)
+        assert t.contains(2, 3) and t.contains(5, 7)
+        assert not t.contains(6, 3) and not t.contains(2, 8)
+
+    def test_split_exact_cover(self):
+        tiles = split_tiles(100, 60, 3, 2)
+        assert len(tiles) == 6
+        from repro.render.compositor import check_tiling
+
+        check_tiling(100, 60, tiles)      # raises on gap/overlap
+
+    def test_split_uneven_remainder(self):
+        tiles = split_tiles(10, 10, 3, 3)
+        from repro.render.compositor import check_tiling
+
+        check_tiling(10, 10, tiles)
+
+    def test_split_bounds(self):
+        with pytest.raises(RenderError):
+            split_tiles(4, 4, 5, 1)
+        with pytest.raises(RenderError):
+            split_tiles(10, 10, 0, 1)

@@ -1,0 +1,85 @@
+"""The CLI entry point and data-service autosave checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.data.generators import galleon
+from repro.errors import SessionError
+from repro.scenegraph.updates import SetProperty
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "testbed machines" in out
+        assert "centrino" in out
+        assert "skeletal_hand" in out
+
+    def test_quickstart(self, tmp_path, capsys):
+        out_file = tmp_path / "frame.ppm"
+        assert main(["quickstart", "--output", str(out_file)]) == 0
+        assert out_file.exists()
+        out = capsys.readouterr().out
+        assert "fps" in out
+
+    def test_tables34(self, capsys):
+        assert main(["tables34"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out and "Table 4" in out
+        assert "35%" in out        # the calibrated Elle/Centrino cell
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestAutosave:
+    @pytest.fixture
+    def session(self, small_testbed):
+        tb = small_testbed
+        tb.publish_model("auto", galleon().normalized())
+        return tb
+
+    def ship_id(self, tb):
+        return tb.data_service.session("auto").tree.find_by_name(
+            "galleon")[0].node_id
+
+    def test_checkpoint_written_on_cadence(self, session, tmp_path):
+        tb = session
+        path = tmp_path / "auto.rave"
+        tb.data_service.enable_autosave("auto", path, every_n_updates=3)
+        nid = self.ship_id(tb)
+        for i in range(2):
+            tb.data_service.publish_update("auto", SetProperty(
+                node_id=nid, field_name="name", value=f"v{i}"))
+        assert not path.exists()       # cadence not reached
+        tb.data_service.publish_update("auto", SetProperty(
+            node_id=nid, field_name="name", value="v2"))
+        assert path.exists()
+        assert tb.data_service.session("auto").autosaves_written == 1
+
+    def test_checkpoint_resumes_correctly(self, session, tmp_path):
+        tb = session
+        path = tmp_path / "auto.rave"
+        tb.data_service.enable_autosave("auto", path, every_n_updates=1)
+        nid = self.ship_id(tb)
+        tb.data_service.publish_update("auto", SetProperty(
+            node_id=nid, field_name="name", value="checkpointed"))
+        resumed = tb.data_service.load_session("auto-resumed", path)
+        assert resumed.tree.node(nid).name == "checkpointed"
+        assert len(resumed.trail) == 1
+
+    def test_cadence_validated(self, session, tmp_path):
+        with pytest.raises(SessionError):
+            session.data_service.enable_autosave("auto", tmp_path / "x",
+                                                 every_n_updates=0)
+
+    def test_autosave_unknown_session(self, session, tmp_path):
+        with pytest.raises(SessionError):
+            session.data_service.enable_autosave("ghost", tmp_path / "x")

@@ -1,0 +1,132 @@
+"""SimClock and the discrete-event Simulator."""
+
+import pytest
+
+from repro.network.clock import SimClock, Simulator
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(5.0).now == 5.0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == 2.0
+
+    def test_advance_returns_new_time(self):
+        assert SimClock().advance(3.0) == 3.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-0.1)
+
+    def test_advance_to_future(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = SimClock(5.0)
+        clock.advance_to(1.0)
+        assert clock.now == 5.0
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        sim = Simulator()
+        order = []
+        for label in "abc":
+            sim.schedule(1.0, lambda label=label: order.append(label))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(4.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [4.0]
+        assert sim.now == 4.0
+
+    def test_cancellation(self):
+        sim = Simulator()
+        ran = []
+        handle = sim.schedule(1.0, lambda: ran.append(1))
+        handle.cancel()
+        sim.run()
+        assert ran == []
+        assert handle.cancelled
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.clock.advance(5.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(3.0, lambda: None)
+
+    def test_event_can_schedule_more_events(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(1.0, lambda: order.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert order == ["first", "second"]
+        assert sim.now == 2.0
+
+    def test_run_until_leaves_later_events(self):
+        sim = Simulator()
+        ran = []
+        sim.schedule(1.0, lambda: ran.append(1))
+        sim.schedule(5.0, lambda: ran.append(5))
+        sim.run_until(2.0)
+        assert ran == [1]
+        assert sim.now == 2.0
+        assert sim.pending == 1
+
+    def test_run_until_runs_boundary_event(self):
+        sim = Simulator()
+        ran = []
+        sim.schedule(2.0, lambda: ran.append(2))
+        sim.run_until(2.0)
+        assert ran == [2]
+
+    def test_runaway_loop_detected(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(0.0, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=100)
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_processed_counter(self):
+        sim = Simulator()
+        for _ in range(3):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.processed == 3

@@ -1,0 +1,231 @@
+"""Avatars, interrogation-based interaction, and the registry browser GUI."""
+
+import numpy as np
+import pytest
+
+from repro.collab.avatar import AvatarManager
+from repro.collab.gui import RegistryBrowser
+from repro.collab.interaction import InteractionController, discover_menu
+from repro.data.generators import galleon
+from repro.errors import SceneGraphError, SessionError
+from repro.scenegraph.nodes import CameraNode, MeshNode, TransformNode
+from repro.scenegraph.tree import SceneTree
+
+
+@pytest.fixture
+def demo(small_testbed):
+    tree = SceneTree("demo")
+    tree.add(MeshNode(galleon().normalized(), name="ship"))
+    small_testbed.publish_tree("demo", tree)
+    return small_testbed
+
+
+class TestAvatarManager:
+    def test_join_adds_avatar_to_master(self, demo):
+        mgr = AvatarManager(demo.data_service, "demo")
+        cam = CameraNode(position=(3, 0, 0))
+        nid = mgr.join("ian", "tower", cam)
+        node = mgr.master_tree.node(nid)
+        assert node.user == "ian"
+        assert np.allclose(node.position, [3, 0, 0])
+
+    def test_duplicate_join_rejected(self, demo):
+        mgr = AvatarManager(demo.data_service, "demo")
+        mgr.join("ian", "tower", CameraNode())
+        with pytest.raises(SessionError):
+            mgr.join("ian", "tower", CameraNode())
+
+    def test_follow_tracks_camera(self, demo):
+        mgr = AvatarManager(demo.data_service, "demo")
+        cam = CameraNode(position=(3, 0, 0))
+        nid = mgr.join("ian", "tower", cam)
+        cam.look(position=(0, 4, 0))
+        mgr.follow("ian", cam)
+        assert np.allclose(mgr.master_tree.node(nid).position, [0, 4, 0])
+
+    def test_collaborators_excludes_self(self, demo):
+        """Figure 3: the local user sees the remote user's cone, not
+        their own."""
+        mgr = AvatarManager(demo.data_service, "demo")
+        mgr.join("ian", "tower", CameraNode(position=(1, 0, 0)))
+        mgr.join("nick", "Desktop", CameraNode(position=(0, 2, 0)))
+        views = mgr.collaborators(excluding="ian")
+        assert len(views) == 1
+        assert views[0].user == "nick"
+        assert views[0].host == "Desktop"
+
+    def test_leave_removes_avatar(self, demo):
+        mgr = AvatarManager(demo.data_service, "demo")
+        nid = mgr.join("ian", "tower", CameraNode())
+        mgr.leave("ian")
+        assert nid not in mgr.master_tree
+        with pytest.raises(SessionError):
+            mgr.follow("ian", CameraNode())
+
+    def test_avatars_propagate_to_subscribers(self, demo):
+        got = []
+        demo.data_service.subscribe("demo", "watcher", host="athlon",
+                                    on_update=got.append)
+        mgr = AvatarManager(demo.data_service, "demo")
+        mgr.join("ian", "tower", CameraNode())
+        assert len(got) == 1
+
+    def test_avatar_node_ids(self, demo):
+        mgr = AvatarManager(demo.data_service, "demo")
+        a = mgr.join("a", "h", CameraNode())
+        b = mgr.join("b", "h", CameraNode())
+        assert mgr.avatar_node_ids() == {a, b}
+        assert mgr.avatar_node_ids(excluding="a") == {b}
+
+
+class TestInteraction:
+    def scene(self):
+        from repro.data.generators import uv_sphere
+
+        tree = SceneTree()
+        # a solid object so the center pixel always hits (the galleon has
+        # empty air between deck and sails)
+        tree.add(MeshNode(uv_sphere(radius=1.0, nu=24, nv=24), name="ship"))
+        cam = CameraNode(position=(0, -3, 0.5), target=(0, 0, 0),
+                         up=(0, 0, 1))
+        return tree, cam
+
+    def test_menu_discovery_matches_node(self):
+        tree, _ = self.scene()
+        ship = tree.find_by_name("ship")[0]
+        verbs = {e.verb for e in discover_menu(ship)}
+        assert {"select", "translate", "rotate"} <= verbs
+
+    def test_click_selects_and_deselects(self):
+        tree, cam = self.scene()
+        ctl = InteractionController(tree, user="ian")
+        hit = ctl.click(cam, 100, 100, 200, 200)
+        assert hit is not None and hit.name == "ship"
+        assert ctl.menu()
+        again = ctl.click(cam, 100, 100, 200, 200)
+        assert again is None                      # toggled off
+        assert ctl.menu() == []
+
+    def test_click_miss_clears_selection(self):
+        tree, cam = self.scene()
+        ctl = InteractionController(tree)
+        ctl.click(cam, 100, 100, 200, 200)
+        ctl.click(cam, 1, 1, 200, 200)            # background
+        assert ctl.selection is None
+
+    def test_orbit_drag_emits_camera_update(self):
+        tree, cam = self.scene()
+        ctl = InteractionController(tree, user="ian")
+        before = cam.position.copy()
+        update = ctl.drag("orbit", cam, dx=0.25, dy=0.0)
+        assert update is not None
+        assert update.origin == "ian"
+        assert not np.allclose(cam.position, before)
+
+    def test_zoom_moves_towards_target(self):
+        tree, cam = self.scene()
+        ctl = InteractionController(tree)
+        d0 = np.linalg.norm(cam.position - cam.target)
+        ctl.drag("zoom", cam, dx=0, dy=0.4)
+        assert np.linalg.norm(cam.position - cam.target) < d0
+
+    def test_pan_shifts_position_and_target(self):
+        tree, cam = self.scene()
+        ctl = InteractionController(tree)
+        t0 = cam.target.copy()
+        ctl.drag("pan", cam, dx=0.3, dy=0.0)
+        assert not np.allclose(cam.target, t0)
+
+    def test_rotate_around_selection(self):
+        tree, cam = self.scene()
+        ctl = InteractionController(tree)
+        ctl.click(cam, 100, 100, 200, 200)
+        update = ctl.drag("rotate-around-selection", cam, 0.2, 0.1)
+        assert update is not None
+        # without a selection it refuses
+        ctl.selection = None
+        with pytest.raises(SceneGraphError):
+            ctl.drag("rotate-around-selection", cam, 0.1, 0.1)
+
+    def test_translate_wraps_in_transform(self):
+        tree, cam = self.scene()
+        ctl = InteractionController(tree, user="ian")
+        ctl.click(cam, 100, 100, 200, 200)
+        assert not isinstance(ctl.selection.parent, TransformNode)
+        update = ctl.drag("translate", cam, dx=0.5, dy=0.0)
+        assert isinstance(ctl.selection.parent, TransformNode)
+        assert update.KIND == "set_transform"
+        w = tree.world_transform(ctl.selection)
+        assert np.linalg.norm(w[:3, 3]) > 0
+
+    def test_object_verb_requires_selection(self):
+        tree, cam = self.scene()
+        ctl = InteractionController(tree)
+        with pytest.raises(SceneGraphError):
+            ctl.drag("translate", cam, 0.1, 0.1)
+
+    def test_unsupported_verb_rejected(self):
+        tree, cam = self.scene()
+        ctl = InteractionController(tree)
+        ctl.click(cam, 100, 100, 200, 200)
+        with pytest.raises(SceneGraphError):
+            ctl.drag("defenestrate", cam, 0.1, 0.1)
+
+    def test_scale_changes_size(self):
+        tree, cam = self.scene()
+        ctl = InteractionController(tree)
+        ctl.click(cam, 100, 100, 200, 200)
+        ctl.drag("scale", cam, dx=0, dy=1.0)
+        w = tree.world_transform(ctl.selection)
+        assert w[0, 0] == pytest.approx(2.0)
+
+
+class TestRegistryBrowser:
+    def browser(self, testbed):
+        return RegistryBrowser(
+            testbed.registry, testbed.containers,
+            data_services={testbed.data_service.host: testbed.data_service},
+            render_services={h: s
+                             for h, s in testbed.render_services.items()})
+
+    def test_rows_show_hosts_and_create_entries(self, demo):
+        browser = self.browser(demo)
+        text = browser.render_text("RAVE project")
+        assert "RAVE project" in text
+        assert "centrino" in text and "athlon" in text
+        assert "*Create new instance*" in text     # the italic action
+
+    def test_instances_listed_after_creation(self, demo):
+        rs = demo.render_service("centrino")
+        rs.create_render_session(demo.data_service, "demo")
+        browser = self.browser(demo)
+        text = browser.render_text("RAVE project")
+        assert "demo@rs-centrino" in text
+
+    def test_create_data_instance_from_url(self, demo, tmp_path):
+        from repro.data.obj import write_obj
+
+        path = tmp_path / "skull.obj"
+        write_obj(galleon(), path)
+        browser = self.browser(demo)
+        session_id = browser.create_data_instance(
+            demo.data_service.host, f"file://{path}")
+        assert session_id == "skull"
+        assert demo.data_service.session("skull")
+
+    def test_create_render_instance_bootstraps(self, demo):
+        browser = self.browser(demo)
+        session, timing = browser.create_render_instance(
+            "athlon", demo.data_service.host, "demo")
+        assert timing.total_seconds > 0
+        assert session.tree.total_polygons() > 0
+
+    def test_unknown_host_errors(self, demo):
+        from repro.errors import DiscoveryError
+
+        browser = self.browser(demo)
+        with pytest.raises(DiscoveryError):
+            browser.create_data_instance("ghost", "file:///x.obj")
+        with pytest.raises(DiscoveryError):
+            browser.create_render_instance("ghost",
+                                           demo.data_service.host, "demo")

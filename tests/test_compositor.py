@@ -1,0 +1,245 @@
+"""Compositing: the correctness heart of workload distribution.
+
+The key invariant: rendering scene subsets on different services and
+depth-compositing the framebuffers must equal rendering the whole scene on
+one service.  Same for tile assembly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import galleon
+from repro.errors import RenderError
+from repro.render.camera import Camera
+from repro.render.compositor import (
+    FrameSynchronizer,
+    assemble_tiles,
+    blend_slabs,
+    check_tiling,
+    depth_composite,
+    seam_discontinuity,
+)
+from repro.render.framebuffer import FrameBuffer, Tile, split_tiles
+from repro.render.rasterizer import rasterize_mesh
+from repro.render.volume import VolumeImage, raymarch_volume
+
+
+@pytest.fixture
+def cam():
+    return Camera.looking_at((2.2, 1.4, 1.2), target=(0, 0, 0))
+
+
+@pytest.fixture
+def ship():
+    return galleon().normalized()
+
+
+class TestDepthComposite:
+    def test_equals_monolithic_render(self, cam, ship):
+        """THE dataset-distribution invariant."""
+        mono = FrameBuffer(96, 96)
+        rasterize_mesh(ship, cam, mono)
+
+        buffers = []
+        for piece in ship.split_spatially(3):
+            fb = FrameBuffer(96, 96)
+            rasterize_mesh(piece, cam, fb)
+            buffers.append(fb)
+        merged = depth_composite(buffers)
+
+        assert np.array_equal(np.isfinite(merged.depth),
+                              np.isfinite(mono.depth))
+        # depth identical; color may differ on a handful of tie pixels
+        finite = np.isfinite(mono.depth)
+        assert np.allclose(merged.depth[finite], mono.depth[finite],
+                           atol=1e-5)
+        assert merged.mean_abs_diff(mono) < 2.0
+
+    def test_composite_order_independent(self, cam, ship):
+        pieces = ship.split_spatially(3)
+        bufs = []
+        for piece in pieces:
+            fb = FrameBuffer(64, 64)
+            rasterize_mesh(piece, cam, fb)
+            bufs.append(fb)
+        a = depth_composite(bufs)
+        b = depth_composite(list(reversed(bufs)))
+        assert np.array_equal(a.depth, b.depth)
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(RenderError):
+            depth_composite([])
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(RenderError):
+            depth_composite([FrameBuffer(8, 8), FrameBuffer(9, 9)])
+
+    def test_single_buffer_passthrough(self):
+        fb = FrameBuffer(8, 8, background=(5, 5, 5))
+        out = depth_composite([fb])
+        assert out.mean_abs_diff(fb) == 0.0
+
+
+class TestTileAssembly:
+    def test_tiles_reassemble_to_monolithic(self, cam, ship):
+        """THE framebuffer-distribution invariant."""
+        mono = FrameBuffer(96, 96)
+        rasterize_mesh(ship, cam, mono)
+        tiles = split_tiles(96, 96, 2, 2)
+        parts = [(t, mono.extract(t)) for t in tiles]
+        target = FrameBuffer(96, 96)
+        assemble_tiles(target, parts)
+        assert target.mean_abs_diff(mono) == 0.0
+        assert np.array_equal(target.depth, mono.depth)
+
+    def test_check_tiling_detects_gap(self):
+        tiles = [Tile(0, 0, 4, 8), Tile(5, 0, 3, 8)]  # column 4 uncovered
+        with pytest.raises(RenderError):
+            check_tiling(8, 8, tiles)
+
+    def test_check_tiling_detects_overlap(self):
+        tiles = [Tile(0, 0, 5, 8), Tile(4, 0, 4, 8)]
+        with pytest.raises(RenderError):
+            check_tiling(8, 8, tiles)
+
+    def test_check_tiling_detects_overflow(self):
+        with pytest.raises(RenderError):
+            check_tiling(8, 8, [Tile(0, 0, 9, 8)])
+
+
+class TestTearing:
+    def test_consistent_frame_scores_near_one(self, cam, ship):
+        mono = FrameBuffer(96, 96)
+        rasterize_mesh(ship, cam, mono)
+        tiles = split_tiles(96, 96, 2, 1)
+        score = seam_discontinuity(mono, tiles)
+        assert 0.0 <= score < 2.0
+
+    def test_stale_tile_scores_high(self):
+        """Reproduce Figure 5: paste a stale remote tile, measure the tear.
+
+        Uses a screen-filling Gouraud-shaded quad so the seam crosses real
+        geometry; the stale tile comes from a slightly rotated camera, as
+        when the remote render service lags a camera drag.
+        """
+        from repro.data.meshes import Mesh
+
+        quad = Mesh(
+            np.array([[-4, -4, 0], [4, -4, 0], [4, 4, 0], [-4, 4, 0]],
+                     np.float32),
+            np.array([[0, 1, 2], [0, 2, 3]], np.int32),
+            colors=np.array([[1, 0, 0], [0, 1, 0], [0, 0, 1], [1, 1, 0]],
+                            np.float32))
+        cam = Camera.looking_at((0, 0, 5), target=(0, 0, 0), up=(0, 1, 0))
+        fresh = FrameBuffer(96, 96)
+        rasterize_mesh(quad, cam, fresh, shading="none")
+        # the stale tile shows the scene before the object moved
+        stale = FrameBuffer(96, 96)
+        rasterize_mesh(quad.translated((2.5, 0, 0)), cam, stale,
+                       shading="none")
+
+        tiles = split_tiles(96, 96, 2, 1)
+        torn = fresh.copy()
+        torn.paste(tiles[1], stale.extract(tiles[1]))
+
+        torn_score = seam_discontinuity(torn, tiles)
+        clean_score = seam_discontinuity(fresh, tiles)
+        assert torn_score > 2.0 * max(clean_score, 0.1)
+
+    def test_no_seams_scores_one(self):
+        fb = FrameBuffer(8, 8)
+        assert seam_discontinuity(fb, [Tile(0, 0, 8, 8)]) == 1.0
+
+
+class TestFrameSynchronizer:
+    def make(self):
+        tiles = split_tiles(8, 8, 2, 1)
+        return FrameSynchronizer(tiles), tiles
+
+    def part(self, tile, value):
+        fb = FrameBuffer(tile.width, tile.height)
+        fb.color[:] = value
+        return fb
+
+    def test_incomplete_frame_held(self):
+        sync, tiles = self.make()
+        sync.submit(0, 0, self.part(tiles[0], 1))
+        assert sync.take_frame(FrameBuffer(8, 8)) is None
+
+    def test_complete_frame_released(self):
+        sync, tiles = self.make()
+        sync.submit(0, 0, self.part(tiles[0], 1))
+        sync.submit(0, 1, self.part(tiles[1], 2))
+        target = FrameBuffer(8, 8)
+        assert sync.take_frame(target) == 0
+        assert (target.color[:, :4] == 1).all()
+        assert (target.color[:, 4:] == 2).all()
+
+    def test_older_incomplete_frames_dropped(self):
+        sync, tiles = self.make()
+        sync.submit(0, 0, self.part(tiles[0], 1))   # frame 0 never completes
+        sync.submit(1, 0, self.part(tiles[0], 3))
+        sync.submit(1, 1, self.part(tiles[1], 4))
+        assert sync.take_frame(FrameBuffer(8, 8)) == 1
+        assert sync.frames_dropped == 1
+        assert sync.take_frame(FrameBuffer(8, 8)) is None
+
+    def test_frames_released_in_order(self):
+        sync, tiles = self.make()
+        for seq in (1, 0):
+            sync.submit(seq, 0, self.part(tiles[0], seq))
+            sync.submit(seq, 1, self.part(tiles[1], seq))
+        assert sync.take_frame(FrameBuffer(8, 8)) == 0
+        assert sync.take_frame(FrameBuffer(8, 8)) == 1
+
+    def test_validation(self):
+        sync, tiles = self.make()
+        with pytest.raises(RenderError):
+            sync.submit(0, 5, FrameBuffer(4, 8))
+        with pytest.raises(RenderError):
+            sync.submit(0, 0, FrameBuffer(3, 3))
+        with pytest.raises(RenderError):
+            FrameSynchronizer([])
+
+
+class TestSlabBlending:
+    def test_slabs_match_monolithic_volume(self):
+        """Distributed volume rendering (Visapult scheme): slab blending
+        approximates the single-pass ray-march."""
+        from repro.data.volumes import visible_human_phantom
+
+        cam = Camera.looking_at((0, 0, 4), target=(0, 0, 0))
+        vol = visible_human_phantom(32)
+        mono = raymarch_volume(vol, cam, 48, 48, opacity_scale=0.2)
+        slabs = [raymarch_volume(s, cam, 48, 48, opacity_scale=0.2)
+                 for s in vol.split_slabs(3, axis=2)]
+        blended = blend_slabs(slabs)
+        mono_rgb = np.clip(mono.rgba[..., :3], 0, 1)
+        diff = np.abs(blended - mono_rgb).mean()
+        assert diff < 0.06
+
+    def test_order_enforced_by_distance(self):
+        near = VolumeImage(
+            rgba=np.full((4, 4, 4), 0.5, np.float32), depth=np.ones((4, 4),
+            np.float32), view_distance=1.0)
+        far = VolumeImage(
+            rgba=np.concatenate([np.full((4, 4, 3), 0.9, np.float32),
+                                 np.full((4, 4, 1), 0.9, np.float32)],
+                                axis=2),
+            depth=np.ones((4, 4), np.float32), view_distance=5.0)
+        # regardless of list order, near slab blends over far
+        a = blend_slabs([near, far])
+        b = blend_slabs([far, near])
+        assert np.allclose(a, b)
+
+    def test_empty_rejected(self):
+        with pytest.raises(RenderError):
+            blend_slabs([])
+
+    def test_size_mismatch(self):
+        a = VolumeImage(np.zeros((4, 4, 4), np.float32),
+                        np.zeros((4, 4), np.float32), 1.0)
+        b = VolumeImage(np.zeros((5, 5, 4), np.float32),
+                        np.zeros((5, 5), np.float32), 1.0)
+        with pytest.raises(RenderError):
+            blend_slabs([a, b])

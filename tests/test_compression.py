@@ -1,0 +1,245 @@
+"""Framebuffer codecs and the adaptive controller."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression import (
+    AdaptiveCodec,
+    BandwidthEstimator,
+    DeltaCodec,
+    RawCodec,
+    Rgb565Codec,
+    RleCodec,
+)
+from repro.errors import DataFormatError
+from repro.render.framebuffer import FrameBuffer
+
+
+def noisy_frame(w=32, h=32, seed=0):
+    fb = FrameBuffer(w, h)
+    rng = np.random.default_rng(seed)
+    fb.color[:] = rng.integers(0, 256, (h, w, 3), dtype=np.uint8)
+    return fb
+
+
+def flat_frame(w=32, h=32, value=(10, 20, 30)):
+    return FrameBuffer(w, h, background=value)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("codec_cls", [RawCodec, RleCodec, DeltaCodec])
+    def test_lossless_on_noise(self, codec_cls):
+        codec = codec_cls()
+        fb = noisy_frame()
+        enc = codec.encode(fb)
+        dec, _ = codec.decode(enc, 32, 32)
+        assert np.array_equal(dec.color, fb.color)
+
+    def test_rgb565_bounded_error(self):
+        codec = Rgb565Codec()
+        fb = noisy_frame()
+        enc = codec.encode(fb)
+        dec, _ = codec.decode(enc, 32, 32)
+        err = np.abs(dec.color.astype(int) - fb.color.astype(int))
+        assert err.max() <= 8
+        assert enc.nbytes == 32 * 32 * 2
+
+    def test_rle_compresses_flat_regions(self):
+        enc = RleCodec().encode(flat_frame())
+        assert enc.ratio > 50
+
+    def test_rle_expands_noise_gracefully(self):
+        enc = RleCodec().encode(noisy_frame())
+        dec, _ = RleCodec().decode(enc, 32, 32)
+        assert np.array_equal(dec.color, noisy_frame().color)
+
+    def test_rle_long_run_split(self):
+        fb = flat_frame(400, 400)          # 160k pixels > u16 run limit
+        enc = RleCodec().encode(fb)
+        dec, _ = RleCodec().decode(enc, 400, 400)
+        assert np.array_equal(dec.color, fb.color)
+
+    def test_wrong_codec_rejected(self):
+        enc = RawCodec().encode(flat_frame())
+        with pytest.raises(DataFormatError):
+            RleCodec().decode(enc, 32, 32)
+
+    def test_wrong_size_rejected(self):
+        enc = RawCodec().encode(flat_frame())
+        with pytest.raises(DataFormatError):
+            RawCodec().decode(enc, 16, 16)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_rle_roundtrip_property(self, seed):
+        fb = noisy_frame(16, 16, seed)
+        # make some runs
+        fb.color[::3] = 99
+        enc = RleCodec().encode(fb)
+        dec, _ = RleCodec().decode(enc, 16, 16)
+        assert np.array_equal(dec.color, fb.color)
+
+
+class TestDelta:
+    def test_first_frame_is_key(self):
+        codec = DeltaCodec()
+        enc = codec.encode(flat_frame())
+        assert enc.meta["changed"] == 32 * 32
+
+    def test_small_change_small_delta(self):
+        codec = DeltaCodec()
+        fb = flat_frame()
+        codec.encode(fb)
+        fb2 = fb.copy()
+        fb2.color[0, 0] = 255
+        enc = codec.encode(fb2)
+        assert enc.meta["changed"] == 1
+        assert enc.nbytes < 50
+
+    def test_stream_decode_order(self):
+        enc_codec = DeltaCodec()
+        dec_codec = DeltaCodec()
+        frames = [flat_frame(), flat_frame(value=(1, 1, 1)), noisy_frame()]
+        for fb in frames:
+            enc = enc_codec.encode(fb)
+            dec, _ = dec_codec.decode(enc, 32, 32)
+            assert np.array_equal(dec.color, fb.color)
+
+    def test_delta_before_key_rejected(self):
+        enc_codec = DeltaCodec()
+        enc_codec.encode(flat_frame())
+        fb2 = flat_frame()
+        fb2.color[0, 0] = 9
+        delta = enc_codec.encode(fb2)
+        fresh = DeltaCodec()
+        with pytest.raises(DataFormatError):
+            fresh.decode(delta, 32, 32)
+
+    def test_reset_forces_key_frame(self):
+        codec = DeltaCodec()
+        codec.encode(flat_frame())
+        codec.reset()
+        enc = codec.encode(flat_frame())
+        assert enc.meta["changed"] == 32 * 32
+
+    def test_tolerant_delta_is_lossy_and_named(self):
+        codec = DeltaCodec(tolerance=10)
+        assert codec.NAME == "delta~10"
+        assert not codec.LOSSLESS
+        codec.encode(flat_frame())
+        fb2 = flat_frame()
+        fb2.color[:] = 15  # small change within tolerance of (10,20,30)? no
+        fb3 = flat_frame()
+        fb3.color[0, 0, 0] = 15  # within 10 of value 10
+        enc = codec.encode(fb3)
+        assert enc.meta["changed"] == 0
+
+
+class TestBandwidthEstimator:
+    def test_ewma_tracks_observations(self):
+        est = BandwidthEstimator(initial_bps=1e6, alpha=0.5)
+        est.observe(nbytes=125_000, seconds=1.0)  # 1 Mbit/s sample
+        assert est.bps == pytest.approx(1e6)
+        est.observe(nbytes=250_000, seconds=1.0)  # 2 Mbit/s sample
+        assert 1e6 < est.bps < 2e6
+
+    def test_expected_seconds(self):
+        est = BandwidthEstimator(initial_bps=8e6)
+        assert est.expected_seconds(1_000_000) == pytest.approx(1.0)
+
+    def test_bad_observations_ignored(self):
+        est = BandwidthEstimator()
+        before = est.bps
+        est.observe(0, 1.0)
+        est.observe(100, 0.0)
+        assert est.bps == before
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BandwidthEstimator(initial_bps=0)
+        with pytest.raises(ValueError):
+            BandwidthEstimator(alpha=0)
+
+
+class TestAdaptive:
+    def test_raw_on_fast_link(self):
+        ac = AdaptiveCodec(BandwidthEstimator(initial_bps=100e6),
+                           latency_budget=0.25)
+        enc = ac.encode(noisy_frame())
+        assert enc.meta["inner"] == "raw"
+
+    def test_degrades_under_pressure(self):
+        est = BandwidthEstimator(initial_bps=100e6)
+        ac = AdaptiveCodec(est, latency_budget=0.05)
+        fb = noisy_frame()  # RLE useless on noise
+        est.bps = 0.2e6
+        enc = ac.encode(fb)
+        assert enc.meta["inner"] != "raw"
+
+    def test_decode_routes_to_inner(self):
+        est = BandwidthEstimator(initial_bps=100e6)
+        ac = AdaptiveCodec(est)
+        fb = noisy_frame()
+        enc = ac.encode(fb)
+        dec, _ = ac.decode(enc, 32, 32)
+        assert np.array_equal(dec.color, fb.color)
+
+    def test_delta_state_consistent_across_choices(self):
+        """Encoder must not advance delta state for codecs it rejected."""
+        est = BandwidthEstimator(initial_bps=100e6)
+        enc_side = AdaptiveCodec(est, latency_budget=0.25)
+        dec_side = AdaptiveCodec(BandwidthEstimator(initial_bps=100e6),
+                                 latency_budget=0.25)
+        frames = []
+        fb = flat_frame()
+        for i in range(6):
+            fb = fb.copy()
+            fb.color[i, i] = 200 + i
+            frames.append(fb)
+        # alternate bandwidth so the chosen codec flips between raw/delta
+        for i, frame in enumerate(frames):
+            est.bps = 100e6 if i % 2 == 0 else 1e5
+            enc = enc_side.encode(frame)
+            dec, _ = dec_side.decode(enc, 32, 32)
+            if enc.lossless:
+                assert np.array_equal(dec.color, frame.color), \
+                    f"frame {i} via {enc.meta['inner']}"
+
+    def test_choices_recorded(self):
+        ac = AdaptiveCodec(BandwidthEstimator(initial_bps=100e6))
+        ac.encode(flat_frame())
+        assert len(ac.choices) == 1
+        assert ac.choices[0].codec_name == "raw"
+
+    def test_unknown_inner_rejected(self):
+        ac = AdaptiveCodec(BandwidthEstimator())
+        from repro.compression.base import EncodedFrame
+
+        fake = EncodedFrame(codec="adaptive", data=b"", width=4, height=4,
+                            encode_seconds=0, lossless=True,
+                            meta={"inner": "jpeg2000"})
+        with pytest.raises(DataFormatError):
+            ac.decode(fake, 4, 4)
+
+    def test_wireless_walkaway_scenario(self):
+        """A user walking away from the AP: quality drops, codec adapts,
+        frames keep decoding."""
+        est = BandwidthEstimator(initial_bps=4.8e6)
+        enc_side = AdaptiveCodec(est, latency_budget=0.2)
+        dec_side = AdaptiveCodec(BandwidthEstimator(), latency_budget=0.2)
+        rng = np.random.default_rng(7)
+        inner_used = []
+        fb = flat_frame(64, 64)
+        for quality in (1.0, 0.6, 0.3, 0.1, 0.05):
+            est.bps = 4.8e6 * quality
+            fb = fb.copy()
+            y, x = rng.integers(0, 64, 2)
+            fb.color[y, x] = rng.integers(0, 255, 3)
+            enc = enc_side.encode(fb)
+            dec, _ = dec_side.decode(enc, 64, 64)
+            inner_used.append(enc.meta["inner"])
+            if enc.lossless:
+                assert np.array_equal(dec.color, fb.color)
+        assert inner_used[0] == "raw"
+        assert inner_used[-1] != "raw"

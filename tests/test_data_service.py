@@ -1,0 +1,202 @@
+"""The data service: sessions, subscription, update distribution, mirroring."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import galleon
+from repro.errors import SessionError
+from repro.scenegraph.nodes import CameraNode, MeshNode
+from repro.scenegraph.tree import SceneTree
+from repro.scenegraph.updates import AddNode, SetCamera, SetProperty
+from repro.services.container import ServiceContainer
+from repro.services.data_service import DataService
+
+
+@pytest.fixture
+def ds(small_testbed):
+    return small_testbed.data_service
+
+
+@pytest.fixture
+def session(small_testbed):
+    tree = SceneTree("demo")
+    tree.add(MeshNode(galleon().normalized(), name="ship"))
+    tree.add(CameraNode(name="shared-cam"))
+    return small_testbed.publish_tree("demo", tree)
+
+
+class TestSessions:
+    def test_create_and_lookup(self, ds, session):
+        assert ds.session("demo") is session
+        assert session in ds.sessions()
+
+    def test_duplicate_session_rejected(self, ds, session, small_testbed):
+        with pytest.raises(SessionError):
+            small_testbed.publish_tree("demo", SceneTree())
+
+    def test_unknown_session(self, ds):
+        with pytest.raises(SessionError):
+            ds.session("ghost")
+
+    def test_multiple_sessions_one_service(self, ds, session,
+                                           small_testbed):
+        small_testbed.publish_tree("second", SceneTree("x"))
+        assert len(ds.sessions()) == 2
+
+
+class TestSubscription:
+    def test_bootstrap_returns_equivalent_tree(self, ds, session):
+        tree, timing = ds.subscribe("demo", "sub1", host="athlon")
+        assert tree.total_polygons() == session.tree.total_polygons()
+        assert timing.nbytes > 0
+        assert timing.total_seconds > 0
+
+    def test_bootstrap_is_a_deep_copy(self, ds, session):
+        tree, _ = ds.subscribe("demo", "sub1", host="athlon")
+        tree.find_by_name("ship")[0].name = "mutated"
+        assert session.tree.find_by_name("ship")
+
+    def test_duplicate_subscription_rejected(self, ds, session):
+        ds.subscribe("demo", "sub1", host="athlon")
+        with pytest.raises(SessionError):
+            ds.subscribe("demo", "sub1", host="athlon")
+
+    def test_introspective_slower_than_binary(self, ds, session,
+                                              small_testbed):
+        _, slow = ds.subscribe("demo", "s1", host="athlon",
+                               introspective=True)
+        _, fast = ds.subscribe("demo", "s2", host="athlon",
+                               introspective=False)
+        assert slow.marshal_seconds > 10 * fast.marshal_seconds
+
+    def test_interest_filtered_bootstrap_smaller(self, ds, session):
+        cam_id = session.tree.cameras()[0].node_id
+        _, full = ds.subscribe("demo", "all", host="athlon")
+        _, partial = ds.subscribe("demo", "partial", host="athlon",
+                                  interests={cam_id})
+        assert partial.nbytes < full.nbytes / 10
+
+    def test_unsubscribe(self, ds, session):
+        ds.subscribe("demo", "sub1", host="athlon")
+        ds.unsubscribe("demo", "sub1")
+        with pytest.raises(SessionError):
+            ds.unsubscribe("demo", "sub1")
+
+
+class TestUpdateDistribution:
+    def test_update_applies_to_master(self, ds, session):
+        cam = session.tree.cameras()[0]
+        ds.publish_update("demo", SetCamera(
+            node_id=cam.node_id, position=np.array([7.0, 0, 0]),
+            target=np.zeros(3)))
+        assert cam.position[0] == 7.0
+        assert session.sequence == 1
+        assert len(session.trail) == 1
+
+    def test_subscribers_receive_updates(self, ds, session):
+        received = []
+        ds.subscribe("demo", "sub1", host="athlon",
+                     on_update=received.append)
+        cam = session.tree.cameras()[0]
+        times = ds.publish_update("demo", SetCamera(
+            node_id=cam.node_id, position=np.ones(3), target=np.zeros(3)))
+        assert len(received) == 1
+        assert times["sub1"] > 0
+
+    def test_origin_not_echoed(self, ds, session):
+        received = []
+        ds.subscribe("demo", "me", host="athlon",
+                     on_update=received.append)
+        cam = session.tree.cameras()[0]
+        times = ds.publish_update("demo", SetCamera(
+            node_id=cam.node_id, origin="me",
+            position=np.ones(3), target=np.zeros(3)))
+        assert received == []
+        assert "me" not in times
+
+    def test_interest_management_filters(self, ds, session):
+        """'This render service must be updated if the data service
+        receives any changes to this subset of the data.'"""
+        ship_id = session.tree.find_by_name("ship")[0].node_id
+        cam_id = session.tree.cameras()[0].node_id
+        got = []
+        ds.subscribe("demo", "shipwatcher", host="athlon",
+                     interests={ship_id}, on_update=got.append)
+        ds.publish_update("demo", SetCamera(
+            node_id=cam_id, position=np.ones(3), target=np.zeros(3)))
+        assert got == []                             # camera not of interest
+        ds.publish_update("demo", SetProperty(
+            node_id=ship_id, field_name="name", value="renamed"))
+        assert len(got) == 1
+
+    def test_set_interests_rewires(self, ds, session):
+        ship_id = session.tree.find_by_name("ship")[0].node_id
+        got = []
+        ds.subscribe("demo", "sub", host="athlon",
+                     interests={ship_id}, on_update=got.append)
+        cam_id = session.tree.cameras()[0].node_id
+        ds.set_interests("demo", "sub", {cam_id})
+        ds.publish_update("demo", SetCamera(
+            node_id=cam_id, position=np.ones(3), target=np.zeros(3)))
+        assert len(got) == 1
+
+    def test_multicast_shares_uplink(self, ds, session):
+        """Two subscribers on different hosts: the second should be
+        cheaper than a second unicast (multicast saving)."""
+        ds.subscribe("demo", "a", host="athlon")
+        ds.subscribe("demo", "b", host="centrino")
+        ship_id = session.tree.find_by_name("ship")[0].node_id
+        big = SetProperty(node_id=ship_id, field_name="name",
+                          value="x" * 100_000)
+        times = ds.publish_update("demo", big)
+        assert len(times) == 2
+        assert min(times.values()) < 0.9 * max(times.values())
+
+
+class TestPersistence:
+    def test_save_and_reload_session(self, ds, session, tmp_path):
+        cam = session.tree.cameras()[0]
+        # audit-only reconstruction: record every mutation from scratch
+        fresh = SceneTree("recorded")
+        ds2_container = ds.container
+        recorded = ds.create_session("recorded", fresh, charge_time=False)
+        ds.publish_update("recorded", AddNode.of(
+            CameraNode(name="c"), parent_id=0, node_id=5))
+        ds.publish_update("recorded", SetCamera(
+            node_id=5, position=np.array([1.0, 2, 3]), target=np.zeros(3)))
+        path = tmp_path / "rec.rave"
+        ds.save_session("recorded", path)
+
+        replayed = ds.load_session("replayed", path)
+        assert 5 in replayed.tree
+        assert np.allclose(replayed.tree.node(5).position, [1, 2, 3])
+
+
+class TestMirroring:
+    def build_mirror(self, small_testbed):
+        container = ServiceContainer("athlon", small_testbed.network,
+                                     http_port=9090)
+        return DataService("mirror", container)
+
+    def test_mirror_replicates_sessions_and_updates(self, ds, session,
+                                                    small_testbed):
+        mirror = self.build_mirror(small_testbed)
+        ds.add_mirror(mirror)
+        assert "demo" in [s.session_id for s in mirror.sessions()]
+        cam = session.tree.cameras()[0]
+        ds.publish_update("demo", SetCamera(
+            node_id=cam.node_id, position=np.array([9.0, 0, 0]),
+            target=np.zeros(3)))
+        mirrored_cam = mirror.session("demo").tree.node(cam.node_id)
+        assert mirrored_cam.position[0] == 9.0
+
+    def test_failover(self, ds, session, small_testbed):
+        mirror = self.build_mirror(small_testbed)
+        ds.add_mirror(mirror)
+        assert ds.failover_to("demo") is mirror
+        with pytest.raises(SessionError):
+            ds.failover_to("ghost-session")
+
+    def test_self_mirror_rejected(self, ds):
+        with pytest.raises(SessionError):
+            ds.add_mirror(ds)

@@ -1,0 +1,140 @@
+"""The render-engine timing model — the Tables 2/3/4 mechanism."""
+
+import pytest
+
+from repro.errors import RenderError
+from repro.hardware.profiles import TESTBED, get_profile
+from repro.render.engine import RenderEngine
+
+
+@pytest.fixture
+def centrino():
+    return RenderEngine(get_profile("centrino"))
+
+
+@pytest.fixture
+def v880z():
+    return RenderEngine(get_profile("v880z"))
+
+
+class TestProfiles:
+    def test_all_testbed_machines_present(self):
+        assert {"onyx", "v880z", "centrino", "xeon", "athlon",
+                "zaurus"} <= set(TESTBED)
+
+    def test_unknown_machine(self):
+        with pytest.raises(KeyError):
+            get_profile("cray")
+
+    def test_zaurus_cannot_render(self):
+        assert not get_profile("zaurus").can_render
+        with pytest.raises(RenderError):
+            RenderEngine(get_profile("zaurus"))
+
+    def test_onyx_has_three_pipes(self):
+        assert get_profile("onyx").graphics_pipes == 3
+
+    def test_volume_support_flags(self):
+        assert get_profile("onyx").volume_support
+        assert not get_profile("centrino").volume_support
+
+
+class TestOnscreenModel:
+    def test_table2_hand_render_time(self, centrino):
+        """Paper: 0.83 M polygons render in 0.091 s on the Centrino."""
+        t = centrino.onscreen_seconds(830_000, 200 * 200)
+        assert t == pytest.approx(0.091, rel=0.15)
+
+    def test_table2_skeleton_render_time(self, centrino):
+        """Paper: 2.8 M polygons render in 0.355 s."""
+        t = centrino.onscreen_seconds(2_800_000, 200 * 200)
+        assert t == pytest.approx(0.355, rel=0.15)
+
+    def test_time_grows_with_polygons(self, centrino):
+        assert (centrino.onscreen_seconds(10**6, 40_000)
+                > centrino.onscreen_seconds(10**5, 40_000))
+
+    def test_time_grows_with_pixels(self, centrino):
+        assert (centrino.onscreen_seconds(1000, 400 * 400)
+                > centrino.onscreen_seconds(1000, 200 * 200))
+
+
+class TestOffscreenModel:
+    """Table 3 (400x400) and Table 4 (200x200, seq vs interleaved)."""
+
+    def test_table3_centrino_elle(self, centrino):
+        eff = centrino.offscreen_efficiency(50_000, 400 * 400)
+        assert eff == pytest.approx(0.35, abs=0.04)
+
+    def test_table3_centrino_galleon(self, centrino):
+        eff = centrino.offscreen_efficiency(5_500, 400 * 400)
+        assert eff == pytest.approx(0.09, abs=0.03)
+
+    def test_table4_centrino_elle_seq(self, centrino):
+        eff = centrino.offscreen_efficiency(50_000, 200 * 200, interleaved=1)
+        assert eff == pytest.approx(0.55, abs=0.06)
+
+    def test_table4_centrino_elle_int(self, centrino):
+        """Interleaving recovers most of the on-screen speed (paper: 90%)."""
+        eff = centrino.offscreen_efficiency(50_000, 200 * 200, interleaved=4)
+        assert eff > 0.75
+
+    def test_table4_interleaving_always_helps(self):
+        for host in ("centrino", "athlon", "xeon", "onyx", "v880z"):
+            engine = RenderEngine(get_profile(host))
+            seq = engine.offscreen_efficiency(50_000, 200 * 200, 1)
+            inter = engine.offscreen_efficiency(50_000, 200 * 200, 4)
+            assert inter >= seq, host
+
+    def test_table3_athlon_close_to_paper(self):
+        engine = RenderEngine(get_profile("athlon"))
+        assert engine.offscreen_efficiency(50_000, 400 * 400) == \
+            pytest.approx(0.40, abs=0.06)
+
+    def test_v880z_software_fallback_catastrophic(self, v880z, centrino):
+        """Paper Table 3: XVR-4000 at 3% for Elle — the software path."""
+        eff = v880z.offscreen_efficiency(50_000, 400 * 400)
+        assert eff < 0.06
+        assert eff < 0.25 * centrino.offscreen_efficiency(50_000, 400 * 400)
+
+    def test_v880z_interleaving_barely_helps(self, v880z):
+        """A single software pipeline cannot overlap renders (paper: 3→4%)."""
+        seq = v880z.offscreen_efficiency(50_000, 200 * 200, 1)
+        inter = v880z.offscreen_efficiency(50_000, 200 * 200, 4)
+        assert inter < seq * 2.0
+
+    def test_small_model_hit_harder_by_offscreen(self, centrino):
+        """Fixed off-screen overhead dominates cheap frames (9% vs 35%)."""
+        small = centrino.offscreen_efficiency(5_500, 400 * 400)
+        large = centrino.offscreen_efficiency(50_000, 400 * 400)
+        assert small < large
+
+    def test_invalid_interleave(self, centrino):
+        with pytest.raises(RenderError):
+            centrino.offscreen_seconds(1000, 100, interleaved=0)
+
+
+class TestTimingApi:
+    def test_onscreen_timing(self, centrino):
+        t = centrino.timing(10_000, 40_000, offscreen=False)
+        assert t.mode == "onscreen"
+        assert t.overhead_seconds == 0.0
+        assert t.fps == pytest.approx(1.0 / t.total_seconds)
+
+    def test_offscreen_timing_split(self, centrino):
+        t = centrino.timing(10_000, 40_000, offscreen=True)
+        assert t.mode == "offscreen"
+        assert t.overhead_seconds > 0
+        assert t.total_seconds == pytest.approx(
+            centrino.offscreen_seconds(10_000, 40_000))
+
+    def test_render_mesh_returns_both(self, centrino, small_galleon):
+        from repro.render.camera import Camera
+        from repro.render.framebuffer import FrameBuffer
+
+        cam = Camera.looking_at((2.2, 1.4, 1.2))
+        fb = FrameBuffer(64, 64)
+        stats, timing = centrino.render_mesh(small_galleon, cam, fb)
+        assert stats.faces_in == small_galleon.n_triangles
+        assert timing.total_seconds > 0
+        assert fb.coverage() > 0

@@ -1,0 +1,135 @@
+"""Procedural model generators: the paper's four benchmark models."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import (
+    MODEL_REGISTRY,
+    PAPER_TRIANGLES,
+    box,
+    elle,
+    galleon,
+    grid_faces,
+    lathe,
+    make_model,
+    skeletal_hand,
+    skeleton,
+    tube,
+    uv_sphere,
+)
+
+
+class TestBuildingBlocks:
+    def test_grid_faces_count(self):
+        f = grid_faces(4, 5)
+        assert len(f) == 2 * 3 * 4
+
+    def test_grid_faces_wrapped(self):
+        f = grid_faces(4, 5, wrap_u=True)
+        assert len(f) == 2 * 4 * 4
+
+    def test_grid_faces_indices_valid(self):
+        f = grid_faces(6, 7)
+        assert f.min() >= 0 and f.max() < 42
+
+    def test_sphere_radius(self):
+        s = uv_sphere(radius=2.0, nu=24, nv=24)
+        r = np.linalg.norm(s.vertices, axis=1)
+        assert r.max() == pytest.approx(2.0, rel=1e-5)
+        assert r.min() > 1.8  # polygonal sphere is slightly inside
+
+    def test_sphere_squash(self):
+        s = uv_sphere(radius=1.0, squash=(1.0, 1.0, 0.5))
+        lo, hi = s.bounds()
+        assert hi[2] == pytest.approx(0.5, rel=1e-5)
+
+    def test_box_dimensions(self):
+        b = box(size=(2.0, 4.0, 6.0))
+        lo, hi = b.bounds()
+        assert np.allclose(hi - lo, [2, 4, 6])
+
+    def test_box_subdivision(self):
+        assert box(n=3).n_triangles == 6 * 2 * 9
+
+    def test_tube_follows_path(self):
+        path = np.array([[0, 0, 0], [0, 0, 1], [0, 0, 2]], dtype=float)
+        t = tube(path, radii=0.1, n_around=8)
+        lo, hi = t.bounds()
+        assert hi[2] >= 2.0 and lo[2] <= 0.0
+        assert max(hi[0], hi[1]) == pytest.approx(0.1, abs=0.02)
+
+    def test_tube_tapering(self):
+        path = np.array([[0, 0, 0], [0, 0, 1]], dtype=float)
+        t = tube(path, radii=[0.5, 0.1], n_around=16, cap=False)
+        bottom = t.vertices[np.abs(t.vertices[:, 2]) < 0.01]
+        top = t.vertices[np.abs(t.vertices[:, 2] - 1.0) < 0.01]
+        assert np.linalg.norm(bottom[:, :2], axis=1).mean() > \
+            np.linalg.norm(top[:, :2], axis=1).mean()
+
+    def test_tube_requires_path(self):
+        with pytest.raises(ValueError):
+            tube(np.zeros((1, 3)), radii=0.1)
+
+    def test_lathe_revolution(self):
+        profile = np.array([[1.0, 0.0], [1.0, 1.0]])
+        cyl = lathe(profile, n_around=32)
+        r = np.linalg.norm(cyl.vertices[:, :2], axis=1)
+        assert np.allclose(r, 1.0, atol=1e-5)
+
+
+class TestNamedModels:
+    @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+    def test_model_valid(self, name):
+        m = make_model(name)
+        assert m.n_triangles > 500
+        assert m.faces.max() < m.n_vertices
+        assert np.isfinite(m.vertices).all()
+
+    @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+    def test_deterministic(self, name):
+        a = make_model(name)
+        b = make_model(name)
+        assert a.n_triangles == b.n_triangles
+        assert np.array_equal(a.vertices, b.vertices)
+
+    @pytest.mark.parametrize("name,target", [
+        ("galleon", 5_500),
+        ("elle", 50_000),
+        ("skeletal_hand", 40_000),
+        ("skeleton", 80_000),
+    ])
+    def test_scaling_hits_target(self, name, target):
+        m = make_model(name, target_triangles=target)
+        assert abs(m.n_triangles - target) / target < 0.08
+
+    def test_paper_scale_flag(self):
+        m = make_model("galleon", paper_scale=True)
+        assert abs(m.n_triangles - PAPER_TRIANGLES["galleon"]) / \
+            PAPER_TRIANGLES["galleon"] < 0.08
+
+    def test_paper_scale_conflicts_with_target(self):
+        with pytest.raises(ValueError):
+            make_model("galleon", target_triangles=100, paper_scale=True)
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            make_model("teapot")
+
+    def test_bad_target(self):
+        with pytest.raises(ValueError):
+            make_model("galleon", target_triangles=0)
+
+    def test_convenience_wrappers(self):
+        assert skeletal_hand(5000).name == "skeletal_hand"
+        assert skeleton(5000).name == "skeleton"
+        assert galleon().name == "galleon"
+        assert elle().name == "elle"
+
+    def test_models_have_distinct_shapes(self):
+        """Sanity: the four models are genuinely different geometry."""
+        extents = {}
+        for name in MODEL_REGISTRY:
+            m = make_model(name).normalized()
+            lo, hi = m.bounds()
+            extents[name] = tuple(np.round(hi - lo, 2))
+        assert len(set(extents.values())) == len(extents)

@@ -1,0 +1,101 @@
+"""Distribution of mixed primitives: meshes + point clouds + volumes."""
+
+import numpy as np
+import pytest
+
+from repro.core.distribution import DatasetDistributor
+from repro.core.session import CollaborativeSession
+from repro.data.generators import galleon
+from repro.data.volumes import visible_human_phantom
+from repro.errors import SceneGraphError
+from repro.scenegraph.nodes import (
+    CameraNode,
+    MeshNode,
+    PointCloudNode,
+    VolumeNode,
+)
+from repro.scenegraph.tree import SceneTree
+
+
+def mixed_tree():
+    tree = SceneTree("mixed")
+    tree.add(MeshNode(galleon().normalized(), name="ship"))
+    rng = np.random.default_rng(3)
+    tree.add(PointCloudNode(rng.normal(0, 0.5, (9_000, 3)).astype(
+        np.float32), name="cloud"))
+    tree.add(VolumeNode(visible_human_phantom(16), opacity_scale=0.3,
+                        name="ct"))
+    return tree
+
+
+class TestDistributorMixed:
+    def test_points_weigh_a_third(self):
+        tree = SceneTree()
+        cloud = tree.add(PointCloudNode(
+            np.zeros((9_000, 3), np.float32), name="cloud"))
+        weight = DatasetDistributor._polygon_equivalent(cloud)
+        assert weight == 3_000
+
+    def test_volumes_require_volume_host(self):
+        tree = mixed_tree()
+        with pytest.raises(SceneGraphError):
+            DatasetDistributor().plan(tree, {"a": 1e9, "b": 1e9},
+                                      volume_hosts=set())
+
+    def test_volume_lands_on_capable_host(self):
+        tree = mixed_tree()
+        plan = DatasetDistributor().plan(
+            tree, {"plain": 1e9, "vol": 1e9}, volume_hosts={"vol"})
+        volume_id = tree.find_by_name("ct")[0].node_id
+        assert volume_id in plan.shares["vol"]
+        assert volume_id not in plan.shares["plain"]
+
+    def test_unknown_volume_host_rejected(self):
+        tree = mixed_tree()
+        with pytest.raises(ValueError):
+            DatasetDistributor().plan(tree, {"a": 1e9},
+                                      volume_hosts={"ghost"})
+
+    def test_points_counted_against_budget(self):
+        tree = SceneTree()
+        for i in range(4):
+            tree.add(PointCloudNode(
+                np.zeros((3_000, 3), np.float32), name=f"c{i}"))
+        # total weight = 4 * 1000; budgets force a split
+        plan = DatasetDistributor().plan(tree, {"a": 2_000, "b": 2_000})
+        assert len(plan.shares["a"]) == 2
+        assert len(plan.shares["b"]) == 2
+
+    def test_all_primitives_covered(self):
+        tree = mixed_tree()
+        plan = DatasetDistributor(max_grain_polygons=1_000).plan(
+            tree, {"a": 1e9, "v": 1e9}, volume_hosts={"v"})
+        assigned = set().union(*plan.shares.values())
+        for node in tree.geometry_nodes():
+            assert node.node_id in assigned
+
+
+class TestSessionMixed:
+    def test_place_dataset_respects_volume_support(self, testbed):
+        tree = mixed_tree()
+        testbed.publish_tree("mixed", tree)
+        cs = CollaborativeSession(testbed.data_service, "mixed",
+                                  recruiter=testbed.recruiter())
+        cs.recruit_more()
+        placement = cs.place_dataset()
+        master = cs.master_tree
+        volume_id = master.find_by_name("ct")[0].node_id
+        holder = next(s for s in cs.render_services
+                      if volume_id in cs.share_of(s))
+        assert holder.capacity().volume_support
+
+    def test_composite_renders_all_primitives(self, testbed):
+        tree = mixed_tree()
+        testbed.publish_tree("mixed2", tree)
+        cs = CollaborativeSession(testbed.data_service, "mixed2",
+                                  recruiter=testbed.recruiter())
+        cs.recruit_more()
+        cs.place_dataset()
+        cam = CameraNode(position=(2.2, 1.5, 1.2))
+        fb, _ = cs.render_composite(cam, 96, 96)
+        assert fb.coverage() > 0.05

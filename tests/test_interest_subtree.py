@@ -1,0 +1,72 @@
+"""Interest management must respect subtree semantics.
+
+An update to an ancestor node (a transform, a group being removed)
+changes what every descendant looks like, so subscribers interested in
+any descendant must receive it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import galleon
+from repro.scenegraph.nodes import GroupNode, MeshNode, TransformNode
+from repro.scenegraph.tree import SceneTree
+from repro.scenegraph.updates import RemoveNode, SetProperty, SetTransform
+
+
+@pytest.fixture
+def layered(small_testbed):
+    """root -> transform -> group -> two meshes."""
+    tb = small_testbed
+    tree = SceneTree("layers")
+    xf = tree.add(TransformNode(name="xf"))
+    grp = tree.add(GroupNode("grp"), parent=xf)
+    a = tree.add(MeshNode(galleon().normalized(), name="a"), parent=grp)
+    b = tree.add(MeshNode(galleon().normalized(), name="b"), parent=grp)
+    tb.publish_tree("layers", tree)
+    return tb, tree, xf, grp, a, b
+
+
+class TestSubtreeInterest:
+    def test_ancestor_transform_reaches_descendant_watcher(self, layered):
+        tb, tree, xf, grp, a, b = layered
+        got = []
+        tb.data_service.subscribe("layers", "watcher", host="athlon",
+                                  interests={a.node_id},
+                                  on_update=got.append)
+        # note: the watcher's local copy includes the ancestor chain, so
+        # the transform applies cleanly there too
+        tb.data_service.publish_update("layers", SetTransform(
+            node_id=xf.node_id,
+            matrix=np.diag([2.0, 2.0, 2.0, 1.0])))
+        assert len(got) == 1
+
+    def test_group_removal_reaches_descendant_watcher(self, layered):
+        tb, tree, xf, grp, a, b = layered
+        got = []
+        tb.data_service.subscribe("layers", "watcher", host="athlon",
+                                  interests={b.node_id},
+                                  on_update=got.append)
+        tb.data_service.publish_update("layers",
+                                       RemoveNode(node_id=grp.node_id))
+        assert len(got) == 1
+
+    def test_sibling_update_still_filtered(self, layered):
+        tb, tree, xf, grp, a, b = layered
+        got = []
+        tb.data_service.subscribe("layers", "watcher", host="athlon",
+                                  interests={a.node_id},
+                                  on_update=got.append)
+        tb.data_service.publish_update("layers", SetProperty(
+            node_id=b.node_id, field_name="name", value="b2"))
+        assert got == []
+
+    def test_direct_hit_still_works(self, layered):
+        tb, tree, xf, grp, a, b = layered
+        got = []
+        tb.data_service.subscribe("layers", "watcher", host="athlon",
+                                  interests={a.node_id},
+                                  on_update=got.append)
+        tb.data_service.publish_update("layers", SetProperty(
+            node_id=a.node_id, field_name="name", value="a2"))
+        assert len(got) == 1

@@ -1,0 +1,157 @@
+"""Live feeds and computational steering (§3.1.1 live feed, §5.2 bridge)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServiceError
+from repro.scenegraph.tree import SceneTree
+from repro.services.livefeed import (
+    LiveFeed,
+    MoleculeSimulator,
+    SteeringBridge,
+)
+
+
+class TestMoleculeSimulator:
+    def test_deterministic(self):
+        a = MoleculeSimulator(seed=3)
+        b = MoleculeSimulator(seed=3)
+        for _ in range(10):
+            a.step()
+            b.step()
+        assert np.array_equal(a.positions, b.positions)
+
+    def test_damping_dissipates_energy(self):
+        sim = MoleculeSimulator()
+        sim.apply_force(0, (50.0, 0, 0))
+        sim.step()
+        early = sim.kinetic_energy()
+        for _ in range(200):
+            sim.step()
+        assert sim.kinetic_energy() < 0.2 * early
+
+    def test_springs_resist_stretch(self):
+        sim = MoleculeSimulator(n_atoms=8)
+        # yank one end atom far away
+        sim.positions[0] += np.array([5.0, 0, 0])
+        d0 = np.linalg.norm(sim.positions[0] - sim.positions[1])
+        for _ in range(100):
+            sim.step()
+        d1 = np.linalg.norm(sim.positions[0] - sim.positions[1])
+        assert d1 < d0          # pulled back toward rest length
+
+    def test_force_moves_target_atom(self):
+        sim = MoleculeSimulator()
+        before = sim.positions[5].copy()
+        sim.apply_force(5, (0, 0, 30.0))
+        sim.step()
+        assert sim.positions[5, 2] > before[2]
+
+    def test_force_transient(self):
+        sim = MoleculeSimulator()
+        sim.apply_force(0, (100.0, 0, 0))
+        sim.step()
+        assert np.allclose(sim._pending_force, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MoleculeSimulator(n_atoms=1)
+        sim = MoleculeSimulator()
+        with pytest.raises(ValueError):
+            sim.apply_force(999, (1, 0, 0))
+
+
+@pytest.fixture
+def feed_setup(small_testbed):
+    tb = small_testbed
+    tb.publish_tree("md", SceneTree("md"))
+    sim = MoleculeSimulator(n_atoms=24)
+    feed = LiveFeed(tb.data_service, "md", sim)
+    return tb, sim, feed
+
+
+class TestLiveFeed:
+    def test_feed_creates_point_cloud_node(self, feed_setup):
+        tb, sim, feed = feed_setup
+        tree = tb.data_service.session("md").tree
+        node = tree.node(feed.node_id)
+        assert node.TYPE == "points"
+        assert node.n_points == sim.n_atoms
+
+    def test_pump_updates_master_geometry(self, feed_setup):
+        tb, sim, feed = feed_setup
+        tree = tb.data_service.session("md").tree
+        before = tree.node(feed.node_id).points.copy()
+        sim.apply_force(0, (40.0, 0, 0))
+        feed.pump(n_steps=5)
+        after = tree.node(feed.node_id).points
+        assert not np.array_equal(before, after)
+
+    def test_subscribers_follow_the_feed(self, feed_setup):
+        tb, sim, feed = feed_setup
+        client = tb.active_client("watcher", "athlon")
+        client.join(tb.data_service, "md")
+        sim.apply_force(3, (0, 25.0, 0))
+        feed.pump(n_steps=3)
+        local = client.tree.node(feed.node_id).points
+        master = tb.data_service.session("md").tree.node(feed.node_id).points
+        assert np.array_equal(local, master)
+
+    def test_feed_reuses_existing_node(self, feed_setup):
+        tb, sim, feed = feed_setup
+        feed2 = LiveFeed(tb.data_service, "md", sim)
+        assert feed2.node_id == feed.node_id
+
+    def test_stats_accumulate(self, feed_setup):
+        tb, sim, feed = feed_setup
+        tb.data_service.subscribe("md", "x", host="athlon")
+        feed.pump()
+        feed.pump()
+        assert feed.stats.timesteps_published == 2
+        assert feed.stats.bytes_published > 0
+        assert feed.stats.subscribers_reached == 2
+
+    def test_pump_validation(self, feed_setup):
+        _, _, feed = feed_setup
+        with pytest.raises(ServiceError):
+            feed.pump(0)
+
+    def test_feed_is_renderable(self, feed_setup):
+        tb, sim, feed = feed_setup
+        rs = tb.render_service("centrino")
+        session, _ = rs.create_render_session(tb.data_service, "md")
+        cam = tb.thin_client("view").camera
+        cam.look(position=(0, -4, 0.5))
+        fb, _ = rs.render_view(session.render_session_id, cam, 96, 96)
+        assert fb.coverage() > 0.001
+
+
+class TestSteeringBridge:
+    def test_steer_deforms_the_molecule(self, feed_setup):
+        tb, sim, feed = feed_setup
+        bridge = SteeringBridge(feed)
+        grab = sim.positions[10].copy()
+        before = sim.positions[10].copy()
+        bridge.steer(grab, drag_vector=(0, 0, 1.0))
+        assert sim.positions[10, 2] > before[2]
+        assert bridge.steers == 1
+
+    def test_steer_targets_nearest_atom(self, feed_setup):
+        _, sim, feed = feed_setup
+        bridge = SteeringBridge(feed)
+        assert bridge.nearest_atom(sim.positions[7] + 1e-4) == 7
+
+    def test_collaborators_see_the_steer(self, feed_setup):
+        tb, sim, feed = feed_setup
+        client = tb.active_client("peer", "athlon")
+        client.join(tb.data_service, "md")
+        bridge = SteeringBridge(feed)
+        before = client.tree.node(feed.node_id).points.copy()
+        bridge.steer(sim.positions[0], (1.0, 0, 0))
+        after = client.tree.node(feed.node_id).points
+        assert not np.array_equal(before, after)
+
+    def test_bridged_interactions_discoverable(self, feed_setup):
+        _, _, feed = feed_setup
+        bridge = SteeringBridge(feed)
+        assert "steer-force" in bridge.bridged_interactions()

@@ -1,0 +1,154 @@
+"""The binary value codec and the two marshaller cost models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MarshallingError
+from repro.network.marshalling import (
+    BinaryMarshaller,
+    IntrospectionMarshaller,
+    count_fields,
+    decode_value,
+    encode_value,
+    payload_nbytes,
+)
+
+
+class TestCodec:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, -1, 2**40, 3.14, "", "héllo", b"bytes",
+        [], [1, "two", None], {}, {"k": [1, {"n": 2.5}]},
+    ])
+    def test_roundtrip_primitives(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_roundtrip_arrays(self):
+        for arr in (np.arange(12, dtype=np.float32).reshape(3, 4),
+                    np.zeros((0, 3), np.int32),
+                    np.array(5.0),
+                    np.ones((2, 2, 2), np.uint8)):
+            back = decode_value(encode_value(arr))
+            assert back.dtype == arr.dtype
+            assert back.shape == arr.shape
+            assert np.array_equal(back, arr)
+
+    def test_decoded_array_is_writable_copy(self):
+        back = decode_value(encode_value(np.arange(3)))
+        back[0] = 99  # must not raise (frombuffer alone would be read-only)
+
+    def test_nested_structures(self):
+        value = {"tree": {"nodes": [{"id": 1, "m": np.eye(4)}]}}
+        back = decode_value(encode_value(value))
+        assert np.allclose(back["tree"]["nodes"][0]["m"], np.eye(4))
+
+    def test_unsupported_type(self):
+        with pytest.raises(MarshallingError):
+            encode_value(object())
+
+    def test_non_string_dict_key(self):
+        with pytest.raises(MarshallingError):
+            encode_value({1: "x"})
+
+    def test_depth_limit(self):
+        value = "leaf"
+        for _ in range(40):
+            value = [value]
+        with pytest.raises(MarshallingError):
+            encode_value(value)
+
+    def test_truncated_data(self):
+        data = encode_value({"a": np.arange(100)})
+        with pytest.raises(MarshallingError):
+            decode_value(data[:-5])
+
+    def test_trailing_garbage(self):
+        with pytest.raises(MarshallingError):
+            decode_value(encode_value(1) + b"xx")
+
+    def test_unknown_tag(self):
+        with pytest.raises(MarshallingError):
+            decode_value(b"Z")
+
+    def test_corrupt_array_length(self):
+        data = bytearray(encode_value(np.arange(4, dtype=np.int64)))
+        # ndarray layout: 'a' + dtlen + dtype + ndim + shape(q) + nbytes(Q)
+        # flip a shape byte so byte count mismatches
+        idx = data.index(4, 2)  # first occurrence of shape value 4
+        data[idx] = 9
+        with pytest.raises(MarshallingError):
+            decode_value(bytes(data))
+
+    wire_values = st.recursive(
+        st.one_of(st.none(), st.booleans(),
+                  st.integers(-2**60, 2**60),
+                  st.floats(allow_nan=False, allow_infinity=False),
+                  st.text(max_size=20), st.binary(max_size=20)),
+        lambda children: st.one_of(
+            st.lists(children, max_size=4),
+            st.dictionaries(st.text(min_size=1, max_size=8), children,
+                            max_size=4)),
+        max_leaves=20)
+
+    @given(wire_values)
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_property(self, value):
+        assert decode_value(encode_value(value)) == value
+
+
+class TestCounting:
+    def test_count_fields(self):
+        assert count_fields({"a": 1, "b": [2, 3]}) == 3
+        assert count_fields([]) == 1
+        assert count_fields(5) == 1
+
+    def test_payload_nbytes_arrays_dominate(self):
+        value = {"meta": "x", "data": np.zeros(1000, np.float64)}
+        assert payload_nbytes(value) >= 8000
+
+
+class TestCostModels:
+    def test_introspection_much_slower(self):
+        value = {"vertices": np.zeros((10000, 3), np.float32)}
+        fast = BinaryMarshaller().marshal(value)
+        slow = IntrospectionMarshaller().marshal(value)
+        assert slow.cpu_seconds > 50 * fast.cpu_seconds
+        assert fast.data == slow.data        # identical bytes!
+
+    def test_introspection_slope_matches_table5(self):
+        """~4.8 s/MB of CPU (marshal+demarshal) at reference speed — the
+        Table 5 slope once the testbed's per-host CPU factors apply."""
+        mb = 2**20
+        value = {"data": np.zeros(mb, np.uint8)}
+        m = IntrospectionMarshaller()
+        enc = m.marshal(value)
+        _, dec_cpu = m.demarshal(enc.data)
+        per_mb = enc.cpu_seconds + dec_cpu
+        assert 4.0 < per_mb < 5.6
+
+    def test_cpu_factor_scales(self):
+        value = {"data": np.zeros(1000)}
+        slow_cpu = IntrospectionMarshaller(cpu_factor=0.5).marshal(value)
+        fast_cpu = IntrospectionMarshaller(cpu_factor=2.0).marshal(value)
+        assert slow_cpu.cpu_seconds == pytest.approx(
+            4 * fast_cpu.cpu_seconds)
+
+    def test_invalid_cpu_factor(self):
+        with pytest.raises(ValueError):
+            BinaryMarshaller(cpu_factor=0)
+        with pytest.raises(ValueError):
+            IntrospectionMarshaller(cpu_factor=-1)
+
+    def test_demarshal_returns_value(self):
+        value = {"k": [1, 2, 3]}
+        m = BinaryMarshaller()
+        out, cpu = m.demarshal(m.marshal(value).data)
+        assert out == value
+        assert cpu > 0
+
+    def test_field_count_affects_introspection(self):
+        flat = {"a": np.zeros(1000)}
+        chopped = {f"k{i}": np.zeros(10) for i in range(100)}
+        m = IntrospectionMarshaller()
+        assert (m.marshal(chopped).cpu_seconds
+                > m.marshal(flat).cpu_seconds * 0.9)

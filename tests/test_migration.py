@@ -1,0 +1,224 @@
+"""Workload migration: load tracking, thresholds, fine-grain node moves."""
+
+import pytest
+
+from repro.core.migration import LoadSample, LoadTracker, WorkloadMigrator
+from repro.data.generators import skeleton
+from repro.scenegraph.nodes import MeshNode
+from repro.scenegraph.tree import SceneTree
+
+
+class TestLoadTracker:
+    def test_smoothing(self):
+        t = LoadTracker()
+        for i, fps in enumerate([10.0, 20.0, 30.0]):
+            t.record(LoadSample(time=float(i), fps=fps, utilisation=0.5))
+        assert t.smoothed_fps() == pytest.approx(20.0)
+        assert t.smoothed_utilisation() == pytest.approx(0.5)
+
+    def test_window_eviction(self):
+        t = LoadTracker(window_seconds=5.0)
+        t.record(LoadSample(0.0, fps=1.0, utilisation=0.1))
+        t.record(LoadSample(10.0, fps=9.0, utilisation=0.9))
+        assert t.n_samples == 1
+        assert t.smoothed_fps() == 9.0
+
+    def test_time_ordering_enforced(self):
+        t = LoadTracker()
+        t.record(LoadSample(5.0, 1.0, 0.5))
+        with pytest.raises(ValueError):
+            t.record(LoadSample(4.0, 1.0, 0.5))
+
+    def test_empty_tracker_defaults(self):
+        t = LoadTracker()
+        assert t.smoothed_fps() == float("inf")
+        assert t.smoothed_utilisation() == 0.0
+        assert not t.sustained_below_fps(100, 1.0)
+
+    def test_sustained_needs_duration(self):
+        """A single slow spike must NOT trigger ('smooth out spikes')."""
+        t = LoadTracker()
+        t.record(LoadSample(0.0, fps=100.0, utilisation=0.1))
+        t.record(LoadSample(1.0, fps=2.0, utilisation=0.9))
+        assert not t.sustained_below_fps(8.0, duration=3.0)
+
+    def test_sustained_fires_after_duration(self):
+        t = LoadTracker()
+        for i in range(6):
+            t.record(LoadSample(float(i), fps=2.0, utilisation=0.95))
+        assert t.sustained_below_fps(8.0, duration=3.0)
+
+    def test_recovery_resets(self):
+        t = LoadTracker()
+        for i in range(4):
+            t.record(LoadSample(float(i), fps=2.0, utilisation=0.9))
+        t.record(LoadSample(4.0, fps=50.0, utilisation=0.2))
+        assert not t.sustained_below_fps(8.0, duration=3.0)
+
+    def test_sustained_underutilisation(self):
+        t = LoadTracker()
+        for i in range(6):
+            t.record(LoadSample(float(i), fps=60.0, utilisation=0.05))
+        assert t.sustained_below_utilisation(0.3, duration=3.0)
+
+
+class TestNodeSelection:
+    """The fine-grain knapsack: 'we do not want to add 100k polygons by
+    mistake'."""
+
+    def make_tree(self, sizes):
+        tree = SceneTree()
+        ids = []
+        for i, size in enumerate(sizes):
+            node = tree.add(MeshNode(skeleton(max(600, size)).normalized(),
+                                     name=f"n{i}"))
+            ids.append(node.node_id)
+        return tree, ids
+
+    def test_moves_enough_work(self):
+        tree, ids = self.make_tree([2000, 2000, 2000])
+        sizes = {nid: tree.node(nid).n_polygons for nid in ids}
+        chosen, moved = WorkloadMigrator.select_nodes(
+            tree, set(ids), polygons_needed=3000,
+            receiver_headroom=10**6)
+        assert moved >= 3000
+        assert moved == sum(sizes[nid] for nid in chosen)
+
+    def test_never_overshoots_receiver(self):
+        tree, ids = self.make_tree([5000, 5000])
+        chosen, moved = WorkloadMigrator.select_nodes(
+            tree, set(ids), polygons_needed=100_000,
+            receiver_headroom=6000)
+        assert moved <= 6000
+
+    def test_fine_grain_rule(self):
+        """Needing ~2k with a 100k node available and little headroom must
+        NOT move the 100k node (the paper's 5k-vs-100k example)."""
+        tree, ids = self.make_tree([100_000, 2000])
+        small_polys = min(tree.node(n).n_polygons for n in ids)
+        chosen, moved = WorkloadMigrator.select_nodes(
+            tree, set(ids), polygons_needed=small_polys,
+            receiver_headroom=small_polys * 2)
+        big = max(ids, key=lambda n: tree.node(n).n_polygons)
+        assert big not in chosen
+        assert 0 < moved <= small_polys * 2
+
+    def test_nothing_needed(self):
+        tree, ids = self.make_tree([1000])
+        chosen, moved = WorkloadMigrator.select_nodes(
+            tree, set(ids), polygons_needed=0, receiver_headroom=10**6)
+        assert chosen == [] and moved == 0
+
+    def test_missing_nodes_skipped(self):
+        tree, ids = self.make_tree([1000])
+        chosen, _ = WorkloadMigrator.select_nodes(
+            tree, {999_999}, polygons_needed=100, receiver_headroom=10**6)
+        assert chosen == []
+
+
+class FakeService:
+    def __init__(self, name, rate, committed=0.0):
+        self.name = name
+        self._rate = rate
+        self._committed = committed
+
+    def capacity(self):
+        from repro.core.capacity import RenderCapacity
+
+        return RenderCapacity(
+            polygons_per_second=self._rate, points_per_second=self._rate,
+            voxels_per_second=0, texture_memory_bytes=2**30,
+            volume_support=False)
+
+    def committed_polygons(self):
+        return self._committed
+
+    def utilisation(self, target_fps=10.0):
+        return self._committed / (self._rate / target_fps)
+
+
+class FakeSession:
+    """Minimal CollaborativeSession facade for migrator policy tests."""
+
+    def __init__(self, tree, services, shares):
+        self.master_tree = tree
+        self.render_services = services
+        self._shares = shares
+        self.recruiter = None
+        self.moves = []
+
+    def share_of(self, service):
+        return self._shares[service.name]
+
+    def reassign_nodes(self, src, dst, node_ids):
+        self._shares[src.name] -= set(node_ids)
+        self._shares[dst.name] |= set(node_ids)
+        moved = sum(self.master_tree.node(n).n_polygons for n in node_ids)
+        src._committed -= moved
+        dst._committed += moved
+        self.moves.append((src.name, dst.name, tuple(node_ids)))
+
+    def recruit_more(self):
+        return []
+
+
+class TestMigrationPolicy:
+    def build(self):
+        tree = SceneTree()
+        ids = []
+        for i in range(6):
+            node = tree.add(MeshNode(skeleton(2000).normalized(),
+                                     name=f"part{i}"))
+            ids.append(node.node_id)
+        per_node = tree.node(ids[0]).n_polygons
+        overloaded = FakeService("slow", rate=3e4,
+                                 committed=per_node * 6)   # way over budget
+        idle = FakeService("fast", rate=1e7, committed=0.0)
+        shares = {"slow": set(ids), "fast": set()}
+        session = FakeSession(tree, [overloaded, idle], shares)
+        return session, overloaded, idle
+
+    def feed_overload(self, migrator, service):
+        for i in range(8):
+            migrator.tracker(service.name).record(
+                LoadSample(float(i), fps=2.0,
+                           utilisation=service.utilisation(10.0)))
+
+    def test_overload_triggers_move(self):
+        session, slow, fast = self.build()
+        migrator = WorkloadMigrator(target_fps=10, overload_fps=8.0,
+                                    smoothing_seconds=3.0)
+        self.feed_overload(migrator, slow)
+        actions = migrator.plan(session)
+        assert actions
+        action = actions[0]
+        assert action.source == "slow" and action.destination == "fast"
+        assert action.reason == "overload"
+        assert session.moves
+
+    def test_no_move_without_sustained_overload(self):
+        session, slow, fast = self.build()
+        migrator = WorkloadMigrator(target_fps=10, overload_fps=8.0,
+                                    smoothing_seconds=3.0)
+        migrator.tracker(slow.name).record(LoadSample(0.0, 2.0, 2.0))
+        assert migrator.plan(session) == []
+
+    def test_underload_pulls_work(self):
+        session, slow, fast = self.build()
+        migrator = WorkloadMigrator(target_fps=10,
+                                    underload_utilisation=0.3,
+                                    smoothing_seconds=3.0)
+        for i in range(8):
+            migrator.tracker(fast.name).record(
+                LoadSample(float(i), fps=200.0, utilisation=0.0))
+        actions = migrator.plan(session)
+        assert any(a.reason == "underload" and a.destination == "fast"
+                   for a in actions)
+
+    def test_actions_logged(self):
+        session, slow, fast = self.build()
+        migrator = WorkloadMigrator(target_fps=10, overload_fps=8.0,
+                                    smoothing_seconds=3.0)
+        self.feed_overload(migrator, slow)
+        migrator.plan(session)
+        assert migrator.actions

@@ -1,0 +1,83 @@
+"""Multi-pipe render concurrency (the Onyx's three InfiniteReality pipes)."""
+
+import pytest
+
+from repro.data.generators import skeleton
+from repro.scenegraph.nodes import CameraNode
+
+
+@pytest.fixture
+def onyx_setup(testbed):
+    testbed.publish_model("pipes", skeleton(300_000).normalized())
+    rs = testbed.render_service("onyx")          # 3 graphics pipes
+    session, _ = rs.create_render_session(testbed.data_service, "pipes")
+    return testbed, rs, session
+
+
+def requests_for(session, n):
+    cams = [CameraNode(position=(2.0 + 0.1 * i, 1.4, 1.2))
+            for i in range(n)]
+    return [(session.render_session_id, cam, 64, 64) for cam in cams]
+
+
+class TestMultiPipe:
+    def test_three_users_share_three_pipes(self, onyx_setup):
+        """Three concurrent frames on three pipes cost one frame time."""
+        tb, rs, session = onyx_setup
+        single_req = requests_for(session, 1)
+        t0 = tb.clock.now
+        rs.render_views_parallel(single_req)
+        one_frame = tb.clock.now - t0
+
+        t0 = tb.clock.now
+        results = rs.render_views_parallel(requests_for(session, 3))
+        three_frames = tb.clock.now - t0
+        assert len(results) == 3
+        assert three_frames == pytest.approx(one_frame, rel=0.05)
+
+    def test_fourth_user_starts_a_second_batch(self, onyx_setup):
+        tb, rs, session = onyx_setup
+        t0 = tb.clock.now
+        rs.render_views_parallel(requests_for(session, 3))
+        three = tb.clock.now - t0
+        t0 = tb.clock.now
+        rs.render_views_parallel(requests_for(session, 4))
+        four = tb.clock.now - t0
+        assert four == pytest.approx(2 * three, rel=0.1)
+
+    def test_single_pipe_machine_serialises(self, testbed):
+        testbed.publish_model("serial", skeleton(100_000).normalized())
+        rs = testbed.render_service("centrino")   # one pipe
+        session, _ = rs.create_render_session(testbed.data_service,
+                                              "serial")
+        t0 = testbed.clock.now
+        rs.render_views_parallel(requests_for(session, 1))
+        one = testbed.clock.now - t0
+        t0 = testbed.clock.now
+        rs.render_views_parallel(requests_for(session, 3))
+        three = testbed.clock.now - t0
+        assert three == pytest.approx(3 * one, rel=0.05)
+
+    def test_results_in_request_order(self, onyx_setup):
+        tb, rs, session = onyx_setup
+        results = rs.render_views_parallel(requests_for(session, 5))
+        assert len(results) == 5
+        for fb, timing in results:
+            assert fb.width == 64
+            assert timing.total_seconds > 0
+
+    def test_empty_request_list(self, onyx_setup):
+        tb, rs, session = onyx_setup
+        t0 = tb.clock.now
+        assert rs.render_views_parallel([]) == []
+        assert tb.clock.now == t0
+
+    def test_clock_restored_on_bad_request(self, onyx_setup):
+        from repro.errors import SessionError
+
+        tb, rs, session = onyx_setup
+        real_clock = tb.network.sim.clock
+        with pytest.raises(SessionError):
+            rs.render_views_parallel(
+                [("nonexistent", CameraNode(), 32, 32)])
+        assert tb.network.sim.clock is real_clock

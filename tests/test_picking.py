@@ -1,0 +1,124 @@
+"""Ray picking: pixel rays, Möller–Trumbore, occlusion ordering."""
+
+import numpy as np
+import pytest
+
+from repro.data.meshes import Mesh
+from repro.scenegraph.nodes import CameraNode, MeshNode, TransformNode
+from repro.scenegraph.picking import (
+    Ray,
+    intersect_mesh,
+    pick_mesh,
+    pick_tree,
+)
+from repro.scenegraph.tree import SceneTree
+
+
+def facing_quad(z: float, name="q") -> Mesh:
+    """Quad at depth z facing the +z axis."""
+    return Mesh(
+        np.array([[-1, -1, z], [1, -1, z], [1, 1, z], [-1, 1, z]],
+                 dtype=np.float32),
+        np.array([[0, 1, 2], [0, 2, 3]], dtype=np.int32),
+        name=name,
+    )
+
+
+class TestPixelRays:
+    def test_center_pixel_looks_forward(self):
+        cam = CameraNode(position=(0, 0, 5), target=(0, 0, 0),
+                         up=(0, 1, 0))
+        ray = Ray.through_pixel(cam, 99.5, 99.5, 200, 200)
+        assert np.allclose(ray.direction, [0, 0, -1], atol=1e-2)
+
+    def test_corner_rays_diverge(self):
+        cam = CameraNode(position=(0, 0, 5), target=(0, 0, 0),
+                         up=(0, 1, 0))
+        tl = Ray.through_pixel(cam, 0, 0, 200, 200)
+        br = Ray.through_pixel(cam, 199, 199, 200, 200)
+        assert tl.direction[0] < 0 < br.direction[0]
+        assert tl.direction[1] > 0 > br.direction[1]  # y down in image
+
+    def test_direction_unit(self):
+        cam = CameraNode(position=(3, 2, 5))
+        ray = Ray.through_pixel(cam, 10, 190, 200, 200)
+        assert np.linalg.norm(ray.direction) == pytest.approx(1.0)
+
+
+class TestIntersection:
+    def test_hit_distance(self):
+        ray = Ray(origin=np.array([0.0, 0, 5]),
+                  direction=np.array([0.0, 0, -1]))
+        res = intersect_mesh(ray, facing_quad(0.0))
+        assert res is not None
+        _, dist = res
+        assert dist == pytest.approx(5.0)
+
+    def test_miss(self):
+        ray = Ray(origin=np.array([10.0, 10, 5]),
+                  direction=np.array([0.0, 0, -1]))
+        assert intersect_mesh(ray, facing_quad(0.0)) is None
+
+    def test_behind_origin_not_hit(self):
+        ray = Ray(origin=np.array([0.0, 0, -5]),
+                  direction=np.array([0.0, 0, -1]))
+        assert intersect_mesh(ray, facing_quad(0.0)) is None
+
+    def test_parallel_ray(self):
+        ray = Ray(origin=np.array([0.0, 0, 1]),
+                  direction=np.array([1.0, 0, 0]))
+        assert intersect_mesh(ray, facing_quad(0.0)) is None
+
+    def test_empty_mesh(self):
+        ray = Ray(origin=np.zeros(3), direction=np.array([0.0, 0, -1]))
+        empty = Mesh(np.zeros((0, 3)), np.zeros((0, 3), np.int32))
+        assert intersect_mesh(ray, empty) is None
+
+    def test_nearest_of_two_quads(self):
+        from repro.data.meshes import merge_meshes
+
+        both = merge_meshes([facing_quad(0.0), facing_quad(2.0)])
+        ray = Ray(origin=np.array([0.0, 0, 5]),
+                  direction=np.array([0.0, 0, -1]))
+        res = intersect_mesh(ray, both)
+        assert res is not None
+        _, dist = res
+        assert dist == pytest.approx(3.0)  # hits the closer quad at z=2
+
+    def test_pick_mesh_point(self):
+        ray = Ray(origin=np.array([0.2, 0.3, 5.0]),
+                  direction=np.array([0.0, 0, -1]))
+        hit = pick_mesh(ray, facing_quad(0.0))
+        assert hit is not None
+        assert np.allclose(hit.point, [0.2, 0.3, 0.0], atol=1e-6)
+
+
+class TestTreePicking:
+    def test_selects_nearest_node(self):
+        tree = SceneTree()
+        tree.add(MeshNode(facing_quad(0.0), name="far"))
+        tree.add(MeshNode(facing_quad(2.0), name="near"))
+        ray = Ray(origin=np.array([0.0, 0, 5]),
+                  direction=np.array([0.0, 0, -1]))
+        hit = pick_tree(ray, tree)
+        assert hit is not None and hit.node.name == "near"
+
+    def test_honours_world_transforms(self):
+        tree = SceneTree()
+        xf = tree.add(TransformNode.from_translation((10.0, 0, 0)))
+        tree.add(MeshNode(facing_quad(0.0), name="moved"), parent=xf)
+        miss = Ray(origin=np.array([0.0, 0, 5]),
+                   direction=np.array([0.0, 0, -1]))
+        assert pick_tree(miss, tree) is None
+        hit_ray = Ray(origin=np.array([10.0, 0, 5]),
+                      direction=np.array([0.0, 0, -1]))
+        hit = pick_tree(hit_ray, tree)
+        assert hit is not None and hit.node.name == "moved"
+
+    def test_click_through_camera_hits_target(self):
+        tree = SceneTree()
+        tree.add(MeshNode(facing_quad(0.0), name="target"))
+        cam = CameraNode(position=(0, 0, 5), target=(0, 0, 0), up=(0, 1, 0))
+        ray = Ray.through_pixel(cam, 100, 100, 200, 200)
+        hit = pick_tree(ray, tree)
+        assert hit is not None and hit.node.name == "target"

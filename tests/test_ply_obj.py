@@ -1,0 +1,164 @@
+"""PLY and OBJ readers/writers, and the paper's PLY→OBJ ingest pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.data.convert import ply_to_obj
+from repro.data.meshes import Mesh
+from repro.data.obj import read_obj, write_obj
+from repro.data.ply import read_ply, write_ply
+from repro.errors import DataFormatError
+
+
+@pytest.fixture
+def colored_quad(quad) -> Mesh:
+    colors = np.array([[1, 0, 0], [0, 1, 0], [0, 0, 1], [1, 1, 1]],
+                      dtype=np.float32)
+    return Mesh(quad.vertices, quad.faces, colors, name="cquad")
+
+
+class TestPly:
+    @pytest.mark.parametrize("binary", [True, False])
+    def test_roundtrip(self, tmp_path, small_galleon, binary):
+        p = tmp_path / "m.ply"
+        write_ply(small_galleon, p, binary=binary)
+        back = read_ply(p)
+        assert back.n_triangles == small_galleon.n_triangles
+        assert np.allclose(back.vertices, small_galleon.vertices, atol=1e-4)
+        assert np.array_equal(back.faces, small_galleon.faces)
+
+    @pytest.mark.parametrize("binary", [True, False])
+    def test_roundtrip_colors(self, tmp_path, colored_quad, binary):
+        p = tmp_path / "c.ply"
+        write_ply(colored_quad, p, binary=binary)
+        back = read_ply(p)
+        assert back.colors is not None
+        assert np.allclose(back.colors, colored_quad.colors, atol=1 / 255)
+
+    def test_binary_smaller_than_ascii(self, tmp_path, small_galleon):
+        nb = write_ply(small_galleon, tmp_path / "b.ply", binary=True)
+        na = write_ply(small_galleon, tmp_path / "a.ply", binary=False)
+        assert nb < na
+
+    def test_rejects_non_ply(self, tmp_path):
+        p = tmp_path / "x.ply"
+        p.write_bytes(b"not a ply file\n")
+        with pytest.raises(DataFormatError):
+            read_ply(p)
+
+    def test_rejects_truncated_binary(self, tmp_path, quad):
+        p = tmp_path / "t.ply"
+        write_ply(quad, p, binary=True)
+        data = p.read_bytes()
+        p.write_bytes(data[:-10])
+        with pytest.raises(DataFormatError):
+            read_ply(p)
+
+    def test_rejects_quad_faces(self, tmp_path):
+        p = tmp_path / "q.ply"
+        p.write_text(
+            "ply\nformat ascii 1.0\nelement vertex 4\n"
+            "property float x\nproperty float y\nproperty float z\n"
+            "element face 1\nproperty list uchar int vertex_indices\n"
+            "end_header\n0 0 0\n1 0 0\n1 1 0\n0 1 0\n4 0 1 2 3\n")
+        with pytest.raises(DataFormatError):
+            read_ply(p)
+
+    def test_rejects_missing_end_header(self, tmp_path):
+        p = tmp_path / "h.ply"
+        p.write_bytes(b"ply\nformat ascii 1.0\nelement vertex 1\n")
+        with pytest.raises(DataFormatError):
+            read_ply(p)
+
+
+class TestObj:
+    def test_roundtrip(self, tmp_path, small_galleon):
+        p = tmp_path / "m.obj"
+        write_obj(small_galleon, p)
+        back = read_obj(p)
+        assert back.n_triangles == small_galleon.n_triangles
+        assert np.allclose(back.vertices, small_galleon.vertices,
+                           rtol=1e-4, atol=1e-5)
+        assert np.array_equal(back.faces, small_galleon.faces)
+
+    def test_roundtrip_colors(self, tmp_path, colored_quad):
+        p = tmp_path / "c.obj"
+        write_obj(colored_quad, p)
+        back = read_obj(p)
+        assert back.colors is not None
+        assert np.allclose(back.colors, colored_quad.colors, atol=1e-4)
+
+    def test_fan_triangulation(self, tmp_path):
+        p = tmp_path / "poly.obj"
+        p.write_text("v 0 0 0\nv 1 0 0\nv 1 1 0\nv 0 1 0\nf 1 2 3 4\n")
+        m = read_obj(p)
+        assert m.n_triangles == 2
+
+    def test_slash_indices(self, tmp_path):
+        p = tmp_path / "s.obj"
+        p.write_text("v 0 0 0\nv 1 0 0\nv 0 1 0\nvn 0 0 1\nvt 0 0\n"
+                     "f 1/1/1 2/1/1 3/1/1\n")
+        m = read_obj(p)
+        assert m.n_triangles == 1
+
+    def test_negative_indices(self, tmp_path):
+        p = tmp_path / "n.obj"
+        p.write_text("v 0 0 0\nv 1 0 0\nv 0 1 0\nf -3 -2 -1\n")
+        m = read_obj(p)
+        assert np.array_equal(m.faces, [[0, 1, 2]])
+
+    def test_comments_and_groups_ignored(self, tmp_path):
+        p = tmp_path / "g.obj"
+        p.write_text("# header\no thing\ng grp\ns off\nusemtl m\n"
+                     "v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1 2 3\n")
+        assert read_obj(p).n_triangles == 1
+
+    def test_out_of_range_face(self, tmp_path):
+        p = tmp_path / "bad.obj"
+        p.write_text("v 0 0 0\nf 1 2 3\n")
+        with pytest.raises(DataFormatError):
+            read_obj(p)
+
+    def test_unknown_directive(self, tmp_path):
+        p = tmp_path / "u.obj"
+        p.write_text("frobnicate 1 2 3\n")
+        with pytest.raises(DataFormatError):
+            read_obj(p)
+
+    def test_empty_file(self, tmp_path):
+        p = tmp_path / "e.obj"
+        p.write_text("# nothing\n")
+        with pytest.raises(DataFormatError):
+            read_obj(p)
+
+
+class TestConversion:
+    def test_ply_to_obj_pipeline(self, tmp_path, small_galleon):
+        src = tmp_path / "g.ply"
+        write_ply(small_galleon, src, binary=True)
+        report = ply_to_obj(src)
+        assert report.n_triangles == small_galleon.n_triangles
+        assert (tmp_path / "g.obj").exists()
+        assert report.output_bytes > 0
+        assert report.expansion > 0.5  # text vs binary
+
+    def test_explicit_destination(self, tmp_path, quad):
+        src = tmp_path / "q.ply"
+        dst = tmp_path / "out" "q2.obj"
+        write_ply(quad, src)
+        report = ply_to_obj(src, dst)
+        assert report.destination.endswith("q2.obj")
+
+    def test_verification_catches_topology_change(self, tmp_path, quad,
+                                                  monkeypatch):
+        import repro.data.convert as convert
+
+        src = tmp_path / "q.ply"
+        write_ply(quad, src)
+
+        def bad_read(path):
+            return Mesh(quad.vertices[:3], np.array([[0, 1, 2]], np.int32))
+
+        monkeypatch.setattr(convert, "read_obj", bad_read)
+        with pytest.raises(AssertionError):
+            ply_to_obj(src)

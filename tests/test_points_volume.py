@@ -1,0 +1,146 @@
+"""Point-cloud splatting and volume ray-marching."""
+
+import numpy as np
+import pytest
+
+from repro.data.volumes import VoxelVolume, visible_human_phantom
+from repro.errors import RenderError
+from repro.render.camera import Camera
+from repro.render.framebuffer import FrameBuffer
+from repro.render.points import rasterize_points
+from repro.render.volume import raymarch_volume
+
+
+@pytest.fixture
+def cam():
+    return Camera.looking_at((0, 0, 5), target=(0, 0, 0), up=(0, 1, 0))
+
+
+class TestPoints:
+    def test_single_point_center(self, cam):
+        fb = FrameBuffer(64, 64)
+        stats = rasterize_points(np.zeros((1, 3)), cam, fb)
+        assert stats.points_drawn == 1
+        assert np.isfinite(fb.depth[32, 32])
+
+    def test_point_size_grows_footprint(self, cam):
+        fb1 = FrameBuffer(64, 64)
+        fb3 = FrameBuffer(64, 64)
+        pts = np.zeros((1, 3))
+        rasterize_points(pts, cam, fb1, point_size=1)
+        rasterize_points(pts, cam, fb3, point_size=3)
+        assert np.isfinite(fb3.depth).sum() > np.isfinite(fb1.depth).sum()
+
+    def test_offscreen_points_skipped(self, cam):
+        fb = FrameBuffer(64, 64)
+        stats = rasterize_points(np.array([[100.0, 0, 0]]), cam, fb)
+        assert stats.points_drawn == 0
+
+    def test_behind_camera_skipped(self, cam):
+        fb = FrameBuffer(64, 64)
+        stats = rasterize_points(np.array([[0.0, 0, 10.0]]), cam, fb)
+        assert stats.points_drawn == 0
+
+    def test_depth_test_against_existing(self, cam):
+        fb = FrameBuffer(64, 64)
+        fb.depth[:] = 1.0     # something very close already drawn
+        fb.color[:] = 7
+        rasterize_points(np.zeros((1, 3)), cam, fb)  # at distance 5
+        assert (fb.color == 7).all()  # point lost the depth test
+
+    def test_per_point_colors(self, cam):
+        fb = FrameBuffer(64, 64)
+        rasterize_points(np.zeros((1, 3)), cam, fb,
+                         colors=np.array([[0.0, 1.0, 0.0]]),
+                         depth_fade=False)
+        assert fb.color[32, 32, 1] > 200
+
+    def test_color_shape_checked(self, cam):
+        with pytest.raises(RenderError):
+            rasterize_points(np.zeros((2, 3)), cam, FrameBuffer(8, 8),
+                             colors=np.zeros((3, 3)))
+
+    def test_point_size_bounds(self, cam):
+        with pytest.raises(RenderError):
+            rasterize_points(np.zeros((1, 3)), cam, FrameBuffer(8, 8),
+                             point_size=0)
+
+    def test_empty_cloud(self, cam):
+        stats = rasterize_points(np.zeros((0, 3)), cam, FrameBuffer(8, 8))
+        assert stats.points_in == 0
+
+    def test_depth_fade_dims_far_points(self, cam):
+        fb = FrameBuffer(64, 64)
+        pts = np.array([[0.0, 0, 1.0], [0.5, 0, -3.0]])
+        rasterize_points(pts, cam, fb,
+                         colors=np.ones((2, 3)), depth_fade=True)
+        near_px = fb.color[32, 32]
+        # find the far point's pixel
+        far_mask = np.isfinite(fb.depth) & (fb.depth > 5)
+        assert far_mask.any()
+        far_px = fb.color[far_mask][0]
+        assert int(near_px.max()) > int(far_px.max())
+
+
+def sphere_volume(n=32, radius=0.6):
+    lin = np.linspace(-1, 1, n)
+    x, y, z = np.meshgrid(lin, lin, lin, indexing="ij")
+    density = np.clip(radius - np.sqrt(x**2 + y**2 + z**2) + 0.2, 0, 1)
+    spacing = 2.0 / (n - 1)
+    return VoxelVolume(density.astype(np.float32), spacing=(spacing,) * 3,
+                       origin=(-1, -1, -1))
+
+
+class TestVolume:
+    def test_sphere_renders_centered_disc(self, cam):
+        img = raymarch_volume(sphere_volume(), cam, 64, 64,
+                              opacity_scale=0.5)
+        alpha = img.rgba[..., 3]
+        assert alpha[32, 32] > 0.3            # dense center
+        assert alpha[2, 2] < 0.01             # empty corner
+        assert 0.05 < img.coverage < 0.6
+
+    def test_depth_near_front_surface(self, cam):
+        img = raymarch_volume(sphere_volume(), cam, 64, 64,
+                              opacity_scale=0.8)
+        d = img.depth[32, 32]
+        # camera at z=5, sphere front surface around z≈0.8 → distance ≈4.2
+        assert 3.8 < d < 5.0
+
+    def test_view_distance_is_centroid_distance(self, cam):
+        img = raymarch_volume(sphere_volume(), cam, 16, 16)
+        assert img.view_distance == pytest.approx(5.0, abs=0.1)
+
+    def test_miss_rays_transparent(self):
+        cam = Camera.looking_at((0, 0, 5), target=(0, 0, 0))
+        vol = sphere_volume(16)
+        img = raymarch_volume(vol, cam, 8, 8)
+        assert np.isinf(img.depth[0, 0])
+
+    def test_camera_outside_looking_away(self):
+        cam = Camera.looking_at((0, 0, 5), target=(0, 0, 10))
+        img = raymarch_volume(sphere_volume(16), cam, 16, 16)
+        assert img.rgba[..., 3].max() == 0.0
+
+    def test_opacity_scale_monotone(self, cam):
+        thin = raymarch_volume(sphere_volume(), cam, 32, 32,
+                               opacity_scale=0.05)
+        thick = raymarch_volume(sphere_volume(), cam, 32, 32,
+                                opacity_scale=0.5)
+        assert thick.rgba[..., 3].sum() > thin.rgba[..., 3].sum()
+
+    def test_step_count_validated(self, cam):
+        with pytest.raises(RenderError):
+            raymarch_volume(sphere_volume(16), cam, 8, 8, n_steps=1)
+
+    def test_premultiplied_alpha(self, cam):
+        img = raymarch_volume(sphere_volume(), cam, 32, 32,
+                              opacity_scale=0.5)
+        rgb = img.rgba[..., :3]
+        a = img.rgba[..., 3:]
+        assert (rgb <= a + 1e-5).all()   # premultiplied bound
+
+    def test_phantom_renders(self, cam):
+        vol = visible_human_phantom(24)
+        img = raymarch_volume(vol, cam, 48, 48, opacity_scale=0.3)
+        assert img.coverage > 0.02

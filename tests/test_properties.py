@@ -1,0 +1,236 @@
+"""Cross-module property-based tests (hypothesis).
+
+Invariants that must hold for *any* input, not just the fixtures:
+tiling exactness, codec round trips, wire-protocol round trips, audit
+replay determinism, cost arithmetic, distribution conservation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.compression import DeltaCodec, Rgb565Codec, RleCodec
+from repro.core.cost import NodeCost
+from repro.network.marshalling import decode_value, encode_value
+from repro.render.compositor import check_tiling, depth_composite
+from repro.render.framebuffer import FrameBuffer, split_tiles
+from repro.scenegraph.audit import AuditTrail
+from repro.scenegraph.updates import (
+    MoveAvatar,
+    RemoveNode,
+    SetCamera,
+    SetProperty,
+    update_from_wire,
+)
+
+
+class TestTilingProperties:
+    @given(st.integers(2, 300), st.integers(2, 300),
+           st.integers(1, 6), st.integers(1, 6))
+    @settings(max_examples=120, deadline=None)
+    def test_split_tiles_exactly_cover(self, w, h, nx, ny):
+        assume(nx <= w and ny <= h)
+        tiles = split_tiles(w, h, nx, ny)
+        assert len(tiles) == nx * ny
+        check_tiling(w, h, tiles)   # raises on gap/overlap
+
+    @given(st.integers(4, 64), st.integers(4, 64), st.integers(1, 4),
+           st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_extract_paste_identity(self, w, h, nx, seed):
+        assume(nx <= w)
+        rng = np.random.default_rng(seed)
+        fb = FrameBuffer(w, h)
+        fb.color[:] = rng.integers(0, 256, (h, w, 3), dtype=np.uint8)
+        fb.depth[:] = rng.random((h, w), dtype=np.float32)
+        target = FrameBuffer(w, h)
+        for tile in split_tiles(w, h, nx, 1):
+            target.paste(tile, fb.extract(tile))
+        assert np.array_equal(target.color, fb.color)
+        assert np.array_equal(target.depth, fb.depth)
+
+
+class TestCompositeProperties:
+    @given(st.integers(0, 2**32 - 1), st.integers(2, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_depth_composite_is_pixelwise_min(self, seed, n_buffers):
+        rng = np.random.default_rng(seed)
+        buffers = []
+        for _ in range(n_buffers):
+            fb = FrameBuffer(16, 16)
+            mask = rng.random((16, 16)) < 0.5
+            depth = rng.random((16, 16), dtype=np.float32) * 10
+            fb.depth[mask] = depth[mask]
+            fb.color[mask] = rng.integers(0, 256, (int(mask.sum()), 3),
+                                          dtype=np.uint8)
+            buffers.append(fb)
+        merged = depth_composite(buffers)
+        stack = np.stack([b.depth for b in buffers])
+        assert np.array_equal(merged.depth, stack.min(axis=0))
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_composite_commutative_in_depth(self, seed):
+        rng = np.random.default_rng(seed)
+        buffers = []
+        for _ in range(3):
+            fb = FrameBuffer(8, 8)
+            fb.depth[:] = rng.random((8, 8), dtype=np.float32)
+            buffers.append(fb)
+        a = depth_composite(buffers)
+        b = depth_composite(buffers[::-1])
+        assert np.array_equal(a.depth, b.depth)
+
+
+class TestCodecProperties:
+    images = st.integers(0, 2**32 - 1)
+
+    def random_frame(self, seed, w=24, h=24):
+        rng = np.random.default_rng(seed)
+        fb = FrameBuffer(w, h)
+        # blocky content: realistic runs for RLE + deltas
+        blocks = rng.integers(0, 256, (4, 4, 3), dtype=np.uint8)
+        fb.color[:] = np.kron(blocks,
+                              np.ones((6, 6, 1), dtype=np.uint8))
+        noise = rng.random((h, w)) < 0.05
+        fb.color[noise] = rng.integers(0, 256, (int(noise.sum()), 3),
+                                       dtype=np.uint8)
+        return fb
+
+    @given(images)
+    @settings(max_examples=40, deadline=None)
+    def test_rle_lossless(self, seed):
+        fb = self.random_frame(seed)
+        codec = RleCodec()
+        dec, _ = codec.decode(codec.encode(fb), 24, 24)
+        assert np.array_equal(dec.color, fb.color)
+
+    @given(images)
+    @settings(max_examples=40, deadline=None)
+    def test_rgb565_error_bounded(self, seed):
+        fb = self.random_frame(seed)
+        codec = Rgb565Codec()
+        dec, _ = codec.decode(codec.encode(fb), 24, 24)
+        err = np.abs(dec.color.astype(int) - fb.color.astype(int))
+        assert err.max() <= 8
+
+    @given(images, images)
+    @settings(max_examples=30, deadline=None)
+    def test_delta_stream_lossless(self, seed_a, seed_b):
+        enc = DeltaCodec()
+        dec = DeltaCodec()
+        for seed in (seed_a, seed_b, seed_a):
+            fb = self.random_frame(seed)
+            out, _ = dec.decode(enc.encode(fb), 24, 24)
+            assert np.array_equal(out.color, fb.color)
+
+
+class TestWireProperties:
+    vectors = st.tuples(*[st.floats(-1e6, 1e6, allow_nan=False)] * 3)
+
+    @given(st.integers(0, 10**6), vectors, vectors,
+           st.floats(1.0, 179.0))
+    @settings(max_examples=60, deadline=None)
+    def test_setcamera_roundtrip(self, node_id, pos, target, fov):
+        update = SetCamera(node_id=node_id,
+                           position=np.array(pos), target=np.array(target),
+                           fov_degrees=fov)
+        back = update_from_wire(update.to_wire())
+        assert back.node_id == node_id
+        assert np.allclose(back.position, pos)
+        assert back.fov_degrees == pytest.approx(fov)
+
+    @given(st.integers(0, 10**6), vectors, vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_moveavatar_roundtrip(self, node_id, pos, view):
+        update = MoveAvatar(node_id=node_id, position=np.array(pos),
+                            view_direction=np.array(view))
+        back = update_from_wire(update.to_wire())
+        assert np.allclose(back.view_direction, view)
+
+    @given(st.text(min_size=1, max_size=30),
+           st.one_of(st.integers(-10**9, 10**9), st.text(max_size=50),
+                     st.booleans(), st.none()))
+    @settings(max_examples=60, deadline=None)
+    def test_setproperty_roundtrip(self, name, value):
+        update = SetProperty(node_id=1, field_name=name, value=value)
+        back = update_from_wire(
+            decode_value(encode_value(update.to_wire())))
+        assert back.field_name == name
+        assert back.value == value
+
+
+class TestAuditProperties:
+    @given(st.lists(st.tuples(st.floats(0, 100, allow_nan=False),
+                              st.integers(0, 100)),
+                    min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_save_load_identity(self, raw):
+        import tempfile
+        from pathlib import Path
+
+        times = sorted(t for t, _ in raw)
+        trail = AuditTrail()
+        for t, nid in zip(times, (n for _, n in raw)):
+            trail.record(t, RemoveNode(node_id=nid))
+        with tempfile.TemporaryDirectory() as d:
+            path = Path(d) / "t.rave"
+            trail.save(path)
+            back = AuditTrail.load(path)
+        assert len(back) == len(trail)
+        for (t1, u1), (t2, u2) in zip(trail, back):
+            assert t1 == t2
+            assert u1.node_id == u2.node_id
+
+
+class TestCostProperties:
+    costs = st.builds(NodeCost,
+                      polygons=st.integers(0, 10**7),
+                      points=st.integers(0, 10**7),
+                      voxels=st.integers(0, 10**7),
+                      texture_bytes=st.integers(0, 2**40),
+                      payload_bytes=st.integers(0, 2**40))
+
+    @given(costs, costs, costs)
+    @settings(max_examples=60, deadline=None)
+    def test_addition_associative(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(costs, costs)
+    @settings(max_examples=60, deadline=None)
+    def test_addition_commutative(self, a, b):
+        assert a + b == b + a
+
+    @given(costs)
+    @settings(max_examples=60, deadline=None)
+    def test_zero_identity(self, a):
+        assert a + NodeCost() == a
+
+
+class TestDistributionProperties:
+    @given(st.integers(0, 2**32 - 1), st.integers(2, 5),
+           st.integers(2, 8))
+    @settings(max_examples=15, deadline=None)
+    def test_plan_conserves_polygons(self, seed, n_services, n_nodes):
+        from repro.core.distribution import DatasetDistributor
+        from repro.data.generators import uv_sphere
+        from repro.scenegraph.nodes import MeshNode
+        from repro.scenegraph.tree import SceneTree
+
+        rng = np.random.default_rng(seed)
+        tree = SceneTree("prop")
+        for i in range(n_nodes):
+            res = int(rng.integers(6, 14))
+            tree.add(MeshNode(uv_sphere(1.0, res, res,
+                                        center=rng.normal(0, 2, 3)),
+                              name=f"n{i}"))
+        total = tree.total_polygons()
+        budgets = {f"s{k}": total * 1.2 / n_services + 50
+                   for k in range(n_services)}
+        assume(sum(budgets.values()) >= total)
+        plan = DatasetDistributor(max_grain_polygons=200).plan(tree,
+                                                               budgets)
+        assigned = sum(c.polygons for c in plan.costs.values())
+        assert assigned == tree.total_polygons()
+        for name, cost in plan.costs.items():
+            assert cost.polygons <= budgets[name] + 1e-9

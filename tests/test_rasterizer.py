@@ -1,0 +1,223 @@
+"""The software rasterizer: coverage, occlusion, culling, shading paths."""
+
+import numpy as np
+import pytest
+
+from repro.data.meshes import Mesh, merge_meshes
+from repro.errors import RenderError
+from repro.render.camera import Camera
+from repro.render.framebuffer import FrameBuffer
+from repro.render.rasterizer import rasterize_mesh
+from repro.render.shading import flat_intensity, gouraud_intensity
+
+
+def facing_quad(z: float, half: float = 1.0, name="q") -> Mesh:
+    return Mesh(
+        np.array([[-half, -half, z], [half, -half, z], [half, half, z],
+                  [-half, half, z]], dtype=np.float32),
+        np.array([[0, 1, 2], [0, 2, 3]], dtype=np.int32),
+        name=name,
+    )
+
+
+@pytest.fixture
+def cam():
+    return Camera.looking_at((0, 0, 5), target=(0, 0, 0), up=(0, 1, 0))
+
+
+class TestCoverage:
+    def test_centered_quad_covers_center(self, cam):
+        fb = FrameBuffer(64, 64)
+        stats = rasterize_mesh(facing_quad(0.0), cam, fb)
+        assert stats.faces_rasterized == 2
+        assert np.isfinite(fb.depth[32, 32])
+        assert fb.coverage() > 0.05
+
+    def test_coverage_scales_with_size(self, cam):
+        small = FrameBuffer(64, 64)
+        large = FrameBuffer(64, 64)
+        rasterize_mesh(facing_quad(0.0, half=0.5), cam, small)
+        rasterize_mesh(facing_quad(0.0, half=1.5), cam, large)
+        assert large.coverage() > 2 * small.coverage()
+
+    def test_quad_coverage_matches_projection(self, cam):
+        """Projected quad area should match rasterized pixel count."""
+        fb = FrameBuffer(100, 100)
+        rasterize_mesh(facing_quad(0.0), cam, fb)
+        screen, _ = cam.project_vertices(facing_quad(0.0).vertices, 100, 100)
+        w = screen[:, 0].max() - screen[:, 0].min()
+        h = screen[:, 1].max() - screen[:, 1].min()
+        covered = np.isfinite(fb.depth).sum()
+        assert covered == pytest.approx(w * h, rel=0.08)
+
+    def test_empty_mesh(self, cam):
+        fb = FrameBuffer(32, 32)
+        stats = rasterize_mesh(
+            Mesh(np.zeros((0, 3)), np.zeros((0, 3), np.int32)), cam, fb)
+        assert stats.faces_in == 0
+        assert fb.coverage() == 0.0
+
+    def test_depth_values_are_view_distance(self, cam):
+        fb = FrameBuffer(64, 64)
+        rasterize_mesh(facing_quad(0.0), cam, fb)
+        assert fb.depth[32, 32] == pytest.approx(5.0, abs=0.01)
+
+
+class TestOcclusion:
+    def test_nearer_quad_wins(self, cam):
+        fb = FrameBuffer(64, 64)
+        near = facing_quad(2.0)
+        far = facing_quad(0.0)
+        far_c = Mesh(far.vertices, far.faces,
+                     colors=np.tile([1.0, 0, 0], (4, 1)).astype(np.float32))
+        near_c = Mesh(near.vertices, near.faces,
+                      colors=np.tile([0, 1.0, 0], (4, 1)).astype(np.float32))
+        rasterize_mesh(merge_meshes([far_c, near_c]), cam, fb,
+                       shading="none")
+        # center pixel must be green (near quad) regardless of draw order
+        r, g, b = fb.color[32, 32]
+        assert g > r
+
+    def test_order_independence(self, cam):
+        fb1 = FrameBuffer(64, 64)
+        fb2 = FrameBuffer(64, 64)
+        a = facing_quad(0.0)
+        b = facing_quad(2.0, half=0.5)
+        rasterize_mesh(a, cam, fb1)
+        rasterize_mesh(b, cam, fb1)
+        rasterize_mesh(b, cam, fb2)
+        rasterize_mesh(a, cam, fb2)
+        assert np.array_equal(fb1.depth, fb2.depth)
+        assert fb1.mean_abs_diff(fb2) < 1.0
+
+    def test_accumulates_across_calls(self, cam):
+        fb = FrameBuffer(64, 64)
+        rasterize_mesh(facing_quad(0.0, half=0.3), cam, fb)
+        cov1 = fb.coverage()
+        rasterize_mesh(facing_quad(-1.0, half=1.2), cam, fb)
+        assert fb.coverage() > cov1
+
+
+class TestCulling:
+    def test_behind_camera_culled(self, cam):
+        fb = FrameBuffer(32, 32)
+        stats = rasterize_mesh(facing_quad(10.0), cam, fb)  # behind z=5 cam
+        assert stats.faces_culled_near == 2
+        assert fb.coverage() == 0.0
+
+    def test_offscreen_culled(self, cam):
+        fb = FrameBuffer(32, 32)
+        stats = rasterize_mesh(
+            facing_quad(0.0).translated((100, 0, 0)), cam, fb)
+        assert stats.faces_culled_offscreen == 2
+
+    def test_backface_culling(self, cam):
+        fb = FrameBuffer(32, 32)
+        quad = facing_quad(0.0)
+        flipped = Mesh(quad.vertices, quad.faces[:, ::-1])
+        s1 = rasterize_mesh(quad, cam, fb, cull_backfaces=True)
+        s2 = rasterize_mesh(flipped, cam, fb, cull_backfaces=True)
+        # exactly one orientation survives
+        assert {s1.faces_rasterized, s2.faces_rasterized} == {0, 2}
+
+    def test_degenerate_faces_skipped(self, cam):
+        fb = FrameBuffer(32, 32)
+        m = Mesh(np.zeros((3, 3), np.float32),
+                 np.array([[0, 1, 2]], np.int32))
+        stats = rasterize_mesh(m, cam, fb)
+        assert stats.faces_rasterized == 0
+
+    def test_stats_add_up(self, cam):
+        fb = FrameBuffer(32, 32)
+        mesh = merge_meshes([facing_quad(0.0), facing_quad(10.0),
+                             facing_quad(0.0).translated((100, 0, 0))])
+        s = rasterize_mesh(mesh, cam, fb)
+        assert (s.faces_rasterized + s.faces_culled_near
+                + s.faces_culled_backface + s.faces_culled_offscreen
+                == s.faces_in)
+
+
+class TestShading:
+    def test_flat_intensity_range(self, small_galleon):
+        i = flat_intensity(small_galleon)
+        assert (i >= 0).all() and (i <= 1).all()
+        assert i.std() > 0.01     # actual variation over the hull
+
+    def test_gouraud_intensity_range(self, small_galleon):
+        i = gouraud_intensity(small_galleon)
+        assert (i >= 0).all() and (i <= 1).all()
+
+    def test_light_direction_changes_shading(self, small_galleon):
+        a = flat_intensity(small_galleon, light_direction=(-1, 0, 0))
+        b = flat_intensity(small_galleon, light_direction=(0, 0, -1))
+        assert not np.allclose(a, b)
+
+    def test_zero_light_rejected(self, small_galleon):
+        with pytest.raises(ValueError):
+            flat_intensity(small_galleon, light_direction=(0, 0, 0))
+
+    def test_facing_quad_fully_lit_head_on(self, cam):
+        quad = facing_quad(0.0)
+        i = flat_intensity(quad, light_direction=(0, 0, -1))
+        assert np.allclose(i, 1.0)
+
+    def test_gouraud_rendering_smooth(self, cam, small_galleon):
+        flat_fb = FrameBuffer(96, 96)
+        smooth_fb = FrameBuffer(96, 96)
+        cam2 = Camera.looking_at((2.2, 1.4, 1.2))
+        rasterize_mesh(small_galleon, cam2, flat_fb, shading="flat")
+        rasterize_mesh(small_galleon, cam2, smooth_fb, shading="gouraud")
+        mask = np.isfinite(flat_fb.depth) & np.isfinite(smooth_fb.depth)
+        assert mask.sum() > 100
+
+        def roughness(fb):
+            g = fb.color[..., 0].astype(float)
+            return np.abs(np.diff(g, axis=1))[mask[:, 1:]].mean()
+
+        assert roughness(smooth_fb) <= roughness(flat_fb)
+
+    def test_vertex_colors_interpolated(self, cam):
+        quad = facing_quad(0.0)
+        # vertices 0,1 are the bottom edge (red); 2,3 the top (blue)
+        colors = np.array([[1, 0, 0], [1, 0, 0], [0, 0, 1], [0, 0, 1]],
+                          dtype=np.float32)
+        m = Mesh(quad.vertices, quad.faces, colors)
+        fb = FrameBuffer(64, 64)
+        rasterize_mesh(m, cam, fb, shading="none")
+        # the quad spans roughly ±15 px around the 64x64 center
+        top = fb.color[22, 32]       # image top = world +y = blue
+        bottom = fb.color[42, 32]    # image bottom = world -y = red
+        assert np.isfinite(fb.depth[22, 32]) and np.isfinite(fb.depth[42, 32])
+        assert int(bottom[0]) > int(top[0])    # red fades upward
+        assert int(top[2]) > int(bottom[2])    # blue fades downward
+
+    def test_unknown_shading_mode(self, cam, quad):
+        with pytest.raises(RenderError):
+            rasterize_mesh(quad, cam, FrameBuffer(8, 8), shading="phong")
+
+    def test_bad_base_color(self, cam, quad):
+        with pytest.raises(RenderError):
+            rasterize_mesh(quad, cam, FrameBuffer(8, 8), base_color=(1, 2))
+
+
+class TestChunking:
+    def test_small_fragment_budget_same_result(self, cam, small_galleon):
+        """Chunked processing must be invisible in the output."""
+        cam2 = Camera.looking_at((2.2, 1.4, 1.2))
+        fb_big = FrameBuffer(64, 64)
+        fb_small = FrameBuffer(64, 64)
+        rasterize_mesh(small_galleon, cam2, fb_big)
+        rasterize_mesh(small_galleon, cam2, fb_small, max_fragments=5_000)
+        assert np.array_equal(fb_big.depth, fb_small.depth)
+        assert fb_big.mean_abs_diff(fb_small) < 0.5
+
+    def test_giant_triangle_close_up(self):
+        """A triangle whose bbox exceeds every bucket still renders."""
+        cam = Camera.looking_at((0, 0, 0.4), target=(0, 0, 0))
+        fb = FrameBuffer(600, 600)
+        tri = Mesh(
+            np.array([[-5, -5, 0], [5, -5, 0], [0, 5, 0]], np.float32),
+            np.array([[0, 1, 2]], np.int32))
+        stats = rasterize_mesh(tri, cam, fb)
+        assert stats.faces_rasterized == 1
+        assert fb.coverage() > 0.5

@@ -1,0 +1,84 @@
+"""Property-based robustness tests for the rendering pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.meshes import Mesh
+from repro.render.camera import Camera
+from repro.render.framebuffer import FrameBuffer
+from repro.render.points import rasterize_points
+from repro.render.rasterizer import rasterize_mesh
+
+
+@st.composite
+def scenes(draw):
+    """Random mesh + camera, including degenerate geometry."""
+    n_verts = draw(st.integers(3, 40))
+    n_faces = draw(st.integers(1, 60))
+    rng = np.random.default_rng(draw(st.integers(0, 2**32 - 1)))
+    scale = draw(st.floats(0.01, 100.0))
+    verts = (rng.normal(0, 1, (n_verts, 3)) * scale).astype(np.float32)
+    faces = rng.integers(0, n_verts, (n_faces, 3)).astype(np.int32)
+    cam_pos = rng.normal(0, 3, 3) * draw(st.floats(0.1, 10.0))
+    if np.linalg.norm(cam_pos) < 0.2:
+        cam_pos = np.array([0.0, 0.0, 5.0])
+    camera = Camera.looking_at(tuple(cam_pos), target=(0, 0, 0))
+    return Mesh(verts, faces), camera
+
+
+class TestRasterizerRobustness:
+    @given(scenes(), st.integers(8, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_never_crashes_and_stats_consistent(self, scene, size):
+        mesh, camera = scene
+        fb = FrameBuffer(size, size)
+        stats = rasterize_mesh(mesh, camera, fb)
+        assert (stats.faces_rasterized + stats.faces_culled_near
+                + stats.faces_culled_backface
+                + stats.faces_culled_offscreen) == stats.faces_in
+        # depth buffer only ever holds finite positive distances or inf
+        finite = np.isfinite(fb.depth)
+        if finite.any():
+            assert (fb.depth[finite] > 0).all()
+
+    @given(scenes())
+    @settings(max_examples=40, deadline=None)
+    def test_color_written_iff_depth_written(self, scene):
+        mesh, camera = scene
+        fb = FrameBuffer(32, 32, background=(7, 7, 7))
+        rasterize_mesh(mesh, camera, fb)
+        untouched = ~np.isfinite(fb.depth)
+        assert (fb.color[untouched] == 7).all()
+
+    @given(scenes())
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic(self, scene):
+        mesh, camera = scene
+        a = FrameBuffer(32, 32)
+        b = FrameBuffer(32, 32)
+        rasterize_mesh(mesh, camera, a)
+        rasterize_mesh(mesh, camera, b)
+        assert np.array_equal(a.color, b.color)
+        assert np.array_equal(a.depth, b.depth)
+
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_points_never_crash(self, seed, size):
+        rng = np.random.default_rng(seed)
+        pts = (rng.normal(0, 2, (50, 3)) * rng.uniform(0.1, 50)).astype(
+            np.float32)
+        camera = Camera.looking_at((0, 0, 5))
+        fb = FrameBuffer(32, 32)
+        stats = rasterize_points(pts, camera, fb, point_size=size)
+        assert 0 <= stats.points_drawn <= stats.points_in
+
+    @given(scenes())
+    @settings(max_examples=30, deadline=None)
+    def test_depth_independent_of_shading(self, scene):
+        mesh, camera = scene
+        flat = FrameBuffer(32, 32)
+        smooth = FrameBuffer(32, 32)
+        rasterize_mesh(mesh, camera, flat, shading="flat")
+        rasterize_mesh(mesh, camera, smooth, shading="gouraud")
+        assert np.array_equal(flat.depth, smooth.depth)

@@ -1,0 +1,214 @@
+"""Scene-node types: structure rules, wire round trips, interrogation."""
+
+import numpy as np
+import pytest
+
+from repro.data.volumes import visible_human_phantom
+from repro.errors import SceneGraphError
+from repro.scenegraph.interfaces import discover_interfaces, interface_fields
+from repro.scenegraph.nodes import (
+    AvatarNode,
+    CameraNode,
+    GroupNode,
+    LightNode,
+    MeshNode,
+    NODE_TYPES,
+    PointCloudNode,
+    TransformNode,
+    VolumeNode,
+    node_from_wire,
+    node_to_wire,
+)
+
+
+class TestStructure:
+    def test_add_remove_child(self):
+        parent = GroupNode(name="p")
+        child = GroupNode(name="c")
+        parent.add_child(child)
+        assert child.parent is parent
+        parent.remove_child(child)
+        assert child.parent is None
+        assert not parent.children
+
+    def test_self_child_rejected(self):
+        node = GroupNode()
+        with pytest.raises(SceneGraphError):
+            node.add_child(node)
+
+    def test_cycle_rejected(self):
+        a, b, c = GroupNode("a"), GroupNode("b"), GroupNode("c")
+        a.add_child(b)
+        b.add_child(c)
+        with pytest.raises(SceneGraphError):
+            c.add_child(a)
+
+    def test_reparenting_moves_node(self):
+        p1, p2, child = GroupNode(), GroupNode(), GroupNode()
+        p1.add_child(child)
+        p2.add_child(child)
+        assert child.parent is p2
+        assert child not in p1.children
+
+    def test_remove_non_child(self):
+        with pytest.raises(SceneGraphError):
+            GroupNode().remove_child(GroupNode())
+
+    def test_iter_subtree_preorder(self):
+        root = GroupNode("root")
+        a = GroupNode("a")
+        b = GroupNode("b")
+        a1 = GroupNode("a1")
+        root.add_child(a)
+        root.add_child(b)
+        a.add_child(a1)
+        names = [n.name for n in root.iter_subtree()]
+        assert names == ["root", "a", "a1", "b"]
+
+
+class TestWireRoundTrips:
+    def roundtrip(self, node):
+        return node_from_wire(node_to_wire(node))
+
+    def test_transform(self):
+        node = TransformNode.from_rotation_z(0.5, name="rot")
+        back = self.roundtrip(node)
+        assert np.allclose(back.matrix, node.matrix)
+        assert back.name == "rot"
+
+    def test_mesh(self, quad):
+        back = self.roundtrip(MeshNode(quad, name="q"))
+        assert back.mesh.n_triangles == 2
+        assert np.allclose(back.mesh.vertices, quad.vertices)
+
+    def test_mesh_with_colors(self, quad):
+        from repro.data.meshes import Mesh
+
+        colored = Mesh(quad.vertices, quad.faces,
+                       np.ones_like(quad.vertices))
+        back = self.roundtrip(MeshNode(colored))
+        assert back.mesh.colors is not None
+
+    def test_points(self):
+        node = PointCloudNode(np.random.default_rng(0).random((10, 3)),
+                              point_size=2.5)
+        back = self.roundtrip(node)
+        assert back.n_points == 10
+        assert back.point_size == 2.5
+
+    def test_volume(self):
+        node = VolumeNode(visible_human_phantom(12), iso=0.3)
+        back = self.roundtrip(node)
+        assert back.volume.shape == (12, 12, 12)
+        assert back.iso == 0.3
+        assert back.volume.spacing == node.volume.spacing
+
+    def test_camera(self):
+        node = CameraNode(position=(1, 2, 3), target=(0, 1, 0),
+                          fov_degrees=60.0)
+        back = self.roundtrip(node)
+        assert np.allclose(back.position, [1, 2, 3])
+        assert back.fov_degrees == 60.0
+
+    def test_avatar(self):
+        node = AvatarNode(user="ian", host="tower", position=(1, 1, 1))
+        back = self.roundtrip(node)
+        assert back.user == "ian"
+        assert back.label == "tower"
+
+    def test_light(self):
+        node = LightNode(direction=(1, 0, 0), ambient=0.5)
+        back = self.roundtrip(node)
+        assert back.ambient == 0.5
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SceneGraphError):
+            node_from_wire({"type": "warp-drive", "fields": {}})
+
+    def test_all_registered_types_blankable(self):
+        for type_name in NODE_TYPES:
+            node = node_from_wire({"type": type_name, "fields": {}})
+            assert node.TYPE == type_name
+
+
+class TestCamera:
+    def test_view_direction_unit(self):
+        cam = CameraNode(position=(0, 0, 5), target=(0, 0, 0))
+        d = cam.view_direction()
+        assert np.linalg.norm(d) == pytest.approx(1.0)
+        assert d[2] == pytest.approx(-1.0)
+
+    def test_orbit_preserves_distance(self):
+        cam = CameraNode(position=(3, 0, 0), target=(0, 0, 0))
+        cam.orbit(azimuth=0.7, elevation=0.2)
+        assert np.linalg.norm(cam.position) == pytest.approx(3.0)
+
+    def test_orbit_degenerate_at_target(self):
+        cam = CameraNode(position=(0, 0, 0), target=(0, 0, 0))
+        cam.orbit(1.0)  # no crash
+        assert np.allclose(cam.position, 0)
+
+
+class TestAvatarGeometry:
+    def test_cone_points_along_view(self):
+        avatar = AvatarNode(user="u", position=(0, 0, 0),
+                            view_direction=(1, 0, 0))
+        cone = avatar.cone_geometry(size=1.0)
+        assert cone.n_triangles > 4
+        lo, hi = cone.bounds()
+        assert hi[0] == pytest.approx(1.0, abs=1e-5)   # apex at +x
+
+    def test_cone_valid_for_degenerate_view(self):
+        avatar = AvatarNode(user="u", view_direction=(0, 0, 0))
+        cone = avatar.cone_geometry()
+        assert np.isfinite(cone.vertices).all()
+
+
+class TestCostSurface:
+    def test_mesh_cost(self, quad):
+        node = MeshNode(quad)
+        assert node.n_polygons == 2
+        assert node.payload_bytes == quad.byte_size
+        assert node.n_points == 0
+
+    def test_points_cost(self):
+        node = PointCloudNode(np.zeros((7, 3), np.float32))
+        assert node.n_points == 7
+        assert node.n_polygons == 0
+
+    def test_volume_cost(self):
+        node = VolumeNode(visible_human_phantom(10))
+        assert node.n_voxels == 1000
+        assert node.payload_bytes == 1000 * 4
+
+    def test_group_cost_zero(self):
+        node = GroupNode()
+        assert node.n_polygons == 0
+        assert node.payload_bytes == 0
+
+
+class TestInterrogation:
+    def test_camera_interfaces(self):
+        found = {i.name for i in discover_interfaces(CameraNode())}
+        assert "Camera" in found
+        assert "Position" in found
+        assert "PolygonGeometry" not in found
+
+    def test_mesh_interfaces(self, quad):
+        found = {i.name for i in discover_interfaces(MeshNode(quad))}
+        assert "PolygonGeometry" in found
+        assert "Named" in found
+        assert "Camera" not in found
+
+    def test_avatar_interfaces(self):
+        found = {i.name for i in discover_interfaces(AvatarNode("u"))}
+        assert {"Identity", "Position", "ViewDirection"} <= found
+
+    def test_interface_fields_mapping(self, quad):
+        fields = interface_fields(MeshNode(quad))
+        assert fields["PolygonGeometry"] == ["vertices", "faces"]
+
+    def test_supported_interactions_discoverable(self, quad):
+        assert "translate" in MeshNode(quad).supported_interactions()
+        assert "orbit" in CameraNode().supported_interactions()
+        assert "select" in GroupNode().supported_interactions()

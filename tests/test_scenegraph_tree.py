@@ -1,0 +1,181 @@
+"""SceneTree: ids, traversal, transforms, subtree extraction, serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SceneGraphError
+from repro.scenegraph.nodes import (
+    CameraNode,
+    GroupNode,
+    MeshNode,
+    TransformNode,
+)
+from repro.scenegraph.tree import SceneTree
+
+
+class TestRegistry:
+    def test_root_has_id_zero(self):
+        tree = SceneTree()
+        assert tree.root.node_id == 0
+        assert 0 in tree
+
+    def test_ids_unique_and_stable(self, quad):
+        tree = SceneTree()
+        a = tree.add(GroupNode("a"))
+        b = tree.add(MeshNode(quad), parent=a)
+        assert a.node_id != b.node_id
+        assert tree.node(b.node_id) is b
+
+    def test_add_prebuilt_subtree_registers_all(self, quad):
+        tree = SceneTree()
+        group = GroupNode("g")
+        group.add_child(MeshNode(quad))
+        tree.add(group)
+        assert len(tree) == 3  # root + group + mesh
+        assert all(n.node_id >= 0 for n in tree)
+
+    def test_remove_releases_ids(self, quad):
+        tree = SceneTree()
+        g = tree.add(GroupNode("g"))
+        m = tree.add(MeshNode(quad), parent=g)
+        mid = m.node_id
+        tree.remove(g)
+        assert mid not in tree
+        assert m.node_id == -1
+
+    def test_cannot_remove_root(self):
+        tree = SceneTree()
+        with pytest.raises(SceneGraphError):
+            tree.remove(tree.root)
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(SceneGraphError):
+            SceneTree().node(42)
+
+    def test_explicit_id(self):
+        tree = SceneTree()
+        n = tree.add(GroupNode(), node_id=77)
+        assert n.node_id == 77
+        with pytest.raises(SceneGraphError):
+            tree.add(GroupNode(), node_id=77)
+
+    def test_detached_parent_rejected(self):
+        tree = SceneTree()
+        orphan = GroupNode()
+        with pytest.raises(SceneGraphError):
+            tree.add(GroupNode(), parent=orphan)
+
+
+class TestQueries:
+    def test_find_by_name(self, simple_tree):
+        assert len(simple_tree.find_by_name("quad")) == 1
+
+    def test_geometry_nodes(self, simple_tree):
+        geo = simple_tree.geometry_nodes()
+        assert len(geo) == 1
+        assert geo[0].name == "quad"
+
+    def test_cameras(self, simple_tree):
+        assert len(simple_tree.cameras()) == 1
+
+    def test_total_polygons(self, simple_tree):
+        assert simple_tree.total_polygons() == 2
+
+    def test_path_to_root(self, simple_tree):
+        mesh = simple_tree.find_by_name("quad")[0]
+        path = simple_tree.path_to_root(mesh)
+        assert path[0] is mesh
+        assert path[-1] is simple_tree.root
+        assert len(path) == 3
+
+
+class TestWorldTransforms:
+    def test_identity_for_untransformed(self, simple_tree):
+        cam = simple_tree.cameras()[0]
+        assert np.allclose(simple_tree.world_transform(cam), np.eye(4))
+
+    def test_single_transform(self, simple_tree):
+        mesh = simple_tree.find_by_name("quad")[0]
+        w = simple_tree.world_transform(mesh)
+        assert np.allclose(w[:3, 3], [1, 0, 0])
+
+    def test_nested_transforms_compose(self, quad):
+        tree = SceneTree()
+        outer = tree.add(TransformNode.from_translation((1, 0, 0)))
+        inner = tree.add(TransformNode.from_scale(2.0), parent=outer)
+        mesh = tree.add(MeshNode(quad), parent=inner)
+        w = tree.world_transform(mesh)
+        # scale applied inside translation
+        p = w @ np.array([1.0, 0, 0, 1.0])
+        assert np.allclose(p[:3], [3, 0, 0])
+
+
+class TestSubtreeExtraction:
+    def test_parent_chain_preserved(self, simple_tree):
+        mesh = simple_tree.find_by_name("quad")[0]
+        sub = simple_tree.extract_subtree([mesh.node_id])
+        names = {n.name for n in sub}
+        assert "xf" in names                 # the orienting transform
+        assert "quad" in names
+        assert "cam" not in names            # unrelated sibling omitted
+
+    def test_world_transform_equal_in_subset(self, simple_tree):
+        """The extracted subset must orient geometry exactly as the
+        original — the workload-distribution correctness contract."""
+        mesh = simple_tree.find_by_name("quad")[0]
+        sub = simple_tree.extract_subtree([mesh.node_id])
+        sub_mesh = sub.find_by_name("quad")[0]
+        assert np.allclose(simple_tree.world_transform(mesh),
+                           sub.world_transform(sub_mesh))
+
+    def test_ids_preserved(self, simple_tree):
+        mesh = simple_tree.find_by_name("quad")[0]
+        sub = simple_tree.extract_subtree([mesh.node_id])
+        assert mesh.node_id in sub
+        assert sub.node(mesh.node_id).name == "quad"
+
+    def test_camera_rides_along(self, simple_tree):
+        mesh = simple_tree.find_by_name("quad")[0]
+        cam = simple_tree.cameras()[0]
+        sub = simple_tree.extract_subtree([mesh.node_id], camera=cam)
+        assert len(sub.cameras()) == 1
+
+    def test_whole_subtree_included(self, quad):
+        tree = SceneTree()
+        g = tree.add(GroupNode("g"))
+        tree.add(MeshNode(quad, name="m1"), parent=g)
+        tree.add(MeshNode(quad, name="m2"), parent=g)
+        sub = tree.extract_subtree([g.node_id])
+        assert sub.total_polygons() == 4
+
+    def test_extraction_is_a_copy(self, simple_tree):
+        mesh = simple_tree.find_by_name("quad")[0]
+        sub = simple_tree.extract_subtree([mesh.node_id])
+        sub.find_by_name("quad")[0].name = "renamed"
+        assert simple_tree.find_by_name("quad")  # original untouched
+
+
+class TestSerialisation:
+    def test_roundtrip_structure(self, simple_tree):
+        back = SceneTree.from_wire(simple_tree.to_wire())
+        assert len(back) == len(simple_tree)
+        assert back.total_polygons() == simple_tree.total_polygons()
+        assert {n.name for n in back} == {n.name for n in simple_tree}
+
+    def test_roundtrip_preserves_ids(self, simple_tree):
+        back = SceneTree.from_wire(simple_tree.to_wire())
+        for node in simple_tree:
+            if node is simple_tree.root:
+                continue
+            assert node.node_id in back
+            assert back.node(node.node_id).TYPE == node.TYPE
+
+    def test_roundtrip_transform_values(self, simple_tree):
+        back = SceneTree.from_wire(simple_tree.to_wire())
+        xf = back.find_by_name("xf")[0]
+        assert np.allclose(xf.matrix[:3, 3], [1, 0, 0])
+
+    def test_empty_tree(self):
+        back = SceneTree.from_wire(SceneTree("empty").to_wire())
+        assert len(back) == 1
+        assert back.name == "empty"

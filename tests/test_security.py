@@ -1,0 +1,149 @@
+"""Access policies, grid certificates, and the Axis-vs-GT3 trade-off."""
+
+import pytest
+
+from repro.data.generators import galleon
+from repro.errors import SoapFault
+from repro.services.container import (
+    INSTANCE_CREATION_SECONDS,
+    ServiceContainer,
+)
+from repro.services.data_service import DataService
+from repro.services.security import (
+    AccessPolicy,
+    GT3_INSTANCE_FACTOR,
+    GridCertificate,
+    gt3_handshake_seconds,
+)
+
+
+class TestAccessPolicy:
+    def test_open_permits_anyone(self):
+        AccessPolicy.open().authorize("random-user")
+
+    def test_allow_list(self):
+        policy = AccessPolicy.allow("ian", "nick")
+        policy.authorize("ian")
+        with pytest.raises(SoapFault) as info:
+            policy.authorize("mallory")
+        assert "not permitted" in str(info.value)
+        assert policy.denials == 1
+
+    def test_permit_new_user(self):
+        """The paper's admin action: modify permissions for a new user."""
+        policy = AccessPolicy.allow("ian")
+        with pytest.raises(SoapFault):
+            policy.authorize("dave")
+        policy.permit("dave")
+        policy.authorize("dave")
+
+    def test_revoke(self):
+        policy = AccessPolicy.allow("ian")
+        policy.revoke("ian")
+        with pytest.raises(SoapFault):
+            policy.authorize("ian")
+
+    def test_certificate_required(self):
+        policy = AccessPolicy.certified("WeSC-CA", "s3cret")
+        with pytest.raises(SoapFault):
+            policy.authorize("ian")     # no certificate
+
+    def test_valid_certificate_accepted(self):
+        policy = AccessPolicy.certified("WeSC-CA", "s3cret")
+        cert = GridCertificate.issue("ian", "WeSC-CA", "s3cret")
+        policy.authorize("ian", cert)
+
+    def test_forged_certificate_rejected(self):
+        policy = AccessPolicy.certified("WeSC-CA", "s3cret")
+        forged = GridCertificate.issue("ian", "WeSC-CA", "wrong-secret")
+        with pytest.raises(SoapFault):
+            policy.authorize("ian", forged)
+
+    def test_stolen_certificate_rejected(self):
+        """A certificate for someone else does not authorise you."""
+        policy = AccessPolicy.certified("WeSC-CA", "s3cret")
+        someone_elses = GridCertificate.issue("nick", "WeSC-CA", "s3cret")
+        with pytest.raises(SoapFault):
+            policy.authorize("ian", someone_elses)
+
+    def test_certified_plus_allowlist(self):
+        policy = AccessPolicy.certified("WeSC-CA", "s3cret",
+                                        users={"ian"})
+        cert = GridCertificate.issue("nick", "WeSC-CA", "s3cret")
+        with pytest.raises(SoapFault):
+            policy.authorize("nick", cert)   # certified but not listed
+
+
+class TestDataServiceEnforcement:
+    def test_denied_subscription_faults(self, small_testbed):
+        tb = small_testbed
+        tb.publish_model("locked", galleon().normalized())
+        tb.data_service.policy = AccessPolicy.allow("ian")
+        with pytest.raises(SoapFault):
+            tb.data_service.subscribe("locked", "mallory", host="athlon")
+        # and nothing was registered
+        assert "mallory" not in tb.data_service.session(
+            "locked").subscribers
+
+    def test_permitting_unblocks(self, small_testbed):
+        tb = small_testbed
+        tb.publish_model("locked2", galleon().normalized())
+        tb.data_service.policy = AccessPolicy.allow("ian")
+        tb.data_service.policy.permit("dave")
+        tree, _ = tb.data_service.subscribe("locked2", "dave",
+                                            host="athlon")
+        assert tree.total_polygons() > 0
+
+
+class TestGt3Container:
+    def test_gt3_instance_creation_slower(self, small_testbed):
+        tb = small_testbed
+        axis = ServiceContainer("centrino", tb.network, http_port=9601)
+        gt3 = ServiceContainer("centrino", tb.network, http_port=9602,
+                               flavor="gt3")
+        t0 = tb.clock.now
+        axis.create_instance("render")
+        axis_cost = tb.clock.now - t0
+        t0 = tb.clock.now
+        gt3.create_instance("render")
+        gt3_cost = tb.clock.now - t0
+        assert gt3_cost == pytest.approx(axis_cost * GT3_INSTANCE_FACTOR)
+
+    def test_unknown_flavor(self, small_testbed):
+        from repro.errors import ServiceError
+
+        with pytest.raises(ServiceError):
+            ServiceContainer("centrino", small_testbed.network,
+                             http_port=9603, flavor="websphere")
+
+    def test_gt3_subscription_pays_gsi_handshake(self, small_testbed):
+        tb = small_testbed
+        gt3 = ServiceContainer("athlon", tb.network, http_port=9604,
+                               flavor="gt3")
+        ds = DataService("gt3-data", gt3)
+        from repro.scenegraph.nodes import MeshNode
+        from repro.scenegraph.tree import SceneTree
+
+        tree = SceneTree("s")
+        tree.add(MeshNode(galleon().normalized()))
+        ds.create_session("s", tree, charge_time=False)
+
+        t0 = tb.clock.now
+        ds.subscribe("s", "ian", host="centrino", introspective=False)
+        gt3_elapsed = tb.clock.now - t0
+
+        t0 = tb.clock.now
+        tb.publish_model("plain", galleon().normalized())
+        tb.clock.advance_to(t0)  # create_session is uncharged; realign
+        t0 = tb.clock.now
+        tb.data_service.subscribe("plain", "ian", host="centrino",
+                                  introspective=False)
+        axis_elapsed = tb.clock.now - t0
+        assert gt3_elapsed > axis_elapsed + 0.5 * gt3_handshake_seconds(
+            gt3.cpu_factor)
+
+    def test_handshake_scales_with_cpu(self):
+        assert gt3_handshake_seconds(2.0) == pytest.approx(
+            gt3_handshake_seconds(1.0) / 2)
+        with pytest.raises(ValueError):
+            gt3_handshake_seconds(0)

@@ -1,0 +1,184 @@
+"""The simulated network: topology, timing, contention, wireless, multicast."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network.simnet import Network, WirelessCell
+
+
+@pytest.fixture
+def lan():
+    """Three hosts on a 100 Mbit star plus a wireless PDA."""
+    net = Network()
+    for h in ("a", "b", "c", "pda"):
+        net.add_host(h)
+    net.add_ethernet_segment(["a", "b", "c"], "switch",
+                             bandwidth_bps=100e6, latency_s=0.0002)
+    cell = WirelessCell(net, "switch")
+    cell.join("pda")
+    return net, cell
+
+
+class TestTopology:
+    def test_duplicate_host(self, lan):
+        net, _ = lan
+        with pytest.raises(NetworkError):
+            net.add_host("a")
+
+    def test_duplicate_link(self, lan):
+        net, _ = lan
+        with pytest.raises(NetworkError):
+            net.add_link("a", "switch", 1e6, 0.001)
+
+    def test_unknown_host_in_link(self, lan):
+        net, _ = lan
+        with pytest.raises(NetworkError):
+            net.add_link("a", "ghost", 1e6, 0.001)
+
+    def test_zero_bandwidth_rejected(self, lan):
+        net, _ = lan
+        net.add_host("x")
+        with pytest.raises(NetworkError):
+            net.add_link("a", "x", 0, 0.001)
+
+    def test_path_through_switch(self, lan):
+        net, _ = lan
+        assert net.path("a", "b") == ["a", "switch", "b"]
+
+    def test_no_route(self, lan):
+        net, _ = lan
+        net.add_host("island")
+        with pytest.raises(NetworkError):
+            net.path("a", "island")
+
+
+class TestTransferTimes:
+    def test_ethernet_100mbit(self, lan):
+        net, _ = lan
+        # 1 MB over two 100 Mbit hops + 2 latencies
+        t = net.transfer_time("a", "b", 10**6)
+        assert t == pytest.approx(2 * 0.0002 + 2 * 8e6 / 100e6, rel=1e-6)
+
+    def test_wireless_matches_paper_frame_time(self, lan):
+        """120 kB (a 200x200x3 frame) over 11 Mbit 802.11b ≈ 0.2 s."""
+        net, _ = lan
+        t = net.transfer_time("a", "pda", 120_000)
+        assert 0.17 < t < 0.27
+
+    def test_zero_bytes_latency_only(self, lan):
+        net, _ = lan
+        assert net.transfer_time("a", "b", 0) == pytest.approx(0.0004)
+
+    def test_same_host_free(self, lan):
+        net, _ = lan
+        assert net.transfer_time("a", "a", 10**9) == 0.0
+
+    def test_negative_bytes(self, lan):
+        net, _ = lan
+        with pytest.raises(NetworkError):
+            net.transfer_time("a", "b", -1)
+
+    def test_round_trip(self, lan):
+        net, _ = lan
+        rtt = net.round_trip_time("a", "b")
+        assert rtt == pytest.approx(2 * net.transfer_time("a", "b", 512))
+
+
+class TestWireless:
+    def test_signal_quality_scales_bandwidth(self, lan):
+        net, cell = lan
+        t_good = net.transfer_time("a", "pda", 120_000)
+        cell.set_signal_quality("pda", 0.5)
+        t_bad = net.transfer_time("a", "pda", 120_000)
+        assert t_bad > 1.6 * t_good
+
+    def test_invalid_signal_quality(self, lan):
+        _, cell = lan
+        with pytest.raises(ValueError):
+            cell.set_signal_quality("pda", 0.0)
+        with pytest.raises(ValueError):
+            cell.set_signal_quality("pda", 1.5)
+
+    def test_mac_efficiency_below_nominal(self, lan):
+        net, _ = lan
+        link = net.link_between("pda", "switch")
+        assert link.effective_bandwidth() < 11e6
+        assert link.effective_bandwidth() == pytest.approx(11e6 * 0.44)
+
+
+class TestContention:
+    def test_concurrent_transfers_share_link(self, lan):
+        net, _ = lan
+        t_alone = net.transfer_time("a", "b", 10**6)
+        net.send("a", "b", 10**7)          # occupy the links
+        t_shared = net.transfer_time("a", "b", 10**6)
+        assert t_shared > 1.8 * t_alone
+        net.sim.run()                      # drain
+        assert net.transfer_time("a", "b", 10**6) == pytest.approx(t_alone)
+
+    def test_send_completion_callback(self, lan):
+        net, _ = lan
+        done = []
+        rec = net.send("a", "b", 10**6, on_complete=lambda r: done.append(r))
+        net.sim.run()
+        assert done == [rec]
+        assert net.sim.now == pytest.approx(rec.duration)
+
+    def test_transfer_record_accounting(self, lan):
+        net, _ = lan
+        net.send("a", "b", 1000)
+        net.send("b", "c", 2000)
+        assert net.bytes_moved() == 3000
+        rec = net.transfers[0]
+        assert rec.goodput_bps > 0
+        assert rec.path == ("a", "switch", "b")
+
+
+class TestLinkFailures:
+    def test_downed_link_unroutable(self, lan):
+        net, _ = lan
+        net.set_link_up("a", "switch", False)
+        with pytest.raises(NetworkError):
+            net.transfer_time("a", "b", 100)
+
+    def test_reroute_around_down_link(self):
+        net = Network()
+        for h in ("a", "b", "relay"):
+            net.add_host(h)
+        net.add_link("a", "b", 100e6, 0.001)
+        net.add_link("a", "relay", 10e6, 0.001)
+        net.add_link("relay", "b", 10e6, 0.001)
+        assert net.path("a", "b") == ["a", "b"]
+        net.set_link_up("a", "b", False)
+        assert net.path("a", "b") == ["a", "relay", "b"]
+
+    def test_restore_link(self, lan):
+        net, _ = lan
+        net.set_link_up("a", "switch", False)
+        net.set_link_up("a", "switch", True)
+        assert net.transfer_time("a", "b", 100) > 0
+
+
+class TestMulticast:
+    def test_shared_link_charged_once(self, lan):
+        """The data service's bandwidth-saving distribution: the uplink
+        carries the payload once regardless of receiver count."""
+        net, _ = lan
+        nbytes = 10**6
+        times = net.multicast_times("a", ["b", "c"], nbytes)
+        unicast = net.transfer_time("a", "b", nbytes)
+        # second receiver only pays its own downlink (uplink shared)
+        assert times["b"] == pytest.approx(unicast)
+        assert times["c"] < unicast
+        # receiver c pays the (already-charged) uplink's latency plus its
+        # own downlink serialisation
+        assert times["c"] == pytest.approx(
+            2 * 0.0002 + nbytes * 8 / 100e6, rel=1e-6)
+
+    def test_self_delivery_free(self, lan):
+        net, _ = lan
+        assert net.multicast_times("a", ["a"], 100)["a"] == 0.0
+
+    def test_empty_receivers(self, lan):
+        net, _ = lan
+        assert net.multicast_times("a", [], 100) == {}

@@ -1,0 +1,107 @@
+"""Property-based tests for the SOAP/WSDL layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.services.soap import soap_decode, soap_encode
+from repro.services.wsdl import Operation, WsdlDocument, build_wsdl
+
+# XML 1.0 forbids most control characters; generated text sticks to
+# printable content, which is what service payloads carry anyway.
+xml_text = st.text(
+    alphabet=st.characters(min_codepoint=0x20, max_codepoint=0x2FF,
+                           exclude_characters="\x7f"),
+    max_size=40)
+
+soap_values = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(-2**62, 2**62),
+        st.floats(allow_nan=False, allow_infinity=False),
+        xml_text,
+        st.binary(max_size=64),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(xml_text.filter(bool), children, max_size=4),
+    ),
+    max_leaves=15)
+
+
+class TestSoapProperties:
+    @given(st.dictionaries(xml_text.filter(bool), soap_values, max_size=5))
+    @settings(max_examples=100, deadline=None)
+    def test_body_roundtrip(self, body):
+        env = soap_decode(soap_encode("op", body))
+        assert env.operation == "op"
+        assert env.body == body
+
+    @given(st.integers(0, 2**32 - 1),
+           st.sampled_from(["<f4", "<f8", "<i4", "<u2", "u1"]),
+           st.integers(0, 50), st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_ndarray_roundtrip(self, seed, dtype, n, cols):
+        rng = np.random.default_rng(seed)
+        arr = (rng.random((n, cols)) * 100).astype(np.dtype(dtype))
+        env = soap_decode(soap_encode("op", {"a": arr}))
+        back = env.body["a"]
+        assert back.dtype == arr.dtype
+        assert back.shape == arr.shape
+        assert np.array_equal(back, arr)
+
+    @given(xml_text.filter(bool), xml_text)
+    @settings(max_examples=60, deadline=None)
+    def test_fault_roundtrip(self, code, reason):
+        env = soap_decode(soap_encode("op", {}, fault=(code, reason)))
+        assert env.is_fault
+        assert env.fault == (code, reason)
+
+    @given(st.dictionaries(xml_text.filter(bool), soap_values, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_envelope_always_parseable_xml(self, body):
+        from xml.etree import ElementTree as ET
+
+        data = soap_encode("op", body)
+        ET.fromstring(data)   # must not raise
+
+
+op_names = st.text(
+    alphabet=st.characters(min_codepoint=ord("a"), max_codepoint=ord("z")),
+    min_size=1, max_size=12)
+params = st.lists(
+    st.tuples(op_names, st.sampled_from(
+        ["xsd:string", "xsd:long", "xsd:double", "rave:struct"])),
+    max_size=4).map(tuple)
+
+
+class TestWsdlProperties:
+    @given(st.lists(
+        st.builds(Operation, name=op_names, inputs=params, outputs=params),
+        min_size=1, max_size=5, unique_by=lambda op: op.name))
+    @settings(max_examples=60, deadline=None)
+    def test_xml_roundtrip_preserves_signature(self, operations):
+        doc = build_wsdl("Svc", operations)
+        back = WsdlDocument.from_xml(doc.to_xml())
+        assert back.signature() == doc.signature()
+        assert back.compatible_with(doc)
+
+    @given(st.lists(
+        st.builds(Operation, name=op_names, inputs=params, outputs=params),
+        min_size=2, max_size=5, unique_by=lambda op: op.name))
+    @settings(max_examples=40, deadline=None)
+    def test_signature_order_independent(self, operations):
+        a = build_wsdl("Svc", operations)
+        b = build_wsdl("Svc", list(reversed(operations)))
+        assert a.signature() == b.signature()
+
+    @given(st.builds(Operation, name=op_names, inputs=params,
+                     outputs=params))
+    @settings(max_examples=40, deadline=None)
+    def test_adding_an_operation_changes_signature(self, extra):
+        base = build_wsdl("Svc", [Operation("ping")])
+        if extra.name == "ping":
+            return
+        extended = build_wsdl("Svc", [Operation("ping"), extra])
+        assert base.signature() != extended.signature()

@@ -1,0 +1,115 @@
+"""Stereo rendering for the immersive displays (Immersadesk / Workwall)."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import uv_sphere
+from repro.errors import RenderError
+from repro.render.camera import Camera
+from repro.render.rasterizer import rasterize_mesh
+from repro.render.stereo import (
+    DEFAULT_EYE_SEPARATION,
+    render_stereo,
+    stereo_cameras,
+)
+
+
+@pytest.fixture
+def cam():
+    return Camera.looking_at((0, -3, 0), target=(0, 0, 0), up=(0, 0, 1))
+
+
+@pytest.fixture
+def ball():
+    return uv_sphere(radius=0.6, nu=24, nv=24)
+
+
+def draw_for(mesh):
+    def draw(camera, fb):
+        rasterize_mesh(mesh, camera, fb)
+    return draw
+
+
+class TestStereoCameras:
+    def test_eyes_offset_along_right_axis(self, cam):
+        left, right = stereo_cameras(cam, eye_separation=0.1)
+        gap = right.position - left.position
+        assert np.linalg.norm(gap) == pytest.approx(0.1)
+        # the offset is perpendicular to the view direction
+        fwd = cam.target - cam.position
+        assert abs(float(gap @ fwd)) < 1e-9
+
+    def test_eyes_share_target(self, cam):
+        left, right = stereo_cameras(cam)
+        assert np.allclose(left.target, right.target)
+
+    def test_head_tracking_shifts_both_eyes(self, cam):
+        l0, r0 = stereo_cameras(cam)
+        l1, r1 = stereo_cameras(cam, head_offset=(0.5, 0.0, 0.0))
+        assert np.linalg.norm(l1.position - l0.position) == \
+            pytest.approx(0.5)
+        assert np.linalg.norm(r1.position - r0.position) == \
+            pytest.approx(0.5)
+
+    def test_invalid_separation(self, cam):
+        with pytest.raises(RenderError):
+            stereo_cameras(cam, eye_separation=0)
+
+    def test_degenerate_camera(self):
+        bad = Camera.looking_at((0, 0, 0), target=(0, 0, 0))
+        with pytest.raises(RenderError):
+            stereo_cameras(bad)
+
+    def test_up_parallel_to_view_recovered(self):
+        cam = Camera.looking_at((0, 0, 5), target=(0, 0, 0), up=(0, 0, 1))
+        left, right = stereo_cameras(cam)
+        assert np.isfinite(left.position).all()
+        assert not np.allclose(left.position, right.position)
+
+
+class TestStereoRendering:
+    def test_pair_renders_both_eyes(self, cam, ball):
+        pair = render_stereo(draw_for(ball), cam, 96, 96)
+        assert pair.left.coverage() > 0.05
+        assert pair.right.coverage() > 0.05
+        assert pair.eye_separation == DEFAULT_EYE_SEPARATION
+
+    def test_eyes_see_different_images(self, cam, ball):
+        pair = render_stereo(draw_for(ball), cam, 96, 96,
+                             eye_separation=0.4)
+        assert pair.left.mean_abs_diff(pair.right) > 0.1
+
+    def test_disparity_grows_with_separation(self, cam, ball):
+        narrow = render_stereo(draw_for(ball), cam, 96, 96,
+                               eye_separation=0.05)
+        wide = render_stereo(draw_for(ball), cam, 96, 96,
+                             eye_separation=0.5)
+        assert wide.disparity_stats()[0] > narrow.disparity_stats()[0]
+
+    def test_nearer_object_more_disparity(self, cam):
+        near = uv_sphere(radius=0.3, nu=16, nv=16, center=(0, -1.5, 0))
+        far = uv_sphere(radius=0.3, nu=16, nv=16, center=(0, 1.5, 0))
+        sep = 0.4
+        near_pair = render_stereo(draw_for(near), cam, 96, 96,
+                                  eye_separation=sep)
+        far_pair = render_stereo(draw_for(far), cam, 96, 96,
+                                 eye_separation=sep)
+        assert near_pair.disparity_stats()[0] > \
+            far_pair.disparity_stats()[0]
+
+    def test_anaglyph_composites_channels(self, cam, ball):
+        pair = render_stereo(draw_for(ball), cam, 96, 96,
+                             eye_separation=0.4)
+        ana = pair.anaglyph()
+        # left eye only in red, right eye only in cyan
+        left_lum = pair.left.color.mean(axis=2)
+        assert np.array_equal(ana.color[..., 0],
+                              left_lum.astype(np.uint8))
+        assert np.array_equal(ana.color[..., 1], ana.color[..., 2])
+        assert np.isfinite(ana.depth).any()
+
+    def test_empty_scene_zero_disparity(self, cam):
+        def draw(camera, fb):
+            pass
+        pair = render_stereo(draw, cam, 32, 32)
+        assert pair.disparity_stats() == (0.0, 0.0)

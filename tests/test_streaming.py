@@ -1,0 +1,83 @@
+"""Continuous frame streaming: lockstep vs pipelined (§5.5)."""
+
+import pytest
+
+from repro.data.generators import make_model
+from repro.errors import ServiceError
+from repro.services.streaming import FrameStreamer
+
+
+@pytest.fixture
+def streamer(testbed):
+    # ~1.6M polygons: render (~0.19 s) roughly balances the wireless
+    # transfer (~0.21 s), the regime where pipelining pays most
+    testbed.publish_model(
+        "stream", make_model("skeleton", 1_600_000).normalized())
+    rs = testbed.render_service("centrino")
+    rsession, _ = rs.create_render_session(testbed.data_service, "stream")
+    return testbed, FrameStreamer(rs, rsession.render_session_id,
+                                  "zaurus", 200, 200)
+
+
+class TestLockstep:
+    def test_fps_is_reciprocal_of_total(self, streamer):
+        tb, s = streamer
+        stats = s.stream_lockstep(5)
+        render, transfer = s._frame_costs()
+        assert stats.fps == pytest.approx(1.0 / (render + transfer),
+                                          rel=0.01)
+
+    def test_arrivals_monotonic(self, streamer):
+        _, s = streamer
+        stats = s.stream_lockstep(4)
+        assert stats.arrivals == sorted(stats.arrivals)
+        assert stats.frames == 4
+
+    def test_needs_a_frame(self, streamer):
+        _, s = streamer
+        with pytest.raises(ServiceError):
+            s.stream_lockstep(0)
+
+
+class TestPipelined:
+    def test_pipelining_beats_lockstep(self, streamer):
+        """Steady-state period = max(render, transfer) < render+transfer."""
+        _, s = streamer
+        lock = s.stream_lockstep(8)
+        pipe = s.stream_pipelined(8)
+        assert pipe.fps > 1.3 * lock.fps
+
+    def test_steady_period_is_bottleneck_stage(self, streamer):
+        _, s = streamer
+        render, transfer = s._frame_costs()
+        pipe = s.stream_pipelined(10)
+        assert pipe.steady_period == pytest.approx(max(render, transfer),
+                                                   rel=0.05)
+
+    def test_all_frames_arrive_in_order(self, streamer):
+        _, s = streamer
+        stats = s.stream_pipelined(6)
+        assert stats.frames == 6
+        assert len(stats.arrivals) == 6
+        assert stats.arrivals == sorted(stats.arrivals)
+
+    def test_first_frame_latency_unchanged(self, streamer):
+        """Pipelining raises throughput, not first-frame latency."""
+        tb, s = streamer
+        render, transfer = s._frame_costs()
+        t0 = tb.clock.now
+        stats = s.stream_pipelined(1)
+        assert stats.arrivals[0] - t0 == pytest.approx(render + transfer,
+                                                       rel=0.01)
+
+    def test_validates_frame_count(self, streamer):
+        _, s = streamer
+        with pytest.raises(ServiceError):
+            s.stream_pipelined(0)
+
+    def test_invalid_session(self, testbed):
+        testbed.publish_model(
+            "v", make_model("galleon", 5_000).normalized())
+        rs = testbed.render_service("centrino")
+        with pytest.raises(Exception):
+            FrameStreamer(rs, "missing", "zaurus")

@@ -1,0 +1,105 @@
+"""Testbed construction variants and partition behaviour."""
+
+import pytest
+
+from repro.data.generators import galleon
+from repro.errors import NetworkError, ServiceError, SessionError
+from repro.testbed import build_testbed
+
+
+class TestVariants:
+    def test_subset_of_render_hosts(self):
+        tb = build_testbed(render_hosts=("centrino",))
+        assert set(tb.render_services) == {"centrino"}
+        # the data host still exists even when it hosts no render service
+        assert tb.data_service.host == "xeon"
+
+    def test_custom_data_host(self):
+        tb = build_testbed(render_hosts=("centrino", "athlon"),
+                           data_host="athlon")
+        assert tb.data_service.host == "athlon"
+
+    def test_degraded_pda_signal_at_build(self):
+        good = build_testbed(render_hosts=("centrino",))
+        bad = build_testbed(render_hosts=("centrino",),
+                            pda_signal_quality=0.25)
+        t_good = good.network.transfer_time("centrino", "zaurus", 120_000)
+        t_bad = bad.network.transfer_time("centrino", "zaurus", 120_000)
+        assert t_bad > 3 * t_good
+
+    def test_without_uddi_registration(self):
+        tb = build_testbed(render_hosts=("centrino",),
+                           register_uddi=False)
+        from repro.errors import DiscoveryError
+
+        with pytest.raises(DiscoveryError):
+            tb.registry.find_business("RAVE project")
+
+    def test_unknown_render_host(self):
+        with pytest.raises(ServiceError):
+            build_testbed(render_hosts=("deepblue",))
+
+    def test_render_service_lookup_error(self, small_testbed):
+        with pytest.raises(ServiceError):
+            small_testbed.render_service("onyx")   # not in the small pool
+
+    def test_recruiter_excludes_hosts(self, testbed):
+        recruiter = testbed.recruiter(exclude_hosts=("onyx", "v880z"))
+        result = recruiter.recruit()
+        names = {s.name for s in result.services}
+        assert "rs-onyx" not in names
+        assert "rs-centrino" in names
+
+    def test_workwall_host_available(self):
+        tb = build_testbed(render_hosts=("workwall",))
+        wall = tb.render_service("workwall")
+        assert wall.capacity().graphics_pipes == 2
+
+
+class TestPartitions:
+    def test_partitioned_host_unreachable(self, small_testbed):
+        tb = small_testbed
+        tb.network.set_link_up("centrino", "switch", False)
+        with pytest.raises(NetworkError):
+            tb.network.transfer_time("centrino", "athlon", 100)
+
+    def test_bootstrap_fails_cleanly_when_partitioned(self, small_testbed):
+        tb = small_testbed
+        tb.publish_model("part", galleon().normalized())
+        tb.network.set_link_up("centrino", "switch", False)
+        rs = tb.render_service("centrino")
+        with pytest.raises(NetworkError):
+            rs.create_render_session(tb.data_service, "part",
+                                     charge_instance=False)
+        # no half-registered subscription left behind
+        assert not tb.data_service.session("part").subscribers
+
+    def test_recovery_after_partition(self, small_testbed):
+        tb = small_testbed
+        tb.publish_model("rec", galleon().normalized())
+        tb.network.set_link_up("centrino", "switch", False)
+        rs = tb.render_service("centrino")
+        with pytest.raises(NetworkError):
+            rs.create_render_session(tb.data_service, "rec",
+                                     charge_instance=False)
+        tb.network.set_link_up("centrino", "switch", True)
+        session, timing = rs.create_render_session(tb.data_service, "rec")
+        assert session.tree.total_polygons() > 0
+
+    def test_failover_when_primary_host_partitioned(self, small_testbed):
+        """Mirror + partition: clients bootstrap from the surviving copy."""
+        from repro.services.container import ServiceContainer
+        from repro.services.data_service import DataService
+
+        tb = small_testbed
+        tb.publish_model("ha", galleon().normalized())
+        mirror = DataService(
+            "mirror", ServiceContainer("athlon", tb.network,
+                                       http_port=9800))
+        tb.data_service.add_mirror(mirror)
+        # the primary's host (xeon) drops off the network
+        tb.network.set_link_up("xeon", "switch", False)
+        backup = tb.data_service.failover_to("ha")
+        rs = tb.render_service("centrino")
+        session, _ = rs.create_render_session(backup, "ha")
+        assert session.tree.total_polygons() > 0

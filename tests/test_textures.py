@@ -1,0 +1,181 @@
+"""Textures: sampling, procedural generators, rasterization, capacity."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost import node_cost
+from repro.data.meshes import Mesh
+from repro.data.textures import (
+    Texture,
+    checkerboard,
+    gradient,
+    marble,
+    planar_uv,
+)
+from repro.errors import DataFormatError
+from repro.render.camera import Camera
+from repro.render.framebuffer import FrameBuffer
+from repro.render.rasterizer import rasterize_mesh
+from repro.scenegraph.nodes import MeshNode, node_from_wire, node_to_wire
+
+
+def textured_quad(texture=None, half=1.0):
+    verts = np.array([[-half, -half, 0], [half, -half, 0],
+                      [half, half, 0], [-half, half, 0]], np.float32)
+    faces = np.array([[0, 1, 2], [0, 2, 3]], np.int32)
+    tex = texture if texture is not None else checkerboard(32, 4)
+    return Mesh(verts, faces, uv=planar_uv(verts), texture=tex)
+
+
+class TestTexture:
+    def test_validation(self):
+        with pytest.raises(DataFormatError):
+            Texture(np.zeros((4, 4), np.uint8))
+        with pytest.raises(DataFormatError):
+            Texture(np.zeros((0, 4, 3), np.uint8))
+
+    def test_sample_corners(self):
+        img = np.zeros((2, 2, 3), np.uint8)
+        img[1, 0] = [255, 0, 0]     # bottom-left in image rows = uv (0,0)
+        tex = Texture(img)
+        assert np.array_equal(tex.sample(np.array([0.01]),
+                                         np.array([0.01]))[0],
+                              [255, 0, 0])
+
+    def test_sample_wraps(self):
+        tex = checkerboard(16, 2)
+        a = tex.sample(np.array([0.25]), np.array([0.25]))
+        b = tex.sample(np.array([1.25]), np.array([2.25]))
+        assert np.array_equal(a, b)
+
+    def test_nbytes(self):
+        assert checkerboard(64).nbytes == 64 * 64 * 3
+
+
+class TestProceduralTextures:
+    def test_checkerboard_two_colors(self):
+        tex = checkerboard(32, 4, color_a=(255, 0, 0), color_b=(0, 0, 255))
+        uniq = np.unique(tex.image.reshape(-1, 3), axis=0)
+        assert len(uniq) == 2
+
+    def test_checkerboard_validation(self):
+        with pytest.raises(DataFormatError):
+            checkerboard(4, 8)
+
+    def test_marble_deterministic(self):
+        assert np.array_equal(marble(32, seed=1).image,
+                              marble(32, seed=1).image)
+        assert not np.array_equal(marble(32, seed=1).image,
+                                  marble(32, seed=2).image)
+
+    def test_gradient_monotone(self):
+        tex = gradient(32, start=(0, 0, 0), end=(255, 255, 255), axis=1)
+        row = tex.image[0, :, 0].astype(int)
+        assert (np.diff(row) >= 0).all()
+        assert row[-1] > row[0]
+
+    def test_planar_uv_in_range(self, small_galleon):
+        uv = planar_uv(small_galleon.vertices)
+        assert uv.shape == (small_galleon.n_vertices, 2)
+        assert uv.min() >= 0.0 and uv.max() < 1.0
+
+
+class TestTexturedMesh:
+    def test_uv_requires_matching_shape(self):
+        verts = np.zeros((3, 3), np.float32)
+        faces = np.array([[0, 1, 2]], np.int32)
+        with pytest.raises(DataFormatError):
+            Mesh(verts, faces, uv=np.zeros((2, 2), np.float32))
+
+    def test_texture_requires_uv(self):
+        verts = np.zeros((3, 3), np.float32)
+        faces = np.array([[0, 1, 2]], np.int32)
+        with pytest.raises(DataFormatError):
+            Mesh(verts, faces, texture=checkerboard(8, 2))
+
+    def test_texture_bytes(self):
+        mesh = textured_quad()
+        assert mesh.texture_bytes == 32 * 32 * 3
+        assert mesh.byte_size > mesh.texture_bytes
+
+    def test_transforms_carry_texture(self):
+        mesh = textured_quad()
+        moved = mesh.translated((1, 0, 0)).scaled(2.0).normalized()
+        assert moved.texture is mesh.texture
+        assert np.array_equal(moved.uv, mesh.uv)
+
+    def test_submesh_slices_uv(self):
+        mesh = textured_quad()
+        sub = mesh.submesh(np.array([True, False]))
+        assert sub.uv is not None
+        assert len(sub.uv) == sub.n_vertices
+        assert sub.texture is mesh.texture
+
+    def test_split_preserves_texture(self, small_galleon):
+        m = Mesh(small_galleon.vertices, small_galleon.faces,
+                 uv=planar_uv(small_galleon.vertices),
+                 texture=checkerboard(16, 2))
+        pieces = m.split_spatially(3)
+        assert all(p.texture is m.texture for p in pieces)
+
+
+class TestTexturedRendering:
+    def test_checker_pattern_visible(self):
+        mesh = textured_quad(checkerboard(64, 8))
+        cam = Camera.looking_at((0, 0, 3), target=(0, 0, 0), up=(0, 1, 0))
+        fb = FrameBuffer(96, 96)
+        rasterize_mesh(mesh, cam, fb)
+        covered = np.isfinite(fb.depth)
+        assert covered.mean() > 0.2
+        # a checkerboard has high contrast: bright and dark texels both
+        lum = fb.color[covered].mean(axis=1)
+        assert lum.std() > 40
+
+    def test_gradient_orientation(self):
+        mesh = textured_quad(gradient(64, start=(255, 0, 0),
+                                      end=(0, 0, 255), axis=1))
+        cam = Camera.looking_at((0, 0, 3), target=(0, 0, 0), up=(0, 1, 0))
+        fb = FrameBuffer(96, 96)
+        rasterize_mesh(mesh, cam, fb)
+        left = fb.color[48, 30]
+        right = fb.color[48, 66]
+        assert int(left[0]) != int(right[0])  # gradient across the quad
+
+    def test_texture_modulated_by_lighting(self):
+        mesh = textured_quad(checkerboard(8, 1, color_a=(255, 255, 255),
+                                          color_b=(255, 255, 255)))
+        cam = Camera.looking_at((0, 0, 3), target=(0, 0, 0), up=(0, 1, 0))
+        head_on = FrameBuffer(64, 64)
+        rasterize_mesh(mesh, cam, head_on, light_direction=(0, 0, -1))
+        grazing = FrameBuffer(64, 64)
+        rasterize_mesh(mesh, cam, grazing, light_direction=(-1, 0, -0.05))
+        m1 = head_on.color[np.isfinite(head_on.depth)].mean()
+        m2 = grazing.color[np.isfinite(grazing.depth)].mean()
+        assert m1 > m2 + 20
+
+
+class TestTextureCapacity:
+    def test_node_cost_counts_texture(self):
+        node = MeshNode(textured_quad(checkerboard(128, 8)))
+        cost = node_cost(node)
+        assert cost.texture_bytes == 128 * 128 * 3
+
+    def test_wire_roundtrip(self):
+        node = MeshNode(textured_quad(marble(32)))
+        back = node_from_wire(node_to_wire(node))
+        assert back.mesh.texture is not None
+        assert np.array_equal(back.mesh.texture.image,
+                              node.mesh.texture.image)
+        assert np.allclose(back.mesh.uv, node.mesh.uv)
+
+    def test_scheduler_respects_texture_memory(self, testbed):
+        """A texture bigger than a machine's texture memory excludes it."""
+        from repro.core.cost import NodeCost
+        from repro.core.scheduler import RenderServiceScheduler
+
+        sched = RenderServiceScheduler(testbed.data_service, target_fps=10)
+        pool = [testbed.render_service(h) for h in ("centrino", "onyx")]
+        # the centrino has 32 MB of texture memory; demand 64 MB
+        cost = NodeCost(polygons=10_000, texture_bytes=64 * 2**20)
+        placement = sched.place(cost, pool)
+        assert placement.assignments[0].service.name == "rs-onyx"

@@ -1,0 +1,213 @@
+"""UDDI registry/client and the service container."""
+
+import pytest
+
+from repro.errors import DiscoveryError, ServiceError
+from repro.network.simnet import Network
+from repro.services.container import (
+    INSTANCE_CREATION_SECONDS,
+    ServiceContainer,
+)
+from repro.services.protocol import frame_message, unframe_message
+from repro.services.uddi import (
+    AccessPoint,
+    UddiClient,
+    UddiRegistry,
+)
+from repro.services.wsdl import DATA_SERVICE_WSDL, RENDER_SERVICE_WSDL
+
+
+@pytest.fixture
+def registry():
+    reg = UddiRegistry()
+    biz = reg.register_business("RAVE project", "testbed")
+    render_tm = reg.register_tmodel("RaveRenderService",
+                                    RENDER_SERVICE_WSDL)
+    data_tm = reg.register_tmodel("RaveDataService", DATA_SERVICE_WSDL)
+    reg.register_service(biz.business_key, "render@tower",
+                         AccessPoint("http://tower:8080/axis/r", "tower"),
+                         [render_tm])
+    reg.register_service(biz.business_key, "data@adrenochrome",
+                         AccessPoint("http://adreno:8080/axis/d",
+                                     "adrenochrome"),
+                         [data_tm])
+    return reg, biz, render_tm, data_tm
+
+
+class TestRegistry:
+    def test_find_business(self, registry):
+        reg, biz, *_ = registry
+        assert reg.find_business("RAVE project") is biz
+        with pytest.raises(DiscoveryError):
+            reg.find_business("ghost corp")
+
+    def test_tmodel_idempotent_per_signature(self, registry):
+        reg, *_ = registry
+        again = reg.register_tmodel("RenamedButSameApi",
+                                    RENDER_SERVICE_WSDL)
+        assert again.name == "RaveRenderService"  # the original
+
+    def test_find_services_filtered_by_tmodel(self, registry):
+        reg, biz, render_tm, data_tm = registry
+        render = reg.find_services(biz.business_key, render_tm.key)
+        assert [s.name for s in render] == ["render@tower"]
+        everything = reg.find_services(biz.business_key)
+        assert len(everything) == 2
+
+    def test_access_points(self, registry):
+        reg, biz, render_tm, _ = registry
+        points = reg.access_points(
+            reg.find_services(biz.business_key, render_tm.key))
+        assert points[0].host == "tower"
+
+    def test_services_matching_wsdl(self, registry):
+        reg, *_ = registry
+        matches = reg.services_matching_wsdl(RENDER_SERVICE_WSDL)
+        assert [s.name for s in matches] == ["render@tower"]
+
+    def test_unregister(self, registry):
+        reg, biz, render_tm, _ = registry
+        svc = reg.find_services(biz.business_key, render_tm.key)[0]
+        reg.unregister_service(biz.business_key, svc.service_key)
+        assert not reg.find_services(biz.business_key, render_tm.key)
+        with pytest.raises(DiscoveryError):
+            reg.unregister_service(biz.business_key, svc.service_key)
+
+    def test_find_tmodel_missing(self, registry):
+        reg, *_ = registry
+        with pytest.raises(DiscoveryError):
+            reg.find_tmodel("nope")
+
+
+@pytest.fixture
+def uddi_net(registry):
+    reg, *_ = registry
+    net = Network()
+    net.add_host("client")
+    net.add_host("registry-host")
+    net.add_link("client", "registry-host", 100e6, 0.0002)
+    client = UddiClient(reg, net, "client", "registry-host")
+    return reg, net, client
+
+
+class TestUddiClient:
+    def test_full_bootstrap_timing(self, uddi_net):
+        """Table 5: full bootstrap 4.2–4.8 s."""
+        _, _, client = uddi_net
+        result = client.full_bootstrap("RAVE project", "RaveRenderService")
+        assert 4.2 <= result.elapsed_seconds <= 4.8
+        assert result.queries == 3
+        assert len(result.access_points) == 1
+
+    def test_warm_scan_timing(self, uddi_net):
+        """Table 5: warm access-point scan 0.70–0.73 s."""
+        _, _, client = uddi_net
+        client.full_bootstrap("RAVE project", "RaveRenderService")
+        result = client.scan_access_points("RAVE project",
+                                           "RaveRenderService")
+        assert 0.68 <= result.elapsed_seconds <= 0.76
+        assert result.queries == 1
+
+    def test_scan_requires_proxy(self, uddi_net):
+        _, _, client = uddi_net
+        with pytest.raises(DiscoveryError):
+            client.scan_access_points("RAVE project", "RaveRenderService")
+
+    def test_proxy_creation_idempotent(self, uddi_net):
+        _, net, client = uddi_net
+        first = client.create_proxy()
+        second = client.create_proxy()
+        assert first > 0 and second == 0.0
+
+    def test_scan_sees_new_registrations(self, uddi_net):
+        reg, _, client = uddi_net
+        client.full_bootstrap("RAVE project", "RaveRenderService")
+        biz = reg.find_business("RAVE project")
+        tm = reg.find_tmodel("RaveRenderService")
+        reg.register_service(biz.business_key, "render@newbox",
+                             AccessPoint("http://newbox:8080/axis/r",
+                                         "newbox"), [tm])
+        result = client.scan_access_points("RAVE project",
+                                           "RaveRenderService")
+        assert len(result.access_points) == 2
+
+
+class TestContainer:
+    @pytest.fixture
+    def container(self):
+        net = Network()
+        net.add_host("tower", profile="athlon")
+        return ServiceContainer("tower", net, profile="athlon")
+
+    def test_deploy_and_endpoint(self, container):
+        url = container.deploy(RENDER_SERVICE_WSDL)
+        assert url == "http://tower:8080/axis/RaveRenderService"
+        assert container.wsdl_for("RaveRenderService").endpoint == url
+
+    def test_duplicate_deploy(self, container):
+        container.deploy(RENDER_SERVICE_WSDL)
+        with pytest.raises(ServiceError):
+            container.deploy(RENDER_SERVICE_WSDL)
+
+    def test_unknown_service(self, container):
+        with pytest.raises(ServiceError):
+            container.wsdl_for("ghost")
+
+    def test_instance_creation_charges_time(self, container):
+        before = container.network.sim.clock.now
+        inst = container.create_instance("render", label="Skull-internal")
+        elapsed = container.network.sim.clock.now - before
+        # athlon cpu_factor is 0.75 → slower than the reference
+        assert elapsed == pytest.approx(INSTANCE_CREATION_SECONDS / 0.75)
+        assert inst.label == "Skull-internal"
+
+    def test_instance_creation_uncharged_for_tests(self, container):
+        before = container.network.sim.clock.now
+        container.create_instance("data", charge_time=False)
+        assert container.network.sim.clock.now == before
+
+    def test_instances_filtered_by_kind(self, container):
+        container.create_instance("data", charge_time=False)
+        container.create_instance("render", charge_time=False)
+        container.create_instance("render", charge_time=False)
+        assert len(container.instances("render")) == 2
+        assert len(container.instances()) == 3
+
+    def test_destroy_instance(self, container):
+        inst = container.create_instance("render", charge_time=False)
+        container.destroy_instance(inst.instance_id)
+        with pytest.raises(ServiceError):
+            container.instance(inst.instance_id)
+
+    def test_host_must_exist(self):
+        net = Network()
+        with pytest.raises(ServiceError):
+            ServiceContainer("ghost", net)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        header, body = unframe_message(frame_message(b"hello", flags=3))
+        assert body == b"hello"
+        assert header.flags == 3
+        assert header.length == 5
+
+    def test_bad_magic(self):
+        from repro.errors import MarshallingError
+
+        with pytest.raises(MarshallingError):
+            unframe_message(b"\x00" * 30)
+
+    def test_truncated(self):
+        from repro.errors import MarshallingError
+
+        with pytest.raises(MarshallingError):
+            unframe_message(frame_message(b"hello")[:-2])
+
+    def test_corrupted_payload_detected(self):
+        from repro.errors import MarshallingError
+
+        framed = bytearray(frame_message(b"hello world"))
+        framed[-1] ^= 0xFF
+        with pytest.raises(MarshallingError):
+            unframe_message(bytes(framed))

@@ -1,0 +1,219 @@
+"""The scene-update protocol and the persistent audit trail."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SceneGraphError
+from repro.scenegraph.audit import AuditTrail
+from repro.scenegraph.nodes import (
+    AvatarNode,
+    CameraNode,
+    MeshNode,
+    TransformNode,
+)
+from repro.scenegraph.tree import SceneTree
+from repro.scenegraph.updates import (
+    AddNode,
+    ModifyGeometry,
+    MoveAvatar,
+    RemoveNode,
+    SetCamera,
+    SetProperty,
+    SetTransform,
+    update_from_wire,
+)
+
+
+class TestUpdateSemantics:
+    def test_add_node(self, simple_tree):
+        update = AddNode.of(AvatarNode("u", "h"), parent_id=0, node_id=50)
+        update.apply(simple_tree)
+        assert 50 in simple_tree
+        assert simple_tree.node(50).user == "u"
+
+    def test_add_duplicate_id_rejected(self, simple_tree):
+        update = AddNode.of(AvatarNode("u"), parent_id=0, node_id=50)
+        update.apply(simple_tree)
+        with pytest.raises(SceneGraphError):
+            update.apply(simple_tree)
+
+    def test_remove_node(self, simple_tree):
+        mesh = simple_tree.find_by_name("quad")[0]
+        RemoveNode(node_id=mesh.node_id).apply(simple_tree)
+        assert mesh.node_id not in simple_tree
+
+    def test_set_transform(self, simple_tree):
+        xf = simple_tree.find_by_name("xf")[0]
+        m = np.eye(4)
+        m[1, 3] = 7.0
+        SetTransform(node_id=xf.node_id, matrix=m).apply(simple_tree)
+        assert xf.matrix[1, 3] == 7.0
+
+    def test_set_transform_on_mesh_rejected(self, simple_tree):
+        mesh = simple_tree.find_by_name("quad")[0]
+        with pytest.raises(SceneGraphError):
+            SetTransform(node_id=mesh.node_id).apply(simple_tree)
+
+    def test_set_camera(self, simple_tree):
+        cam = simple_tree.cameras()[0]
+        SetCamera(node_id=cam.node_id, position=np.array([9.0, 0, 0]),
+                  target=np.zeros(3), fov_degrees=30.0).apply(simple_tree)
+        assert cam.position[0] == 9.0
+        assert cam.fov_degrees == 30.0
+
+    def test_set_camera_on_non_camera(self, simple_tree):
+        xf = simple_tree.find_by_name("xf")[0]
+        with pytest.raises(SceneGraphError):
+            SetCamera(node_id=xf.node_id).apply(simple_tree)
+
+    def test_set_property_via_introspection(self, simple_tree):
+        cam = simple_tree.cameras()[0]
+        SetProperty(node_id=cam.node_id, field_name="fov_degrees",
+                    value=70.0).apply(simple_tree)
+        assert cam.fov_degrees == 70.0
+
+    def test_set_unknown_property(self, simple_tree):
+        cam = simple_tree.cameras()[0]
+        with pytest.raises(SceneGraphError):
+            SetProperty(node_id=cam.node_id, field_name="warp",
+                        value=1).apply(simple_tree)
+
+    def test_modify_geometry(self, simple_tree, triangle):
+        mesh = simple_tree.find_by_name("quad")[0]
+        ModifyGeometry(node_id=mesh.node_id, fields={
+            "vertices": triangle.vertices,
+            "faces": triangle.faces}).apply(simple_tree)
+        assert simple_tree.total_polygons() == 1
+
+    def test_move_avatar(self, simple_tree):
+        AddNode.of(AvatarNode("u"), parent_id=0, node_id=60).apply(
+            simple_tree)
+        MoveAvatar(node_id=60, position=np.array([1.0, 2.0, 3.0]),
+                   view_direction=np.array([0.0, 1.0, 0.0])).apply(
+                       simple_tree)
+        assert np.allclose(simple_tree.node(60).position, [1, 2, 3])
+
+    def test_move_avatar_wrong_type(self, simple_tree):
+        cam = simple_tree.cameras()[0]
+        with pytest.raises(SceneGraphError):
+            MoveAvatar(node_id=cam.node_id).apply(simple_tree)
+
+
+class TestWireRoundTrips:
+    @pytest.mark.parametrize("update", [
+        RemoveNode(node_id=3, origin="ian"),
+        SetTransform(node_id=2, matrix=np.diag([2.0, 2.0, 2.0, 1.0])),
+        SetCamera(node_id=1, position=np.ones(3), target=np.zeros(3),
+                  fov_degrees=50.0),
+        MoveAvatar(node_id=4, position=np.ones(3),
+                   view_direction=np.array([1.0, 0, 0])),
+        SetProperty(node_id=5, field_name="name", value="x"),
+    ])
+    def test_roundtrip(self, update):
+        back = update_from_wire(update.to_wire())
+        assert type(back) is type(update)
+        assert back.node_id == update.node_id
+        assert back.origin == update.origin
+
+    def test_addnode_roundtrip_carries_payload(self, quad):
+        update = AddNode.of(MeshNode(quad), parent_id=0, node_id=9)
+        back = update_from_wire(update.to_wire())
+        tree = SceneTree()
+        back.apply(tree)
+        assert tree.total_polygons() == 2
+
+    def test_unknown_kind(self):
+        with pytest.raises(SceneGraphError):
+            update_from_wire({"kind": "teleport"})
+
+    def test_payload_bytes_scale_with_content(self, quad):
+        small = SetCamera(node_id=1)
+        big = AddNode.of(MeshNode(quad), parent_id=0, node_id=9)
+        assert big.payload_bytes > small.payload_bytes
+
+    def test_touched_ids(self):
+        assert SetCamera(node_id=7).touched_ids() == {7}
+
+
+class TestAuditTrail:
+    def build_trail(self):
+        trail = AuditTrail()
+        trail.record(0.0, AddNode.of(CameraNode(name="cam"), parent_id=0,
+                                     node_id=1))
+        trail.record(1.0, AddNode.of(AvatarNode("u"), parent_id=0,
+                                     node_id=2))
+        trail.record(2.0, SetCamera(node_id=1,
+                                    position=np.array([5.0, 0, 0]),
+                                    target=np.zeros(3)))
+        return trail
+
+    def test_monotonic_timestamps_enforced(self):
+        trail = self.build_trail()
+        with pytest.raises(ValueError):
+            trail.record(1.0, RemoveNode(node_id=2))
+
+    def test_duration(self):
+        assert self.build_trail().duration == 2.0
+
+    def test_playback_full(self):
+        tree = self.build_trail().playback()
+        assert 1 in tree and 2 in tree
+        assert np.allclose(tree.node(1).position, [5, 0, 0])
+
+    def test_playback_until_cutoff(self):
+        tree = self.build_trail().playback(until=1.5)
+        assert 2 in tree
+        assert np.allclose(tree.node(1).position, [0, 0, 5])  # default
+
+    def test_playback_onto_existing_tree(self):
+        trail = AuditTrail()
+        trail.record(0.0, AddNode.of(AvatarNode("late"), parent_id=0,
+                                     node_id=30))
+        base = SceneTree()
+        base.add(CameraNode(), node_id=1)
+        merged = trail.playback(tree=base)
+        assert 30 in merged and 1 in merged
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trail = self.build_trail()
+        path = tmp_path / "session.rave"
+        n = trail.save(path)
+        assert n > 0
+        back = AuditTrail.load(path)
+        assert len(back) == 3
+        tree = back.playback()
+        assert np.allclose(tree.node(1).position, [5, 0, 0])
+
+    def test_append_asynchronous_collaboration(self, tmp_path):
+        """A later user appends to a recorded session (paper §3.1.1)."""
+        path = tmp_path / "session.rave"
+        self.build_trail().save(path)
+        later = AuditTrail()
+        later.record(10.0, MoveAvatar(node_id=2,
+                                      position=np.array([1.0, 1, 1]),
+                                      view_direction=np.array([0.0, 0, 1])))
+        later.append_to(path)
+        combined = AuditTrail.load(path)
+        assert len(combined) == 4
+        tree = combined.playback()
+        assert np.allclose(tree.node(2).position, [1, 1, 1])
+
+    def test_append_out_of_order_rejected(self, tmp_path):
+        path = tmp_path / "session.rave"
+        self.build_trail().save(path)
+        early = AuditTrail()
+        early.record(0.5, RemoveNode(node_id=2))
+        with pytest.raises(ValueError):
+            early.append_to(path)
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.rave"
+        path.write_bytes(b"definitely not an audit trail")
+        from repro.errors import DataFormatError
+
+        with pytest.raises(DataFormatError):
+            AuditTrail.load(path)
+
+    def test_updates_between(self):
+        trail = self.build_trail()
+        assert len(trail.updates_between(0.5, 2.0)) == 2

@@ -1,0 +1,189 @@
+"""Voxel volumes, marching cubes and decimation (the skeleton provenance)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.decimation import cluster_decimate, decimate
+from repro.data.marching_cubes import marching_cubes
+from repro.data.volumes import VoxelVolume, visible_human_phantom
+from repro.errors import DataFormatError
+
+
+def sphere_volume(n=24, radius=0.6):
+    lin = np.linspace(-1, 1, n)
+    x, y, z = np.meshgrid(lin, lin, lin, indexing="ij")
+    values = radius - np.sqrt(x**2 + y**2 + z**2)   # >0 inside
+    spacing = 2.0 / (n - 1)
+    return VoxelVolume(values, spacing=(spacing,) * 3, origin=(-1, -1, -1),
+                       name="sphere")
+
+
+class TestVoxelVolume:
+    def test_requires_3d(self):
+        with pytest.raises(DataFormatError):
+            VoxelVolume(np.zeros((4, 4)))
+
+    def test_stats(self):
+        v = sphere_volume(16)
+        s = v.stats()
+        assert s.shape == (16, 16, 16)
+        assert s.vmin < 0 < s.vmax
+        assert s.byte_size == 16**3 * 4
+
+    def test_world_coords_span_bounds(self):
+        v = sphere_volume(16)
+        xs, ys, zs = v.world_coords()
+        assert xs[0] == pytest.approx(-1.0)
+        assert xs[-1] == pytest.approx(1.0)
+
+    def test_split_slabs_cover_volume(self):
+        v = sphere_volume(20)
+        slabs = v.split_slabs(3, axis=2)
+        assert sum(s.shape[2] for s in slabs) == 20
+        # reassembled values identical
+        recon = np.concatenate([s.values for s in slabs], axis=2)
+        assert np.array_equal(recon, v.values)
+
+    def test_slab_origins_offset(self):
+        v = sphere_volume(20)
+        slabs = v.split_slabs(4, axis=2)
+        origins = [s.origin[2] for s in slabs]
+        assert origins == sorted(origins)
+        assert origins[0] == pytest.approx(-1.0)
+
+    def test_split_bounds_checked(self):
+        with pytest.raises(ValueError):
+            sphere_volume(8).split_slabs(100)
+
+    def test_phantom_has_structure(self):
+        v = visible_human_phantom(24)
+        assert v.values.max() > 0.5      # bone
+        assert v.values.min() < 0.1      # air
+        with pytest.raises(ValueError):
+            visible_human_phantom(4)
+
+
+class TestMarchingCubes:
+    def test_sphere_surface_area(self):
+        v = sphere_volume(32, radius=0.6)
+        mesh = marching_cubes(v, iso=0.0)
+        area = mesh.face_areas().sum()
+        expected = 4 * np.pi * 0.6**2
+        assert area == pytest.approx(expected, rel=0.06)
+
+    def test_sphere_bounds(self):
+        mesh = marching_cubes(sphere_volume(32, radius=0.5), iso=0.0)
+        r = np.linalg.norm(mesh.vertices, axis=1)
+        assert np.all(r < 0.56)
+        assert np.all(r > 0.44)
+
+    def test_vertices_on_iso_level(self):
+        """Interpolated vertices should sit near the true iso surface."""
+        v = sphere_volume(32, radius=0.6)
+        mesh = marching_cubes(v, iso=0.0)
+        r = np.linalg.norm(mesh.vertices, axis=1)
+        assert abs(float(r.mean()) - 0.6) < 0.02
+
+    def test_empty_when_iso_outside_range(self):
+        v = sphere_volume(16)
+        assert marching_cubes(v, iso=99.0).n_triangles == 0
+        assert marching_cubes(v, iso=-99.0).n_triangles == 0
+
+    def test_tiny_volume(self):
+        v = VoxelVolume(np.zeros((1, 5, 5), np.float32))
+        assert marching_cubes(v, 0.5).n_triangles == 0
+
+    def test_normals_point_outward(self):
+        """Winding orientation: normals away from the inside region."""
+        mesh = marching_cubes(sphere_volume(24, radius=0.6), iso=0.0)
+        centers = mesh.vertices[mesh.faces].mean(axis=1)
+        normals = mesh.face_normals()
+        outward = np.einsum("ij,ij->i", normals, centers)
+        assert (outward > 0).mean() > 0.98
+
+    def test_watertight_edges(self):
+        """Every edge of a closed iso-surface is shared by exactly 2 faces."""
+        mesh = marching_cubes(sphere_volume(20, radius=0.6), iso=0.0)
+        edges = np.concatenate([
+            mesh.faces[:, [0, 1]], mesh.faces[:, [1, 2]],
+            mesh.faces[:, [2, 0]]])
+        edges.sort(axis=1)
+        _, counts = np.unique(edges, axis=0, return_counts=True)
+        assert (counts == 2).mean() > 0.99
+
+    def test_phantom_extraction(self):
+        v = visible_human_phantom(32)
+        mesh = marching_cubes(v, iso=0.4)
+        assert mesh.n_triangles > 1000
+        assert mesh.faces.max() < mesh.n_vertices
+
+
+class TestDecimation:
+    def test_reduces_toward_target(self):
+        mesh = marching_cubes(sphere_volume(32, 0.6), iso=0.0)
+        target = mesh.n_triangles // 5
+        dec = decimate(mesh, target)
+        assert dec.n_triangles < mesh.n_triangles
+        assert abs(dec.n_triangles - target) / target < 0.6
+
+    def test_already_small_enough(self, quad):
+        assert decimate(quad, 10) is quad
+
+    def test_shape_preserved(self):
+        mesh = marching_cubes(sphere_volume(32, 0.6), iso=0.0)
+        dec = decimate(mesh, mesh.n_triangles // 4)
+        r = np.linalg.norm(dec.vertices, axis=1)
+        assert abs(float(r.mean()) - 0.6) < 0.05
+
+    def test_faces_valid_after_clustering(self):
+        mesh = marching_cubes(sphere_volume(24, 0.6), iso=0.0)
+        dec = cluster_decimate(mesh, 8)
+        assert dec.n_triangles > 0
+        assert dec.faces.max() < dec.n_vertices
+        # no degenerate faces
+        f = dec.faces
+        assert ((f[:, 0] != f[:, 1]) & (f[:, 1] != f[:, 2])
+                & (f[:, 0] != f[:, 2])).all()
+
+    def test_no_duplicate_faces(self):
+        mesh = marching_cubes(sphere_volume(24, 0.6), iso=0.0)
+        dec = cluster_decimate(mesh, 6)
+        canon = np.sort(dec.faces, axis=1)
+        assert len(np.unique(canon, axis=0)) == len(canon)
+
+    def test_colors_averaged(self):
+        mesh = marching_cubes(sphere_volume(20, 0.6), iso=0.0)
+        from repro.data.meshes import Mesh
+
+        colored = Mesh(mesh.vertices, mesh.faces,
+                       colors=np.full_like(mesh.vertices, 0.5))
+        dec = cluster_decimate(colored, 8)
+        assert dec.colors is not None
+        assert np.allclose(dec.colors, 0.5, atol=1e-5)
+
+    def test_invalid_inputs(self, quad):
+        with pytest.raises(ValueError):
+            cluster_decimate(quad, 0)
+        with pytest.raises(ValueError):
+            decimate(quad, 0)
+
+    @given(st.integers(min_value=1, max_value=32))
+    @settings(max_examples=20, deadline=None)
+    def test_cluster_never_increases_triangles(self, resolution):
+        mesh = marching_cubes(sphere_volume(16, 0.6), iso=0.0)
+        dec = cluster_decimate(mesh, resolution)
+        assert dec.n_triangles <= mesh.n_triangles
+
+
+class TestProvenancePipeline:
+    def test_volume_to_decimated_skeleton(self):
+        """The paper's full skeleton pipeline: CT → marching cubes →
+        decimation, end to end."""
+        volume = visible_human_phantom(28)
+        raw = marching_cubes(volume, iso=0.4)
+        final = decimate(raw, max(500, raw.n_triangles // 4))
+        assert 0 < final.n_triangles < raw.n_triangles
+        # result stays inside the volume's bounds
+        lo, hi = final.bounds()
+        assert lo.min() >= -1.01 and hi.max() <= 1.01
