@@ -13,7 +13,7 @@ implements both create actions against live containers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import DiscoveryError, ServiceError
 from repro.services.uddi import UddiRegistry

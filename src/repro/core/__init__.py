@@ -15,6 +15,8 @@ The policy layer that makes the system "resource-aware":
   services not yet connected to the data service;
 - :mod:`repro.core.migration` — load-triggered workload migration with
   fine-grain node selection and usage smoothing;
+- :mod:`repro.core.health` — lease-based failure detection (heartbeats,
+  alive/suspected/dead transitions) feeding automatic recovery;
 - :mod:`repro.core.session` — the orchestrator tying data service, render
   services, clients and policies into a collaborative session.
 """
@@ -35,7 +37,8 @@ from repro.core.migration import (
     MigrationAction,
     WorkloadMigrator,
 )
-from repro.core.session import CollaborativeSession
+from repro.core.health import HeartbeatMonitor, HeartbeatSource
+from repro.core.session import CollaborativeSession, RecoveryReport
 
 __all__ = [
     "RenderCapacity",
@@ -58,4 +61,7 @@ __all__ = [
     "MigrationAction",
     "WorkloadMigrator",
     "CollaborativeSession",
+    "RecoveryReport",
+    "HeartbeatMonitor",
+    "HeartbeatSource",
 ]

@@ -26,7 +26,7 @@ import numpy as np
 from repro.core.cost import NodeCost, node_cost
 from repro.errors import SceneGraphError
 from repro.render.framebuffer import Tile
-from repro.scenegraph.nodes import GroupNode, MeshNode, SceneNode, VolumeNode
+from repro.scenegraph.nodes import GroupNode, MeshNode, SceneNode
 from repro.scenegraph.tree import SceneTree
 
 

@@ -25,7 +25,7 @@ Implementation:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.capacity import DEFAULT_TARGET_FPS
 from repro.core.cost import node_cost
@@ -68,26 +68,31 @@ class LoadTracker:
         return (sum(s.utilisation for s in self._samples)
                 / len(self._samples))
 
+    def _sustained_below(self, key: str, threshold: float,
+                         duration: float) -> bool:
+        """Has ``key`` stayed below ``threshold`` for at least ``duration``?
+
+        Requires the window to actually span ``duration`` (a single spike
+        sample can never trigger), then checks every sample inside the
+        trailing ``duration`` — including one landing exactly on the cutoff.
+        """
+        if not self._samples:
+            return False
+        span = self._samples[-1].time - self._samples[0].time
+        if span < duration:
+            return False
+        cutoff = self._samples[-1].time - duration
+        return all(getattr(s, key) < threshold for s in self._samples
+                   if s.time >= cutoff)
+
     def sustained_below_fps(self, threshold: float,
                             duration: float) -> bool:
         """Has fps stayed below ``threshold`` for at least ``duration``?"""
-        if not self._samples:
-            return False
-        span = self._samples[-1].time - self._samples[0].time
-        if span < duration:
-            return False
-        return all(s.fps < threshold for s in self._samples
-                   if s.time >= self._samples[-1].time - duration)
+        return self._sustained_below("fps", threshold, duration)
 
     def sustained_below_utilisation(self, threshold: float,
                                     duration: float) -> bool:
-        if not self._samples:
-            return False
-        span = self._samples[-1].time - self._samples[0].time
-        if span < duration:
-            return False
-        return all(s.utilisation < threshold for s in self._samples
-                   if s.time >= self._samples[-1].time - duration)
+        return self._sustained_below("utilisation", threshold, duration)
 
 
 @dataclass(frozen=True)

@@ -12,16 +12,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.capacity import DEFAULT_TARGET_FPS
-from repro.core.cost import tree_cost
+from repro.core.cost import node_cost, tree_cost
 from repro.core.distribution import (
     DatasetDistributor,
     DistributionPlan,
     FramebufferDistributor,
     TilePlan,
 )
+from repro.core.health import DEAD, HeartbeatMonitor, HeartbeatSource
 from repro.core.migration import WorkloadMigrator
 from repro.core.scheduler import Placement, RenderServiceScheduler
-from repro.errors import ServiceError, SessionError
+from repro.errors import NetworkError, ServiceError, SessionError
 from repro.render.camera import Camera
 from repro.render.compositor import assemble_tiles, depth_composite
 from repro.render.framebuffer import FrameBuffer
@@ -36,6 +37,22 @@ class ServiceAttachment:
     render_session_id: str
     bootstrap_seconds: float
     share: set[int] = field(default_factory=set)
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What automatic recovery did about one dead render service."""
+
+    failed: str
+    #: receiver service name → node ids it absorbed
+    reassigned: dict[str, tuple[int, ...]]
+    #: services recruited via UDDI because nobody had headroom
+    recruited: tuple[str, ...]
+    time: float
+
+    @property
+    def nodes_recovered(self) -> int:
+        return sum(len(ids) for ids in self.reassigned.values())
 
 
 class CollaborativeSession:
@@ -57,6 +74,17 @@ class CollaborativeSession:
         self.migrator = migrator or WorkloadMigrator(target_fps=target_fps)
         self._attachments: dict[str, ServiceAttachment] = {}
         self.placement: Placement | None = None
+        # -- fault tolerance state (see enable_fault_tolerance) --
+        self.health: HeartbeatMonitor | None = None
+        self._heartbeats: dict[str, HeartbeatSource] = {}
+        self._heartbeat_interval: float = 0.5
+        #: services declared dead and recovered from (never re-recruited)
+        self.failed_services: set[str] = set()
+        self.recoveries: list[RecoveryReport] = []
+        #: last good framebuffer per tile rect, for degraded compositing
+        self._tile_cache: dict[tuple[int, int, int, int], FrameBuffer] = {}
+        self.last_frame_degraded: bool = False
+        self.degraded_frames: int = 0
 
     # -- introspection -----------------------------------------------------------
 
@@ -96,24 +124,38 @@ class CollaborativeSession:
             bootstrap_seconds=timing.total_seconds,
             share=set(subset_ids) if subset_ids is not None else set())
         self._attachments[render_service.name] = attachment
+        if self.health is not None:
+            self._start_heartbeat(render_service)
         return attachment
 
     def disconnect(self, render_service) -> None:
         attachment = self.attachment(render_service)
         render_service.close_render_session(attachment.render_session_id)
         del self._attachments[render_service.name]
+        self._stop_heartbeat(render_service.name)
 
     def recruit_more(self) -> list:
-        """Ask UDDI for unconnected render services and attach them."""
+        """Ask UDDI for unconnected render services and attach them.
+
+        Services already declared dead, and services whose host is down
+        right now, are never (re-)recruited.
+        """
         if self.recruiter is None:
             return []
         result = self.recruiter.recruit(
-            exclude=set(self._attachments))
+            exclude=set(self._attachments) | self.failed_services)
         attached = []
+        network = self.data_service.network
         for service in result.services:
-            if service.name not in self._attachments:
-                self.connect(service)
-                attached.append(service)
+            if service.name in self._attachments:
+                continue
+            try:
+                if not network.host_is_up(service.host):
+                    continue
+            except NetworkError:
+                continue
+            self.connect(service)
+            attached.append(service)
         return attached
 
     # -- placement & distribution ----------------------------------------------------------
@@ -266,6 +308,161 @@ class CollaborativeSession:
         self._narrow(source, src.share)
         self._hand_off_share(dst)
 
+    # -- fault tolerance ---------------------------------------------------------------------
+
+    def enable_fault_tolerance(self, heartbeat_interval: float = 0.5,
+                               suspect_after: float = 1.5,
+                               dead_after: float = 4.0,
+                               auto_recover: bool = True,
+                               monitor: HeartbeatMonitor | None = None
+                               ) -> HeartbeatMonitor:
+        """Watch every attached render service with heartbeat leases.
+
+        Each service emits beats across the simulated network to the data
+        service's host; silence beyond ``suspect_after`` marks it
+        suspected, beyond ``dead_after`` dead.  With ``auto_recover`` a
+        death immediately triggers :meth:`handle_service_failure`.  The
+        monitor polls on a recurring simulator event, so the caller only
+        has to pump the simulator (``network.sim.run_until``).
+        """
+        sim = self.data_service.network.sim
+        self.health = monitor if monitor is not None else HeartbeatMonitor(
+            sim, suspect_after=suspect_after, dead_after=dead_after)
+        self._heartbeat_interval = heartbeat_interval
+        if auto_recover:
+            self.health.on_dead.append(self._on_service_dead)
+        for attachment in self._attachments.values():
+            self._start_heartbeat(attachment.service)
+        self.health.start(period=heartbeat_interval)
+        return self.health
+
+    def _start_heartbeat(self, service) -> None:
+        if self.health is None or service.name in self._heartbeats:
+            return
+        source = HeartbeatSource(
+            monitor=self.health, network=self.data_service.network,
+            name=service.name, host=service.host,
+            monitor_host=self.data_service.host,
+            interval=self._heartbeat_interval)
+        self._heartbeats[service.name] = source.start()
+
+    def _stop_heartbeat(self, name: str) -> None:
+        source = self._heartbeats.pop(name, None)
+        if source is not None:
+            source.stop()
+        if self.health is not None:
+            self.health.unwatch(name)
+
+    def _on_service_dead(self, name: str) -> None:
+        if name in self._attachments:
+            self.handle_service_failure(name)
+
+    def service_live(self, service) -> bool:
+        """Is this service usable right now (host up, lease not dead)?"""
+        try:
+            if not self.data_service.network.host_is_up(service.host):
+                return False
+        except NetworkError:
+            return False
+        if self.health is not None and self.health.is_watched(service.name):
+            return self.health.state(service.name) != DEAD
+        return True
+
+    def handle_service_failure(self, service) -> RecoveryReport:
+        """Reclaim a dead service's share and redistribute it to survivors.
+
+        The dead service's subscription is dropped (the data service stops
+        multicasting at a black hole), its scene nodes are reassigned
+        greedily — largest node first, to the survivor with the most
+        remaining headroom — and when *nobody* has headroom, new services
+        are recruited via UDDI first.  Every reassigned share is shipped
+        as a self-contained subtree, exactly like a migration receiver.
+        """
+        name = getattr(service, "name", service)
+        attachment = self._attachments.pop(name, None)
+        if attachment is None:
+            raise SessionError(f"render service {name!r} is not attached")
+        self.failed_services.add(name)
+        self._stop_heartbeat(name)
+        orphans = set(attachment.share)
+        # the dead service can't unsubscribe itself — do it for it
+        session = self.data_service.session(self.session_id)
+        for sub_name in list(session.subscribers):
+            if sub_name.startswith(f"{name}/"):
+                self.data_service.unsubscribe(self.session_id, sub_name)
+
+        recruited: list[str] = []
+        reassigned: dict[str, tuple[int, ...]] = {}
+        if orphans:
+            survivors = [a for a in self._attachments.values()
+                         if self.service_live(a.service)]
+            if (not any(self._attachment_headroom(a) > 0
+                        for a in survivors)):
+                recruited = [s.name for s in self.recruit_more()]
+                survivors = [a for a in self._attachments.values()
+                             if self.service_live(a.service)]
+            if not survivors:
+                raise ServiceError(
+                    f"no live render services left to absorb the share of "
+                    f"{name!r} ({len(orphans)} nodes)")
+            assigned = self._pack_orphans(orphans, survivors)
+            for receiver_name, ids in assigned.items():
+                receiver = self._attachments[receiver_name]
+                receiver.share |= ids
+                self._hand_off_share(receiver)
+                reassigned[receiver_name] = tuple(sorted(ids))
+
+        report = RecoveryReport(
+            failed=name, reassigned=reassigned,
+            recruited=tuple(recruited),
+            time=self.data_service.network.sim.now)
+        self.recoveries.append(report)
+        return report
+
+    def _attachment_headroom(self, attachment) -> float:
+        service = attachment.service
+        return max(0.0, service.capacity().polygon_budget(self.target_fps)
+                   - service.committed_polygons())
+
+    def _pack_orphans(self, orphans: set[int],
+                      survivors: list) -> dict[str, set[int]]:
+        """Greedy bin-pack: largest orphan first to the most headroom.
+
+        Headroom can go negative — every node *must* land somewhere, the
+        packing just keeps the overload as even as possible; the migration
+        policy evens things out further once load reports resume.
+        """
+        costed = sorted(
+            ((node_cost(self.master_tree.node(nid)).polygons
+              if nid in self.master_tree else 0, nid)
+             for nid in orphans),
+            reverse=True)
+        remaining = {a.service.name: self._attachment_headroom(a)
+                     for a in survivors}
+        assigned: dict[str, set[int]] = {}
+        for polys, nid in costed:
+            receiver = max(remaining, key=lambda n: remaining[n])
+            assigned.setdefault(receiver, set()).add(nid)
+            remaining[receiver] -= polys
+        return assigned
+
+    def handle_data_failure(self):
+        """Fail over to a data-service mirror and re-subscribe everyone.
+
+        The mirror inherits subscribers and any missed audit-trail entries
+        (:meth:`DataService.failover_to`); every attached render service is
+        then re-pointed so its shared scene copy, subscription and future
+        bootstraps all track the mirror.  Returns the mirror.
+        """
+        old = self.data_service
+        mirror = old.failover_to(self.session_id)
+        for attachment in self._attachments.values():
+            attachment.service.repoint_data_service(
+                old.name, mirror, self.session_id)
+        self.data_service = mirror
+        self.scheduler.data_service = mirror
+        return mirror
+
     # -- rendering ---------------------------------------------------------------------------
 
     def render_composite(self, camera: CameraNode | Camera, width: int,
@@ -274,17 +471,26 @@ class CollaborativeSession:
 
         Returns the merged framebuffer and the simulated frame latency
         (slowest share + framebuffer transfers to the compositing service).
+        A share whose service has failed mid-frame is skipped and the frame
+        flagged degraded (``last_frame_degraded``) — recovery will reassign
+        those nodes; meanwhile the survivors' content still arrives.
         """
         active = [a for a in self._attachments.values() if a.share]
         if not active:
             raise SessionError("no service holds a share; call "
                                "place_dataset() first")
+        live = [a for a in active if self.service_live(a.service)]
+        if not live:
+            raise SessionError("no live service holds a share")
+        self.last_frame_degraded = len(live) < len(active)
+        if self.last_frame_degraded:
+            self.degraded_frames += 1
         clock = self.data_service.network.sim.clock
-        compositor_host = active[0].service.host
+        compositor_host = live[0].service.host
         buffers = []
         slowest = 0.0
         transfer_total = 0.0
-        for attachment in active:
+        for attachment in live:
             t0 = clock.now
             fb, _ = attachment.service.render_view(
                 attachment.render_session_id, camera, width, height,
@@ -303,7 +509,13 @@ class CollaborativeSession:
     def render_tiled(self, camera: CameraNode | Camera, width: int,
                      height: int, local_service=None
                      ) -> tuple[FrameBuffer, TilePlan, float]:
-        """Framebuffer-distributed frame across all attached services."""
+        """Framebuffer-distributed frame across all attached services.
+
+        A tile whose service fails mid-frame (host down, unroutable) is
+        filled from the last good framebuffer for that tile rectangle — or
+        left as background on a cold cache — and the frame is flagged
+        degraded instead of tearing.
+        """
         services = self.render_services
         if not services:
             raise SessionError("no render services attached")
@@ -320,19 +532,36 @@ class CollaborativeSession:
         by_name = {s.name: s for s in services}
         tiles = []
         slowest = 0.0
+        degraded = False
         for assignment in plan.assignments:
             service = by_name[assignment.service_name]
             attachment = self.attachment(service)
+            rect = (assignment.tile.x0, assignment.tile.y0,
+                    assignment.tile.width, assignment.tile.height)
             t0 = clock.now
-            fb, _ = service.render_tile(
-                attachment.render_session_id, camera, assignment.tile,
-                width, height)
-            elapsed = clock.now - t0
-            if not assignment.local:
-                elapsed += self.data_service.network.transfer_time(
-                    service.host, local.host, fb.nbytes_with_depth)
-            slowest = max(slowest, elapsed)
+            try:
+                if not self.data_service.network.host_is_up(service.host):
+                    raise NetworkError(f"host {service.host!r} is down")
+                fb, _ = service.render_tile(
+                    attachment.render_session_id, camera, assignment.tile,
+                    width, height)
+                elapsed = clock.now - t0
+                if not assignment.local:
+                    elapsed += self.data_service.network.transfer_time(
+                        service.host, local.host, fb.nbytes_with_depth)
+            except (NetworkError, ServiceError):
+                degraded = True
+                fb = self._tile_cache.get(rect)
+                if fb is None:
+                    fb = FrameBuffer(assignment.tile.width,
+                                     assignment.tile.height)
+            else:
+                slowest = max(slowest, elapsed)
+                self._tile_cache[rect] = fb
             tiles.append((assignment.tile, fb))
+        self.last_frame_degraded = degraded
+        if degraded:
+            self.degraded_frames += 1
         assemble_tiles(target, tiles)
         return target, plan, slowest
 

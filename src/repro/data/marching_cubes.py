@@ -14,7 +14,6 @@ The implementation is vectorized per (tetrahedron, case) pair — at most
 
 from __future__ import annotations
 
-import itertools
 
 import numpy as np
 

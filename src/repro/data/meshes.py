@@ -8,7 +8,7 @@ ride along for Gouraud shading.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -9,12 +9,15 @@ replacement for that infrastructure:
   routing, unicast/multicast transfers with per-transfer accounting;
 - :mod:`repro.network.transport` — message channels: raw binary sockets vs
   SOAP-over-HTTP, including marshalling cost models;
+- :mod:`repro.network.faults` — deterministic fault injection: host
+  crashes, link flaps, latency spikes, transfer loss, partitions;
 - :mod:`repro.network.marshalling` — the Java-style introspection marshaller
   the paper identifies as its bootstrap bottleneck, and the fast binary
   path RAVE uses after "backing off from SOAP".
 """
 
 from repro.network.clock import SimClock, Simulator
+from repro.network.faults import FaultEvent, FaultInjector
 from repro.network.simnet import Host, Link, Network, TransferRecord, WirelessCell
 from repro.network.transport import BinaryChannel, Channel, SoapChannel
 from repro.network.marshalling import (
@@ -25,6 +28,8 @@ from repro.network.marshalling import (
 
 __all__ = [
     "SimClock",
+    "FaultInjector",
+    "FaultEvent",
     "Simulator",
     "Host",
     "Link",

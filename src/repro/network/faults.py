@@ -1,0 +1,219 @@
+"""Deterministic fault injection for the simulated network.
+
+Real grid deployments treat node loss as the common case: machines crash,
+links flap, WAN latency spikes, and whole segments partition.  The paper's
+testbed never exercised those paths, but its future work ("a fail-safe
+mechanism") and the surrounding literature (Bethel et al. on WAN
+degradation; Rodrigues et al. on node-failure handling) make them the gap
+between a lab reproduction and a production system.
+
+:class:`FaultInjector` drives every failure mode the rest of the
+fault-tolerance stack must survive:
+
+- **host crashes** — the host stops routing, its services stop answering;
+- **link flaps** — ``Link.up`` toggles on a schedule;
+- **latency spikes** — per-link additive latency for a time window;
+- **packet/transfer loss** — per-link-pair or default loss probability,
+  rolled from a seeded RNG inside :meth:`Network.send`;
+- **partitions** — every link crossing a host-set cut goes down at once.
+
+All scheduling uses the shared :class:`~repro.network.clock.Simulator`, and
+all randomness comes from one seeded ``random.Random``: the same seed and
+schedule always produce the same fault sequence, which is what makes the
+chaos tests reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import NetworkError
+from repro.network.simnet import Link, Network
+
+
+def _pair_key(a: str, b: str) -> tuple[str, str]:
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, as recorded in the injector's log."""
+
+    time: float
+    kind: str            # "crash" | "restart" | "link-down" | "link-up" |
+                         # "latency-spike" | "latency-clear" |
+                         # "partition" | "heal" | "loss"
+    detail: str
+
+
+@dataclass
+class _Partition:
+    """Bookkeeping for one active partition (the links *we* downed)."""
+
+    name: str
+    severed: list[tuple[str, str]] = field(default_factory=list)
+
+
+class FaultInjector:
+    """Scripted, seeded fault source attached to one :class:`Network`.
+
+    Immediate methods (``crash_host`` …) act now; ``schedule_*`` variants
+    register simulator events, optionally with automatic recovery after a
+    duration.  The injector registers itself as ``network.fault_injector``
+    so :meth:`Network.transfer_time` and :meth:`Network.send` consult it
+    for latency penalties and transfer loss.
+    """
+
+    def __init__(self, network: Network, seed: int = 0) -> None:
+        self.network = network
+        self.rng = random.Random(seed)
+        self.log: list[FaultEvent] = []
+        #: additive latency (seconds) per link key while a spike is active
+        self._latency_spikes: dict[tuple[str, str], float] = {}
+        #: loss probability per (src, dst) host pair, plus a default
+        self._loss: dict[tuple[str, str], float] = {}
+        self.default_loss: float = 0.0
+        self._partitions: dict[str, _Partition] = {}
+        self.transfers_lost: int = 0
+        network.fault_injector = self
+
+    # -- hooks consulted by the network -----------------------------------------
+
+    def latency_penalty(self, link: Link) -> float:
+        """Extra seconds of latency currently injected on ``link``."""
+        return self._latency_spikes.get(link.key, 0.0)
+
+    def roll_loss(self, src: str, dst: str) -> bool:
+        """Decide (from the seeded RNG) whether one transfer is lost."""
+        p = self._loss.get(_pair_key(src, dst), self.default_loss)
+        if p <= 0.0:
+            return False
+        lost = self.rng.random() < p
+        if lost:
+            self.transfers_lost += 1
+            self._record("loss", f"{src}->{dst}")
+        return lost
+
+    # -- immediate faults --------------------------------------------------------
+
+    def crash_host(self, name: str) -> None:
+        """Take a machine down: it routes nothing and answers nothing."""
+        self.network.set_host_up(name, False)
+        self._record("crash", name)
+
+    def restart_host(self, name: str) -> None:
+        self.network.set_host_up(name, True)
+        self._record("restart", name)
+
+    def host_is_up(self, name: str) -> bool:
+        return self.network.host_is_up(name)
+
+    def set_link(self, a: str, b: str, up: bool) -> None:
+        self.network.set_link_up(a, b, up)
+        self._record("link-up" if up else "link-down", f"{a}<->{b}")
+
+    def set_loss(self, a: str, b: str, probability: float) -> None:
+        """Per-transfer loss probability between two hosts (either way)."""
+        if not 0.0 <= probability <= 1.0:
+            raise NetworkError("loss probability must be in [0, 1]")
+        self._loss[_pair_key(a, b)] = probability
+
+    def set_default_loss(self, probability: float) -> None:
+        """Loss probability applied to every transfer without an override."""
+        if not 0.0 <= probability <= 1.0:
+            raise NetworkError("loss probability must be in [0, 1]")
+        self.default_loss = probability
+
+    def latency_spike(self, a: str, b: str, extra_s: float) -> None:
+        """Add ``extra_s`` seconds of latency to the a<->b link until cleared."""
+        if extra_s < 0:
+            raise NetworkError("latency spike must be non-negative")
+        link = self.network.link_between(a, b)
+        self._latency_spikes[link.key] = extra_s
+        self._record("latency-spike", f"{a}<->{b} +{extra_s:g}s")
+
+    def clear_latency_spike(self, a: str, b: str) -> None:
+        link = self.network.link_between(a, b)
+        if self._latency_spikes.pop(link.key, None) is not None:
+            self._record("latency-clear", f"{a}<->{b}")
+
+    def partition(self, group: set[str] | list[str],
+                  name: str = "partition") -> list[tuple[str, str]]:
+        """Sever every up link between ``group`` and the rest of the network.
+
+        Returns the severed link endpoints; :meth:`heal` restores exactly
+        those links (links downed independently stay down).
+        """
+        if name in self._partitions:
+            raise NetworkError(f"partition {name!r} already active")
+        group = set(group)
+        unknown = group - set(self.network.hosts)
+        if unknown:
+            raise NetworkError(f"unknown hosts in partition: {sorted(unknown)}")
+        part = _Partition(name=name)
+        for link in self.network._links.values():
+            if link.up and (link.a in group) != (link.b in group):
+                self.network.set_link_up(link.a, link.b, False)
+                part.severed.append((link.a, link.b))
+        self._partitions[name] = part
+        self._record("partition",
+                     f"{name}: {sorted(group)} severed {len(part.severed)}")
+        return list(part.severed)
+
+    def heal(self, name: str = "partition") -> None:
+        """Restore the links severed by the named partition."""
+        part = self._partitions.pop(name, None)
+        if part is None:
+            raise NetworkError(f"no active partition {name!r}")
+        for a, b in part.severed:
+            self.network.set_link_up(a, b, True)
+        self._record("heal", name)
+
+    # -- scripted schedules -------------------------------------------------------
+
+    def schedule_crash(self, at: float, host: str,
+                       restart_after: float | None = None) -> None:
+        """Crash ``host`` at simulated time ``at``; optionally auto-restart."""
+        self.network.sim.schedule_at(at, lambda: self.crash_host(host))
+        if restart_after is not None:
+            self.network.sim.schedule_at(
+                at + restart_after, lambda: self.restart_host(host))
+
+    def schedule_flap(self, at: float, a: str, b: str,
+                      down_for: float) -> None:
+        """Take the a<->b link down at ``at`` and back up ``down_for`` later."""
+        self.network.sim.schedule_at(at, lambda: self.set_link(a, b, False))
+        self.network.sim.schedule_at(
+            at + down_for, lambda: self.set_link(a, b, True))
+
+    def schedule_latency_spike(self, at: float, a: str, b: str,
+                               extra_s: float, duration: float) -> None:
+        self.network.sim.schedule_at(
+            at, lambda: self.latency_spike(a, b, extra_s))
+        self.network.sim.schedule_at(
+            at + duration, lambda: self.clear_latency_spike(a, b))
+
+    def schedule_partition(self, at: float, group: set[str] | list[str],
+                           heal_after: float,
+                           name: str = "partition") -> None:
+        self.network.sim.schedule_at(
+            at, lambda: self.partition(group, name=name))
+        self.network.sim.schedule_at(
+            at + heal_after, lambda: self.heal(name))
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def _record(self, kind: str, detail: str) -> None:
+        self.log.append(FaultEvent(time=self.network.sim.now,
+                                   kind=kind, detail=detail))
+
+    def events(self, kind: str | None = None) -> list[FaultEvent]:
+        if kind is None:
+            return list(self.log)
+        return [e for e in self.log if e.kind == kind]
+
+    def __repr__(self) -> str:
+        return (f"FaultInjector(events={len(self.log)}, "
+                f"lost={self.transfers_lost}, "
+                f"partitions={sorted(self._partitions)})")

@@ -22,7 +22,7 @@ Model choices (documented limitations, adequate for the paper's shapes):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import networkx as nx
 
@@ -37,6 +37,8 @@ class Host:
     name: str
     #: optional machine-profile key (see repro.hardware.profiles)
     profile: str = ""
+    #: False while the machine is crashed (fault injection)
+    up: bool = True
 
     def __hash__(self) -> int:
         return hash(self.name)
@@ -87,6 +89,8 @@ class TransferRecord:
     start: float
     duration: float
     path: tuple[str, ...]
+    #: True when fault injection lost this transfer in flight
+    dropped: bool = False
 
     @property
     def end(self) -> float:
@@ -136,6 +140,13 @@ class Network:
         self._links: dict[tuple[str, str], Link] = {}
         self._graph = nx.Graph()
         self.transfers: list[TransferRecord] = []
+        #: optional :class:`repro.network.faults.FaultInjector`
+        self.fault_injector = None
+        # Routing cache: the "usable" graph (and shortest paths over it)
+        # are reused until any host/link liveness bit changes.
+        self._usable_token: tuple | None = None
+        self._usable_graph: nx.Graph | None = None
+        self._path_cache: dict[tuple[str, str], list[str]] = {}
 
     # -- topology ---------------------------------------------------------------
 
@@ -185,26 +196,70 @@ class Network:
     def set_link_up(self, a: str, b: str, up: bool) -> None:
         self.link_between(a, b).up = up
 
+    def set_host_up(self, name: str, up: bool) -> None:
+        """Crash or restart a machine; down hosts route no traffic at all."""
+        if name not in self.hosts:
+            raise NetworkError(f"unknown host {name!r}")
+        self.hosts[name].up = up
+
+    def host_is_up(self, name: str) -> bool:
+        if name not in self.hosts:
+            raise NetworkError(f"unknown host {name!r}")
+        return self.hosts[name].up
+
+    def _liveness_token(self) -> tuple:
+        """Cheap fingerprint of everything that affects routing."""
+        bits = 0
+        for link in self._links.values():
+            bits = (bits << 1) | link.up
+        for host in self.hosts.values():
+            bits = (bits << 1) | host.up
+        return (len(self.hosts), len(self._links), bits)
+
+    def _usable(self) -> nx.Graph:
+        """The routing graph restricted to live hosts and links (cached)."""
+        token = self._liveness_token()
+        if token != self._usable_token or self._usable_graph is None:
+            usable = nx.Graph(
+                (a, b, d) for a, b, d in self._graph.edges(data=True)
+                if self._links[(a, b) if a <= b else (b, a)].up
+                and self.hosts[a].up and self.hosts[b].up
+            )
+            usable.add_nodes_from(
+                h.name for h in self.hosts.values() if h.up)
+            self._usable_graph = usable
+            self._usable_token = token
+            self._path_cache.clear()
+        return self._usable_graph
+
     def path(self, src: str, dst: str) -> list[str]:
         for h in (src, dst):
             if h not in self.hosts:
                 raise NetworkError(f"unknown host {h!r}")
+        usable = self._usable()   # refreshes the path cache if stale
+        cached = self._path_cache.get((src, dst))
+        if cached is not None:
+            return cached
         try:
-            # Route around downed links.
-            usable = nx.Graph(
-                (a, b, d) for a, b, d in self._graph.edges(data=True)
-                if self._links[(a, b) if a <= b else (b, a)].up
-            )
-            usable.add_nodes_from(self._graph.nodes)
-            return nx.shortest_path(usable, src, dst, weight="latency")
+            # Route around downed links and crashed hosts.
+            route = nx.shortest_path(usable, src, dst, weight="latency")
         except (nx.NetworkXNoPath, nx.NodeNotFound):
             raise NetworkError(f"no route from {src!r} to {dst!r}") from None
+        self._path_cache[(src, dst)] = route
+        return route
 
     def path_links(self, src: str, dst: str) -> list[Link]:
         nodes = self.path(src, dst)
         return [self.link_between(a, b) for a, b in zip(nodes[:-1], nodes[1:])]
 
     # -- analytic transfer times ---------------------------------------------------
+
+    def _link_latency(self, link: Link) -> float:
+        """Base latency plus any fault-injected spike on this link."""
+        extra = 0.0
+        if self.fault_injector is not None:
+            extra = self.fault_injector.latency_penalty(link)
+        return link.latency_s + extra
 
     def transfer_time(self, src: str, dst: str, nbytes: int) -> float:
         """Store-and-forward time using *current* contention and signal."""
@@ -218,7 +273,7 @@ class Network:
             if bw <= 0:
                 raise NetworkError(
                     f"link {link.a!r}-{link.b!r} is down")
-            total += link.latency_s + nbytes * 8.0 / bw
+            total += self._link_latency(link) + nbytes * 8.0 / bw
         return total
 
     def round_trip_time(self, src: str, dst: str,
@@ -230,12 +285,14 @@ class Network:
     # -- scheduled transfers (contention-aware) --------------------------------------
 
     def send(self, src: str, dst: str, nbytes: int,
-             on_complete=None) -> TransferRecord:
+             on_complete=None, on_drop=None) -> TransferRecord:
         """Schedule a transfer in the simulator; links stay busy for its span.
 
         Effective bandwidth is sampled at start (fluid re-negotiation is not
         modelled); concurrent transfers therefore slow each other only if
-        already in flight when a new one begins.
+        already in flight when a new one begins.  When a fault injector is
+        attached, the transfer may be lost in flight: the links stay busy
+        for its full span but ``on_drop`` (not ``on_complete``) fires.
         """
         links = self.path_links(src, dst) if src != dst else []
         # Rate is sampled before this transfer joins the links (the
@@ -243,15 +300,21 @@ class Network:
         duration = self.transfer_time(src, dst, nbytes) if links else 0.0
         for link in links:
             link.active += 1
+        dropped = (self.fault_injector is not None and links
+                   and self.fault_injector.roll_loss(src, dst))
         record = TransferRecord(src=src, dst=dst, nbytes=nbytes,
                                 start=self.sim.now, duration=duration,
-                                path=tuple(self.path(src, dst)))
+                                path=tuple(self.path(src, dst)),
+                                dropped=bool(dropped))
         self.transfers.append(record)
 
         def finish() -> None:
             for link in links:
                 link.active -= 1
-            if on_complete is not None:
+            if record.dropped:
+                if on_drop is not None:
+                    on_drop(record)
+            elif on_complete is not None:
                 on_complete(record)
 
         self.sim.schedule(duration, finish)
@@ -275,13 +338,14 @@ class Network:
             t = 0.0
             for link in self.path_links(src, dst):
                 if link.key in charged:
-                    t += link.latency_s  # payload already on this segment
+                    # payload already on this segment
+                    t += self._link_latency(link)
                 else:
                     bw = link.effective_bandwidth()
                     if bw <= 0:
                         raise NetworkError(
                             f"link {link.a!r}-{link.b!r} is down")
-                    t += link.latency_s + nbytes * 8.0 / bw
+                    t += self._link_latency(link) + nbytes * 8.0 / bw
                     charged.add(link.key)
             times[dst] = t
         return times

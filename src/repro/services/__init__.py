@@ -16,7 +16,9 @@ data plane "backs off from SOAP" onto raw sockets — modelled by
   — RAVE's two service roles;
 - :mod:`repro.services.clients` — the thin client (PDA) and active render
   client;
-- :mod:`repro.services.protocol` — binary data-plane message framing.
+- :mod:`repro.services.protocol` — binary data-plane message framing;
+- :mod:`repro.services.retry` — control-plane hardening: retry policies,
+  deadlines, circuit breakers, reliable SOAP channels.
 """
 
 from repro.services.soap import SoapEnvelope, soap_decode, soap_encode
@@ -33,6 +35,13 @@ from repro.services.protocol import FrameHeader, frame_message, unframe_message
 from repro.services.data_service import DataService, DataSession
 from repro.services.render_service import RenderService, RenderSession
 from repro.services.clients import ActiveRenderClient, ThinClient, FrameTiming
+from repro.services.retry import (
+    CircuitBreaker,
+    ReliableSoapChannel,
+    RetryPolicy,
+    ServiceHealthLedger,
+    call_with_retry,
+)
 
 __all__ = [
     "SoapEnvelope",
@@ -58,4 +67,9 @@ __all__ = [
     "ThinClient",
     "ActiveRenderClient",
     "FrameTiming",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "ReliableSoapChannel",
+    "ServiceHealthLedger",
+    "call_with_retry",
 ]

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.errors import ServiceError
 from repro.hardware.profiles import PdaClientProfile, ZAURUS_CLIENT
@@ -44,11 +43,13 @@ class FrameTiming:
     image_receipt_seconds: float
     overhead_seconds: float
     nbytes: int
+    #: timeout waits + backoff sleeps spent before the successful attempt
+    retry_seconds: float = 0.0
 
     @property
     def total_latency(self) -> float:
         return (self.render_seconds + self.image_receipt_seconds
-                + self.overhead_seconds)
+                + self.overhead_seconds + self.retry_seconds)
 
     @property
     def fps(self) -> float:
@@ -63,7 +64,10 @@ class ThinClient:
 
     def __init__(self, name: str, host: str, network: Network,
                  device: PdaClientProfile = ZAURUS_CLIENT,
-                 blit_path: str = "cpp") -> None:
+                 blit_path: str = "cpp", retry_policy=None,
+                 retry_seed: int = 0) -> None:
+        import random
+
         if host not in network.hosts:
             raise ServiceError(f"host {host!r} is not on the network")
         if blit_path not in ("cpp", "j2me"):
@@ -73,10 +77,14 @@ class ThinClient:
         self.network = network
         self.device = device
         self.blit_path = blit_path
+        #: optional :class:`repro.services.retry.RetryPolicy` for frames
+        self.retry_policy = retry_policy
+        self._retry_rng = random.Random(retry_seed)
         self._service: RenderService | None = None
         self._rsid: str | None = None
         self.camera = CameraNode(name=f"{name}-camera")
         self.frames_received = 0
+        self.frame_retries = 0
 
     # -- attachment -----------------------------------------------------------------
 
@@ -115,11 +123,38 @@ class ThinClient:
 
         ``codec`` optionally compresses the image for the wire (the
         adaptive-compression future work); image receipt then covers the
-        compressed payload plus decode time on the device.
+        compressed payload plus decode time on the device.  With a
+        ``retry_policy``, transient network failures (downed link, crashed
+        route) burn the attempt timeout plus a jittered backoff and the
+        frame is re-requested; the waits surface as
+        :attr:`FrameTiming.retry_seconds`.
         """
         if self._service is None or self._rsid is None:
             raise ServiceError(f"{self.name!r} is not attached to a "
                                "render service")
+        if self.retry_policy is None:
+            return self._request_frame_once(width, height, codec, 0.0)
+        from repro.errors import NetworkError
+        from repro.services.retry import wait
+
+        sim = self.network.sim
+        start = sim.now
+        policy = self.retry_policy
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                return self._request_frame_once(
+                    width, height, codec, sim.now - start)
+            except NetworkError:
+                self.frame_retries += 1
+                if attempt == policy.max_attempts:
+                    raise
+                wait(sim, policy.timeout_s)
+                wait(sim, policy.backoff_seconds(attempt, self._retry_rng))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _request_frame_once(self, width: int, height: int, codec,
+                            retry_seconds: float
+                            ) -> tuple[FrameBuffer, FrameTiming]:
         service = self._service
         clock = self.network.sim.clock
 
@@ -161,8 +196,10 @@ class ThinClient:
             overhead_seconds=(request_time + blit + encode_seconds
                               + decode_seconds),
             nbytes=len(payload),
+            retry_seconds=retry_seconds,
         )
-        assert abs((clock.now - t0) - timing.total_latency) < 1e-6
+        assert abs((clock.now - t0)
+                   - (timing.total_latency - timing.retry_seconds)) < 1e-6
         return fb, timing
 
 

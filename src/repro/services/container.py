@@ -17,7 +17,7 @@ at zero payload) minus the subscription handshakes gives
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ServiceError
 from repro.hardware.profiles import MachineProfile, get_profile

@@ -96,6 +96,9 @@ class DataSession:
     autosave_path: str | None = None
     autosave_every: int = 25
     autosaves_written: int = 0
+    #: for mirror clones: how many of the primary's trail entries were
+    #: already baked into this session's snapshot at registration time
+    mirror_baseline: int = 0
 
     def subscriber(self, name: str) -> Subscription:
         try:
@@ -366,8 +369,12 @@ class DataService:
         for session in self.sessions():
             if session.session_id not in mirror._sessions:
                 clone = SceneTree.from_wire(session.tree.to_wire())
-                mirror.create_session(session.session_id, clone,
-                                      charge_time=False)
+                msession = mirror.create_session(session.session_id, clone,
+                                                 charge_time=False)
+                # The clone already contains every applied update; align the
+                # counters so failover only replays what the mirror missed.
+                msession.sequence = session.sequence
+                msession.mirror_baseline = len(session.trail)
         self.mirrors.append(mirror)
 
     def _replicate(self, session_id: str, update: SceneUpdate) -> None:
@@ -379,12 +386,50 @@ class DataService:
         session.trail.record(self.network.sim.clock.now, update)
 
     def failover_to(self, session_id: str) -> "DataService":
-        """Pick a mirror holding the session (the fail-safe path)."""
+        """Pick a mirror holding the session and hand it the live state.
+
+        The mirror inherits the session's **subscribers** (with their
+        interest sets and update callbacks — without this the mirror would
+        never multicast updates to the session's existing render services)
+        and replays any audit-trail entries it missed, so no update is
+        lost across the failover.
+        """
         for mirror in self.mirrors:
             if session_id in mirror._sessions:
+                self._hand_over(session_id, mirror)
                 return mirror
         raise SessionError(
             f"no mirror holds session {session_id!r}")
+
+    def _hand_over(self, session_id: str, mirror: "DataService") -> None:
+        """Transfer a session's subscribers + missing trail to a mirror."""
+        session = self._sessions.get(session_id)
+        if session is None:
+            return
+        msession = mirror.session(session_id)
+        # Replay whatever the mirror missed (a crash can land between the
+        # primary applying an update and replicating it — anywhere in the
+        # stream, not just at the end).  Entries baked into the mirror's
+        # snapshot at registration are skipped via ``mirror_baseline``;
+        # everything after it is matched against the mirror's own trail.
+        seen = {id(u) for _, u in msession.trail}
+        floor = max((t for t, _ in msession.trail), default=0.0)
+        for time, update in list(session.trail)[msession.mirror_baseline:]:
+            if id(update) in seen:
+                continue
+            update.apply(msession.tree)
+            msession.sequence += 1
+            # clamp so late-replayed gap entries keep the trail monotonic
+            floor = max(floor, time)
+            msession.trail.record(floor, update)
+        for name, sub in session.subscribers.items():
+            if name not in msession.subscribers:
+                msession.subscribers[name] = Subscription(
+                    name=sub.name, host=sub.host, kind=sub.kind,
+                    interests=(set(sub.interests)
+                               if sub.interests is not None else None),
+                    on_update=sub.on_update,
+                    updates_delivered=sub.updates_delivered)
 
     def __repr__(self) -> str:
         return (f"DataService(name={self.name!r}, host={self.host!r}, "

@@ -20,13 +20,12 @@ cloud (atoms) — enough dynamics that steering visibly matters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ServiceError, SessionError
+from repro.errors import ServiceError
 from repro.scenegraph.nodes import PointCloudNode
-from repro.scenegraph.tree import SceneTree
 from repro.scenegraph.updates import AddNode, ModifyGeometry
 
 

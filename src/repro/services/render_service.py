@@ -20,14 +20,14 @@ are stored in the render service to save resources"), and serves:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.capacity import (
     DEFAULT_TARGET_FPS,
     RenderCapacity,
     capacity_from_profile,
 )
-from repro.errors import RenderError, ServiceError, SessionError
+from repro.errors import ServiceError, SessionError
 from repro.render.camera import Camera
 from repro.render.engine import RenderEngine, RenderTiming
 from repro.render.framebuffer import FrameBuffer, Tile
@@ -214,6 +214,30 @@ class RenderService:
                                 if share_ids is not None else None)
         key = (session.data_service.name, session.session_id)
         self._scene_cache[key] = subtree
+
+    def repoint_data_service(self, old_name: str, new_ds: DataService,
+                             session_id: str) -> None:
+        """Follow a data-service failover: re-key the shared scene copy and
+        subscription to the mirror, and re-install the update handler so
+        the mirror's multicasts keep landing on the live local tree."""
+        old_key = (old_name, session_id)
+        new_key = (new_ds.name, session_id)
+        if old_key in self._scene_cache:
+            self._scene_cache[new_key] = self._scene_cache.pop(old_key)
+        sub = self._subscriptions.pop(old_key, None)
+        if sub is not None:
+            _, subscriber_name = sub
+            self._subscriptions[new_key] = (new_ds, subscriber_name)
+            try:
+                msub = new_ds.session(session_id).subscriber(subscriber_name)
+            except SessionError:
+                pass
+            else:
+                msub.on_update = self._make_update_handler(new_key)
+        for session in self._sessions.values():
+            if (session.data_service.name == old_name
+                    and session.session_id == session_id):
+                session.data_service = new_ds
 
     def render_session(self, rsid: str) -> RenderSession:
         try:

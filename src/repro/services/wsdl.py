@@ -15,7 +15,7 @@ UDDI query response carries).
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from xml.etree import ElementTree as ET
 
 from repro.errors import MarshallingError

@@ -3,11 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.capacity import (
-    DEFAULT_TARGET_FPS,
-    RenderCapacity,
-    capacity_from_profile,
-)
+from repro.core.capacity import DEFAULT_TARGET_FPS, capacity_from_profile
 from repro.core.cost import NodeCost, node_cost, subtree_cost, tile_cost, \
     tree_cost
 from repro.data.volumes import visible_human_phantom
@@ -19,7 +15,6 @@ from repro.scenegraph.nodes import (
     PointCloudNode,
     VolumeNode,
 )
-from repro.scenegraph.tree import SceneTree
 
 
 @pytest.fixture

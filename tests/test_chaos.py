@@ -1,0 +1,264 @@
+"""Seeded chaos suites: whole sessions under scripted fault schedules.
+
+Each scenario drives the full stack — testbed, heartbeats, retries,
+recovery — from one seed and asserts the system invariants:
+
+- frames keep arriving throughout the schedule;
+- after recovery, every scene node is owned by exactly one live service;
+- data-service failover loses no updates;
+- the same seed replays the same story.
+"""
+
+import pytest
+
+from repro.core.session import CollaborativeSession
+from repro.data.generators import skeleton
+from repro.network.faults import FaultInjector
+from repro.render.camera import Camera
+from repro.scenegraph.nodes import GroupNode, MeshNode
+from repro.scenegraph.tree import SceneTree
+from repro.scenegraph.updates import AddNode, SetProperty
+from repro.services.clients import ThinClient
+from repro.services.container import ServiceContainer
+from repro.services.data_service import DataService
+from repro.services.retry import RetryPolicy
+from repro.testbed import build_testbed
+
+THREE_HOSTS = ("onyx", "v880z", "centrino")
+
+
+def build_session(tb, n_meshes=6, mesh_size=6000, hosts=THREE_HOSTS,
+                  spread=True):
+    """A collaborative session with every host holding part of the scene."""
+    tree = SceneTree("chaos")
+    for i in range(n_meshes):
+        tree.add(MeshNode(skeleton(mesh_size).normalized(), name=f"m{i}"))
+    tb.publish_tree("chaos", tree)
+    cs = CollaborativeSession(tb.data_service, "chaos",
+                              recruiter=tb.recruiter())
+    for host in hosts:
+        cs.connect(tb.render_service(host))
+    cs.place_dataset()
+    if spread:
+        # guarantee all three hold work, whatever the scheduler decided
+        services = [tb.render_service(h) for h in hosts]
+        holders = [s for s in services if cs.share_of(s)]
+        for starved in (s for s in services if not cs.share_of(s)):
+            donor = max(holders, key=lambda s: len(cs.share_of(s)))
+            nid = next(iter(cs.share_of(donor)))
+            cs.reassign_nodes(donor, starved, [nid])
+    return cs
+
+
+def owned_nodes(cs):
+    """Every node id owned by some attachment, asserting exactly-once."""
+    owned = set()
+    for service in cs.render_services:
+        share = cs.share_of(service)
+        assert not (share & owned), "node owned by two services"
+        owned |= share
+    return owned
+
+
+class TestKillOneOfThree:
+    """The acceptance scenario: one of three render services dies
+    mid-session; the session must finish with every node reassigned and
+    clean frames."""
+
+    def run_scenario(self, seed):
+        tb = build_testbed(render_hosts=THREE_HOSTS)
+        inj = FaultInjector(tb.network, seed=seed)
+        cs = build_session(tb)
+        cs.enable_fault_tolerance(heartbeat_interval=0.25,
+                                  suspect_after=1.0, dead_after=3.0)
+        nodes_before = set(owned_nodes(cs))
+        victim = tb.render_service("v880z")
+        assert cs.share_of(victim)
+
+        cam = Camera.looking_at((0, 0, 5), (0, 0, 0))
+        sim = tb.network.sim
+        start = sim.now
+        inj.schedule_crash(at=start + 2.0, host="v880z")
+
+        frames = []
+        # a frame every simulated second, across the crash and recovery
+        for tick in range(1, 9):
+            sim.run_until(start + tick)
+            fb, _ = cs.render_composite(cam, 64, 64)
+            frames.append((sim.now, cs.last_frame_degraded, fb))
+        return tb, cs, victim, nodes_before, frames
+
+    def test_session_completes_with_full_reassignment(self):
+        tb, cs, victim, nodes_before, frames = self.run_scenario(seed=42)
+        assert victim.name in cs.failed_services
+        assert len(cs.recoveries) == 1
+        report = cs.recoveries[0]
+        assert report.failed == victim.name
+        assert report.nodes_recovered > 0
+        # every node owned by exactly one live service, nothing lost
+        assert owned_nodes(cs) == nodes_before
+        for service in cs.render_services:
+            assert cs.service_live(service)
+        assert victim.name not in [s.name for s in cs.render_services]
+
+    def test_frames_keep_arriving_and_recover_cleanly(self):
+        tb, cs, victim, nodes_before, frames = self.run_scenario(seed=42)
+        assert len(frames) == 8              # one per tick, none missing
+        recovery_time = cs.recoveries[0].time
+        post = [degraded for t, degraded, fb in frames
+                if t > recovery_time]
+        assert post, "no frames after recovery"
+        assert not any(post), "degraded frame after recovery"
+        # post-recovery frames show actual content, not an empty buffer
+        last_fb = frames[-1][2]
+        assert last_fb.coverage() > 0
+
+    def test_tiled_frames_have_no_stale_or_empty_tiles(self):
+        tb, cs, victim, nodes_before, frames = self.run_scenario(seed=42)
+        cam = Camera.looking_at((0, 0, 5), (0, 0, 0))
+        local = cs.render_services[0]
+        fb, plan, _ = cs.render_tiled(cam, 96, 96, local_service=local)
+        assert not cs.last_frame_degraded
+        # the dead service gets no tile in the new plan
+        assert victim.name not in {a.service_name for a in plan.assignments}
+        # pixel-identical to a single-service render: no stale tiles
+        holder = cs.render_services[0]
+        reference, _, _ = cs.render_tiled(cam, 96, 96,
+                                          local_service=holder)
+        assert (fb.color == reference.color).all()
+
+    def test_same_seed_same_story(self):
+        _, cs1, _, _, frames1 = self.run_scenario(seed=7)
+        _, cs2, _, _, frames2 = self.run_scenario(seed=7)
+        assert [r.reassigned for r in cs1.recoveries] == \
+               [r.reassigned for r in cs2.recoveries]
+        assert [r.time for r in cs1.recoveries] == \
+               [r.time for r in cs2.recoveries]
+        assert [(t, d) for t, d, _ in frames1] == \
+               [(t, d) for t, d, _ in frames2]
+
+
+class TestDataServiceChaos:
+    """Mirror failover mid-update-stream: zero lost updates."""
+
+    def test_failover_loses_no_updates(self):
+        tb = build_testbed(render_hosts=THREE_HOSTS)
+        FaultInjector(tb.network, seed=3)
+        cs = build_session(tb)
+        mirror = DataService(
+            "rave-mirror", ServiceContainer("onyx", tb.network,
+                                            http_port=9750))
+        tb.data_service.add_mirror(mirror)
+
+        published = []
+        next_id = 500
+        for i in range(10):
+            update = AddNode.of(GroupNode(name=f"u{i}"), parent_id=0,
+                                node_id=next_id + i)
+            if i == 7:
+                # the crash lands between apply and replicate: the mirror
+                # never sees this one until failover replays the trail
+                tb.data_service.mirrors.remove(mirror)
+                tb.data_service.publish_update("chaos", update)
+                tb.data_service.mirrors.append(mirror)
+            else:
+                tb.data_service.publish_update("chaos", update)
+            published.append(f"u{i}")
+
+        backup = cs.handle_data_failure()
+        assert backup is mirror
+        names = {n.name for n in mirror.session("chaos").tree}
+        assert set(published) <= names, "updates lost in failover"
+
+        # the session keeps working against the mirror: updates flow to
+        # share holders and frames still composite
+        holder = next(s for s in cs.render_services if cs.share_of(s))
+        nid = next(iter(cs.share_of(holder)))
+        deliveries = mirror.publish_update(
+            "chaos", SetProperty(node_id=nid, field_name="name",
+                                 value="post-failover"))
+        assert any(name.startswith(f"{holder.name}/")
+                   for name in deliveries)
+        cam = Camera.looking_at((0, 0, 5), (0, 0, 0))
+        fb, _ = cs.render_composite(cam, 64, 64)
+        assert not cs.last_frame_degraded
+
+    def test_render_service_sees_replayed_updates(self):
+        """The failover-replayed tail reaches the render services' scene
+        copies once they re-point at the mirror."""
+        tb = build_testbed(render_hosts=THREE_HOSTS)
+        cs = build_session(tb)
+        mirror = DataService(
+            "rave-mirror", ServiceContainer("onyx", tb.network,
+                                            http_port=9751))
+        tb.data_service.add_mirror(mirror)
+        tb.data_service.mirrors.remove(mirror)
+        tb.data_service.publish_update(
+            "chaos", AddNode.of(GroupNode(name="gap"), parent_id=0,
+                                node_id=700))
+        tb.data_service.mirrors.append(mirror)
+        cs.handle_data_failure()
+        assert "gap" in {n.name for n in mirror.session("chaos").tree}
+        # a post-failover update still lands on every subscriber copy
+        rs = next(s for s in cs.render_services if cs.share_of(s))
+        nid = next(iter(cs.share_of(rs)))
+        mirror.publish_update(
+            "chaos", SetProperty(node_id=nid, field_name="name",
+                                 value="renamed"))
+        cache = rs._scene_cache[(mirror.name, "chaos")]
+        assert cache.node(nid).name == "renamed"
+
+
+class TestThinClientUnderChaos:
+    def test_frames_survive_link_flaps_with_retries(self):
+        tb = build_testbed(render_hosts=("centrino", "athlon"))
+        inj = FaultInjector(tb.network, seed=9)
+        tree = SceneTree("pda")
+        tree.add(MeshNode(skeleton(2000).normalized(), name="skel"))
+        tb.publish_tree("pda", tree)
+        rs = tb.render_service("centrino")
+        rsession, _ = rs.create_render_session(tb.data_service, "pda")
+
+        client = ThinClient(
+            "pda-user", "zaurus", tb.network,
+            retry_policy=RetryPolicy(max_attempts=6, timeout_s=0.5,
+                                     base_backoff_s=0.25, jitter=0.2),
+            retry_seed=9)
+        client.attach(rs, rsession.render_session_id)
+
+        sim = tb.network.sim
+        start = sim.now
+        # flap the wireless uplink repeatedly while frames stream
+        for k in range(3):
+            inj.schedule_flap(at=start + 0.9 + 2.0 * k,
+                              a="zaurus", b="switch", down_for=0.6)
+        received = 0
+        for i in range(6):
+            if i % 2 == 0:
+                # walk into the outage so the request starts mid-flap
+                sim.run_until(start + 0.95 + 2.0 * (i // 2))
+            fb, timing = client.request_frame(160, 120)
+            received += 1
+            assert fb.coverage() >= 0       # a real frame came back
+        assert received == 6                 # no frame was ever lost
+        assert client.frame_retries > 0      # the flaps really bit
+        assert inj.events("link-down")
+
+    def test_partition_healing_before_lease_death_needs_no_recovery(self):
+        tb = build_testbed(render_hosts=THREE_HOSTS)
+        inj = FaultInjector(tb.network, seed=13)
+        cs = build_session(tb)
+        cs.enable_fault_tolerance(heartbeat_interval=0.25,
+                                  suspect_after=1.0, dead_after=6.0)
+        sim = tb.network.sim
+        start = sim.now
+        # isolate v880z for 2 s: long enough to suspect, not to kill
+        inj.schedule_partition(at=start + 1.0, group={"v880z"},
+                               heal_after=2.0, name="blip")
+        suspected = []
+        cs.health.on_suspect.append(suspected.append)
+        sim.run_until(start + 12.0)
+        assert "rs-v880z" in suspected       # the blip was noticed
+        assert cs.recoveries == []           # but nobody was declared dead
+        assert cs.health.state("rs-v880z") == "alive"
+        assert "rs-v880z" in [s.name for s in cs.render_services]

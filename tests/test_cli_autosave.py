@@ -1,6 +1,5 @@
 """The CLI entry point and data-service autosave checkpointing."""
 
-import numpy as np
 import pytest
 
 from repro.__main__ import main

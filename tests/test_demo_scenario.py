@@ -7,7 +7,6 @@ interaction → distribution → degradation → migration → failover →
 recording → next-day replay.  Every stage asserts its observable outcome.
 """
 
-import numpy as np
 import pytest
 
 from repro.collab.avatar import AvatarManager

@@ -1,0 +1,707 @@
+"""The fault-tolerance stack, layer by layer.
+
+Fault injection (crashes, flaps, spikes, loss, partitions), control-plane
+retries + circuit breaking, heartbeat-lease failure detection, and the
+session-level recovery paths — each exercised in isolation before
+``test_chaos.py`` runs them together.
+"""
+
+import random
+
+import pytest
+
+from repro.core.health import (
+    ALIVE,
+    DEAD,
+    SUSPECTED,
+    HeartbeatMonitor,
+    HeartbeatSource,
+)
+from repro.errors import (
+    CallTimeout,
+    CircuitOpenError,
+    NetworkError,
+    ServiceError,
+)
+from repro.network.clock import Simulator
+from repro.network.faults import FaultInjector
+from repro.network.simnet import Network
+from repro.services.retry import (
+    CircuitBreaker,
+    RetryPolicy,
+    ServiceHealthLedger,
+    call_with_retry,
+    reliable_request,
+)
+
+
+def star_network():
+    """Four hosts on a switch, one extra direct link for reroute tests."""
+    net = Network()
+    for name in ("a", "b", "c", "d"):
+        net.add_host(name)
+    net.add_ethernet_segment(["a", "b", "c", "d"], "hub",
+                             bandwidth_bps=100e6)
+    net.add_link("a", "b", bandwidth_bps=10e6, latency_s=0.01)
+    return net
+
+
+class TestFaultInjectorHosts:
+    def test_crash_stops_routing(self):
+        net = star_network()
+        inj = FaultInjector(net)
+        assert net.transfer_time("a", "c", 1000) > 0
+        inj.crash_host("c")
+        assert not net.host_is_up("c")
+        with pytest.raises(NetworkError):
+            net.transfer_time("a", "c", 1000)
+        inj.restart_host("c")
+        assert net.transfer_time("a", "c", 1000) > 0
+
+    def test_crashed_intermediate_host_forces_reroute(self):
+        net = star_network()
+        inj = FaultInjector(net)
+        # sever the direct a-b link: traffic goes via the hub
+        net.set_link_up("a", "b", False)
+        assert "hub" in net.path("a", "b")
+        net.set_link_up("a", "b", True)
+        inj.crash_host("hub")
+        # the hub is down: only the direct link remains
+        assert net.path("a", "b") == ["a", "b"]
+        with pytest.raises(NetworkError):
+            net.path("a", "c")
+
+    def test_scheduled_crash_and_restart(self):
+        net = star_network()
+        inj = FaultInjector(net)
+        inj.schedule_crash(at=1.0, host="c", restart_after=2.0)
+        net.sim.run_until(1.5)
+        assert not net.host_is_up("c")
+        net.sim.run_until(3.5)
+        assert net.host_is_up("c")
+        kinds = [e.kind for e in inj.log]
+        assert kinds == ["crash", "restart"]
+
+    def test_event_log_records_times(self):
+        net = star_network()
+        inj = FaultInjector(net)
+        inj.schedule_crash(at=2.5, host="b")
+        net.sim.run_until(5.0)
+        (event,) = inj.events("crash")
+        assert event.time == pytest.approx(2.5)
+        assert event.detail == "b"
+
+
+class TestFaultInjectorLinks:
+    def test_flap_schedule(self):
+        net = star_network()
+        inj = FaultInjector(net)
+        inj.schedule_flap(at=1.0, a="a", b="b", down_for=1.0)
+        net.sim.run_until(1.5)
+        assert not net.link_between("a", "b").up
+        net.sim.run_until(2.5)
+        assert net.link_between("a", "b").up
+
+    def test_latency_spike_and_clear(self):
+        net = star_network()
+        inj = FaultInjector(net)
+        assert net.path("a", "c") == ["a", "hub", "c"]
+        base = net.transfer_time("a", "c", 1000)
+        inj.schedule_latency_spike(at=0.5, a="a", b="hub",
+                                   extra_s=0.2, duration=1.0)
+        net.sim.run_until(0.6)
+        assert net.transfer_time("a", "c", 1000) == pytest.approx(
+            base + 0.2)
+        net.sim.run_until(2.0)
+        assert net.transfer_time("a", "c", 1000) == pytest.approx(base)
+
+    def test_partition_and_heal(self):
+        net = star_network()
+        inj = FaultInjector(net)
+        severed = inj.partition({"a", "b"}, name="split")
+        assert severed
+        # inside each side still routes; across the cut does not
+        assert net.path("a", "b")
+        assert net.path("c", "d")
+        with pytest.raises(NetworkError):
+            net.path("a", "c")
+        inj.heal("split")
+        assert net.path("a", "c")
+
+    def test_heal_restores_only_what_partition_severed(self):
+        net = star_network()
+        inj = FaultInjector(net)
+        net.set_link_up("a", "b", False)     # independently down
+        inj.partition({"a"}, name="iso")
+        inj.heal("iso")
+        assert not net.link_between("a", "b").up   # stays down
+
+
+class TestFaultInjectorLoss:
+    def test_certain_loss_drops_transfer(self):
+        net = star_network()
+        inj = FaultInjector(net, seed=1)
+        inj.set_loss("a", "c", 1.0)
+        outcomes = []
+        net.send("a", "c", 10_000,
+                 on_complete=lambda r: outcomes.append("ok"),
+                 on_drop=lambda r: outcomes.append("drop"))
+        net.sim.run()
+        assert outcomes == ["drop"]
+        assert inj.transfers_lost == 1
+
+    def test_zero_loss_never_drops(self):
+        net = star_network()
+        FaultInjector(net, seed=1)
+        outcomes = []
+        for _ in range(20):
+            net.send("a", "c", 1000,
+                     on_complete=lambda r: outcomes.append("ok"),
+                     on_drop=lambda r: outcomes.append("drop"))
+        net.sim.run()
+        assert outcomes == ["ok"] * 20
+
+    def test_seeded_loss_is_reproducible(self):
+        def run(seed):
+            net = star_network()
+            inj = FaultInjector(net, seed=seed)
+            inj.set_default_loss(0.5)
+            return [inj.roll_loss("a", "c") for _ in range(32)]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_dropped_transfer_still_occupies_links(self):
+        net = star_network()
+        inj = FaultInjector(net, seed=1)
+        inj.set_loss("a", "c", 1.0)
+        record = net.send("a", "c", 10_000)
+        assert record.dropped
+        assert net.link_between("a", "hub").active == 1
+        net.sim.run()
+        assert net.link_between("a", "hub").active == 0
+
+
+class TestPathCache:
+    def test_repeated_path_hits_cache(self):
+        net = star_network()
+        p1 = net.path("a", "c")
+        p2 = net.path("a", "c")
+        assert p1 is p2                    # the cached list itself
+
+    def test_link_change_invalidates(self):
+        net = star_network()
+        assert net.path("a", "b") == ["a", "hub", "b"]
+        net.set_link_up("a", "hub", False)
+        assert net.path("a", "b") == ["a", "b"]   # falls back to direct
+        net.set_link_up("a", "hub", True)
+        assert net.path("a", "b") == ["a", "hub", "b"]
+
+    def test_host_change_invalidates(self):
+        net = star_network()
+        net.path("a", "c")
+        net.set_host_up("c", False)
+        with pytest.raises(NetworkError):
+            net.path("a", "c")
+        net.set_host_up("c", True)
+        assert net.path("a", "c")
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_backoff_s=1.0, backoff_multiplier=2.0,
+                             max_backoff_s=4.0, jitter=0.0)
+        rng = random.Random(0)
+        backoffs = [policy.backoff_seconds(i, rng) for i in (1, 2, 3, 4)]
+        assert backoffs == [1.0, 2.0, 4.0, 4.0]
+
+    def test_jitter_stays_in_band_and_is_seeded(self):
+        policy = RetryPolicy(base_backoff_s=1.0, jitter=0.25)
+        values = [policy.backoff_seconds(1, random.Random(s))
+                  for s in range(20)]
+        assert all(0.75 <= v <= 1.25 for v in values)
+        assert (policy.backoff_seconds(1, random.Random(3))
+                == policy.backoff_seconds(1, random.Random(3)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline_s=0.0)
+
+
+class TestCallWithRetry:
+    def test_flaky_call_eventually_succeeds(self):
+        sim = Simulator()
+        calls = []
+
+        def flaky():
+            calls.append(sim.now)
+            if len(calls) < 3:
+                raise NetworkError("flap")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=4, jitter=0.0)
+        assert call_with_retry(flaky, policy, sim) == "ok"
+        assert len(calls) == 3
+        assert sim.now > 0                # backoff charged to the clock
+
+    def test_exhausted_attempts_raise_call_timeout(self):
+        sim = Simulator()
+        policy = RetryPolicy(max_attempts=3, jitter=0.0)
+
+        def always_fails():
+            raise NetworkError("down")
+
+        with pytest.raises(CallTimeout) as err:
+            call_with_retry(always_fails, policy, sim)
+        assert err.value.attempts == 3
+
+    def test_deadline_propagates_through_retries(self):
+        sim = Simulator()
+        policy = RetryPolicy(max_attempts=100, base_backoff_s=1.0,
+                             backoff_multiplier=1.0, jitter=0.0,
+                             deadline_s=2.5)
+
+        def always_fails():
+            raise NetworkError("down")
+
+        with pytest.raises(CallTimeout):
+            call_with_retry(always_fails, policy, sim)
+        # backoffs are clamped to the deadline: never sleeps past it
+        assert sim.now <= 2.5 + 1e-9
+
+    def test_non_retryable_raises_immediately(self):
+        sim = Simulator()
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise ServiceError("logic bug")
+
+        with pytest.raises(ServiceError):
+            call_with_retry(broken, RetryPolicy(), sim)
+        assert len(calls) == 1
+
+    def test_events_fire_during_backoff_waits(self):
+        """A simulator-scheduled recovery lands mid-backoff and the next
+        attempt sees it — the waits pump the event queue."""
+        sim = Simulator()
+        state = {"up": False}
+        sim.schedule_at(0.3, lambda: state.update(up=True))
+
+        def call():
+            if not state["up"]:
+                raise NetworkError("still down")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=5, base_backoff_s=0.5,
+                             jitter=0.0)
+        assert call_with_retry(call, policy, sim) == "ok"
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        sim = Simulator()
+        b = CircuitBreaker(sim, failure_threshold=3, reset_timeout_s=10.0)
+        for _ in range(3):
+            b.record_failure()
+        assert b.state == CircuitBreaker.OPEN
+        assert b.trips == 1
+        with pytest.raises(CircuitOpenError):
+            b.check()
+
+    def test_half_open_probe_after_cooldown(self):
+        sim = Simulator()
+        b = CircuitBreaker(sim, failure_threshold=1, reset_timeout_s=5.0)
+        b.record_failure()
+        assert b.state == CircuitBreaker.OPEN
+        sim.clock.advance(5.0)
+        assert b.state == CircuitBreaker.HALF_OPEN
+        b.check()                           # probe admitted
+        b.record_success()
+        assert b.state == CircuitBreaker.CLOSED
+
+    def test_failed_probe_reopens(self):
+        sim = Simulator()
+        b = CircuitBreaker(sim, failure_threshold=1, reset_timeout_s=5.0)
+        b.record_failure()
+        sim.clock.advance(5.0)
+        assert b.state == CircuitBreaker.HALF_OPEN
+        b.record_failure()
+        assert b.state == CircuitBreaker.OPEN
+        sim.clock.advance(4.9)
+        assert b.state == CircuitBreaker.OPEN
+
+    def test_success_resets_failure_count(self):
+        sim = Simulator()
+        b = CircuitBreaker(sim, failure_threshold=3)
+        b.record_failure()
+        b.record_failure()
+        b.record_success()
+        b.record_failure()
+        assert b.state == CircuitBreaker.CLOSED
+
+    def test_ledger_shares_breakers_and_reports_health(self):
+        sim = Simulator()
+        ledger = ServiceHealthLedger(sim, failure_threshold=2)
+        assert ledger.healthy("rs-a")
+        b = ledger.breaker("rs-a")
+        assert ledger.breaker("rs-a") is b
+        b.record_failure()
+        b.record_failure()
+        assert not ledger.healthy("rs-a")
+        assert ledger.unhealthy_services() == ["rs-a"]
+
+
+class TestReliableSoap:
+    def test_reliable_request_survives_injected_loss(self):
+        net = star_network()
+        inj = FaultInjector(net, seed=5)
+        inj.set_loss("a", "c", 0.6)
+        policy = RetryPolicy(max_attempts=8, timeout_s=0.5, jitter=0.0)
+        decoded, timing = reliable_request(
+            net, "a", "c", ("Ping", {"n": 1}), ("Pong", {"n": 1}),
+            policy=policy, seed=5)
+        assert decoded == ("Pong", {"n": 1})
+
+    def test_unroutable_call_charges_timeouts_then_raises(self):
+        net = star_network()
+        FaultInjector(net)
+        net.set_host_up("c", False)
+        policy = RetryPolicy(max_attempts=2, timeout_s=1.0, jitter=0.0)
+        t0 = net.sim.now
+        with pytest.raises(CallTimeout):
+            reliable_request(net, "a", "c", ("Ping", {}), ("Pong", {}),
+                             policy=policy)
+        # two attempt timeouts + one backoff were charged to the clock
+        assert net.sim.now - t0 >= 2.0
+
+    def test_breaker_feeds_on_soap_failures(self):
+        net = star_network()
+        FaultInjector(net)
+        net.set_host_up("c", False)
+        breaker = CircuitBreaker(net.sim, failure_threshold=2,
+                                 reset_timeout_s=60.0, name="c")
+        policy = RetryPolicy(max_attempts=2, timeout_s=0.1, jitter=0.0)
+        with pytest.raises(CallTimeout):
+            reliable_request(net, "a", "c", ("Ping", {}), ("Pong", {}),
+                             policy=policy, breaker=breaker)
+        assert breaker.state == CircuitBreaker.OPEN
+        # further calls are rejected without consuming the timeout budget
+        t0 = net.sim.now
+        with pytest.raises(CircuitOpenError):
+            reliable_request(net, "a", "c", ("Ping", {}), ("Pong", {}),
+                             policy=policy, breaker=breaker)
+        assert net.sim.now == t0
+
+
+class TestHeartbeatMonitor:
+    def make(self, sim=None):
+        sim = sim or Simulator()
+        return sim, HeartbeatMonitor(sim, suspect_after=1.0,
+                                     dead_after=3.0)
+
+    def test_transitions_alive_suspected_dead(self):
+        sim, mon = self.make()
+        mon.watch("rs-a")
+        assert mon.state("rs-a") == ALIVE
+        sim.clock.advance(1.5)
+        mon.poll()
+        assert mon.state("rs-a") == SUSPECTED
+        sim.clock.advance(2.0)
+        mon.poll()
+        assert mon.state("rs-a") == DEAD
+        assert mon.dead_services() == ["rs-a"]
+
+    def test_beat_recovers_suspected(self):
+        sim, mon = self.make()
+        recovered = []
+        mon.on_recover.append(recovered.append)
+        mon.watch("rs-a")
+        sim.clock.advance(1.5)
+        mon.poll()
+        mon.beat("rs-a")
+        assert mon.state("rs-a") == ALIVE
+        assert recovered == ["rs-a"]
+
+    def test_callbacks_fire_once_per_transition(self):
+        sim, mon = self.make()
+        suspected, dead = [], []
+        mon.on_suspect.append(suspected.append)
+        mon.on_dead.append(dead.append)
+        mon.watch("rs-a")
+        sim.clock.advance(5.0)
+        mon.poll()
+        mon.poll()
+        mon.poll()
+        assert suspected == ["rs-a"]
+        assert dead == ["rs-a"]
+
+    def test_recurring_poll_via_simulator(self):
+        sim, mon = self.make()
+        dead = []
+        mon.on_dead.append(dead.append)
+        mon.watch("rs-a")
+        mon.start(period=0.5)
+        sim.run_until(10.0)
+        assert dead == ["rs-a"]
+        mon.stop()
+
+    def test_invalid_thresholds_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ServiceError):
+            HeartbeatMonitor(sim, suspect_after=2.0, dead_after=1.0)
+
+
+class TestHeartbeatSource:
+    def test_beats_keep_service_alive(self):
+        net = star_network()
+        mon = HeartbeatMonitor(net.sim, suspect_after=1.0, dead_after=3.0)
+        source = HeartbeatSource(monitor=mon, network=net, name="rs-a",
+                                 host="a", monitor_host="c",
+                                 interval=0.25).start()
+        mon.start(period=0.5)
+        net.sim.run_until(10.0)
+        assert mon.state("rs-a") == ALIVE
+        assert source.beats_sent > 0
+        source.stop()
+        mon.stop()
+
+    def test_crash_silences_beats_and_kills_lease(self):
+        net = star_network()
+        inj = FaultInjector(net)
+        mon = HeartbeatMonitor(net.sim, suspect_after=1.0, dead_after=3.0)
+        source = HeartbeatSource(monitor=mon, network=net, name="rs-a",
+                                 host="a", monitor_host="c",
+                                 interval=0.25).start()
+        mon.start(period=0.5)
+        inj.schedule_crash(at=2.0, host="a")
+        net.sim.run_until(10.0)
+        assert mon.state("rs-a") == DEAD
+        assert source.beats_lost > 0
+        source.stop()
+        mon.stop()
+
+    def test_restart_recovers_lease(self):
+        net = star_network()
+        inj = FaultInjector(net)
+        mon = HeartbeatMonitor(net.sim, suspect_after=1.0, dead_after=3.0)
+        HeartbeatSource(monitor=mon, network=net, name="rs-a",
+                        host="a", monitor_host="c", interval=0.25).start()
+        mon.start(period=0.5)
+        inj.schedule_crash(at=2.0, host="a", restart_after=6.0)
+        net.sim.run_until(7.0)
+        assert mon.state("rs-a") == DEAD
+        net.sim.run_until(12.0)
+        assert mon.state("rs-a") == ALIVE
+
+
+class TestDataServiceFailover:
+    """The mirror-failover fix: subscribers transfer, no update is lost."""
+
+    def build(self, testbed):
+        from repro.data.generators import skeleton
+        from repro.scenegraph.nodes import MeshNode
+        from repro.scenegraph.tree import SceneTree
+        from repro.services.container import ServiceContainer
+        from repro.services.data_service import DataService
+
+        tree = SceneTree("demo")
+        tree.add(MeshNode(skeleton(2000).normalized(), name="skel"))
+        testbed.publish_tree("demo", tree)
+        mirror = DataService(
+            "mirror", ServiceContainer("athlon", testbed.network,
+                                       http_port=9901))
+        return mirror
+
+    def test_subscribers_move_to_mirror(self, small_testbed):
+        from repro.scenegraph.updates import SetProperty
+
+        tb = small_testbed
+        mirror = self.build(tb)
+        tb.data_service.add_mirror(mirror)
+        rs = tb.render_service("centrino")
+        rs.create_render_session(tb.data_service, "demo")
+        assert tb.data_service.session("demo").subscribers
+        backup = tb.data_service.failover_to("demo")
+        assert backup is mirror
+        assert set(mirror.session("demo").subscribers) == set(
+            tb.data_service.session("demo").subscribers)
+        # updates published on the mirror reach the transferred subscriber
+        node_id = next(iter(rs._scene_cache[("rave-data", "demo")])).node_id
+        deliveries = mirror.publish_update(
+            "demo", SetProperty(node_id=node_id, field_name="name",
+                                value="after"))
+        assert deliveries
+
+    def test_late_mirror_does_not_replay_snapshot_updates(self,
+                                                          small_testbed):
+        """A mirror added mid-session starts from a snapshot that already
+        contains every applied update; failover must not re-apply them."""
+        from repro.scenegraph.nodes import GroupNode
+        from repro.scenegraph.updates import AddNode
+
+        tb = small_testbed
+        mirror = self.build(tb)
+        tb.data_service.publish_update(
+            "demo", AddNode.of(GroupNode(name="extra"), parent_id=0,
+                               node_id=900))
+        tb.data_service.add_mirror(mirror)        # late: snapshot has it
+        backup = tb.data_service.failover_to("demo")
+        names = [n.name for n in backup.session("demo").tree]
+        assert names.count("extra") == 1
+
+    def test_missed_trail_tail_replays_on_failover(self, small_testbed):
+        """Updates the mirror never saw (crash between apply and
+        replicate) are replayed from the primary's audit trail."""
+        from repro.scenegraph.nodes import GroupNode
+        from repro.scenegraph.updates import AddNode
+
+        tb = small_testbed
+        mirror = self.build(tb)
+        tb.data_service.add_mirror(mirror)
+        # simulate the replication gap: detach, publish, reattach
+        tb.data_service.mirrors.remove(mirror)
+        tb.data_service.publish_update(
+            "demo", AddNode.of(GroupNode(name="missed"), parent_id=0,
+                               node_id=901))
+        tb.data_service.mirrors.append(mirror)
+        backup = tb.data_service.failover_to("demo")
+        names = [n.name for n in backup.session("demo").tree]
+        assert names.count("missed") == 1
+        assert (backup.session("demo").sequence
+                == tb.data_service.session("demo").sequence)
+
+
+class TestSessionRecovery:
+    def build(self, testbed, hosts=("onyx", "v880z", "centrino")):
+        from repro.core.session import CollaborativeSession
+        from repro.data.generators import skeleton
+        from repro.scenegraph.nodes import MeshNode
+        from repro.scenegraph.tree import SceneTree
+
+        tree = SceneTree("big")
+        for i in range(6):
+            tree.add(MeshNode(skeleton(4000).normalized(), name=f"m{i}"))
+        testbed.publish_tree("big", tree)
+        cs = CollaborativeSession(testbed.data_service, "big",
+                                  recruiter=testbed.recruiter())
+        for host in hosts:
+            cs.connect(testbed.render_service(host))
+        cs.place_dataset()
+        return cs
+
+    def test_failure_reassigns_every_orphan(self, testbed):
+        cs = self.build(testbed)
+        victim = testbed.render_service("onyx")
+        # make sure the victim owns something to orphan
+        if not cs.share_of(victim):
+            donor = next(s for s in cs.render_services if cs.share_of(s))
+            nid = next(iter(cs.share_of(donor)))
+            cs.reassign_nodes(donor, victim, [nid])
+        before = {s.name: set(cs.share_of(s)) for s in cs.render_services}
+        all_before = set().union(*before.values())
+        report = cs.handle_service_failure(victim)
+        assert report.failed == victim.name
+        assert report.nodes_recovered == len(before[victim.name])
+        after = set()
+        shares = [set(cs.share_of(s)) for s in cs.render_services]
+        for share in shares:
+            assert not (share & after)          # owned exactly once
+            after |= share
+        assert after == all_before              # nothing lost
+
+    def test_failed_service_unsubscribed_and_not_rerecruited(self, testbed):
+        cs = self.build(testbed)
+        victim = testbed.render_service("onyx")
+        cs.handle_service_failure(victim)
+        session = testbed.data_service.session("big")
+        assert not any(name.startswith(f"{victim.name}/")
+                       for name in session.subscribers)
+        recruited = cs.recruit_more()
+        assert victim.name not in [s.name for s in recruited]
+
+    def test_failure_of_unattached_service_rejected(self, testbed):
+        from repro.errors import SessionError
+
+        cs = self.build(testbed)
+        with pytest.raises(SessionError):
+            cs.handle_service_failure("rs-nonexistent")
+
+    def test_composite_skips_dead_service_and_flags_frame(self, testbed):
+        from repro.render.camera import Camera
+
+        cs = self.build(testbed)
+        inj = FaultInjector(testbed.network)
+        # make sure at least two services hold shares
+        holder = next(s for s in cs.render_services if cs.share_of(s))
+        other = next(s for s in cs.render_services if s is not holder)
+        if not cs.share_of(other):
+            nid = next(iter(cs.share_of(holder)))
+            cs.reassign_nodes(holder, other, [nid])
+        cam = Camera.looking_at((0, 0, 5), (0, 0, 0))
+        cs.render_composite(cam, 48, 48)
+        assert not cs.last_frame_degraded
+        inj.crash_host(other.host)
+        fb, _ = cs.render_composite(cam, 48, 48)
+        assert cs.last_frame_degraded
+        assert cs.degraded_frames == 1
+
+    def test_tiled_frame_reuses_last_good_tile(self, testbed):
+        from repro.render.camera import Camera
+
+        cs = self.build(testbed)
+        inj = FaultInjector(testbed.network)
+        cam = Camera.looking_at((0, 0, 5), (0, 0, 0))
+        local = cs.render_services[0]
+        fb1, plan1, _ = cs.render_tiled(cam, 96, 96, local_service=local)
+        assert not cs.last_frame_degraded
+        remote = next(s for s in cs.render_services if s is not local)
+        inj.crash_host(remote.host)
+        fb2, plan2, _ = cs.render_tiled(cam, 96, 96, local_service=local)
+        assert cs.last_frame_degraded
+        # same camera, same plan shape: cached tiles make the degraded
+        # frame pixel-identical to the good one — no hole, no tear
+        assert (fb2.color == fb1.color).all()
+
+    def test_heartbeat_death_triggers_auto_recovery(self, testbed):
+        inj = FaultInjector(testbed.network, seed=11)
+        cs = self.build(testbed)
+        cs.enable_fault_tolerance(heartbeat_interval=0.25,
+                                  suspect_after=1.0, dead_after=3.0)
+        victim = next(s for s in cs.render_services if cs.share_of(s))
+        now = testbed.network.sim.now
+        inj.schedule_crash(at=now + 1.0, host=victim.host)
+        testbed.network.sim.run_until(now + 10.0)
+        assert victim.name in cs.failed_services
+        assert len(cs.recoveries) == 1
+        assert victim.name not in [s.name for s in cs.render_services]
+
+    def test_data_failure_repoints_every_attachment(self, testbed):
+        from repro.scenegraph.updates import SetProperty
+        from repro.services.container import ServiceContainer
+        from repro.services.data_service import DataService
+
+        cs = self.build(testbed)
+        mirror = DataService(
+            "mirror", ServiceContainer("athlon", testbed.network,
+                                       http_port=9902))
+        testbed.data_service.add_mirror(mirror)
+        mirror_name = mirror.name
+        services = list(cs.render_services)
+        backup = cs.handle_data_failure()
+        assert backup is mirror
+        assert cs.data_service is mirror
+        for service in services:
+            assert (mirror_name, "big") in service._scene_cache
+        # an update through the mirror still reaches a share holder
+        holder = next(s for s in services if cs.share_of(s))
+        nid = next(iter(cs.share_of(holder)))
+        deliveries = mirror.publish_update(
+            "big", SetProperty(node_id=nid, field_name="name",
+                               value="post-failover"))
+        assert any(name.startswith(f"{holder.name}/")
+                   for name in deliveries)

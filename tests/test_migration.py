@@ -61,6 +61,35 @@ class TestLoadTracker:
             t.record(LoadSample(float(i), fps=60.0, utilisation=0.05))
         assert t.sustained_below_utilisation(0.3, duration=3.0)
 
+    def test_window_spanning_exactly_duration_is_eligible(self):
+        """span == duration is enough history — not a spike."""
+        t = LoadTracker()
+        for i in range(4):                       # t = 0..3, span == 3.0
+            t.record(LoadSample(float(i), fps=2.0, utilisation=0.9))
+        assert t.sustained_below_fps(8.0, duration=3.0)
+        assert t.sustained_below_utilisation(0.95, duration=3.0)
+
+    def test_sample_exactly_at_cutoff_counts(self):
+        """A fast sample landing exactly ``duration`` ago must veto."""
+        t = LoadTracker()
+        t.record(LoadSample(0.0, fps=2.0, utilisation=0.9))
+        t.record(LoadSample(2.0, fps=100.0, utilisation=0.9))  # at cutoff
+        for time in (3.0, 4.0, 5.0):
+            t.record(LoadSample(time, fps=2.0, utilisation=0.9))
+        # cutoff = 5.0 - 3.0 = 2.0; the t=2.0 sample is inside the window
+        assert not t.sustained_below_fps(8.0, duration=3.0)
+        # whereas a strictly older fast sample is outside and ignored
+        assert t.sustained_below_fps(8.0, duration=2.5)
+
+    def test_fps_and_utilisation_share_one_rule(self):
+        """Both detectors are the same sustained-below rule on
+        different keys — identical histories give identical verdicts."""
+        t = LoadTracker()
+        for i in range(5):
+            t.record(LoadSample(float(i), fps=2.0, utilisation=2.0))
+        assert (t.sustained_below_fps(8.0, 3.0)
+                == t.sustained_below_utilisation(8.0, 3.0))
+
 
 class TestNodeSelection:
     """The fine-grain knapsack: 'we do not want to add 100k polygons by
@@ -222,3 +251,41 @@ class TestMigrationPolicy:
         self.feed_overload(migrator, slow)
         migrator.plan(session)
         assert migrator.actions
+
+    def test_overloaded_service_with_empty_share_is_a_noop(self):
+        """Overload with nothing assigned: the policy must not plan a
+        move (there are no nodes to shed) and must not crash."""
+        session, slow, fast = self.build()
+        session._shares["slow"] = set()
+        migrator = WorkloadMigrator(target_fps=10, overload_fps=8.0,
+                                    smoothing_seconds=3.0)
+        self.feed_overload(migrator, slow)
+        assert migrator.plan(session) == []
+        assert session.moves == []
+
+    def test_recruitment_returning_nothing_is_a_noop(self):
+        """No peer with headroom and a recruiter that finds nobody:
+        the pass completes without actions."""
+        tree = SceneTree()
+        ids = []
+        for i in range(3):
+            node = tree.add(MeshNode(skeleton(2000).normalized(),
+                                     name=f"part{i}"))
+            ids.append(node.node_id)
+        per_node = tree.node(ids[0]).n_polygons
+        slow = FakeService("slow", rate=3e4, committed=per_node * 3)
+        # the only peer is itself saturated: zero headroom
+        busy = FakeService("busy", rate=3e4, committed=per_node * 3)
+        session = FakeSession(tree, [slow, busy],
+                              {"slow": set(ids), "busy": set()})
+        session.recruiter = object()        # non-None: recruiting allowed
+        recruit_calls = []
+        session.recruit_more = lambda: recruit_calls.append(1) or []
+        migrator = WorkloadMigrator(target_fps=10, overload_fps=8.0,
+                                    smoothing_seconds=3.0)
+        for i in range(8):
+            migrator.tracker(slow.name).record(
+                LoadSample(float(i), fps=2.0, utilisation=2.0))
+        assert migrator.plan(session) == []
+        assert recruit_calls            # it did try to recruit
+        assert session.moves == []

@@ -1,7 +1,6 @@
 """Property-based robustness tests for the rendering pipeline."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.data.meshes import Mesh

@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import SceneGraphError
 from repro.scenegraph.nodes import (
-    CameraNode,
     GroupNode,
     MeshNode,
     TransformNode,

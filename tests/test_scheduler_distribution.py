@@ -1,9 +1,8 @@
 """The scheduler (placement + refusal) and the two distributors."""
 
-import numpy as np
 import pytest
 
-from repro.core.cost import NodeCost, node_cost, tree_cost
+from repro.core.cost import NodeCost, tree_cost
 from repro.core.distribution import (
     DatasetDistributor,
     FramebufferDistributor,

@@ -4,10 +4,7 @@ import pytest
 
 from repro.data.generators import galleon
 from repro.errors import SoapFault
-from repro.services.container import (
-    INSTANCE_CREATION_SECONDS,
-    ServiceContainer,
-)
+from repro.services.container import ServiceContainer
 from repro.services.data_service import DataService
 from repro.services.security import (
     AccessPolicy,

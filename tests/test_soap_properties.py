@@ -1,7 +1,6 @@
 """Property-based tests for the SOAP/WSDL layer."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.services.soap import soap_decode, soap_encode

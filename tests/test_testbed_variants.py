@@ -3,7 +3,7 @@
 import pytest
 
 from repro.data.generators import galleon
-from repro.errors import NetworkError, ServiceError, SessionError
+from repro.errors import NetworkError, ServiceError
 from repro.testbed import build_testbed
 
 

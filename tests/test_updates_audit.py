@@ -9,7 +9,6 @@ from repro.scenegraph.nodes import (
     AvatarNode,
     CameraNode,
     MeshNode,
-    TransformNode,
 )
 from repro.scenegraph.tree import SceneTree
 from repro.scenegraph.updates import (
