@@ -1,0 +1,192 @@
+"""End-to-end observability benchmark: one instrumented grid scenario.
+
+Runs the paper's whole machinery — placement, collaborative compositing,
+pipelined streaming, adaptive compression over a degrading wireless link,
+migration pressure and a mid-run crash with heartbeat-driven recovery —
+under an installed :mod:`repro.obs` bundle, then exports everything the
+instrumentation captured as one JSON snapshot
+(``benchmarks/results/BENCH_observability.json``).
+
+The snapshot is the artifact: counters for every subsystem, latency
+histograms, and the per-frame span chains that let a trace viewer (or a
+regression diff) reconstruct exactly where each frame's time went.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_observability.py [--smoke]
+        [--out PATH]
+
+``--smoke`` shrinks the scenario (fewer polygons, fewer frames) so CI can
+run it in seconds; the snapshot schema is identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import obs
+from repro.compression import AdaptiveCodec, BandwidthEstimator
+from repro.core.migration import WorkloadMigrator
+from repro.core.session import CollaborativeSession
+from repro.data.generators import skeleton
+from repro.network.faults import FaultInjector
+from repro.obs import write_snapshot
+from repro.render.camera import Camera
+from repro.scenegraph.nodes import MeshNode
+from repro.scenegraph.tree import SceneTree
+from repro.services.streaming import FrameStreamer
+from repro.testbed import build_testbed
+
+DEFAULT_OUT = Path(__file__).parent / "results" / "BENCH_observability.json"
+
+
+def build_session(tb, polygons_per_part: int, parts: int
+                  ) -> CollaborativeSession:
+    """Publish a multi-part model and place it across the render pool."""
+    tree = SceneTree("bench")
+    for i in range(parts):
+        tree.add(MeshNode(skeleton(polygons_per_part).normalized(),
+                          name=f"part{i}"))
+    tb.publish_tree("bench", tree)
+    cs = CollaborativeSession(tb.data_service, "bench",
+                              recruiter=tb.recruiter())
+    for host in ("onyx", "v880z", "centrino"):
+        cs.connect(tb.render_service(host))
+    cs.place_dataset()
+    return cs
+
+
+def composite_frames(cs, n_frames: int) -> None:
+    """Orbiting composite renders (the collaborative hot path)."""
+    cam = Camera.looking_at((0, 0, 5), (0, 0, 0))
+    for _ in range(n_frames):
+        cs.render_composite(cam, 64, 64)
+
+
+def stream_frames(tb, n_frames: int) -> None:
+    """Pipelined streaming from a render service to the PDA host."""
+    rs = tb.render_service("centrino")
+    rsession, _ = rs.create_render_session(tb.data_service, "bench")
+    streamer = FrameStreamer(rs, rsession.render_session_id, "zaurus",
+                             128, 128, blit_seconds=0.004)
+    streamer.stream_pipelined(n_frames)
+
+
+def walkaway_compression(tb, n_frames: int) -> None:
+    """Adaptive codec while the PDA user walks away from the access point."""
+    from repro.render.framebuffer import FrameBuffer
+    import numpy as np
+
+    codec = AdaptiveCodec(estimator=BandwidthEstimator(),
+                          latency_budget=0.25)
+    rng = np.random.default_rng(42)
+    fb = FrameBuffer(96, 96)
+    fb.color[:] = rng.integers(0, 256, fb.color.shape, dtype=np.uint8)
+    for i in range(n_frames):
+        quality = max(0.1, 1.0 - i / n_frames)
+        tb.wireless.set_signal_quality("zaurus", quality)
+        # drift a band of pixels so deltas have real content
+        fb = fb.copy()
+        fb.color[i % 96, :] = rng.integers(0, 256, (96, 3), dtype=np.uint8)
+        encoded = codec.encode(fb)
+        seconds = tb.network.transfer_time("centrino", "zaurus",
+                                           max(1, encoded.nbytes))
+        tb.network.sim.clock.advance(seconds)
+        codec.estimator.observe(encoded.nbytes, seconds)
+
+
+def bulk_scene_transfers(tb, cs, nbytes: int) -> None:
+    """Model the scene hand-off as contention-aware scheduled transfers.
+
+    ``Network.send`` is the instrumented path (per-link bytes and busy
+    time); pushing each attachment's share concurrently also makes the
+    transfers contend, so the link-utilisation gauges show real overlap.
+    """
+    data_host = tb.data_service.host
+    for service in cs.render_services:
+        if service.host != data_host:
+            tb.network.send(data_host, service.host, nbytes)
+    tb.network.sim.run()
+
+
+def migration_pressure(cs, samples: int) -> None:
+    """Feed sustained low-fps samples so the migrator plans real moves."""
+    migrator = WorkloadMigrator(target_fps=10, overload_fps=8.0,
+                                smoothing_seconds=3.0)
+    loaded = next((s for s in cs.render_services if cs.share_of(s)), None)
+    if loaded is None:
+        return
+    now = cs.data_service.network.sim.now
+    for i in range(samples):
+        migrator.record_frame(loaded, time=now + i, fps=2.0)
+    migrator.plan(cs)
+
+
+def crash_and_recover(tb, cs) -> None:
+    """Kill a share-holding service; heartbeats detect it, recovery runs."""
+    cs.enable_fault_tolerance(heartbeat_interval=0.25,
+                              suspect_after=1.0, dead_after=3.0)
+    victim = next((s for s in cs.render_services if cs.share_of(s)), None)
+    if victim is None:
+        return
+    inj = FaultInjector(tb.network, seed=7)
+    now = tb.network.sim.now
+    inj.schedule_crash(at=now + 1.0, host=victim.host)
+    tb.network.sim.run_until(now + 10.0)
+
+
+def run(smoke: bool, out: Path) -> Path:
+    polygons = 4_000 if smoke else 40_000
+    frames = 3 if smoke else 12
+    tb = build_testbed()
+    bundle = obs.install(clock=tb.clock)
+    try:
+        cs = build_session(tb, polygons, parts=6)
+        bulk_scene_transfers(tb, cs, nbytes=polygons * 36)
+        composite_frames(cs, frames)
+        stream_frames(tb, frames * 2)
+        walkaway_compression(tb, frames * 4)
+        migration_pressure(cs, samples=8)
+        crash_and_recover(tb, cs)
+        path = write_snapshot(
+            out, bundle.metrics, bundle.tracer, clock=tb.clock,
+            meta={"benchmark": "observability",
+                  "mode": "smoke" if smoke else "full",
+                  "polygons_per_part": polygons,
+                  "frames": frames})
+    finally:
+        obs.uninstall()
+    return path
+
+
+def check(path: Path) -> None:
+    """Sanity-check the snapshot covers every instrumented subsystem."""
+    import json
+
+    data = json.loads(path.read_text())
+    names = set(data["metrics"])
+    for prefix in ("rave_scheduler_", "rave_session_", "rave_net_",
+                   "rave_stream_", "rave_codec_", "rave_health_",
+                   "rave_migration_"):
+        assert any(n.startswith(prefix) for n in names), \
+            f"snapshot is missing {prefix}* metrics"
+    assert data["frames"], "snapshot has no per-frame span chains"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast scenario (CI)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"snapshot path (default {DEFAULT_OUT})")
+    args = parser.parse_args(argv)
+    path = run(args.smoke, args.out)
+    check(path)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,11 +25,18 @@ from repro.compression.delta import DeltaCodec
 from repro.compression.quantize import Rgb565Codec
 from repro.compression.rle import RleCodec
 from repro.errors import DataFormatError
+from repro.obs import active as _obs
 from repro.render.framebuffer import FrameBuffer
 
 
 class BandwidthEstimator:
-    """EWMA goodput estimate from (nbytes, seconds) observations."""
+    """EWMA goodput estimate from (nbytes, seconds) observations.
+
+    ``initial_bps`` is only a stand-in until the first real transfer is
+    seen: the first observation *replaces* it outright rather than being
+    blended in, because EWMA warm-up against an arbitrary prior can
+    mis-pick codecs for many frames on links much slower than the prior.
+    """
 
     def __init__(self, initial_bps: float = 4.8e6,
                  alpha: float = 0.3) -> None:
@@ -45,8 +52,16 @@ class BandwidthEstimator:
         if seconds <= 0 or nbytes <= 0:
             return
         sample = nbytes * 8.0 / seconds
-        self.bps = self.alpha * sample + (1 - self.alpha) * self.bps
+        if self.observations == 0:
+            # snap to the first measurement: the prior carries no signal
+            self.bps = sample
+        else:
+            self.bps = self.alpha * sample + (1 - self.alpha) * self.bps
         self.observations += 1
+        obs = _obs()
+        if obs.enabled:
+            obs.metrics.gauge("rave_bandwidth_estimate_bps",
+                              "EWMA goodput estimate").set(self.bps)
 
     def expected_seconds(self, nbytes: int) -> float:
         return nbytes * 8.0 / self.bps
@@ -129,11 +144,26 @@ class AdaptiveCodec(Codec):
             height=chosen.height, encode_seconds=chosen.encode_seconds,
             lossless=chosen.lossless,
             meta={**chosen.meta, "inner": chosen.codec})
+        expected_wire = self.estimator.expected_seconds(chosen.nbytes)
         self.choices.append(AdaptiveChoice(
             codec_name=chosen.codec,
-            expected_wire_seconds=self.estimator.expected_seconds(
-                chosen.nbytes),
+            expected_wire_seconds=expected_wire,
             budget_seconds=budget))
+        obs = _obs()
+        if obs.enabled:
+            m = obs.metrics
+            m.counter("rave_codec_frames_total", "frames per chosen codec",
+                      codec=chosen.codec).inc()
+            m.counter("rave_codec_encoded_bytes_total",
+                      "bytes after compression",
+                      codec=chosen.codec).inc(chosen.nbytes)
+            m.counter("rave_codec_bytes_saved_total",
+                      "raw bytes minus encoded bytes"
+                      ).inc(max(0, chosen.raw_nbytes - chosen.nbytes))
+            if expected_wire > budget:
+                m.counter("rave_codec_budget_misses_total",
+                          "frames whose best encoding still blows the "
+                          "latency budget").inc()
         return wrapped
 
     def _receiver_view(self, chosen: EncodedFrame):

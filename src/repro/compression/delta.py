@@ -27,7 +27,9 @@ class DeltaCodec(Codec):
     Stateful — encoder and decoder each track the last frame, so a stream
     must decode in order.  ``tolerance > 0`` makes it lossy (small
     per-channel changes are suppressed) and renames the codec so decode
-    routing stays unambiguous.
+    routing stays unambiguous.  On the lossy path both sides track the
+    *receiver's* post-apply state, which bounds the per-pixel error at
+    ``tolerance`` for the whole stream instead of letting it drift.
     """
 
     NAME = "delta"
@@ -67,7 +69,14 @@ class DeltaCodec(Codec):
                     [("i", "<u4"), ("rgb", "u1", 3)]))
                 rec["i"] = idx
                 rec["rgb"] = flat[idx]
-                self._reference_enc = flat.copy()
+                # The decoder applies only the above-tolerance pixels, so
+                # the encoder's reference must be the receiver's post-apply
+                # state — not the true frame.  Storing the true frame here
+                # made the two references diverge under tolerance > 0 and
+                # the error accumulate frame over frame.
+                new_ref = ref.copy()
+                new_ref[idx] = flat[idx]
+                self._reference_enc = new_ref
                 return (struct.pack("<BI", _DELTA, len(idx))
                         + rec.tobytes(), {"changed": int(len(idx))})
         self._reference_enc = flat.copy()

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import NetworkError, ServiceError
+from repro.obs import active as _obs
 
 #: lease states
 ALIVE = "alive"
@@ -107,6 +108,11 @@ class HeartbeatMonitor:
             was = lease.state
             lease.state = ALIVE
             if was in (SUSPECTED, DEAD):
+                obs = _obs()
+                if obs.enabled:
+                    obs.metrics.counter(
+                        "rave_health_transitions_total",
+                        "lease state transitions", state="recovered").inc()
                 for cb in self.on_recover:
                     cb(name)
 
@@ -140,6 +146,13 @@ class HeartbeatMonitor:
                 changes.append((lease.name, DEAD))
                 for cb in self.on_dead:
                     cb(lease.name)
+        if changes:
+            obs = _obs()
+            if obs.enabled:
+                for _, state in changes:
+                    obs.metrics.counter("rave_health_transitions_total",
+                                        "lease state transitions",
+                                        state=state).inc()
         return changes
 
     # -- recurring evaluation ----------------------------------------------------

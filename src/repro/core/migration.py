@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 from repro.core.capacity import DEFAULT_TARGET_FPS
 from repro.core.cost import node_cost
+from repro.obs import active as _obs
 
 
 @dataclass(frozen=True)
@@ -129,9 +130,17 @@ class WorkloadMigrator:
 
     def record_frame(self, service, time: float, fps: float) -> None:
         """Feed one rendered-frame observation into the tracker."""
+        utilisation = service.utilisation(self.target_fps)
         self.tracker(service.name).record(LoadSample(
-            time=time, fps=fps,
-            utilisation=service.utilisation(self.target_fps)))
+            time=time, fps=fps, utilisation=utilisation))
+        obs = _obs()
+        if obs.enabled:
+            m = obs.metrics
+            m.gauge("rave_service_fps", "last observed frame rate",
+                    service=service.name).set(fps)
+            m.gauge("rave_service_utilisation",
+                    "committed polygons / budget at target fps",
+                    service=service.name).set(utilisation)
 
     # -- detection -------------------------------------------------------------
 
@@ -195,12 +204,17 @@ class WorkloadMigrator:
         (recruiting via the session when nobody has spare capacity);
         underloaded services take work from the most loaded peer.
         """
+        obs = _obs()
         actions: list[MigrationAction] = []
         services = list(session.render_services)
 
         for service in services:
             if not self.overloaded(service):
                 continue
+            if obs.enabled:
+                obs.metrics.counter("rave_migration_triggers_total",
+                                    "sustained threshold crossings",
+                                    kind="overload").inc()
             # work to shed: enough to get back to the target frame time
             over = service.committed_polygons() - (
                 service.capacity().polygon_budget(self.target_fps))
@@ -223,6 +237,10 @@ class WorkloadMigrator:
         for service in list(services):
             if not self.underloaded(service):
                 continue
+            if obs.enabled:
+                obs.metrics.counter("rave_migration_triggers_total",
+                                    "sustained threshold crossings",
+                                    kind="underload").inc()
             donor = self._most_loaded(services, exclude=service)
             if donor is None:
                 continue
@@ -235,6 +253,15 @@ class WorkloadMigrator:
             if action is not None:
                 actions.append(action)
 
+        if obs.enabled and actions:
+            m = obs.metrics
+            for action in actions:
+                m.counter("rave_migration_actions_total",
+                          "planned work movements",
+                          reason=action.reason).inc()
+                m.counter("rave_migration_polygons_moved_total",
+                          "polygons migrated between services"
+                          ).inc(action.polygons)
         self.actions.extend(actions)
         return actions
 

@@ -24,6 +24,7 @@ from repro.core.capacity import (
 )
 from repro.core.cost import NodeCost
 from repro.errors import InsufficientResources
+from repro.obs import active as _obs
 
 
 @dataclass(frozen=True)
@@ -64,7 +65,17 @@ class RenderServiceScheduler:
         self.recruiter = recruiter
 
     def interrogate_all(self, services: list) -> list[CapacityReport]:
-        return [interrogate(s, self.data_service.host) for s in services]
+        reports = [interrogate(s, self.data_service.host) for s in services]
+        obs = _obs()
+        if obs.enabled and reports:
+            m = obs.metrics
+            m.counter("rave_scheduler_interrogations_total",
+                      "capacity interrogations issued").inc(len(reports))
+            hist = m.histogram("rave_scheduler_interrogation_seconds",
+                               "per-service interrogation round trip")
+            for report in reports:
+                hist.observe(report.elapsed_seconds)
+        return reports
 
     def place(self, cost: NodeCost, services: list) -> Placement:
         """Place a dataset of the given cost onto the service pool.
@@ -72,6 +83,28 @@ class RenderServiceScheduler:
         Raises :class:`InsufficientResources` (the paper's refusal path)
         when even recruitment cannot cover the demand.
         """
+        obs = _obs()
+        try:
+            placement = self._place(cost, services)
+        except InsufficientResources:
+            if obs.enabled:
+                obs.metrics.counter("rave_scheduler_refusals_total",
+                                    "requests refused for capacity").inc()
+            raise
+        if obs.enabled:
+            m = obs.metrics
+            m.counter("rave_scheduler_placements_total",
+                      "successful placements", mode=placement.mode).inc()
+            if placement.recruited:
+                m.counter("rave_scheduler_recruited_total",
+                          "services recruited during placement"
+                          ).inc(len(placement.recruited))
+            m.histogram("rave_scheduler_placement_interrogation_seconds",
+                        "total interrogation time per placement"
+                        ).observe(placement.interrogation_seconds)
+        return placement
+
+    def _place(self, cost: NodeCost, services: list) -> Placement:
         if cost.polygons <= 0:
             raise ValueError("placement needs a positive polygon cost")
         services = list(services)

@@ -23,6 +23,7 @@ from repro.core.health import DEAD, HeartbeatMonitor, HeartbeatSource
 from repro.core.migration import WorkloadMigrator
 from repro.core.scheduler import Placement, RenderServiceScheduler
 from repro.errors import NetworkError, ServiceError, SessionError
+from repro.obs import active as _obs
 from repro.render.camera import Camera
 from repro.render.compositor import assemble_tiles, depth_composite
 from repro.render.framebuffer import FrameBuffer
@@ -85,6 +86,9 @@ class CollaborativeSession:
         self._tile_cache: dict[tuple[int, int, int, int], FrameBuffer] = {}
         self.last_frame_degraded: bool = False
         self.degraded_frames: int = 0
+        #: frames rendered through this session (composite or tiled);
+        #: doubles as the ``frame`` attribute on traced spans
+        self.frames_rendered: int = 0
 
     # -- introspection -----------------------------------------------------------
 
@@ -417,6 +421,19 @@ class CollaborativeSession:
             recruited=tuple(recruited),
             time=self.data_service.network.sim.now)
         self.recoveries.append(report)
+        obs = _obs()
+        if obs.enabled:
+            m = obs.metrics
+            m.counter("rave_session_recoveries_total",
+                      "render-service failures recovered from",
+                      session=self.session_id).inc()
+            m.counter("rave_session_nodes_recovered_total",
+                      "scene nodes reassigned off dead services",
+                      session=self.session_id).inc(report.nodes_recovered)
+            if recruited:
+                m.counter("rave_session_recovery_recruited_total",
+                          "services recruited during recovery",
+                          session=self.session_id).inc(len(recruited))
         return report
 
     def _attachment_headroom(self, attachment) -> float:
@@ -485,6 +502,9 @@ class CollaborativeSession:
         self.last_frame_degraded = len(live) < len(active)
         if self.last_frame_degraded:
             self.degraded_frames += 1
+        frame = self.frames_rendered
+        self.frames_rendered += 1
+        obs = _obs()
         clock = self.data_service.network.sim.clock
         compositor_host = live[0].service.host
         buffers = []
@@ -497,13 +517,31 @@ class CollaborativeSession:
                 offscreen=True)
             elapsed = clock.now - t0
             slowest = max(slowest, elapsed)
+            transfer = 0.0
             if attachment.service.host != compositor_host:
-                transfer_total += self.data_service.network.transfer_time(
+                transfer = self.data_service.network.transfer_time(
                     attachment.service.host, compositor_host,
                     fb.nbytes_with_depth)
+                transfer_total += transfer
+            if obs.enabled:
+                name = attachment.service.name
+                obs.tracer.record("render", t0, t0 + elapsed,
+                                  session=self.session_id, frame=frame,
+                                  service=name, mode="composite")
+                if transfer:
+                    obs.tracer.record("transfer", t0 + elapsed,
+                                      t0 + elapsed + transfer,
+                                      session=self.session_id, frame=frame,
+                                      service=name, mode="composite")
             buffers.append(fb)
         merged = depth_composite(buffers)
         latency = slowest + transfer_total
+        if obs.enabled:
+            end = clock.now + transfer_total
+            obs.tracer.record("composite", end, end,
+                              session=self.session_id, frame=frame,
+                              mode="composite")
+            self._count_frame(obs, "composite", latency)
         return merged, latency
 
     def render_tiled(self, camera: CameraNode | Camera, width: int,
@@ -527,6 +565,9 @@ class CollaborativeSession:
         plan = self.tile_distributor.plan(
             width, height, local.name, assistants,
             local_share=local.capacity().polygons_per_second)
+        frame = self.frames_rendered
+        self.frames_rendered += 1
+        obs = _obs()
         clock = self.data_service.network.sim.clock
         target = FrameBuffer(width, height)
         by_name = {s.name: s for s in services}
@@ -545,10 +586,13 @@ class CollaborativeSession:
                 fb, _ = service.render_tile(
                     attachment.render_session_id, camera, assignment.tile,
                     width, height)
-                elapsed = clock.now - t0
+                render_end = clock.now
+                elapsed = render_end - t0
+                transfer = 0.0
                 if not assignment.local:
-                    elapsed += self.data_service.network.transfer_time(
+                    transfer = self.data_service.network.transfer_time(
                         service.host, local.host, fb.nbytes_with_depth)
+                    elapsed += transfer
             except (NetworkError, ServiceError):
                 degraded = True
                 fb = self._tile_cache.get(rect)
@@ -558,12 +602,49 @@ class CollaborativeSession:
             else:
                 slowest = max(slowest, elapsed)
                 self._tile_cache[rect] = fb
+                if obs.enabled:
+                    obs.tracer.record("render", t0, render_end,
+                                      session=self.session_id, frame=frame,
+                                      service=service.name, mode="tiled")
+                    if transfer:
+                        obs.tracer.record("transfer", render_end,
+                                          render_end + transfer,
+                                          session=self.session_id,
+                                          frame=frame, service=service.name,
+                                          mode="tiled")
             tiles.append((assignment.tile, fb))
         self.last_frame_degraded = degraded
         if degraded:
             self.degraded_frames += 1
         assemble_tiles(target, tiles)
+        if obs.enabled:
+            end = clock.now + slowest
+            obs.tracer.record("composite", end, end,
+                              session=self.session_id, frame=frame,
+                              mode="tiled")
+            self._count_frame(obs, "tiled", slowest)
         return target, plan, slowest
+
+    def _count_frame(self, obs, mode: str, latency: float) -> None:
+        """Shared frame accounting for both rendering modes."""
+        m = obs.metrics
+        m.counter("rave_session_frames_total", "frames rendered",
+                  session=self.session_id, mode=mode).inc()
+        if self.last_frame_degraded:
+            m.counter("rave_session_degraded_frames_total",
+                      "frames completed from stale/blank content",
+                      session=self.session_id).inc()
+        m.histogram("rave_session_frame_latency_seconds",
+                    "end-to-end frame latency", mode=mode).observe(latency)
+
+    def frame_timeline(self) -> dict:
+        """Per-frame span chains for this session from the active tracer.
+
+        Returns ``{frame index: [Span, ...]}`` with each chain
+        start-ordered (``render → transfer → composite``); empty when no
+        observability is installed (the no-op tracer stores nothing).
+        """
+        return _obs().tracer.chains(session=self.session_id)
 
     # -- migration ---------------------------------------------------------------------------
 

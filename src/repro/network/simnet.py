@@ -28,6 +28,7 @@ import networkx as nx
 
 from repro.errors import NetworkError
 from repro.network.clock import Simulator
+from repro.obs import active as _obs
 
 
 @dataclass
@@ -307,6 +308,25 @@ class Network:
                                 path=tuple(self.path(src, dst)),
                                 dropped=bool(dropped))
         self.transfers.append(record)
+        obs = _obs()
+        if obs.enabled:
+            m = obs.metrics
+            m.counter("rave_net_transfers_total",
+                      "scheduled transfers started").inc()
+            m.counter("rave_net_bytes_total",
+                      "payload bytes put on the wire").inc(nbytes)
+            m.histogram("rave_net_transfer_seconds",
+                        "end-to-end transfer time").observe(duration)
+            if dropped:
+                m.counter("rave_net_dropped_total",
+                          "transfers lost in flight").inc()
+            for link in links:
+                name = f"{link.key[0]}-{link.key[1]}"
+                m.counter("rave_net_link_bytes_total",
+                          "bytes carried per link", link=name).inc(nbytes)
+                m.counter("rave_net_link_busy_seconds_total",
+                          "per-link busy time (utilisation numerator)",
+                          link=name).inc(duration)
 
         def finish() -> None:
             for link in links:

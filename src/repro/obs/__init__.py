@@ -1,0 +1,127 @@
+"""Observability: metrics and frame tracing for the simulated grid.
+
+The paper's argument is built on *measured* behaviour — capacity
+interrogation times, the Table 2 streaming rates, migration thresholds —
+so the reproduction needs a way to observe itself.  This subpackage
+provides it, NetLogger-style, entirely on the simulated clock:
+
+- :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of labelled
+  counters, gauges and histograms;
+- :mod:`repro.obs.tracing` — a :class:`Tracer` of per-frame pipeline
+  spans (``render → encode → transfer → composite → blit``) keyed to
+  ``repro.network.clock`` time;
+- :mod:`repro.obs.export` — Prometheus text and JSON snapshot exporters.
+
+Instrumented hot paths (scheduler, migrator, session, health monitor,
+network, streaming, adaptive compression) read the *active* bundle via
+:func:`active`.  By default that is :data:`NULL_OBS` — shared no-op
+instruments, nothing allocated, nothing stored — so instrumentation is
+free until someone attaches a registry:
+
+    from repro import obs
+
+    with obs.observed(clock=tb.clock) as o:
+        ...run a scenario...
+        print(obs.prometheus_text(o.metrics))
+
+or imperatively with :func:`install` / :func:`uninstall`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.obs.export import prometheus_text, snapshot, write_snapshot
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+)
+from repro.obs.tracing import NullTracer, NULL_TRACER, Span, Tracer
+
+
+class Observability:
+    """A registry + tracer pair, installable as the process-wide default.
+
+    ``enabled`` lets hot paths skip label formatting and timing math in a
+    single attribute check when observability is off.
+    """
+
+    __slots__ = ("metrics", "tracer", "enabled")
+
+    def __init__(self, metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None,
+                 enabled: bool = True) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.enabled = enabled
+
+    def snapshot(self, clock=None, meta: dict | None = None) -> dict:
+        return snapshot(self.metrics, self.tracer, clock=clock, meta=meta)
+
+
+#: the permanent off-switch: shared no-op instruments, stores nothing
+NULL_OBS = Observability(NULL_REGISTRY, NULL_TRACER, enabled=False)
+
+_active: Observability = NULL_OBS
+
+
+def active() -> Observability:
+    """The currently installed bundle (:data:`NULL_OBS` when off)."""
+    return _active
+
+
+def install(obs: Observability | None = None, *,
+            clock=None) -> Observability:
+    """Attach an observability bundle as the process-wide default.
+
+    With no argument, builds a fresh registry and a tracer bound to
+    ``clock`` (so :meth:`Tracer.span` works against simulated time).
+    """
+    global _active
+    if obs is None:
+        obs = Observability(MetricsRegistry(), Tracer(clock=clock))
+    _active = obs
+    return obs
+
+
+def uninstall() -> None:
+    """Detach the active bundle, restoring the no-op default."""
+    global _active
+    _active = NULL_OBS
+
+
+@contextmanager
+def observed(obs: Observability | None = None, *, clock=None):
+    """Scoped :func:`install`; always restores the no-op default."""
+    bundle = install(obs, clock=clock)
+    try:
+        yield bundle
+    finally:
+        uninstall()
+
+
+__all__ = [
+    "Observability",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "NULL_OBS",
+    "active",
+    "install",
+    "uninstall",
+    "observed",
+    "prometheus_text",
+    "snapshot",
+    "write_snapshot",
+]

@@ -1,0 +1,101 @@
+"""Exporters: Prometheus text format and JSON snapshots.
+
+Two consumers, two formats:
+
+- :func:`prometheus_text` renders a registry in the Prometheus exposition
+  format (``# HELP`` / ``# TYPE`` headers, ``_bucket``/``_sum``/``_count``
+  expansion for histograms) so a scrape endpoint or a text diff can read
+  it;
+- :func:`snapshot` / :func:`write_snapshot` produce the plain-JSON form
+  the benchmark harness stores as a trajectory artifact: simulated time,
+  every metric family, every span, and the reassembled per-frame chains.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def _labels_text(labels: dict, extra: dict | None = None) -> str:
+    merged = {**labels, **(extra or {})}
+    if not merged:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in merged.items())
+    return "{" + inner + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render every family in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for label_items, inst in sorted(family.children.items()):
+            labels = dict(label_items)
+            if family.kind == "histogram":
+                for le, count in inst.cumulative_buckets():
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_labels_text(labels, {'le': _format_value(le)})}"
+                        f" {count}")
+                lines.append(f"{family.name}_sum{_labels_text(labels)} "
+                             f"{_format_value(inst.sum)}")
+                lines.append(f"{family.name}_count{_labels_text(labels)} "
+                             f"{inst.count}")
+            else:
+                lines.append(f"{family.name}{_labels_text(labels)} "
+                             f"{_format_value(inst.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def snapshot(registry: MetricsRegistry, tracer: Tracer | None = None,
+             clock=None, meta: dict | None = None) -> dict:
+    """One self-describing dict: metrics + spans + per-frame chains."""
+    out: dict = {
+        "format": "rave-observability-snapshot/1",
+        "simulated_seconds": clock.now if clock is not None else None,
+        "metrics": registry.snapshot(),
+    }
+    if meta:
+        out["meta"] = dict(meta)
+    if tracer is not None:
+        out["spans"] = tracer.snapshot()
+        out["frames"] = {
+            str(frame): [s.name for s in spans]
+            for frame, spans in sorted(tracer.chains().items(),
+                                       key=lambda kv: str(kv[0]))
+        }
+        out["spans_dropped"] = tracer.dropped
+    return out
+
+
+def write_snapshot(path, registry: MetricsRegistry,
+                   tracer: Tracer | None = None, clock=None,
+                   meta: dict | None = None) -> Path:
+    """Serialise :func:`snapshot` to ``path`` as indented JSON."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(
+        snapshot(registry, tracer, clock, meta), indent=2, sort_keys=False)
+        + "\n")
+    return target
+
+
+__all__ = [
+    "prometheus_text",
+    "snapshot",
+    "write_snapshot",
+]

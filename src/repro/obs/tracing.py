@@ -1,0 +1,134 @@
+"""Frame tracing: structured spans on the simulated clock.
+
+A :class:`Span` is one named stage with a start and end in *simulated
+seconds* (``repro.network.clock`` time) plus free-form attributes; the
+streaming and session paths record the paper's pipeline stages —
+``render`` → ``encode`` → ``transfer`` → ``composite`` → ``blit`` — with a
+``frame`` attribute so a per-frame timeline can be reassembled
+(:meth:`Tracer.chains`).
+
+Most instrumented paths compute their timings analytically, so the primary
+API is :meth:`Tracer.record` with explicit start/end; :meth:`Tracer.span`
+is a clock-driven context manager for code that advances the simulator
+while it works.  :class:`NullTracer` is the off-switch: it stores nothing.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Span:
+    """One traced pipeline stage in simulated time."""
+
+    name: str
+    start: float
+    end: float
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def matches(self, **attrs) -> bool:
+        return all(self.attrs.get(k) == v for k, v in attrs.items())
+
+
+class Tracer:
+    """Collects spans; bounded so runaway scenarios cannot eat memory."""
+
+    enabled = True
+
+    def __init__(self, clock=None, capacity: int = 100_000) -> None:
+        if capacity < 1:
+            raise ValueError("tracer capacity must be positive")
+        self.clock = clock
+        self.capacity = capacity
+        self.spans: list[Span] = []
+        self.dropped = 0
+
+    def record(self, name: str, start: float, end: float, **attrs) -> Span:
+        """Record one completed stage with explicit simulated times."""
+        if end < start:
+            raise ValueError(
+                f"span {name!r} ends ({end}) before it starts ({start})")
+        span = Span(name=name, start=float(start), end=float(end),
+                    attrs=attrs)
+        if len(self.spans) < self.capacity:
+            self.spans.append(span)
+        else:
+            self.dropped += 1
+        return span
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Clock-driven span: times taken from the attached sim clock."""
+        if self.clock is None:
+            raise ValueError("tracer has no clock; use record() instead")
+        start = self.clock.now
+        yield
+        self.record(name, start, self.clock.now, **attrs)
+
+    # -- queries -----------------------------------------------------------------
+
+    def select(self, name: str | None = None, **attrs) -> list[Span]:
+        """Spans with the given name (if any) and matching attributes."""
+        return [s for s in self.spans
+                if (name is None or s.name == name) and s.matches(**attrs)]
+
+    def chains(self, key: str = "frame", **attrs) -> dict:
+        """Group matching spans into per-frame chains, ordered by start.
+
+        Returns ``{frame value: [spans...]}`` for every span carrying the
+        ``key`` attribute; the per-frame lists are start-ordered, so a
+        complete chain reads ``render → ... → blit`` directly.
+        """
+        grouped: dict = {}
+        for span in self.spans:
+            if key not in span.attrs or not span.matches(**attrs):
+                continue
+            grouped.setdefault(span.attrs[key], []).append(span)
+        for spans in grouped.values():
+            spans.sort(key=lambda s: (s.start, s.end))
+        return grouped
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.dropped = 0
+
+    def snapshot(self) -> list[dict]:
+        """Plain-data view of every span (the JSON exporter's payload)."""
+        return [{"name": s.name, "start": s.start, "end": s.end,
+                 "duration": s.duration, "attrs": dict(s.attrs)}
+                for s in self.spans]
+
+
+_NULL_SPAN = Span(name="", start=0.0, end=0.0)
+
+
+class NullTracer(Tracer):
+    """Tracer that stores nothing (the off-switch fast path)."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(capacity=1)
+
+    def record(self, name: str, start: float, end: float, **attrs) -> Span:
+        return _NULL_SPAN
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        yield
+
+
+NULL_TRACER = NullTracer()
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+]

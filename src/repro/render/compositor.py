@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import RenderError
+from repro.obs import active as _obs
 from repro.render.framebuffer import FrameBuffer, Tile
 from repro.render.volume import VolumeImage
 
@@ -111,6 +112,13 @@ class FrameSynchronizer:
     synchroniser: tiles are keyed by frame sequence number, and
     :meth:`take_frame` only releases a frame once every tile of that
     sequence has arrived.
+
+    ``last_released`` is the released-sequence watermark: a tile arriving
+    for a sequence at or below it belongs to a frame already shown (or
+    dropped in its favour), and releasing that frame later would regress
+    the display — exactly the out-of-order artifact the class exists to
+    prevent.  Such late submissions are counted (``late_tiles``) and
+    discarded.
     """
 
     def __init__(self, tiles: list[Tile]) -> None:
@@ -120,6 +128,10 @@ class FrameSynchronizer:
         self._pending: dict[int, dict[int, FrameBuffer]] = {}
         self.frames_released = 0
         self.frames_dropped = 0
+        #: highest sequence ever released (the watermark); None before any
+        self.last_released: int | None = None
+        #: tiles discarded because their sequence was already released/dropped
+        self.late_tiles = 0
 
     def submit(self, sequence: int, tile_index: int, fb: FrameBuffer) -> None:
         if not 0 <= tile_index < len(self.tiles):
@@ -127,6 +139,15 @@ class FrameSynchronizer:
         tile = self.tiles[tile_index]
         if (fb.width, fb.height) != (tile.width, tile.height):
             raise RenderError("tile framebuffer has wrong size")
+        if self.last_released is not None and sequence <= self.last_released:
+            # Late tile for a frame already superseded: re-pending it could
+            # complete an old frame and release it after a newer one.
+            self.late_tiles += 1
+            obs = _obs()
+            if obs.enabled:
+                obs.metrics.counter("rave_sync_late_tiles_total",
+                                    "tiles dropped at the watermark").inc()
+            return
         self._pending.setdefault(sequence, {})[tile_index] = fb
 
     def take_frame(self, target: FrameBuffer) -> int | None:
@@ -150,6 +171,15 @@ class FrameSynchronizer:
             self._pending.pop(s)
             self.frames_dropped += 1
         self.frames_released += 1
+        self.last_released = seq
+        obs = _obs()
+        if obs.enabled:
+            obs.metrics.counter("rave_sync_frames_released_total",
+                                "complete frames released").inc()
+            if stale:
+                obs.metrics.counter("rave_sync_frames_dropped_total",
+                                    "incomplete frames dropped"
+                                    ).inc(len(stale))
         return seq
 
 

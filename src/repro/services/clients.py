@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from repro.errors import ServiceError
 from repro.hardware.profiles import PdaClientProfile, ZAURUS_CLIENT
+from repro.obs import active as _obs
 from repro.network.simnet import Network
 from repro.render.camera import Camera
 from repro.render.engine import RenderEngine
@@ -157,6 +158,8 @@ class ThinClient:
                             ) -> tuple[FrameBuffer, FrameTiming]:
         service = self._service
         clock = self.network.sim.clock
+        obs = _obs()
+        frame = self.frames_received
 
         # 1. the SOAP camera/request message
         t0 = clock.now
@@ -165,17 +168,20 @@ class ThinClient:
         clock.advance(request_time)
 
         # 2. remote off-screen render
+        render_start = clock.now
         fb, render_timing = service.render_view(
             self._rsid, self.camera, width, height, offscreen=True)
 
         # 3. image transfer back
         payload = fb.color.tobytes()
         encode_seconds = 0.0
+        encode_start = clock.now
         if codec is not None:
             encoded = codec.encode(fb)
             payload = encoded.data
             encode_seconds = encoded.encode_seconds
             clock.advance(encode_seconds)
+        transfer_start = clock.now
         receipt = self.network.transfer_time(service.host, self.host,
                                              len(payload))
         clock.advance(receipt)
@@ -186,8 +192,31 @@ class ThinClient:
             decoded_fb, decode_seconds = codec.decode(encoded, width, height)
             clock.advance(decode_seconds)
             fb = decoded_fb
+        blit_start = clock.now
         blit = self.device.blit_seconds(width, height, path=self.blit_path)
         clock.advance(blit)
+
+        if obs.enabled:
+            tracer = obs.tracer
+            common = dict(session=self._rsid, client=self.name, frame=frame)
+            tracer.record("request", t0, render_start, **common)
+            tracer.record("render", render_start, encode_start, **common)
+            if codec is not None:
+                tracer.record("encode", encode_start, transfer_start,
+                              codec=encoded.codec, **common)
+            tracer.record("transfer", transfer_start,
+                          transfer_start + receipt, nbytes=len(payload),
+                          **common)
+            if codec is not None:
+                tracer.record("decode", transfer_start + receipt,
+                              blit_start, **common)
+            tracer.record("blit", blit_start, blit_start + blit, **common)
+            obs.metrics.counter("rave_client_frames_total",
+                                "frames delivered to thin clients",
+                                client=self.name).inc()
+            obs.metrics.histogram("rave_client_frame_latency_seconds",
+                                  "request to blit end"
+                                  ).observe(clock.now - t0)
 
         self.frames_received += 1
         timing = FrameTiming(

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ServiceError
+from repro.obs import active as _obs
 
 
 @dataclass
@@ -77,13 +78,24 @@ class FrameStreamer:
         """Request → render → transfer → blit, strictly serialised."""
         if n_frames < 1:
             raise ServiceError("need at least one frame")
+        obs = _obs()
         clock = self.service.network.sim.clock
         t0 = clock.now
         arrivals = []
-        for _ in range(n_frames):
+        for i in range(n_frames):
             render, transfer = self._frame_costs()
+            start = clock.now
             clock.advance(render + transfer + self.blit_seconds)
             arrivals.append(clock.now)
+            if obs.enabled:
+                self._trace_frame(obs, "lockstep", i, start,
+                                  start + render,
+                                  start + render,
+                                  start + render + transfer)
+        if obs.enabled:
+            obs.metrics.counter("rave_stream_frames_total",
+                                "frames streamed", mode="lockstep",
+                                session=self.rsid).inc(n_frames)
         return StreamStats(frames=n_frames,
                            elapsed_seconds=clock.now - t0,
                            arrivals=arrivals)
@@ -100,24 +112,48 @@ class FrameStreamer:
         """
         if n_frames < 1:
             raise ServiceError("need at least one frame")
+        obs = _obs()
         sim = self.service.network.sim
         t0 = sim.clock.now
         arrivals: list[float] = []
 
         render_free_at = t0
         net_free_at = t0
-        for _ in range(n_frames):
+        for i in range(n_frames):
             render, transfer = self._frame_costs()
-            render_done = max(render_free_at, sim.clock.now) + render
+            render_start = max(render_free_at, sim.clock.now)
+            render_done = render_start + render
             render_free_at = render_done
             send_start = max(render_done, net_free_at)
             arrival = send_start + transfer
             net_free_at = arrival
+            if obs.enabled:
+                self._trace_frame(obs, "pipelined", i, render_start,
+                                  render_done, send_start, arrival)
             # schedule the arrival event so downstream consumers (e.g. a
             # FrameSynchronizer feeding a display) can react in order
             sim.schedule_at(arrival + self.blit_seconds,
                             lambda t=arrival: arrivals.append(t))
         sim.run()
+        if obs.enabled:
+            obs.metrics.counter("rave_stream_frames_total",
+                                "frames streamed", mode="pipelined",
+                                session=self.rsid).inc(n_frames)
         return StreamStats(frames=n_frames,
                            elapsed_seconds=sim.clock.now - t0,
                            arrivals=sorted(arrivals))
+
+    def _trace_frame(self, obs, mode: str, frame: int, render_start: float,
+                     render_done: float, send_start: float,
+                     arrival: float) -> None:
+        """Record one frame's render → transfer → blit span chain."""
+        tracer = obs.tracer
+        common = dict(session=self.rsid, mode=mode, frame=frame)
+        tracer.record("render", render_start, render_done, **common)
+        tracer.record("transfer", send_start, arrival, **common)
+        tracer.record("blit", arrival, arrival + self.blit_seconds,
+                      **common)
+        obs.metrics.histogram(
+            "rave_stream_frame_latency_seconds",
+            "render start to blit end per frame", mode=mode
+        ).observe(arrival + self.blit_seconds - render_start)

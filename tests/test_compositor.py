@@ -201,6 +201,44 @@ class TestFrameSynchronizer:
         with pytest.raises(RenderError):
             FrameSynchronizer([])
 
+    def test_late_tile_cannot_resurrect_released_frame(self):
+        """Regression: a tile arriving for an already-released sequence
+        used to re-enter the pending map, and a straggling second tile
+        could then complete that old frame and release it *after* a newer
+        one — the display stepping backwards.  The watermark discards it."""
+        sync, tiles = self.make()
+        sync.submit(1, 0, self.part(tiles[0], 5))
+        sync.submit(1, 1, self.part(tiles[1], 6))
+        assert sync.take_frame(FrameBuffer(8, 8)) == 1
+        # both tiles of frame 0 straggle in after frame 1 was shown
+        sync.submit(0, 0, self.part(tiles[0], 1))
+        sync.submit(0, 1, self.part(tiles[1], 2))
+        assert sync.take_frame(FrameBuffer(8, 8)) is None
+        assert sync.late_tiles == 2
+        assert sync.last_released == 1
+
+    def test_late_tile_for_dropped_frame_discarded(self):
+        """A frame dropped in favour of a newer one is also below the
+        watermark; its stragglers must not re-pend either."""
+        sync, tiles = self.make()
+        sync.submit(0, 0, self.part(tiles[0], 1))   # frame 0: half only
+        sync.submit(2, 0, self.part(tiles[0], 3))
+        sync.submit(2, 1, self.part(tiles[1], 4))
+        assert sync.take_frame(FrameBuffer(8, 8)) == 2
+        assert sync.frames_dropped == 1
+        sync.submit(0, 1, self.part(tiles[1], 2))   # frame 0's straggler
+        assert sync.take_frame(FrameBuffer(8, 8)) is None
+        assert sync.late_tiles == 1
+
+    def test_watermark_does_not_block_future_frames(self):
+        sync, tiles = self.make()
+        for seq in (0, 1, 2):
+            sync.submit(seq, 0, self.part(tiles[0], seq))
+            sync.submit(seq, 1, self.part(tiles[1], seq))
+            assert sync.take_frame(FrameBuffer(8, 8)) == seq
+        assert sync.frames_released == 3
+        assert sync.late_tiles == 0
+
 
 class TestSlabBlending:
     def test_slabs_match_monolithic_volume(self):

@@ -135,6 +135,39 @@ class TestDelta:
         enc = codec.encode(fb3)
         assert enc.meta["changed"] == 0
 
+    def test_lossy_stream_error_stays_bounded(self):
+        """Regression: the lossy encoder used to reference the *true*
+        frame rather than the receiver's post-apply state, so per-frame
+        sub-tolerance drift compounded — a slow fade accumulated error
+        well beyond the tolerance.  With the fix, the decoded stream
+        never deviates from the source by more than the tolerance."""
+        tol = 10
+        enc_codec = DeltaCodec(tolerance=tol)
+        dec_codec = DeltaCodec(tolerance=tol)
+        fb = flat_frame(value=(100, 100, 100))
+        # drift by +4/channel per frame: always under tolerance vs the
+        # receiver's state only if the encoder tracks that state
+        for step in range(12):
+            fb = fb.copy()
+            fb.color[:] = np.minimum(fb.color + 4, 255)
+            enc = enc_codec.encode(fb)
+            dec, _ = dec_codec.decode(enc, 32, 32)
+            error = np.abs(dec.color.astype(int) - fb.color.astype(int))
+            assert error.max() <= tol, f"frame {step}: drift {error.max()}"
+
+    def test_lossy_encoder_reference_mirrors_decoder(self):
+        """After a delta frame, both sides must hold identical state."""
+        tol = 8
+        enc_codec = DeltaCodec(tolerance=tol)
+        dec_codec = DeltaCodec(tolerance=tol)
+        frames = [flat_frame(value=(50, 50, 50)), flat_frame(value=(54, 50, 50)),
+                  noisy_frame(seed=7)]
+        for fb in frames:
+            enc = enc_codec.encode(fb)
+            dec_codec.decode(enc, 32, 32)
+            assert np.array_equal(enc_codec._reference_enc,
+                                  dec_codec._reference_dec)
+
 
 class TestBandwidthEstimator:
     def test_ewma_tracks_observations(self):
@@ -160,6 +193,26 @@ class TestBandwidthEstimator:
             BandwidthEstimator(initial_bps=0)
         with pytest.raises(ValueError):
             BandwidthEstimator(alpha=0)
+
+    def test_first_observation_replaces_prior(self):
+        """Regression: the first sample used to be EWMA-blended with the
+        arbitrary prior, so on a link 100× slower than the default the
+        estimate stayed wrong for many frames and the adaptive codec kept
+        over-sending.  The first observation must snap the estimate."""
+        est = BandwidthEstimator(initial_bps=4.8e6, alpha=0.3)
+        est.observe(nbytes=6_000, seconds=1.0)    # 48 kbit/s link
+        assert est.bps == pytest.approx(48_000.0)
+        # subsequent samples blend as usual
+        est.observe(nbytes=12_000, seconds=1.0)   # 96 kbit/s sample
+        assert est.bps == pytest.approx(0.3 * 96_000 + 0.7 * 48_000)
+
+    def test_observation_count_tracked(self):
+        est = BandwidthEstimator()
+        est.observe(0, 1.0)                       # ignored, not counted
+        assert est.observations == 0
+        est.observe(1_000, 1.0)
+        est.observe(1_000, 1.0)
+        assert est.observations == 2
 
 
 class TestAdaptive:

@@ -13,6 +13,7 @@ PACKAGES = [
     "repro.network",
     "repro.data",
     "repro.compression",
+    "repro.obs",
     "repro.hardware",
     "repro.collab",
 ]
