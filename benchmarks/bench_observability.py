@@ -3,13 +3,19 @@
 Runs the paper's whole machinery — placement, collaborative compositing,
 pipelined streaming, adaptive compression over a degrading wireless link,
 migration pressure and a mid-run crash with heartbeat-driven recovery —
-under an installed :mod:`repro.obs` bundle, then exports everything the
-instrumentation captured as one JSON snapshot
+under an installed :mod:`repro.obs` bundle and a deployed
+:class:`~repro.services.monitor.MonitorService` scraping every service
+over the simulated network, then exports everything the instrumentation
+captured as one JSON snapshot
 (``benchmarks/results/BENCH_observability.json``).
 
 The snapshot is the artifact: counters for every subsystem, latency
-histograms, and the per-frame span chains that let a trace viewer (or a
-regression diff) reconstruct exactly where each frame's time went.
+histograms, the per-frame span chains that let a trace viewer (or a
+regression diff) reconstruct exactly where each frame's time went, the
+monitor's federated view (alerts + SLO attainment report), and the
+flight-recorder dumps (also written separately as
+``BENCH_flight_recorder.json`` so CI can upload the post-mortem on its
+own).
 
 Usage::
 
@@ -40,6 +46,8 @@ from repro.services.streaming import FrameStreamer
 from repro.testbed import build_testbed
 
 DEFAULT_OUT = Path(__file__).parent / "results" / "BENCH_observability.json"
+DEFAULT_DUMP_OUT = (Path(__file__).parent / "results"
+                    / "BENCH_flight_recorder.json")
 
 
 def build_session(tb, polygons_per_part: int, parts: int
@@ -137,10 +145,13 @@ def crash_and_recover(tb, cs) -> None:
     tb.network.sim.run_until(now + 10.0)
 
 
-def run(smoke: bool, out: Path) -> Path:
+def run(smoke: bool, out: Path,
+        dump_out: Path = DEFAULT_DUMP_OUT) -> Path:
+    import json
+
     polygons = 4_000 if smoke else 40_000
     frames = 3 if smoke else 12
-    tb = build_testbed()
+    tb = build_testbed(monitor_host="registry-host")
     bundle = obs.install(clock=tb.clock)
     try:
         cs = build_session(tb, polygons, parts=6)
@@ -155,7 +166,16 @@ def run(smoke: bool, out: Path) -> Path:
             meta={"benchmark": "observability",
                   "mode": "smoke" if smoke else "full",
                   "polygons_per_part": polygons,
-                  "frames": frames})
+                  "frames": frames},
+            recorder=bundle.recorder,
+            extra={"monitor": tb.monitor.snapshot()})
+        dump_out.parent.mkdir(parents=True, exist_ok=True)
+        dump_out.write_text(json.dumps(
+            {"format": "rave-flight-recorder/1",
+             "events_seen": bundle.recorder.seen,
+             "capacity": bundle.recorder.capacity,
+             "dumps": bundle.recorder.dumps},
+            indent=2) + "\n")
     finally:
         obs.uninstall()
     return path
@@ -173,6 +193,20 @@ def check(path: Path) -> None:
         assert any(n.startswith(prefix) for n in names), \
             f"snapshot is missing {prefix}* metrics"
     assert data["frames"], "snapshot has no per-frame span chains"
+    # registry metadata + federation slot (satellite 2)
+    assert data["registry"]["families"] > 0, "registry metadata missing"
+    assert "default" in data["wall_meta"], "wall_meta slot missing"
+    # the monitoring plane (tentpole): federated view, scrape traffic, SLOs
+    monitor = data["monitor"]
+    assert monitor["format"] == "rave-monitor-snapshot/1"
+    assert monitor["scrapes"]["count"] > 0, "monitor never scraped"
+    assert monitor["scrapes"]["bytes"] > 0, \
+        "scrapes put no bytes on the simulated wire"
+    assert monitor["services"], "monitor federated no services"
+    assert monitor["slo"], "SLO attainment report is empty"
+    # the crash left a post-mortem
+    recorder = data["flight_recorder"]
+    assert recorder["dumps"], "no flight-recorder dump after the crash"
 
 
 def main(argv: list[str] | None = None) -> int:

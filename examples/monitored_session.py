@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""The grid monitoring plane closing the loop on a live session.
+
+1. The testbed comes up with a :class:`MonitorService` on the registry
+   host, scraping every service's telemetry over the simulated network
+   once a second.
+2. A collaborative session places a dataset; frames render; the monitor
+   federates fps/utilisation gauges from the scraped payloads.
+3. A console user logs onto a render machine — its frame rate collapses.
+   The monitor's sustained-threshold rule (the migration policy's own
+   8 fps / 3 s contract) raises a ``render-overload`` alert.
+4. The alert is handed to ``cs.rebalance(alerts=...)``: the migrator
+   sheds work off the overloaded service even though its *local*
+   trackers never saw a sample — monitoring drives the policy.
+5. The SLO report records the violation window and its recovery, and the
+   text dashboard renders the whole story.
+
+Run:
+    python examples/monitored_session.py
+"""
+
+from repro import build_testbed, obs
+from repro.data import skeleton
+from repro.obs.dashboard import render_dashboard
+from repro.core import CollaborativeSession
+from repro.scenegraph import CameraNode, MeshNode, SceneTree
+
+
+def main() -> None:
+    tb = build_testbed(monitor_host="registry-host")
+    bundle = obs.install(clock=tb.clock)
+    try:
+        tree = SceneTree("visible-man")
+        tree.add(MeshNode(skeleton(90_000).normalized(), name="skeleton"))
+        tb.publish_tree("visible-man", tree)
+        cs = CollaborativeSession(tb.data_service, "visible-man",
+                                  target_fps=600,
+                                  recruiter=tb.recruiter())
+        cs.place_dataset()
+        print(f"placed across: "
+              f"{sorted(s.name for s in cs.render_services)}")
+
+        cam = CameraNode(position=(1.0, 1.6, 0.3))
+        print("\n-- healthy baseline ---------------------------------------")
+        for _ in range(4):
+            cs.render_composite(cam, 128, 128)
+            tb.network.sim.run_until(tb.clock.now + 1.0)
+        print(f"monitor scraped {tb.monitor.scrapes} payloads "
+              f"({tb.monitor.scrape_bytes:,} bytes on the wire); "
+              f"alerts: {len(tb.monitor.firing_alerts())}")
+
+        print("\n-- console login collapses one machine --------------------")
+        victim = max((s for s in cs.render_services if cs.share_of(s)),
+                     key=lambda s: s.committed_polygons())
+        print(f"{victim.name}: reported fps pinned to 2.0")
+        for _ in range(6):
+            victim.reported_fps = 2.0
+            tb.network.sim.run_until(tb.clock.now + 1.0)
+        alerts = tb.monitor.firing_alerts()
+        for alert in alerts:
+            print(f"  ALERT {alert.rule} on {alert.service} "
+                  f"(value {alert.value:.1f}, since t={alert.since:.1f}s)")
+
+        print("\n-- the alert drives the migration policy ------------------")
+        actions = cs.rebalance(alerts=alerts)
+        for action in actions:
+            print(f"  migrated {action.polygons:,} polygons "
+                  f"{action.source} -> {action.destination} "
+                  f"[{action.reason}]")
+        if not actions:
+            print("  (no receiver had spare capacity)")
+        victim.reported_fps = float("inf")   # load gone; fps recovers
+        for _ in range(3):
+            cs.render_composite(cam, 128, 128)
+            tb.network.sim.run_until(tb.clock.now + 1.0)
+
+        print("\n-- dashboard ----------------------------------------------")
+        print(render_dashboard(tb.monitor.snapshot()), end="")
+        print(f"\nflight recorder: {bundle.recorder.seen} events noted, "
+              f"{len(bundle.recorder.dumps)} dump(s)")
+    finally:
+        obs.uninstall()
+
+
+if __name__ == "__main__":
+    main()

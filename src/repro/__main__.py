@@ -6,7 +6,9 @@ Commands:
 - ``quickstart``  — run the README quickstart and save a frame;
 - ``table2``      — regenerate the paper's Table 2 (PDA timings);
 - ``tables34``    — regenerate Tables 3/4 (off-screen efficiency);
-- ``table5``      — regenerate Table 5 (UDDI + bootstrap timings).
+- ``table5``      — regenerate Table 5 (UDDI + bootstrap timings);
+- ``dashboard``   — render the monitoring-plane text dashboard, from a
+  snapshot JSON (``--snapshot``) or from a freshly run live demo.
 
 The full per-table/per-figure harness lives in ``benchmarks/`` (run with
 ``pytest benchmarks/ --benchmark-only``); these subcommands are the quick
@@ -128,6 +130,38 @@ def cmd_table5(args) -> int:
     return 0
 
 
+def cmd_dashboard(args) -> int:
+    import json
+
+    from repro.obs.dashboard import render_dashboard
+
+    if args.snapshot:
+        with open(args.snapshot) as fh:
+            snap = json.load(fh)
+        print(render_dashboard(snap), end="")
+        return 0
+
+    # Live demo: a monitored testbed under load for a few simulated seconds.
+    from repro import obs
+    from repro.data import galleon
+    from repro.testbed import build_testbed
+
+    tb = build_testbed(monitor_host="registry-host")
+    with obs.observed(clock=tb.clock):
+        tb.publish_model("demo", galleon(20_000).normalized())
+        rs = tb.render_service("centrino")
+        rsession, _ = rs.create_render_session(tb.data_service, "demo")
+        client = tb.thin_client("dash-user")
+        client.attach(rs, rsession.render_session_id)
+        client.move_camera(position=(2.2, 1.4, 1.2))
+        deadline = tb.clock.now + float(args.seconds)
+        while tb.clock.now < deadline:
+            client.request_frame(200, 200)
+            tb.network.sim.run_until(min(deadline, tb.clock.now + 0.5))
+        print(render_dashboard(tb.monitor.snapshot()), end="")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -140,6 +174,14 @@ def main(argv=None) -> int:
     sub.add_parser("table2", help="regenerate Table 2 (PDA timings)")
     sub.add_parser("tables34", help="regenerate Tables 3/4 (off-screen)")
     sub.add_parser("table5", help="regenerate Table 5 (UDDI/bootstrap)")
+    dash = sub.add_parser("dashboard",
+                          help="render the monitoring text dashboard")
+    dash.add_argument("--snapshot", default=None,
+                      help="JSON snapshot to render (monitor snapshot or "
+                           "observability snapshot with a 'monitor' key); "
+                           "omit to run a short live demo")
+    dash.add_argument("--seconds", type=float, default=6.0,
+                      help="simulated seconds for the live demo (default 6)")
     args = parser.parse_args(argv)
     handler = {
         "info": cmd_info,
@@ -147,6 +189,7 @@ def main(argv=None) -> int:
         "table2": cmd_table2,
         "tables34": cmd_tables34,
         "table5": cmd_table5,
+        "dashboard": cmd_dashboard,
     }[args.command]
     return handler(args)
 

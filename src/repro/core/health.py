@@ -113,6 +113,9 @@ class HeartbeatMonitor:
                     obs.metrics.counter(
                         "rave_health_transitions_total",
                         "lease state transitions", state="recovered").inc()
+                    obs.recorder.note(
+                        "lease-transition", time=self.sim.now,
+                        detail=f"{name}: {was} -> alive (heartbeat)")
                 for cb in self.on_recover:
                     cb(name)
 
@@ -132,27 +135,44 @@ class HeartbeatMonitor:
         """Evaluate every lease now; returns ``(name, new_state)`` changes."""
         self.polls += 1
         now = self.sim.now
+        obs = _obs()
         changes: list[tuple[str, str]] = []
         for lease in list(self._leases.values()):
             age = lease.age(now)
             if lease.state == ALIVE and age >= self.suspect_after:
                 lease.state = SUSPECTED
                 changes.append((lease.name, SUSPECTED))
+                if obs.enabled:
+                    obs.recorder.note(
+                        "lease-transition", time=now,
+                        detail=f"{lease.name}: alive -> suspected "
+                               f"(lease age {age:.2f}s)")
                 for cb in self.on_suspect:
                     cb(lease.name)
             if lease.state == SUSPECTED and age >= self.dead_after:
                 lease.state = DEAD
                 lease.deaths += 1
                 changes.append((lease.name, DEAD))
+                if obs.enabled:
+                    obs.recorder.note(
+                        "lease-transition", time=now,
+                        detail=f"{lease.name}: suspected -> dead "
+                               f"(lease age {age:.2f}s)")
                 for cb in self.on_dead:
                     cb(lease.name)
         if changes:
-            obs = _obs()
             if obs.enabled:
                 for _, state in changes:
                     obs.metrics.counter("rave_health_transitions_total",
                                         "lease state transitions",
                                         state=state).inc()
+                # Dump AFTER the callbacks: the recovery actions the death
+                # triggered are in the ring, so the post-mortem shows both
+                # the failure and the response.
+                for name, state in changes:
+                    if state == DEAD:
+                        obs.recorder.dump(f"heartbeat-death:{name}",
+                                          time=now)
         return changes
 
     # -- recurring evaluation ----------------------------------------------------
@@ -166,9 +186,9 @@ class HeartbeatMonitor:
 
         def tick() -> None:
             self.poll()
-            self._poll_handle = self.sim.schedule(period, tick)
+            self._poll_handle = self.sim.schedule(period, tick, daemon=True)
 
-        self._poll_handle = self.sim.schedule(period, tick)
+        self._poll_handle = self.sim.schedule(period, tick, daemon=True)
 
     def stop(self) -> None:
         if self._poll_handle is not None:
@@ -210,9 +230,9 @@ class HeartbeatSource:
             if self._stopped:
                 return
             self._emit()
-            self.network.sim.schedule(self.interval, tick)
+            self.network.sim.schedule(self.interval, tick, daemon=True)
 
-        self.network.sim.schedule(self.interval, tick)
+        self.network.sim.schedule(self.interval, tick, daemon=True)
         return self
 
     def _emit(self) -> None:

@@ -30,6 +30,11 @@ from dataclasses import dataclass
 from repro.core.capacity import DEFAULT_TARGET_FPS
 from repro.core.cost import node_cost
 from repro.obs import active as _obs
+from repro.obs.rules import (
+    DEFAULT_OVERLOAD_FPS,
+    DEFAULT_SMOOTHING_SECONDS,
+    DEFAULT_UNDERLOAD_UTILISATION,
+)
 
 
 @dataclass(frozen=True)
@@ -112,9 +117,9 @@ class WorkloadMigrator:
 
     def __init__(self,
                  target_fps: float = DEFAULT_TARGET_FPS,
-                 overload_fps: float = 8.0,
-                 underload_utilisation: float = 0.3,
-                 smoothing_seconds: float = 3.0) -> None:
+                 overload_fps: float = DEFAULT_OVERLOAD_FPS,
+                 underload_utilisation: float = DEFAULT_UNDERLOAD_UTILISATION,
+                 smoothing_seconds: float = DEFAULT_SMOOTHING_SECONDS) -> None:
         self.target_fps = target_fps
         self.overload_fps = overload_fps
         self.underload_utilisation = underload_utilisation
@@ -197,19 +202,32 @@ class WorkloadMigrator:
 
     # -- the rebalancing pass ------------------------------------------------------------
 
-    def plan(self, session) -> list[MigrationAction]:
+    def plan(self, session, alerts=None) -> list[MigrationAction]:
         """One policy pass over a :class:`CollaborativeSession`.
 
         Overloaded services shed work to the peer with the most headroom
         (recruiting via the session when nobody has spare capacity);
         underloaded services take work from the most loaded peer.
+
+        ``alerts`` — optional monitor-plane alerts
+        (:class:`repro.obs.rules.Alert`); a service named by a sustained
+        ``overload``/``underload`` alert is treated as crossing the
+        corresponding threshold even when this migrator's own trackers
+        hold no samples, which lets a
+        :class:`~repro.services.monitor.MonitorService` drive the policy
+        from scraped telemetry.  Without alerts, behaviour is unchanged.
         """
         obs = _obs()
+        over_alerted = {a.service for a in alerts or ()
+                        if a.kind == "overload"}
+        under_alerted = {a.service for a in alerts or ()
+                         if a.kind == "underload"}
         actions: list[MigrationAction] = []
         services = list(session.render_services)
 
         for service in services:
-            if not self.overloaded(service):
+            if not (self.overloaded(service)
+                    or service.name in over_alerted):
                 continue
             if obs.enabled:
                 obs.metrics.counter("rave_migration_triggers_total",
@@ -235,7 +253,8 @@ class WorkloadMigrator:
                 actions.append(action)
 
         for service in list(services):
-            if not self.underloaded(service):
+            if not (self.underloaded(service)
+                    or service.name in under_alerted):
                 continue
             if obs.enabled:
                 obs.metrics.counter("rave_migration_triggers_total",
@@ -255,6 +274,9 @@ class WorkloadMigrator:
 
         if obs.enabled and actions:
             m = obs.metrics
+            data_service = getattr(session, "data_service", None)
+            now = (data_service.network.sim.now
+                   if data_service is not None else 0.0)
             for action in actions:
                 m.counter("rave_migration_actions_total",
                           "planned work movements",
@@ -262,6 +284,10 @@ class WorkloadMigrator:
                 m.counter("rave_migration_polygons_moved_total",
                           "polygons migrated between services"
                           ).inc(action.polygons)
+                obs.recorder.note(
+                    "migration", time=now,
+                    detail=f"{action.source} -> {action.destination}: "
+                           f"{action.polygons} polygons ({action.reason})")
         self.actions.extend(actions)
         return actions
 

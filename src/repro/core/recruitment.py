@@ -22,6 +22,7 @@ from repro.services.uddi import UddiClient
 #: UDDI names the RAVE deployment registers under
 RAVE_BUSINESS = "RAVE project"
 RENDER_TMODEL = "RaveRenderService"
+MONITOR_TMODEL = "RaveMonitorService"
 DATA_TMODEL = "RaveDataService"
 
 

@@ -213,6 +213,12 @@ class CollaborativeSession:
                                          volume_hosts=volume_hosts)
             self.apply_distribution(plan)
         self.placement = placement
+        obs = _obs()
+        if obs.enabled:
+            obs.recorder.note(
+                "placement", time=self.data_service.network.sim.now,
+                detail=f"{self.session_id}: {placement.mode} across "
+                       f"{[a.service.name for a in placement.assignments]}")
         return placement
 
     def apply_distribution(self, plan: DistributionPlan) -> None:
@@ -423,6 +429,11 @@ class CollaborativeSession:
         self.recoveries.append(report)
         obs = _obs()
         if obs.enabled:
+            obs.recorder.note(
+                "recovery", time=report.time,
+                detail=f"{name} failed; reassigned "
+                       f"{report.nodes_recovered} nodes to "
+                       f"{sorted(reassigned)}; recruited {recruited}")
             m = obs.metrics
             m.counter("rave_session_recoveries_total",
                       "render-service failures recovered from",
@@ -653,6 +664,11 @@ class CollaborativeSession:
         self.migrator.record_frame(
             service, self.data_service.network.sim.clock.now, fps)
 
-    def rebalance(self) -> list:
-        """One migration-policy pass; returns the actions taken."""
-        return self.migrator.plan(self)
+    def rebalance(self, alerts=None) -> list:
+        """One migration-policy pass; returns the actions taken.
+
+        ``alerts`` — optional monitor-plane alerts forwarded to
+        :meth:`WorkloadMigrator.plan`, letting scraped telemetry trigger
+        migrations the local trackers haven't seen yet.
+        """
+        return self.migrator.plan(self, alerts=alerts)

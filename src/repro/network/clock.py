@@ -61,6 +61,9 @@ class _Event:
     seq: int
     callback: Callable[[], Any] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: daemon events (recurring heartbeat/monitor ticks) never keep
+    #: :meth:`Simulator.run` alive on their own
+    daemon: bool = field(default=False, compare=False)
 
 
 class EventHandle:
@@ -96,6 +99,7 @@ class Simulator:
         self._queue: list[_Event] = []
         self._seq = itertools.count()
         self._processed = 0
+        self._nondaemon_pending = 0
 
     @property
     def now(self) -> float:
@@ -111,26 +115,39 @@ class Simulator:
         """Total number of callbacks executed so far."""
         return self._processed
 
-    def schedule(self, delay: float, callback: Callable[[], Any]) -> EventHandle:
-        """Run ``callback`` ``delay`` simulated seconds from now."""
+    def schedule(self, delay: float, callback: Callable[[], Any],
+                 daemon: bool = False) -> EventHandle:
+        """Run ``callback`` ``delay`` simulated seconds from now.
+
+        ``daemon`` events (recurring heartbeat polls, monitor scrape ticks)
+        execute normally but never keep :meth:`run` alive: once only daemon
+        events remain queued, :meth:`run` returns instead of chasing the
+        self-rescheduling tick forever.
+        """
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay!r})")
-        return self.schedule_at(self.clock.now + delay, callback)
+        return self.schedule_at(self.clock.now + delay, callback, daemon=daemon)
 
-    def schedule_at(self, time: float, callback: Callable[[], Any]) -> EventHandle:
+    def schedule_at(self, time: float, callback: Callable[[], Any],
+                    daemon: bool = False) -> EventHandle:
         """Run ``callback`` at absolute simulated time ``time``."""
         if time < self.clock.now:
             raise ValueError(
                 f"cannot schedule at t={time!r}, clock already at {self.clock.now!r}"
             )
-        event = _Event(time=float(time), seq=next(self._seq), callback=callback)
+        event = _Event(time=float(time), seq=next(self._seq), callback=callback,
+                       daemon=daemon)
         heapq.heappush(self._queue, event)
+        if not daemon:
+            self._nondaemon_pending += 1
         return EventHandle(event)
 
     def step(self) -> bool:
         """Execute the next event.  Returns ``False`` when the queue is empty."""
         while self._queue:
             event = heapq.heappop(self._queue)
+            if not event.daemon:
+                self._nondaemon_pending -= 1
             if event.cancelled:
                 continue
             self.clock.advance_to(event.time)
@@ -140,14 +157,19 @@ class Simulator:
         return False
 
     def run(self, max_events: int = 1_000_000) -> int:
-        """Run until the queue drains; returns the number of events executed.
+        """Run until no non-daemon events remain; returns events executed.
 
+        Daemon ticks scheduled before the last non-daemon event still run
+        (they may themselves schedule non-daemon work, e.g. a monitor
+        scrape putting bytes on the wire, which then drains too).
         ``max_events`` bounds runaway self-rescheduling loops.
         """
         executed = 0
-        while executed < max_events and self.step():
+        while executed < max_events and self._nondaemon_pending > 0:
+            if not self.step():
+                break
             executed += 1
-        if executed >= max_events and self._queue:
+        if executed >= max_events and self._nondaemon_pending > 0:
             raise RuntimeError(f"simulation did not drain within {max_events} events")
         return executed
 

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import NetworkError
 from repro.network.simnet import Link, Network
+from repro.obs import active as _obs
 
 
 def _pair_key(a: str, b: str) -> tuple[str, str]:
@@ -98,9 +99,20 @@ class FaultInjector:
     # -- immediate faults --------------------------------------------------------
 
     def crash_host(self, name: str) -> None:
-        """Take a machine down: it routes nothing and answers nothing."""
+        """Take a machine down: it routes nothing and answers nothing.
+
+        When a flight recorder is active, a post-mortem dump is
+        *requested* with a grace period rather than taken immediately —
+        the lease transitions and recovery actions the crash provokes
+        belong in the dump, and if the heartbeat path produces its own
+        death dump first, the deferred one stands down (exactly one dump
+        per failure).
+        """
         self.network.set_host_up(name, False)
         self._record("crash", name)
+        obs = _obs()
+        if obs.enabled:
+            obs.recorder.request_dump(f"crash:{name}", self.network.sim)
 
     def restart_host(self, name: str) -> None:
         self.network.set_host_up(name, True)
@@ -207,6 +219,10 @@ class FaultInjector:
     def _record(self, kind: str, detail: str) -> None:
         self.log.append(FaultEvent(time=self.network.sim.now,
                                    kind=kind, detail=detail))
+        obs = _obs()
+        if obs.enabled:
+            obs.recorder.note(f"fault:{kind}", time=self.network.sim.now,
+                              detail=detail)
 
     def events(self, kind: str | None = None) -> list[FaultEvent]:
         if kind is None:

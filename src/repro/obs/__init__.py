@@ -10,7 +10,15 @@ provides it, NetLogger-style, entirely on the simulated clock:
 - :mod:`repro.obs.tracing` — a :class:`Tracer` of per-frame pipeline
   spans (``render → encode → transfer → composite → blit``) keyed to
   ``repro.network.clock`` time;
-- :mod:`repro.obs.export` — Prometheus text and JSON snapshot exporters.
+- :mod:`repro.obs.export` — Prometheus text and JSON snapshot exporters;
+- :mod:`repro.obs.telemetry` — per-service registries + event streams,
+  scrapeable over the simulated network;
+- :mod:`repro.obs.rules` — declarative alert rules and paper-derived SLO
+  targets evaluated by the monitor service;
+- :mod:`repro.obs.recorder` — the failure flight recorder (bounded event
+  ring dumped on heartbeat death or injected crash);
+- :mod:`repro.obs.dashboard` — text dashboard over a federated monitor
+  snapshot (``python -m repro dashboard``).
 
 Instrumented hot paths (scheduler, migrator, session, health monitor,
 network, streaming, adaptive compression) read the *active* bundle via
@@ -40,31 +48,43 @@ from repro.obs.metrics import (
     NullRegistry,
     NULL_REGISTRY,
 )
+from repro.obs.recorder import (
+    FlightEvent,
+    FlightRecorder,
+    NullRecorder,
+    NULL_RECORDER,
+)
 from repro.obs.tracing import NullTracer, NULL_TRACER, Span, Tracer
 
 
 class Observability:
-    """A registry + tracer pair, installable as the process-wide default.
+    """A registry + tracer + flight-recorder trio, installable process-wide.
 
     ``enabled`` lets hot paths skip label formatting and timing math in a
     single attribute check when observability is off.
     """
 
-    __slots__ = ("metrics", "tracer", "enabled")
+    __slots__ = ("metrics", "tracer", "recorder", "enabled")
 
     def __init__(self, metrics: MetricsRegistry | None = None,
                  tracer: Tracer | None = None,
+                 recorder: FlightRecorder | None = None,
                  enabled: bool = True) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
+        if recorder is None:
+            recorder = FlightRecorder() if enabled else NULL_RECORDER
+        self.recorder = recorder
         self.enabled = enabled
 
     def snapshot(self, clock=None, meta: dict | None = None) -> dict:
-        return snapshot(self.metrics, self.tracer, clock=clock, meta=meta)
+        return snapshot(self.metrics, self.tracer, clock=clock, meta=meta,
+                        recorder=self.recorder if self.enabled else None)
 
 
 #: the permanent off-switch: shared no-op instruments, stores nothing
-NULL_OBS = Observability(NULL_REGISTRY, NULL_TRACER, enabled=False)
+NULL_OBS = Observability(NULL_REGISTRY, NULL_TRACER, NULL_RECORDER,
+                         enabled=False)
 
 _active: Observability = NULL_OBS
 
@@ -116,6 +136,10 @@ __all__ = [
     "NullTracer",
     "NULL_TRACER",
     "Span",
+    "FlightEvent",
+    "FlightRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
     "NULL_OBS",
     "active",
     "install",

@@ -1,0 +1,114 @@
+"""Text dashboard for a federated monitor snapshot.
+
+``python -m repro dashboard`` (or any caller with a snapshot dict)
+renders per-service gauges, the firing alerts and the SLO scoreboard as
+plain terminal text.  Accepts either a monitor-service snapshot
+(``rave-monitor-snapshot/1``) directly, or an observability snapshot
+that embeds one under a ``monitor`` key (what the benchmark writes).
+"""
+
+from __future__ import annotations
+
+_BAR_WIDTH = 24
+
+
+def _bar(value: float, full_scale: float, width: int = _BAR_WIDTH) -> str:
+    if full_scale <= 0:
+        return " " * width
+    filled = min(width, max(0, round(width * value / full_scale)))
+    return "#" * filled + "." * (width - filled)
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.2f}" if isinstance(value, float) else str(value)
+
+
+def _service_rows(services: dict) -> list[str]:
+    rows = [f"  {'service':<18} {'host':<12} {'kind':<9} "
+            f"{'fps':>7}  {'utilisation':<{_BAR_WIDTH + 7}} {'events':>6}"]
+    for name in sorted(services):
+        entry = services[name]
+        metrics = entry.get("metrics", {})
+        fps = metrics.get("rave_rs_fps")
+        util = metrics.get("rave_rs_utilisation")
+        fps_text = f"{fps:7.2f}" if fps is not None else f"{'-':>7}"
+        if util is not None:
+            util_text = f"{util:5.2f} {_bar(util, 1.5)}"
+        else:
+            util_text = f"{'-':>5} {' ' * _BAR_WIDTH}"
+        rows.append(f"  {name:<18} {entry.get('host', '?'):<12} "
+                    f"{entry.get('kind', '?'):<9} {fps_text}  "
+                    f"{util_text:<{_BAR_WIDTH + 7}} "
+                    f"{entry.get('events_seen', 0):>6}")
+    return rows
+
+
+def _alert_rows(alerts: list) -> list[str]:
+    if not alerts:
+        return ["  (none firing)"]
+    rows = []
+    for alert in alerts:
+        rows.append(
+            f"  [{alert.get('severity', '?'):<8}] {alert.get('rule', '?')} "
+            f"on {alert.get('service', '?')}: value={_fmt(alert.get('value'))} "
+            f"since t={_fmt(alert.get('since'))}s")
+    return rows
+
+
+def _slo_rows(slo: dict) -> list[str]:
+    if not slo:
+        return ["  (no SLO observations yet)"]
+    rows = []
+    for name in sorted(slo):
+        section = slo[name]
+        op = ">=" if section.get("op") == "ge" else "<="
+        rows.append(f"  {name} ({section.get('metric')} {op} "
+                    f"{section.get('objective')}) — {section.get('source')}")
+        for service, score in sorted(section.get("services", {}).items()):
+            attainment = score.get("attainment", 0.0)
+            open_windows = [w for w in score.get("violations", [])
+                            if not w.get("recovered")]
+            status = "VIOLATING" if open_windows else (
+                "ok" if attainment >= 1.0 else "recovered")
+            rows.append(
+                f"    {service:<18} {attainment:7.1%} "
+                f"({score.get('good')}/{score.get('total')} scrapes, "
+                f"{len(score.get('violations', []))} violation "
+                f"window(s)) {status}")
+    return rows
+
+
+def render_dashboard(snapshot: dict) -> str:
+    """Render a monitor snapshot as a multi-section text dashboard."""
+    if snapshot.get("format") != "rave-monitor-snapshot/1":
+        embedded = snapshot.get("monitor")
+        if isinstance(embedded, dict) and \
+                embedded.get("format") == "rave-monitor-snapshot/1":
+            snapshot = embedded
+        else:
+            raise ValueError(
+                "not a monitor snapshot (expected format "
+                "'rave-monitor-snapshot/1' or an embedded 'monitor' "
+                "section)")
+    scrapes = snapshot.get("scrapes", {})
+    lines = [
+        "RAVE grid monitor",
+        f"  simulated time: {_fmt(snapshot.get('time', 0.0))}s   "
+        f"scrape period: {_fmt(snapshot.get('period', 0.0))}s   "
+        f"scrapes: {scrapes.get('count', 0)} "
+        f"({scrapes.get('failures', 0)} failed, "
+        f"{scrapes.get('bytes', 0)} bytes on the wire)",
+        "",
+        "services",
+    ]
+    lines.extend(_service_rows(snapshot.get("services", {})))
+    lines.append("")
+    lines.append("alerts")
+    lines.extend(_alert_rows(snapshot.get("alerts", [])))
+    lines.append("")
+    lines.append("SLOs")
+    lines.extend(_slo_rows(snapshot.get("slo", {})))
+    return "\n".join(lines) + "\n"
+
+
+__all__ = ["render_dashboard"]

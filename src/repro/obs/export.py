@@ -21,18 +21,29 @@ from repro.obs.tracing import Tracer
 
 
 def _format_value(value: float) -> str:
+    if value != value:                       # NaN never equals itself
+        return "NaN"
     if value == float("inf"):
         return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
     if value == int(value):
         return str(int(value))
     return repr(value)
+
+
+def _escape_label_value(value) -> str:
+    """Prometheus exposition escaping: backslash, double quote, newline."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
 
 
 def _labels_text(labels: dict, extra: dict | None = None) -> str:
     merged = {**labels, **(extra or {})}
     if not merged:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in merged.items())
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"'
+                     for k, v in merged.items())
     return "{" + inner + "}"
 
 
@@ -62,11 +73,24 @@ def prometheus_text(registry: MetricsRegistry) -> str:
 
 
 def snapshot(registry: MetricsRegistry, tracer: Tracer | None = None,
-             clock=None, meta: dict | None = None) -> dict:
-    """One self-describing dict: metrics + spans + per-frame chains."""
+             clock=None, meta: dict | None = None, source: str = "default",
+             recorder=None, extra: dict | None = None) -> dict:
+    """One self-describing dict: metrics + spans + per-frame chains.
+
+    ``source`` names the producer: registry-level metadata (family /
+    series / sample counts, simulated time) lands under
+    ``wall_meta[source]``, so snapshots from different services federate
+    with a plain dict union — no key collisions.  ``recorder`` adds the
+    flight recorder's dumps; ``extra`` merges caller sections (e.g. a
+    monitor-service report) top-level.
+    """
+    sim_now = clock.now if clock is not None else None
+    stats = registry.stats()
     out: dict = {
         "format": "rave-observability-snapshot/1",
-        "simulated_seconds": clock.now if clock is not None else None,
+        "simulated_seconds": sim_now,
+        "registry": stats,
+        "wall_meta": {source: {"simulated_seconds": sim_now, **stats}},
         "metrics": registry.snapshot(),
     }
     if meta:
@@ -79,18 +103,29 @@ def snapshot(registry: MetricsRegistry, tracer: Tracer | None = None,
                                        key=lambda kv: str(kv[0]))
         }
         out["spans_dropped"] = tracer.dropped
+    if recorder is not None:
+        out["flight_recorder"] = {
+            "events_seen": recorder.seen,
+            "capacity": recorder.capacity,
+            "dumps": list(recorder.dumps),
+        }
+    if extra:
+        for key, section in extra.items():
+            out[key] = section
     return out
 
 
 def write_snapshot(path, registry: MetricsRegistry,
                    tracer: Tracer | None = None, clock=None,
-                   meta: dict | None = None) -> Path:
+                   meta: dict | None = None, source: str = "default",
+                   recorder=None, extra: dict | None = None) -> Path:
     """Serialise :func:`snapshot` to ``path`` as indented JSON."""
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(json.dumps(
-        snapshot(registry, tracer, clock, meta), indent=2, sort_keys=False)
-        + "\n")
+        snapshot(registry, tracer, clock, meta, source=source,
+                 recorder=recorder, extra=extra),
+        indent=2, sort_keys=False) + "\n")
     return target
 
 

@@ -189,6 +189,22 @@ class MetricsRegistry:
     def has(self, name: str) -> bool:
         return name in self._families
 
+    def stats(self) -> dict:
+        """Registry-level metadata: family, series and sample counts.
+
+        ``samples`` counts recorded observations — one per counter/gauge
+        series plus every histogram observation — so federated snapshots
+        can report how much telemetry each producer contributed.
+        """
+        families = self.families()
+        series = sum(len(f.children) for f in families)
+        samples = 0
+        for family in families:
+            for inst in family.children.values():
+                samples += inst.count if family.kind == "histogram" else 1
+        return {"families": len(families), "series": series,
+                "samples": samples}
+
     def snapshot(self) -> dict:
         """Plain-data view of every family (the JSON exporter's payload)."""
         out: dict[str, dict] = {}

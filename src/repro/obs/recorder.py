@@ -1,0 +1,127 @@
+"""Failure flight recorder: a bounded ring of structured events.
+
+Chaos tests and the fault-tolerance stack generate a lot of history —
+placements, migrations, lease transitions, injected faults, codec
+switches — and when something dies, the question is always "what happened
+in the seconds before?".  The :class:`FlightRecorder` answers it the way
+an aircraft recorder does: a fixed-capacity ring buffer of cheap
+structured events, dumped automatically when a watched service is
+declared dead (``core/health.py``) or a host is crashed by the injector
+(``network/faults.py``).
+
+Dump deduplication: an injected crash *requests* a dump with a grace
+period rather than dumping immediately, because the interesting events
+(lease suspicion, death, recovery reassignments) happen *after* the
+crash.  If the heartbeat path produces its death dump within the grace
+window — its ``events_seen`` covers the crash marker — the deferred
+crash dump is suppressed, so one failure leaves exactly one timeline.
+A crash with no health monitoring attached still dumps after the grace
+period, so nothing is ever lost silently.
+
+The recorder is passive: it never reads a clock (callers stamp event
+times), so it composes with any simulator and stays deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FlightEvent:
+    """One recorded moment: simulated time, a kind tag, and free detail."""
+
+    time: float
+    kind: str        # e.g. "placement" | "migration" | "lease-transition" |
+                     # "recovery" | "fault:crash" | "codec-switch"
+    detail: str = ""
+
+
+class FlightRecorder:
+    """Bounded ring buffer of :class:`FlightEvent` with triggered dumps."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.capacity = capacity
+        self._events: deque[FlightEvent] = deque(maxlen=capacity)
+        #: total events ever noted (ring overflow never hides the count)
+        self.seen = 0
+        #: completed dumps, oldest first
+        self.dumps: list[dict] = []
+
+    def note(self, kind: str, time: float = 0.0, detail: str = "") -> None:
+        """Record one event (cheap: one dataclass, one deque append)."""
+        self._events.append(FlightEvent(time=time, kind=kind, detail=detail))
+        self.seen += 1
+
+    def events(self, kind: str | None = None) -> list[FlightEvent]:
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e.kind == kind]
+
+    def dump(self, reason: str, time: float = 0.0) -> dict:
+        """Snapshot the ring now; the dump joins :attr:`dumps` and returns."""
+        record = {
+            "reason": reason,
+            "time": time,
+            "events_seen": self.seen,
+            "events": [
+                {"time": e.time, "kind": e.kind, "detail": e.detail}
+                for e in self._events
+            ],
+        }
+        self.dumps.append(record)
+        return record
+
+    def request_dump(self, reason: str, sim, grace: float = 10.0) -> None:
+        """Dump after ``grace`` simulated seconds unless a later dump
+        already covers everything noted up to this request.
+
+        This is the crash path: the heartbeat-death dump (if health
+        monitoring is attached) arrives within the grace window and
+        subsumes the crash events, so the deferred dump stands down.
+        The deferred event is a daemon: it never keeps ``sim.run()``
+        alive on its own.
+        """
+        marker = self.seen
+        dumps_before = len(self.dumps)
+
+        def fire() -> None:
+            for record in self.dumps[dumps_before:]:
+                if record["events_seen"] >= marker:
+                    return
+            self.dump(reason, time=sim.now)
+
+        sim.schedule(grace, fire, daemon=True)
+
+
+class NullRecorder(FlightRecorder):
+    """Recorder that stores nothing (the :data:`NULL_OBS` default)."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(capacity=1)
+
+    def note(self, kind: str, time: float = 0.0, detail: str = "") -> None:
+        pass
+
+    def dump(self, reason: str, time: float = 0.0) -> dict:
+        return {}
+
+    def request_dump(self, reason: str, sim, grace: float = 10.0) -> None:
+        pass
+
+
+NULL_RECORDER = NullRecorder()
+
+__all__ = [
+    "FlightEvent",
+    "FlightRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+]

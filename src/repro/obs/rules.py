@@ -1,0 +1,280 @@
+"""Declarative alert rules and SLO targets for the monitoring plane.
+
+Two evaluation engines over scraped telemetry:
+
+- :class:`RuleEngine` fires :class:`Alert` objects from declarative
+  :class:`AlertRule` thresholds with the *same sustained semantics* as
+  :class:`repro.core.migration.LoadTracker` — the observation window must
+  span the rule's duration and every sample inside the trailing window
+  must violate, so a single spike never alerts.  The default rules use
+  the migration policy's own thresholds (overload below 8 fps,
+  underload below 0.3 utilisation, sustained 3 s), which is what lets
+  ``WorkloadMigrator.plan(session, alerts=...)`` consume monitor alerts
+  as a drop-in signal source.
+
+- :class:`SloTracker` scores each scrape against :class:`SloTarget`
+  objectives derived from the paper's published rates (Table 2 streaming
+  fps, the §3.2.7 interactivity threshold, the 10 fps placement target)
+  and reports attainment plus violation windows — including whether each
+  window recovered.
+
+Everything here is plain data + deques: no clocks, no network, no other
+``repro`` imports, so the migration layer can share the threshold
+constants without an import cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+#: the migration policy's thresholds (paper §3.2.7), shared with
+#: :class:`repro.core.migration.WorkloadMigrator`
+DEFAULT_OVERLOAD_FPS = 8.0
+DEFAULT_UNDERLOAD_UTILISATION = 0.3
+DEFAULT_SMOOTHING_SECONDS = 3.0
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative threshold over a flattened telemetry metric."""
+
+    name: str
+    metric: str                         # e.g. "rave_rs_fps"
+    kind: str                           # "overload" | "underload" | custom
+    below: float | None = None
+    above: float | None = None
+    for_seconds: float = DEFAULT_SMOOTHING_SECONDS
+    severity: str = "warning"
+
+    def __post_init__(self) -> None:
+        if self.below is None and self.above is None:
+            raise ValueError(f"rule {self.name!r} needs below= or above=")
+
+    def violates(self, value: float) -> bool:
+        if self.below is not None and value < self.below:
+            return True
+        if self.above is not None and value > self.above:
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class Alert:
+    """A rule sustained long enough to fire, for one service."""
+
+    rule: str
+    kind: str
+    service: str
+    since: float            # start of the violating window
+    last_time: float        # most recent violating sample
+    value: float            # most recent sample value
+    severity: str
+
+
+def default_rules() -> list[AlertRule]:
+    """The migration policy's thresholds as monitor alert rules."""
+    return [
+        AlertRule(name="render-overload", metric="rave_rs_fps",
+                  kind="overload", below=DEFAULT_OVERLOAD_FPS,
+                  for_seconds=DEFAULT_SMOOTHING_SECONDS,
+                  severity="critical"),
+        AlertRule(name="render-underload", metric="rave_rs_utilisation",
+                  kind="underload", below=DEFAULT_UNDERLOAD_UTILISATION,
+                  for_seconds=DEFAULT_SMOOTHING_SECONDS,
+                  severity="warning"),
+    ]
+
+
+class RuleEngine:
+    """Evaluates alert rules over per-service sample histories."""
+
+    def __init__(self, rules=None, window_seconds: float | None = None
+                 ) -> None:
+        self.rules = list(rules) if rules is not None else default_rules()
+        if window_seconds is None:
+            longest = max((r.for_seconds for r in self.rules), default=3.0)
+            window_seconds = max(10.0, 3 * longest)
+        self.window_seconds = window_seconds
+        #: (rule name, service) -> deque[(time, value)]
+        self._history: dict[tuple[str, str], deque] = {}
+
+    def observe(self, service: str, time: float,
+                values: dict[str, float]) -> None:
+        """Feed one scrape's flattened values into every matching rule."""
+        for rule in self.rules:
+            if rule.metric not in values:
+                continue
+            key = (rule.name, service)
+            history = self._history.setdefault(key, deque())
+            if history and time < history[-1][0]:
+                raise ValueError("telemetry samples must be time-ordered")
+            history.append((time, values[rule.metric]))
+            cutoff = time - self.window_seconds
+            while history and history[0][0] < cutoff:
+                history.popleft()
+
+    def _sustained(self, rule: AlertRule, history: deque
+                   ) -> tuple[float, float, float] | None:
+        """(since, last_time, value) when the rule fires, else None.
+
+        Mirrors ``LoadTracker._sustained_below``: the window must span
+        ``for_seconds`` and every sample in the trailing duration —
+        including one landing exactly on the cutoff — must violate.
+        """
+        if not history:
+            return None
+        span = history[-1][0] - history[0][0]
+        if span < rule.for_seconds:
+            return None
+        cutoff = history[-1][0] - rule.for_seconds
+        tail = [(t, v) for t, v in history if t >= cutoff]
+        if not all(rule.violates(v) for _, v in tail):
+            return None
+        return tail[0][0], history[-1][0], history[-1][1]
+
+    def firing(self) -> list[Alert]:
+        """Every (rule, service) currently sustained, deterministic order."""
+        alerts: list[Alert] = []
+        for (rule_name, service), history in sorted(self._history.items()):
+            rule = next(r for r in self.rules if r.name == rule_name)
+            hit = self._sustained(rule, history)
+            if hit is None:
+                continue
+            since, last_time, value = hit
+            alerts.append(Alert(rule=rule.name, kind=rule.kind,
+                                service=service, since=since,
+                                last_time=last_time, value=value,
+                                severity=rule.severity))
+        return alerts
+
+
+# -- SLOs ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SloTarget:
+    """A service-level objective over a flattened telemetry metric."""
+
+    name: str
+    metric: str
+    objective: float
+    op: str = "ge"                      # "ge" (value >= objective) | "le"
+    applies_to: str = "render"          # telemetry kind the SLO governs
+    description: str = ""
+    source: str = ""                    # provenance in the paper
+
+    def met(self, value: float) -> bool:
+        return value >= self.objective if self.op == "ge" \
+            else value <= self.objective
+
+
+#: objectives lifted from the paper's published rates
+PAPER_SLOS = (
+    SloTarget(name="interactive-fps", metric="rave_rs_fps", objective=8.0,
+              op="ge", applies_to="render",
+              description="sustain the interactive rate the migration "
+                          "policy defends",
+              source="paper §3.2.7 (overload threshold)"),
+    SloTarget(name="placement-target-fps", metric="rave_rs_fps",
+              objective=10.0, op="ge", applies_to="render",
+              description="hold the frame rate the scheduler placed for",
+              source="DEFAULT_TARGET_FPS (paper §3.2.5 placement budget)"),
+    SloTarget(name="pda-stream-fps", metric="rave_stream_fps",
+              objective=2.9, op="ge", applies_to="render",
+              description="stream to the PDA at least at the published "
+                          "skeletal-hand rate",
+              source="paper Table 2 (skeletal hand on the Zaurus, 2.9 fps)"),
+    SloTarget(name="render-utilisation", metric="rave_rs_utilisation",
+              objective=1.0, op="le", applies_to="render",
+              description="stay within the polygon budget at target fps",
+              source="paper §3.2.5 (capacity model)"),
+)
+
+
+@dataclass
+class _SloState:
+    good: int = 0
+    total: int = 0
+    #: closed + at most one open violation window
+    violations: list = field(default_factory=list)
+    _open: dict | None = None
+
+
+class SloTracker:
+    """Scores scrapes against SLO targets; reports attainment + windows."""
+
+    def __init__(self, targets=PAPER_SLOS) -> None:
+        self.targets = tuple(targets)
+        #: (target name, service) -> _SloState
+        self._state: dict[tuple[str, str], _SloState] = {}
+
+    def observe(self, service: str, kind: str, time: float,
+                values: dict[str, float]) -> None:
+        for target in self.targets:
+            if target.applies_to != kind or target.metric not in values:
+                continue
+            value = values[target.metric]
+            state = self._state.setdefault((target.name, service),
+                                           _SloState())
+            state.total += 1
+            if target.met(value):
+                state.good += 1
+                if state._open is not None:
+                    state._open["end"] = time
+                    state._open["recovered"] = True
+                    state.violations.append(state._open)
+                    state._open = None
+            else:
+                if state._open is None:
+                    state._open = {"start": time, "end": None,
+                                   "recovered": False, "worst": value}
+                else:
+                    worst = state._open["worst"]
+                    state._open["worst"] = (min(worst, value)
+                                            if target.op == "ge"
+                                            else max(worst, value))
+
+    def report(self) -> dict:
+        """``{target: {service: {attainment, good, total, violations}}}``
+        plus the objective metadata the dashboard renders."""
+        out: dict = {}
+        for target in self.targets:
+            section: dict = {
+                "metric": target.metric,
+                "objective": target.objective,
+                "op": target.op,
+                "description": target.description,
+                "source": target.source,
+                "services": {},
+            }
+            for (name, service), state in sorted(self._state.items()):
+                if name != target.name:
+                    continue
+                windows = list(state.violations)
+                if state._open is not None:
+                    windows.append(dict(state._open))
+                section["services"][service] = {
+                    "good": state.good,
+                    "total": state.total,
+                    "attainment": (state.good / state.total
+                                   if state.total else 1.0),
+                    "violations": windows,
+                }
+            if section["services"]:
+                out[target.name] = section
+        return out
+
+
+__all__ = [
+    "DEFAULT_OVERLOAD_FPS",
+    "DEFAULT_UNDERLOAD_UTILISATION",
+    "DEFAULT_SMOOTHING_SECONDS",
+    "AlertRule",
+    "Alert",
+    "default_rules",
+    "RuleEngine",
+    "SloTarget",
+    "PAPER_SLOS",
+    "SloTracker",
+]

@@ -1,0 +1,157 @@
+"""Per-service telemetry: the scrapeable side of the monitoring plane.
+
+The process-global :mod:`repro.obs` bundle models a benchmark harness
+watching the whole simulation from outside.  RAVE itself is distributed:
+each render service, data service and the UDDI registry owns its load
+numbers, and anyone who wants them must fetch them *over the network* —
+exactly how NetLogger/Ganglia-era grid monitoring fed real schedulers.
+
+:class:`ServiceTelemetry` gives one service its own
+:class:`~repro.obs.metrics.MetricsRegistry` plus a bounded event stream.
+Gauges that mirror live state (fps, utilisation, session counts) are
+refreshed by registered *collectors* at scrape time, so the hot paths
+only touch counters/histograms they already compute.  :meth:`scrape`
+produces a plain-dict payload; :meth:`scrape_frame` wraps it in the
+binary data-plane framing (``services/protocol.py``) so a scrape has a
+real wire size and pays simulated transfer cost.
+
+:func:`federate` merges scraped payloads into one labelled metrics dict
+— every series gains ``service``/``host`` labels — which is what the
+monitor service publishes as its federated snapshot.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.obs.metrics import MetricsRegistry
+
+#: payload format tag carried by every scrape
+TELEMETRY_FORMAT = "rave-telemetry/1"
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One structured service-side event (session created, failover, ...)."""
+
+    time: float
+    kind: str
+    detail: str = ""
+
+
+class ServiceTelemetry:
+    """One service's own metrics registry + bounded event stream."""
+
+    def __init__(self, service: str, host: str, kind: str,
+                 event_capacity: int = 256) -> None:
+        self.service = service
+        self.host = host
+        self.kind = kind                     # "render" | "data" | "registry"
+        self.registry = MetricsRegistry()
+        self._events: deque[TelemetryEvent] = deque(maxlen=event_capacity)
+        #: total events ever emitted (ring overflow never hides the count)
+        self.events_seen = 0
+        self.scrapes = 0
+        self._collectors: list = []
+
+    # -- producing ----------------------------------------------------------------
+
+    def add_collector(self, fn) -> None:
+        """Register ``fn(registry)`` to refresh gauges at scrape time."""
+        self._collectors.append(fn)
+
+    def event(self, kind: str, time: float = 0.0, detail: str = "") -> None:
+        self._events.append(TelemetryEvent(time=time, kind=kind,
+                                           detail=detail))
+        self.events_seen += 1
+
+    def events(self) -> list[TelemetryEvent]:
+        return list(self._events)
+
+    def collect(self) -> None:
+        """Run every registered collector against the registry."""
+        for fn in self._collectors:
+            fn(self.registry)
+
+    # -- scraping -----------------------------------------------------------------
+
+    def scrape(self, now: float = 0.0) -> dict:
+        """Collect, then return the full payload a scraper would receive."""
+        self.collect()
+        self.scrapes += 1
+        return {
+            "format": TELEMETRY_FORMAT,
+            "service": self.service,
+            "host": self.host,
+            "kind": self.kind,
+            "time": now,
+            "metrics": self.registry.snapshot(),
+            "registry": self.registry.stats(),
+            "events": [
+                {"time": e.time, "kind": e.kind, "detail": e.detail}
+                for e in self._events
+            ],
+            "events_seen": self.events_seen,
+            "scrapes": self.scrapes,
+        }
+
+    def scrape_frame(self, now: float = 0.0) -> bytes:
+        """The scrape as wire bytes (binary framing + JSON payload)."""
+        from repro.services.protocol import frame_telemetry
+
+        return frame_telemetry(self.scrape(now))
+
+
+def flatten_metrics(metrics: dict) -> dict[str, float]:
+    """Single-series counter/gauge families as ``{name: value}``.
+
+    This is the view alert rules and SLO targets evaluate: a per-service
+    registry keeps its headline gauges label-free, so one number per
+    name.  Histograms contribute ``<name>_count`` and ``<name>_sum``;
+    multi-series families are skipped (rules address scalars).
+    """
+    flat: dict[str, float] = {}
+    for name, family in metrics.items():
+        series = family.get("series", [])
+        if len(series) != 1 or series[0].get("labels"):
+            continue
+        entry = series[0]
+        if family.get("kind") == "histogram":
+            flat[f"{name}_count"] = float(entry["count"])
+            flat[f"{name}_sum"] = float(entry["sum"])
+        else:
+            flat[name] = float(entry["value"])
+    return flat
+
+
+def federate(payloads) -> dict:
+    """Merge scraped payloads into one metrics dict with origin labels.
+
+    Every series from every payload appears under its family name with
+    ``service`` and ``host`` labels added, so two services exporting the
+    same metric name coexist instead of colliding.
+    """
+    merged: dict[str, dict] = {}
+    for payload in payloads:
+        origin = {"service": payload["service"], "host": payload["host"]}
+        for name, family in payload.get("metrics", {}).items():
+            target = merged.setdefault(name, {
+                "kind": family.get("kind", ""),
+                "help": family.get("help", ""),
+                "series": [],
+            })
+            for entry in family.get("series", []):
+                labelled = dict(entry)
+                labelled["labels"] = {**entry.get("labels", {}), **origin}
+                target["series"].append(labelled)
+    return merged
+
+
+__all__ = [
+    "TELEMETRY_FORMAT",
+    "TelemetryEvent",
+    "ServiceTelemetry",
+    "flatten_metrics",
+    "federate",
+]

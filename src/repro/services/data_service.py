@@ -31,6 +31,7 @@ from repro.network.marshalling import (
     BinaryMarshaller,
     IntrospectionMarshaller,
 )
+from repro.obs.telemetry import ServiceTelemetry
 from repro.scenegraph.audit import AuditTrail
 from repro.scenegraph.tree import SceneTree
 from repro.scenegraph.updates import SceneUpdate
@@ -128,6 +129,16 @@ class DataService:
         #: who may subscribe (§3.2.2: "resources may need to have access
         #: permissions modified to permit new users")
         self.policy = policy if policy is not None else AccessPolicy.open()
+        #: per-service registry + event stream, scraped by the monitor
+        self.telemetry = ServiceTelemetry(name, container.host, "data")
+        self.telemetry.add_collector(self._collect_telemetry)
+
+    def _collect_telemetry(self, registry) -> None:
+        """Refresh scrape-time gauges from live service state."""
+        registry.gauge("rave_ds_sessions").set(len(self._sessions))
+        registry.gauge("rave_ds_subscribers").set(
+            sum(len(s.subscribers) for s in self._sessions.values()))
+        registry.gauge("rave_ds_mirrors").set(len(self.mirrors))
 
     @property
     def host(self) -> str:
@@ -228,6 +239,9 @@ class DataService:
             name=subscriber_name, host=host, kind=kind,
             interests=set(interests) if interests is not None else None,
             on_update=on_update)
+        self.telemetry.registry.counter("rave_ds_subscriptions_total").inc()
+        self.telemetry.event("subscribe", self.network.sim.clock.now,
+                             f"{subscriber_name} -> {session_id}")
         timing = BootstrapTiming(
             instance_seconds=0.0,
             handshake_seconds=handshake,
@@ -289,6 +303,10 @@ class DataService:
                 sub.on_update(update)
             sub.updates_delivered += 1
             deliveries[sub.name] = times[sub.host]
+        registry = self.telemetry.registry
+        registry.counter("rave_ds_updates_total").inc()
+        registry.counter("rave_ds_update_bytes_total").inc(nbytes)
+        registry.counter("rave_ds_deliveries_total").inc(len(targets))
         for mirror in self.mirrors:
             mirror._replicate(session_id, update)
         if (session.autosave_path is not None

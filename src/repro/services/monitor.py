@@ -1,0 +1,258 @@
+"""The RAVE monitor service: the grid's monitoring plane.
+
+A fourth service role alongside data, render and UDDI.  The paper's
+migration policy needs load numbers, and in a real deployment those
+numbers live on other machines — so the monitor *scrapes* each watched
+service's :class:`~repro.obs.telemetry.ServiceTelemetry` over the
+simulated network on a configurable period: the scrape payload is framed
+by ``services/protocol.py`` and shipped through
+:meth:`repro.network.simnet.Network.send`, so monitoring pays real
+simulated transfer cost and shows up in the network's transfer log.
+
+On every scrape the monitor:
+
+- federates the payload into its labelled metrics view
+  (:func:`repro.obs.telemetry.federate` — every series gains
+  ``service``/``host`` labels);
+- feeds flattened values to the :class:`~repro.obs.rules.RuleEngine`
+  (same sustained-threshold semantics as the migration policy's
+  ``LoadTracker``) and the :class:`~repro.obs.rules.SloTracker`
+  (objectives from the paper's published rates);
+- forwards newly-arrived remote service events into the active flight
+  recorder, so a post-mortem dump shows the whole grid's timeline.
+
+Alerts are plain data, consumable by
+``WorkloadMigrator.plan(session, alerts=...)`` — the closed loop the
+issue demonstrates.  Without a monitor nothing here runs and service
+behaviour is unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetworkError, ServiceError
+from repro.obs import active as _obs
+from repro.obs.rules import PAPER_SLOS, RuleEngine, SloTracker
+from repro.obs.telemetry import federate, flatten_metrics
+from repro.services.container import ServiceContainer
+from repro.services.protocol import unframe_telemetry
+
+#: snapshot format tag (the dashboard keys on it)
+MONITOR_SNAPSHOT_FORMAT = "rave-monitor-snapshot/1"
+
+
+class MonitorService:
+    """Scrapes per-service telemetry; evaluates alerts and SLOs."""
+
+    def __init__(self, name: str, container: ServiceContainer,
+                 period: float = 1.0, rules=None,
+                 slos=PAPER_SLOS) -> None:
+        from repro.services.wsdl import MONITOR_SERVICE_WSDL
+
+        if period <= 0:
+            raise ServiceError("scrape period must be positive")
+        self.name = name
+        self.container = container
+        self.endpoint = container.deploy(MONITOR_SERVICE_WSDL)
+        self.period = period
+        self.engine = RuleEngine(rules=rules)
+        self.slo = SloTracker(targets=slos)
+        #: watched telemetry sources, keyed by service name
+        self._targets: dict[str, object] = {}
+        #: last successfully ingested payload per service
+        self._latest: dict[str, dict] = {}
+        #: per-service high-water mark of forwarded remote events
+        self._forwarded: dict[str, int] = {}
+        self.scrapes = 0
+        self.scrape_failures = 0
+        self.scrape_bytes = 0
+        self._running = False
+
+    @property
+    def host(self) -> str:
+        return self.container.host
+
+    @property
+    def network(self):
+        return self.container.network
+
+    # -- target management --------------------------------------------------------
+
+    def watch(self, service) -> None:
+        """Add a service (anything carrying a ``telemetry`` attribute)."""
+        telemetry = getattr(service, "telemetry", None)
+        if telemetry is None:
+            raise ServiceError(
+                f"{service!r} exposes no telemetry to scrape")
+        self._targets[telemetry.service] = telemetry
+
+    def unwatch(self, service_name: str) -> None:
+        self._targets.pop(service_name, None)
+
+    def targets(self) -> list[str]:
+        return sorted(self._targets)
+
+    def discover(self, uddi_client, directory: dict,
+                 business: str | None = None,
+                 tmodels: tuple[str, ...] | None = None) -> list[str]:
+        """Find scrape targets through UDDI, the paper's discovery path.
+
+        ``directory`` maps endpoint URL → live service object (the same
+        resolution the :class:`~repro.core.recruitment.Recruiter` uses —
+        a stand-in for dereferencing the access point).  Returns the
+        service names newly watched.
+        """
+        from repro.core.recruitment import (
+            DATA_TMODEL,
+            RAVE_BUSINESS,
+            RENDER_TMODEL,
+        )
+
+        business = business or RAVE_BUSINESS
+        tmodels = tmodels or (RENDER_TMODEL, DATA_TMODEL)
+        uddi_client.create_proxy()
+        added: list[str] = []
+        for tmodel in tmodels:
+            scan = uddi_client.scan_access_points(business, tmodel)
+            for point in scan.access_points:
+                service = directory.get(point.url)
+                if service is None:
+                    continue
+                telemetry = getattr(service, "telemetry", None)
+                if telemetry is None or telemetry.service in self._targets:
+                    continue
+                self.watch(service)
+                added.append(telemetry.service)
+        return added
+
+    # -- the scrape loop ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin the recurring scrape tick on the simulated clock.
+
+        The tick is a daemon event: it drives scrapes whenever the
+        simulation runs but never keeps ``sim.run()`` alive by itself.
+        """
+        if self._running:
+            return
+        self._running = True
+        self._schedule_tick()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _schedule_tick(self) -> None:
+        self.network.sim.schedule(self.period, self._tick, daemon=True)
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.scrape_all()
+        self._schedule_tick()
+
+    def scrape_all(self) -> None:
+        for name in sorted(self._targets):
+            self.scrape_one(self._targets[name])
+
+    def scrape_one(self, telemetry) -> None:
+        """Scrape one target over the simulated network.
+
+        The payload is framed (real wire size), sent host-to-host via
+        :meth:`Network.send`, and ingested when the transfer completes.
+        A down host, missing route or in-flight drop counts as a scrape
+        failure — monitoring traffic is traffic.
+        """
+        network = self.network
+        if not network.host_is_up(telemetry.host):
+            self.scrape_failures += 1
+            return
+        now = network.sim.clock.now
+        frame = telemetry.scrape_frame(now)
+        payload = unframe_telemetry(frame)
+
+        def deliver(_record) -> None:
+            self._ingest(payload, network.sim.now)
+
+        def dropped(_record) -> None:
+            self.scrape_failures += 1
+
+        try:
+            record = network.send(telemetry.host, self.host, len(frame),
+                                  on_complete=deliver, on_drop=dropped)
+        except NetworkError:
+            self.scrape_failures += 1
+            return
+        self.scrape_bytes += record.nbytes
+
+    def _ingest(self, payload: dict, arrival: float) -> None:
+        service = payload["service"]
+        self._latest[service] = payload
+        flat = flatten_metrics(payload.get("metrics", {}))
+        sample_time = payload.get("time", arrival)
+        self.engine.observe(service, sample_time, flat)
+        self.slo.observe(service, payload.get("kind", ""), sample_time, flat)
+        self._forward_events(service, payload)
+        self.scrapes += 1
+
+    def _forward_events(self, service: str, payload: dict) -> None:
+        """Relay newly-seen remote events into the active flight recorder."""
+        obs = _obs()
+        if not obs.enabled:
+            return
+        events = payload.get("events", [])
+        seen = payload.get("events_seen", len(events))
+        watermark = self._forwarded.get(service, 0)
+        start_index = seen - len(events)       # ring may have overflowed
+        for offset, event in enumerate(events):
+            if start_index + offset < watermark:
+                continue
+            obs.recorder.note(f"telemetry:{event['kind']}",
+                              time=event.get("time", 0.0),
+                              detail=f"{service}: {event.get('detail', '')}")
+        self._forwarded[service] = seen
+
+    # -- evaluation + publication ---------------------------------------------------
+
+    def firing_alerts(self):
+        """Alerts currently sustained (``rules.Alert`` objects)."""
+        return self.engine.firing()
+
+    def slo_report(self) -> dict:
+        return self.slo.report()
+
+    def snapshot(self) -> dict:
+        """The federated monitor view (what the dashboard renders)."""
+        services = {}
+        for name in sorted(self._latest):
+            payload = self._latest[name]
+            services[name] = {
+                "host": payload.get("host", "?"),
+                "kind": payload.get("kind", "?"),
+                "time": payload.get("time", 0.0),
+                "metrics": flatten_metrics(payload.get("metrics", {})),
+                "events_seen": payload.get("events_seen", 0),
+            }
+        return {
+            "format": MONITOR_SNAPSHOT_FORMAT,
+            "time": self.network.sim.clock.now,
+            "period": self.period,
+            "services": services,
+            "metrics": federate(self._latest[name]
+                                for name in sorted(self._latest)),
+            "alerts": [
+                {"rule": a.rule, "kind": a.kind, "service": a.service,
+                 "since": a.since, "last_time": a.last_time,
+                 "value": a.value, "severity": a.severity}
+                for a in self.firing_alerts()
+            ],
+            "slo": self.slo_report(),
+            "scrapes": {"count": self.scrapes,
+                        "failures": self.scrape_failures,
+                        "bytes": self.scrape_bytes},
+        }
+
+    def __repr__(self) -> str:
+        return (f"MonitorService(name={self.name!r}, host={self.host!r}, "
+                f"targets={self.targets()}, period={self.period})")
+
+
+__all__ = ["MONITOR_SNAPSHOT_FORMAT", "MonitorService"]

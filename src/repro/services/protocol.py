@@ -9,6 +9,7 @@ payload length, CRC32) followed by the payload produced by
 
 from __future__ import annotations
 
+import json
 import struct
 import zlib
 from dataclasses import dataclass
@@ -18,6 +19,9 @@ from repro.errors import MarshallingError
 _MAGIC = 0x52415645  # "RAVE"
 _VERSION = 1
 _HEADER = struct.Struct("<IHHIQ")  # magic, version, flags, crc32, length
+
+#: frame carries a telemetry scrape payload (JSON body)
+FLAG_TELEMETRY = 0x0001
 
 
 @dataclass(frozen=True)
@@ -54,3 +58,29 @@ def unframe_message(data: bytes) -> tuple[FrameHeader, bytes]:
             f"frame checksum mismatch: 0x{actual:08x} != 0x{crc:08x}")
     return FrameHeader(version=version, flags=flags, crc32=crc,
                        length=length), body
+
+
+def frame_telemetry(payload: dict) -> bytes:
+    """Wrap a telemetry scrape payload for the wire (the scrape endpoint).
+
+    Compact deterministic JSON inside a standard RAVE frame: the byte
+    length is what the monitor charges as simulated transfer cost.
+    """
+    body = json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+    return frame_message(body, flags=FLAG_TELEMETRY)
+
+
+def unframe_telemetry(data: bytes) -> dict:
+    """Unwrap and parse a telemetry frame (validates flags + checksum)."""
+    header, body = unframe_message(data)
+    if not header.flags & FLAG_TELEMETRY:
+        raise MarshallingError(
+            f"frame flags 0x{header.flags:04x} carry no telemetry")
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise MarshallingError(f"malformed telemetry body: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise MarshallingError("telemetry payload must be a JSON object")
+    return payload

@@ -41,6 +41,7 @@ from repro.scenegraph.nodes import (
     PointCloudNode,
     VolumeNode,
 )
+from repro.obs.telemetry import ServiceTelemetry
 from repro.scenegraph.tree import SceneTree
 from repro.scenegraph.updates import SceneUpdate
 from repro.services.container import ServiceContainer
@@ -97,6 +98,18 @@ class RenderService:
         self._seq = itertools.count(1)
         #: exponentially-smoothed frames/second estimate (migration input)
         self.reported_fps: float = float("inf")
+        #: per-service registry + event stream, scraped by the monitor
+        self.telemetry = ServiceTelemetry(name, container.host, "render")
+        self.telemetry.add_collector(self._collect_telemetry)
+
+    def _collect_telemetry(self, registry) -> None:
+        """Refresh scrape-time gauges from live service state."""
+        if self.reported_fps != float("inf"):
+            registry.gauge("rave_rs_fps").set(self.reported_fps)
+        registry.gauge("rave_rs_utilisation").set(self.utilisation())
+        registry.gauge("rave_rs_committed_polygons").set(
+            self.committed_polygons())
+        registry.gauge("rave_rs_sessions").set(len(self._sessions))
 
     @property
     def host(self) -> str:
@@ -177,6 +190,8 @@ class RenderService:
             render_session_id=rsid, data_service=data_service,
             session_id=session_id, tree=tree, assigned_ids=subset_ids)
         self._sessions[rsid] = session
+        self.telemetry.event("render-session-created", clock.now,
+                             f"{rsid} for {session_id}@{data_service.name}")
         return session, timing
 
     def _make_update_handler(self, cache_key: tuple[str, str]):
@@ -252,6 +267,8 @@ class RenderService:
     def close_render_session(self, rsid: str) -> None:
         session = self.render_session(rsid)
         del self._sessions[rsid]
+        self.telemetry.event("render-session-closed",
+                             self.network.sim.clock.now, rsid)
         # Drop the shared copy (and the data-service subscription) when
         # nobody uses it any more.
         key = (session.data_service.name, session.session_id)
@@ -403,6 +420,10 @@ class RenderService:
             self.reported_fps = fps
         else:
             self.reported_fps = alpha * fps + (1 - alpha) * self.reported_fps
+        registry = self.telemetry.registry
+        registry.counter("rave_rs_frames_total").inc()
+        registry.histogram("rave_rs_frame_seconds").observe(
+            timing.total_seconds)
 
     def __repr__(self) -> str:
         return (f"RenderService(name={self.name!r}, host={self.host!r}, "

@@ -96,9 +96,11 @@ class FrameStreamer:
             obs.metrics.counter("rave_stream_frames_total",
                                 "frames streamed", mode="lockstep",
                                 session=self.rsid).inc(n_frames)
-        return StreamStats(frames=n_frames,
-                           elapsed_seconds=clock.now - t0,
-                           arrivals=arrivals)
+        stats = StreamStats(frames=n_frames,
+                            elapsed_seconds=clock.now - t0,
+                            arrivals=arrivals)
+        self._report_stream_fps(stats)
+        return stats
 
     # -- pipelined streaming (the §5.5 behaviour, modelled on the DES) -----------
 
@@ -139,9 +141,18 @@ class FrameStreamer:
             obs.metrics.counter("rave_stream_frames_total",
                                 "frames streamed", mode="pipelined",
                                 session=self.rsid).inc(n_frames)
-        return StreamStats(frames=n_frames,
-                           elapsed_seconds=sim.clock.now - t0,
-                           arrivals=sorted(arrivals))
+        stats = StreamStats(frames=n_frames,
+                            elapsed_seconds=sim.clock.now - t0,
+                            arrivals=sorted(arrivals))
+        self._report_stream_fps(stats)
+        return stats
+
+    def _report_stream_fps(self, stats: StreamStats) -> None:
+        """Feed the achieved rate into the service's own telemetry (the
+        pda-stream-fps SLO input)."""
+        telemetry = getattr(self.service, "telemetry", None)
+        if telemetry is not None:
+            telemetry.registry.gauge("rave_stream_fps").set(stats.fps)
 
     def _trace_frame(self, obs, mode: str, frame: int, render_start: float,
                      render_done: float, send_start: float,

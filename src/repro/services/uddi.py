@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from repro.errors import DiscoveryError
 from repro.network.simnet import Network
 from repro.network.transport import SoapChannel
+from repro.obs.telemetry import ServiceTelemetry
 from repro.services.wsdl import WsdlDocument
 
 #: server-side processing per UDDI query (jUDDI over its SQL store, 2004)
@@ -83,11 +84,26 @@ class BusinessEntity:
 class UddiRegistry:
     """The registry proper — pure data structure + queries, no timing."""
 
-    def __init__(self, name: str = "uddi") -> None:
+    def __init__(self, name: str = "uddi",
+                 host: str = "registry-host") -> None:
         self.name = name
+        self.host = host
         self._businesses: dict[str, BusinessEntity] = {}
         self._tmodels: dict[str, TechnicalModel] = {}
         self._keys = itertools.count(1)
+        #: registry-side telemetry (query/publication counters), scrapeable
+        self.telemetry = ServiceTelemetry(name, host, "registry")
+        self.telemetry.add_collector(self._collect_telemetry)
+
+    def _collect_telemetry(self, registry) -> None:
+        registry.gauge("rave_uddi_businesses").set(len(self._businesses))
+        registry.gauge("rave_uddi_tmodels").set(len(self._tmodels))
+        registry.gauge("rave_uddi_services").set(
+            sum(len(b.services) for b in self._businesses.values()))
+
+    def _count_query(self, op: str) -> None:
+        self.telemetry.registry.counter("rave_uddi_queries_total",
+                                        op=op).inc()
 
     def _new_key(self, prefix: str) -> str:
         return f"uuid:{prefix}-{next(self._keys):08d}"
@@ -123,6 +139,7 @@ class UddiRegistry:
             tmodel_keys=tuple(tm.key for tm in tmodels),
         ))
         business.services.append(service)
+        self._count_query("register_service")
         return service
 
     def unregister_service(self, business_key: str, service_key: str) -> None:
@@ -143,12 +160,14 @@ class UddiRegistry:
             raise DiscoveryError(f"unknown business {business_key!r}") from None
 
     def find_business(self, name: str) -> BusinessEntity:
+        self._count_query("find_business")
         for entity in self._businesses.values():
             if entity.name == name:
                 return entity
         raise DiscoveryError(f"no business named {name!r}")
 
     def find_tmodel(self, name: str) -> TechnicalModel:
+        self._count_query("find_tmodel")
         for tm in self._tmodels.values():
             if tm.name == name:
                 return tm
@@ -157,6 +176,7 @@ class UddiRegistry:
     def find_services(self, business_key: str,
                       tmodel_key: str | None = None) -> list[BusinessService]:
         """Services of a business, optionally filtered by technical model."""
+        self._count_query("find_services")
         business = self._require_business(business_key)
         if tmodel_key is None:
             return list(business.services)

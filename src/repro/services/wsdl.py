@@ -189,3 +189,16 @@ RENDER_SERVICE_WSDL = build_wsdl(
     ],
     documentation="RAVE render service: on/off-screen rendering provider",
 )
+
+MONITOR_SERVICE_WSDL = build_wsdl(
+    "RaveMonitorService",
+    [
+        Operation("listTargets", (), (("services", "rave:list"),)),
+        Operation("scrape", (("service", "xsd:string"),),
+                  (("telemetry", "xsd:base64Binary"),)),
+        Operation("getAlerts", (), (("alerts", "rave:list"),)),
+        Operation("getSloReport", (), (("report", "rave:struct"),)),
+    ],
+    documentation="RAVE monitor service: scrapes per-service telemetry, "
+                  "evaluates alert rules and SLO targets",
+)

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 from repro.core.recruitment import (
     DATA_TMODEL,
+    MONITOR_TMODEL,
     RAVE_BUSINESS,
     RENDER_TMODEL,
     Recruiter,
@@ -29,9 +30,14 @@ from repro.scenegraph.tree import SceneTree
 from repro.services.clients import ActiveRenderClient, ThinClient
 from repro.services.container import ServiceContainer
 from repro.services.data_service import DataService, DataSession
+from repro.services.monitor import MonitorService
 from repro.services.render_service import RenderService
 from repro.services.uddi import AccessPoint, UddiClient, UddiRegistry
-from repro.services.wsdl import DATA_SERVICE_WSDL, RENDER_SERVICE_WSDL
+from repro.services.wsdl import (
+    DATA_SERVICE_WSDL,
+    MONITOR_SERVICE_WSDL,
+    RENDER_SERVICE_WSDL,
+)
 
 #: machines that run render services in the default testbed
 RENDER_HOSTS = ("onyx", "v880z", "centrino", "xeon", "athlon")
@@ -52,6 +58,8 @@ class Testbed:
     render_services: dict[str, RenderService]
     wireless: WirelessCell
     business_key: str = ""
+    #: the monitoring plane (None unless built with ``monitor_host=``)
+    monitor: MonitorService | None = None
     _clients: list = field(default_factory=list)
 
     @property
@@ -111,8 +119,17 @@ class Testbed:
 def build_testbed(render_hosts: tuple[str, ...] = RENDER_HOSTS,
                   data_host: str = DATA_HOST,
                   pda_signal_quality: float = 1.0,
-                  register_uddi: bool = True) -> Testbed:
-    """Assemble the §4.4 testbed.  See module docstring."""
+                  register_uddi: bool = True,
+                  monitor_host: str | None = None,
+                  monitor_period: float = 1.0) -> Testbed:
+    """Assemble the §4.4 testbed.  See module docstring.
+
+    ``monitor_host`` — deploy a :class:`MonitorService` there (e.g.
+    ``"registry-host"``), watching the data service, every render service
+    and the UDDI registry, with its recurring scrape already started.
+    ``None`` (the default) builds the plain testbed with no monitoring
+    plane — behaviour is bit-identical to earlier seeds.
+    """
     network = Network()
     for name in set(render_hosts) | {data_host}:
         if name not in PROFILES:
@@ -158,7 +175,30 @@ def build_testbed(render_hosts: tuple[str, ...] = RENDER_HOSTS,
                 AccessPoint(url=service.endpoint, host=host),
                 [render_tm])
 
+    monitor = None
+    if monitor_host is not None:
+        if monitor_host not in network.hosts:
+            raise ServiceError(f"unknown monitor host {monitor_host!r}")
+        container = containers.get(monitor_host)
+        if container is None:
+            container = ServiceContainer(monitor_host, network)
+            containers[monitor_host] = container
+        monitor = MonitorService("rave-monitor", container,
+                                 period=monitor_period)
+        if register_uddi:
+            monitor_tm = registry.register_tmodel(MONITOR_TMODEL,
+                                                  MONITOR_SERVICE_WSDL)
+            registry.register_service(
+                business_key, f"RaveMonitorService@{monitor_host}",
+                AccessPoint(url=monitor.endpoint, host=monitor_host),
+                [monitor_tm])
+        monitor.watch(data_service)
+        for service in render_services.values():
+            monitor.watch(service)
+        monitor.watch(registry)
+        monitor.start()
+
     return Testbed(network=network, registry=registry,
                    containers=containers, data_service=data_service,
                    render_services=render_services, wireless=wireless,
-                   business_key=business_key)
+                   business_key=business_key, monitor=monitor)

@@ -9,8 +9,11 @@ recovery — from one seed and asserts the system invariants:
 - the same seed replays the same story.
 """
 
+import json
+
 import pytest
 
+from repro import obs
 from repro.core.session import CollaborativeSession
 from repro.data.generators import skeleton
 from repro.network.faults import FaultInjector
@@ -262,3 +265,67 @@ class TestThinClientUnderChaos:
         assert cs.recoveries == []           # but nobody was declared dead
         assert cs.health.state("rs-v880z") == "alive"
         assert "rs-v880z" in [s.name for s in cs.render_services]
+
+
+class TestFlightRecorderUnderChaos:
+    """An injected crash leaves exactly ONE post-mortem dump telling the
+    whole story: the fault, the lease transitions that noticed it, and
+    the recovery that reassigned the work — deterministically."""
+
+    def run_scenario(self, seed):
+        tb = build_testbed(render_hosts=THREE_HOSTS)
+        with obs.observed(clock=tb.clock) as bundle:
+            inj = FaultInjector(tb.network, seed=seed)
+            cs = build_session(tb)
+            cs.enable_fault_tolerance(heartbeat_interval=0.25,
+                                      suspect_after=1.0, dead_after=3.0)
+            sim = tb.network.sim
+            start = sim.now
+            inj.schedule_crash(at=start + 2.0, host="v880z")
+            # run across the crash, the lease death, the recovery, and
+            # the crash dump's full 10 s grace window
+            sim.run_until(start + 15.0)
+            dumps = [dict(d) for d in bundle.recorder.dumps]
+            return cs, dumps
+
+    def test_exactly_one_dump_with_the_full_story(self):
+        cs, dumps = self.run_scenario(seed=11)
+        # the heartbeat-death dump subsumed the deferred crash dump
+        assert len(dumps) == 1
+        dump = dumps[0]
+        assert dump["reason"] == "heartbeat-death:rs-v880z"
+        kinds = [e["kind"] for e in dump["events"]]
+        assert "fault:crash" in kinds
+        transitions = [e for e in dump["events"]
+                       if e["kind"] == "lease-transition"]
+        details = " | ".join(e["detail"] for e in transitions)
+        assert "alive -> suspected" in details
+        assert "suspected -> dead" in details
+        assert "recovery" in kinds          # reassignments made the dump
+        # causal order: the fault precedes the transitions, the
+        # transitions precede the recovery
+        assert kinds.index("fault:crash") \
+            < kinds.index("lease-transition") \
+            < kinds.index("recovery")
+        # and the session really did recover
+        assert "rs-v880z" not in [s.name for s in cs.render_services]
+        owned_nodes(cs)
+
+    def test_crash_without_health_monitoring_still_dumps(self):
+        tb = build_testbed(render_hosts=THREE_HOSTS)
+        with obs.observed(clock=tb.clock) as bundle:
+            inj = FaultInjector(tb.network, seed=11)
+            build_session(tb)               # no enable_fault_tolerance
+            sim = tb.network.sim
+            inj.schedule_crash(at=sim.now + 2.0, host="v880z")
+            sim.run_until(sim.now + 15.0)   # past the 10 s grace
+            assert len(bundle.recorder.dumps) == 1
+            dump = bundle.recorder.dumps[0]
+            assert dump["reason"] == "crash:v880z"
+            assert "fault:crash" in [e["kind"] for e in dump["events"]]
+
+    def test_same_seed_same_dump(self):
+        _, first = self.run_scenario(seed=23)
+        _, replay = self.run_scenario(seed=23)
+        assert json.dumps(first, sort_keys=True) \
+            == json.dumps(replay, sort_keys=True)

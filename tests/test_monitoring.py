@@ -1,0 +1,379 @@
+"""The grid monitoring plane, end to end.
+
+Coverage for the monitor service (``services/monitor.py``) and the
+scrapeable telemetry it federates (``obs/telemetry.py``):
+
+- per-service telemetry payloads, their binary framing, and the
+  flatten/federate views the rule engines evaluate;
+- the monitor's scrape loop paying real simulated transfer cost;
+- the closed loop the issue demands: a slowdown observed only through
+  scraped telemetry raises a sustained alert, the alert drives
+  ``WorkloadMigrator.plan(session, alerts=...)``, the SLO report records
+  the violation and its recovery — and the whole story is deterministic;
+- the no-monitor testbed stays monitoring-free (no scrape traffic).
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.core.session import CollaborativeSession
+from repro.data.generators import skeleton
+from repro.errors import ServiceError
+from repro.network.faults import FaultInjector
+from repro.obs.dashboard import render_dashboard
+from repro.obs.telemetry import (
+    TELEMETRY_FORMAT,
+    ServiceTelemetry,
+    federate,
+    flatten_metrics,
+)
+from repro.render.camera import Camera
+from repro.scenegraph.nodes import MeshNode
+from repro.scenegraph.tree import SceneTree
+from repro.services.monitor import MONITOR_SNAPSHOT_FORMAT, MonitorService
+from repro.services.protocol import frame_telemetry, unframe_telemetry
+from repro.testbed import build_testbed
+
+MONITOR_HOST = "registry-host"
+
+
+def monitored_testbed(**kwargs):
+    return build_testbed(monitor_host=MONITOR_HOST, **kwargs)
+
+
+def pump(tb, seconds: float, step: float = 1.0) -> None:
+    """Advance the simulation so the monitor's daemon tick fires."""
+    deadline = tb.clock.now + seconds
+    while tb.clock.now < deadline:
+        tb.network.sim.run_until(min(deadline, tb.clock.now + step))
+
+
+# -- telemetry payloads -------------------------------------------------------------
+
+
+class TestServiceTelemetry:
+    def make(self) -> ServiceTelemetry:
+        t = ServiceTelemetry("rs-demo", "onyx", "render")
+        t.registry.gauge("rave_rs_fps").set(12.5)
+        t.registry.counter("rave_rs_frames_total").inc(3)
+        t.event("render-session-created", time=1.0, detail="sess-1")
+        return t
+
+    def test_scrape_payload_contents(self):
+        payload = self.make().scrape(now=2.0)
+        assert payload["format"] == TELEMETRY_FORMAT
+        assert payload["service"] == "rs-demo"
+        assert payload["host"] == "onyx"
+        assert payload["kind"] == "render"
+        assert payload["time"] == 2.0
+        assert payload["metrics"]["rave_rs_fps"]["series"][0]["value"] == 12.5
+        assert payload["events"] == [{"time": 1.0,
+                                      "kind": "render-session-created",
+                                      "detail": "sess-1"}]
+        assert payload["events_seen"] == 1
+        assert payload["registry"]["families"] == 2
+
+    def test_scrape_frame_roundtrips_and_has_wire_size(self):
+        telemetry = self.make()
+        frame = telemetry.scrape_frame(now=3.0)
+        assert isinstance(frame, bytes) and len(frame) > 0
+        payload = unframe_telemetry(frame)
+        assert payload["service"] == "rs-demo"
+        assert payload["time"] == 3.0
+        # the framing is stable: same dict frames to the same bytes
+        assert frame_telemetry(payload) == frame_telemetry(payload)
+
+    def test_collectors_refresh_at_scrape_time(self):
+        telemetry = ServiceTelemetry("rs-x", "onyx", "render")
+        state = {"fps": 5.0}
+        telemetry.add_collector(
+            lambda reg: reg.gauge("rave_rs_fps").set(state["fps"]))
+        assert flatten_metrics(
+            telemetry.scrape()["metrics"])["rave_rs_fps"] == 5.0
+        state["fps"] = 9.0
+        assert flatten_metrics(
+            telemetry.scrape()["metrics"])["rave_rs_fps"] == 9.0
+
+    def test_event_ring_bounded_but_counts_everything(self):
+        telemetry = ServiceTelemetry("rs-x", "onyx", "render",
+                                     event_capacity=4)
+        for i in range(10):
+            telemetry.event("e", time=float(i))
+        assert len(telemetry.events()) == 4
+        assert telemetry.events_seen == 10
+        payload = telemetry.scrape()
+        assert len(payload["events"]) == 4
+        assert payload["events_seen"] == 10
+
+    def test_flatten_skips_labelled_series_and_expands_histograms(self):
+        telemetry = ServiceTelemetry("rs-x", "onyx", "render")
+        reg = telemetry.registry
+        reg.gauge("rave_rs_fps").set(7.0)
+        reg.counter("rave_uddi_queries_total", op="find").inc()
+        reg.counter("rave_uddi_queries_total", op="scan").inc(2)
+        reg.histogram("rave_rs_frame_seconds",
+                      buckets=(0.1, 1.0)).observe(0.5)
+        flat = flatten_metrics(telemetry.scrape()["metrics"])
+        assert flat["rave_rs_fps"] == 7.0
+        assert "rave_uddi_queries_total" not in flat   # multi-series
+        assert flat["rave_rs_frame_seconds_count"] == 1.0
+        assert flat["rave_rs_frame_seconds_sum"] == 0.5
+
+    def test_federate_adds_origin_labels(self):
+        a = ServiceTelemetry("rs-a", "onyx", "render")
+        b = ServiceTelemetry("rs-b", "v880z", "render")
+        a.registry.gauge("rave_rs_fps").set(10.0)
+        b.registry.gauge("rave_rs_fps").set(20.0)
+        merged = federate([a.scrape(), b.scrape()])
+        series = merged["rave_rs_fps"]["series"]
+        assert len(series) == 2
+        labels = {tuple(sorted(s["labels"].items())) for s in series}
+        assert (("host", "onyx"), ("service", "rs-a")) in labels
+        assert (("host", "v880z"), ("service", "rs-b")) in labels
+
+
+# -- the monitor service ------------------------------------------------------------
+
+
+class TestMonitorService:
+    def test_rejects_nonpositive_period(self):
+        tb = monitored_testbed()
+        with pytest.raises(ServiceError):
+            MonitorService("m2", tb.containers[MONITOR_HOST], period=0.0)
+
+    def test_watch_requires_telemetry(self):
+        tb = monitored_testbed()
+        with pytest.raises(ServiceError):
+            tb.monitor.watch(object())
+
+    def test_testbed_monitor_watches_every_service(self):
+        tb = monitored_testbed()
+        targets = tb.monitor.targets()
+        assert "rave-data" in targets
+        assert "wesc-uddi" in targets
+        for host in ("onyx", "v880z", "centrino", "xeon", "athlon"):
+            assert f"rs-{host}" in targets
+
+    def test_unwatch_removes_target(self):
+        tb = monitored_testbed()
+        tb.monitor.unwatch("rs-onyx")
+        assert "rs-onyx" not in tb.monitor.targets()
+
+    def test_scrapes_pay_simulated_transfer_cost(self):
+        tb = monitored_testbed()
+        pump(tb, 3.0)
+        monitor = tb.monitor
+        assert monitor.scrapes > 0
+        assert monitor.scrape_bytes > 0
+        scrape_transfers = [t for t in tb.network.transfers
+                            if t.dst == MONITOR_HOST]
+        assert scrape_transfers, "scrapes put no transfers on the wire"
+        # every watched host ships payloads to the monitor host
+        assert {t.src for t in scrape_transfers} >= {"onyx", "xeon"}
+        assert all(t.nbytes > 0 for t in scrape_transfers)
+
+    def test_downed_host_counts_as_scrape_failure(self):
+        tb = monitored_testbed()
+        FaultInjector(tb.network, seed=3).crash_host("onyx")
+        pump(tb, 3.0)
+        assert tb.monitor.scrape_failures > 0
+        assert "rs-onyx" not in tb.monitor.snapshot()["services"]
+
+    def test_stop_halts_the_scrape_loop(self):
+        tb = monitored_testbed()
+        pump(tb, 2.0)
+        tb.monitor.stop()
+        pump(tb, 1.0)            # drain scrapes already in flight
+        before = tb.monitor.scrapes
+        pump(tb, 3.0)
+        assert tb.monitor.scrapes == before
+
+    def test_discover_finds_targets_through_uddi(self):
+        from repro.services.container import ServiceContainer
+
+        tb = monitored_testbed()
+        fresh = MonitorService(
+            "m2", ServiceContainer(MONITOR_HOST, tb.network))
+        directory = {s.endpoint: s for s in tb.render_services.values()}
+        directory[tb.data_service.endpoint] = tb.data_service
+        added = fresh.discover(tb.uddi_client(MONITOR_HOST), directory)
+        assert "rave-data" in added
+        assert "rs-onyx" in added
+        assert set(added) <= set(fresh.targets())
+
+    def test_no_monitor_testbed_has_no_monitoring_plane(self):
+        tb = build_testbed()
+        assert tb.monitor is None
+        pump(tb, 5.0)
+        assert tb.network.transfers == []   # zero scrape traffic
+        assert not hasattr(tb.data_service, "monitor")
+
+
+# -- the closed loop ----------------------------------------------------------------
+
+
+def run_closed_loop(tb):
+    """The acceptance scenario; returns everything the assertions need."""
+    bundle = obs.install(clock=tb.clock)
+    try:
+        tree = SceneTree("visible-man")
+        tree.add(MeshNode(skeleton(60_000).normalized(), name="skeleton"))
+        tb.publish_tree("visible-man", tree)
+        cs = CollaborativeSession(tb.data_service, "visible-man",
+                                  target_fps=600,
+                                  recruiter=tb.recruiter())
+        cs.place_dataset()
+        cam = Camera.looking_at((1.0, 1.6, 0.3), (0, 0, 0))
+        for _ in range(4):                       # healthy baseline
+            cs.render_composite(cam, 64, 64)
+            pump(tb, 1.0)
+        baseline_alerts = tb.monitor.firing_alerts()
+
+        victim = max((s for s in cs.render_services if cs.share_of(s)),
+                     key=lambda s: s.committed_polygons())
+        for _ in range(6):                       # sustained slowdown
+            victim.reported_fps = 2.0
+            pump(tb, 1.0)
+        alerts = tb.monitor.firing_alerts()
+
+        unalerted = cs.rebalance()               # migrator saw no samples
+        actions = cs.rebalance(alerts=alerts)    # the monitor drives it
+
+        for _ in range(4):                       # load gone; fps recovers
+            cs.render_composite(cam, 64, 64)
+            pump(tb, 1.0)
+        return {
+            "baseline_alerts": baseline_alerts,
+            "victim": victim,
+            "alerts": alerts,
+            "unalerted": unalerted,
+            "actions": actions,
+            "after_alerts": tb.monitor.firing_alerts(),
+            "snapshot": tb.monitor.snapshot(),
+            "recorder": bundle.recorder,
+        }
+    finally:
+        obs.uninstall()
+
+
+class TestClosedLoop:
+    @pytest.fixture(scope="class")
+    def loop(self):
+        return run_closed_loop(monitored_testbed())
+
+    def test_healthy_baseline_raises_no_overload(self, loop):
+        # idle pool members legitimately warn about underload; the
+        # critical interactivity alert must stay silent while healthy
+        assert [a for a in loop["baseline_alerts"]
+                if a.kind == "overload"] == []
+
+    def test_sustained_slowdown_fires_overload_alert(self, loop):
+        overloads = [a for a in loop["alerts"] if a.kind == "overload"]
+        assert overloads, "no overload alert after 6 s below threshold"
+        alert = next(a for a in overloads
+                     if a.service == loop["victim"].name)
+        assert alert.rule == "render-overload"
+        assert alert.value == 2.0
+        assert alert.last_time - alert.since >= 3.0
+
+    def test_alertless_rebalance_is_a_noop(self, loop):
+        # the migrator's own trackers never saw a frame sample, so the
+        # slowdown is invisible without the monitor's alerts
+        assert loop["unalerted"] == []
+
+    def test_alerts_drive_migration_off_the_victim(self, loop):
+        actions = loop["actions"]
+        assert actions, "alert did not produce a migration"
+        assert any(a.source == loop["victim"].name
+                   and a.reason == "overload" for a in actions)
+        assert all(a.polygons > 0 for a in actions)
+
+    def test_alert_clears_after_recovery(self, loop):
+        assert all(a.service != loop["victim"].name
+                   for a in loop["after_alerts"]
+                   if a.kind == "overload")
+
+    def test_slo_report_records_violation_and_recovery(self, loop):
+        slo = loop["snapshot"]["slo"]
+        entry = slo["interactive-fps"]["services"][loop["victim"].name]
+        assert entry["attainment"] < 1.0
+        windows = entry["violations"]
+        assert windows, "violation window missing from the SLO report"
+        assert any(w["recovered"] for w in windows), \
+            "the recovery never closed the violation window"
+        assert min(w["worst"] for w in windows) == 2.0
+
+    def test_scrapes_rode_the_simulated_network(self, loop):
+        scrapes = loop["snapshot"]["scrapes"]
+        assert scrapes["count"] > 0
+        assert scrapes["bytes"] > 0
+
+    def test_migration_and_telemetry_land_in_flight_recorder(self, loop):
+        recorder = loop["recorder"]
+        assert recorder.events("placement")
+        assert recorder.events("migration")
+        kinds = {e.kind for e in recorder.events()}
+        assert any(k.startswith("telemetry:") for k in kinds), \
+            "scraped remote events never reached the recorder"
+
+    def test_whole_story_is_deterministic(self, loop):
+        replay = run_closed_loop(monitored_testbed())
+        assert json.dumps(replay["snapshot"], sort_keys=True) \
+            == json.dumps(loop["snapshot"], sort_keys=True)
+
+
+# -- snapshot + dashboard -----------------------------------------------------------
+
+
+class TestSnapshotAndDashboard:
+    def make_snapshot(self):
+        tb = monitored_testbed(render_hosts=("onyx", "centrino"))
+        rs = tb.render_service("onyx")
+        rs.reported_fps = 24.0
+        pump(tb, 2.0)
+        return tb.monitor.snapshot()
+
+    def test_snapshot_shape(self):
+        snap = self.make_snapshot()
+        assert snap["format"] == MONITOR_SNAPSHOT_FORMAT
+        assert snap["period"] == 1.0
+        entry = snap["services"]["rs-onyx"]
+        assert entry["host"] == "onyx"
+        assert entry["kind"] == "render"
+        assert entry["metrics"]["rave_rs_fps"] == 24.0
+        # the federated view carries origin labels
+        series = snap["metrics"]["rave_rs_fps"]["series"]
+        assert {"service": "rs-onyx", "host": "onyx"} in \
+            [s["labels"] for s in series]
+        assert snap["scrapes"]["count"] > 0
+
+    def test_snapshot_is_json_serialisable(self):
+        json.dumps(self.make_snapshot())
+
+    def test_dashboard_renders_every_section(self):
+        text = render_dashboard(self.make_snapshot())
+        assert "RAVE grid monitor" in text
+        assert "rs-onyx" in text
+        assert "alerts" in text
+        assert "SLOs" in text
+
+    def test_dashboard_accepts_embedded_monitor_section(self):
+        snap = self.make_snapshot()
+        assert render_dashboard({"monitor": snap}) \
+            == render_dashboard(snap)
+
+    def test_dashboard_rejects_foreign_payloads(self):
+        with pytest.raises(ValueError):
+            render_dashboard({"format": "something-else"})
+
+    def test_cli_dashboard_renders_a_snapshot_file(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(self.make_snapshot()))
+        assert main(["dashboard", "--snapshot", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "RAVE grid monitor" in out
+        assert "rs-onyx" in out

@@ -297,6 +297,99 @@ def _walk_numbers(value):
         yield float(value)
 
 
+class TestExpositionEdgeCases:
+    """Prometheus text-format conformance on hostile inputs."""
+
+    def test_label_values_escape_backslash_quote_and_newline(self):
+        reg = MetricsRegistry()
+        reg.counter("rave_paths_total",
+                    path='C:\\render\\"cache"\nline2').inc()
+        text = prometheus_text(reg)
+        assert ('rave_paths_total{path='
+                '"C:\\\\render\\\\\\"cache\\"\\nline2"} 1') in text
+        # the escaped line must stay a single exposition line
+        line = next(ln for ln in text.splitlines()
+                    if ln.startswith("rave_paths_total{"))
+        assert line.endswith("} 1")
+
+    def test_gauge_renders_minus_inf_and_nan(self):
+        reg = MetricsRegistry()
+        reg.gauge("rave_floor", kind="neg").set(float("-inf"))
+        reg.gauge("rave_floor", kind="nan").set(float("nan"))
+        text = prometheus_text(reg)
+        assert 'rave_floor{kind="neg"} -Inf' in text
+        assert 'rave_floor{kind="nan"} NaN' in text
+
+    def test_histogram_infinite_bucket_bound_label(self):
+        reg = MetricsRegistry()
+        reg.histogram("rave_t_seconds", buckets=(0.5,)).observe(2.0)
+        text = prometheus_text(reg)
+        assert 'rave_t_seconds_bucket{le="0.5"} 0' in text
+        assert 'rave_t_seconds_bucket{le="+Inf"} 1' in text
+
+    def test_escaped_exposition_still_one_series_per_line(self):
+        reg = MetricsRegistry()
+        reg.counter("rave_x_total", a='v"1"', b="w\n2").inc(4)
+        text = prometheus_text(reg)
+        lines = [ln for ln in text.splitlines()
+                 if ln.startswith("rave_x_total")]
+        assert lines == ['rave_x_total{a="v\\"1\\"",b="w\\n2"} 4']
+
+
+class TestSnapshotMetadata:
+    """Registry metadata + the ``wall_meta`` federation slot."""
+
+    def make_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("rave_a_total").inc(2)
+        reg.gauge("rave_b", mode="x").set(1.0)
+        reg.gauge("rave_b", mode="y").set(2.0)
+        reg.histogram("rave_c_seconds", buckets=(1.0,)).observe(0.5)
+        reg.histogram("rave_c_seconds", buckets=(1.0,)).observe(0.7)
+        return reg
+
+    def test_registry_stats_counts(self):
+        stats = self.make_registry().stats()
+        assert stats == {"families": 3, "series": 4, "samples": 5}
+
+    def test_snapshot_carries_registry_metadata(self):
+        from repro.network.clock import Simulator
+
+        sim = Simulator()
+        sim.clock.advance(4.0)
+        snap = snapshot(self.make_registry(), clock=sim.clock,
+                        source="bench")
+        assert snap["registry"]["families"] == 3
+        assert snap["wall_meta"]["bench"]["simulated_seconds"] \
+            == pytest.approx(4.0)
+        assert snap["wall_meta"]["bench"]["series"] == 4
+
+    def test_wall_meta_slots_federate_without_collision(self):
+        a = snapshot(self.make_registry(), source="svc-a")
+        b = snapshot(MetricsRegistry(), source="svc-b")
+        merged = {**a["wall_meta"], **b["wall_meta"]}
+        assert set(merged) == {"svc-a", "svc-b"}
+        assert merged["svc-a"]["families"] == 3
+        assert merged["svc-b"]["families"] == 0
+
+    def test_snapshot_flight_recorder_section(self):
+        from repro.obs.recorder import FlightRecorder
+
+        recorder = FlightRecorder(capacity=8)
+        recorder.note("placement", time=1.0, detail="rs-a")
+        recorder.dump("unit-test", time=2.0)
+        snap = snapshot(MetricsRegistry(), recorder=recorder)
+        section = snap["flight_recorder"]
+        assert section["events_seen"] == 1
+        assert section["capacity"] == 8
+        assert section["dumps"][0]["reason"] == "unit-test"
+
+    def test_snapshot_extra_sections_merge_top_level(self):
+        snap = snapshot(MetricsRegistry(),
+                        extra={"monitor": {"format": "x"}})
+        assert snap["monitor"] == {"format": "x"}
+
+
 # -- instrumented paths, end to end --------------------------------------------------
 
 
