@@ -15,6 +15,9 @@ The policy layer that makes the system "resource-aware":
   services not yet connected to the data service;
 - :mod:`repro.core.migration` — load-triggered workload migration with
   fine-grain node selection and usage smoothing;
+- :mod:`repro.core.autoscale` — alert-driven recruitment autoscaling:
+  monitor alerts grow the pool via UDDI on sustained grid-wide overload
+  and drain-and-release idle members on sustained underload;
 - :mod:`repro.core.health` — lease-based failure detection (heartbeats,
   alive/suspected/dead transitions) feeding automatic recovery;
 - :mod:`repro.core.session` — the orchestrator tying data service, render
@@ -31,6 +34,7 @@ from repro.core.distribution import (
     TilePlan,
 )
 from repro.core.recruitment import Recruiter, RecruitmentResult
+from repro.core.autoscale import RecruitmentAutoscaler, ScaleEvent
 from repro.core.migration import (
     LoadSample,
     LoadTracker,
@@ -56,6 +60,8 @@ __all__ = [
     "TilePlan",
     "Recruiter",
     "RecruitmentResult",
+    "RecruitmentAutoscaler",
+    "ScaleEvent",
     "LoadSample",
     "LoadTracker",
     "MigrationAction",

@@ -1,0 +1,290 @@
+"""Alert-driven recruitment autoscaling: the observe→scale loop.
+
+Paper §3.2.7 sketches *resource-aware growth*: "if there is insufficient
+spare capacity, then the data server uses UDDI to discover additional
+render services ... recruited to join the session".  PR 3 closed the
+observe→migrate loop (monitor alerts drive
+:meth:`~repro.core.migration.WorkloadMigrator.plan`); this module closes
+the observe→**scale** loop on top of it:
+
+- on sustained **grid-wide overload** — the monitor's aggregate
+  ``rave_grid_mean_fps`` pinned below the interactive threshold — with no
+  migration headroom left in the pool, the autoscaler triggers a
+  :class:`~repro.core.recruitment.Recruiter` UDDI scan through
+  :meth:`CollaborativeSession.recruit_more` and spreads work onto the
+  recruits (never re-recruiting the session's dead-service set);
+- on sustained **grid-wide underload** — aggregate utilisation below the
+  migration policy's threshold — it drains the least-utilised member's
+  share to its peers and releases the service back to the registry as
+  recruitable spare capacity (:meth:`CollaborativeSession.release_service`);
+- every decision respects a **cooldown window** on the simulated clock,
+  and a release is only taken when the survivors can absorb the drained
+  share inside their headroom — so grow/release never flap.
+
+The autoscaler is a daemon tick like the monitor's scrape loop: it wakes
+on the simulated clock, reads :meth:`MonitorService.firing_alerts`, and
+acts.  Nothing here runs unless an autoscaler is constructed and started;
+sessions without one behave exactly as before.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.cost import node_cost
+from repro.errors import ServiceError
+from repro.obs import active as _obs
+from repro.obs.rules import GRID_OVERLOAD_KIND, GRID_UNDERLOAD_KIND
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One autoscaling decision that changed (or grew) the pool."""
+
+    time: float
+    kind: str                     # "grow" | "release"
+    reason: str                   # the alert rule that drove the decision
+    services: tuple[str, ...]     # recruited / released service names
+    pool_before: int
+    pool_after: int
+
+
+class RecruitmentAutoscaler:
+    """Grows and shrinks a session's render pool from monitor alerts."""
+
+    def __init__(self, session, monitor, period: float | None = None,
+                 cooldown_seconds: float = 8.0, min_services: int = 1,
+                 max_services: int | None = None,
+                 drive_migration: bool = True) -> None:
+        if monitor is None:
+            raise ServiceError("the autoscaler needs a MonitorService")
+        self.session = session
+        self.monitor = monitor
+        self.period = float(period if period is not None else monitor.period)
+        if self.period <= 0:
+            raise ServiceError("autoscale period must be positive")
+        if cooldown_seconds < 0:
+            raise ServiceError("cooldown must be non-negative")
+        self.cooldown_seconds = float(cooldown_seconds)
+        self.min_services = max(1, int(min_services))
+        self.max_services = max_services
+        #: also run the migration policy each tick (alerts drive
+        #: :meth:`CollaborativeSession.rebalance`), so scaling and
+        #: shuffling share one control loop
+        self.drive_migration = drive_migration
+        self.events: list[ScaleEvent] = []
+        #: (time, size) at every pool-size change, bounded
+        self.pool_history: deque = deque(maxlen=1024)
+        self.migrations = 0
+        self._last_scale_time: float | None = None
+        self._running = False
+        monitor.attach_autoscaler(self)
+        self._note_pool(self.sim.now)
+
+    # -- plumbing -------------------------------------------------------------------
+
+    @property
+    def sim(self):
+        return self.session.data_service.network.sim
+
+    def pool_size(self) -> int:
+        return len(self.session.render_services)
+
+    def in_cooldown(self, now: float) -> bool:
+        """Inside the hysteresis window after the last scale decision?"""
+        return (self._last_scale_time is not None
+                and now - self._last_scale_time < self.cooldown_seconds)
+
+    def start(self) -> None:
+        """Begin the recurring autoscale tick (a daemon, like scrapes)."""
+        if self._running:
+            return
+        self._running = True
+        self._schedule_tick()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _schedule_tick(self) -> None:
+        self.sim.schedule(self.period, self._tick, daemon=True)
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.evaluate(self.monitor.firing_alerts())
+        self._schedule_tick()
+
+    # -- the decision procedure -----------------------------------------------------
+
+    def evaluate(self, alerts, now: float | None = None) -> list[ScaleEvent]:
+        """One control-loop pass over the monitor's firing alerts.
+
+        Order of precedence: migrate within the pool if the migrator can
+        act; grow when grid-wide overload persists and the pool lacks the
+        headroom migration would need; release when grid-wide underload
+        persists and the survivors can absorb the drained share.
+        Decisions inside the cooldown window are deferred (migration
+        still runs, but with the session's UDDI recruiting suppressed so
+        a fresh release cannot be undone by the migrator's own recruit
+        fallback).
+        """
+        now = self.sim.now if now is None else now
+        session = self.session
+        self._note_pool(now)
+        alerts = list(alerts)
+        grid_over = [a for a in alerts if a.kind == GRID_OVERLOAD_KIND]
+        grid_under = [a for a in alerts if a.kind == GRID_UNDERLOAD_KIND]
+        cooling = self.in_cooldown(now)
+
+        before = {s.name for s in session.render_services}
+        migrations = []
+        if self.drive_migration and alerts:
+            if cooling:
+                saved, session.recruiter = session.recruiter, None
+                try:
+                    migrations = session.rebalance(alerts=alerts)
+                finally:
+                    session.recruiter = saved
+            else:
+                migrations = session.rebalance(alerts=alerts)
+        self.migrations += len(migrations)
+
+        events: list[ScaleEvent] = []
+        grown = [s.name for s in session.render_services
+                 if s.name not in before]
+        if grown:
+            # the migrator's overload path already recruited (nobody had
+            # headroom for an alerted service) — record it as a grow
+            reason = next((a.rule for a in alerts if a.kind == "overload"),
+                          grid_over[0].rule if grid_over else "overload")
+            events.append(self._record("grow", now, reason, grown,
+                                       len(before)))
+        elif grid_over and not cooling and not self._at_max() \
+                and not self._migration_headroom(alerts):
+            pool_before = self.pool_size()
+            recruited = session.recruit_more()
+            if recruited:
+                if self.drive_migration:
+                    migrations = session.rebalance(alerts=alerts)
+                    self.migrations += len(migrations)
+                events.append(self._record(
+                    "grow", now, grid_over[0].rule,
+                    [s.name for s in recruited], pool_before))
+        elif grid_under and not grid_over and not cooling:
+            event = self._try_release(grid_under[0], now)
+            if event is not None:
+                events.append(event)
+        if events:
+            self._note_pool(self.sim.now)
+        return events
+
+    def _at_max(self) -> bool:
+        return (self.max_services is not None
+                and self.pool_size() >= self.max_services)
+
+    def _migration_headroom(self, alerts) -> bool:
+        """Can in-pool migration still relieve the overloaded members?
+
+        Measures the unalerted members' spare capacity against the shed
+        quantum the migrator asks per overloaded member (a tenth of its
+        budget).  When the whole pool is alerted — or nobody has enough
+        room — shuffling work is zero-sum and only recruitment helps.
+        """
+        session = self.session
+        fps = session.target_fps
+        over = {a.service for a in alerts if a.kind == "overload"}
+        live = [s for s in session.render_services
+                if session.service_live(s)]
+        alerted = [s for s in live if s.name in over]
+        receivers = [s for s in live if s.name not in over]
+        headroom = sum(
+            max(0.0, s.capacity().polygon_budget(fps)
+                - s.committed_polygons())
+            for s in receivers)
+        need = sum(0.1 * s.capacity().polygon_budget(fps)
+                   for s in alerted)
+        if not alerted:
+            # grid-wide slowdown with no member singled out: migration
+            # has no donor to act on, so headroom is moot — grow
+            return False
+        return headroom >= need
+
+    def _try_release(self, alert, now: float) -> ScaleEvent | None:
+        """Drain-and-release the least-utilised member, guarded."""
+        session = self.session
+        live = [s for s in session.render_services
+                if session.service_live(s)]
+        if len(live) <= self.min_services:
+            return None
+        target_fps = session.target_fps
+        candidate = min(live,
+                        key=lambda s: (s.utilisation(target_fps), s.name))
+        peers_headroom = sum(
+            max(0.0, s.capacity().polygon_budget(target_fps)
+                - s.committed_polygons())
+            for s in live if s is not candidate)
+        tree = session.master_tree
+        share_cost = sum(node_cost(tree.node(nid)).polygons
+                         for nid in session.share_of(candidate)
+                         if nid in tree)
+        if share_cost > peers_headroom:
+            # draining would overload the survivors and re-trigger a grow
+            # — the other half of the flap guard
+            return None
+        pool_before = self.pool_size()
+        session.release_service(candidate)
+        return self._record("release", now, alert.rule, [candidate.name],
+                            pool_before)
+
+    def _record(self, kind: str, now: float, reason: str, names,
+                pool_before: int) -> ScaleEvent:
+        event = ScaleEvent(time=now, kind=kind, reason=reason,
+                           services=tuple(names), pool_before=pool_before,
+                           pool_after=self.pool_size())
+        self.events.append(event)
+        self._last_scale_time = now
+        obs = _obs()
+        if obs.enabled:
+            obs.recorder.note(
+                f"scale:{kind}", time=now,
+                detail=f"{', '.join(event.services)} (pool {pool_before} "
+                       f"-> {event.pool_after}; {reason})")
+            obs.metrics.counter("rave_autoscale_events_total",
+                                "autoscaler grow/release decisions",
+                                kind=kind).inc()
+        return event
+
+    def _note_pool(self, now: float) -> None:
+        size = self.pool_size()
+        if self.pool_history and self.pool_history[-1][1] == size:
+            return
+        self.pool_history.append((now, size))
+
+    # -- publication ----------------------------------------------------------------
+
+    def describe(self) -> dict:
+        """JSON-serialisable state for the monitor snapshot / dashboard."""
+        return {
+            "period": self.period,
+            "cooldown_seconds": self.cooldown_seconds,
+            "min_services": self.min_services,
+            "max_services": self.max_services,
+            "pool_size": self.pool_size(),
+            "migrations": self.migrations,
+            "pool": [{"time": t, "size": n} for t, n in self.pool_history],
+            "events": [
+                {"time": e.time, "kind": e.kind, "reason": e.reason,
+                 "services": list(e.services),
+                 "pool_before": e.pool_before, "pool_after": e.pool_after}
+                for e in self.events
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return (f"RecruitmentAutoscaler(pool={self.pool_size()}, "
+                f"events={len(self.events)}, period={self.period}, "
+                f"cooldown={self.cooldown_seconds})")
+
+
+__all__ = ["RecruitmentAutoscaler", "ScaleEvent"]

@@ -163,13 +163,16 @@ class WorkloadMigrator:
 
     @staticmethod
     def select_nodes(tree, candidate_ids: set[int], polygons_needed: float,
-                     receiver_headroom: float) -> tuple[list[int], int]:
+                     receiver_headroom: float,
+                     hard_cap: float | None = None) -> tuple[list[int], int]:
         """Choose nodes to move: total ≥ needed, never above headroom.
 
         Greedy largest-first up to the need, then smallest-first to top up;
         nodes that would overshoot the receiver's headroom are skipped —
         the "do not want to add 100k polygons by mistake" rule.
-        Returns (node ids, polygons moved).
+        ``hard_cap`` additionally bounds the total moved even below the
+        smallest-node override — the donor-protection limit on underload
+        pulls.  Returns (node ids, polygons moved).
         """
         if polygons_needed <= 0:
             return [], 0
@@ -188,6 +191,8 @@ class WorkloadMigrator:
         smallest = min(p for p, _ in costed)
         budget = min(receiver_headroom,
                      max(polygons_needed * 1.5, smallest))
+        if hard_cap is not None:
+            budget = min(budget, hard_cap)
         costed.sort(reverse=True)
         chosen: list[int] = []
         moved = 0
@@ -266,9 +271,19 @@ class WorkloadMigrator:
             headroom = self._headroom(service)
             if headroom <= 0:
                 continue
+            # Donating must never push the donor below the underload
+            # threshold itself, or two lightly loaded services ping-pong
+            # the same nodes between consecutive plan() passes.
+            donor_spare = (
+                donor.committed_polygons()
+                - self.underload_utilisation
+                * donor.capacity().polygon_budget(self.target_fps))
+            if donor_spare <= 0:
+                continue
             action = self._move(session, donor, service,
-                                polygons_needed=headroom * 0.5,
-                                reason="underload")
+                                polygons_needed=min(headroom * 0.5,
+                                                    donor_spare),
+                                reason="underload", hard_cap=donor_spare)
             if action is not None:
                 actions.append(action)
 
@@ -312,14 +327,15 @@ class WorkloadMigrator:
         return max(candidates, key=lambda s: s.utilisation(self.target_fps))
 
     def _move(self, session, source, destination, polygons_needed: float,
-              reason: str) -> MigrationAction | None:
+              reason: str,
+              hard_cap: float | None = None) -> MigrationAction | None:
         share = session.share_of(source)
         if not share:
             return None
         headroom = self._headroom(destination)
         node_ids, moved = self.select_nodes(
             session.master_tree, share, polygons_needed,
-            receiver_headroom=headroom)
+            receiver_headroom=headroom, hard_cap=hard_cap)
         if not node_ids and hasattr(session, "refine_share"):
             # Monolithic nodes too big to move anywhere: explode them to a
             # grain the receiver can absorb, then retry.
@@ -328,7 +344,7 @@ class WorkloadMigrator:
                 share = session.share_of(source)
                 node_ids, moved = self.select_nodes(
                     session.master_tree, share, polygons_needed,
-                    receiver_headroom=headroom)
+                    receiver_headroom=headroom, hard_cap=hard_cap)
         if not node_ids:
             return None
         session.reassign_nodes(source, destination, node_ids)

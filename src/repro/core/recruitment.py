@@ -46,9 +46,11 @@ class Recruiter:
                  directory: dict[str, object],
                  business: str = RAVE_BUSINESS,
                  tmodel: str = RENDER_TMODEL) -> None:
-        #: endpoint URL → RenderService object
+        #: endpoint URL → RenderService object.  Held live (not copied):
+        #: access points are re-resolved at scan time, so services that
+        #: register after this recruiter was built are still recruitable.
         self.uddi_client = uddi_client
-        self.directory = dict(directory)
+        self.directory = directory
         self.business = business
         self.tmodel = tmodel
         self.scans = 0

@@ -156,11 +156,64 @@ class CollaborativeSession:
             try:
                 if not network.host_is_up(service.host):
                     continue
-            except NetworkError:
+                self.connect(service)
+            except (NetworkError, ServiceError):
+                # unknown/unroutable host (e.g. a network partition between
+                # the data service and the candidate): skip it, keep
+                # recruiting the reachable ones
                 continue
-            self.connect(service)
+            # A plain connect leaves the render session unnarrowed
+            # (assigned_ids None = the whole tree), so the recruit would
+            # *commit* the full scene while its share says empty — it
+            # must join idle until migration or distribution hands it
+            # work, or it reads as the most loaded member of the pool.
+            self._narrow(service, set())
             attached.append(service)
         return attached
+
+    def release_service(self, service) -> dict[str, tuple[int, ...]]:
+        """Drain a member's share to its peers and detach it (scale-in).
+
+        The inverse of :meth:`recruit_more`: the service's share is
+        repacked onto the remaining live members (the same greedy packing
+        recovery uses), its render session is closed cleanly, and — unlike
+        a failure — its name is *not* added to :attr:`failed_services`, so
+        it stays registered with UDDI as recruitable spare capacity and a
+        later recruitment scan can bring it back.  Returns the receiver
+        name → reassigned node ids mapping.
+        """
+        attachment = self.attachment(service)
+        name = attachment.service.name
+        peers = [a for peer, a in self._attachments.items()
+                 if peer != name and self.service_live(a.service)]
+        if not peers:
+            raise SessionError(
+                f"cannot release {name!r}: no live peer to absorb its "
+                f"share")
+        orphans = set(attachment.share)
+        reassigned: dict[str, tuple[int, ...]] = {}
+        if orphans:
+            assigned = self._pack_orphans(orphans, peers)
+            attachment.share = set()
+            self._narrow(attachment.service, set())
+            for receiver_name, ids in assigned.items():
+                receiver = self._attachments[receiver_name]
+                receiver.share |= ids
+                self._hand_off_share(receiver)
+                reassigned[receiver_name] = tuple(sorted(ids))
+        self.disconnect(attachment.service)
+        obs = _obs()
+        if obs.enabled:
+            now = self.data_service.network.sim.now
+            obs.recorder.note(
+                "release", time=now,
+                detail=f"{name} drained to {sorted(reassigned)} and "
+                       f"returned to the registry "
+                       f"({sum(len(i) for i in reassigned.values())} nodes)")
+            obs.metrics.counter("rave_session_releases_total",
+                                "render services drained and released",
+                                session=self.session_id).inc()
+        return reassigned
 
     # -- placement & distribution ----------------------------------------------------------
 

@@ -78,6 +78,32 @@ def _slo_rows(slo: dict) -> list[str]:
     return rows
 
 
+def _pool_rows(autoscale: dict) -> list[str]:
+    history = autoscale.get("pool", [])
+    trajectory = " -> ".join(
+        f"{entry.get('size', '?')}@t={_fmt(entry.get('time', 0.0))}s"
+        for entry in history) or "(no history)"
+    limit = autoscale.get("max_services")
+    rows = [
+        f"  size: {autoscale.get('pool_size', '?')} "
+        f"(min {autoscale.get('min_services', '?')}, "
+        f"max {limit if limit is not None else 'unbounded'}, "
+        f"cooldown {_fmt(autoscale.get('cooldown_seconds', 0.0))}s, "
+        f"{autoscale.get('migrations', 0)} migration(s) driven)",
+        f"  history: {trajectory}",
+    ]
+    events = autoscale.get("events", [])
+    if not events:
+        rows.append("  (no scale events)")
+    for event in events:
+        rows.append(
+            f"  t={_fmt(event.get('time'))}s {event.get('kind', '?'):<8} "
+            f"{', '.join(event.get('services', []))} "
+            f"(pool {event.get('pool_before', '?')} -> "
+            f"{event.get('pool_after', '?')}; {event.get('reason', '?')})")
+    return rows
+
+
 def render_dashboard(snapshot: dict) -> str:
     """Render a monitor snapshot as a multi-section text dashboard."""
     if snapshot.get("format") != "rave-monitor-snapshot/1":
@@ -108,6 +134,11 @@ def render_dashboard(snapshot: dict) -> str:
     lines.append("")
     lines.append("SLOs")
     lines.extend(_slo_rows(snapshot.get("slo", {})))
+    autoscale = snapshot.get("autoscale")
+    if autoscale:
+        lines.append("")
+        lines.append("render pool (autoscale)")
+        lines.extend(_pool_rows(autoscale))
     return "\n".join(lines) + "\n"
 
 

@@ -34,6 +34,12 @@ DEFAULT_OVERLOAD_FPS = 8.0
 DEFAULT_UNDERLOAD_UTILISATION = 0.3
 DEFAULT_SMOOTHING_SECONDS = 3.0
 
+#: alert kinds carried by grid-wide aggregate rules — the autoscaler's
+#: grow/release signals, distinct from the per-service "overload"/
+#: "underload" kinds the migration policy consumes
+GRID_OVERLOAD_KIND = "grid-overload"
+GRID_UNDERLOAD_KIND = "grid-underload"
+
 
 @dataclass(frozen=True)
 class AlertRule:
@@ -81,6 +87,30 @@ def default_rules() -> list[AlertRule]:
                   severity="critical"),
         AlertRule(name="render-underload", metric="rave_rs_utilisation",
                   kind="underload", below=DEFAULT_UNDERLOAD_UTILISATION,
+                  for_seconds=DEFAULT_SMOOTHING_SECONDS,
+                  severity="warning"),
+    ] + grid_rules()
+
+
+def grid_rules() -> list[AlertRule]:
+    """Grid-wide aggregate thresholds over the monitor's pooled view.
+
+    Evaluated against the pseudo-service the monitor computes from every
+    scraped render service (``rave_grid_mean_fps``,
+    ``rave_grid_mean_utilisation``).  A sustained grid-wide crossing means
+    shuffling work between existing members cannot help: these are the
+    signals the :class:`~repro.core.autoscale.RecruitmentAutoscaler`
+    grows and shrinks the session pool on.
+    """
+    return [
+        AlertRule(name="grid-overload", metric="rave_grid_mean_fps",
+                  kind=GRID_OVERLOAD_KIND, below=DEFAULT_OVERLOAD_FPS,
+                  for_seconds=DEFAULT_SMOOTHING_SECONDS,
+                  severity="critical"),
+        AlertRule(name="grid-underload",
+                  metric="rave_grid_mean_utilisation",
+                  kind=GRID_UNDERLOAD_KIND,
+                  below=DEFAULT_UNDERLOAD_UTILISATION,
                   for_seconds=DEFAULT_SMOOTHING_SECONDS,
                   severity="warning"),
     ]
@@ -270,9 +300,12 @@ __all__ = [
     "DEFAULT_OVERLOAD_FPS",
     "DEFAULT_UNDERLOAD_UTILISATION",
     "DEFAULT_SMOOTHING_SECONDS",
+    "GRID_OVERLOAD_KIND",
+    "GRID_UNDERLOAD_KIND",
     "AlertRule",
     "Alert",
     "default_rules",
+    "grid_rules",
     "RuleEngine",
     "SloTarget",
     "PAPER_SLOS",

@@ -31,13 +31,21 @@ from __future__ import annotations
 
 from repro.errors import NetworkError, ServiceError
 from repro.obs import active as _obs
-from repro.obs.rules import PAPER_SLOS, RuleEngine, SloTracker
+from repro.obs.rules import (
+    DEFAULT_OVERLOAD_FPS,
+    PAPER_SLOS,
+    RuleEngine,
+    SloTracker,
+)
 from repro.obs.telemetry import federate, flatten_metrics
 from repro.services.container import ServiceContainer
 from repro.services.protocol import unframe_telemetry
 
 #: snapshot format tag (the dashboard keys on it)
 MONITOR_SNAPSHOT_FORMAT = "rave-monitor-snapshot/1"
+
+#: pseudo-service name the grid-wide aggregate series are evaluated under
+GRID_SERVICE = "_grid"
 
 
 class MonitorService:
@@ -66,6 +74,8 @@ class MonitorService:
         self.scrape_failures = 0
         self.scrape_bytes = 0
         self._running = False
+        #: the session autoscaler publishing through this monitor, if any
+        self.autoscaler = None
 
     @property
     def host(self) -> str:
@@ -147,6 +157,7 @@ class MonitorService:
         if not self._running:
             return
         self.scrape_all()
+        self.observe_grid(self.network.sim.now)
         self._schedule_tick()
 
     def scrape_all(self) -> None:
@@ -201,6 +212,11 @@ class MonitorService:
         events = payload.get("events", [])
         seen = payload.get("events_seen", len(events))
         watermark = self._forwarded.get(service, 0)
+        if seen < watermark:
+            # The service restarted and its event counter reset; keeping
+            # the old high-water mark would silently drop everything the
+            # replacement emits, starting with its first payload.
+            watermark = 0
         start_index = seen - len(events)       # ring may have overflowed
         for offset, event in enumerate(events):
             if start_index + offset < watermark:
@@ -210,7 +226,54 @@ class MonitorService:
                               detail=f"{service}: {event.get('detail', '')}")
         self._forwarded[service] = seen
 
+    # -- grid-wide aggregates -------------------------------------------------------
+
+    def grid_values(self) -> dict[str, float]:
+        """Aggregate the latest scraped render-service payloads.
+
+        The pool-wide view the autoscaler's rules evaluate: mean/min frame
+        rate, mean/max utilisation and the fraction of render services
+        currently below the interactive threshold, computed from whatever
+        each service last shipped over the wire (a service that never
+        rendered exports no fps gauge and does not drag the mean down).
+        """
+        renders = [self._latest[name] for name in sorted(self._latest)
+                   if self._latest[name].get("kind") == "render"]
+        if not renders:
+            return {}
+        flats = [flatten_metrics(p.get("metrics", {})) for p in renders]
+        fps = [f["rave_rs_fps"] for f in flats if "rave_rs_fps" in f]
+        utils = [f["rave_rs_utilisation"] for f in flats
+                 if "rave_rs_utilisation" in f]
+        values = {"rave_grid_render_services": float(len(renders))}
+        if fps:
+            values["rave_grid_mean_fps"] = sum(fps) / len(fps)
+            values["rave_grid_min_fps"] = min(fps)
+            values["rave_grid_overloaded_fraction"] = (
+                sum(1 for v in fps if v < DEFAULT_OVERLOAD_FPS) / len(fps))
+        if utils:
+            values["rave_grid_mean_utilisation"] = sum(utils) / len(utils)
+            values["rave_grid_max_utilisation"] = max(utils)
+        return values
+
+    def observe_grid(self, now: float) -> dict[str, float]:
+        """Feed the grid-wide aggregates into the rule engine."""
+        values = self.grid_values()
+        if values:
+            self.engine.observe(GRID_SERVICE, now, values)
+        return values
+
     # -- evaluation + publication ---------------------------------------------------
+
+    def attach_autoscaler(self, autoscaler) -> None:
+        """Publish an autoscaler's pool history through this monitor.
+
+        The :class:`~repro.core.autoscale.RecruitmentAutoscaler` calls
+        this on construction; the snapshot (and therefore the dashboard)
+        then carries an ``autoscale`` section with the pool-size history
+        and every grow/release decision.
+        """
+        self.autoscaler = autoscaler
 
     def firing_alerts(self):
         """Alerts currently sustained (``rules.Alert`` objects)."""
@@ -231,10 +294,11 @@ class MonitorService:
                 "metrics": flatten_metrics(payload.get("metrics", {})),
                 "events_seen": payload.get("events_seen", 0),
             }
-        return {
+        snapshot = {
             "format": MONITOR_SNAPSHOT_FORMAT,
             "time": self.network.sim.clock.now,
             "period": self.period,
+            "grid": self.grid_values(),
             "services": services,
             "metrics": federate(self._latest[name]
                                 for name in sorted(self._latest)),
@@ -249,10 +313,13 @@ class MonitorService:
                         "failures": self.scrape_failures,
                         "bytes": self.scrape_bytes},
         }
+        if self.autoscaler is not None:
+            snapshot["autoscale"] = self.autoscaler.describe()
+        return snapshot
 
     def __repr__(self) -> str:
         return (f"MonitorService(name={self.name!r}, host={self.host!r}, "
                 f"targets={self.targets()}, period={self.period})")
 
 
-__all__ = ["MONITOR_SNAPSHOT_FORMAT", "MonitorService"]
+__all__ = ["GRID_SERVICE", "MONITOR_SNAPSHOT_FORMAT", "MonitorService"]

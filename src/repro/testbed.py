@@ -60,6 +60,9 @@ class Testbed:
     business_key: str = ""
     #: the monitoring plane (None unless built with ``monitor_host=``)
     monitor: MonitorService | None = None
+    #: autoscaler construction parameters (None unless built with
+    #: ``autoscale=``); consumed by :meth:`autoscale_session`
+    autoscale_config: dict | None = None
     _clients: list = field(default_factory=list)
 
     @property
@@ -115,13 +118,33 @@ class Testbed:
         }
         return Recruiter(self.uddi_client(from_host or DATA_HOST), directory)
 
+    def autoscale_session(self, session, **overrides):
+        """Attach a started :class:`RecruitmentAutoscaler` to a session.
+
+        Uses the parameters captured by ``build_testbed(autoscale=...)``
+        (overridable per call) and the testbed's monitor.  The returned
+        autoscaler is already ticking on the simulated clock.
+        """
+        from repro.core.autoscale import RecruitmentAutoscaler
+
+        if self.monitor is None:
+            raise ServiceError(
+                "autoscaling needs the monitoring plane; build the "
+                "testbed with monitor_host=")
+        config = dict(self.autoscale_config or {})
+        config.update(overrides)
+        autoscaler = RecruitmentAutoscaler(session, self.monitor, **config)
+        autoscaler.start()
+        return autoscaler
+
 
 def build_testbed(render_hosts: tuple[str, ...] = RENDER_HOSTS,
                   data_host: str = DATA_HOST,
                   pda_signal_quality: float = 1.0,
                   register_uddi: bool = True,
                   monitor_host: str | None = None,
-                  monitor_period: float = 1.0) -> Testbed:
+                  monitor_period: float = 1.0,
+                  autoscale: bool | dict = False) -> Testbed:
     """Assemble the §4.4 testbed.  See module docstring.
 
     ``monitor_host`` — deploy a :class:`MonitorService` there (e.g.
@@ -129,6 +152,12 @@ def build_testbed(render_hosts: tuple[str, ...] = RENDER_HOSTS,
     and the UDDI registry, with its recurring scrape already started.
     ``None`` (the default) builds the plain testbed with no monitoring
     plane — behaviour is bit-identical to earlier seeds.
+
+    ``autoscale`` — capture recruitment-autoscaler parameters for
+    :meth:`Testbed.autoscale_session` (``True`` for the defaults, or a
+    dict of :class:`~repro.core.autoscale.RecruitmentAutoscaler` keyword
+    arguments such as ``{"cooldown_seconds": 5.0}``).  Requires
+    ``monitor_host``; sessions opt in by calling ``autoscale_session``.
     """
     network = Network()
     for name in set(render_hosts) | {data_host}:
@@ -175,6 +204,10 @@ def build_testbed(render_hosts: tuple[str, ...] = RENDER_HOSTS,
                 AccessPoint(url=service.endpoint, host=host),
                 [render_tm])
 
+    if autoscale and monitor_host is None:
+        raise ServiceError("autoscale= needs a monitoring plane; pass "
+                           "monitor_host= as well")
+
     monitor = None
     if monitor_host is not None:
         if monitor_host not in network.hosts:
@@ -198,7 +231,13 @@ def build_testbed(render_hosts: tuple[str, ...] = RENDER_HOSTS,
         monitor.watch(registry)
         monitor.start()
 
+    autoscale_config = None
+    if autoscale:
+        autoscale_config = dict(autoscale) if isinstance(autoscale, dict) \
+            else {}
+
     return Testbed(network=network, registry=registry,
                    containers=containers, data_service=data_service,
                    render_services=render_services, wireless=wireless,
-                   business_key=business_key, monitor=monitor)
+                   business_key=business_key, monitor=monitor,
+                   autoscale_config=autoscale_config)

@@ -10,6 +10,7 @@ recovery — from one seed and asserts the system invariants:
 """
 
 import json
+from types import SimpleNamespace
 
 import pytest
 
@@ -329,3 +330,39 @@ class TestFlightRecorderUnderChaos:
         _, replay = self.run_scenario(seed=23)
         assert json.dumps(first, sort_keys=True) \
             == json.dumps(replay, sort_keys=True)
+
+
+class TestMonitorUnderServiceRestart:
+    def test_counter_reset_does_not_swallow_post_restart_events(self):
+        """A watched service replaced by a restarted instance resets its
+        ``events_seen`` counter.  The monitor's forwarding watermark must
+        rewind with it — otherwise everything the replacement emits,
+        starting with its *first* payload, is silently dropped from the
+        flight recorder."""
+        from repro.obs.telemetry import ServiceTelemetry
+
+        tb = build_testbed(monitor_host="registry-host")
+        with obs.observed(clock=tb.clock) as bundle:
+            original = tb.render_service("onyx").telemetry
+            for i in range(5):
+                original.event("render-session-created", time=float(i),
+                               detail=f"pre-restart-{i}")
+            sim = tb.network.sim
+            sim.run_until(sim.now + 3.0)
+            assert tb.monitor._forwarded["rs-onyx"] == 5
+
+            # the host "restarts": a fresh instance under the same
+            # service name, telemetry counter back at zero
+            restarted = ServiceTelemetry("rs-onyx", "onyx", "render")
+            restarted.event("render-session-created", time=sim.now,
+                            detail="post-restart")
+            tb.monitor.watch(SimpleNamespace(telemetry=restarted))
+            sim.run_until(sim.now + 3.0)
+
+            details = [e.detail for e in
+                       bundle.recorder.events("telemetry:"
+                                              "render-session-created")]
+            assert any("post-restart" in d for d in details), \
+                "the replacement's first events never reached the recorder"
+            # and the watermark tracks the new counter, not the old one
+            assert tb.monitor._forwarded["rs-onyx"] == 1
