@@ -23,7 +23,7 @@ SCENES = {
 @pytest.fixture(scope="module")
 def tb():
     testbed = build_testbed(render_hosts=("centrino",))
-    for label, (name, polys) in SCENES.items():
+    for _label, (name, polys) in SCENES.items():
         testbed.publish_model(f"s-{name}",
                               make_model(name, polys).normalized())
     return testbed

@@ -37,7 +37,7 @@ def compute_table():
     out = {}
     for machine in MACHINES:
         engine = RenderEngine(get_profile(machine))
-        for label, polys in DATASETS.items():
+        for _label, polys in DATASETS.items():
             out[(machine, polys)] = engine.offscreen_efficiency(polys,
                                                                 PIXELS)
     return out

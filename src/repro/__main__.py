@@ -8,7 +8,10 @@ Commands:
 - ``tables34``    — regenerate Tables 3/4 (off-screen efficiency);
 - ``table5``      — regenerate Table 5 (UDDI + bootstrap timings);
 - ``dashboard``   — render the monitoring-plane text dashboard, from a
-  snapshot JSON (``--snapshot``) or from a freshly run live demo.
+  snapshot JSON (``--snapshot``) or from a freshly run live demo;
+- ``lint``        — run ``ravelint``, the project's AST-based invariant
+  checker (determinism, metric registry, kind vocabularies, protocol
+  symmetry, ``__all__`` drift); see ``docs/ANALYSIS.md``.
 
 The full per-table/per-figure harness lives in ``benchmarks/`` (run with
 ``pytest benchmarks/ --benchmark-only``); these subcommands are the quick
@@ -162,6 +165,12 @@ def cmd_dashboard(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis.cli import cmd_lint as run
+
+    return run(args)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -182,6 +191,10 @@ def main(argv=None) -> int:
                            "omit to run a short live demo")
     dash.add_argument("--seconds", type=float, default=6.0,
                       help="simulated seconds for the live demo (default 6)")
+    lint = sub.add_parser("lint",
+                          help="run ravelint static invariant checks")
+    from repro.analysis.cli import add_lint_arguments
+    add_lint_arguments(lint)
     args = parser.parse_args(argv)
     handler = {
         "info": cmd_info,
@@ -190,6 +203,7 @@ def main(argv=None) -> int:
         "tables34": cmd_tables34,
         "table5": cmd_table5,
         "dashboard": cmd_dashboard,
+        "lint": cmd_lint,
     }[args.command]
     return handler(args)
 

@@ -1,0 +1,24 @@
+"""Built-in ravelint checkers.
+
+Importing this package registers every built-in rule with
+:func:`repro.analysis.core.register`; :func:`repro.analysis.core.registered_rules`
+does so lazily.  Adding a checker is: write a module here with a
+``@register``-decorated :class:`~repro.analysis.core.Checker` subclass,
+import it below, and give it fixture tests (see ``docs/ANALYSIS.md``).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.checkers.api_surface import ApiSurfaceChecker
+from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.kinds import KindVocabularyChecker
+from repro.analysis.checkers.metrics_registry import MetricRegistryChecker
+from repro.analysis.checkers.protocol import ProtocolSymmetryChecker
+
+__all__ = [
+    "ApiSurfaceChecker",
+    "DeterminismChecker",
+    "KindVocabularyChecker",
+    "MetricRegistryChecker",
+    "ProtocolSymmetryChecker",
+]

@@ -1,0 +1,127 @@
+"""API-surface drift: ``__all__`` must match what a module really binds.
+
+Two failure modes, both silent until an import explodes (or worse,
+quietly exports nothing):
+
+- **stale export** — a name listed in ``__all__`` that the module never
+  defines or imports: ``from repro.x import *`` raises
+  ``AttributeError`` at a distance (error, every module);
+- **missing export** — a public name a package ``__init__.py`` defines
+  or re-exports from inside ``repro`` but forgot to list in
+  ``__all__``, so the documented surface and the real surface disagree
+  (warning, ``__init__.py`` only; stdlib/third-party imports are
+  implementation details and exempt).
+
+Top-level ``if``/``try`` bodies count as module scope because guarded
+imports and conditional definitions are normal Python.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+import ast
+
+from repro.analysis.core import Checker, Finding, SourceFile, SourceTree, \
+    register
+
+
+def _top_level(module: ast.Module) -> Iterator[ast.stmt]:
+    """Module-body statements, descending into if/try blocks."""
+    stack = list(module.body)
+    while stack:
+        stmt = stack.pop(0)
+        yield stmt
+        if isinstance(stmt, ast.If):
+            stack.extend(stmt.body + stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            stack.extend(stmt.body + stmt.orelse + stmt.finalbody)
+            for handler in stmt.handlers:
+                stack.extend(handler.body)
+
+
+@register
+class ApiSurfaceChecker(Checker):
+    rule = "api-surface"
+    severity = "error"
+    description = ("__all__ entries must exist, and package __init__ "
+                   "re-exports must be listed in __all__")
+
+    def check(self, tree: SourceTree) -> Iterator[Finding]:
+        for sf in tree.src_files:
+            if sf.tree is None:
+                continue
+            yield from self._check_module(sf)
+
+    def _check_module(self, sf: SourceFile) -> Iterator[Finding]:
+        bound: dict[str, int] = {}
+        exported: dict[str, int] | None = None
+        exported_line = 1
+        reexports: dict[str, int] = {}
+
+        for stmt in _top_level(sf.tree):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                bound.setdefault(stmt.name, stmt.lineno)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        if target.id == "__all__":
+                            exported = self._exports(stmt.value)
+                            exported_line = stmt.lineno
+                        else:
+                            bound.setdefault(target.id, stmt.lineno)
+                    elif isinstance(target, (ast.Tuple, ast.List)):
+                        for el in target.elts:
+                            if isinstance(el, ast.Name):
+                                bound.setdefault(el.id, el.lineno)
+            elif isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name):
+                bound.setdefault(stmt.target.id, stmt.lineno)
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    bound.setdefault(local, stmt.lineno)
+            elif isinstance(stmt, ast.ImportFrom):
+                internal = stmt.level > 0 or (
+                    stmt.module or "").split(".")[0] == "repro"
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    bound.setdefault(local, stmt.lineno)
+                    if internal and not local.startswith("_"):
+                        reexports.setdefault(local, stmt.lineno)
+
+        if exported is None:
+            return
+
+        for name, line in sorted(exported.items()):
+            if name not in bound:
+                yield self.finding(
+                    sf, line or exported_line,
+                    f"__all__ exports {name!r} but the module never "
+                    f"defines or imports it — star-imports raise "
+                    f"AttributeError",
+                    symbol=name)
+
+        if not sf.rel.endswith("__init__.py"):
+            return
+        for name, line in sorted(reexports.items()):
+            if name not in exported:
+                yield self.finding(
+                    sf, line,
+                    f"{name!r} is re-exported from inside repro but "
+                    f"missing from __all__ — the public surface and the "
+                    f"real surface disagree",
+                    symbol=name, severity="warning")
+
+    @staticmethod
+    def _exports(node: ast.expr) -> dict[str, int]:
+        """``__all__`` entries -> line, for list/tuple string displays."""
+        out: dict[str, int] = {}
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            for el in node.elts:
+                if isinstance(el, ast.Constant) \
+                        and isinstance(el.value, str):
+                    out.setdefault(el.value, el.lineno)
+        return out

@@ -1,0 +1,148 @@
+"""Metric-registry consistency: producers and consumers must agree.
+
+The monitoring plane is stringly typed at its edges: services register
+``rave_*`` families through :class:`~repro.obs.metrics.MetricsRegistry`
+call sites (``registry.counter("rave_rs_frames_total").inc()``), while
+alert rules (``obs/rules.py``), the dashboard (``obs/dashboard.py``) and
+the test/benchmark harnesses look the same names up in scraped
+snapshots.  Nothing at runtime connects the two — a typo on either side
+just reads zeros forever.
+
+This cross-file rule reconstructs both sides statically:
+
+- **registrations** — every ``.counter(...)``/``.gauge(...)``/
+  ``.histogram(...)`` call whose first argument is a ``rave_*`` string
+  literal, anywhere in the tree (tests register fixture metrics too),
+  plus the ``DERIVED_METRICS`` vocabulary (grid aggregates the monitor
+  computes without a registry);
+- **consumptions** — every bare ``rave_*`` string literal in
+  ``obs/rules.py``, ``obs/dashboard.py`` and the tests/benchmarks
+  trees.  Literals ending in ``_`` are treated as prefix probes
+  (``name.startswith("rave_net_")``) and consume every matching family;
+  flattened histogram suffixes (``_count``/``_sum``/``_bucket``) map
+  back to their base family.
+
+A consumed name nobody registers is an **error** (the lookup can never
+succeed); a ``src/repro`` registration nobody consumes is a **warning**
+(dead telemetry, or a missing assertion).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+import ast
+import re
+
+from repro.analysis.astutil import vocab_env, str_set
+from repro.analysis.core import Checker, Finding, SourceFile, SourceTree, \
+    register
+
+#: a complete metric name (never ends in an underscore)
+NAME_RE = re.compile(r"rave_[a-z0-9]+(?:_[a-z0-9]+)*")
+#: a prefix probe, as used with ``str.startswith``
+PREFIX_RE = re.compile(r"rave_[a-z0-9_]*_")
+
+REGISTRY_METHODS = ("counter", "gauge", "histogram")
+CONSUMER_SUFFIXES = ("obs/rules.py", "obs/dashboard.py")
+FLATTEN_SUFFIXES = ("_count", "_sum", "_bucket")
+
+
+def _registrations(sf: SourceFile):
+    """``(name, line, node)`` per registry call site in one file."""
+    for node in ast.walk(sf.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if not isinstance(node.func, ast.Attribute) \
+                or node.func.attr not in REGISTRY_METHODS:
+            continue
+        if not node.args:
+            continue
+        arg = node.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str) \
+                and NAME_RE.fullmatch(arg.value):
+            yield arg.value, arg.lineno, arg
+
+
+@register
+class MetricRegistryChecker(Checker):
+    rule = "metric-registry"
+    severity = "error"
+    description = ("every consumed rave_* metric name must have a "
+                   "registration site, and registrations should have "
+                   "consumers")
+
+    def check(self, tree: SourceTree) -> Iterator[Finding]:
+        registered: dict[str, tuple[str, int]] = {}
+        src_registered: dict[str, tuple[str, int]] = {}
+        registration_nodes: set[int] = set()
+        for sf in tree.files:
+            if sf.tree is None:
+                continue
+            for name, line, node in _registrations(sf):
+                registration_nodes.add(id(node))
+                registered.setdefault(name, (sf.rel, line))
+                if sf.role == "src":
+                    src_registered.setdefault(name, (sf.rel, line))
+
+        _, env = vocab_env(tree)
+        derived = str_set(env, "DERIVED_METRICS")
+        declared = set(registered) | derived
+
+        consumed: dict[str, tuple[str, int]] = {}
+        prefixes: set[str] = set()
+        for sf in tree.files:
+            if sf.tree is None:
+                continue
+            if sf.role == "src" \
+                    and not sf.rel.endswith(CONSUMER_SUFFIXES):
+                continue
+            for node in ast.walk(sf.tree):
+                if not isinstance(node, ast.Constant) \
+                        or not isinstance(node.value, str) \
+                        or id(node) in registration_nodes:
+                    continue
+                value = node.value
+                if NAME_RE.fullmatch(value):
+                    consumed.setdefault(value, (sf.rel, node.lineno))
+                elif PREFIX_RE.fullmatch(value):
+                    prefixes.add(value)
+
+        # consumed names that can never resolve
+        for name in sorted(consumed):
+            if self._declared(name, declared):
+                continue
+            rel, line = consumed[name]
+            yield self.finding(
+                rel, line,
+                f"metric {name!r} is consumed here but never registered "
+                f"by any MetricsRegistry call site (nor declared in "
+                f"obs/vocab.DERIVED_METRICS) — the lookup reads zeros "
+                f"forever",
+                symbol=name)
+
+        # src registrations nobody reads back
+        consumed_bases = {self._base(name, declared) for name in consumed}
+        for name in sorted(src_registered):
+            if name in consumed_bases:
+                continue
+            if any(name.startswith(p) for p in prefixes):
+                continue
+            rel, line = src_registered[name]
+            yield self.finding(
+                rel, line,
+                f"metric {name!r} is registered here but never consumed "
+                f"by obs/rules.py, obs/dashboard.py, tests or benchmarks "
+                f"— dead telemetry or a missing assertion",
+                symbol=name, severity="warning")
+
+    @staticmethod
+    def _base(name: str, declared: set[str]) -> str:
+        """Map a flattened histogram lookup back to its family name."""
+        for suffix in FLATTEN_SUFFIXES:
+            if name.endswith(suffix) and name[:-len(suffix)] in declared:
+                return name[:-len(suffix)]
+        return name
+
+    @classmethod
+    def _declared(cls, name: str, declared: set[str]) -> bool:
+        return cls._base(name, declared) in declared

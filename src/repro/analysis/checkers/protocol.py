@@ -1,0 +1,91 @@
+"""Protocol symmetry: every framer has an unframer, flags used both ways.
+
+``services/protocol.py`` is the data-plane wire contract: a
+``frame_X`` producer without a matching ``unframe_X`` consumer (or the
+reverse) means one side of the wire speaks a dialect nobody parses.
+Header flag constants (``FLAG_*``) have the same symmetry requirement —
+a flag only set by framers is never enforced, a flag only tested by
+unframers can never appear on the wire.
+
+The rule applies to every module named ``protocol.py`` under
+``src/repro`` so future per-subsystem protocols inherit the contract.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+import ast
+import re
+
+from repro.analysis.core import Checker, Finding, SourceFile, SourceTree, \
+    register
+
+_FLAG_RE = re.compile(r"FLAG_[A-Z0-9_]+")
+
+
+@register
+class ProtocolSymmetryChecker(Checker):
+    rule = "protocol-symmetry"
+    severity = "error"
+    description = ("every frame_* has a matching unframe_* and FLAG_* "
+                   "constants are used on both sides of the wire")
+
+    def check(self, tree: SourceTree) -> Iterator[Finding]:
+        for sf in tree.src_files:
+            if sf.tree is None or not sf.rel.endswith("protocol.py"):
+                continue
+            yield from self._check_module(sf)
+
+    def _check_module(self, sf: SourceFile) -> Iterator[Finding]:
+        framers: dict[str, ast.FunctionDef] = {}
+        unframers: dict[str, ast.FunctionDef] = {}
+        flags: dict[str, int] = {}
+        for stmt in sf.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if stmt.name.startswith("frame_"):
+                    framers[stmt.name[len("frame_"):]] = stmt
+                elif stmt.name.startswith("unframe_"):
+                    unframers[stmt.name[len("unframe_"):]] = stmt
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) \
+                            and _FLAG_RE.fullmatch(target.id):
+                        flags[target.id] = stmt.lineno
+
+        for suffix, fn in sorted(framers.items()):
+            if suffix not in unframers:
+                yield self.finding(
+                    sf, fn.lineno,
+                    f"frame_{suffix} has no matching unframe_{suffix} — "
+                    f"nothing can parse what this produces",
+                    symbol=f"frame_{suffix}")
+        for suffix, fn in sorted(unframers.items()):
+            if suffix not in framers:
+                yield self.finding(
+                    sf, fn.lineno,
+                    f"unframe_{suffix} has no matching frame_{suffix} — "
+                    f"nothing ever produces what this parses",
+                    symbol=f"unframe_{suffix}")
+
+        for flag, lineno in sorted(flags.items()):
+            in_frame = any(self._references(fn, flag)
+                           for fn in framers.values())
+            in_unframe = any(self._references(fn, flag)
+                             for fn in unframers.values())
+            if in_frame and in_unframe:
+                continue
+            if not in_frame and not in_unframe:
+                missing = "any frame_* or unframe_* function"
+            elif not in_frame:
+                missing = "any frame_* function (set but never produced)"
+            else:
+                missing = "any unframe_* function (set but never checked)"
+            yield self.finding(
+                sf, lineno,
+                f"header flag {flag} is not referenced by {missing}",
+                symbol=flag)
+
+    @staticmethod
+    def _references(fn: ast.FunctionDef, name: str) -> bool:
+        return any(isinstance(node, ast.Name) and node.id == name
+                   for node in ast.walk(fn))

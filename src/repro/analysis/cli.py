@@ -1,0 +1,61 @@
+"""``python -m repro lint``: the ravelint command-line front end."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.core import (
+    BASELINE_NAME,
+    default_root,
+    registered_rules,
+    run_lint,
+    write_baseline,
+)
+from repro.analysis.reporters import render_json, render_text
+
+
+def add_lint_arguments(parser) -> None:
+    """Attach the lint options to an argparse (sub)parser."""
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated rule ids (default: all)")
+    parser.add_argument("--root", default=None,
+                        help="repository root to lint (default: the root "
+                             "this package was loaded from)")
+    parser.add_argument("--baseline", default=None,
+                        help=f"baseline file (default: <root>/{BASELINE_NAME})")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="grandfather every current finding into the "
+                             "baseline file and exit 0")
+    parser.add_argument("--fail-on", choices=("info", "warning", "error"),
+                        default="warning",
+                        help="lowest severity that fails the run "
+                             "(default: warning)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+    parser.add_argument("--verbose", action="store_true",
+                        help="also print suppressed/baselined findings "
+                             "(text format)")
+
+
+def cmd_lint(args) -> int:
+    if args.list_rules:
+        for rule_id, cls in registered_rules().items():
+            print(f"{rule_id:<20} {cls.severity:<8} {cls.description}")
+        return 0
+    root = Path(args.root).resolve() if args.root else default_root()
+    rules = ([r.strip() for r in args.rules.split(",") if r.strip()]
+             if args.rules else None)
+    baseline = Path(args.baseline) if args.baseline \
+        else root / BASELINE_NAME
+    result = run_lint(root=root, rules=rules, baseline_path=baseline)
+    if args.write_baseline:
+        payload = write_baseline(baseline, result.findings)
+        print(f"wrote {len(payload['findings'])} finding(s) to {baseline}")
+        return 0
+    if args.format == "json":
+        print(render_json(result), end="")
+    else:
+        print(render_text(result, verbose=args.verbose), end="")
+    return 1 if result.failed(args.fail_on) else 0

@@ -1,0 +1,51 @@
+"""ravelint reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.core import SEVERITIES, LintResult
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """``path:line: severity [rule] message`` lines plus a summary."""
+    lines: list[str] = []
+    for f in result.findings:
+        lines.append(f"{f.path}:{f.line}: {f.severity} [{f.rule}] "
+                     f"{f.message}")
+    if verbose:
+        for f in result.suppressed:
+            lines.append(f"{f.path}:{f.line}: suppressed [{f.rule}] "
+                         f"{f.message}")
+        for f in result.baselined:
+            lines.append(f"{f.path}:{f.line}: baselined [{f.rule}] "
+                         f"{f.message}")
+    counts = result.counts()
+    summary = ", ".join(f"{counts[s]} {s}" for s in reversed(SEVERITIES)
+                        if counts[s])
+    lines.append(
+        f"ravelint: {len(result.findings)} finding(s)"
+        + (f" ({summary})" if summary else "")
+        + f", {len(result.suppressed)} suppressed, "
+          f"{len(result.baselined)} baselined "
+          f"[rules: {', '.join(result.rules)}]")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(result: LintResult) -> str:
+    """The full run as a JSON document (the CI artifact format)."""
+    payload = {
+        "format": "ravelint-report/1",
+        "root": result.root,
+        "rules": result.rules,
+        "summary": {
+            **result.counts(),
+            "findings": len(result.findings),
+            "suppressed": len(result.suppressed),
+            "baselined": len(result.baselined),
+        },
+        "findings": [f.to_dict() for f in result.findings],
+        "suppressed": [f.to_dict() for f in result.suppressed],
+        "baselined": [f.to_dict() for f in result.baselined],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False) + "\n"

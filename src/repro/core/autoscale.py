@@ -36,6 +36,7 @@ from repro.core.cost import node_cost
 from repro.errors import ServiceError
 from repro.obs import active as _obs
 from repro.obs.rules import GRID_OVERLOAD_KIND, GRID_UNDERLOAD_KIND
+from repro.obs.vocab import ALERT_OVERLOAD, EVENT_SCALE_PREFIX
 
 
 @dataclass(frozen=True)
@@ -156,8 +157,8 @@ class RecruitmentAutoscaler:
         if grown:
             # the migrator's overload path already recruited (nobody had
             # headroom for an alerted service) — record it as a grow
-            reason = next((a.rule for a in alerts if a.kind == "overload"),
-                          grid_over[0].rule if grid_over else "overload")
+            reason = next((a.rule for a in alerts if a.kind == ALERT_OVERLOAD),
+                          grid_over[0].rule if grid_over else ALERT_OVERLOAD)
             events.append(self._record("grow", now, reason, grown,
                                        len(before)))
         elif grid_over and not cooling and not self._at_max() \
@@ -193,7 +194,7 @@ class RecruitmentAutoscaler:
         """
         session = self.session
         fps = session.target_fps
-        over = {a.service for a in alerts if a.kind == "overload"}
+        over = {a.service for a in alerts if a.kind == ALERT_OVERLOAD}
         live = [s for s in session.render_services
                 if session.service_live(s)]
         alerted = [s for s in live if s.name in over]
@@ -247,7 +248,7 @@ class RecruitmentAutoscaler:
         obs = _obs()
         if obs.enabled:
             obs.recorder.note(
-                f"scale:{kind}", time=now,
+                EVENT_SCALE_PREFIX + kind, time=now,
                 detail=f"{', '.join(event.services)} (pool {pool_before} "
                        f"-> {event.pool_after}; {reason})")
             obs.metrics.counter("rave_autoscale_events_total",

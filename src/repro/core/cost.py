@@ -31,7 +31,7 @@ class NodeCost:
     texture_bytes: int = 0
     payload_bytes: int = 0
 
-    def __add__(self, other: "NodeCost") -> "NodeCost":
+    def __add__(self, other: NodeCost) -> NodeCost:
         return NodeCost(
             polygons=self.polygons + other.polygons,
             points=self.points + other.points,

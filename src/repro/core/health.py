@@ -23,10 +23,11 @@ deployment.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from collections.abc import Callable
 
 from repro.errors import NetworkError, ServiceError
 from repro.obs import active as _obs
+from repro.obs.vocab import EVENT_LEASE_TRANSITION
 
 #: lease states
 ALIVE = "alive"
@@ -114,7 +115,7 @@ class HeartbeatMonitor:
                         "rave_health_transitions_total",
                         "lease state transitions", state="recovered").inc()
                     obs.recorder.note(
-                        "lease-transition", time=self.sim.now,
+                        EVENT_LEASE_TRANSITION, time=self.sim.now,
                         detail=f"{name}: {was} -> alive (heartbeat)")
                 for cb in self.on_recover:
                     cb(name)
@@ -126,10 +127,12 @@ class HeartbeatMonitor:
         return self.lease(name).state == ALIVE
 
     def dead_services(self) -> list[str]:
-        return sorted(n for n, l in self._leases.items() if l.state == DEAD)
+        return sorted(name for name, lease in self._leases.items()
+                      if lease.state == DEAD)
 
     def live_services(self) -> list[str]:
-        return sorted(n for n, l in self._leases.items() if l.state != DEAD)
+        return sorted(name for name, lease in self._leases.items()
+                      if lease.state != DEAD)
 
     def poll(self) -> list[tuple[str, str]]:
         """Evaluate every lease now; returns ``(name, new_state)`` changes."""
@@ -144,7 +147,7 @@ class HeartbeatMonitor:
                 changes.append((lease.name, SUSPECTED))
                 if obs.enabled:
                     obs.recorder.note(
-                        "lease-transition", time=now,
+                        EVENT_LEASE_TRANSITION, time=now,
                         detail=f"{lease.name}: alive -> suspected "
                                f"(lease age {age:.2f}s)")
                 for cb in self.on_suspect:
@@ -155,7 +158,7 @@ class HeartbeatMonitor:
                 changes.append((lease.name, DEAD))
                 if obs.enabled:
                     obs.recorder.note(
-                        "lease-transition", time=now,
+                        EVENT_LEASE_TRANSITION, time=now,
                         detail=f"{lease.name}: suspected -> dead "
                                f"(lease age {age:.2f}s)")
                 for cb in self.on_dead:
@@ -223,7 +226,7 @@ class HeartbeatSource:
     beats_lost: int = 0
     _stopped: bool = field(default=False, repr=False)
 
-    def start(self) -> "HeartbeatSource":
+    def start(self) -> HeartbeatSource:
         self.monitor.watch(self.name)
 
         def tick() -> None:

@@ -35,6 +35,7 @@ from repro.obs.rules import (
     DEFAULT_SMOOTHING_SECONDS,
     DEFAULT_UNDERLOAD_UTILISATION,
 )
+from repro.obs.vocab import ALERT_OVERLOAD, ALERT_UNDERLOAD, EVENT_MIGRATION
 
 
 @dataclass(frozen=True)
@@ -224,9 +225,9 @@ class WorkloadMigrator:
         """
         obs = _obs()
         over_alerted = {a.service for a in alerts or ()
-                        if a.kind == "overload"}
+                        if a.kind == ALERT_OVERLOAD}
         under_alerted = {a.service for a in alerts or ()
-                         if a.kind == "underload"}
+                         if a.kind == ALERT_UNDERLOAD}
         actions: list[MigrationAction] = []
         services = list(session.render_services)
 
@@ -237,7 +238,7 @@ class WorkloadMigrator:
             if obs.enabled:
                 obs.metrics.counter("rave_migration_triggers_total",
                                     "sustained threshold crossings",
-                                    kind="overload").inc()
+                                    kind=ALERT_OVERLOAD).inc()
             # work to shed: enough to get back to the target frame time
             over = service.committed_polygons() - (
                 service.capacity().polygon_budget(self.target_fps))
@@ -253,7 +254,7 @@ class WorkloadMigrator:
             if receiver is None:
                 continue
             action = self._move(session, service, receiver, needed,
-                                reason="overload")
+                                reason=ALERT_OVERLOAD)
             if action is not None:
                 actions.append(action)
 
@@ -264,7 +265,7 @@ class WorkloadMigrator:
             if obs.enabled:
                 obs.metrics.counter("rave_migration_triggers_total",
                                     "sustained threshold crossings",
-                                    kind="underload").inc()
+                                    kind=ALERT_UNDERLOAD).inc()
             donor = self._most_loaded(services, exclude=service)
             if donor is None:
                 continue
@@ -283,7 +284,7 @@ class WorkloadMigrator:
             action = self._move(session, donor, service,
                                 polygons_needed=min(headroom * 0.5,
                                                     donor_spare),
-                                reason="underload", hard_cap=donor_spare)
+                                reason=ALERT_UNDERLOAD, hard_cap=donor_spare)
             if action is not None:
                 actions.append(action)
 
@@ -300,7 +301,7 @@ class WorkloadMigrator:
                           "polygons migrated between services"
                           ).inc(action.polygons)
                 obs.recorder.note(
-                    "migration", time=now,
+                    EVENT_MIGRATION, time=now,
                     detail=f"{action.source} -> {action.destination}: "
                            f"{action.polygons} polygons ({action.reason})")
         self.actions.extend(actions)

@@ -24,6 +24,7 @@ from repro.core.migration import WorkloadMigrator
 from repro.core.scheduler import Placement, RenderServiceScheduler
 from repro.errors import NetworkError, ServiceError, SessionError
 from repro.obs import active as _obs
+from repro.obs.vocab import EVENT_PLACEMENT, EVENT_RECOVERY, EVENT_RELEASE
 from repro.render.camera import Camera
 from repro.render.compositor import assemble_tiles, depth_composite
 from repro.render.framebuffer import FrameBuffer
@@ -206,7 +207,7 @@ class CollaborativeSession:
         if obs.enabled:
             now = self.data_service.network.sim.now
             obs.recorder.note(
-                "release", time=now,
+                EVENT_RELEASE, time=now,
                 detail=f"{name} drained to {sorted(reassigned)} and "
                        f"returned to the registry "
                        f"({sum(len(i) for i in reassigned.values())} nodes)")
@@ -269,7 +270,7 @@ class CollaborativeSession:
         obs = _obs()
         if obs.enabled:
             obs.recorder.note(
-                "placement", time=self.data_service.network.sim.now,
+                EVENT_PLACEMENT, time=self.data_service.network.sim.now,
                 detail=f"{self.session_id}: {placement.mode} across "
                        f"{[a.service.name for a in placement.assignments]}")
         return placement
@@ -483,7 +484,7 @@ class CollaborativeSession:
         obs = _obs()
         if obs.enabled:
             obs.recorder.note(
-                "recovery", time=report.time,
+                EVENT_RECOVERY, time=report.time,
                 detail=f"{name} failed; reassigned "
                        f"{report.nodes_recovered} nodes to "
                        f"{sorted(reassigned)}; recruited {recruited}")

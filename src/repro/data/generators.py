@@ -22,7 +22,7 @@ All generation is vectorized; no per-vertex Python loops.
 from __future__ import annotations
 
 import math
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

@@ -180,12 +180,12 @@ class Mesh:
 
     # -- transforms ---------------------------------------------------------
 
-    def _with_vertices(self, vertices: np.ndarray) -> "Mesh":
+    def _with_vertices(self, vertices: np.ndarray) -> Mesh:
         """Copy carrying all attributes but new vertex positions."""
         return Mesh(vertices, self.faces, self.colors, self.name,
                     uv=self.uv, texture=self.texture)
 
-    def transformed(self, matrix: np.ndarray) -> "Mesh":
+    def transformed(self, matrix: np.ndarray) -> Mesh:
         """Return a copy with vertices transformed by a 4x4 matrix."""
         matrix = np.asarray(matrix, dtype=np.float64)
         if matrix.shape != (4, 4):
@@ -194,14 +194,14 @@ class Mesh:
         w = v @ matrix[:3, :3].T + matrix[:3, 3]
         return self._with_vertices(w.astype(np.float32))
 
-    def translated(self, offset) -> "Mesh":
+    def translated(self, offset) -> Mesh:
         offset = np.asarray(offset, dtype=np.float32)
         return self._with_vertices(self.vertices + offset)
 
-    def scaled(self, factor: float) -> "Mesh":
+    def scaled(self, factor: float) -> Mesh:
         return self._with_vertices(self.vertices * np.float32(factor))
 
-    def normalized(self, radius: float = 1.0) -> "Mesh":
+    def normalized(self, radius: float = 1.0) -> Mesh:
         """Center on the origin and scale the largest extent to ``radius``."""
         lo, hi = self.bounds()
         center = (lo + hi) / 2
@@ -212,7 +212,7 @@ class Mesh:
 
     # -- splitting (used by dataset distribution) ----------------------------
 
-    def submesh(self, face_mask: np.ndarray) -> "Mesh":
+    def submesh(self, face_mask: np.ndarray) -> Mesh:
         """Extract the faces selected by a boolean mask, re-indexing vertices.
 
         This is the primitive behind scene-subset distribution: the data

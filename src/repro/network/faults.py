@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from repro.errors import NetworkError
 from repro.network.simnet import Link, Network
 from repro.obs import active as _obs
+from repro.obs.vocab import EVENT_FAULT_PREFIX
 
 
 def _pair_key(a: str, b: str) -> tuple[str, str]:
@@ -221,7 +222,8 @@ class FaultInjector:
                                    kind=kind, detail=detail))
         obs = _obs()
         if obs.enabled:
-            obs.recorder.note(f"fault:{kind}", time=self.network.sim.now,
+            obs.recorder.note(EVENT_FAULT_PREFIX + kind,
+                              time=self.network.sim.now,
                               detail=detail)
 
     def events(self, kind: str | None = None) -> list[FaultEvent]:

@@ -106,7 +106,7 @@ class WirelessCell:
     """A shared 802.11b cell: every member reaches the access point over the
     same medium, so their links share one contention domain."""
 
-    def __init__(self, network: "Network", access_point: str,
+    def __init__(self, network: Network, access_point: str,
                  nominal_bps: float = 11e6, mac_efficiency: float = 0.44,
                  latency_s: float = 0.004) -> None:
         self.network = network

@@ -72,7 +72,7 @@ class Channel:
         self.bytes_sent += len(data)
         return decoded, timing
 
-    def _reversed(self) -> "Channel":
+    def _reversed(self) -> Channel:
         """The response-direction channel with identical configuration."""
         raise NotImplementedError
 
@@ -113,7 +113,7 @@ class BinaryChannel(Channel):
         else:
             self.marshaller = BinaryMarshaller(cpu_factor=cpu_factor)
 
-    def _reversed(self) -> "BinaryChannel":
+    def _reversed(self) -> BinaryChannel:
         return BinaryChannel(self.network, self.dst, self.src,
                              cpu_factor=self.cpu_factor,
                              introspective=self.introspective)
@@ -143,7 +143,7 @@ class SoapChannel(Channel):
         super().__init__(network, src, dst)
         self.cpu_factor = cpu_factor
 
-    def _reversed(self) -> "SoapChannel":
+    def _reversed(self) -> SoapChannel:
         return SoapChannel(self.network, self.dst, self.src,
                            cpu_factor=self.cpu_factor)
 

@@ -18,9 +18,10 @@ Two evaluation engines over scraped telemetry:
   and reports attainment plus violation windows — including whether each
   window recovered.
 
-Everything here is plain data + deques: no clocks, no network, no other
-``repro`` imports, so the migration layer can share the threshold
-constants without an import cycle.
+Everything here is plain data + deques: no clocks, no network, and the
+only ``repro`` import is the constants-only kind vocabulary
+(:mod:`repro.obs.vocab`), so the migration layer can share the
+threshold constants without an import cycle.
 """
 
 from __future__ import annotations
@@ -28,17 +29,19 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.obs.vocab import (
+    ALERT_OVERLOAD,
+    ALERT_UNDERLOAD,
+    GRID_OVERLOAD_KIND,
+    GRID_UNDERLOAD_KIND,
+    SERVICE_RENDER,
+)
+
 #: the migration policy's thresholds (paper §3.2.7), shared with
 #: :class:`repro.core.migration.WorkloadMigrator`
 DEFAULT_OVERLOAD_FPS = 8.0
 DEFAULT_UNDERLOAD_UTILISATION = 0.3
 DEFAULT_SMOOTHING_SECONDS = 3.0
-
-#: alert kinds carried by grid-wide aggregate rules — the autoscaler's
-#: grow/release signals, distinct from the per-service "overload"/
-#: "underload" kinds the migration policy consumes
-GRID_OVERLOAD_KIND = "grid-overload"
-GRID_UNDERLOAD_KIND = "grid-underload"
 
 
 @dataclass(frozen=True)
@@ -82,11 +85,11 @@ def default_rules() -> list[AlertRule]:
     """The migration policy's thresholds as monitor alert rules."""
     return [
         AlertRule(name="render-overload", metric="rave_rs_fps",
-                  kind="overload", below=DEFAULT_OVERLOAD_FPS,
+                  kind=ALERT_OVERLOAD, below=DEFAULT_OVERLOAD_FPS,
                   for_seconds=DEFAULT_SMOOTHING_SECONDS,
                   severity="critical"),
         AlertRule(name="render-underload", metric="rave_rs_utilisation",
-                  kind="underload", below=DEFAULT_UNDERLOAD_UTILISATION,
+                  kind=ALERT_UNDERLOAD, below=DEFAULT_UNDERLOAD_UTILISATION,
                   for_seconds=DEFAULT_SMOOTHING_SECONDS,
                   severity="warning"),
     ] + grid_rules()
@@ -190,7 +193,7 @@ class SloTarget:
     metric: str
     objective: float
     op: str = "ge"                      # "ge" (value >= objective) | "le"
-    applies_to: str = "render"          # telemetry kind the SLO governs
+    applies_to: str = SERVICE_RENDER    # telemetry kind the SLO governs
     description: str = ""
     source: str = ""                    # provenance in the paper
 
@@ -202,21 +205,21 @@ class SloTarget:
 #: objectives lifted from the paper's published rates
 PAPER_SLOS = (
     SloTarget(name="interactive-fps", metric="rave_rs_fps", objective=8.0,
-              op="ge", applies_to="render",
+              op="ge", applies_to=SERVICE_RENDER,
               description="sustain the interactive rate the migration "
                           "policy defends",
               source="paper §3.2.7 (overload threshold)"),
     SloTarget(name="placement-target-fps", metric="rave_rs_fps",
-              objective=10.0, op="ge", applies_to="render",
+              objective=10.0, op="ge", applies_to=SERVICE_RENDER,
               description="hold the frame rate the scheduler placed for",
               source="DEFAULT_TARGET_FPS (paper §3.2.5 placement budget)"),
     SloTarget(name="pda-stream-fps", metric="rave_stream_fps",
-              objective=2.9, op="ge", applies_to="render",
+              objective=2.9, op="ge", applies_to=SERVICE_RENDER,
               description="stream to the PDA at least at the published "
                           "skeletal-hand rate",
               source="paper Table 2 (skeletal hand on the Zaurus, 2.9 fps)"),
     SloTarget(name="render-utilisation", metric="rave_rs_utilisation",
-              objective=1.0, op="le", applies_to="render",
+              objective=1.0, op="le", applies_to=SERVICE_RENDER,
               description="stay within the polygon budget at target fps",
               source="paper §3.2.5 (capacity model)"),
 )
@@ -300,6 +303,8 @@ __all__ = [
     "DEFAULT_OVERLOAD_FPS",
     "DEFAULT_UNDERLOAD_UTILISATION",
     "DEFAULT_SMOOTHING_SECONDS",
+    "ALERT_OVERLOAD",
+    "ALERT_UNDERLOAD",
     "GRID_OVERLOAD_KIND",
     "GRID_UNDERLOAD_KIND",
     "AlertRule",

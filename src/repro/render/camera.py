@@ -29,7 +29,7 @@ class Camera:
 
     @classmethod
     def from_node(cls, node: CameraNode, near: float = 0.05,
-                  far: float = 1000.0) -> "Camera":
+                  far: float = 1000.0) -> Camera:
         return cls(position=np.asarray(node.position, dtype=np.float64),
                    target=np.asarray(node.target, dtype=np.float64),
                    up=np.asarray(node.up, dtype=np.float64),
@@ -38,7 +38,7 @@ class Camera:
     @classmethod
     def looking_at(cls, position, target=(0.0, 0.0, 0.0),
                    up=(0.0, 0.0, 1.0), fov_degrees: float = 45.0,
-                   **kw) -> "Camera":
+                   **kw) -> Camera:
         return cls(position=np.asarray(position, dtype=np.float64),
                    target=np.asarray(target, dtype=np.float64),
                    up=np.asarray(up, dtype=np.float64),

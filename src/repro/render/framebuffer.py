@@ -88,7 +88,7 @@ class FrameBuffer:
         self.color[:] = np.asarray(background, dtype=np.uint8)
         self.depth[:] = EMPTY_DEPTH
 
-    def copy(self) -> "FrameBuffer":
+    def copy(self) -> FrameBuffer:
         out = FrameBuffer(self.width, self.height)
         out.color[:] = self.color
         out.depth[:] = self.depth
@@ -98,7 +98,7 @@ class FrameBuffer:
         """Fraction of pixels something was rendered into."""
         return float(np.isfinite(self.depth).mean())
 
-    def extract(self, tile: Tile) -> "FrameBuffer":
+    def extract(self, tile: Tile) -> FrameBuffer:
         """Copy out a tile-sized sub-framebuffer."""
         if (tile.x0 + tile.width > self.width
                 or tile.y0 + tile.height > self.height):
@@ -109,7 +109,7 @@ class FrameBuffer:
         out.depth[:] = self.depth[rows, cols]
         return out
 
-    def paste(self, tile: Tile, src: "FrameBuffer") -> None:
+    def paste(self, tile: Tile, src: FrameBuffer) -> None:
         """Overwrite a tile region with another framebuffer's content."""
         if (src.width, src.height) != (tile.width, tile.height):
             raise RenderError(
@@ -119,7 +119,7 @@ class FrameBuffer:
         self.color[rows, cols] = src.color
         self.depth[rows, cols] = src.depth
 
-    def mean_abs_diff(self, other: "FrameBuffer") -> float:
+    def mean_abs_diff(self, other: FrameBuffer) -> float:
         """Mean absolute per-channel color difference (tearing metric input)."""
         if (self.width, self.height) != (other.width, other.height):
             raise RenderError("framebuffer sizes differ")

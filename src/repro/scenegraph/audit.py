@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import struct
 from pathlib import Path
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.errors import DataFormatError
 from repro.scenegraph.tree import SceneTree
@@ -105,7 +105,7 @@ class AuditTrail:
                 fh.write(body)
 
     @classmethod
-    def load(cls, path: str | Path) -> "AuditTrail":
+    def load(cls, path: str | Path) -> AuditTrail:
         from repro.network.marshalling import decode_value
 
         path = Path(path)

@@ -43,7 +43,7 @@ class SceneNode:
 
     # -- structure ----------------------------------------------------------
 
-    def add_child(self, child: "SceneNode") -> "SceneNode":
+    def add_child(self, child: SceneNode) -> SceneNode:
         if child is self:
             raise SceneGraphError("a node cannot be its own child")
         ancestor = self
@@ -59,7 +59,7 @@ class SceneNode:
         self.children.append(child)
         return child
 
-    def remove_child(self, child: "SceneNode") -> None:
+    def remove_child(self, child: SceneNode) -> None:
         try:
             self.children.remove(child)
         except ValueError:
@@ -146,19 +146,19 @@ class TransformNode(SceneNode):
         self.matrix = self._check(matrix)
 
     @classmethod
-    def from_translation(cls, offset, name: str = "") -> "TransformNode":
+    def from_translation(cls, offset, name: str = "") -> TransformNode:
         m = _identity4()
         m[:3, 3] = np.asarray(offset, dtype=np.float64)
         return cls(m, name)
 
     @classmethod
-    def from_scale(cls, factor: float, name: str = "") -> "TransformNode":
+    def from_scale(cls, factor: float, name: str = "") -> TransformNode:
         m = _identity4()
         m[0, 0] = m[1, 1] = m[2, 2] = float(factor)
         return cls(m, name)
 
     @classmethod
-    def from_rotation_z(cls, angle: float, name: str = "") -> "TransformNode":
+    def from_rotation_z(cls, angle: float, name: str = "") -> TransformNode:
         m = _identity4()
         c, s = np.cos(angle), np.sin(angle)
         m[0, 0], m[0, 1], m[1, 0], m[1, 1] = c, -s, s, c

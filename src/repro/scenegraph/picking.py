@@ -24,7 +24,7 @@ class Ray:
 
     @classmethod
     def through_pixel(cls, camera: CameraNode, px: float, py: float,
-                      width: int, height: int) -> "Ray":
+                      width: int, height: int) -> Ray:
         """Ray from the camera through pixel (px, py) of a width x height view."""
         fwd = camera.view_direction()
         up = camera.up / np.linalg.norm(camera.up)

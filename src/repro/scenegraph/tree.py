@@ -9,7 +9,7 @@ exactly that contract.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator
+from collections.abc import Callable, Iterator
 
 import numpy as np
 
@@ -143,7 +143,7 @@ class SceneTree:
     # -- subtree extraction (workload distribution contract) ---------------------
 
     def extract_subtree(self, node_ids: list[int],
-                        camera: CameraNode | None = None) -> "SceneTree":
+                        camera: CameraNode | None = None) -> SceneTree:
         """Build a self-contained tree holding the requested nodes.
 
         The extracted tree preserves every ancestor on the path from the
@@ -197,7 +197,7 @@ class SceneTree:
         return {"name": self.name, "nodes": nodes}
 
     @classmethod
-    def from_wire(cls, payload: dict) -> "SceneTree":
+    def from_wire(cls, payload: dict) -> SceneTree:
         tree = cls(name=str(payload.get("name", "scene")))
         for entry in payload.get("nodes", []):
             parent_id = int(entry["parent"])

@@ -75,7 +75,7 @@ class AddNode(SceneUpdate):
 
     @classmethod
     def of(cls, node: SceneNode, parent_id: int, node_id: int,
-           origin: str = "") -> "AddNode":
+           origin: str = "") -> AddNode:
         return cls(node_id=node_id, origin=origin, parent_id=parent_id,
                    node_payload=node_to_wire(node))
 
@@ -124,7 +124,7 @@ class SetCamera(SceneUpdate):
     fov_degrees: float = 45.0
 
     @classmethod
-    def of(cls, camera: CameraNode, origin: str = "") -> "SetCamera":
+    def of(cls, camera: CameraNode, origin: str = "") -> SetCamera:
         return cls(node_id=camera.node_id, origin=origin,
                    position=camera.position.copy(),
                    target=camera.target.copy(),

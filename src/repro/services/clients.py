@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from repro.errors import ServiceError
 from repro.hardware.profiles import PdaClientProfile, ZAURUS_CLIENT
 from repro.obs import active as _obs
+from repro.obs.vocab import SERVICE_CLIENT
 from repro.network.simnet import Network
 from repro.render.camera import Camera
 from repro.render.engine import RenderEngine
@@ -264,7 +265,7 @@ class ActiveRenderClient:
         there is no container)."""
         tree, timing = data_service.subscribe(
             session_id, subscriber_name=self.name, host=self.host,
-            kind="client", on_update=self._apply_update,
+            kind=SERVICE_CLIENT, on_update=self._apply_update,
             introspective=introspective,
             subscriber_cpu_factor=self.profile.cpu_factor)
         self.tree = tree

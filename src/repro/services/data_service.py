@@ -24,7 +24,7 @@ Responsibilities implemented here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from collections.abc import Callable
 
 from repro.errors import SessionError
 from repro.network.marshalling import (
@@ -32,6 +32,7 @@ from repro.network.marshalling import (
     IntrospectionMarshaller,
 )
 from repro.obs.telemetry import ServiceTelemetry
+from repro.obs.vocab import SERVICE_DATA, SERVICE_RENDER, TELEMETRY_SUBSCRIBE
 from repro.scenegraph.audit import AuditTrail
 from repro.scenegraph.tree import SceneTree
 from repro.scenegraph.updates import SceneUpdate
@@ -125,12 +126,13 @@ class DataService:
         self.container = container
         self.endpoint = container.deploy(DATA_SERVICE_WSDL)
         self._sessions: dict[str, DataSession] = {}
-        self.mirrors: list["DataService"] = []
+        self.mirrors: list[DataService] = []
         #: who may subscribe (§3.2.2: "resources may need to have access
         #: permissions modified to permit new users")
         self.policy = policy if policy is not None else AccessPolicy.open()
         #: per-service registry + event stream, scraped by the monitor
-        self.telemetry = ServiceTelemetry(name, container.host, "data")
+        self.telemetry = ServiceTelemetry(name, container.host,
+                                          SERVICE_DATA)
         self.telemetry.add_collector(self._collect_telemetry)
 
     def _collect_telemetry(self, registry) -> None:
@@ -176,7 +178,7 @@ class DataService:
     # -- subscription & bootstrap ------------------------------------------------------
 
     def subscribe(self, session_id: str, subscriber_name: str, host: str,
-                  kind: str = "render",
+                  kind: str = SERVICE_RENDER,
                   interests: set[int] | None = None,
                   on_update: Callable[[SceneUpdate], None] | None = None,
                   introspective: bool = True,
@@ -240,7 +242,7 @@ class DataService:
             interests=set(interests) if interests is not None else None,
             on_update=on_update)
         self.telemetry.registry.counter("rave_ds_subscriptions_total").inc()
-        self.telemetry.event("subscribe", self.network.sim.clock.now,
+        self.telemetry.event(TELEMETRY_SUBSCRIBE, self.network.sim.clock.now,
                              f"{subscriber_name} -> {session_id}")
         timing = BootstrapTiming(
             instance_seconds=0.0,
@@ -380,7 +382,7 @@ class DataService:
 
     # -- mirroring (future work, implemented) -----------------------------------------------
 
-    def add_mirror(self, mirror: "DataService") -> None:
+    def add_mirror(self, mirror: DataService) -> None:
         """Register a mirror that replicates every session and update."""
         if mirror is self:
             raise SessionError("a data service cannot mirror itself")
@@ -403,7 +405,7 @@ class DataService:
         session.sequence += 1
         session.trail.record(self.network.sim.clock.now, update)
 
-    def failover_to(self, session_id: str) -> "DataService":
+    def failover_to(self, session_id: str) -> DataService:
         """Pick a mirror holding the session and hand it the live state.
 
         The mirror inherits the session's **subscribers** (with their
@@ -419,7 +421,7 @@ class DataService:
         raise SessionError(
             f"no mirror holds session {session_id!r}")
 
-    def _hand_over(self, session_id: str, mirror: "DataService") -> None:
+    def _hand_over(self, session_id: str, mirror: DataService) -> None:
         """Transfer a session's subscribers + missing trail to a mirror."""
         session = self._sessions.get(session_id)
         if session is None:

@@ -38,6 +38,16 @@ from repro.obs.rules import (
     SloTracker,
 )
 from repro.obs.telemetry import federate, flatten_metrics
+from repro.obs.vocab import (
+    EVENT_TELEMETRY_PREFIX,
+    GRID_MAX_UTILISATION,
+    GRID_MEAN_FPS,
+    GRID_MEAN_UTILISATION,
+    GRID_MIN_FPS,
+    GRID_OVERLOADED_FRACTION,
+    GRID_RENDER_SERVICES,
+    SERVICE_RENDER,
+)
 from repro.services.container import ServiceContainer
 from repro.services.protocol import unframe_telemetry
 
@@ -221,7 +231,7 @@ class MonitorService:
         for offset, event in enumerate(events):
             if start_index + offset < watermark:
                 continue
-            obs.recorder.note(f"telemetry:{event['kind']}",
+            obs.recorder.note(EVENT_TELEMETRY_PREFIX + event["kind"],
                               time=event.get("time", 0.0),
                               detail=f"{service}: {event.get('detail', '')}")
         self._forwarded[service] = seen
@@ -238,22 +248,22 @@ class MonitorService:
         rendered exports no fps gauge and does not drag the mean down).
         """
         renders = [self._latest[name] for name in sorted(self._latest)
-                   if self._latest[name].get("kind") == "render"]
+                   if self._latest[name].get("kind") == SERVICE_RENDER]
         if not renders:
             return {}
         flats = [flatten_metrics(p.get("metrics", {})) for p in renders]
         fps = [f["rave_rs_fps"] for f in flats if "rave_rs_fps" in f]
         utils = [f["rave_rs_utilisation"] for f in flats
                  if "rave_rs_utilisation" in f]
-        values = {"rave_grid_render_services": float(len(renders))}
+        values = {GRID_RENDER_SERVICES: float(len(renders))}
         if fps:
-            values["rave_grid_mean_fps"] = sum(fps) / len(fps)
-            values["rave_grid_min_fps"] = min(fps)
-            values["rave_grid_overloaded_fraction"] = (
+            values[GRID_MEAN_FPS] = sum(fps) / len(fps)
+            values[GRID_MIN_FPS] = min(fps)
+            values[GRID_OVERLOADED_FRACTION] = (
                 sum(1 for v in fps if v < DEFAULT_OVERLOAD_FPS) / len(fps))
         if utils:
-            values["rave_grid_mean_utilisation"] = sum(utils) / len(utils)
-            values["rave_grid_max_utilisation"] = max(utils)
+            values[GRID_MEAN_UTILISATION] = sum(utils) / len(utils)
+            values[GRID_MAX_UTILISATION] = max(utils)
         return values
 
     def observe_grid(self, now: float) -> dict[str, float]:

@@ -42,6 +42,11 @@ from repro.scenegraph.nodes import (
     VolumeNode,
 )
 from repro.obs.telemetry import ServiceTelemetry
+from repro.obs.vocab import (
+    SERVICE_RENDER,
+    TELEMETRY_SESSION_CLOSED,
+    TELEMETRY_SESSION_CREATED,
+)
 from repro.scenegraph.tree import SceneTree
 from repro.scenegraph.updates import SceneUpdate
 from repro.services.container import ServiceContainer
@@ -99,7 +104,8 @@ class RenderService:
         #: exponentially-smoothed frames/second estimate (migration input)
         self.reported_fps: float = float("inf")
         #: per-service registry + event stream, scraped by the monitor
-        self.telemetry = ServiceTelemetry(name, container.host, "render")
+        self.telemetry = ServiceTelemetry(name, container.host,
+                                          SERVICE_RENDER)
         self.telemetry.add_collector(self._collect_telemetry)
 
     def _collect_telemetry(self, registry) -> None:
@@ -170,7 +176,7 @@ class RenderService:
             subscriber_name = f"{self.name}/{session_id}"
             tree, sub_timing = data_service.subscribe(
                 session_id, subscriber_name=subscriber_name,
-                host=self.host, kind="render",
+                host=self.host, kind=SERVICE_RENDER,
                 interests=subset_ids,
                 on_update=self._make_update_handler(cache_key),
                 introspective=introspective,
@@ -190,7 +196,7 @@ class RenderService:
             render_session_id=rsid, data_service=data_service,
             session_id=session_id, tree=tree, assigned_ids=subset_ids)
         self._sessions[rsid] = session
-        self.telemetry.event("render-session-created", clock.now,
+        self.telemetry.event(TELEMETRY_SESSION_CREATED, clock.now,
                              f"{rsid} for {session_id}@{data_service.name}")
         return session, timing
 
@@ -267,7 +273,7 @@ class RenderService:
     def close_render_session(self, rsid: str) -> None:
         session = self.render_session(rsid)
         del self._sessions[rsid]
-        self.telemetry.event("render-session-closed",
+        self.telemetry.event(TELEMETRY_SESSION_CLOSED,
                              self.network.sim.clock.now, rsid)
         # Drop the shared copy (and the data-service subscription) when
         # nobody uses it any more.

@@ -51,7 +51,7 @@ class GridCertificate:
 
     @classmethod
     def issue(cls, subject: str, issuer: str,
-              ca_secret: str) -> "GridCertificate":
+              ca_secret: str) -> GridCertificate:
         return cls(subject=subject, issuer=issuer,
                    signature=cls._sign(subject, issuer, ca_secret))
 
@@ -81,16 +81,16 @@ class AccessPolicy:
     denials: int = 0
 
     @classmethod
-    def open(cls) -> "AccessPolicy":
+    def open(cls) -> AccessPolicy:
         return cls()
 
     @classmethod
-    def allow(cls, *users: str) -> "AccessPolicy":
+    def allow(cls, *users: str) -> AccessPolicy:
         return cls(allowed_users=set(users))
 
     @classmethod
     def certified(cls, issuer: str, ca_secret: str,
-                  users: set[str] | None = None) -> "AccessPolicy":
+                  users: set[str] | None = None) -> AccessPolicy:
         return cls(allowed_users=users, trusted_issuer=issuer,
                    _ca_secret=ca_secret)
 

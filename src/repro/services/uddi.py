@@ -29,6 +29,7 @@ from repro.errors import DiscoveryError
 from repro.network.simnet import Network
 from repro.network.transport import SoapChannel
 from repro.obs.telemetry import ServiceTelemetry
+from repro.obs.vocab import SERVICE_REGISTRY
 from repro.services.wsdl import WsdlDocument
 
 #: server-side processing per UDDI query (jUDDI over its SQL store, 2004)
@@ -92,7 +93,7 @@ class UddiRegistry:
         self._tmodels: dict[str, TechnicalModel] = {}
         self._keys = itertools.count(1)
         #: registry-side telemetry (query/publication counters), scrapeable
-        self.telemetry = ServiceTelemetry(name, host, "registry")
+        self.telemetry = ServiceTelemetry(name, host, SERVICE_REGISTRY)
         self.telemetry.add_collector(self._collect_telemetry)
 
     def _collect_telemetry(self, registry) -> None:

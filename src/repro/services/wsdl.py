@@ -54,7 +54,7 @@ class WsdlDocument:
         """Short stable key derived from the signature (tModel key material)."""
         return hashlib.sha1(self.signature().encode()).hexdigest()[:16]
 
-    def compatible_with(self, other: "WsdlDocument") -> bool:
+    def compatible_with(self, other: WsdlDocument) -> bool:
         """Same API and behaviour contract (the tModel match rule)."""
         return self.signature() == other.signature()
 
@@ -93,7 +93,7 @@ class WsdlDocument:
         return ET.tostring(root, encoding="utf-8", xml_declaration=True)
 
     @classmethod
-    def from_xml(cls, data: bytes) -> "WsdlDocument":
+    def from_xml(cls, data: bytes) -> WsdlDocument:
         try:
             root = ET.fromstring(data)
         except ET.ParseError as exc:

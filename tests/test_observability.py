@@ -592,7 +592,7 @@ class TestStreamingTrace:
         stats = s.stream_pipelined(5)
         chains = bundle.tracer.chains(mode="pipelined")
         assert sorted(chains) == [0, 1, 2, 3, 4]
-        for frame, spans in chains.items():
+        for _frame, spans in chains.items():
             names = [sp.name for sp in spans]
             assert names == ["render", "transfer", "blit"]
             render, transfer, blit = spans

@@ -1,0 +1,119 @@
+"""Error paths of the binary wire framing in ``services/protocol.py``.
+
+The happy path is exercised everywhere the monitor scrapes; these tests
+pin down the defensive half of the contract: every way a frame can be
+corrupt — short, misbranded, stale-versioned, truncated, bit-flipped,
+misflagged or carrying garbage JSON — raises :class:`MarshallingError`
+with a diagnosable message instead of propagating a struct/JSON error.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+
+import pytest
+
+from repro.errors import MarshallingError
+from repro.services.protocol import (
+    FLAG_TELEMETRY,
+    FrameHeader,
+    frame_message,
+    frame_telemetry,
+    unframe_message,
+    unframe_telemetry,
+)
+
+HEADER = struct.Struct("<IHHIQ")
+MAGIC = 0x52415645
+VERSION = 1
+
+
+def rebuild(payload: bytes, *, magic: int = MAGIC, version: int = VERSION,
+            flags: int = 0, crc: int | None = None,
+            length: int | None = None) -> bytes:
+    """A frame with any single header field forced to a bad value."""
+    crc = zlib.crc32(payload) & 0xFFFFFFFF if crc is None else crc
+    length = len(payload) if length is None else length
+    return HEADER.pack(magic, version, flags, crc, length) + payload
+
+
+class TestUnframeMessage:
+    def test_round_trip(self):
+        header, body = unframe_message(frame_message(b"hello", flags=7))
+        assert body == b"hello"
+        assert header == FrameHeader(version=VERSION, flags=7,
+                                     crc32=zlib.crc32(b"hello"), length=5)
+
+    def test_truncated_header(self):
+        frame = frame_message(b"payload")
+        with pytest.raises(MarshallingError,
+                           match="shorter than header"):
+            unframe_message(frame[:HEADER.size - 1])
+
+    def test_empty_input(self):
+        with pytest.raises(MarshallingError, match="shorter than header"):
+            unframe_message(b"")
+
+    def test_bad_magic(self):
+        with pytest.raises(MarshallingError, match="bad frame magic"):
+            unframe_message(rebuild(b"x", magic=0xDEADBEEF))
+
+    def test_wrong_version(self):
+        with pytest.raises(MarshallingError,
+                           match="unsupported frame version 2"):
+            unframe_message(rebuild(b"x", version=2))
+
+    def test_truncated_payload(self):
+        frame = frame_message(b"twelve bytes")
+        with pytest.raises(MarshallingError, match="length mismatch"):
+            unframe_message(frame[:-3])
+
+    def test_inflated_payload(self):
+        with pytest.raises(MarshallingError, match="length mismatch"):
+            unframe_message(frame_message(b"short") + b"trailing junk")
+
+    def test_crc_mismatch(self):
+        corrupt = rebuild(b"payload", crc=zlib.crc32(b"payload") ^ 0x1)
+        with pytest.raises(MarshallingError, match="checksum mismatch"):
+            unframe_message(corrupt)
+
+    def test_flipped_payload_bit_fails_checksum(self):
+        frame = bytearray(frame_message(b"payload"))
+        frame[-1] ^= 0x40
+        with pytest.raises(MarshallingError, match="checksum mismatch"):
+            unframe_message(bytes(frame))
+
+
+class TestUnframeTelemetry:
+    def test_round_trip(self):
+        payload = {"kind": "render", "metrics": {"a": 1}}
+        assert unframe_telemetry(frame_telemetry(payload)) == payload
+
+    def test_missing_telemetry_flag(self):
+        body = json.dumps({"ok": True}).encode()
+        with pytest.raises(MarshallingError, match="carry no telemetry"):
+            unframe_telemetry(frame_message(body, flags=0))
+
+    def test_corrupt_frame_detected_before_json(self):
+        frame = bytearray(frame_telemetry({"kind": "render"}))
+        frame[-1] ^= 0x01
+        with pytest.raises(MarshallingError, match="checksum mismatch"):
+            unframe_telemetry(bytes(frame))
+
+    def test_malformed_json_body(self):
+        frame = frame_message(b"{not json", flags=FLAG_TELEMETRY)
+        with pytest.raises(MarshallingError, match="malformed telemetry"):
+            unframe_telemetry(frame)
+
+    def test_non_utf8_body(self):
+        frame = frame_message(b"\xff\xfe\xfd", flags=FLAG_TELEMETRY)
+        with pytest.raises(MarshallingError, match="malformed telemetry"):
+            unframe_telemetry(frame)
+
+    def test_non_object_json_payload(self):
+        frame = frame_message(b"[1, 2, 3]", flags=FLAG_TELEMETRY)
+        with pytest.raises(MarshallingError,
+                           match="must be a JSON object"):
+            unframe_telemetry(frame)
