@@ -33,6 +33,8 @@ from repro.core import (
     FramebufferDistributor,
     RenderCapacity,
     RenderServiceScheduler,
+    SessionGridManager,
+    TenantQuota,
     WorkloadMigrator,
 )
 from repro.errors import (
@@ -41,6 +43,7 @@ from repro.errors import (
     RenderError,
     SceneGraphError,
     ServiceError,
+    TooManyRequestsError,
 )
 from repro.render import Camera, FrameBuffer, RenderEngine
 from repro.scenegraph import SceneTree, MeshNode, CameraNode
@@ -57,6 +60,8 @@ __all__ = [
     "Testbed",
     "build_testbed",
     "CollaborativeSession",
+    "SessionGridManager",
+    "TenantQuota",
     "RenderServiceScheduler",
     "DatasetDistributor",
     "FramebufferDistributor",
@@ -78,5 +83,6 @@ __all__ = [
     "RenderError",
     "ServiceError",
     "InsufficientResources",
+    "TooManyRequestsError",
     "__version__",
 ]

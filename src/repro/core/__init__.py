@@ -21,7 +21,10 @@ The policy layer that makes the system "resource-aware":
 - :mod:`repro.core.health` — lease-based failure detection (heartbeats,
   alive/suspected/dead transitions) feeding automatic recovery;
 - :mod:`repro.core.session` — the orchestrator tying data service, render
-  services, clients and policies into a collaborative session.
+  services, clients and policies into a collaborative session;
+- :mod:`repro.core.grid` — the multi-tenant session grid: a shared
+  render pool with admission control (admit / queue / reject-with-429),
+  per-tenant quotas and graceful overload shedding.
 """
 
 from repro.core.capacity import CapacityReport, RenderCapacity, interrogate
@@ -43,6 +46,13 @@ from repro.core.migration import (
 )
 from repro.core.health import HeartbeatMonitor, HeartbeatSource
 from repro.core.session import CollaborativeSession, RecoveryReport
+from repro.core.grid import (
+    AdmissionDecision,
+    GridSession,
+    SessionGridManager,
+    ShedAction,
+    TenantQuota,
+)
 
 __all__ = [
     "RenderCapacity",
@@ -70,4 +80,9 @@ __all__ = [
     "RecoveryReport",
     "HeartbeatMonitor",
     "HeartbeatSource",
+    "SessionGridManager",
+    "TenantQuota",
+    "GridSession",
+    "AdmissionDecision",
+    "ShedAction",
 ]

@@ -36,7 +36,11 @@ from repro.core.cost import node_cost
 from repro.errors import ServiceError
 from repro.obs import active as _obs
 from repro.obs.rules import GRID_OVERLOAD_KIND, GRID_UNDERLOAD_KIND
-from repro.obs.vocab import ALERT_OVERLOAD, EVENT_SCALE_PREFIX
+from repro.obs.vocab import (
+    ALERT_OVERLOAD,
+    EVENT_SCALE_PREFIX,
+    GRID_SATURATED_KIND,
+)
 
 
 @dataclass(frozen=True)
@@ -57,10 +61,17 @@ class RecruitmentAutoscaler:
     def __init__(self, session, monitor, period: float | None = None,
                  cooldown_seconds: float = 8.0, min_services: int = 1,
                  max_services: int | None = None,
-                 drive_migration: bool = True) -> None:
+                 drive_migration: bool = True, grid=None) -> None:
         if monitor is None:
             raise ServiceError("the autoscaler needs a MonitorService")
+        if session is None and grid is None:
+            raise ServiceError(
+                "the autoscaler needs a session or a session grid")
         self.session = session
+        #: fleet mode: scale a shared multi-tenant pool
+        #: (:class:`~repro.core.grid.SessionGridManager`) from grid-wide
+        #: saturation signals instead of one session's alerts
+        self.grid = grid
         self.monitor = monitor
         self.period = float(period if period is not None else monitor.period)
         if self.period <= 0:
@@ -87,9 +98,13 @@ class RecruitmentAutoscaler:
 
     @property
     def sim(self):
+        if self.grid is not None:
+            return self.grid.network.sim
         return self.session.data_service.network.sim
 
     def pool_size(self) -> int:
+        if self.grid is not None:
+            return len(self.grid.members)
         return len(self.session.render_services)
 
     def in_cooldown(self, now: float) -> bool:
@@ -131,6 +146,8 @@ class RecruitmentAutoscaler:
         fallback).
         """
         now = self.sim.now if now is None else now
+        if self.grid is not None:
+            return self._evaluate_grid(list(alerts), now)
         session = self.session
         self._note_pool(now)
         alerts = list(alerts)
@@ -176,6 +193,52 @@ class RecruitmentAutoscaler:
             event = self._try_release(grid_under[0], now)
             if event is not None:
                 events.append(event)
+        if events:
+            self._note_pool(self.sim.now)
+        return events
+
+    def _evaluate_grid(self, alerts, now: float) -> list[ScaleEvent]:
+        """Fleet mode: one control-loop pass over the shared session grid.
+
+        Saturation (queued/rejected admissions) or grid-wide overload
+        grows the pool through the grid's own recruiter; while growth is
+        unavailable (cooldown, max size, nothing discoverable) a
+        sustained overload sheds the lowest-priority tenants instead of
+        letting everyone collapse; calm skies walk the shed ladder back
+        up.  Every pass ends by pumping the admission queue so freed or
+        recruited capacity admits waiting requests promptly.
+        """
+        grid = self.grid
+        self._note_pool(now)
+        saturated = [a for a in alerts
+                     if a.kind == GRID_SATURATED_KIND]
+        grid_over = [a for a in alerts if a.kind == GRID_OVERLOAD_KIND]
+        grid_under = [a for a in alerts if a.kind == GRID_UNDERLOAD_KIND]
+        cooling = self.in_cooldown(now)
+
+        events: list[ScaleEvent] = []
+        pressure = saturated or grid_over
+        if pressure and not cooling and not self._at_max():
+            pool_before = self.pool_size()
+            recruited = grid.grow()
+            if recruited:
+                events.append(self._record(
+                    "grow", now, pressure[0].rule,
+                    [s.name for s in recruited], pool_before))
+        if grid_over and not events:
+            # no new capacity to be had right now: degrade gracefully
+            grid.shed(now)
+        if grid_under and not pressure and not cooling \
+                and self.pool_size() > self.min_services:
+            pool_before = self.pool_size()
+            released = grid.release_idle(min_members=self.min_services)
+            if released:
+                events.append(self._record(
+                    "release", now, grid_under[0].rule, released,
+                    pool_before))
+        if not pressure:
+            grid.restore(now)
+        grid.pump(now)
         if events:
             self._note_pool(self.sim.now)
         return events

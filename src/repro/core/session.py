@@ -64,11 +64,18 @@ class CollaborativeSession:
                  target_fps: float = DEFAULT_TARGET_FPS,
                  recruiter=None,
                  distributor: DatasetDistributor | None = None,
-                 migrator: WorkloadMigrator | None = None) -> None:
+                 migrator: WorkloadMigrator | None = None,
+                 pool=None) -> None:
         self.data_service = data_service
         self.session_id = session_id
         self.target_fps = target_fps
         self.recruiter = recruiter
+        #: the owning :class:`~repro.core.grid.SessionGridManager`, when
+        #: this session runs on a shared multi-tenant pool.  Pool-owned
+        #: sessions draw replacement capacity from the pool
+        #: (:meth:`SessionGridManager.lend`) instead of scanning UDDI —
+        #: the session orchestrates *work*, the grid owns *services*.
+        self.pool = pool
         self.scheduler = RenderServiceScheduler(
             data_service, target_fps=target_fps, recruiter=recruiter)
         self.distributor = distributor or DatasetDistributor()
@@ -112,6 +119,16 @@ class CollaborativeSession:
     def share_of(self, service) -> set[int]:
         return self.attachment(service).share
 
+    def share_polygons(self, service) -> int:
+        """Polygon count of the share one attached service holds now."""
+        name = getattr(service, "name", service)
+        attachment = self._attachments.get(name)
+        if attachment is None or not attachment.share:
+            return 0
+        return sum(node_cost(self.master_tree.node(nid)).polygons
+                   for nid in attachment.share
+                   if nid in self.master_tree)
+
     # -- membership ------------------------------------------------------------------
 
     def connect(self, render_service, subset_ids: set[int] | None = None,
@@ -140,11 +157,16 @@ class CollaborativeSession:
         self._stop_heartbeat(render_service.name)
 
     def recruit_more(self) -> list:
-        """Ask UDDI for unconnected render services and attach them.
+        """Attach more render services: from the shared pool, or via UDDI.
 
-        Services already declared dead, and services whose host is down
-        right now, are never (re-)recruited.
+        Pool-owned sessions borrow spare members from their
+        :class:`~repro.core.grid.SessionGridManager`; stand-alone
+        sessions scan UDDI through their recruiter.  Services already
+        declared dead, and services whose host is down right now, are
+        never (re-)recruited either way.
         """
+        if self.pool is not None:
+            return self.pool.lend(self)
         if self.recruiter is None:
             return []
         result = self.recruiter.recruit(

@@ -93,6 +93,29 @@ class InsufficientResources(ServiceError):
         self.available = available
 
 
+class TooManyRequestsError(ServiceError):
+    """The grid explicitly refused a request because it is full (HTTP 429).
+
+    This is *backpressure*, not a failure: the service is healthy but at
+    capacity, so the caller must not retry immediately, must not count
+    the refusal against a circuit breaker, and should surface the
+    explanation to the user.  ``retry_after`` is the server's hint (in
+    simulated seconds) for when capacity may free up; ``queue_position``
+    is set when the request was dropped from (or refused a place in) a
+    bounded admission queue.
+    """
+
+    status = 429
+
+    def __init__(self, message: str, *, retry_after: float = 0.0,
+                 queue_position: int | None = None,
+                 tenant: str = "") -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.queue_position = queue_position
+        self.tenant = tenant
+
+
 class SessionError(ServiceError):
     """Invalid session operation (unknown session, duplicate subscription)."""
 

@@ -104,6 +104,27 @@ def _pool_rows(autoscale: dict) -> list[str]:
     return rows
 
 
+def _admission_rows(grid_entry: dict, federated: dict) -> list[str]:
+    """The admission plane of a scraped SessionGridManager payload."""
+    metrics = grid_entry.get("metrics", {})
+    depth = metrics.get("rave_queue_depth", 0.0)
+    rate = metrics.get("rave_admission_rejection_rate", 0.0)
+    sessions = metrics.get("rave_admission_sessions", 0.0)
+    util = metrics.get("rave_admission_pool_utilisation", 0.0)
+    rows = [
+        f"  sessions: {sessions:.0f}   queue depth: {depth:.0f}   "
+        f"rejection rate: {rate:.2f}/s   "
+        f"pool utilisation: {util:5.2f} {_bar(util, 1.0)}",
+    ]
+    tenants = federated.get("rave_tenant_sessions", {}).get("series", [])
+    for entry in sorted(tenants,
+                        key=lambda e: e.get("labels", {}).get("tenant", "")):
+        tenant = entry.get("labels", {}).get("tenant", "?")
+        rows.append(f"    tenant {tenant:<16} "
+                    f"{entry.get('value', 0.0):.0f} session(s)")
+    return rows
+
+
 def render_dashboard(snapshot: dict) -> str:
     """Render a monitor snapshot as a multi-section text dashboard."""
     if snapshot.get("format") != "rave-monitor-snapshot/1":
@@ -134,6 +155,14 @@ def render_dashboard(snapshot: dict) -> str:
     lines.append("")
     lines.append("SLOs")
     lines.extend(_slo_rows(snapshot.get("slo", {})))
+    grids = {name: entry
+             for name, entry in snapshot.get("services", {}).items()
+             if entry.get("kind") == "grid"}
+    for name in sorted(grids):
+        lines.append("")
+        lines.append(f"admission ({name})")
+        lines.extend(_admission_rows(grids[name],
+                                     snapshot.get("metrics", {})))
     autoscale = snapshot.get("autoscale")
     if autoscale:
         lines.append("")

@@ -33,6 +33,7 @@ from repro.obs.vocab import (
     ALERT_OVERLOAD,
     ALERT_UNDERLOAD,
     GRID_OVERLOAD_KIND,
+    GRID_SATURATED_KIND,
     GRID_UNDERLOAD_KIND,
     SERVICE_RENDER,
 )
@@ -92,7 +93,7 @@ def default_rules() -> list[AlertRule]:
                   kind=ALERT_UNDERLOAD, below=DEFAULT_UNDERLOAD_UTILISATION,
                   for_seconds=DEFAULT_SMOOTHING_SECONDS,
                   severity="warning"),
-    ] + grid_rules()
+    ] + grid_rules() + admission_rules()
 
 
 def grid_rules() -> list[AlertRule]:
@@ -116,6 +117,28 @@ def grid_rules() -> list[AlertRule]:
                   below=DEFAULT_UNDERLOAD_UTILISATION,
                   for_seconds=DEFAULT_SMOOTHING_SECONDS,
                   severity="warning"),
+    ]
+
+
+def admission_rules() -> list[AlertRule]:
+    """Admission-plane saturation thresholds over the scraped grid view.
+
+    Evaluated against the aggregates the monitor derives from a scraped
+    :class:`~repro.core.grid.SessionGridManager` payload.  A sustained
+    non-empty admission queue, or any rejections inside the trailing
+    window, mean the pool is full for the *fleet* — not one session —
+    and these are the signals the autoscaler's grid mode grows on.
+    """
+    return [
+        AlertRule(name="grid-saturated", metric="rave_grid_queue_depth",
+                  kind=GRID_SATURATED_KIND, above=0.5,
+                  for_seconds=DEFAULT_SMOOTHING_SECONDS,
+                  severity="critical"),
+        AlertRule(name="grid-rejecting",
+                  metric="rave_grid_rejection_rate",
+                  kind=GRID_SATURATED_KIND, above=0.0,
+                  for_seconds=DEFAULT_SMOOTHING_SECONDS,
+                  severity="critical"),
     ]
 
 
@@ -307,10 +330,12 @@ __all__ = [
     "ALERT_UNDERLOAD",
     "GRID_OVERLOAD_KIND",
     "GRID_UNDERLOAD_KIND",
+    "GRID_SATURATED_KIND",
     "AlertRule",
     "Alert",
     "default_rules",
     "grid_rules",
+    "admission_rules",
     "RuleEngine",
     "SloTarget",
     "PAPER_SLOS",

@@ -29,6 +29,13 @@ EVENT_RELEASE = "release"
 EVENT_LEASE_TRANSITION = "lease-transition"
 EVENT_CODEC_SWITCH = "codec-switch"
 
+# admission-control decisions (:class:`repro.core.grid.SessionGridManager`)
+EVENT_ADMIT = "admit"
+EVENT_QUEUE = "queue"
+EVENT_REJECT = "reject"
+EVENT_SHED = "shed"
+EVENT_RESTORE = "restore"
+
 #: dynamic kinds are namespaced: a fixed prefix plus a runtime detail
 #: (``fault:crash``, ``scale:grow``, ``telemetry:subscribe``)
 EVENT_FAULT_PREFIX = "fault:"
@@ -42,6 +49,11 @@ EVENT_KINDS = frozenset({
     EVENT_RELEASE,
     EVENT_LEASE_TRANSITION,
     EVENT_CODEC_SWITCH,
+    EVENT_ADMIT,
+    EVENT_QUEUE,
+    EVENT_REJECT,
+    EVENT_SHED,
+    EVENT_RESTORE,
 })
 
 EVENT_PREFIXES = frozenset({
@@ -58,12 +70,14 @@ ALERT_OVERLOAD = "overload"
 ALERT_UNDERLOAD = "underload"
 GRID_OVERLOAD_KIND = "grid-overload"
 GRID_UNDERLOAD_KIND = "grid-underload"
+GRID_SATURATED_KIND = "grid-saturated"
 
 ALERT_KINDS = frozenset({
     ALERT_OVERLOAD,
     ALERT_UNDERLOAD,
     GRID_OVERLOAD_KIND,
     GRID_UNDERLOAD_KIND,
+    GRID_SATURATED_KIND,
 })
 
 # -- service roles --------------------------------------------------------------------
@@ -74,6 +88,7 @@ SERVICE_DATA = "data"
 SERVICE_REGISTRY = "registry"
 SERVICE_MONITOR = "monitor"
 SERVICE_CLIENT = "client"
+SERVICE_GRID = "grid"
 
 SERVICE_KINDS = frozenset({
     SERVICE_RENDER,
@@ -81,6 +96,7 @@ SERVICE_KINDS = frozenset({
     SERVICE_REGISTRY,
     SERVICE_MONITOR,
     SERVICE_CLIENT,
+    SERVICE_GRID,
 })
 
 # -- per-service telemetry event kinds ------------------------------------------------
@@ -121,6 +137,8 @@ GRID_MIN_FPS = "rave_grid_min_fps"
 GRID_OVERLOADED_FRACTION = "rave_grid_overloaded_fraction"
 GRID_MEAN_UTILISATION = "rave_grid_mean_utilisation"
 GRID_MAX_UTILISATION = "rave_grid_max_utilisation"
+GRID_QUEUE_DEPTH = "rave_grid_queue_depth"
+GRID_REJECTION_RATE = "rave_grid_rejection_rate"
 
 DERIVED_METRICS = frozenset({
     GRID_RENDER_SERVICES,
@@ -129,7 +147,17 @@ DERIVED_METRICS = frozenset({
     GRID_OVERLOADED_FRACTION,
     GRID_MEAN_UTILISATION,
     GRID_MAX_UTILISATION,
+    GRID_QUEUE_DEPTH,
+    GRID_REJECTION_RATE,
 })
+
+# -- admission-plane scraped gauge names ----------------------------------------------
+# Registered (as string literals, for the metric-registry checker) by the
+# SessionGridManager's telemetry; the monitor maps the flat scraped values
+# onto the GRID_QUEUE_DEPTH / GRID_REJECTION_RATE derived aggregates.
+
+ADMISSION_QUEUE_DEPTH = "rave_queue_depth"
+ADMISSION_REJECTION_RATE = "rave_admission_rejection_rate"
 
 #: every kind a ``.kind == "..."`` comparison may legitimately name
 KNOWN_KINDS = (EVENT_KINDS | ALERT_KINDS | SERVICE_KINDS
@@ -142,6 +170,11 @@ __all__ = [
     "EVENT_RELEASE",
     "EVENT_LEASE_TRANSITION",
     "EVENT_CODEC_SWITCH",
+    "EVENT_ADMIT",
+    "EVENT_QUEUE",
+    "EVENT_REJECT",
+    "EVENT_SHED",
+    "EVENT_RESTORE",
     "EVENT_FAULT_PREFIX",
     "EVENT_SCALE_PREFIX",
     "EVENT_TELEMETRY_PREFIX",
@@ -151,12 +184,14 @@ __all__ = [
     "ALERT_UNDERLOAD",
     "GRID_OVERLOAD_KIND",
     "GRID_UNDERLOAD_KIND",
+    "GRID_SATURATED_KIND",
     "ALERT_KINDS",
     "SERVICE_RENDER",
     "SERVICE_DATA",
     "SERVICE_REGISTRY",
     "SERVICE_MONITOR",
     "SERVICE_CLIENT",
+    "SERVICE_GRID",
     "SERVICE_KINDS",
     "TELEMETRY_SUBSCRIBE",
     "TELEMETRY_SESSION_CREATED",
@@ -172,6 +207,10 @@ __all__ = [
     "GRID_OVERLOADED_FRACTION",
     "GRID_MEAN_UTILISATION",
     "GRID_MAX_UTILISATION",
+    "GRID_QUEUE_DEPTH",
+    "GRID_REJECTION_RATE",
     "DERIVED_METRICS",
+    "ADMISSION_QUEUE_DEPTH",
+    "ADMISSION_REJECTION_RATE",
     "KNOWN_KINDS",
 ]

@@ -31,7 +31,14 @@ from repro.services.uddi import (
     UddiRegistry,
 )
 from repro.services.container import ServiceContainer, ServiceInstance
-from repro.services.protocol import FrameHeader, frame_message, unframe_message
+from repro.services.protocol import (
+    FrameHeader,
+    RejectInfo,
+    frame_message,
+    frame_reject,
+    unframe_message,
+    unframe_reject,
+)
 from repro.services.data_service import DataService, DataSession
 from repro.services.render_service import RenderService, RenderSession
 from repro.services.clients import ActiveRenderClient, ThinClient, FrameTiming
@@ -60,6 +67,9 @@ __all__ = [
     "FrameHeader",
     "frame_message",
     "unframe_message",
+    "RejectInfo",
+    "frame_reject",
+    "unframe_reject",
     "DataService",
     "DataSession",
     "RenderService",

@@ -117,6 +117,51 @@ class ThinClient:
                            fov_degrees=self.camera.fov_degrees)
         return data_service.publish_update(session_id, update)
 
+    # -- multi-tenant admission --------------------------------------------------------
+
+    def open_grid_session(self, grid, tenant: str, session_id: str, tree,
+                          target_fps: float | None = None):
+        """Ask a session grid for a collaborative session (admission path).
+
+        The request pays the SOAP transfer to the grid's front door; the
+        answer is the grid's explicit admission contract:
+
+        - **admit** — the client attaches to the new session's first
+          render service and the decision is returned;
+        - **queue** — the decision (with queue position) is returned;
+          the caller polls :meth:`SessionGridManager.pump` progress;
+        - **reject** — the 429 frame travels back over the wire and is
+          raised as :class:`~repro.errors.TooManyRequestsError`, so a
+          full grid *tells* the user to come back instead of silently
+          degrading everyone (the straty-style RaaS contract).
+        """
+        from repro.errors import TooManyRequestsError
+        from repro.obs.vocab import EVENT_ADMIT, EVENT_REJECT
+        from repro.services.protocol import unframe_reject
+
+        clock = self.network.sim.clock
+        request_time = self.network.transfer_time(
+            self.host, grid.host, self.REQUEST_BYTES)
+        clock.advance(request_time)
+        decision = grid.request_session(tenant, session_id, tree,
+                                        target_fps=target_fps)
+        if decision.outcome == EVENT_REJECT:
+            frame = decision.reject_frame
+            receipt = self.network.transfer_time(grid.host, self.host,
+                                                 len(frame))
+            clock.advance(receipt)
+            info = unframe_reject(frame)
+            raise TooManyRequestsError(
+                info.reason, retry_after=info.retry_after,
+                queue_position=None, tenant=info.tenant)
+        if decision.outcome == EVENT_ADMIT:
+            session = decision.grid_session.session
+            services = session.render_services
+            if services:
+                attachment = session.attachment(services[0])
+                self.attach(services[0], attachment.render_session_id)
+        return decision
+
     # -- frames ----------------------------------------------------------------------
 
     def request_frame(self, width: int = 200, height: int = 200,

@@ -45,7 +45,10 @@ from repro.obs.vocab import (
     GRID_MEAN_UTILISATION,
     GRID_MIN_FPS,
     GRID_OVERLOADED_FRACTION,
+    GRID_QUEUE_DEPTH,
+    GRID_REJECTION_RATE,
     GRID_RENDER_SERVICES,
+    SERVICE_GRID,
     SERVICE_RENDER,
 )
 from repro.services.container import ServiceContainer
@@ -247,23 +250,38 @@ class MonitorService:
         each service last shipped over the wire (a service that never
         rendered exports no fps gauge and does not drag the mean down).
         """
+        values: dict[str, float] = {}
         renders = [self._latest[name] for name in sorted(self._latest)
                    if self._latest[name].get("kind") == SERVICE_RENDER]
-        if not renders:
-            return {}
-        flats = [flatten_metrics(p.get("metrics", {})) for p in renders]
-        fps = [f["rave_rs_fps"] for f in flats if "rave_rs_fps" in f]
-        utils = [f["rave_rs_utilisation"] for f in flats
-                 if "rave_rs_utilisation" in f]
-        values = {GRID_RENDER_SERVICES: float(len(renders))}
-        if fps:
-            values[GRID_MEAN_FPS] = sum(fps) / len(fps)
-            values[GRID_MIN_FPS] = min(fps)
-            values[GRID_OVERLOADED_FRACTION] = (
-                sum(1 for v in fps if v < DEFAULT_OVERLOAD_FPS) / len(fps))
-        if utils:
-            values[GRID_MEAN_UTILISATION] = sum(utils) / len(utils)
-            values[GRID_MAX_UTILISATION] = max(utils)
+        if renders:
+            flats = [flatten_metrics(p.get("metrics", {}))
+                     for p in renders]
+            fps = [f["rave_rs_fps"] for f in flats if "rave_rs_fps" in f]
+            utils = [f["rave_rs_utilisation"] for f in flats
+                     if "rave_rs_utilisation" in f]
+            values[GRID_RENDER_SERVICES] = float(len(renders))
+            if fps:
+                values[GRID_MEAN_FPS] = sum(fps) / len(fps)
+                values[GRID_MIN_FPS] = min(fps)
+                values[GRID_OVERLOADED_FRACTION] = (
+                    sum(1 for v in fps if v < DEFAULT_OVERLOAD_FPS)
+                    / len(fps))
+            if utils:
+                values[GRID_MEAN_UTILISATION] = sum(utils) / len(utils)
+                values[GRID_MAX_UTILISATION] = max(utils)
+        # the admission plane: a scraped SessionGridManager payload maps
+        # its queue-depth / rejection-rate gauges onto the fleet-wide
+        # aggregates the grid-saturated rules (and autoscaler) evaluate
+        for name in sorted(self._latest):
+            payload = self._latest[name]
+            if payload.get("kind") != SERVICE_GRID:
+                continue
+            flat = flatten_metrics(payload.get("metrics", {}))
+            if "rave_queue_depth" in flat:
+                values[GRID_QUEUE_DEPTH] = flat["rave_queue_depth"]
+            if "rave_admission_rejection_rate" in flat:
+                values[GRID_REJECTION_RATE] = (
+                    flat["rave_admission_rejection_rate"])
         return values
 
     def observe_grid(self, now: float) -> dict[str, float]:

@@ -22,6 +22,8 @@ _HEADER = struct.Struct("<IHHIQ")  # magic, version, flags, crc32, length
 
 #: frame carries a telemetry scrape payload (JSON body)
 FLAG_TELEMETRY = 0x0001
+#: frame carries an admission reject (429-style backpressure, JSON body)
+FLAG_REJECT = 0x0002
 
 
 @dataclass(frozen=True)
@@ -84,3 +86,58 @@ def unframe_telemetry(data: bytes) -> dict:
     if not isinstance(payload, dict):
         raise MarshallingError("telemetry payload must be a JSON object")
     return payload
+
+
+@dataclass(frozen=True)
+class RejectInfo:
+    """A decoded admission reject: the grid's 429 "too many requests".
+
+    Mirrors the explicit-backpressure contract of Rendering-as-a-Service
+    front ends: a full grid answers with a status, a human-readable
+    reason, and a ``retry_after`` hint rather than timing out or
+    degrading silently.
+    """
+
+    status: int
+    reason: str
+    retry_after: float
+    tenant: str = ""
+    session_id: str = ""
+    queue_depth: int = 0
+
+
+def frame_reject(reason: str, retry_after: float = 0.0, *,
+                 status: int = 429, tenant: str = "",
+                 session_id: str = "", queue_depth: int = 0) -> bytes:
+    """Wrap an admission reject for the wire (grid → thin client).
+
+    Compact deterministic JSON inside a standard RAVE frame, so the
+    refusal costs real simulated transfer time like any other message.
+    """
+    body = json.dumps(
+        {"status": status, "reason": reason, "retry_after": retry_after,
+         "tenant": tenant, "session_id": session_id,
+         "queue_depth": queue_depth},
+        sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return frame_message(body, flags=FLAG_REJECT)
+
+
+def unframe_reject(data: bytes) -> RejectInfo:
+    """Unwrap and parse a reject frame (validates flags + checksum)."""
+    header, body = unframe_message(data)
+    if not header.flags & FLAG_REJECT:
+        raise MarshallingError(
+            f"frame flags 0x{header.flags:04x} carry no admission reject")
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise MarshallingError(f"malformed reject body: {exc}") from exc
+    if not isinstance(payload, dict) or "status" not in payload:
+        raise MarshallingError("reject payload must carry a status")
+    return RejectInfo(
+        status=int(payload["status"]),
+        reason=str(payload.get("reason", "")),
+        retry_after=float(payload.get("retry_after", 0.0)),
+        tenant=str(payload.get("tenant", "")),
+        session_id=str(payload.get("session_id", "")),
+        queue_depth=int(payload.get("queue_depth", 0)))

@@ -29,12 +29,18 @@ from repro.errors import (
     CircuitOpenError,
     NetworkError,
     SoapFault,
+    TooManyRequestsError,
 )
 from repro.network.transport import ChannelTiming, SoapChannel
 from repro.services.soap import is_retryable_fault
 
 #: exception types a retry loop is allowed to absorb
 RETRYABLE_ERRORS = (NetworkError, CallTimeout)
+
+#: explicit backpressure from a healthy-but-full service: never counted
+#: against the circuit breaker, never worth burning retry budget on —
+#: the server told us exactly when to come back (``retry_after``)
+BACKPRESSURE_ERRORS = (TooManyRequestsError,)
 
 
 def wait(clock, dt: float) -> None:
@@ -188,6 +194,10 @@ def call_with_retry(fn, policy: RetryPolicy, clock,
                 elapsed=clock.now - start, attempts=attempt - 1)
         try:
             result = fn()
+        except BACKPRESSURE_ERRORS:
+            # an explicit 429-style reject is the service working as
+            # designed: surface it untouched, leave the breaker alone
+            raise
         except retryable as exc:
             last = exc
             if breaker is not None:
@@ -268,6 +278,10 @@ class ReliableSoapChannel:
             if operation == "Fault" and isinstance(body, dict):
                 fault = (body.get("code", "Receiver"),
                          body.get("reason", ""))
+                if fault[0] == "TooManyRequests":
+                    raise TooManyRequestsError(
+                        fault[1] or "service at capacity",
+                        retry_after=float(body.get("retry_after", 0.0)))
                 if is_retryable_fault(fault[0]):
                     raise CallTimeout(
                         f"retryable SOAP fault: {fault[0]}: {fault[1]}")
@@ -336,6 +350,7 @@ class ServiceHealthLedger:
 
 __all__ = [
     "RETRYABLE_ERRORS",
+    "BACKPRESSURE_ERRORS",
     "RetryPolicy",
     "CircuitBreaker",
     "call_with_retry",

@@ -118,6 +118,46 @@ class Testbed:
         }
         return Recruiter(self.uddi_client(from_host or DATA_HOST), directory)
 
+    def session_grid(self, member_hosts: tuple[str, ...] | None = None,
+                     tenants=(), recruit: bool = True, **kwargs):
+        """Build a :class:`~repro.core.grid.SessionGridManager` here.
+
+        ``member_hosts`` — initial pool members (default: every render
+        host); hosts left out stay registered with UDDI as growth
+        headroom for :meth:`SessionGridManager.grow`.  ``tenants`` —
+        :class:`~repro.core.grid.TenantQuota` objects to register up
+        front.  With a monitoring plane built, the grid's telemetry is
+        watched immediately so the ``grid-saturated`` rules see it.
+        """
+        from repro.core.grid import SessionGridManager
+
+        hosts = tuple(member_hosts if member_hosts is not None
+                      else sorted(self.render_services))
+        members = [self.render_service(h) for h in hosts]
+        grid = SessionGridManager(
+            self.data_service, members=members,
+            recruiter=self.recruiter() if recruit else None, **kwargs)
+        for quota in tenants:
+            grid.register_tenant(quota)
+        if self.monitor is not None:
+            self.monitor.watch(grid)
+        return grid
+
+    def autoscale_grid(self, grid, **overrides):
+        """Attach a started fleet-mode autoscaler to a session grid."""
+        from repro.core.autoscale import RecruitmentAutoscaler
+
+        if self.monitor is None:
+            raise ServiceError(
+                "autoscaling needs the monitoring plane; build the "
+                "testbed with monitor_host=")
+        config = dict(self.autoscale_config or {})
+        config.update(overrides)
+        autoscaler = RecruitmentAutoscaler(None, self.monitor, grid=grid,
+                                           **config)
+        autoscaler.start()
+        return autoscaler
+
     def autoscale_session(self, session, **overrides):
         """Attach a started :class:`RecruitmentAutoscaler` to a session.
 
