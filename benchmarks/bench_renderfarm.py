@@ -1,0 +1,145 @@
+"""Render-farm scaling benchmark: frames/sec versus pool size.
+
+Reproduces the paper's motivating claim for the batch farm — "automatic
+distribution of rendering workloads" should make an animation job
+finish faster as render services join the pool.  One
+:class:`~repro.farm.queue_service.FrameQueueService` is deployed by the
+testbed, one :class:`~repro.farm.job.RenderJob` is submitted per run,
+and the :class:`~repro.farm.controller.RenderFarmController` drives
+pools of 1, 2 and 4 workers over the simulated network.  Each pool is
+prewarmed first so the measurement isolates the steady-state pull →
+render → ship cycle from the paper's container instance-creation cost
+(JVM start-up plus scene transfer), which is paid once per worker.
+
+The artifact is ``benchmarks/results/BENCH_renderfarm.json``: measured
+frames/sec per pool size, the speedup relative to one worker, and the
+end-of-job queue state (audit must be empty — the farm never loses a
+frame to scheduling alone).  Speedups are measured and reported, not
+asserted: CI uploads the JSON so regressions show up as a diff, while
+``check`` only guards the invariants (every frame rendered exactly
+once, throughput monotone in pool size).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_renderfarm.py [--smoke]
+        [--out PATH]
+
+``--smoke`` shrinks the scene and the frame range so CI finishes in
+seconds; the JSON schema is identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.data.generators import galleon
+from repro.farm import RenderJob
+from repro.testbed import build_testbed
+
+DEFAULT_OUT = Path(__file__).parent / "results" / "BENCH_renderfarm.json"
+
+#: pool size -> worker hosts (drawn from the testbed's render pool)
+POOLS = {
+    1: ("onyx",),
+    2: ("onyx", "v880z"),
+    4: ("onyx", "v880z", "centrino", "xeon"),
+}
+SCENE = "bench-scene"
+JOB = "bench-anim"
+
+
+def run_pool(hosts: tuple[str, ...], polygons: int, frames: int) -> dict:
+    """One fresh testbed, one job, one pool size; returns the row."""
+    tb = build_testbed(farm=True)
+    tb.publish_model(SCENE, galleon(polygons))
+    queue = tb.farm_queue
+    farm = tb.render_farm(worker_hosts=hosts)
+    sim = tb.network.sim
+
+    bootstrapped = farm.prewarm(SCENE)
+    sim.run_until(sim.now + 30.0)   # let every bootstrap finish
+    queue.submit(RenderJob(job_id=JOB, session_id=SCENE,
+                           start_frame=1, end_frame=frames,
+                           width=160, height=120))
+    farm.start()
+    t0 = sim.now
+    deadline = t0 + 600.0
+    while not queue.job(JOB).finished and sim.now < deadline:
+        sim.run_until(sim.now + 0.25)
+    job = queue.job(JOB)
+    elapsed = (job.finished_at or sim.now) - t0
+    farm.stop()
+    return {
+        "workers": len(hosts),
+        "hosts": list(hosts),
+        "bootstrapped": bootstrapped,
+        "frames": frames,
+        "finished": job.finished,
+        "elapsed_sim_seconds": round(elapsed, 6),
+        "frames_per_second": round(frames / elapsed, 3) if elapsed else 0.0,
+        "audit": queue.audit(JOB),
+        "queue": queue.describe(),
+    }
+
+
+def run(smoke: bool, out: Path) -> Path:
+    polygons = 2_000 if smoke else 4_000
+    frames = 12 if smoke else 36
+    rows = [run_pool(hosts, polygons, frames)
+            for _, hosts in sorted(POOLS.items())]
+    base = rows[0]["frames_per_second"] or 1.0
+    for row in rows:
+        row["speedup"] = round(row["frames_per_second"] / base, 3)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(
+        {"format": "rave-renderfarm-bench/1",
+         "benchmark": "renderfarm",
+         "mode": "smoke" if smoke else "full",
+         "scene_polygons": polygons,
+         "frames_per_job": frames,
+         "resolution": [160, 120],
+         "pools": rows},
+        indent=2) + "\n")
+    return out
+
+
+def check(path: Path) -> None:
+    """Guard the invariants; the speedup numbers themselves are data."""
+    data = json.loads(path.read_text())
+    rows = data["pools"]
+    assert [r["workers"] for r in rows] == [1, 2, 4]
+    for row in rows:
+        assert row["finished"], \
+            f"pool of {row['workers']} never finished the job"
+        assert row["audit"] == [], \
+            f"pool of {row['workers']} ended with missing frames"
+        assert row["queue"]["duplicates_dropped"] == 0, \
+            "a frame completed twice under pure scheduling"
+    rates = [r["frames_per_second"] for r in rows]
+    assert rates[0] < rates[1] < rates[2], \
+        f"frames/sec not monotone in pool size: {rates}"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast scenario (CI)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"results path (default {DEFAULT_OUT})")
+    args = parser.parse_args(argv)
+    path = run(args.smoke, args.out)
+    check(path)
+    rows = json.loads(path.read_text())["pools"]
+    for row in rows:
+        print(f"  pool={row['workers']}  "
+              f"{row['frames_per_second']:.2f} frames/s  "
+              f"speedup x{row['speedup']:.2f}")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

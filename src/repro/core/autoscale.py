@@ -39,6 +39,7 @@ from repro.obs.rules import GRID_OVERLOAD_KIND, GRID_UNDERLOAD_KIND
 from repro.obs.vocab import (
     ALERT_OVERLOAD,
     EVENT_SCALE_PREFIX,
+    FARM_BACKLOG_KIND,
     GRID_SATURATED_KIND,
 )
 
@@ -61,17 +62,25 @@ class RecruitmentAutoscaler:
     def __init__(self, session, monitor, period: float | None = None,
                  cooldown_seconds: float = 8.0, min_services: int = 1,
                  max_services: int | None = None,
-                 drive_migration: bool = True, grid=None) -> None:
+                 drive_migration: bool = True, grid=None,
+                 farm=None) -> None:
         if monitor is None:
             raise ServiceError("the autoscaler needs a MonitorService")
-        if session is None and grid is None:
+        if session is None and grid is None and farm is None:
             raise ServiceError(
-                "the autoscaler needs a session or a session grid")
+                "the autoscaler needs a session, a session grid, "
+                "or a render farm")
         self.session = session
         #: fleet mode: scale a shared multi-tenant pool
         #: (:class:`~repro.core.grid.SessionGridManager`) from grid-wide
         #: saturation signals instead of one session's alerts
         self.grid = grid
+        #: second signal source: a batch render farm
+        #: (:class:`~repro.farm.controller.RenderFarmController`) whose
+        #: sustained ``farm-backlog`` alerts count as pool pressure; when
+        #: paired with a grid, recruits are adopted as farm workers too,
+        #: so one pool serves interactive sessions and batch jobs
+        self.farm = farm
         self.monitor = monitor
         self.period = float(period if period is not None else monitor.period)
         if self.period <= 0:
@@ -100,12 +109,16 @@ class RecruitmentAutoscaler:
     def sim(self):
         if self.grid is not None:
             return self.grid.network.sim
-        return self.session.data_service.network.sim
+        if self.session is not None:
+            return self.session.data_service.network.sim
+        return self.farm.sim
 
     def pool_size(self) -> int:
         if self.grid is not None:
             return len(self.grid.members)
-        return len(self.session.render_services)
+        if self.session is not None:
+            return len(self.session.render_services)
+        return self.farm.pool_size()
 
     def in_cooldown(self, now: float) -> bool:
         """Inside the hysteresis window after the last scale decision?"""
@@ -148,6 +161,8 @@ class RecruitmentAutoscaler:
         now = self.sim.now if now is None else now
         if self.grid is not None:
             return self._evaluate_grid(list(alerts), now)
+        if self.session is None:
+            return self._evaluate_farm(list(alerts), now)
         session = self.session
         self._note_pool(now)
         alerts = list(alerts)
@@ -214,14 +229,18 @@ class RecruitmentAutoscaler:
                      if a.kind == GRID_SATURATED_KIND]
         grid_over = [a for a in alerts if a.kind == GRID_OVERLOAD_KIND]
         grid_under = [a for a in alerts if a.kind == GRID_UNDERLOAD_KIND]
+        backlog = ([a for a in alerts if a.kind == FARM_BACKLOG_KIND]
+                   if self.farm is not None else [])
         cooling = self.in_cooldown(now)
 
         events: list[ScaleEvent] = []
-        pressure = saturated or grid_over
+        pressure = saturated or grid_over or backlog
         if pressure and not cooling and not self._at_max():
             pool_before = self.pool_size()
             recruited = grid.grow()
             if recruited:
+                if self.farm is not None:
+                    self._adopt_into_farm(recruited)
                 events.append(self._record(
                     "grow", now, pressure[0].rule,
                     [s.name for s in recruited], pool_before))
@@ -242,6 +261,49 @@ class RecruitmentAutoscaler:
         if events:
             self._note_pool(self.sim.now)
         return events
+
+    def _evaluate_farm(self, alerts, now: float) -> list[ScaleEvent]:
+        """Batch-only mode: scale a render farm from its backlog alerts.
+
+        Sustained ``farm-backlog`` (pending frames piling up at the
+        queue) recruits extra workers through the farm's own UDDI path;
+        once the backlog clears, idle workers are released back to the
+        registry, both under the usual cooldown hysteresis and pool
+        bounds.
+        """
+        farm = self.farm
+        self._note_pool(now)
+        backlog = [a for a in alerts if a.kind == FARM_BACKLOG_KIND]
+        cooling = self.in_cooldown(now)
+
+        events: list[ScaleEvent] = []
+        if backlog and not cooling and not self._at_max():
+            pool_before = self.pool_size()
+            recruited = farm.grow()
+            if recruited:
+                farm.dispatch()
+                events.append(self._record(
+                    "grow", now, backlog[0].rule,
+                    [s.name for s in recruited], pool_before))
+        if not backlog and not cooling \
+                and self.pool_size() > self.min_services:
+            pool_before = self.pool_size()
+            released = farm.release_idle(min_workers=self.min_services)
+            if released:
+                events.append(self._record(
+                    "release", now, FARM_BACKLOG_KIND, released,
+                    pool_before))
+        if events:
+            self._note_pool(self.sim.now)
+        return events
+
+    def _adopt_into_farm(self, recruited) -> None:
+        """Recruits serve both planes when a farm shares the grid's pool."""
+        current = {s.name for s in self.farm.workers()}
+        for service in recruited:
+            if service.name not in current:
+                self.farm.add_worker(service)
+        self.farm.dispatch()
 
     def _at_max(self) -> bool:
         return (self.max_services is not None

@@ -73,6 +73,7 @@ from repro.services.protocol import frame_reject
 #: reject reasons carried in the 429 frame (free-form, for humans)
 REASON_SATURATED = "grid-saturated: pool full and admission queue full"
 REASON_QUEUE_TIMEOUT = "queued past deadline without capacity freeing up"
+REASON_DUPLICATE = "duplicate request: session id already queued"
 
 
 @dataclass(frozen=True)
@@ -356,6 +357,9 @@ class SessionGridManager:
         if session_id in self._sessions:
             raise SessionError(
                 f"session {session_id!r} is already admitted")
+        if self.queue_position(session_id) is not None:
+            return self._reject(tenant, session_id, now, REASON_DUPLICATE,
+                                retry_after=self.queue_timeout)
         quota = self.quota(tenant)
         fps = float(target_fps if target_fps is not None
                     else self.target_fps)
@@ -456,6 +460,11 @@ class SessionGridManager:
             deadline=now + self.queue_timeout, on_admit=on_admit,
             on_reject=on_reject)
         self._queue.append(entry)
+        # the deadline is enforced by the simulated clock itself, not by
+        # the next unrelated admission event: a daemon wake-up at the
+        # deadline converts a still-queued entry into its 429
+        self.network.sim.schedule_at(
+            entry.deadline, lambda: self._deadline_tick(entry), daemon=True)
         position = len(self._queue)
         decision = AdmissionDecision(
             outcome=EVENT_QUEUE, tenant=tenant, session_id=session_id,
@@ -503,6 +512,16 @@ class SessionGridManager:
                 return index + 1
         return None
 
+    def _deadline_tick(self, entry: QueuedRequest) -> None:
+        """Daemon wake-up at a queued entry's deadline (see :meth:`_enqueue`).
+
+        Runs a pump pass only if the entry is still waiting, so the 429
+        (and its ``on_reject``) fires *at* the deadline; entries already
+        admitted or rejected make this a no-op.
+        """
+        if entry in self._queue:
+            self.pump()
+
     def pump(self, now: float | None = None) -> list[AdmissionDecision]:
         """Expire deadlined entries, then admit head-of-line while it fits.
 
@@ -523,6 +542,18 @@ class SessionGridManager:
             resolved.append(decision)
         while self._queue:
             head = self._queue[0]
+            if head.session_id in self._sessions:
+                # a duplicate of an already-admitted session must never
+                # admit again (it would overwrite the live GridSession
+                # and leak its shares) — resolve it as an explicit 429
+                self._queue.popleft()
+                decision = self._reject(head.tenant, head.session_id,
+                                        now, REASON_DUPLICATE,
+                                        retry_after=0.0)
+                if head.on_reject is not None:
+                    head.on_reject(decision)
+                resolved.append(decision)
+                continue
             quota = self.quota(head.tenant)
             request_pps = head.demand_polygons * head.target_fps
             blocked = self._quota_violation(quota, request_pps)
@@ -864,4 +895,5 @@ __all__ = [
     "SessionGridManager",
     "REASON_SATURATED",
     "REASON_QUEUE_TIMEOUT",
+    "REASON_DUPLICATE",
 ]

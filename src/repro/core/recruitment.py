@@ -24,6 +24,7 @@ RAVE_BUSINESS = "RAVE project"
 RENDER_TMODEL = "RaveRenderService"
 MONITOR_TMODEL = "RaveMonitorService"
 DATA_TMODEL = "RaveDataService"
+FARM_TMODEL = "RaveFrameQueueService"
 
 
 @dataclass

@@ -1,0 +1,286 @@
+"""The frame queue service: the farm's front door and source of truth.
+
+A fifth RAVE service role (tmodel ``RaveFrameQueueService``), deployed
+in a container and registered in UDDI like the others.  It owns the
+pending-frame FIFO and every job's :class:`~repro.farm.job.FrameRecord`
+ledger:
+
+- :meth:`submit` accepts a :class:`~repro.farm.job.RenderJob` and queues
+  its whole range;
+- :meth:`lease` hands an idle worker **exactly one** frame as a wire
+  frame (:func:`repro.services.protocol.frame_farm_lease`) with a
+  simulated-clock deadline;
+- :meth:`complete` accepts a result frame and is idempotent: a result
+  for a frame that is not leased to that worker any more (the lease
+  expired and was re-issued, or the frame already completed) is counted
+  and dropped — a frame is never marked done twice;
+- :meth:`requeue_expired` / :meth:`requeue_worker` put lost leases back
+  at the *front* of the FIFO (a re-queued frame goes out next, the
+  render-controller convention), at most one re-queue per failure since
+  only a ``leased`` frame can go back to ``pending``;
+- :meth:`audit` is the ``checkframes`` pass: the sorted list of frame
+  indexes a finished-looking job is still missing.
+
+The queue exports its own telemetry (kind ``farm``): queue depth,
+active leases, trailing-window frames/sec, per-job progress gauges, and
+``farm:`` flight-recorder events for every decision.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import ServiceError
+from repro.farm.job import FRAME_DONE, FRAME_LEASED, FRAME_PENDING, RenderJob
+from repro.obs import active as _obs
+from repro.obs.telemetry import ServiceTelemetry
+from repro.obs.vocab import EVENT_FARM_PREFIX, SERVICE_FARM
+from repro.services.protocol import (
+    FarmLease,
+    FarmResult,
+    frame_farm_lease,
+    unframe_farm_result,
+)
+
+
+class FrameQueueService:
+    """Batch frame queue deployed in a service container."""
+
+    def __init__(self, name: str, container, lease_timeout: float = 30.0,
+                 throughput_window: float = 20.0) -> None:
+        from repro.services.wsdl import FRAME_QUEUE_WSDL
+
+        if lease_timeout <= 0:
+            raise ServiceError("lease_timeout must be positive")
+        if throughput_window <= 0:
+            raise ServiceError("throughput_window must be positive")
+        self.name = name
+        self.container = container
+        self.endpoint = container.deploy(FRAME_QUEUE_WSDL)
+        self.lease_timeout = lease_timeout
+        self.throughput_window = throughput_window
+        self._jobs: dict[str, RenderJob] = {}
+        #: pending (job_id, frame) pairs, strict FIFO; re-queues go front
+        self._pending: deque[tuple[str, int]] = deque()
+        self._completion_times: deque[float] = deque(maxlen=4096)
+        self.leases_issued = 0
+        self.frames_completed = 0
+        self.duplicates_dropped = 0
+        self.requeues = 0
+        self.telemetry = ServiceTelemetry(name, container.host,
+                                          SERVICE_FARM)
+        self.telemetry.add_collector(self._collect_telemetry)
+
+    # -- plumbing --------------------------------------------------------------------
+
+    @property
+    def network(self):
+        return self.container.network
+
+    @property
+    def host(self) -> str:
+        return self.container.host
+
+    @property
+    def now(self) -> float:
+        return self.network.sim.now
+
+    # -- jobs ------------------------------------------------------------------------
+
+    def submit(self, job: RenderJob) -> str:
+        """Enqueue a job's whole frame range; returns its job id."""
+        if job.job_id in self._jobs:
+            raise ServiceError(f"job {job.job_id!r} already submitted")
+        job.submitted_at = self.now
+        self._jobs[job.job_id] = job
+        for index in sorted(job.frames):
+            self._pending.append((job.job_id, index))
+        self._note("submit",
+                   f"{job.job_id}: frames {job.start_frame}.."
+                   f"{job.end_frame} of {job.session_id} "
+                   f"({job.total_frames} queued)")
+        return job.job_id
+
+    def job(self, job_id: str) -> RenderJob:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise ServiceError(f"no job {job_id!r}") from None
+
+    def jobs(self) -> list[RenderJob]:
+        return [self._jobs[j] for j in sorted(self._jobs)]
+
+    def progress(self, job_id: str) -> tuple[int, int]:
+        job = self.job(job_id)
+        return job.done_frames, job.total_frames
+
+    def audit(self, job_id: str) -> list[int]:
+        """The ``checkframes`` audit: frames the job is still missing."""
+        job = self.job(job_id)
+        missing = job.missing_frames()
+        self._note("audit",
+                   f"{job_id}: {len(missing)} missing of "
+                   f"{job.total_frames}" + (f" {missing}" if missing else ""))
+        return missing
+
+    # -- the frame queue -------------------------------------------------------------
+
+    def queue_depth(self) -> int:
+        return len(self._pending)
+
+    def active_leases(self) -> int:
+        return sum(1 for job in self._jobs.values()
+                   for f in job.frames.values()
+                   if f.state == FRAME_LEASED)
+
+    def backlog(self) -> int:
+        """Frames not yet done (pending + leased) — the autoscaler signal."""
+        return self.queue_depth() + self.active_leases()
+
+    def lease(self, worker: str) -> bytes | None:
+        """Hand ``worker`` exactly one frame, as wire bytes; None if idle."""
+        if not self._pending:
+            return None
+        job_id, index = self._pending.popleft()
+        job = self._jobs[job_id]
+        record = job.frame(index)
+        record.state = FRAME_LEASED
+        record.attempts += 1
+        record.worker = worker
+        record.lease_deadline = self.now + self.lease_timeout
+        self.leases_issued += 1
+        self._note("lease",
+                   f"{job_id}#{index} -> {worker} "
+                   f"(attempt {record.attempts}, "
+                   f"deadline {record.lease_deadline:g}s)")
+        return frame_farm_lease(FarmLease(
+            job_id=job_id, frame=index, session_id=job.session_id,
+            attempt=record.attempts, deadline=record.lease_deadline))
+
+    def complete(self, data: bytes) -> bool:
+        """Accept a worker's result frame; False when dropped as duplicate.
+
+        Exactly-once: only the worker currently holding the lease may
+        complete a frame.  A straggler whose lease expired and was
+        re-issued (or whose frame already completed) is dropped, so a
+        re-rendered frame never lands twice.
+        """
+        result: FarmResult = unframe_farm_result(data)
+        job = self._jobs.get(result.job_id)
+        if job is None:
+            self.duplicates_dropped += 1
+            return False
+        record = job.frame(result.frame)
+        if record.state != FRAME_LEASED or record.worker != result.worker:
+            self.duplicates_dropped += 1
+            self._note("duplicate",
+                       f"{result.job_id}#{result.frame} from "
+                       f"{result.worker} dropped ({record.state})")
+            return False
+        now = self.now
+        record.state = FRAME_DONE
+        record.render_seconds = result.render_seconds
+        record.nbytes = result.nbytes
+        record.completed_at = now
+        self.frames_completed += 1
+        self._completion_times.append(now)
+        self.telemetry.registry.counter(
+            "rave_farm_frames_total", "frames completed").inc()
+        self._note("complete",
+                   f"{result.job_id}#{result.frame} by {result.worker} "
+                   f"({result.render_seconds:.3f}s render)")
+        if job.finished and job.finished_at is None:
+            job.finished_at = now
+            missing = self.audit(job.job_id)
+            self._note("job-done",
+                       f"{job.job_id}: {job.total_frames} frames in "
+                       f"{now - job.submitted_at:.2f}s, audit missing "
+                       f"{missing}")
+        return True
+
+    def requeue_expired(self) -> list[tuple[str, int]]:
+        """Re-queue every lease the simulated clock has outlived."""
+        now = self.now
+        expired = [
+            (job_id, f.index)
+            for job_id, job in sorted(self._jobs.items())
+            for f in job.frames.values()
+            if f.state == FRAME_LEASED and f.lease_deadline <= now
+        ]
+        for job_id, index in expired:
+            self._requeue(job_id, index, "lease expired")
+        return expired
+
+    def requeue_worker(self, worker: str) -> list[tuple[str, int]]:
+        """Re-queue every frame leased to a worker declared dead."""
+        lost = [
+            (job_id, f.index)
+            for job_id, job in sorted(self._jobs.items())
+            for f in job.frames.values()
+            if f.state == FRAME_LEASED and f.worker == worker
+        ]
+        for job_id, index in lost:
+            self._requeue(job_id, index, f"worker {worker} lost")
+        return lost
+
+    def _requeue(self, job_id: str, index: int, why: str) -> None:
+        record = self._jobs[job_id].frame(index)
+        record.state = FRAME_PENDING
+        record.requeues += 1
+        record.lease_deadline = 0.0
+        # front of the FIFO: a lost frame goes out next, not last
+        self._pending.appendleft((job_id, index))
+        self.requeues += 1
+        self.telemetry.registry.counter(
+            "rave_farm_requeues_total", "frames re-queued after a lost "
+            "lease").inc()
+        self._note("requeue", f"{job_id}#{index}: {why} "
+                              f"(requeue {record.requeues})")
+
+    # -- telemetry -------------------------------------------------------------------
+
+    def frames_per_second(self, now: float | None = None) -> float:
+        """Completions per second over the trailing window."""
+        now = self.now if now is None else now
+        cutoff = now - self.throughput_window
+        recent = sum(1 for t in self._completion_times if t > cutoff)
+        return recent / self.throughput_window
+
+    def _collect_telemetry(self, registry) -> None:
+        registry.gauge("rave_farm_queue_depth",
+                       "pending frames").set(self.queue_depth())
+        registry.gauge("rave_farm_active_leases",
+                       "frames out on lease").set(self.active_leases())
+        registry.gauge("rave_farm_frames_per_second",
+                       "completions per second, trailing window"
+                       ).set(self.frames_per_second())
+        for job in self.jobs():
+            registry.gauge("rave_farm_job_progress",
+                           "per-job completed fraction",
+                           job=job.job_id).set(job.progress)
+
+    def _note(self, kind: str, detail: str) -> None:
+        self.telemetry.event(EVENT_FARM_PREFIX + kind, self.now, detail)
+        obs = _obs()
+        if obs.enabled:
+            obs.recorder.note(EVENT_FARM_PREFIX + kind, time=self.now,
+                              detail=detail)
+
+    def describe(self) -> dict:
+        return {
+            "queue_depth": self.queue_depth(),
+            "active_leases": self.active_leases(),
+            "leases_issued": self.leases_issued,
+            "frames_completed": self.frames_completed,
+            "duplicates_dropped": self.duplicates_dropped,
+            "requeues": self.requeues,
+            "jobs": [job.describe() for job in self.jobs()],
+        }
+
+    def __repr__(self) -> str:
+        return (f"FrameQueueService(name={self.name!r}, "
+                f"jobs={len(self._jobs)}, pending={len(self._pending)}, "
+                f"leased={self.active_leases()})")
+
+
+__all__ = ["FrameQueueService"]

@@ -125,6 +125,29 @@ def _admission_rows(grid_entry: dict, federated: dict) -> list[str]:
     return rows
 
 
+def _farm_rows(farm_entry: dict, federated: dict) -> list[str]:
+    """The frame-queue plane of a scraped FrameQueueService payload."""
+    metrics = farm_entry.get("metrics", {})
+    depth = metrics.get("rave_farm_queue_depth", 0.0)
+    leases = metrics.get("rave_farm_active_leases", 0.0)
+    fps = metrics.get("rave_farm_frames_per_second", 0.0)
+    done = metrics.get("rave_farm_frames_total", 0.0)
+    requeues = metrics.get("rave_farm_requeues_total", 0.0)
+    rows = [
+        f"  queue depth: {depth:.0f}   active leases: {leases:.0f}   "
+        f"throughput: {fps:.2f} frames/s   "
+        f"completed: {done:.0f}   re-queued: {requeues:.0f}",
+    ]
+    jobs = federated.get("rave_farm_job_progress", {}).get("series", [])
+    for entry in sorted(jobs,
+                        key=lambda e: e.get("labels", {}).get("job", "")):
+        job = entry.get("labels", {}).get("job", "?")
+        progress = entry.get("value", 0.0)
+        rows.append(f"    job {job:<20} {progress:7.1%} "
+                    f"{_bar(progress, 1.0)}")
+    return rows
+
+
 def render_dashboard(snapshot: dict) -> str:
     """Render a monitor snapshot as a multi-section text dashboard."""
     if snapshot.get("format") != "rave-monitor-snapshot/1":
@@ -163,6 +186,13 @@ def render_dashboard(snapshot: dict) -> str:
         lines.append(f"admission ({name})")
         lines.extend(_admission_rows(grids[name],
                                      snapshot.get("metrics", {})))
+    farms = {name: entry
+             for name, entry in snapshot.get("services", {}).items()
+             if entry.get("kind") == "farm"}
+    for name in sorted(farms):
+        lines.append("")
+        lines.append(f"render farm ({name})")
+        lines.extend(_farm_rows(farms[name], snapshot.get("metrics", {})))
     autoscale = snapshot.get("autoscale")
     if autoscale:
         lines.append("")

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from repro.obs.vocab import (
     ALERT_OVERLOAD,
     ALERT_UNDERLOAD,
+    FARM_BACKLOG_KIND,
     GRID_OVERLOAD_KIND,
     GRID_SATURATED_KIND,
     GRID_UNDERLOAD_KIND,
@@ -93,7 +94,7 @@ def default_rules() -> list[AlertRule]:
                   kind=ALERT_UNDERLOAD, below=DEFAULT_UNDERLOAD_UTILISATION,
                   for_seconds=DEFAULT_SMOOTHING_SECONDS,
                   severity="warning"),
-    ] + grid_rules() + admission_rules()
+    ] + grid_rules() + admission_rules() + farm_rules()
 
 
 def grid_rules() -> list[AlertRule]:
@@ -139,6 +140,24 @@ def admission_rules() -> list[AlertRule]:
                   kind=GRID_SATURATED_KIND, above=0.0,
                   for_seconds=DEFAULT_SMOOTHING_SECONDS,
                   severity="critical"),
+    ]
+
+
+def farm_rules() -> list[AlertRule]:
+    """Render-farm backlog thresholds over the monitor's pooled view.
+
+    Evaluated against the aggregate the monitor derives from every
+    scraped :class:`~repro.farm.queue_service.FrameQueueService`
+    (``rave_grid_farm_backlog`` = pending + leased frames fleet-wide).
+    A sustained non-empty backlog is the second signal source the
+    :class:`~repro.core.autoscale.RecruitmentAutoscaler` grows the farm
+    pool on — and its absence is what lets the farm release workers.
+    """
+    return [
+        AlertRule(name="farm-backlog", metric="rave_grid_farm_backlog",
+                  kind=FARM_BACKLOG_KIND, above=0.5,
+                  for_seconds=DEFAULT_SMOOTHING_SECONDS,
+                  severity="warning"),
     ]
 
 
@@ -331,11 +350,13 @@ __all__ = [
     "GRID_OVERLOAD_KIND",
     "GRID_UNDERLOAD_KIND",
     "GRID_SATURATED_KIND",
+    "FARM_BACKLOG_KIND",
     "AlertRule",
     "Alert",
     "default_rules",
     "grid_rules",
     "admission_rules",
+    "farm_rules",
     "RuleEngine",
     "SloTarget",
     "PAPER_SLOS",

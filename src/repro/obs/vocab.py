@@ -37,10 +37,12 @@ EVENT_SHED = "shed"
 EVENT_RESTORE = "restore"
 
 #: dynamic kinds are namespaced: a fixed prefix plus a runtime detail
-#: (``fault:crash``, ``scale:grow``, ``telemetry:subscribe``)
+#: (``fault:crash``, ``scale:grow``, ``telemetry:subscribe``,
+#: ``farm:requeue``)
 EVENT_FAULT_PREFIX = "fault:"
 EVENT_SCALE_PREFIX = "scale:"
 EVENT_TELEMETRY_PREFIX = "telemetry:"
+EVENT_FARM_PREFIX = "farm:"
 
 EVENT_KINDS = frozenset({
     EVENT_PLACEMENT,
@@ -60,6 +62,7 @@ EVENT_PREFIXES = frozenset({
     EVENT_FAULT_PREFIX,
     EVENT_SCALE_PREFIX,
     EVENT_TELEMETRY_PREFIX,
+    EVENT_FARM_PREFIX,
 })
 
 # -- alert kinds ----------------------------------------------------------------------
@@ -71,6 +74,7 @@ ALERT_UNDERLOAD = "underload"
 GRID_OVERLOAD_KIND = "grid-overload"
 GRID_UNDERLOAD_KIND = "grid-underload"
 GRID_SATURATED_KIND = "grid-saturated"
+FARM_BACKLOG_KIND = "farm-backlog"
 
 ALERT_KINDS = frozenset({
     ALERT_OVERLOAD,
@@ -78,6 +82,7 @@ ALERT_KINDS = frozenset({
     GRID_OVERLOAD_KIND,
     GRID_UNDERLOAD_KIND,
     GRID_SATURATED_KIND,
+    FARM_BACKLOG_KIND,
 })
 
 # -- service roles --------------------------------------------------------------------
@@ -89,6 +94,7 @@ SERVICE_REGISTRY = "registry"
 SERVICE_MONITOR = "monitor"
 SERVICE_CLIENT = "client"
 SERVICE_GRID = "grid"
+SERVICE_FARM = "farm"
 
 SERVICE_KINDS = frozenset({
     SERVICE_RENDER,
@@ -97,6 +103,7 @@ SERVICE_KINDS = frozenset({
     SERVICE_MONITOR,
     SERVICE_CLIENT,
     SERVICE_GRID,
+    SERVICE_FARM,
 })
 
 # -- per-service telemetry event kinds ------------------------------------------------
@@ -139,6 +146,8 @@ GRID_MEAN_UTILISATION = "rave_grid_mean_utilisation"
 GRID_MAX_UTILISATION = "rave_grid_max_utilisation"
 GRID_QUEUE_DEPTH = "rave_grid_queue_depth"
 GRID_REJECTION_RATE = "rave_grid_rejection_rate"
+GRID_FARM_BACKLOG = "rave_grid_farm_backlog"
+GRID_FARM_THROUGHPUT = "rave_grid_farm_throughput"
 
 DERIVED_METRICS = frozenset({
     GRID_RENDER_SERVICES,
@@ -149,6 +158,8 @@ DERIVED_METRICS = frozenset({
     GRID_MAX_UTILISATION,
     GRID_QUEUE_DEPTH,
     GRID_REJECTION_RATE,
+    GRID_FARM_BACKLOG,
+    GRID_FARM_THROUGHPUT,
 })
 
 # -- admission-plane scraped gauge names ----------------------------------------------
@@ -158,6 +169,14 @@ DERIVED_METRICS = frozenset({
 
 ADMISSION_QUEUE_DEPTH = "rave_queue_depth"
 ADMISSION_REJECTION_RATE = "rave_admission_rejection_rate"
+
+# -- render-farm scraped gauge names --------------------------------------------------
+# Registered (as string literals) by the FrameQueueService's telemetry;
+# the monitor maps queue depth / throughput onto the GRID_FARM_BACKLOG /
+# GRID_FARM_THROUGHPUT derived aggregates the farm-backlog rule fires on.
+
+FARM_QUEUE_DEPTH = "rave_farm_queue_depth"
+FARM_FRAMES_PER_SECOND = "rave_farm_frames_per_second"
 
 #: every kind a ``.kind == "..."`` comparison may legitimately name
 KNOWN_KINDS = (EVENT_KINDS | ALERT_KINDS | SERVICE_KINDS
@@ -178,6 +197,7 @@ __all__ = [
     "EVENT_FAULT_PREFIX",
     "EVENT_SCALE_PREFIX",
     "EVENT_TELEMETRY_PREFIX",
+    "EVENT_FARM_PREFIX",
     "EVENT_KINDS",
     "EVENT_PREFIXES",
     "ALERT_OVERLOAD",
@@ -185,6 +205,7 @@ __all__ = [
     "GRID_OVERLOAD_KIND",
     "GRID_UNDERLOAD_KIND",
     "GRID_SATURATED_KIND",
+    "FARM_BACKLOG_KIND",
     "ALERT_KINDS",
     "SERVICE_RENDER",
     "SERVICE_DATA",
@@ -192,6 +213,7 @@ __all__ = [
     "SERVICE_MONITOR",
     "SERVICE_CLIENT",
     "SERVICE_GRID",
+    "SERVICE_FARM",
     "SERVICE_KINDS",
     "TELEMETRY_SUBSCRIBE",
     "TELEMETRY_SESSION_CREATED",
@@ -209,8 +231,12 @@ __all__ = [
     "GRID_MAX_UTILISATION",
     "GRID_QUEUE_DEPTH",
     "GRID_REJECTION_RATE",
+    "GRID_FARM_BACKLOG",
+    "GRID_FARM_THROUGHPUT",
     "DERIVED_METRICS",
     "ADMISSION_QUEUE_DEPTH",
     "ADMISSION_REJECTION_RATE",
+    "FARM_QUEUE_DEPTH",
+    "FARM_FRAMES_PER_SECOND",
     "KNOWN_KINDS",
 ]

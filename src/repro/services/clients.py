@@ -87,6 +87,8 @@ class ThinClient:
         self.camera = CameraNode(name=f"{name}-camera")
         self.frames_received = 0
         self.frame_retries = 0
+        #: 429s absorbed by sleeping out the server's retry_after hint
+        self.admission_retries = 0
 
     # -- attachment -----------------------------------------------------------------
 
@@ -120,7 +122,8 @@ class ThinClient:
     # -- multi-tenant admission --------------------------------------------------------
 
     def open_grid_session(self, grid, tenant: str, session_id: str, tree,
-                          target_fps: float | None = None):
+                          target_fps: float | None = None,
+                          retries: int = 0):
         """Ask a session grid for a collaborative session (admission path).
 
         The request pays the SOAP transfer to the grid's front door; the
@@ -134,23 +137,39 @@ class ThinClient:
           raised as :class:`~repro.errors.TooManyRequestsError`, so a
           full grid *tells* the user to come back instead of silently
           degrading everyone (the straty-style RaaS contract).
+
+        With ``retries`` > 0 a reject is retried up to that many times,
+        honouring the server-supplied ``retry_after`` hint: the client
+        sleeps it off on the simulated clock (running due events, so
+        capacity can actually free up in the meantime) instead of
+        hammering the front door again immediately.  Waits spent this
+        way accumulate in :attr:`admission_retries`.
         """
         from repro.errors import TooManyRequestsError
         from repro.obs.vocab import EVENT_ADMIT, EVENT_REJECT
         from repro.services.protocol import unframe_reject
+        from repro.services.retry import wait
 
         clock = self.network.sim.clock
-        request_time = self.network.transfer_time(
-            self.host, grid.host, self.REQUEST_BYTES)
-        clock.advance(request_time)
-        decision = grid.request_session(tenant, session_id, tree,
-                                        target_fps=target_fps)
-        if decision.outcome == EVENT_REJECT:
+        attempts_left = max(0, int(retries))
+        while True:
+            request_time = self.network.transfer_time(
+                self.host, grid.host, self.REQUEST_BYTES)
+            clock.advance(request_time)
+            decision = grid.request_session(tenant, session_id, tree,
+                                            target_fps=target_fps)
+            if decision.outcome != EVENT_REJECT:
+                break
             frame = decision.reject_frame
             receipt = self.network.transfer_time(grid.host, self.host,
                                                  len(frame))
             clock.advance(receipt)
             info = unframe_reject(frame)
+            if attempts_left > 0 and info.retry_after > 0:
+                attempts_left -= 1
+                self.admission_retries += 1
+                wait(self.network.sim, info.retry_after)
+                continue
             raise TooManyRequestsError(
                 info.reason, retry_after=info.retry_after,
                 queue_position=None, tenant=info.tenant)

@@ -40,6 +40,8 @@ from repro.obs.rules import (
 from repro.obs.telemetry import federate, flatten_metrics
 from repro.obs.vocab import (
     EVENT_TELEMETRY_PREFIX,
+    GRID_FARM_BACKLOG,
+    GRID_FARM_THROUGHPUT,
     GRID_MAX_UTILISATION,
     GRID_MEAN_FPS,
     GRID_MEAN_UTILISATION,
@@ -48,6 +50,7 @@ from repro.obs.vocab import (
     GRID_QUEUE_DEPTH,
     GRID_REJECTION_RATE,
     GRID_RENDER_SERVICES,
+    SERVICE_FARM,
     SERVICE_GRID,
     SERVICE_RENDER,
 )
@@ -282,6 +285,22 @@ class MonitorService:
             if "rave_admission_rejection_rate" in flat:
                 values[GRID_REJECTION_RATE] = (
                     flat["rave_admission_rejection_rate"])
+        # the batch plane: a scraped FrameQueueService payload maps its
+        # pending-frame depth / trailing throughput onto the aggregates
+        # the farm-backlog rule (the autoscaler's second signal) fires on
+        for name in sorted(self._latest):
+            payload = self._latest[name]
+            if payload.get("kind") != SERVICE_FARM:
+                continue
+            flat = flatten_metrics(payload.get("metrics", {}))
+            if "rave_farm_queue_depth" in flat:
+                values[GRID_FARM_BACKLOG] = (
+                    values.get(GRID_FARM_BACKLOG, 0.0)
+                    + flat["rave_farm_queue_depth"])
+            if "rave_farm_frames_per_second" in flat:
+                values[GRID_FARM_THROUGHPUT] = (
+                    values.get(GRID_FARM_THROUGHPUT, 0.0)
+                    + flat["rave_farm_frames_per_second"])
         return values
 
     def observe_grid(self, now: float) -> dict[str, float]:

@@ -24,6 +24,8 @@ _HEADER = struct.Struct("<IHHIQ")  # magic, version, flags, crc32, length
 FLAG_TELEMETRY = 0x0001
 #: frame carries an admission reject (429-style backpressure, JSON body)
 FLAG_REJECT = 0x0002
+#: frame carries a render-farm message (frame lease or result, JSON body)
+FLAG_FARM = 0x0004
 
 
 @dataclass(frozen=True)
@@ -141,3 +143,97 @@ def unframe_reject(data: bytes) -> RejectInfo:
         tenant=str(payload.get("tenant", "")),
         session_id=str(payload.get("session_id", "")),
         queue_depth=int(payload.get("queue_depth", 0)))
+
+
+@dataclass(frozen=True)
+class FarmLease:
+    """One leased animation frame: queue → worker.
+
+    The queue hands out exactly one frame per pull; the lease names the
+    job, the frame index, the scene session to render against, which
+    attempt this is, and the simulated-clock deadline after which the
+    queue may re-issue the frame to another worker.
+    """
+
+    job_id: str
+    frame: int
+    session_id: str
+    attempt: int
+    deadline: float
+
+
+@dataclass(frozen=True)
+class FarmResult:
+    """One completed frame: worker → queue."""
+
+    job_id: str
+    frame: int
+    worker: str
+    render_seconds: float
+    nbytes: int
+
+
+def frame_farm_lease(lease: FarmLease) -> bytes:
+    """Wrap a frame lease for the wire (queue → render worker)."""
+    body = json.dumps(
+        {"type": "lease", "job_id": lease.job_id, "frame": lease.frame,
+         "session_id": lease.session_id, "attempt": lease.attempt,
+         "deadline": lease.deadline},
+        sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return frame_message(body, flags=FLAG_FARM)
+
+
+def unframe_farm_lease(data: bytes) -> FarmLease:
+    """Unwrap and parse a farm lease frame (validates flags + checksum)."""
+    header, body = unframe_message(data)
+    if not header.flags & FLAG_FARM:
+        raise MarshallingError(
+            f"frame flags 0x{header.flags:04x} carry no farm message")
+    payload = _decode_farm_body(body)
+    if payload.get("type") != "lease":
+        raise MarshallingError(
+            f"farm frame type {payload.get('type')!r} is not a lease")
+    return FarmLease(
+        job_id=str(payload.get("job_id", "")),
+        frame=int(payload["frame"]),
+        session_id=str(payload.get("session_id", "")),
+        attempt=int(payload.get("attempt", 1)),
+        deadline=float(payload.get("deadline", 0.0)))
+
+
+def frame_farm_result(result: FarmResult) -> bytes:
+    """Wrap a completed-frame report for the wire (worker → queue)."""
+    body = json.dumps(
+        {"type": "result", "job_id": result.job_id, "frame": result.frame,
+         "worker": result.worker, "render_seconds": result.render_seconds,
+         "nbytes": result.nbytes},
+        sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return frame_message(body, flags=FLAG_FARM)
+
+
+def unframe_farm_result(data: bytes) -> FarmResult:
+    """Unwrap and parse a farm result frame (validates flags + checksum)."""
+    header, body = unframe_message(data)
+    if not header.flags & FLAG_FARM:
+        raise MarshallingError(
+            f"frame flags 0x{header.flags:04x} carry no farm message")
+    payload = _decode_farm_body(body)
+    if payload.get("type") != "result":
+        raise MarshallingError(
+            f"farm frame type {payload.get('type')!r} is not a result")
+    return FarmResult(
+        job_id=str(payload.get("job_id", "")),
+        frame=int(payload["frame"]),
+        worker=str(payload.get("worker", "")),
+        render_seconds=float(payload.get("render_seconds", 0.0)),
+        nbytes=int(payload.get("nbytes", 0)))
+
+
+def _decode_farm_body(body: bytes) -> dict:
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise MarshallingError(f"malformed farm body: {exc}") from exc
+    if not isinstance(payload, dict) or "frame" not in payload:
+        raise MarshallingError("farm payload must carry a frame index")
+    return payload

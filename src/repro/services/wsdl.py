@@ -202,3 +202,24 @@ MONITOR_SERVICE_WSDL = build_wsdl(
     documentation="RAVE monitor service: scrapes per-service telemetry, "
                   "evaluates alert rules and SLO targets",
 )
+
+FRAME_QUEUE_WSDL = build_wsdl(
+    "RaveFrameQueueService",
+    [
+        Operation("submitJob",
+                  (("sessionId", "xsd:string"),
+                   ("startFrame", "xsd:int"),
+                   ("endFrame", "xsd:int")),
+                  (("jobId", "xsd:string"),)),
+        Operation("leaseFrame", (("worker", "xsd:string"),),
+                  (("lease", "xsd:base64Binary"),)),
+        Operation("completeFrame", (("result", "xsd:base64Binary"),),
+                  (("accepted", "xsd:boolean"),)),
+        Operation("jobProgress", (("jobId", "xsd:string"),),
+                  (("done", "xsd:int"), ("total", "xsd:int"))),
+        Operation("auditFrames", (("jobId", "xsd:string"),),
+                  (("missing", "rave:list"),)),
+    ],
+    documentation="RAVE frame queue service: batch animation frame queue — "
+                  "idle render services lease one frame at a time",
+)

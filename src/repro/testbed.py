@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 from repro.core.recruitment import (
     DATA_TMODEL,
+    FARM_TMODEL,
     MONITOR_TMODEL,
     RAVE_BUSINESS,
     RENDER_TMODEL,
@@ -35,6 +36,7 @@ from repro.services.render_service import RenderService
 from repro.services.uddi import AccessPoint, UddiClient, UddiRegistry
 from repro.services.wsdl import (
     DATA_SERVICE_WSDL,
+    FRAME_QUEUE_WSDL,
     MONITOR_SERVICE_WSDL,
     RENDER_SERVICE_WSDL,
 )
@@ -60,6 +62,8 @@ class Testbed:
     business_key: str = ""
     #: the monitoring plane (None unless built with ``monitor_host=``)
     monitor: MonitorService | None = None
+    #: the batch frame queue (None unless built with ``farm=True``)
+    farm_queue: object | None = None
     #: autoscaler construction parameters (None unless built with
     #: ``autoscale=``); consumed by :meth:`autoscale_session`
     autoscale_config: dict | None = None
@@ -158,6 +162,45 @@ class Testbed:
         autoscaler.start()
         return autoscaler
 
+    def render_farm(self, worker_hosts: tuple[str, ...] | None = None,
+                    recruit: bool = True, **kwargs):
+        """Build a :class:`~repro.farm.controller.RenderFarmController`.
+
+        ``worker_hosts`` — initial farm workers (default: every render
+        host); hosts left out stay registered with UDDI as growth
+        headroom for :meth:`RenderFarmController.grow`.  Requires the
+        testbed to be built with ``farm=True`` so the frame queue
+        exists.  The controller is returned un-started: call
+        :meth:`~repro.farm.controller.RenderFarmController.start` once
+        jobs are submitted.
+        """
+        from repro.farm.controller import RenderFarmController
+
+        if self.farm_queue is None:
+            raise ServiceError(
+                "no frame queue; build the testbed with farm=True")
+        hosts = tuple(worker_hosts if worker_hosts is not None
+                      else sorted(self.render_services))
+        workers = [self.render_service(h) for h in hosts]
+        return RenderFarmController(
+            self.farm_queue, self.data_service, workers=workers,
+            recruiter=self.recruiter() if recruit else None, **kwargs)
+
+    def autoscale_farm(self, farm, **overrides):
+        """Attach a started farm-mode autoscaler to a render farm."""
+        from repro.core.autoscale import RecruitmentAutoscaler
+
+        if self.monitor is None:
+            raise ServiceError(
+                "autoscaling needs the monitoring plane; build the "
+                "testbed with monitor_host=")
+        config = dict(self.autoscale_config or {})
+        config.update(overrides)
+        autoscaler = RecruitmentAutoscaler(None, self.monitor, farm=farm,
+                                           **config)
+        autoscaler.start()
+        return autoscaler
+
     def autoscale_session(self, session, **overrides):
         """Attach a started :class:`RecruitmentAutoscaler` to a session.
 
@@ -184,7 +227,9 @@ def build_testbed(render_hosts: tuple[str, ...] = RENDER_HOSTS,
                   register_uddi: bool = True,
                   monitor_host: str | None = None,
                   monitor_period: float = 1.0,
-                  autoscale: bool | dict = False) -> Testbed:
+                  autoscale: bool | dict = False,
+                  farm: bool = False,
+                  farm_host: str | None = None) -> Testbed:
     """Assemble the §4.4 testbed.  See module docstring.
 
     ``monitor_host`` — deploy a :class:`MonitorService` there (e.g.
@@ -198,6 +243,12 @@ def build_testbed(render_hosts: tuple[str, ...] = RENDER_HOSTS,
     dict of :class:`~repro.core.autoscale.RecruitmentAutoscaler` keyword
     arguments such as ``{"cooldown_seconds": 5.0}``).  Requires
     ``monitor_host``; sessions opt in by calling ``autoscale_session``.
+
+    ``farm`` — deploy a :class:`~repro.farm.queue_service.FrameQueueService`
+    (``rave-farm-queue``) on ``farm_host`` (default: the data host),
+    register its ``RaveFrameQueueService`` tmodel + service in UDDI, and
+    watch it from the monitoring plane when one is built.
+    :meth:`Testbed.render_farm` then assembles the worker pool around it.
     """
     network = Network()
     for name in set(render_hosts) | {data_host}:
@@ -271,6 +322,28 @@ def build_testbed(render_hosts: tuple[str, ...] = RENDER_HOSTS,
         monitor.watch(registry)
         monitor.start()
 
+    farm_queue = None
+    if farm:
+        from repro.farm.queue_service import FrameQueueService
+
+        queue_host = farm_host if farm_host is not None else data_host
+        if queue_host not in network.hosts:
+            raise ServiceError(f"unknown farm host {queue_host!r}")
+        container = containers.get(queue_host)
+        if container is None:
+            container = ServiceContainer(queue_host, network)
+            containers[queue_host] = container
+        farm_queue = FrameQueueService("rave-farm-queue", container)
+        if register_uddi:
+            farm_tm = registry.register_tmodel(FARM_TMODEL,
+                                               FRAME_QUEUE_WSDL)
+            registry.register_service(
+                business_key, f"RaveFrameQueueService@{queue_host}",
+                AccessPoint(url=farm_queue.endpoint, host=queue_host),
+                [farm_tm])
+        if monitor is not None:
+            monitor.watch(farm_queue)
+
     autoscale_config = None
     if autoscale:
         autoscale_config = dict(autoscale) if isinstance(autoscale, dict) \
@@ -280,4 +353,5 @@ def build_testbed(render_hosts: tuple[str, ...] = RENDER_HOSTS,
                    containers=containers, data_service=data_service,
                    render_services=render_services, wireless=wireless,
                    business_key=business_key, monitor=monitor,
+                   farm_queue=farm_queue,
                    autoscale_config=autoscale_config)

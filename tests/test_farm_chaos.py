@@ -1,0 +1,105 @@
+"""The render farm under fire: a node dies mid-frame, seeded and replayed.
+
+Satellite regression for the farm's fault story.  One scripted
+scenario: a two-worker farm starts a job, the seeded
+:class:`FaultInjector` kills the worker holding the first frame while
+it renders, and the invariants must hold:
+
+- the lost frame is re-queued **once** and re-rendered by the survivor
+  — exactly one completion lands, no duplicates;
+- the end-of-job ``checkframes`` audit is empty: the crash cost time,
+  never frames;
+- the flight recorder tells the whole story (lease → crash → requeue →
+  complete), and the same seed replays it byte for byte.
+"""
+
+import pytest
+
+from repro import obs
+from repro.data.generators import galleon
+from repro.farm import FRAME_DONE, RenderJob
+from repro.network.faults import FaultInjector
+from repro.testbed import build_testbed
+
+JOB = "anim-chaos"
+SCENE = "scene"
+FRAMES = 6
+VICTIM_HOST = "onyx"            # rs-onyx sorts first: it leases frame 1
+
+
+def run_scenario(seed):
+    """Start the job, kill the first frame's worker mid-render."""
+    tb = build_testbed(farm=True)
+    tb.publish_model(SCENE, galleon(2000))
+    queue = tb.farm_queue
+    sim = tb.network.sim
+
+    with obs.observed(clock=tb.clock) as bundle:
+        inj = FaultInjector(tb.network, seed=seed)
+        farm = tb.render_farm(worker_hosts=(VICTIM_HOST, "v880z"),
+                              dead_after=2.0)
+        queue.submit(RenderJob(job_id=JOB, session_id=SCENE,
+                               start_frame=1, end_frame=FRAMES))
+        farm.start()
+        # no prewarm: the first pull pays the multi-second session
+        # bootstrap, so t0+1s lands squarely mid-frame
+        inj.schedule_crash(1.0, VICTIM_HOST)
+        deadline = sim.now + 300.0
+        while not queue.job(JOB).finished and sim.now < deadline:
+            sim.run_until(sim.now + 1.0)
+        story = [(e.kind, e.detail) for e in bundle.recorder.events()]
+    return tb, farm, queue, story
+
+
+class TestFarmChaos:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return run_scenario(seed=11)
+
+    def test_the_crash_really_interrupted_a_lease(self, scenario):
+        _, farm, queue, _ = scenario
+        assert "rs-onyx" in farm.failed_workers
+        assert farm.frames_lost == 1
+
+    def test_lost_frame_rerendered_exactly_once(self, scenario):
+        _, farm, queue, _ = scenario
+        frame = queue.job(JOB).frame(1)
+        assert frame.state == FRAME_DONE
+        assert frame.worker == "rs-v880z"       # the survivor took it
+        assert frame.requeues == 1              # one re-queue per failure
+        assert frame.attempts == 2              # not a third lease
+        # every frame landed exactly once, nobody double-completed
+        assert queue.frames_completed == FRAMES
+        assert queue.duplicates_dropped == 0
+        assert queue.requeues == 1
+        others = [queue.job(JOB).frame(i) for i in range(2, FRAMES + 1)]
+        assert all(f.attempts == 1 and f.requeues == 0 for f in others)
+
+    def test_the_audit_ends_empty(self, scenario):
+        _, _, queue, _ = scenario
+        job = queue.job(JOB)
+        assert job.finished and job.finished_at is not None
+        assert queue.audit(JOB) == []
+
+    def test_the_recorder_tells_the_recovery_story(self, scenario):
+        _, _, _, story = scenario
+        kinds = [k for k, _ in story]
+        for kind in ("farm:submit", "farm:lease", "fault:crash",
+                     "farm:requeue", "farm:complete", "farm:job-done"):
+            assert kind in kinds, f"missing {kind} in the story"
+        # causality: the crash precedes the requeue precedes the lost
+        # frame's completion
+        crash = kinds.index("fault:crash")
+        requeue = next(i for i, (k, d) in enumerate(story)
+                       if k == "farm:requeue" and f"{JOB}#1" in d)
+        done = next(i for i, (k, d) in enumerate(story)
+                    if k == "farm:complete" and f"{JOB}#1" in d)
+        assert crash < requeue < done
+        # and the requeue names the lost worker
+        assert "rs-onyx" in story[requeue][1]
+
+    def test_same_seed_same_story(self):
+        _, _, first_queue, first_story = run_scenario(seed=29)
+        _, _, replay_queue, replay_story = run_scenario(seed=29)
+        assert first_story == replay_story
+        assert first_queue.describe() == replay_queue.describe()

@@ -12,6 +12,7 @@ import pytest
 
 from repro import obs
 from repro.core.grid import (
+    REASON_DUPLICATE,
     REASON_QUEUE_TIMEOUT,
     REASON_SATURATED,
     SessionGridManager,
@@ -196,12 +197,15 @@ class TestQueueLifecycle:
         grid.request_session("beta", "s1", scene(1))
         grid.request_session("acme", "s2", scene(2),
                              on_reject=lambda d: rejected.append(d))
+        # the deadline tick fires the reject during run_until — no
+        # manual pump needed any more
         tb.network.sim.run_until(tb.clock.now + 6.0)
-        resolved = grid.pump()
-        assert [d.outcome for d in resolved] == [EVENT_REJECT]
-        assert resolved[0].reason == REASON_QUEUE_TIMEOUT
         assert rejected and rejected[0].session_id == "s2"
+        assert rejected[0].outcome == EVENT_REJECT
+        assert rejected[0].reason == REASON_QUEUE_TIMEOUT
         assert grid.queue_timeouts == 1
+        # and a later explicit pump has nothing left to resolve
+        assert grid.pump() == []
 
     def test_head_of_line_blocks_fifo_strictly(self):
         """A small request never skips past a big head-of-line request."""
@@ -623,3 +627,173 @@ class TestAutoscalerGridMode:
             if len(grid.members) == 1:
                 break
         assert len(grid.members) == 1
+
+
+class TestDeadlineDrivenByTheClock:
+    """Satellite regression: queue deadlines fire from the simulated clock.
+
+    Before the fix, ``pump()`` ran only from ``release_session()`` and
+    the autoscaler tick — a queued request whose deadline passed on a
+    quiet grid sat in limbo forever and its ``on_reject`` never fired.
+    """
+
+    def test_expiry_fires_without_any_pump_or_release(self):
+        tb = build_testbed()
+        grid = small_grid(tb, queue_timeout=5.0)
+        open_tenants(grid, "acme", "beta")
+        rejected = []
+        grid.request_session("acme", "s0", scene(0))
+        grid.request_session("beta", "s1", scene(1))
+        grid.request_session("acme", "s2", scene(2),
+                             on_reject=lambda d: rejected.append(d))
+        deadline = grid._queue[0].deadline
+        # nobody releases, nobody pumps: only the clock advances
+        tb.network.sim.run_until(deadline + 30.0)
+        assert [d.session_id for d in rejected] == ["s2"]
+        assert rejected[0].reason == REASON_QUEUE_TIMEOUT
+        # and the 429 happened *at* the deadline, not half a minute late
+        assert rejected[0].time == pytest.approx(deadline)
+        assert grid.queue_timeouts == 1
+        assert grid.queue_depth() == 0
+
+    def test_resolved_entries_make_the_tick_a_no_op(self):
+        """An admitted entry's stale deadline tick must not re-reject it."""
+        tb = build_testbed()
+        grid = small_grid(tb, queue_timeout=5.0)
+        open_tenants(grid, "acme", "beta")
+        admitted, rejected = [], []
+        grid.request_session("acme", "s0", scene(0))
+        grid.request_session("beta", "s1", scene(1))
+        grid.request_session("beta", "s2", scene(2),
+                             on_admit=lambda d: admitted.append(d),
+                             on_reject=lambda d: rejected.append(d))
+        grid.release_session("s0")      # admits s2 well before its deadline
+        assert [d.session_id for d in admitted] == ["s2"]
+        tb.network.sim.run_until(tb.clock.now + 60.0)
+        assert rejected == []
+        assert grid.queue_timeouts == 0
+
+
+class TestDuplicateAdmission:
+    """Satellite regression: double-submitting a session id is refused.
+
+    Before the fix, re-requesting an id that was already *queued* charged
+    the queue twice and could admit the same session id twice, the second
+    admit silently overwriting the first ``GridSession`` and leaking its
+    capacity shares.
+    """
+
+    def test_duplicate_of_a_queued_id_is_rejected_not_requeued(self):
+        tb = build_testbed()
+        grid = small_grid(tb)
+        open_tenants(grid, "acme", "beta")
+        grid.request_session("acme", "s0", scene(0))
+        grid.request_session("beta", "s1", scene(1))
+        first = grid.request_session("acme", "s2", scene(2))
+        assert first.outcome == EVENT_QUEUE
+        dup = grid.request_session("acme", "s2", scene(2))
+        assert dup.outcome == EVENT_REJECT
+        assert dup.reason == REASON_DUPLICATE
+        # the dup carries a decodable 429 like every other reject
+        info = unframe_reject(dup.reject_frame)
+        assert info.status == 429
+        assert info.reason == REASON_DUPLICATE
+        # the original request is untouched: one entry, same position
+        assert grid.queue_depth() == 1
+        assert grid.queue_position("s2") == 1
+
+    def test_duplicate_never_admits_the_same_id_twice(self):
+        tb = build_testbed()
+        grid = small_grid(tb)
+        open_tenants(grid, "acme", "beta")
+        grid.request_session("acme", "s0", scene(0))
+        grid.request_session("beta", "s1", scene(1))
+        grid.request_session("acme", "s2", scene(2))
+        grid.request_session("acme", "s2", scene(2))     # the double-submit
+        resolved = grid.release_session("s0")
+        admits = [d for d in resolved if d.outcome == EVENT_ADMIT]
+        assert [d.session_id for d in admits] == ["s2"]
+        assert grid.queue_depth() == 0
+        assert len(grid.tenant_sessions("acme")) == 1
+
+    def test_pump_never_readmits_an_already_admitted_head(self):
+        """Defence in depth at the head of the line.
+
+        Even if a queued entry's id somehow becomes admitted while it
+        waits (the pre-fix double-submit window), pump resolves it as an
+        explicit duplicate reject instead of overwriting the live
+        session.
+        """
+        from repro.core.grid import QueuedRequest
+
+        tb = build_testbed()
+        grid = small_grid(tb)
+        open_tenants(grid, "acme")
+        grid.request_session("acme", "s0", scene(0))
+        live = grid.session("s0")
+        rejected = []
+        grid._queue.append(QueuedRequest(
+            tenant="acme", session_id="s0", tree=scene(0),
+            target_fps=FPS, demand_polygons=1, enqueued_at=grid.now,
+            deadline=grid.now + 60.0,
+            on_reject=lambda d: rejected.append(d)))
+        resolved = grid.pump()
+        assert [d.outcome for d in resolved] == [EVENT_REJECT]
+        assert resolved[0].reason == REASON_DUPLICATE
+        assert rejected and rejected[0].session_id == "s0"
+        assert grid.session("s0") is live
+
+
+class TestClientHonoursRetryAfter:
+    """Satellite regression: the 429's retry_after is an actionable hint.
+
+    Before the fix, ``ThinClient.open_grid_session`` could only raise on
+    a reject; callers wanting to come back later had to hand-roll the
+    sleep.  Now ``retries=`` waits out the server-supplied
+    ``retry_after`` on the simulated clock — during which queued events
+    (like a release freeing capacity) actually run.
+    """
+
+    def test_retry_after_round_trips_the_wire(self):
+        tb = build_testbed()
+        grid = small_grid(tb, queue_capacity=0, queue_timeout=12.5)
+        open_tenants(grid, "acme", "beta")
+        client = tb.thin_client("pda")
+        client.open_grid_session(grid, "acme", "s0", scene(0))
+        client.open_grid_session(grid, "beta", "s1", scene(1))
+        with pytest.raises(TooManyRequestsError) as err:
+            client.open_grid_session(grid, "acme", "s2", scene(2))
+        # the value the client raises is the one the frame carried
+        assert err.value.retry_after == 12.5
+
+    def test_client_sleeps_retry_after_then_succeeds(self):
+        tb = build_testbed()
+        grid = small_grid(tb, queue_capacity=0, queue_timeout=10.0)
+        open_tenants(grid, "acme", "beta")
+        client = tb.thin_client("pda")
+        client.open_grid_session(grid, "acme", "s0", scene(0))
+        client.open_grid_session(grid, "beta", "s1", scene(1))
+        sim = tb.network.sim
+        # capacity frees while the client sleeps off the retry_after
+        sim.schedule(4.0, lambda: grid.release_session("s0"))
+        t0 = sim.now
+        decision = client.open_grid_session(grid, "acme", "s2", scene(2),
+                                            retries=1)
+        assert decision.outcome == EVENT_ADMIT
+        assert client.admission_retries == 1
+        # the wait really ran on the simulated clock
+        assert sim.now - t0 >= 10.0
+        assert client.attached
+
+    def test_exhausted_retries_still_raise_the_429(self):
+        tb = build_testbed()
+        grid = small_grid(tb, queue_capacity=0, queue_timeout=3.0)
+        open_tenants(grid, "acme", "beta")
+        client = tb.thin_client("pda")
+        client.open_grid_session(grid, "acme", "s0", scene(0))
+        client.open_grid_session(grid, "beta", "s1", scene(1))
+        with pytest.raises(TooManyRequestsError) as err:
+            client.open_grid_session(grid, "acme", "s2", scene(2),
+                                     retries=2)
+        assert err.value.retry_after == 3.0
+        assert client.admission_retries == 2

@@ -1,0 +1,373 @@
+"""The batch render farm: jobs, the frame queue, and the controller.
+
+The farm contract under test, layer by layer:
+
+- a :class:`RenderJob` tracks every frame pending → leased → done and
+  its ``checkframes`` audit reports exactly the not-done indexes;
+- the :class:`FrameQueueService` leases **exactly one** frame per pull,
+  accepts a completion only from the lease holder (exactly-once), and
+  re-queues lost leases at the front of the FIFO;
+- the farm wire frames round-trip through ``services/protocol.py`` and
+  refuse foreign or mangled bytes;
+- the :class:`RenderFarmController` renders a whole job across a pool
+  of render services with an empty audit at the end, and throughput
+  scales with the pool;
+- ``build_testbed(farm=True)`` registers the queue in UDDI beside the
+  other four service roles, and the autoscaler's farm mode grows the
+  pool on a sustained backlog alert.
+"""
+
+import pytest
+
+from repro.errors import MarshallingError, ServiceError
+from repro.data.generators import galleon
+from repro.farm import (
+    FRAME_DONE,
+    FRAME_LEASED,
+    FRAME_PENDING,
+    FrameQueueService,
+    RenderFarmController,
+    RenderJob,
+)
+from repro.services.protocol import (
+    FarmLease,
+    FarmResult,
+    frame_farm_lease,
+    frame_farm_result,
+    frame_message,
+    unframe_farm_lease,
+    unframe_farm_result,
+)
+from repro.testbed import build_testbed
+
+JOB = "anim-001"
+SCENE = "scene"
+
+
+def farm_testbed(**kwargs):
+    tb = build_testbed(farm=True, **kwargs)
+    tb.publish_model(SCENE, galleon(2000))
+    return tb
+
+
+def job(start=1, end=8, **kwargs):
+    return RenderJob(job_id=JOB, session_id=SCENE,
+                     start_frame=start, end_frame=end, **kwargs)
+
+
+def result_for(lease, worker=None):
+    return frame_farm_result(FarmResult(
+        job_id=lease.job_id, frame=lease.frame,
+        worker=worker if worker is not None else "w0",
+        render_seconds=0.01, nbytes=160 * 120 * 3))
+
+
+class TestRenderJob:
+    def test_frame_range_is_inclusive_and_validated(self):
+        j = job(start=3, end=5)
+        assert sorted(j.frames) == [3, 4, 5]
+        assert j.total_frames == 3
+        with pytest.raises(ServiceError):
+            RenderJob(job_id="bad", session_id=SCENE,
+                      start_frame=5, end_frame=3)
+
+    def test_audit_reports_exactly_the_not_done_frames(self):
+        j = job(start=1, end=4)
+        j.frames[2].state = FRAME_DONE
+        j.frames[4].state = FRAME_LEASED
+        assert j.missing_frames() == [1, 3, 4]
+        assert not j.finished
+        for f in j.frames.values():
+            f.state = FRAME_DONE
+        assert j.missing_frames() == []
+        assert j.finished and j.progress == 1.0
+
+    def test_cameras_are_deterministic_per_frame(self):
+        import numpy as np
+
+        a, b = job(), job()
+        for i in (1, 5, 8):
+            ca, cb = a.camera_for(i), b.camera_for(i)
+            assert ca.name == cb.name
+            assert np.allclose(ca.position, cb.position)
+        # and different frames genuinely look from somewhere else
+        assert not np.allclose(a.camera_for(1).position,
+                               a.camera_for(8).position)
+
+
+class TestFarmProtocol:
+    def test_lease_round_trips(self):
+        lease = FarmLease(job_id=JOB, frame=7, session_id=SCENE,
+                          attempt=2, deadline=42.5)
+        assert unframe_farm_lease(frame_farm_lease(lease)) == lease
+
+    def test_result_round_trips(self):
+        result = FarmResult(job_id=JOB, frame=7, worker="rs-onyx",
+                            render_seconds=0.125, nbytes=57600)
+        assert unframe_farm_result(frame_farm_result(result)) == result
+
+    def test_type_discriminator_is_enforced(self):
+        lease_bytes = frame_farm_lease(FarmLease(
+            job_id=JOB, frame=1, session_id=SCENE, attempt=1,
+            deadline=1.0))
+        with pytest.raises(MarshallingError):
+            unframe_farm_result(lease_bytes)
+        result_bytes = frame_farm_result(FarmResult(
+            job_id=JOB, frame=1, worker="w", render_seconds=0.0,
+            nbytes=0))
+        with pytest.raises(MarshallingError):
+            unframe_farm_lease(result_bytes)
+
+    def test_foreign_flags_are_refused(self):
+        plain = frame_message(b'{"frame": 1, "type": "lease"}')
+        with pytest.raises(MarshallingError):
+            unframe_farm_lease(plain)
+        with pytest.raises(MarshallingError):
+            unframe_farm_result(plain)
+
+
+class TestFrameQueue:
+    def queue(self):
+        tb = farm_testbed()
+        return tb, tb.farm_queue
+
+    def test_submit_queues_the_whole_range_once(self):
+        tb, queue = self.queue()
+        queue.submit(job(start=1, end=8))
+        assert queue.queue_depth() == 8
+        assert queue.progress(JOB) == (0, 8)
+        with pytest.raises(ServiceError):
+            queue.submit(job())
+        with pytest.raises(ServiceError):
+            queue.job("nope")
+
+    def test_lease_hands_out_exactly_one_frame(self):
+        tb, queue = self.queue()
+        queue.submit(job(start=1, end=2))
+        first = unframe_farm_lease(queue.lease("w0"))
+        assert (first.job_id, first.frame, first.session_id) \
+            == (JOB, 1, SCENE)
+        assert first.deadline == pytest.approx(
+            tb.network.sim.now + queue.lease_timeout)
+        second = unframe_farm_lease(queue.lease("w1"))
+        assert second.frame == 2
+        assert queue.lease("w2") is None        # nothing left to hand out
+        assert queue.active_leases() == 2
+        assert queue.backlog() == 2
+
+    def test_complete_is_exactly_once(self):
+        tb, queue = self.queue()
+        queue.submit(job(start=1, end=1))
+        lease = unframe_farm_lease(queue.lease("w0"))
+        assert queue.complete(result_for(lease, "w0")) is True
+        assert queue.progress(JOB) == (1, 1)
+        # the straggler's second copy is dropped, not double-counted
+        assert queue.complete(result_for(lease, "w0")) is False
+        assert queue.frames_completed == 1
+        assert queue.duplicates_dropped == 1
+
+    def test_only_the_lease_holder_may_complete(self):
+        tb, queue = self.queue()
+        queue.submit(job(start=1, end=1))
+        lease = unframe_farm_lease(queue.lease("w0"))
+        assert queue.complete(result_for(lease, "imposter")) is False
+        assert queue.job(JOB).frame(1).state == FRAME_LEASED
+        assert queue.complete(result_for(lease, "w0")) is True
+
+    def test_expired_lease_requeues_at_the_front(self):
+        tb, queue = self.queue()
+        queue.submit(job(start=1, end=3))
+        lease = unframe_farm_lease(queue.lease("w0"))
+        assert lease.frame == 1
+        tb.network.sim.clock.advance(queue.lease_timeout + 1.0)
+        assert queue.requeue_expired() == [(JOB, 1)]
+        record = queue.job(JOB).frame(1)
+        assert record.state == FRAME_PENDING
+        assert record.requeues == 1
+        # the lost frame goes out next, ahead of frames 2 and 3
+        release = unframe_farm_lease(queue.lease("w1"))
+        assert release.frame == 1
+        assert release.attempt == 2
+        # and the straggler's late result is now a dropped duplicate
+        assert queue.complete(result_for(lease, "w0")) is False
+
+    def test_dead_worker_requeues_all_its_leases(self):
+        tb, queue = self.queue()
+        queue.submit(job(start=1, end=4))
+        unframe_farm_lease(queue.lease("w0"))
+        unframe_farm_lease(queue.lease("w0"))
+        keeper = unframe_farm_lease(queue.lease("w1"))
+        assert queue.requeue_worker("w0") == [(JOB, 1), (JOB, 2)]
+        assert queue.queue_depth() == 3      # 1, 2 back + 4 never leased
+        assert queue.job(JOB).frame(keeper.frame).state == FRAME_LEASED
+
+    def test_finishing_a_job_runs_the_audit(self):
+        tb, queue = self.queue()
+        queue.submit(job(start=1, end=2))
+        for _ in range(2):
+            lease = unframe_farm_lease(queue.lease("w0"))
+            queue.complete(result_for(lease, "w0"))
+        j = queue.job(JOB)
+        assert j.finished and j.finished_at is not None
+        assert queue.audit(JOB) == []
+
+    def test_telemetry_exports_the_farm_gauges(self):
+        tb, queue = self.queue()
+        from repro.obs.telemetry import flatten_metrics
+        from repro.services.protocol import unframe_telemetry
+
+        queue.submit(job(start=1, end=5))
+        unframe_farm_lease(queue.lease("w0"))
+        payload = unframe_telemetry(
+            queue.telemetry.scrape_frame(tb.network.sim.now))
+        assert payload["kind"] == "farm"
+        flat = flatten_metrics(payload["metrics"])
+        assert flat["rave_farm_queue_depth"] == 4
+        assert flat["rave_farm_active_leases"] == 1
+        assert flat["rave_farm_frames_per_second"] == 0.0
+        progress = payload["metrics"]["rave_farm_job_progress"]["series"]
+        assert progress and progress[0]["labels"]["job"] == JOB
+
+
+class TestTestbedFarm:
+    def test_farm_true_registers_the_fifth_service_role(self):
+        from repro.core.recruitment import FARM_TMODEL, RAVE_BUSINESS
+
+        tb = farm_testbed()
+        assert isinstance(tb.farm_queue, FrameQueueService)
+        business = tb.registry.find_business(RAVE_BUSINESS)
+        tm = tb.registry.find_tmodel(FARM_TMODEL)
+        entries = tb.registry.find_services(business.business_key, tm.key)
+        assert [s.name for s in entries] \
+            == [f"RaveFrameQueueService@{tb.farm_queue.host}"]
+
+    def test_plain_testbed_has_no_farm(self):
+        tb = build_testbed()
+        assert tb.farm_queue is None
+        with pytest.raises(ServiceError):
+            tb.render_farm()
+
+    def test_monitor_watches_the_queue_and_derives_backlog(self):
+        tb = farm_testbed(monitor_host="registry-host")
+        tb.farm_queue.submit(job(start=1, end=6))
+        sim = tb.network.sim
+        sim.run_until(sim.now + 5.0)
+        snapshot = tb.monitor.snapshot()
+        farm_entries = {n: e for n, e in snapshot["services"].items()
+                        if e.get("kind") == "farm"}
+        assert "rave-farm-queue" in farm_entries
+        values = tb.monitor.grid_values()
+        assert values["rave_grid_farm_backlog"] == 6.0
+        assert values["rave_grid_farm_throughput"] == 0.0
+
+    def test_dashboard_renders_the_farm_panel(self):
+        from repro.obs.dashboard import render_dashboard
+
+        tb = farm_testbed(monitor_host="registry-host")
+        tb.farm_queue.submit(job(start=1, end=6))
+        sim = tb.network.sim
+        sim.run_until(sim.now + 5.0)
+        text = render_dashboard(tb.monitor.snapshot())
+        assert "render farm (rave-farm-queue)" in text
+        assert "queue depth: 6" in text
+        assert JOB in text
+
+
+class TestFarmController:
+    def test_a_job_renders_to_completion_with_an_empty_audit(self):
+        tb = farm_testbed()
+        queue = tb.farm_queue
+        farm = tb.render_farm(worker_hosts=("onyx", "v880z"))
+        queue.submit(job(start=1, end=10))
+        farm.start()
+        sim = tb.network.sim
+        sim.run_until(sim.now + 120.0)
+        assert queue.progress(JOB) == (10, 10)
+        assert queue.audit(JOB) == []
+        assert farm.frames_rendered == 10
+        assert queue.duplicates_dropped == 0
+        j = queue.job(JOB)
+        assert j.finished_at is not None
+        # both workers genuinely shared the range
+        assert {f.worker for f in j.frames.values()} \
+            == {"rs-onyx", "rs-v880z"}
+
+    def test_each_worker_holds_at_most_one_lease(self):
+        tb = farm_testbed()
+        queue = tb.farm_queue
+        farm = tb.render_farm(worker_hosts=("onyx",))
+        queue.submit(job(start=1, end=6))
+        farm.start()
+        sim = tb.network.sim
+        deadline = sim.now + 120.0
+        while sim.now < deadline and not queue.job(JOB).finished:
+            assert queue.active_leases() <= 1
+            sim.run_until(sim.now + 0.25)
+        assert queue.job(JOB).finished
+
+    def test_prewarm_bootstraps_once_and_throughput_scales(self):
+        rates = {}
+        for n, hosts in ((1, ("onyx",)), (2, ("onyx", "v880z"))):
+            tb = farm_testbed()
+            queue = tb.farm_queue
+            farm = tb.render_farm(worker_hosts=hosts)
+            sim = tb.network.sim
+            assert farm.prewarm(SCENE) == n
+            assert farm.prewarm(SCENE) == 0     # cached, not re-paid
+            sim.run_until(sim.now + 30.0)
+            queue.submit(job(start=1, end=24))
+            farm.start()
+            t0 = sim.now
+            while not queue.job(JOB).finished and sim.now < t0 + 300.0:
+                sim.run_until(sim.now + 0.25)
+            rates[n] = 24.0 / (queue.job(JOB).finished_at - t0)
+        assert rates[2] > rates[1]
+
+    def test_release_idle_respects_backlog_and_floor(self):
+        tb = farm_testbed()
+        queue = tb.farm_queue
+        farm = tb.render_farm(worker_hosts=("onyx", "v880z", "centrino"))
+        queue.submit(job(start=1, end=2))
+        assert farm.release_idle(min_workers=1) == []    # backlog > 0
+        # drain the backlog by hand, then the idle pool may shrink
+        for _ in range(2):
+            lease = unframe_farm_lease(queue.lease("rs-onyx"))
+            queue.complete(result_for(lease, "rs-onyx"))
+        released = farm.release_idle(min_workers=1)
+        assert len(released) == 2
+        assert farm.pool_size() == 1
+
+
+class TestAutoscalerFarmMode:
+    def test_sustained_backlog_grows_the_pool_and_drains_the_queue(self):
+        tb = farm_testbed(monitor_host="registry-host", autoscale=True)
+        queue = tb.farm_queue
+        farm = tb.render_farm(worker_hosts=("centrino",))
+        auto = tb.autoscale_farm(farm, cooldown_seconds=5.0, period=1.0,
+                                 max_services=3)
+        queue.submit(job(start=1, end=8))
+        # the controller is deliberately not started: only the
+        # autoscaler's grow path may put workers on the job
+        sim = tb.network.sim
+        for _ in range(90):
+            sim.run_until(sim.now + 1.0)
+            if queue.job(JOB).finished:
+                break
+        grows = [e for e in auto.events if e.kind == "grow"]
+        assert grows and grows[0].pool_after > grows[0].pool_before
+        assert grows[0].reason == "farm-backlog"
+        assert queue.job(JOB).finished
+        assert queue.audit(JOB) == []
+
+    def test_clear_backlog_releases_down_to_the_floor(self):
+        tb = farm_testbed(monitor_host="registry-host", autoscale=True)
+        farm = tb.render_farm(worker_hosts=("onyx", "v880z"))
+        auto = tb.autoscale_farm(farm, cooldown_seconds=3.0, period=1.0,
+                                 min_services=1)
+        sim = tb.network.sim
+        for _ in range(60):
+            sim.run_until(sim.now + 1.0)
+            if farm.pool_size() == 1:
+                break
+        assert farm.pool_size() == 1
+        assert any(e.kind == "release" for e in auto.events)
