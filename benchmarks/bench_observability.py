@@ -132,6 +132,63 @@ def migration_pressure(cs, samples: int) -> None:
     migrator.plan(cs)
 
 
+def tail_latency_breach(tb) -> None:
+    """Saturate a one-member grid so queued admissions breach the p95 SLO.
+
+    Two tenants alternate requests (so the per-tenant share cap never
+    fires before the pool fills); the queued head waits ~1 simulated
+    second before a release admits it, pushing the queue-wait p95 over
+    the 0.5 s objective.  Cumulative buckets never decay, so the breach
+    sustains across every subsequent scrape and the quantile-targeting
+    alerts land in the snapshot and the flight-recorder dump.
+    """
+    from repro.core.grid import TenantQuota
+    from repro.data.generators import uv_sphere
+    from repro.obs.vocab import EVENT_QUEUE
+
+    grid = tb.session_grid(member_hosts=("athlon",), name="bench-grid",
+                           recruit=False, target_fps=3000.0)
+    for i, tenant in enumerate(("acme", "beta")):
+        grid.register_tenant(TenantQuota(tenant=tenant, priority=i,
+                                         max_sessions=8, max_share=1.0,
+                                         guaranteed_share=0.0))
+    sim = tb.network.sim
+    admitted = []
+    for i in range(16):
+        tree = SceneTree(name=f"grid-s{i}")
+        tree.add(MeshNode(uv_sphere(nu=24, nv=24)))
+        decision = grid.request_session(("acme", "beta")[i % 2],
+                                        f"grid-s{i}", tree)
+        if decision.outcome == EVENT_QUEUE:
+            break
+        admitted.append(f"grid-s{i}")
+    sim.run_until(sim.now + 1.0)
+    grid.release_session(admitted[0])    # the queued head waited ~1 s
+    sim.run_until(sim.now + 7.0)         # sustain > 5 s of breached scrapes
+
+
+def quantile_overhead(monitor, samples: int = 2000) -> dict:
+    """Wall-clock cost of one federated p95 estimate, in microseconds.
+
+    This is the only wall-clock measurement in the snapshot: the
+    estimation happens on the scrape path, so its real cost bounds how
+    often a monitor can afford to tick.
+    """
+    import time
+
+    from repro.obs.quantiles import estimate_quantile
+
+    merged = monitor.federated_buckets("rave_queue_wait_seconds")
+    if not merged:
+        return {"samples": 0, "buckets": 0, "mean_us": 0.0}
+    t0 = time.perf_counter()
+    for _ in range(samples):
+        estimate_quantile(merged, 0.95)
+    elapsed = time.perf_counter() - t0
+    return {"samples": samples, "buckets": len(merged),
+            "mean_us": elapsed / samples * 1e6}
+
+
 def crash_and_recover(tb, cs) -> None:
     """Kill a share-holding service; heartbeats detect it, recovery runs."""
     cs.enable_fault_tolerance(heartbeat_interval=0.25,
@@ -160,6 +217,7 @@ def run(smoke: bool, out: Path,
         stream_frames(tb, frames * 2)
         walkaway_compression(tb, frames * 4)
         migration_pressure(cs, samples=8)
+        tail_latency_breach(tb)
         crash_and_recover(tb, cs)
         path = write_snapshot(
             out, bundle.metrics, bundle.tracer, clock=tb.clock,
@@ -168,7 +226,8 @@ def run(smoke: bool, out: Path,
                   "polygons_per_part": polygons,
                   "frames": frames},
             recorder=bundle.recorder,
-            extra={"monitor": tb.monitor.snapshot()})
+            extra={"monitor": tb.monitor.snapshot(),
+                   "quantile_overhead": quantile_overhead(tb.monitor)})
         dump_out.parent.mkdir(parents=True, exist_ok=True)
         dump_out.write_text(json.dumps(
             {"format": "rave-flight-recorder/1",
@@ -204,9 +263,23 @@ def check(path: Path) -> None:
         "scrapes put no bytes on the simulated wire"
     assert monitor["services"], "monitor federated no services"
     assert monitor["slo"], "SLO attainment report is empty"
-    # the crash left a post-mortem
+    # the tail-latency plane: a federated p95 over the breach threshold,
+    # the quantile SLO section, and the sustained alert
+    grid_p95 = monitor["grid"]["rave_grid_queue_wait_seconds_p95"]
+    assert grid_p95 > 0.5, f"queue-wait p95 never breached ({grid_p95})"
+    assert monitor["slo"]["queue-wait-p95"]["quantile"] == 0.95
+    assert any(a["kind"] == "tail-latency" for a in monitor["alerts"]), \
+        "no tail-latency alert firing at snapshot time"
+    overhead = data["quantile_overhead"]
+    assert overhead["samples"] > 0 and overhead["buckets"] > 0, \
+        "quantile-overhead measurement missing"
+    # the crash left a post-mortem with the tail alert in its timeline
     recorder = data["flight_recorder"]
     assert recorder["dumps"], "no flight-recorder dump after the crash"
+    dump_kinds = {e["kind"] for dump in recorder["dumps"]
+                  for e in dump["events"]}
+    assert "alert:tail-latency" in dump_kinds, \
+        "tail-latency alert missing from the flight-recorder dump"
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -7,8 +7,11 @@ Commands:
 - ``table2``      — regenerate the paper's Table 2 (PDA timings);
 - ``tables34``    — regenerate Tables 3/4 (off-screen efficiency);
 - ``table5``      — regenerate Table 5 (UDDI + bootstrap timings);
-- ``dashboard``   — render the monitoring-plane text dashboard, from a
-  snapshot JSON (``--snapshot``) or from a freshly run live demo;
+- ``dashboard``   — render the monitoring-plane text dashboard, from
+  one or more snapshot JSONs (``--snapshot``, repeatable — several
+  monitors merge into one federated view), from a freshly run live
+  demo, or compare two snapshots (``--diff BEFORE AFTER``) for
+  quantile regressions and alert churn;
 - ``lint``        — run ``ravelint``, the project's AST-based invariant
   checker (determinism, metric registry, kind vocabularies, protocol
   symmetry, ``__all__`` drift); see ``docs/ANALYSIS.md``.
@@ -136,12 +139,29 @@ def cmd_table5(args) -> int:
 def cmd_dashboard(args) -> int:
     import json
 
-    from repro.obs.dashboard import render_dashboard
+    from repro.obs.dashboard import (
+        diff_snapshots,
+        merge_monitor_snapshots,
+        render_dashboard,
+        render_diff,
+    )
+
+    def load(path: str) -> dict:
+        with open(path) as fh:
+            return json.load(fh)
+
+    if args.diff:
+        before, after = (load(path) for path in args.diff)
+        diff = diff_snapshots(before, after, threshold=args.threshold)
+        print(render_diff(diff), end="")
+        # a flagged regression is a nonzero exit so CI can gate on it
+        return 1 if diff["regressed"] else 0
 
     if args.snapshot:
-        with open(args.snapshot) as fh:
-            snap = json.load(fh)
-        print(render_dashboard(snap), end="")
+        snaps = [load(path) for path in args.snapshot]
+        merged = snaps[0] if len(snaps) == 1 \
+            else merge_monitor_snapshots(snaps)
+        print(render_dashboard(merged), end="")
         return 0
 
     # Live demo: a monitored testbed under load for a few simulated seconds.
@@ -185,10 +205,19 @@ def main(argv=None) -> int:
     sub.add_parser("table5", help="regenerate Table 5 (UDDI/bootstrap)")
     dash = sub.add_parser("dashboard",
                           help="render the monitoring text dashboard")
-    dash.add_argument("--snapshot", default=None,
+    dash.add_argument("--snapshot", action="append", default=None,
                       help="JSON snapshot to render (monitor snapshot or "
                            "observability snapshot with a 'monitor' key); "
-                           "omit to run a short live demo")
+                           "repeat the flag to merge several monitors into "
+                           "one federated view; omit to run a live demo")
+    dash.add_argument("--diff", nargs=2, metavar=("BEFORE", "AFTER"),
+                      default=None,
+                      help="compare two snapshots instead of rendering: "
+                           "report quantile regressions and alert churn, "
+                           "exit 1 when a regression is flagged")
+    dash.add_argument("--threshold", type=float, default=0.1,
+                      help="quantile delta (seconds) counted as a "
+                           "regression by --diff (default 0.1)")
     dash.add_argument("--seconds", type=float, default=6.0,
                       help="simulated seconds for the live demo (default 6)")
     lint = sub.add_parser("lint",

@@ -19,8 +19,9 @@ This cross-file rule reconstructs both sides statically:
   ``obs/rules.py``, ``obs/dashboard.py`` and the tests/benchmarks
   trees.  Literals ending in ``_`` are treated as prefix probes
   (``name.startswith("rave_net_")``) and consume every matching family;
-  flattened histogram suffixes (``_count``/``_sum``/``_bucket``) map
-  back to their base family.
+  flattened histogram suffixes (``_count``/``_sum``/``_bucket`` and the
+  derived quantile keys ``_p50``/``_p95``/``_p99``) map back to their
+  base family.
 
 A consumed name nobody registers is an **error** (the lookup can never
 succeed); a ``src/repro`` registration nobody consumes is a **warning**
@@ -44,7 +45,11 @@ PREFIX_RE = re.compile(r"rave_[a-z0-9_]*_")
 
 REGISTRY_METHODS = ("counter", "gauge", "histogram")
 CONSUMER_SUFFIXES = ("obs/rules.py", "obs/dashboard.py")
-FLATTEN_SUFFIXES = ("_count", "_sum", "_bucket")
+#: flattened-histogram lookups resolve to their parent family: the
+#: scrape layer derives ``_count``/``_sum``/``_bucket`` and the
+#: interpolated ``_p50``/``_p95``/``_p99`` quantile keys from one
+#: registered histogram
+FLATTEN_SUFFIXES = ("_count", "_sum", "_bucket", "_p50", "_p95", "_p99")
 
 
 def _registrations(sf: SourceFile):

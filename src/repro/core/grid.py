@@ -68,6 +68,7 @@ from repro.obs.vocab import (
     SERVICE_GRID,
 )
 from repro.obs.telemetry import ServiceTelemetry
+from repro.obs.tracing import TraceContext
 from repro.services.protocol import frame_reject
 
 #: reject reasons carried in the 429 frame (free-form, for humans)
@@ -169,6 +170,7 @@ class QueuedRequest:
     deadline: float
     on_admit: object = None            # callable(AdmissionDecision) | None
     on_reject: object = None
+    trace: TraceContext | None = None  # originating request's trace context
 
 
 @dataclass(frozen=True)
@@ -345,12 +347,16 @@ class SessionGridManager:
 
     def request_session(self, tenant: str, session_id: str, tree,
                         target_fps: float | None = None,
-                        on_admit=None, on_reject=None
+                        on_admit=None, on_reject=None,
+                        trace: TraceContext | None = None
                         ) -> AdmissionDecision:
         """The admission controller: admit, queue, or reject.
 
         ``on_admit``/``on_reject`` are optional callbacks a queued
         request carries, invoked by :meth:`pump` when the wait resolves.
+        ``trace`` is the caller's trace context: it rides any reject
+        frame, stamps the flight-recorder admission events, and the
+        eventual admit records an ``admission`` span under it.
         """
         now = self.now
         self.requests += 1
@@ -359,7 +365,7 @@ class SessionGridManager:
                 f"session {session_id!r} is already admitted")
         if self.queue_position(session_id) is not None:
             return self._reject(tenant, session_id, now, REASON_DUPLICATE,
-                                retry_after=self.queue_timeout)
+                                retry_after=self.queue_timeout, trace=trace)
         quota = self.quota(tenant)
         fps = float(target_fps if target_fps is not None
                     else self.target_fps)
@@ -367,17 +373,18 @@ class SessionGridManager:
         blocked = self._quota_violation(quota, demand * fps)
         if blocked:
             return self._reject(tenant, session_id, now, blocked,
-                                retry_after=0.0)
+                                retry_after=0.0, trace=trace)
         if not self._queue and demand * fps <= self.spare_pps():
             decision = self._try_admit(tenant, session_id, tree, fps,
-                                       demand, now, queued_for=0.0)
+                                       demand, now, queued_for=0.0,
+                                       trace=trace)
             if decision is not None:
                 return decision
         if len(self._queue) < self.queue_capacity:
             return self._enqueue(tenant, session_id, tree, fps, demand,
-                                 now, on_admit, on_reject)
+                                 now, on_admit, on_reject, trace=trace)
         return self._reject(tenant, session_id, now, REASON_SATURATED,
-                            retry_after=self.queue_timeout)
+                            retry_after=self.queue_timeout, trace=trace)
 
     def _quota_violation(self, quota: TenantQuota, request_pps: float
                          ) -> str:
@@ -394,7 +401,8 @@ class SessionGridManager:
         return ""
 
     def _try_admit(self, tenant: str, session_id: str, tree, fps: float,
-                   demand: int, now: float, queued_for: float
+                   demand: int, now: float, queued_for: float,
+                   trace: TraceContext | None = None
                    ) -> AdmissionDecision | None:
         """Build, connect and place the session; None when placement fails."""
         try:
@@ -433,7 +441,13 @@ class SessionGridManager:
                 EVENT_ADMIT, time=now,
                 detail=f"{tenant}/{session_id}: {demand} polygons at "
                        f"{fps:g} fps onto {[s.name for s in chosen]} "
-                       f"(waited {queued_for:g}s)")
+                       f"(waited {queued_for:g}s)",
+                trace=trace.trace_id if trace else "")
+            if trace is not None:
+                obs.tracer.record(
+                    "admission", now - queued_for, now,
+                    service=self.name, session=session_id, tenant=tenant,
+                    trace=trace.trace_id)
         self.telemetry.registry.histogram(
             "rave_queue_wait_seconds",
             "admission-queue wait before admit").observe(queued_for)
@@ -452,13 +466,14 @@ class SessionGridManager:
         return chosen
 
     def _enqueue(self, tenant: str, session_id: str, tree, fps: float,
-                 demand: int, now: float, on_admit, on_reject
+                 demand: int, now: float, on_admit, on_reject,
+                 trace: TraceContext | None = None
                  ) -> AdmissionDecision:
         entry = QueuedRequest(
             tenant=tenant, session_id=session_id, tree=tree,
             target_fps=fps, demand_polygons=demand, enqueued_at=now,
             deadline=now + self.queue_timeout, on_admit=on_admit,
-            on_reject=on_reject)
+            on_reject=on_reject, trace=trace)
         self._queue.append(entry)
         # the deadline is enforced by the simulated clock itself, not by
         # the next unrelated admission event: a daemon wake-up at the
@@ -477,14 +492,16 @@ class SessionGridManager:
             obs.recorder.note(
                 EVENT_QUEUE, time=now,
                 detail=f"{tenant}/{session_id}: position {position}, "
-                       f"deadline {entry.deadline:g}s")
+                       f"deadline {entry.deadline:g}s",
+                trace=trace.trace_id if trace else "")
         return decision
 
     def _reject(self, tenant: str, session_id: str, now: float,
-                reason: str, retry_after: float) -> AdmissionDecision:
+                reason: str, retry_after: float,
+                trace: TraceContext | None = None) -> AdmissionDecision:
         frame = frame_reject(reason, retry_after, tenant=tenant,
                              session_id=session_id,
-                             queue_depth=len(self._queue))
+                             queue_depth=len(self._queue), trace=trace)
         self.rejections += 1
         self._recent_rejects.append(now)
         decision = AdmissionDecision(
@@ -497,7 +514,8 @@ class SessionGridManager:
             obs.recorder.note(
                 EVENT_REJECT, time=now,
                 detail=f"{tenant}/{session_id}: {reason} "
-                       f"(retry after {retry_after:g}s)")
+                       f"(retry after {retry_after:g}s)",
+                trace=trace.trace_id if trace else "")
         return decision
 
     # -- the queue -------------------------------------------------------------------
@@ -536,7 +554,8 @@ class SessionGridManager:
             self.queue_timeouts += 1
             decision = self._reject(entry.tenant, entry.session_id, now,
                                     REASON_QUEUE_TIMEOUT,
-                                    retry_after=self.queue_timeout)
+                                    retry_after=self.queue_timeout,
+                                    trace=entry.trace)
             if entry.on_reject is not None:
                 entry.on_reject(decision)
             resolved.append(decision)
@@ -549,7 +568,7 @@ class SessionGridManager:
                 self._queue.popleft()
                 decision = self._reject(head.tenant, head.session_id,
                                         now, REASON_DUPLICATE,
-                                        retry_after=0.0)
+                                        retry_after=0.0, trace=head.trace)
                 if head.on_reject is not None:
                     head.on_reject(decision)
                 resolved.append(decision)
@@ -560,7 +579,8 @@ class SessionGridManager:
             if blocked:
                 self._queue.popleft()
                 decision = self._reject(head.tenant, head.session_id,
-                                        now, blocked, retry_after=0.0)
+                                        now, blocked, retry_after=0.0,
+                                        trace=head.trace)
                 if head.on_reject is not None:
                     head.on_reject(decision)
                 resolved.append(decision)
@@ -570,7 +590,7 @@ class SessionGridManager:
             decision = self._try_admit(
                 head.tenant, head.session_id, head.tree, head.target_fps,
                 head.demand_polygons, now,
-                queued_for=now - head.enqueued_at)
+                queued_for=now - head.enqueued_at, trace=head.trace)
             if decision is None:
                 break
             self._queue.popleft()

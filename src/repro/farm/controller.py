@@ -26,6 +26,7 @@ from __future__ import annotations
 from repro.core.health import HeartbeatMonitor, HeartbeatSource
 from repro.errors import NetworkError, ServiceError, SessionError
 from repro.network.clock import SimClock
+from repro.obs import active as _obs
 from repro.services.protocol import (
     FarmResult,
     frame_farm_result,
@@ -274,9 +275,20 @@ class RenderFarmController:
         finally:
             self.sim.clock = real_clock
         elapsed = scratch.now - real_clock.now
+        obs = _obs()
+        if obs.enabled and lease.trace is not None:
+            # the worker's render span joins the submitting request's
+            # trace; the span id came with the lease, so a re-issued
+            # lease shows up as a distinct span on the same trace
+            obs.tracer.record(
+                "farm-render", real_clock.now + lease_transfer,
+                real_clock.now + lease_transfer + timing.total_seconds,
+                service=worker.name, job=lease.job_id, frame=lease.frame,
+                attempt=lease.attempt, trace=lease.trace.trace_id)
         result_bytes = frame_farm_result(FarmResult(
             job_id=lease.job_id, frame=lease.frame, worker=worker.name,
-            render_seconds=timing.total_seconds, nbytes=fb.color.nbytes))
+            render_seconds=timing.total_seconds, nbytes=fb.color.nbytes,
+            trace=lease.trace))
         self.sim.schedule(lease_transfer + elapsed,
                           lambda: self._ship(worker, result_bytes))
         return True

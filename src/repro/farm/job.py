@@ -55,6 +55,8 @@ class RenderJob:
     orbit_step_degrees: float = 3.0
     submitted_at: float = 0.0
     finished_at: float | None = None
+    #: submitting request's trace id; leases derive per-frame spans from it
+    trace_id: str = ""
     frames: dict[int, FrameRecord] = field(default_factory=dict)
 
     def __post_init__(self) -> None:

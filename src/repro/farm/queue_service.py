@@ -28,12 +28,14 @@ active leases, trailing-window frames/sec, per-job progress gauges, and
 
 from __future__ import annotations
 
+import zlib
 from collections import deque
 
 from repro.errors import ServiceError
 from repro.farm.job import FRAME_DONE, FRAME_LEASED, FRAME_PENDING, RenderJob
 from repro.obs import active as _obs
 from repro.obs.telemetry import ServiceTelemetry
+from repro.obs.tracing import TraceContext
 from repro.obs.vocab import EVENT_FARM_PREFIX, SERVICE_FARM
 from repro.services.protocol import (
     FarmLease,
@@ -41,6 +43,18 @@ from repro.services.protocol import (
     frame_farm_lease,
     unframe_farm_result,
 )
+
+
+def _lease_span_id(job_id: str, index: int, attempt: int) -> str:
+    """A deterministic 16-hex span id for one lease attempt.
+
+    The queue has no RNG of its own (and must not grow one — replay
+    determinism), so span ids are content-addressed: a CRC of the
+    ``job#frame@attempt`` triple, unique per lease re-issue.
+    """
+    lo = zlib.crc32(f"{job_id}#{index}@{attempt}".encode())
+    hi = zlib.crc32(f"{attempt}@{index}#{job_id}".encode())
+    return f"{hi:08x}{lo:08x}"
 
 
 class FrameQueueService:
@@ -149,13 +163,20 @@ class FrameQueueService:
         record.worker = worker
         record.lease_deadline = self.now + self.lease_timeout
         self.leases_issued += 1
+        trace = None
+        if job.trace_id:
+            trace = TraceContext(
+                trace_id=job.trace_id,
+                span_id=_lease_span_id(job_id, index, record.attempts))
         self._note("lease",
                    f"{job_id}#{index} -> {worker} "
                    f"(attempt {record.attempts}, "
-                   f"deadline {record.lease_deadline:g}s)")
+                   f"deadline {record.lease_deadline:g}s)",
+                   trace=job.trace_id)
         return frame_farm_lease(FarmLease(
             job_id=job_id, frame=index, session_id=job.session_id,
-            attempt=record.attempts, deadline=record.lease_deadline))
+            attempt=record.attempts, deadline=record.lease_deadline,
+            trace=trace))
 
     def complete(self, data: bytes) -> bool:
         """Accept a worker's result frame; False when dropped as duplicate.
@@ -186,9 +207,14 @@ class FrameQueueService:
         self._completion_times.append(now)
         self.telemetry.registry.counter(
             "rave_farm_frames_total", "frames completed").inc()
+        self.telemetry.registry.histogram(
+            "rave_farm_render_seconds",
+            "per-frame render latency reported by workers").observe(
+                result.render_seconds)
         self._note("complete",
                    f"{result.job_id}#{result.frame} by {result.worker} "
-                   f"({result.render_seconds:.3f}s render)")
+                   f"({result.render_seconds:.3f}s render)",
+                   trace=result.trace.trace_id if result.trace else "")
         if job.finished and job.finished_at is None:
             job.finished_at = now
             missing = self.audit(job.job_id)
@@ -259,12 +285,12 @@ class FrameQueueService:
                            "per-job completed fraction",
                            job=job.job_id).set(job.progress)
 
-    def _note(self, kind: str, detail: str) -> None:
+    def _note(self, kind: str, detail: str, trace: str = "") -> None:
         self.telemetry.event(EVENT_FARM_PREFIX + kind, self.now, detail)
         obs = _obs()
         if obs.enabled:
             obs.recorder.note(EVENT_FARM_PREFIX + kind, time=self.now,
-                              detail=detail)
+                              detail=detail, trace=trace)
 
     def describe(self) -> dict:
         return {

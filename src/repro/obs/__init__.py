@@ -54,7 +54,14 @@ from repro.obs.recorder import (
     NullRecorder,
     NULL_RECORDER,
 )
-from repro.obs.tracing import NullTracer, NULL_TRACER, Span, Tracer
+from repro.obs.tracing import (
+    NullTracer,
+    NULL_TRACER,
+    Span,
+    TraceContext,
+    Tracer,
+    new_trace_context,
+)
 
 
 class Observability:
@@ -136,6 +143,8 @@ __all__ = [
     "NullTracer",
     "NULL_TRACER",
     "Span",
+    "TraceContext",
+    "new_trace_context",
     "FlightEvent",
     "FlightRecorder",
     "NullRecorder",

@@ -1,15 +1,33 @@
 """Text dashboard for a federated monitor snapshot.
 
 ``python -m repro dashboard`` (or any caller with a snapshot dict)
-renders per-service gauges, the firing alerts and the SLO scoreboard as
-plain terminal text.  Accepts either a monitor-service snapshot
-(``rave-monitor-snapshot/1``) directly, or an observability snapshot
-that embeds one under a ``monitor`` key (what the benchmark writes).
+renders per-service gauges, the firing alerts, the tail-latency panel
+and the SLO scoreboard as plain terminal text.  Accepts either a
+monitor-service snapshot (``rave-monitor-snapshot/1``) directly, or an
+observability snapshot that embeds one under a ``monitor`` key (what
+the benchmark writes).
+
+Multi-monitor federation: :func:`merge_monitor_snapshots` folds several
+monitors' snapshots into one view, keyed on each input's ``wall_meta``
+source slot (observability snapshots carry one; bare monitor snapshots
+get an index-derived slot) with per-series ``service``/``host`` labels
+keeping the merged metrics unambiguous.  :func:`diff_snapshots` +
+:func:`render_diff` turn two snapshots into a triage report: quantile
+deltas above a threshold, alerts that appeared or cleared.
 """
 
 from __future__ import annotations
 
 _BAR_WIDTH = 24
+
+#: ASCII luminance ramp for the tail-latency sparklines
+_SPARK_RAMP = " .:-=+*#%@"
+
+#: flattened-key suffixes the diff treats as latency quantiles
+QUANTILE_SUFFIXES = ("_p50", "_p95", "_p99")
+
+#: default regression threshold (seconds of quantile movement)
+DIFF_THRESHOLD_SECONDS = 0.1
 
 
 def _bar(value: float, full_scale: float, width: int = _BAR_WIDTH) -> str:
@@ -148,18 +166,224 @@ def _farm_rows(farm_entry: dict, federated: dict) -> list[str]:
     return rows
 
 
+def _sparkline(values: list, width: int = _BAR_WIDTH) -> str:
+    """Map a value history onto the ASCII ramp, newest sample last."""
+    if not values:
+        return " " * width
+    tail = values[-width:]
+    top = max(tail)
+    if top <= 0:
+        return ("." * len(tail)).rjust(width)
+    ramp = _SPARK_RAMP
+    chars = [ramp[min(len(ramp) - 1,
+                      int(v / top * (len(ramp) - 1) + 0.5))]
+             for v in tail]
+    return "".join(chars).rjust(width)
+
+
+def _tail_rows(tail: dict) -> list[str]:
+    """The tail-latency panel: one p95 sparkline per service metric."""
+    rows = []
+    for service in sorted(tail):
+        for metric, history in sorted(tail[service].items()):
+            values = [point[1] for point in history]
+            latest = values[-1] if values else 0.0
+            rows.append(f"  {service:<18} {metric:<34} "
+                        f"[{_sparkline(values)}] p95 now "
+                        f"{latest:.3f}s ({len(values)} sample(s))")
+    if not rows:
+        return ["  (no tail-latency history yet)"]
+    return rows
+
+
+def _coerce_monitor(snapshot: dict) -> dict:
+    """The monitor snapshot inside a dashboard input, validated."""
+    if snapshot.get("format") == "rave-monitor-snapshot/1":
+        return snapshot
+    embedded = snapshot.get("monitor")
+    if isinstance(embedded, dict) and \
+            embedded.get("format") == "rave-monitor-snapshot/1":
+        return embedded
+    raise ValueError(
+        "not a monitor snapshot (expected format "
+        "'rave-monitor-snapshot/1' or an embedded 'monitor' "
+        "section)")
+
+
+def merge_monitor_snapshots(snapshots: list[dict]) -> dict:
+    """Fold several monitors' snapshots into one dashboard view.
+
+    Each input gets a federation slot: the source name from its
+    ``wall_meta`` when it is an observability snapshot, else
+    ``monitor-<index>``.  Services, labelled metric series, alerts
+    (deduplicated on rule+service), SLO scoreboards and tail histories
+    are merged; two slots claiming the same service name collide
+    last-writer-wins and the overwrite is counted in
+    ``scrapes.merge_collisions`` — same contract as ``federate()``.
+    """
+    if not snapshots:
+        raise ValueError("need at least one snapshot to merge")
+    merged: dict = {
+        "format": "rave-monitor-snapshot/1",
+        "time": 0.0,
+        "period": 0.0,
+        "grid": {},
+        "services": {},
+        "metrics": {},
+        "alerts": [],
+        "slo": {},
+        "tail": {},
+        "scrapes": {"count": 0, "failures": 0, "bytes": 0,
+                    "federate_collisions": 0, "merge_collisions": 0},
+        "sources": {},
+    }
+    service_origin: dict[str, str] = {}
+    alert_keys: set[tuple[str, str]] = set()
+    for index, raw in enumerate(snapshots):
+        slots = sorted(raw.get("wall_meta", {})) or [f"monitor-{index}"]
+        slot = slots[0]
+        snap = _coerce_monitor(raw)
+        merged["time"] = max(merged["time"], snap.get("time", 0.0))
+        merged["period"] = max(merged["period"], snap.get("period", 0.0))
+        merged["sources"][slot] = {
+            "time": snap.get("time", 0.0),
+            "services": sorted(snap.get("services", {})),
+        }
+        for name, entry in snap.get("services", {}).items():
+            if name in service_origin and service_origin[name] != slot:
+                merged["scrapes"]["merge_collisions"] += 1
+            service_origin[name] = slot
+            merged["services"][name] = entry
+        for name, family in snap.get("metrics", {}).items():
+            target = merged["metrics"].setdefault(name, {
+                "kind": family.get("kind", ""),
+                "help": family.get("help", ""),
+                "series": [],
+            })
+            target["series"].extend(family.get("series", []))
+        for alert in snap.get("alerts", []):
+            key = (alert.get("rule", ""), alert.get("service", ""))
+            if key in alert_keys:
+                continue
+            alert_keys.add(key)
+            merged["alerts"].append(alert)
+        for name, section in snap.get("slo", {}).items():
+            target = merged["slo"].setdefault(
+                name, {**section, "services": {}})
+            target["services"].update(section.get("services", {}))
+        for service, metrics in snap.get("tail", {}).items():
+            slot_tail = merged["tail"].setdefault(service, {})
+            for metric, history in metrics.items():
+                slot_tail.setdefault(metric, []).extend(history)
+        # grid aggregates: keep the latest monitor's value per key
+        merged["grid"].update(snap.get("grid", {}))
+        for key in ("count", "failures", "bytes", "federate_collisions"):
+            merged["scrapes"][key] += snap.get("scrapes", {}).get(key, 0)
+    for metrics in merged["tail"].values():
+        for history in metrics.values():
+            history.sort(key=lambda point: point[0])
+    return merged
+
+
+def _quantile_values(snapshot: dict) -> dict[tuple[str, str], float]:
+    """Every ``(service, metric) -> value`` quantile in a snapshot."""
+    out: dict[tuple[str, str], float] = {}
+    for name, entry in snapshot.get("services", {}).items():
+        for metric, value in entry.get("metrics", {}).items():
+            if metric.endswith(QUANTILE_SUFFIXES):
+                out[(name, metric)] = value
+    for metric, value in snapshot.get("grid", {}).items():
+        if metric.endswith(QUANTILE_SUFFIXES):
+            out[("_grid", metric)] = value
+    return out
+
+
+def diff_snapshots(before: dict, after: dict,
+                   threshold: float = DIFF_THRESHOLD_SECONDS) -> dict:
+    """Compare two snapshots for triage: quantile moves + alert churn.
+
+    Returns ``regressions`` (quantiles that moved up by more than
+    ``threshold`` seconds), ``improvements`` (moved down by more),
+    ``new_alerts``/``cleared_alerts`` (rule+service churn) and a
+    summary ``regressed`` flag — True when anything got worse.
+    """
+    before = _coerce_monitor(before)
+    after = _coerce_monitor(after)
+    a_values = _quantile_values(before)
+    b_values = _quantile_values(after)
+    regressions = []
+    improvements = []
+    for key in sorted(set(a_values) | set(b_values)):
+        service, metric = key
+        old = a_values.get(key, 0.0)
+        new = b_values.get(key, 0.0)
+        delta = new - old
+        entry = {"service": service, "metric": metric,
+                 "before": old, "after": new, "delta": delta}
+        if delta > threshold:
+            regressions.append(entry)
+        elif delta < -threshold:
+            improvements.append(entry)
+
+    def alert_key(alert: dict) -> tuple[str, str]:
+        return (alert.get("rule", ""), alert.get("service", ""))
+
+    a_alerts = {alert_key(a): a for a in before.get("alerts", [])}
+    b_alerts = {alert_key(a): a for a in after.get("alerts", [])}
+    new_alerts = [b_alerts[k] for k in sorted(set(b_alerts) - set(a_alerts))]
+    cleared = [a_alerts[k] for k in sorted(set(a_alerts) - set(b_alerts))]
+    return {
+        "threshold": threshold,
+        "regressions": regressions,
+        "improvements": improvements,
+        "new_alerts": new_alerts,
+        "cleared_alerts": cleared,
+        "regressed": bool(regressions or new_alerts),
+    }
+
+
+def render_diff(diff: dict) -> str:
+    """Render a :func:`diff_snapshots` result as terminal text."""
+    lines = [
+        "RAVE dashboard diff "
+        f"(threshold {diff.get('threshold', 0.0):g}s)",
+        "",
+        "quantile regressions",
+    ]
+    regressions = diff.get("regressions", [])
+    if not regressions:
+        lines.append("  (none)")
+    for entry in regressions:
+        lines.append(
+            f"  {entry['service']:<18} {entry['metric']:<34} "
+            f"{entry['before']:.3f}s -> {entry['after']:.3f}s "
+            f"(+{entry['delta']:.3f}s)")
+    improvements = diff.get("improvements", [])
+    if improvements:
+        lines.append("")
+        lines.append("quantile improvements")
+        for entry in improvements:
+            lines.append(
+                f"  {entry['service']:<18} {entry['metric']:<34} "
+                f"{entry['before']:.3f}s -> {entry['after']:.3f}s "
+                f"({entry['delta']:.3f}s)")
+    lines.append("")
+    lines.append("new alerts")
+    lines.extend(_alert_rows(diff.get("new_alerts", [])))
+    cleared = diff.get("cleared_alerts", [])
+    if cleared:
+        lines.append("")
+        lines.append("cleared alerts")
+        lines.extend(_alert_rows(cleared))
+    lines.append("")
+    lines.append("verdict: " + ("REGRESSED" if diff.get("regressed")
+                                else "no regression"))
+    return "\n".join(lines) + "\n"
+
+
 def render_dashboard(snapshot: dict) -> str:
     """Render a monitor snapshot as a multi-section text dashboard."""
-    if snapshot.get("format") != "rave-monitor-snapshot/1":
-        embedded = snapshot.get("monitor")
-        if isinstance(embedded, dict) and \
-                embedded.get("format") == "rave-monitor-snapshot/1":
-            snapshot = embedded
-        else:
-            raise ValueError(
-                "not a monitor snapshot (expected format "
-                "'rave-monitor-snapshot/1' or an embedded 'monitor' "
-                "section)")
+    snapshot = _coerce_monitor(snapshot)
     scrapes = snapshot.get("scrapes", {})
     lines = [
         "RAVE grid monitor",
@@ -171,10 +395,21 @@ def render_dashboard(snapshot: dict) -> str:
         "",
         "services",
     ]
+    sources = snapshot.get("sources", {})
+    if sources:
+        lines[0] = "RAVE grid monitor (federated)"
+        for slot in sorted(sources, reverse=True):
+            entry = sources[slot]
+            lines.insert(1, f"  source {slot}: "
+                            f"{len(entry.get('services', []))} service(s) "
+                            f"at t={_fmt(entry.get('time', 0.0))}s")
     lines.extend(_service_rows(snapshot.get("services", {})))
     lines.append("")
     lines.append("alerts")
     lines.extend(_alert_rows(snapshot.get("alerts", [])))
+    lines.append("")
+    lines.append("tail latency (p95)")
+    lines.extend(_tail_rows(snapshot.get("tail", {})))
     lines.append("")
     lines.append("SLOs")
     lines.extend(_slo_rows(snapshot.get("slo", {})))
@@ -201,4 +436,11 @@ def render_dashboard(snapshot: dict) -> str:
     return "\n".join(lines) + "\n"
 
 
-__all__ = ["render_dashboard"]
+__all__ = [
+    "DIFF_THRESHOLD_SECONDS",
+    "QUANTILE_SUFFIXES",
+    "diff_snapshots",
+    "merge_monitor_snapshots",
+    "render_dashboard",
+    "render_diff",
+]

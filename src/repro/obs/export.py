@@ -17,6 +17,7 @@ import json
 from pathlib import Path
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.quantiles import format_le
 from repro.obs.tracing import Tracer
 
 
@@ -60,7 +61,7 @@ def prometheus_text(registry: MetricsRegistry) -> str:
                 for le, count in inst.cumulative_buckets():
                     lines.append(
                         f"{family.name}_bucket"
-                        f"{_labels_text(labels, {'le': _format_value(le)})}"
+                        f"{_labels_text(labels, {'le': format_le(le)})}"
                         f" {count}")
                 lines.append(f"{family.name}_sum{_labels_text(labels)} "
                              f"{_format_value(inst.sum)}")

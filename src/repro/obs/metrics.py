@@ -17,6 +17,8 @@ from __future__ import annotations
 import bisect
 import re
 
+from repro.obs.quantiles import estimate_quantile, format_le
+
 #: default latency buckets (simulated seconds), upper bounds
 DEFAULT_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
                    0.5, 1.0, 2.5, 5.0, 10.0, float("inf"))
@@ -107,6 +109,10 @@ class Histogram:
             running += n
             out.append((bound, running))
         return out
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the cumulative buckets."""
+        return estimate_quantile(self.cumulative_buckets(), q)
 
 
 class MetricFamily:
@@ -215,8 +221,8 @@ class MetricsRegistry:
                 if family.kind == "histogram":
                     entry.update(
                         count=inst.count, sum=inst.sum, mean=inst.mean,
-                        buckets={("+Inf" if le == float("inf") else repr(le)):
-                                 n for le, n in inst.cumulative_buckets()})
+                        buckets={format_le(le): n
+                                 for le, n in inst.cumulative_buckets()})
                 else:
                     entry["value"] = inst.value
                 series.append(entry)
@@ -267,6 +273,9 @@ class _NoopHistogram:
 
     def cumulative_buckets(self) -> list:
         return []
+
+    def quantile(self, q: float) -> float:
+        return 0.0
 
 
 _NOOP_COUNTER = _NoopCounter()

@@ -1,0 +1,161 @@
+"""Histogram quantile estimation from cumulative buckets.
+
+Rendering offered as a service is judged on latency *percentiles*, not
+means: a mean queue wait of 0.1 s hides the tenant who waited 2 s.  The
+monitoring plane scrapes Prometheus-style cumulative bucket counts
+(``<name>_bucket{le=...}``) over the simulated network; this module turns
+them back into tail estimates the alert rules and SLO report can target:
+
+- :func:`estimate_quantile` — the classic ``histogram_quantile``
+  algorithm: find the bucket the requested rank lands in and interpolate
+  linearly inside it.  A rank landing in the ``+Inf`` bucket is clamped
+  to the largest finite bound (the estimate cannot exceed what the
+  buckets resolve).
+- :func:`merge_cumulative` — federation: sum per-``le`` counts across
+  several services' buckets, so a grid-wide p95 is computed from the
+  *merged distribution* rather than averaging per-service estimates
+  (averaging percentiles is statistically meaningless).
+- :func:`format_le` / :func:`parse_le` — the canonical ``%g``-style
+  bucket-bound labels shared by the JSON snapshot and the Prometheus
+  exposition format, so ``0.001 * 2.5`` renders ``"0.0025"`` and not the
+  ``repr`` drift ``"0.0025000000000000001"``.
+
+Everything here is pure arithmetic on plain data: no clocks, no network,
+and no ``repro`` imports, so :mod:`repro.obs.metrics` can depend on it
+without a cycle.
+"""
+
+from __future__ import annotations
+
+_INF = float("inf")
+
+#: the quantiles the monitoring plane derives per histogram family
+DEFAULT_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def format_le(bound: float) -> str:
+    """Canonical text for a bucket's upper bound (``le`` label).
+
+    ``%g``-style shortest-ish formatting with 12 significant digits —
+    enough to round-trip every bucket layout in use while never emitting
+    ``repr`` noise like ``0.0025000000000000001``.
+    """
+    bound = float(bound)
+    if bound != bound:                       # NaN never equals itself
+        return "NaN"
+    if bound == _INF:
+        return "+Inf"
+    if bound == -_INF:
+        return "-Inf"
+    return f"{bound:.12g}"
+
+
+def parse_le(text: str) -> float:
+    """Invert :func:`format_le` (accepts legacy ``repr`` keys too)."""
+    if text == "+Inf":
+        return _INF
+    if text == "-Inf":
+        return -_INF
+    return float(text)
+
+
+def quantile_suffix(q: float) -> str:
+    """Flattened-metric suffix for a quantile: ``0.95`` → ``"p95"``."""
+    return "p" + f"{q * 100:g}".replace(".", "_")
+
+
+def estimate_quantile(cumulative, q: float) -> float:
+    """Estimate the ``q``-quantile from ``(le, cumulative count)`` pairs.
+
+    Linear interpolation within the bucket the rank lands in, taking the
+    first bucket's lower edge as 0 (latency histograms never go
+    negative); a rank landing in the ``+Inf`` bucket is clamped to the
+    largest finite bound.  Empty input (or zero observations) estimates
+    0.0.
+    """
+    if not 0.0 < q < 1.0:
+        raise ValueError(f"quantile must be in (0, 1), got {q!r}")
+    pairs = sorted((float(le), int(n)) for le, n in cumulative)
+    if not pairs:
+        return 0.0
+    total = pairs[-1][1]
+    if total <= 0:
+        return 0.0
+    rank = q * total
+    prev_bound: float | None = None
+    prev_count = 0
+    for le, count in pairs:
+        if count >= rank:
+            if le == _INF:
+                # the buckets cannot resolve beyond their largest finite
+                # bound — clamp rather than extrapolate to infinity
+                return prev_bound if prev_bound is not None else 0.0
+            if le <= 0 and prev_bound is None:
+                return le
+            lower = prev_bound if prev_bound is not None else 0.0
+            fraction = (rank - prev_count) / (count - prev_count)
+            return lower + (le - lower) * fraction
+        prev_bound, prev_count = le, count
+    return prev_bound if prev_bound is not None else 0.0
+
+
+def merge_cumulative(histograms) -> list[tuple[float, int]]:
+    """Sum several histograms' cumulative buckets into one distribution.
+
+    ``histograms`` is an iterable of ``(le, cumulative count)`` pair
+    iterables.  The merged layout is the sorted union of every input's
+    bounds; each input contributes, at every bound, its count at its own
+    largest ``le`` not exceeding that bound (a step-function read — exact
+    whenever the inputs share a bucket layout, which is the monitoring
+    plane's normal case).
+    """
+    prepared: list[list[tuple[float, int]]] = []
+    for cumulative in histograms:
+        pairs = sorted((float(le), int(n)) for le, n in cumulative)
+        if pairs:
+            prepared.append(pairs)
+    bounds = sorted({le for pairs in prepared for le, _ in pairs})
+    merged: list[tuple[float, int]] = []
+    for bound in bounds:
+        total = 0
+        for pairs in prepared:
+            at = 0
+            for le, count in pairs:
+                if le > bound:
+                    break
+                at = count
+            total += at
+        merged.append((bound, total))
+    return merged
+
+
+def buckets_from_snapshot(entry: dict) -> list[tuple[float, int]]:
+    """Cumulative pairs from a snapshot series' ``buckets`` dict.
+
+    Snapshot bucket keys are :func:`format_le` text (``"0.0025"``,
+    ``"+Inf"``); :func:`parse_le` also accepts legacy ``repr`` keys, so
+    payloads recorded before the canonical formatting still parse.
+    """
+    buckets = entry.get("buckets") or {}
+    return sorted((parse_le(text), int(count))
+                  for text, count in buckets.items())
+
+
+def bucket_quantiles(cumulative, quantiles=DEFAULT_QUANTILES
+                     ) -> dict[str, float]:
+    """``{"p50": ..., "p95": ..., "p99": ...}`` from cumulative pairs."""
+    pairs = list(cumulative)
+    return {quantile_suffix(q): estimate_quantile(pairs, q)
+            for q in quantiles}
+
+
+__all__ = [
+    "DEFAULT_QUANTILES",
+    "format_le",
+    "parse_le",
+    "quantile_suffix",
+    "estimate_quantile",
+    "merge_cumulative",
+    "buckets_from_snapshot",
+    "bucket_quantiles",
+]

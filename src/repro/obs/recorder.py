@@ -30,12 +30,19 @@ from dataclasses import dataclass
 
 @dataclass(frozen=True)
 class FlightEvent:
-    """One recorded moment: simulated time, a kind tag, and free detail."""
+    """One recorded moment: simulated time, a kind tag, and free detail.
+
+    ``trace`` carries the originating request's trace id (empty when the
+    event was not caused by a traced request), so a flight-recorder
+    timeline can be cross-referenced against the tracer's spans for the
+    same id.
+    """
 
     time: float
     kind: str        # e.g. "placement" | "migration" | "lease-transition" |
                      # "recovery" | "fault:crash" | "codec-switch"
     detail: str = ""
+    trace: str = ""
 
 
 class FlightRecorder:
@@ -53,9 +60,11 @@ class FlightRecorder:
         #: completed dumps, oldest first
         self.dumps: list[dict] = []
 
-    def note(self, kind: str, time: float = 0.0, detail: str = "") -> None:
+    def note(self, kind: str, time: float = 0.0, detail: str = "",
+             trace: str = "") -> None:
         """Record one event (cheap: one dataclass, one deque append)."""
-        self._events.append(FlightEvent(time=time, kind=kind, detail=detail))
+        self._events.append(FlightEvent(time=time, kind=kind, detail=detail,
+                                        trace=trace))
         self.seen += 1
 
     def events(self, kind: str | None = None) -> list[FlightEvent]:
@@ -70,7 +79,8 @@ class FlightRecorder:
             "time": time,
             "events_seen": self.seen,
             "events": [
-                {"time": e.time, "kind": e.kind, "detail": e.detail}
+                {"time": e.time, "kind": e.kind, "detail": e.detail,
+                 **({"trace": e.trace} if e.trace else {})}
                 for e in self._events
             ],
         }
@@ -107,7 +117,8 @@ class NullRecorder(FlightRecorder):
     def __init__(self) -> None:
         super().__init__(capacity=1)
 
-    def note(self, kind: str, time: float = 0.0, detail: str = "") -> None:
+    def note(self, kind: str, time: float = 0.0, detail: str = "",
+             trace: str = "") -> None:
         pass
 
     def dump(self, reason: str, time: float = 0.0) -> dict:

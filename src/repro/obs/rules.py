@@ -29,6 +29,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.obs.quantiles import quantile_suffix
 from repro.obs.vocab import (
     ALERT_OVERLOAD,
     ALERT_UNDERLOAD,
@@ -36,7 +37,9 @@ from repro.obs.vocab import (
     GRID_OVERLOAD_KIND,
     GRID_SATURATED_KIND,
     GRID_UNDERLOAD_KIND,
+    SERVICE_GRID,
     SERVICE_RENDER,
+    TAIL_LATENCY_KIND,
 )
 
 #: the migration policy's thresholds (paper §3.2.7), shared with
@@ -45,10 +48,25 @@ DEFAULT_OVERLOAD_FPS = 8.0
 DEFAULT_UNDERLOAD_UTILISATION = 0.3
 DEFAULT_SMOOTHING_SECONDS = 3.0
 
+#: tail-latency thresholds: p95 admission queue wait the session grid may
+#: sustain, and how long a breach must last before the alert fires
+TAIL_QUEUE_WAIT_SECONDS = 0.5
+TAIL_SUSTAIN_SECONDS = 5.0
+#: p95 per-frame render latency the batch farm may sustain
+TAIL_FARM_RENDER_SECONDS = 2.5
+
 
 @dataclass(frozen=True)
 class AlertRule:
-    """One declarative threshold over a flattened telemetry metric."""
+    """One declarative threshold over a flattened telemetry metric.
+
+    A rule may target a distribution's tail instead of a scalar: with
+    ``quantile=0.95`` the rule evaluates the ``<metric>_p95`` key that
+    :func:`~repro.obs.telemetry.flatten_metrics` derives from a
+    histogram's scraped buckets (or that the monitor federates
+    grid-wide), so "p95 queue wait above 0.5 s sustained 5 s" is one
+    declaration, not bespoke plumbing.
+    """
 
     name: str
     metric: str                         # e.g. "rave_rs_fps"
@@ -57,10 +75,22 @@ class AlertRule:
     above: float | None = None
     for_seconds: float = DEFAULT_SMOOTHING_SECONDS
     severity: str = "warning"
+    quantile: float | None = None       # e.g. 0.95 -> evaluate <metric>_p95
 
     def __post_init__(self) -> None:
         if self.below is None and self.above is None:
             raise ValueError(f"rule {self.name!r} needs below= or above=")
+        if self.quantile is not None and not 0.0 < self.quantile < 1.0:
+            raise ValueError(
+                f"rule {self.name!r} quantile must be in (0, 1), "
+                f"got {self.quantile!r}")
+
+    @property
+    def metric_key(self) -> str:
+        """The flattened-values key this rule evaluates."""
+        if self.quantile is None:
+            return self.metric
+        return f"{self.metric}_{quantile_suffix(self.quantile)}"
 
     def violates(self, value: float) -> bool:
         if self.below is not None and value < self.below:
@@ -94,7 +124,8 @@ def default_rules() -> list[AlertRule]:
                   kind=ALERT_UNDERLOAD, below=DEFAULT_UNDERLOAD_UTILISATION,
                   for_seconds=DEFAULT_SMOOTHING_SECONDS,
                   severity="warning"),
-    ] + grid_rules() + admission_rules() + farm_rules()
+    ] + grid_rules() + admission_rules() + farm_rules() \
+        + tail_latency_rules()
 
 
 def grid_rules() -> list[AlertRule]:
@@ -161,6 +192,37 @@ def farm_rules() -> list[AlertRule]:
     ]
 
 
+def tail_latency_rules() -> list[AlertRule]:
+    """Quantile-targeting thresholds over histogram tails.
+
+    Per-service: each session grid's own p95 admission queue wait
+    (flattened from its scraped ``rave_queue_wait_seconds`` buckets).
+    Grid-wide: the same signal federated by the monitor — per-``le``
+    bucket counts summed across every scraped grid *before* estimation
+    (``rave_grid_queue_wait_seconds_p95``), so the alert reflects the
+    merged distribution rather than an average of per-service
+    percentiles.  The farm rule watches the federated p95 per-frame
+    render latency of the batch queue(s).
+    """
+    return [
+        AlertRule(name="queue-wait-p95",
+                  metric="rave_queue_wait_seconds", quantile=0.95,
+                  kind=TAIL_LATENCY_KIND, above=TAIL_QUEUE_WAIT_SECONDS,
+                  for_seconds=TAIL_SUSTAIN_SECONDS,
+                  severity="critical"),
+        AlertRule(name="grid-queue-wait-p95",
+                  metric="rave_grid_queue_wait_seconds", quantile=0.95,
+                  kind=TAIL_LATENCY_KIND, above=TAIL_QUEUE_WAIT_SECONDS,
+                  for_seconds=TAIL_SUSTAIN_SECONDS,
+                  severity="critical"),
+        AlertRule(name="farm-render-p95",
+                  metric="rave_grid_farm_render_seconds", quantile=0.95,
+                  kind=TAIL_LATENCY_KIND, above=TAIL_FARM_RENDER_SECONDS,
+                  for_seconds=TAIL_SUSTAIN_SECONDS,
+                  severity="warning"),
+    ]
+
+
 class RuleEngine:
     """Evaluates alert rules over per-service sample histories."""
 
@@ -178,13 +240,13 @@ class RuleEngine:
                 values: dict[str, float]) -> None:
         """Feed one scrape's flattened values into every matching rule."""
         for rule in self.rules:
-            if rule.metric not in values:
+            if rule.metric_key not in values:
                 continue
             key = (rule.name, service)
             history = self._history.setdefault(key, deque())
             if history and time < history[-1][0]:
                 raise ValueError("telemetry samples must be time-ordered")
-            history.append((time, values[rule.metric]))
+            history.append((time, values[rule.metric_key]))
             cutoff = time - self.window_seconds
             while history and history[0][0] < cutoff:
                 history.popleft()
@@ -229,7 +291,13 @@ class RuleEngine:
 
 @dataclass(frozen=True)
 class SloTarget:
-    """A service-level objective over a flattened telemetry metric."""
+    """A service-level objective over a flattened telemetry metric.
+
+    Like :class:`AlertRule`, a target may govern a distribution's tail:
+    ``quantile=0.95`` makes the tracker score the derived
+    ``<metric>_p95`` key, so "p95 queue wait ≤ 0.5 s" is a first-class
+    objective in the SLO report.
+    """
 
     name: str
     metric: str
@@ -238,6 +306,14 @@ class SloTarget:
     applies_to: str = SERVICE_RENDER    # telemetry kind the SLO governs
     description: str = ""
     source: str = ""                    # provenance in the paper
+    quantile: float | None = None       # e.g. 0.95 -> score <metric>_p95
+
+    @property
+    def metric_key(self) -> str:
+        """The flattened-values key this target scores."""
+        if self.quantile is None:
+            return self.metric
+        return f"{self.metric}_{quantile_suffix(self.quantile)}"
 
     def met(self, value: float) -> bool:
         return value >= self.objective if self.op == "ge" \
@@ -264,6 +340,13 @@ PAPER_SLOS = (
               objective=1.0, op="le", applies_to=SERVICE_RENDER,
               description="stay within the polygon budget at target fps",
               source="paper §3.2.5 (capacity model)"),
+    SloTarget(name="queue-wait-p95", metric="rave_queue_wait_seconds",
+              quantile=0.95, objective=TAIL_QUEUE_WAIT_SECONDS, op="le",
+              applies_to=SERVICE_GRID,
+              description="keep the session grid's p95 admission queue "
+                          "wait interactive",
+              source="tail-latency plane (ROADMAP): admission must not "
+                     "erode the §3.2.7 interactivity budget"),
 )
 
 
@@ -287,9 +370,10 @@ class SloTracker:
     def observe(self, service: str, kind: str, time: float,
                 values: dict[str, float]) -> None:
         for target in self.targets:
-            if target.applies_to != kind or target.metric not in values:
+            if (target.applies_to != kind
+                    or target.metric_key not in values):
                 continue
-            value = values[target.metric]
+            value = values[target.metric_key]
             state = self._state.setdefault((target.name, service),
                                            _SloState())
             state.total += 1
@@ -316,13 +400,15 @@ class SloTracker:
         out: dict = {}
         for target in self.targets:
             section: dict = {
-                "metric": target.metric,
+                "metric": target.metric_key,
                 "objective": target.objective,
                 "op": target.op,
                 "description": target.description,
                 "source": target.source,
                 "services": {},
             }
+            if target.quantile is not None:
+                section["quantile"] = target.quantile
             for (name, service), state in sorted(self._state.items()):
                 if name != target.name:
                     continue
@@ -345,18 +431,23 @@ __all__ = [
     "DEFAULT_OVERLOAD_FPS",
     "DEFAULT_UNDERLOAD_UTILISATION",
     "DEFAULT_SMOOTHING_SECONDS",
+    "TAIL_QUEUE_WAIT_SECONDS",
+    "TAIL_SUSTAIN_SECONDS",
+    "TAIL_FARM_RENDER_SECONDS",
     "ALERT_OVERLOAD",
     "ALERT_UNDERLOAD",
     "GRID_OVERLOAD_KIND",
     "GRID_UNDERLOAD_KIND",
     "GRID_SATURATED_KIND",
     "FARM_BACKLOG_KIND",
+    "TAIL_LATENCY_KIND",
     "AlertRule",
     "Alert",
     "default_rules",
     "grid_rules",
     "admission_rules",
     "farm_rules",
+    "tail_latency_rules",
     "RuleEngine",
     "SloTarget",
     "PAPER_SLOS",

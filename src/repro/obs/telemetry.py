@@ -26,6 +26,12 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.quantiles import (
+    DEFAULT_QUANTILES,
+    buckets_from_snapshot,
+    estimate_quantile,
+    quantile_suffix,
+)
 
 #: payload format tag carried by every scrape
 TELEMETRY_FORMAT = "rave-telemetry/1"
@@ -108,7 +114,9 @@ def flatten_metrics(metrics: dict) -> dict[str, float]:
 
     This is the view alert rules and SLO targets evaluate: a per-service
     registry keeps its headline gauges label-free, so one number per
-    name.  Histograms contribute ``<name>_count`` and ``<name>_sum``;
+    name.  Histograms contribute ``<name>_count`` and ``<name>_sum``
+    plus tail estimates (``<name>_p50``/``_p95``/``_p99``, interpolated
+    from the scraped cumulative buckets) once they hold observations;
     multi-series families are skipped (rules address scalars).
     """
     flat: dict[str, float] = {}
@@ -120,21 +128,46 @@ def flatten_metrics(metrics: dict) -> dict[str, float]:
         if family.get("kind") == "histogram":
             flat[f"{name}_count"] = float(entry["count"])
             flat[f"{name}_sum"] = float(entry["sum"])
+            if entry.get("count") and entry.get("buckets"):
+                pairs = buckets_from_snapshot(entry)
+                for q in DEFAULT_QUANTILES:
+                    flat[f"{name}_{quantile_suffix(q)}"] = (
+                        estimate_quantile(pairs, q))
         else:
             flat[name] = float(entry["value"])
     return flat
 
 
-def federate(payloads) -> dict:
+def federate(payloads, stats: dict | None = None) -> dict:
     """Merge scraped payloads into one metrics dict with origin labels.
 
     Every series from every payload appears under its family name with
     ``service`` and ``host`` labels added, so two services exporting the
     same metric name coexist instead of colliding.
+
+    Two payloads claiming the *same* origin (identical ``service`` and
+    ``host``) do collide: the later payload wins (its series replace the
+    earlier one's), and the overwrite is counted — pass ``stats`` to
+    receive ``{"federate_collisions": n}`` so the monitor can expose the
+    loss instead of hiding it.
     """
     merged: dict[str, dict] = {}
+    seen_origins: set[tuple[str, str]] = set()
+    collisions = 0
     for payload in payloads:
+        origin_key = (payload["service"], payload["host"])
         origin = {"service": payload["service"], "host": payload["host"]}
+        if origin_key in seen_origins:
+            # last-writer-wins, but audited: strip the earlier payload's
+            # series before this one lands, and count the overwrite
+            collisions += 1
+            for family in merged.values():
+                family["series"] = [
+                    entry for entry in family["series"]
+                    if (entry["labels"].get("service"),
+                        entry["labels"].get("host")) != origin_key
+                ]
+        seen_origins.add(origin_key)
         for name, family in payload.get("metrics", {}).items():
             target = merged.setdefault(name, {
                 "kind": family.get("kind", ""),
@@ -145,7 +178,11 @@ def federate(payloads) -> dict:
                 labelled = dict(entry)
                 labelled["labels"] = {**entry.get("labels", {}), **origin}
                 target["series"].append(labelled)
-    return merged
+    if stats is not None:
+        stats["federate_collisions"] = (
+            stats.get("federate_collisions", 0) + collisions)
+    return {name: family for name, family in merged.items()
+            if family["series"]}
 
 
 __all__ = [

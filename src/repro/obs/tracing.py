@@ -11,12 +11,49 @@ Most instrumented paths compute their timings analytically, so the primary
 API is :meth:`Tracer.record` with explicit start/end; :meth:`Tracer.span`
 is a clock-driven context manager for code that advances the simulator
 while it works.  :class:`NullTracer` is the off-switch: it stores nothing.
+
+Cross-service requests carry a :class:`TraceContext` — a 64-bit trace id
+plus the parent span's id, both drawn from a *seeded* RNG so replays are
+deterministic.  The context rides the binary frame header
+(:mod:`repro.services.protocol`, ``FLAG_TRACE``) and the SOAP envelope
+header; every hop records its spans with a ``trace`` attribute, and
+:meth:`Tracer.trace` reassembles the whole thin-client → admission →
+render → stream journey under one id.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One request's identity on the wire: trace id + parent span id.
+
+    Both ids are 16-hex-char strings (64 bits).  A context is minted once
+    at the request's origin (:func:`new_trace_context`) and re-derived at
+    every hop via :meth:`child`, which keeps the trace id and replaces
+    the span id — the classic W3C ``traceparent`` shape, shrunk to the
+    simulator's needs.
+    """
+
+    trace_id: str
+    span_id: str
+
+    def child(self, rng) -> "TraceContext":
+        """The next hop's context: same trace, fresh span id."""
+        return TraceContext(trace_id=self.trace_id, span_id=_hex64(rng))
+
+
+def _hex64(rng) -> str:
+    """16 hex chars from a seeded RNG (deterministic under replay)."""
+    return f"{rng.getrandbits(64):016x}"
+
+
+def new_trace_context(rng) -> TraceContext:
+    """Mint a fresh trace: both ids drawn from the caller's seeded RNG."""
+    return TraceContext(trace_id=_hex64(rng), span_id=_hex64(rng))
 
 
 @dataclass
@@ -78,6 +115,23 @@ class Tracer:
         return [s for s in self.spans
                 if (name is None or s.name == name) and s.matches(**attrs)]
 
+    def trace(self, trace_id: str) -> list[Span]:
+        """Every span recorded under ``trace_id``, ordered by start time.
+
+        Spans join a trace by carrying a ``trace`` attribute; this is the
+        cross-service view — one request's journey from thin client
+        through admission, rendering and streaming, regardless of which
+        service recorded each stage.
+        """
+        spans = [s for s in self.spans if s.attrs.get("trace") == trace_id]
+        spans.sort(key=lambda s: (s.start, s.end))
+        return spans
+
+    def trace_ids(self) -> list[str]:
+        """Every distinct trace id seen, sorted."""
+        return sorted({s.attrs["trace"] for s in self.spans
+                       if "trace" in s.attrs})
+
     def chains(self, key: str = "frame", **attrs) -> dict:
         """Group matching spans into per-frame chains, ordered by start.
 
@@ -128,6 +182,8 @@ NULL_TRACER = NullTracer()
 
 __all__ = [
     "Span",
+    "TraceContext",
+    "new_trace_context",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",

@@ -38,11 +38,12 @@ EVENT_RESTORE = "restore"
 
 #: dynamic kinds are namespaced: a fixed prefix plus a runtime detail
 #: (``fault:crash``, ``scale:grow``, ``telemetry:subscribe``,
-#: ``farm:requeue``)
+#: ``farm:requeue``, ``alert:tail-latency``)
 EVENT_FAULT_PREFIX = "fault:"
 EVENT_SCALE_PREFIX = "scale:"
 EVENT_TELEMETRY_PREFIX = "telemetry:"
 EVENT_FARM_PREFIX = "farm:"
+EVENT_ALERT_PREFIX = "alert:"
 
 EVENT_KINDS = frozenset({
     EVENT_PLACEMENT,
@@ -63,6 +64,7 @@ EVENT_PREFIXES = frozenset({
     EVENT_SCALE_PREFIX,
     EVENT_TELEMETRY_PREFIX,
     EVENT_FARM_PREFIX,
+    EVENT_ALERT_PREFIX,
 })
 
 # -- alert kinds ----------------------------------------------------------------------
@@ -75,6 +77,7 @@ GRID_OVERLOAD_KIND = "grid-overload"
 GRID_UNDERLOAD_KIND = "grid-underload"
 GRID_SATURATED_KIND = "grid-saturated"
 FARM_BACKLOG_KIND = "farm-backlog"
+TAIL_LATENCY_KIND = "tail-latency"
 
 ALERT_KINDS = frozenset({
     ALERT_OVERLOAD,
@@ -83,6 +86,7 @@ ALERT_KINDS = frozenset({
     GRID_UNDERLOAD_KIND,
     GRID_SATURATED_KIND,
     FARM_BACKLOG_KIND,
+    TAIL_LATENCY_KIND,
 })
 
 # -- service roles --------------------------------------------------------------------
@@ -149,6 +153,13 @@ GRID_REJECTION_RATE = "rave_grid_rejection_rate"
 GRID_FARM_BACKLOG = "rave_grid_farm_backlog"
 GRID_FARM_THROUGHPUT = "rave_grid_farm_throughput"
 
+# Federated tail-latency bases: the monitor merges every service's
+# cumulative buckets per ``le`` and publishes grid-wide quantiles under
+# ``<base>_p95`` / ``<base>_p99`` (suffixes resolve to the base name, so
+# declaring the base covers the derived quantile keys).
+GRID_QUEUE_WAIT = "rave_grid_queue_wait_seconds"
+GRID_FARM_RENDER = "rave_grid_farm_render_seconds"
+
 DERIVED_METRICS = frozenset({
     GRID_RENDER_SERVICES,
     GRID_MEAN_FPS,
@@ -160,6 +171,8 @@ DERIVED_METRICS = frozenset({
     GRID_REJECTION_RATE,
     GRID_FARM_BACKLOG,
     GRID_FARM_THROUGHPUT,
+    GRID_QUEUE_WAIT,
+    GRID_FARM_RENDER,
 })
 
 # -- admission-plane scraped gauge names ----------------------------------------------
@@ -198,6 +211,7 @@ __all__ = [
     "EVENT_SCALE_PREFIX",
     "EVENT_TELEMETRY_PREFIX",
     "EVENT_FARM_PREFIX",
+    "EVENT_ALERT_PREFIX",
     "EVENT_KINDS",
     "EVENT_PREFIXES",
     "ALERT_OVERLOAD",
@@ -206,6 +220,7 @@ __all__ = [
     "GRID_UNDERLOAD_KIND",
     "GRID_SATURATED_KIND",
     "FARM_BACKLOG_KIND",
+    "TAIL_LATENCY_KIND",
     "ALERT_KINDS",
     "SERVICE_RENDER",
     "SERVICE_DATA",
@@ -233,6 +248,8 @@ __all__ = [
     "GRID_REJECTION_RATE",
     "GRID_FARM_BACKLOG",
     "GRID_FARM_THROUGHPUT",
+    "GRID_QUEUE_WAIT",
+    "GRID_FARM_RENDER",
     "DERIVED_METRICS",
     "ADMISSION_QUEUE_DEPTH",
     "ADMISSION_REJECTION_RATE",

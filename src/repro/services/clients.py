@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from repro.errors import ServiceError
 from repro.hardware.profiles import PdaClientProfile, ZAURUS_CLIENT
 from repro.obs import active as _obs
+from repro.obs.tracing import TraceContext, new_trace_context
 from repro.obs.vocab import SERVICE_CLIENT
 from repro.network.simnet import Network
 from repro.render.camera import Camera
@@ -82,6 +83,12 @@ class ThinClient:
         #: optional :class:`repro.services.retry.RetryPolicy` for frames
         self.retry_policy = retry_policy
         self._retry_rng = random.Random(retry_seed)
+        # deterministic trace ids: a dedicated stream seeded from the
+        # client's identity, so replays mint identical traces and the
+        # retry path's draws stay untouched
+        self._trace_rng = random.Random(f"trace:{name}:{retry_seed}")
+        #: the current request's trace context (None until one begins)
+        self.trace: TraceContext | None = None
         self._service: RenderService | None = None
         self._rsid: str | None = None
         self.camera = CameraNode(name=f"{name}-camera")
@@ -101,6 +108,19 @@ class ThinClient:
     @property
     def attached(self) -> bool:
         return self._service is not None
+
+    # -- tracing --------------------------------------------------------------------
+
+    def begin_trace(self) -> TraceContext:
+        """Mint a fresh deterministic trace for the next request journey.
+
+        The context propagates outward — the SOAP header of the admission
+        call, the grid's reject/admission records, the render/stream
+        spans — so one id stitches the whole thin-client → admission →
+        render → transfer → blit chain together.
+        """
+        self.trace = new_trace_context(self._trace_rng)
+        return self.trace
 
     # -- interaction -----------------------------------------------------------------
 
@@ -151,13 +171,17 @@ class ThinClient:
         from repro.services.retry import wait
 
         clock = self.network.sim.clock
+        obs = _obs()
+        trace = self.begin_trace()
+        t0 = clock.now
         attempts_left = max(0, int(retries))
         while True:
             request_time = self.network.transfer_time(
                 self.host, grid.host, self.REQUEST_BYTES)
             clock.advance(request_time)
-            decision = grid.request_session(tenant, session_id, tree,
-                                            target_fps=target_fps)
+            decision = grid.request_session(
+                tenant, session_id, tree, target_fps=target_fps,
+                trace=trace.child(self._trace_rng))
             if decision.outcome != EVENT_REJECT:
                 break
             frame = decision.reject_frame
@@ -170,9 +194,19 @@ class ThinClient:
                 self.admission_retries += 1
                 wait(self.network.sim, info.retry_after)
                 continue
+            if obs.enabled:
+                obs.tracer.record("request-session", t0, clock.now,
+                                  service=self.name, client=self.name,
+                                  session=session_id, outcome=EVENT_REJECT,
+                                  trace=trace.trace_id)
             raise TooManyRequestsError(
                 info.reason, retry_after=info.retry_after,
                 queue_position=None, tenant=info.tenant)
+        if obs.enabled:
+            obs.tracer.record("request-session", t0, clock.now,
+                              service=self.name, client=self.name,
+                              session=session_id, outcome=decision.outcome,
+                              trace=trace.trace_id)
         if decision.outcome == EVENT_ADMIT:
             session = decision.grid_session.session
             services = session.render_services
@@ -264,18 +298,24 @@ class ThinClient:
         if obs.enabled:
             tracer = obs.tracer
             common = dict(session=self._rsid, client=self.name, frame=frame)
-            tracer.record("request", t0, render_start, **common)
-            tracer.record("render", render_start, encode_start, **common)
+            if self.trace is not None:
+                common["trace"] = self.trace.trace_id
+            tracer.record("request", t0, render_start,
+                          service=self.name, **common)
+            tracer.record("render", render_start, encode_start,
+                          service=service.name, **common)
             if codec is not None:
                 tracer.record("encode", encode_start, transfer_start,
-                              codec=encoded.codec, **common)
+                              codec=encoded.codec, service=service.name,
+                              **common)
             tracer.record("transfer", transfer_start,
                           transfer_start + receipt, nbytes=len(payload),
-                          **common)
+                          service=service.name, **common)
             if codec is not None:
                 tracer.record("decode", transfer_start + receipt,
-                              blit_start, **common)
-            tracer.record("blit", blit_start, blit_start + blit, **common)
+                              blit_start, service=self.name, **common)
+            tracer.record("blit", blit_start, blit_start + blit,
+                          service=self.name, **common)
             obs.metrics.counter("rave_client_frames_total",
                                 "frames delivered to thin clients",
                                 client=self.name).inc()

@@ -29,8 +29,16 @@ behaviour is unchanged.
 
 from __future__ import annotations
 
+from collections import deque
+
 from repro.errors import NetworkError, ServiceError
 from repro.obs import active as _obs
+from repro.obs.quantiles import (
+    buckets_from_snapshot,
+    estimate_quantile,
+    merge_cumulative,
+    quantile_suffix,
+)
 from repro.obs.rules import (
     DEFAULT_OVERLOAD_FPS,
     PAPER_SLOS,
@@ -39,8 +47,10 @@ from repro.obs.rules import (
 )
 from repro.obs.telemetry import federate, flatten_metrics
 from repro.obs.vocab import (
+    EVENT_ALERT_PREFIX,
     EVENT_TELEMETRY_PREFIX,
     GRID_FARM_BACKLOG,
+    GRID_FARM_RENDER,
     GRID_FARM_THROUGHPUT,
     GRID_MAX_UTILISATION,
     GRID_MEAN_FPS,
@@ -48,8 +58,10 @@ from repro.obs.vocab import (
     GRID_MIN_FPS,
     GRID_OVERLOADED_FRACTION,
     GRID_QUEUE_DEPTH,
+    GRID_QUEUE_WAIT,
     GRID_REJECTION_RATE,
     GRID_RENDER_SERVICES,
+    METRIC_HISTOGRAM,
     SERVICE_FARM,
     SERVICE_GRID,
     SERVICE_RENDER,
@@ -62,6 +74,21 @@ MONITOR_SNAPSHOT_FORMAT = "rave-monitor-snapshot/1"
 
 #: pseudo-service name the grid-wide aggregate series are evaluated under
 GRID_SERVICE = "_grid"
+
+#: samples kept per (service, tail metric) for the dashboard sparkline
+TAIL_HISTORY = 64
+
+#: scraped histogram families the monitor federates grid-wide: per-``le``
+#: bucket counts are summed across every service exporting the family,
+#: and quantiles are estimated from the *merged* distribution (averaging
+#: per-service percentiles would be statistically meaningless)
+FEDERATED_HISTOGRAMS = (
+    ("rave_queue_wait_seconds", GRID_QUEUE_WAIT),
+    ("rave_farm_render_seconds", GRID_FARM_RENDER),
+)
+
+#: quantiles published for each federated histogram
+FEDERATED_QUANTILES = (0.95, 0.99)
 
 
 class MonitorService:
@@ -89,6 +116,12 @@ class MonitorService:
         self.scrapes = 0
         self.scrape_failures = 0
         self.scrape_bytes = 0
+        #: same-origin overwrites detected by the last federate() call
+        self.federate_collisions = 0
+        #: service -> tail metric -> deque[(time, value)] (sparkline feed)
+        self._tail: dict[str, dict[str, deque]] = {}
+        #: (rule, service) pairs already noted to the flight recorder
+        self._alerted: set[tuple[str, str]] = set()
         self._running = False
         #: the session autoscaler publishing through this monitor, if any
         self.autoscaler = None
@@ -217,8 +250,19 @@ class MonitorService:
         sample_time = payload.get("time", arrival)
         self.engine.observe(service, sample_time, flat)
         self.slo.observe(service, payload.get("kind", ""), sample_time, flat)
+        self._record_tail(service, sample_time, flat)
         self._forward_events(service, payload)
         self.scrapes += 1
+
+    def _record_tail(self, service: str, time: float,
+                     values: dict[str, float]) -> None:
+        """Keep a short p95 history per service for the tail panel."""
+        for key, value in values.items():
+            if not key.endswith("_p95"):
+                continue
+            history = self._tail.setdefault(service, {}).setdefault(
+                key, deque(maxlen=TAIL_HISTORY))
+            history.append((time, value))
 
     def _forward_events(self, service: str, payload: dict) -> None:
         """Relay newly-seen remote events into the active flight recorder."""
@@ -301,14 +345,65 @@ class MonitorService:
                 values[GRID_FARM_THROUGHPUT] = (
                     values.get(GRID_FARM_THROUGHPUT, 0.0)
                     + flat["rave_farm_frames_per_second"])
+        # the tail plane: federated histogram quantiles from the merged
+        # (not averaged) per-service bucket counts
+        for family, derived in FEDERATED_HISTOGRAMS:
+            merged = self.federated_buckets(family)
+            if not merged or merged[-1][1] <= 0:
+                continue
+            for q in FEDERATED_QUANTILES:
+                values[f"{derived}_{quantile_suffix(q)}"] = (
+                    estimate_quantile(merged, q))
         return values
+
+    def federated_buckets(self, name: str) -> list[tuple[float, int]]:
+        """Cumulative ``(le, count)`` pairs summed across every service.
+
+        Collects the named histogram family from each latest scraped
+        payload and merges the per-service cumulative bucket counts per
+        ``le`` bound — the federation step that makes a grid-wide p95
+        answer "what does the slowest 5% of *all* requests see", which
+        no average of per-service p95s can.
+        """
+        per_service: list[list[tuple[float, int]]] = []
+        for sname in sorted(self._latest):
+            family = self._latest[sname].get("metrics", {}).get(name)
+            if not family or family.get("kind") != METRIC_HISTOGRAM:
+                continue
+            for entry in family.get("series", []):
+                if entry.get("buckets"):
+                    per_service.append(buckets_from_snapshot(entry))
+        return merge_cumulative(per_service) if per_service else []
 
     def observe_grid(self, now: float) -> dict[str, float]:
         """Feed the grid-wide aggregates into the rule engine."""
         values = self.grid_values()
         if values:
             self.engine.observe(GRID_SERVICE, now, values)
+            self._record_tail(GRID_SERVICE, now, values)
+        self._note_new_alerts(now)
         return values
+
+    def _note_new_alerts(self, now: float) -> None:
+        """Flight-record each (rule, service) the moment it starts firing.
+
+        The recorded event carries the alert's kind under the ``alert:``
+        namespace, so a post-mortem dump shows *when* the monitoring
+        plane declared the condition — re-noted only after the alert
+        clears and fires again, not on every tick it stays up.
+        """
+        obs = _obs()
+        firing = self.firing_alerts()
+        keys = {(a.rule, a.service) for a in firing}
+        if obs.enabled:
+            for alert in firing:
+                if (alert.rule, alert.service) in self._alerted:
+                    continue
+                obs.recorder.note(
+                    EVENT_ALERT_PREFIX + alert.kind, time=now,
+                    detail=f"{alert.rule} on {alert.service}: "
+                           f"value={alert.value:g} since={alert.since:g}")
+        self._alerted = keys
 
     # -- evaluation + publication ---------------------------------------------------
 
@@ -341,14 +436,19 @@ class MonitorService:
                 "metrics": flatten_metrics(payload.get("metrics", {})),
                 "events_seen": payload.get("events_seen", 0),
             }
+        federate_stats: dict = {}
+        merged = federate((self._latest[name]
+                           for name in sorted(self._latest)),
+                          stats=federate_stats)
+        self.federate_collisions = federate_stats.get(
+            "federate_collisions", 0)
         snapshot = {
             "format": MONITOR_SNAPSHOT_FORMAT,
             "time": self.network.sim.clock.now,
             "period": self.period,
             "grid": self.grid_values(),
             "services": services,
-            "metrics": federate(self._latest[name]
-                                for name in sorted(self._latest)),
+            "metrics": merged,
             "alerts": [
                 {"rule": a.rule, "kind": a.kind, "service": a.service,
                  "since": a.since, "last_time": a.last_time,
@@ -356,9 +456,15 @@ class MonitorService:
                 for a in self.firing_alerts()
             ],
             "slo": self.slo_report(),
+            "tail": {
+                service: {metric: [[t, v] for t, v in history]
+                          for metric, history in sorted(metrics.items())}
+                for service, metrics in sorted(self._tail.items())
+            },
             "scrapes": {"count": self.scrapes,
                         "failures": self.scrape_failures,
-                        "bytes": self.scrape_bytes},
+                        "bytes": self.scrape_bytes,
+                        "federate_collisions": self.federate_collisions},
         }
         if self.autoscaler is not None:
             snapshot["autoscale"] = self.autoscaler.describe()

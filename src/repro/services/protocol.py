@@ -5,6 +5,13 @@ subscription by the client" — once subscribed, RAVE talks length-prefixed
 binary frames.  A frame is a fixed little-endian header (magic, version,
 payload length, CRC32) followed by the payload produced by
 :mod:`repro.network.marshalling`.
+
+Frames may carry a trace context (``FLAG_TRACE``): a 16-byte prefix of
+two little-endian u64s — trace id, then parent span id — inside the
+CRC-protected payload, so the checksum covers it and old readers that
+ignore the flag fail loudly on length rather than silently misparse.
+:func:`unframe_message` strips the prefix and surfaces it as a
+:class:`~repro.obs.tracing.TraceContext` on the returned header.
 """
 
 from __future__ import annotations
@@ -15,10 +22,12 @@ import zlib
 from dataclasses import dataclass
 
 from repro.errors import MarshallingError
+from repro.obs.tracing import TraceContext
 
 _MAGIC = 0x52415645  # "RAVE"
 _VERSION = 1
 _HEADER = struct.Struct("<IHHIQ")  # magic, version, flags, crc32, length
+_TRACE = struct.Struct("<QQ")      # trace id, parent span id
 
 #: frame carries a telemetry scrape payload (JSON body)
 FLAG_TELEMETRY = 0x0001
@@ -26,6 +35,8 @@ FLAG_TELEMETRY = 0x0001
 FLAG_REJECT = 0x0002
 #: frame carries a render-farm message (frame lease or result, JSON body)
 FLAG_FARM = 0x0004
+#: frame payload is prefixed with a 16-byte trace context (two u64 ids)
+FLAG_TRACE = 0x0008
 
 
 @dataclass(frozen=True)
@@ -34,10 +45,16 @@ class FrameHeader:
     flags: int
     crc32: int
     length: int
+    trace: TraceContext | None = None
 
 
-def frame_message(payload: bytes, flags: int = 0) -> bytes:
-    """Wrap a payload in a RAVE frame."""
+def frame_message(payload: bytes, flags: int = 0,
+                  trace: TraceContext | None = None) -> bytes:
+    """Wrap a payload in a RAVE frame (optionally trace-stamped)."""
+    if trace is not None:
+        flags |= FLAG_TRACE
+        payload = _TRACE.pack(int(trace.trace_id, 16),
+                              int(trace.span_id, 16)) + payload
     crc = zlib.crc32(payload) & 0xFFFFFFFF
     return _HEADER.pack(_MAGIC, _VERSION, flags, crc, len(payload)) + payload
 
@@ -60,11 +77,22 @@ def unframe_message(data: bytes) -> tuple[FrameHeader, bytes]:
     if actual != crc:
         raise MarshallingError(
             f"frame checksum mismatch: 0x{actual:08x} != 0x{crc:08x}")
+    trace = None
+    if flags & FLAG_TRACE:
+        if len(body) < _TRACE.size:
+            raise MarshallingError(
+                f"trace-flagged frame too short for a trace context "
+                f"({len(body)} bytes)")
+        trace_id, span_id = _TRACE.unpack_from(body)
+        trace = TraceContext(trace_id=f"{trace_id:016x}",
+                             span_id=f"{span_id:016x}")
+        body = body[_TRACE.size:]
     return FrameHeader(version=version, flags=flags, crc32=crc,
-                       length=length), body
+                       length=length, trace=trace), body
 
 
-def frame_telemetry(payload: dict) -> bytes:
+def frame_telemetry(payload: dict,
+                    trace: TraceContext | None = None) -> bytes:
     """Wrap a telemetry scrape payload for the wire (the scrape endpoint).
 
     Compact deterministic JSON inside a standard RAVE frame: the byte
@@ -72,7 +100,7 @@ def frame_telemetry(payload: dict) -> bytes:
     """
     body = json.dumps(payload, sort_keys=True,
                       separators=(",", ":")).encode("utf-8")
-    return frame_message(body, flags=FLAG_TELEMETRY)
+    return frame_message(body, flags=FLAG_TELEMETRY, trace=trace)
 
 
 def unframe_telemetry(data: bytes) -> dict:
@@ -106,11 +134,13 @@ class RejectInfo:
     tenant: str = ""
     session_id: str = ""
     queue_depth: int = 0
+    trace: TraceContext | None = None
 
 
 def frame_reject(reason: str, retry_after: float = 0.0, *,
                  status: int = 429, tenant: str = "",
-                 session_id: str = "", queue_depth: int = 0) -> bytes:
+                 session_id: str = "", queue_depth: int = 0,
+                 trace: TraceContext | None = None) -> bytes:
     """Wrap an admission reject for the wire (grid → thin client).
 
     Compact deterministic JSON inside a standard RAVE frame, so the
@@ -121,7 +151,7 @@ def frame_reject(reason: str, retry_after: float = 0.0, *,
          "tenant": tenant, "session_id": session_id,
          "queue_depth": queue_depth},
         sort_keys=True, separators=(",", ":")).encode("utf-8")
-    return frame_message(body, flags=FLAG_REJECT)
+    return frame_message(body, flags=FLAG_REJECT, trace=trace)
 
 
 def unframe_reject(data: bytes) -> RejectInfo:
@@ -142,7 +172,8 @@ def unframe_reject(data: bytes) -> RejectInfo:
         retry_after=float(payload.get("retry_after", 0.0)),
         tenant=str(payload.get("tenant", "")),
         session_id=str(payload.get("session_id", "")),
-        queue_depth=int(payload.get("queue_depth", 0)))
+        queue_depth=int(payload.get("queue_depth", 0)),
+        trace=header.trace)
 
 
 @dataclass(frozen=True)
@@ -160,6 +191,7 @@ class FarmLease:
     session_id: str
     attempt: int
     deadline: float
+    trace: TraceContext | None = None
 
 
 @dataclass(frozen=True)
@@ -171,6 +203,7 @@ class FarmResult:
     worker: str
     render_seconds: float
     nbytes: int
+    trace: TraceContext | None = None
 
 
 def frame_farm_lease(lease: FarmLease) -> bytes:
@@ -180,7 +213,7 @@ def frame_farm_lease(lease: FarmLease) -> bytes:
          "session_id": lease.session_id, "attempt": lease.attempt,
          "deadline": lease.deadline},
         sort_keys=True, separators=(",", ":")).encode("utf-8")
-    return frame_message(body, flags=FLAG_FARM)
+    return frame_message(body, flags=FLAG_FARM, trace=lease.trace)
 
 
 def unframe_farm_lease(data: bytes) -> FarmLease:
@@ -198,7 +231,8 @@ def unframe_farm_lease(data: bytes) -> FarmLease:
         frame=int(payload["frame"]),
         session_id=str(payload.get("session_id", "")),
         attempt=int(payload.get("attempt", 1)),
-        deadline=float(payload.get("deadline", 0.0)))
+        deadline=float(payload.get("deadline", 0.0)),
+        trace=header.trace)
 
 
 def frame_farm_result(result: FarmResult) -> bytes:
@@ -208,7 +242,7 @@ def frame_farm_result(result: FarmResult) -> bytes:
          "worker": result.worker, "render_seconds": result.render_seconds,
          "nbytes": result.nbytes},
         sort_keys=True, separators=(",", ":")).encode("utf-8")
-    return frame_message(body, flags=FLAG_FARM)
+    return frame_message(body, flags=FLAG_FARM, trace=result.trace)
 
 
 def unframe_farm_result(data: bytes) -> FarmResult:
@@ -226,7 +260,8 @@ def unframe_farm_result(data: bytes) -> FarmResult:
         frame=int(payload["frame"]),
         worker=str(payload.get("worker", "")),
         render_seconds=float(payload.get("render_seconds", 0.0)),
-        nbytes=int(payload.get("nbytes", 0)))
+        nbytes=int(payload.get("nbytes", 0)),
+        trace=header.trace)
 
 
 def _decode_farm_body(body: bytes) -> dict:

@@ -23,6 +23,7 @@ from xml.etree import ElementTree as ET
 import numpy as np
 
 from repro.errors import MarshallingError, SoapFault
+from repro.obs.tracing import TraceContext
 
 _ENV_NS = "http://www.w3.org/2003/05/soap-envelope"
 _RAVE_NS = "urn:rave:sc2004"
@@ -37,11 +38,17 @@ ENVELOPE_FIXED_SECONDS = 2.5e-3
 
 @dataclass
 class SoapEnvelope:
-    """A decoded SOAP message: operation name, body values, optional fault."""
+    """A decoded SOAP message: operation name, body values, optional fault.
+
+    ``trace`` is the cross-service trace context carried in the SOAP
+    Header (a ``rave:TraceContext`` element), the control-plane twin of
+    the binary frame header's ``FLAG_TRACE`` prefix.
+    """
 
     operation: str
     body: dict = field(default_factory=dict)
     fault: tuple[str, str] | None = None  # (code, reason)
+    trace: TraceContext | None = None
 
     @property
     def is_fault(self) -> bool:
@@ -133,12 +140,17 @@ def _decode_element(el: ET.Element):
 
 
 def soap_encode(operation: str, body: dict | None = None,
-                fault: tuple[str, str] | None = None) -> bytes:
+                fault: tuple[str, str] | None = None,
+                trace: TraceContext | None = None) -> bytes:
     """Build a SOAP envelope; returns the XML bytes that go on the wire."""
     envelope = ET.Element("Envelope")
     envelope.set("xmlns", _ENV_NS)
     envelope.set("xmlns:rave", _RAVE_NS)
-    ET.SubElement(envelope, "Header")
+    header_el = ET.SubElement(envelope, "Header")
+    if trace is not None:
+        trace_el = ET.SubElement(header_el, "TraceContext")
+        trace_el.set("traceId", trace.trace_id)
+        trace_el.set("spanId", trace.span_id)
     body_el = ET.SubElement(envelope, "Body")
     if fault is not None:
         fault_el = ET.SubElement(body_el, "Fault")
@@ -169,6 +181,17 @@ def soap_decode(data: bytes) -> SoapEnvelope:
     except ET.ParseError as exc:
         raise MarshallingError(f"malformed SOAP XML: {exc}") from exc
     _strip_namespaces(root)
+    trace = None
+    header_el = root.find("Header")
+    if header_el is not None:
+        trace_el = header_el.find("TraceContext")
+        if trace_el is not None:
+            trace_id = trace_el.get("traceId", "")
+            span_id = trace_el.get("spanId", "")
+            if not trace_id or not span_id:
+                raise MarshallingError(
+                    "SOAP TraceContext header needs traceId and spanId")
+            trace = TraceContext(trace_id=trace_id, span_id=span_id)
     body_el = root.find("Body")
     if body_el is None:
         raise MarshallingError("SOAP envelope has no Body")
@@ -188,7 +211,7 @@ def soap_decode(data: bytes) -> SoapEnvelope:
             raise MarshallingError("malformed SOAP arg")
         body[key] = _decode_element(entry[0])
     return SoapEnvelope(operation=op_el.get("name", ""), body=body,
-                        fault=fault)
+                        fault=fault, trace=trace)
 
 
 def soap_cpu_seconds(nbytes: int, cpu_factor: float = 1.0) -> float:

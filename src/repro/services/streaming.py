@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ServiceError
 from repro.obs import active as _obs
+from repro.obs.tracing import TraceContext
 
 
 @dataclass
@@ -52,7 +53,8 @@ class FrameStreamer:
 
     def __init__(self, render_service, render_session_id: str,
                  client_host: str, width: int = 200, height: int = 200,
-                 blit_seconds: float = 0.0) -> None:
+                 blit_seconds: float = 0.0,
+                 trace: TraceContext | None = None) -> None:
         render_service.render_session(render_session_id)  # validate
         self.service = render_service
         self.rsid = render_session_id
@@ -60,6 +62,9 @@ class FrameStreamer:
         self.width = width
         self.height = height
         self.blit_seconds = blit_seconds
+        #: the originating request's trace context; every frame's span
+        #: chain joins the caller's trace when set
+        self.trace = trace
 
     def _frame_costs(self) -> tuple[float, float]:
         """(render seconds, transfer seconds) for one frame right now."""
@@ -159,7 +164,10 @@ class FrameStreamer:
                      arrival: float) -> None:
         """Record one frame's render → transfer → blit span chain."""
         tracer = obs.tracer
-        common = dict(session=self.rsid, mode=mode, frame=frame)
+        common = dict(session=self.rsid, mode=mode, frame=frame,
+                      service=self.service.name)
+        if self.trace is not None:
+            common["trace"] = self.trace.trace_id
         tracer.record("render", render_start, render_done, **common)
         tracer.record("transfer", send_start, arrival, **common)
         tracer.record("blit", arrival, arrival + self.blit_seconds,

@@ -1,0 +1,254 @@
+"""The federation-aware dashboard: merging, rendering, and diffing.
+
+:func:`merge_monitor_snapshots` folds several monitors into one view
+(slots from ``wall_meta``, last-writer-wins on service collisions —
+counted, never silent), :func:`render_dashboard` grows a tail-latency
+sparkline panel and per-source header lines, and ``--diff`` turns two
+snapshots into a CI-gateable regression report: quantile moves above a
+threshold and alert churn, with a nonzero exit on regression.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs.dashboard import (
+    _sparkline,
+    diff_snapshots,
+    merge_monitor_snapshots,
+    render_dashboard,
+    render_diff,
+)
+
+WAIT_P95 = "rave_queue_wait_seconds_p95"
+GRID_P95 = "rave_grid_queue_wait_seconds_p95"
+
+
+def monitor_snapshot(service="grid-a", p95=0.2, time=10.0, alerts=(),
+                     tail=None, scrape_count=3):
+    return {
+        "format": "rave-monitor-snapshot/1",
+        "time": time,
+        "period": 1.0,
+        "grid": {GRID_P95: p95},
+        "services": {
+            service: {"host": "centrino", "kind": "grid", "events_seen": 2,
+                      "metrics": {WAIT_P95: p95, "rave_rs_fps": 24.0}},
+        },
+        "metrics": {},
+        "alerts": list(alerts),
+        "slo": {},
+        "tail": tail if tail is not None else {},
+        "scrapes": {"count": scrape_count, "failures": 0, "bytes": 512,
+                    "federate_collisions": 0},
+    }
+
+
+def observability_snapshot(slot, **kwargs):
+    """An export-style snapshot: ``wall_meta`` slot + embedded monitor."""
+    return {
+        "format": "rave-observability-snapshot/1",
+        "wall_meta": {slot: {"host": "registry-host"}},
+        "monitor": monitor_snapshot(**kwargs),
+    }
+
+
+ALERT = {"rule": "queue-wait-p95", "service": "grid-a", "value": 0.9,
+         "since": 4.0, "last_time": 10.0, "severity": "page",
+         "kind": "tail-latency"}
+
+
+class TestMergeMonitorSnapshots:
+    def test_slots_come_from_wall_meta_or_index(self):
+        merged = merge_monitor_snapshots([
+            observability_snapshot("site-cardiff", service="grid-a"),
+            monitor_snapshot(service="grid-b"),
+        ])
+        assert sorted(merged["sources"]) == ["monitor-1", "site-cardiff"]
+        assert merged["sources"]["site-cardiff"]["services"] == ["grid-a"]
+        assert sorted(merged["services"]) == ["grid-a", "grid-b"]
+
+    def test_service_collisions_are_counted_not_silent(self):
+        merged = merge_monitor_snapshots([
+            monitor_snapshot(service="grid-a", p95=0.2),
+            monitor_snapshot(service="grid-a", p95=0.8),
+        ])
+        assert merged["scrapes"]["merge_collisions"] == 1
+        # last writer wins, and the survivor is the later input's entry
+        assert merged["services"]["grid-a"]["metrics"][WAIT_P95] == 0.8
+
+    def test_alerts_deduplicate_on_rule_and_service(self):
+        merged = merge_monitor_snapshots([
+            monitor_snapshot(service="grid-a", alerts=[ALERT]),
+            monitor_snapshot(service="grid-b",
+                             alerts=[ALERT,
+                                     {**ALERT, "service": "grid-b"}]),
+        ])
+        keys = [(a["rule"], a["service"]) for a in merged["alerts"]]
+        assert keys == [("queue-wait-p95", "grid-a"),
+                        ("queue-wait-p95", "grid-b")]
+
+    def test_tail_histories_interleave_in_time_order(self):
+        merged = merge_monitor_snapshots([
+            monitor_snapshot(service="grid-a",
+                             tail={"grid-a": {WAIT_P95: [[2.0, 0.3],
+                                                         [4.0, 0.5]]}}),
+            monitor_snapshot(service="grid-b",
+                             tail={"grid-a": {WAIT_P95: [[1.0, 0.1],
+                                                         [3.0, 0.4]]}}),
+        ])
+        history = merged["tail"]["grid-a"][WAIT_P95]
+        assert [point[0] for point in history] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_counters_sum_and_clock_is_the_latest(self):
+        merged = merge_monitor_snapshots([
+            monitor_snapshot(time=10.0, scrape_count=3),
+            monitor_snapshot(service="grid-b", time=12.5, scrape_count=5),
+        ])
+        assert merged["scrapes"]["count"] == 8
+        assert merged["time"] == 12.5
+
+    def test_rejects_non_monitor_inputs(self):
+        with pytest.raises(ValueError):
+            merge_monitor_snapshots([])
+        with pytest.raises(ValueError):
+            merge_monitor_snapshots([{"format": "something-else/9"}])
+
+
+class TestRenderDashboard:
+    def test_federated_header_lists_every_source(self):
+        merged = merge_monitor_snapshots([
+            observability_snapshot("site-cardiff"),
+            monitor_snapshot(service="grid-b"),
+        ])
+        text = render_dashboard(merged)
+        assert text.startswith("RAVE grid monitor (federated)")
+        assert "source site-cardiff: 1 service(s)" in text
+        assert "source monitor-1: 1 service(s)" in text
+
+    def test_single_monitor_stays_unfederated(self):
+        text = render_dashboard(monitor_snapshot())
+        assert text.startswith("RAVE grid monitor\n")
+        assert "source " not in text
+
+    def test_tail_panel_shows_a_sparkline_per_history(self):
+        tail = {"grid-a": {WAIT_P95: [[1.0, 0.1], [2.0, 0.4], [3.0, 0.8]]}}
+        text = render_dashboard(monitor_snapshot(tail=tail))
+        assert "tail latency (p95)" in text
+        line = next(l for l in text.splitlines() if WAIT_P95 in l
+                    and "grid-a" in l)
+        assert "p95 now 0.800s (3 sample(s))" in line
+        assert "[" in line and "]" in line
+
+    def test_empty_tail_panel_says_so(self):
+        assert "(no tail-latency history yet)" \
+            in render_dashboard(monitor_snapshot())
+
+
+class TestSparkline:
+    def test_scales_to_the_window_maximum(self):
+        line = _sparkline([0.0, 0.4, 0.8], width=8)
+        assert len(line) == 8
+        assert line.endswith("@")        # the max maps to the ramp's top
+        assert line.strip()[0] == " " or line.lstrip("")  # left-padded
+
+    def test_flat_zero_history_renders_dots(self):
+        assert _sparkline([0.0, 0.0], width=6).endswith("..")
+
+    def test_window_keeps_only_the_newest_samples(self):
+        # the old 9.0 spike scrolled out: the window rescales to 0.4,
+        # so the newest sample (not the spike) sits at the ramp's top
+        line = _sparkline([9.0, 0.1, 0.1, 0.1, 0.4], width=4)
+        assert len(line) == 4
+        assert line[-1] == "@"
+        assert line[0] != "@"
+
+
+class TestDiffSnapshots:
+    def test_quantile_move_above_threshold_is_a_regression(self):
+        diff = diff_snapshots(monitor_snapshot(p95=0.2),
+                              monitor_snapshot(p95=0.9))
+        moved = {(e["service"], e["metric"]) for e in diff["regressions"]}
+        assert ("grid-a", WAIT_P95) in moved
+        assert ("_grid", GRID_P95) in moved
+        assert diff["regressed"]
+
+    def test_moves_inside_the_threshold_are_noise(self):
+        diff = diff_snapshots(monitor_snapshot(p95=0.2),
+                              monitor_snapshot(p95=0.25))
+        assert diff["regressions"] == []
+        assert not diff["regressed"]
+
+    def test_improvements_do_not_flag_regression(self):
+        diff = diff_snapshots(monitor_snapshot(p95=0.9),
+                              monitor_snapshot(p95=0.2))
+        assert diff["regressions"] == []
+        assert len(diff["improvements"]) == 2
+        assert not diff["regressed"]
+
+    def test_alert_churn_is_reported_and_new_alerts_gate(self):
+        diff = diff_snapshots(monitor_snapshot(),
+                              monitor_snapshot(alerts=[ALERT]))
+        assert [a["rule"] for a in diff["new_alerts"]] == ["queue-wait-p95"]
+        assert diff["regressed"]
+        back = diff_snapshots(monitor_snapshot(alerts=[ALERT]),
+                              monitor_snapshot())
+        assert [a["rule"] for a in back["cleared_alerts"]] \
+            == ["queue-wait-p95"]
+        assert not back["regressed"]
+
+    def test_custom_threshold_widens_the_noise_band(self):
+        diff = diff_snapshots(monitor_snapshot(p95=0.2),
+                              monitor_snapshot(p95=0.9), threshold=1.0)
+        assert not diff["regressed"]
+
+    def test_render_diff_verdict_lines(self):
+        bad = render_diff(diff_snapshots(monitor_snapshot(p95=0.2),
+                                         monitor_snapshot(p95=0.9)))
+        assert "quantile regressions" in bad
+        assert "0.200s -> 0.900s (+0.700s)" in bad
+        assert bad.rstrip().endswith("verdict: REGRESSED")
+        good = render_diff(diff_snapshots(monitor_snapshot(),
+                                          monitor_snapshot()))
+        assert "(none)" in good
+        assert good.rstrip().endswith("verdict: no regression")
+
+
+class TestDashboardCli:
+    def write(self, tmp_path, name, snapshot):
+        path = tmp_path / name
+        path.write_text(json.dumps(snapshot))
+        return str(path)
+
+    def test_diff_exits_nonzero_on_regression(self, tmp_path, capsys):
+        before = self.write(tmp_path, "before.json", monitor_snapshot(p95=0.2))
+        after = self.write(tmp_path, "after.json",
+                           monitor_snapshot(p95=0.9, alerts=[ALERT]))
+        assert main(["dashboard", "--diff", before, after]) == 1
+        out = capsys.readouterr().out
+        assert "verdict: REGRESSED" in out
+        assert "new alerts" in out and "queue-wait-p95" in out
+
+    def test_diff_exits_zero_when_clean(self, tmp_path, capsys):
+        before = self.write(tmp_path, "before.json", monitor_snapshot(p95=0.9))
+        after = self.write(tmp_path, "after.json", monitor_snapshot(p95=0.2))
+        assert main(["dashboard", "--diff", before, after]) == 0
+        assert "verdict: no regression" in capsys.readouterr().out
+
+    def test_repeated_snapshot_flags_merge_to_a_federated_view(
+            self, tmp_path, capsys):
+        one = self.write(tmp_path, "one.json",
+                         observability_snapshot("site-cardiff"))
+        two = self.write(tmp_path, "two.json",
+                         monitor_snapshot(service="grid-b"))
+        assert main(["dashboard", "--snapshot", one,
+                     "--snapshot", two]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("RAVE grid monitor (federated)")
+        assert "grid-b" in out
+
+    def test_single_snapshot_renders_directly(self, tmp_path, capsys):
+        one = self.write(tmp_path, "one.json", monitor_snapshot())
+        assert main(["dashboard", "--snapshot", one]) == 0
+        assert capsys.readouterr().out.startswith("RAVE grid monitor\n")

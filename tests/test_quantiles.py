@@ -1,0 +1,189 @@
+"""Histogram quantile estimation and canonical bucket-bound labels.
+
+The tail-latency plane stands on two pieces of arithmetic: the
+``histogram_quantile`` interpolation in ``obs/quantiles.py`` and the
+canonical ``%g``-style ``le`` formatting shared by the JSON snapshot and
+the Prometheus exposition.  Accuracy here is bounded by construction —
+an estimate can never be off by more than the width of the bucket the
+rank lands in — and every test asserts exactly that bound against known
+distributions (uniform, bimodal, degenerate single-bucket), including
+the ``+Inf`` clamp edge case.
+"""
+
+import pytest
+
+from repro.obs.export import prometheus_text
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+from repro.obs.quantiles import (
+    bucket_quantiles,
+    buckets_from_snapshot,
+    estimate_quantile,
+    format_le,
+    merge_cumulative,
+    parse_le,
+    quantile_suffix,
+)
+
+INF = float("inf")
+
+
+# -- canonical le labels ------------------------------------------------------------
+
+
+class TestFormatLe:
+    def test_no_repr_drift_on_default_buckets(self):
+        # the motivating bug: repr(0.001 * 2.5) == '0.0025000000000000001'
+        assert format_le(0.001 * 2.5) == "0.0025"
+        for bound in DEFAULT_BUCKETS:
+            text = format_le(bound)
+            assert "00000000" not in text and "99999999" not in text
+
+    def test_special_values(self):
+        assert format_le(INF) == "+Inf"
+        assert format_le(-INF) == "-Inf"
+        assert format_le(float("nan")) == "NaN"
+
+    def test_round_trip_with_parse_le(self):
+        for bound in (*DEFAULT_BUCKETS, 1e-9, 3.25, 12345.678):
+            assert parse_le(format_le(bound)) == bound
+
+    def test_parse_accepts_legacy_repr_keys(self):
+        assert parse_le("0.0025000000000000001") \
+            == pytest.approx(0.0025, abs=1e-12)
+
+    def test_exposition_round_trip(self):
+        """Every ``le`` in the Prometheus text re-parses to its bound."""
+        registry = MetricsRegistry()
+        registry.histogram("rave_fx_wait_seconds",
+                           "fixture").observe(0.002)
+        text = prometheus_text(registry)
+        les = [line.split('le="')[1].split('"')[0]
+               for line in text.splitlines() if 'le="' in line]
+        assert les, "exposition produced no bucket lines"
+        assert [parse_le(le) for le in les] == sorted(DEFAULT_BUCKETS)
+        assert '0.0025"' in text and "0.0025000000000000001" not in text
+
+    def test_snapshot_bucket_keys_are_canonical(self):
+        registry = MetricsRegistry()
+        registry.histogram("rave_fx_wait_seconds",
+                           "fixture").observe(0.002)
+        entry = registry.snapshot()["rave_fx_wait_seconds"]["series"][0]
+        assert "0.0025" in entry["buckets"]
+        assert "+Inf" in entry["buckets"]
+        pairs = buckets_from_snapshot(entry)
+        assert pairs == sorted(pairs)
+        assert pairs[-1][0] == INF
+
+
+class TestQuantileSuffix:
+    def test_standard_quantiles(self):
+        assert quantile_suffix(0.5) == "p50"
+        assert quantile_suffix(0.95) == "p95"
+        assert quantile_suffix(0.99) == "p99"
+
+    def test_fractional_quantile_stays_a_valid_metric_suffix(self):
+        assert quantile_suffix(0.999) == "p99_9"
+
+
+# -- estimation accuracy ------------------------------------------------------------
+
+
+def uniform_histogram(n=1000, width=10.0, bucket_step=1.0):
+    """``n`` observations evenly spread over ``[0, width)``."""
+    buckets = tuple(bucket_step * i
+                    for i in range(1, int(width / bucket_step) + 1))
+    hist = Histogram(buckets=buckets)
+    for i in range(n):
+        hist.observe(width * i / n)
+    return hist
+
+
+class TestEstimateQuantile:
+    def test_uniform_within_one_bucket_width(self):
+        hist = uniform_histogram(n=1000, width=10.0, bucket_step=1.0)
+        for q in (0.5, 0.95, 0.99):
+            true_value = 10.0 * q
+            assert estimate_quantile(hist.cumulative_buckets(), q) \
+                == pytest.approx(true_value, abs=1.0)
+
+    def test_bimodal_within_one_bucket_width(self):
+        # half the observations fast (~0.05s), half slow (~4.0s): the
+        # p95 must land in the slow mode's bucket, nowhere near the mean
+        hist = Histogram(buckets=DEFAULT_BUCKETS)
+        for _ in range(500):
+            hist.observe(0.05)
+        for _ in range(500):
+            hist.observe(4.0)
+        pairs = hist.cumulative_buckets()
+        p95 = estimate_quantile(pairs, 0.95)
+        # true p95 is 4.0; its bucket is (2.5, 5.0], width 2.5
+        assert p95 == pytest.approx(4.0, abs=2.5)
+        assert p95 > 2.5
+        assert estimate_quantile(pairs, 0.5) <= 0.05 + 0.025
+
+    def test_all_in_one_bucket(self):
+        hist = Histogram(buckets=DEFAULT_BUCKETS)
+        for _ in range(100):
+            hist.observe(0.3)            # every observation in (0.25, 0.5]
+        pairs = hist.cumulative_buckets()
+        for q in (0.5, 0.95, 0.99):
+            estimate = estimate_quantile(pairs, q)
+            assert 0.25 < estimate <= 0.5
+            assert estimate == pytest.approx(0.3, abs=0.25)
+
+    def test_inf_bucket_clamps_to_largest_finite_bound(self):
+        hist = Histogram(buckets=(0.1, 1.0))
+        for _ in range(100):
+            hist.observe(50.0)           # beyond every finite bound
+        assert estimate_quantile(hist.cumulative_buckets(), 0.95) == 1.0
+        assert hist.quantile(0.99) == 1.0
+
+    def test_empty_and_invalid_inputs(self):
+        assert estimate_quantile([], 0.95) == 0.0
+        assert estimate_quantile([(1.0, 0), (INF, 0)], 0.95) == 0.0
+        with pytest.raises(ValueError):
+            estimate_quantile([(1.0, 1)], 0.0)
+        with pytest.raises(ValueError):
+            estimate_quantile([(1.0, 1)], 1.0)
+
+    def test_bucket_quantiles_names_match_flatten_suffixes(self):
+        hist = uniform_histogram()
+        named = bucket_quantiles(hist.cumulative_buckets())
+        assert sorted(named) == ["p50", "p95", "p99"]
+        assert named["p95"] == hist.quantile(0.95)
+
+
+class TestMergeCumulative:
+    def test_merged_distribution_beats_averaged_percentiles(self):
+        """Federation must merge buckets, not average estimates."""
+        fast = Histogram(buckets=DEFAULT_BUCKETS)
+        slow = Histogram(buckets=DEFAULT_BUCKETS)
+        for _ in range(99):
+            fast.observe(0.01)
+        fast.observe(4.0)
+        for _ in range(100):
+            slow.observe(4.0)
+        merged = merge_cumulative([fast.cumulative_buckets(),
+                                   slow.cumulative_buckets()])
+        federated_p95 = estimate_quantile(merged, 0.95)
+        averaged_p95 = (fast.quantile(0.95) + slow.quantile(0.95)) / 2
+        # true merged p95 is 4.0 (the slowest 5% of all 200 observations
+        # all waited ~4 s); the average of per-service estimates halves it
+        assert federated_p95 == pytest.approx(4.0, abs=2.5)
+        assert abs(averaged_p95 - federated_p95) > 1.0
+
+    def test_merge_sums_counts_per_bound(self):
+        a = [(1.0, 2), (INF, 3)]
+        b = [(1.0, 5), (INF, 5)]
+        assert merge_cumulative([a, b]) == [(1.0, 7), (INF, 8)]
+
+    def test_merge_handles_disjoint_layouts_as_step_functions(self):
+        a = [(1.0, 4), (INF, 4)]
+        b = [(2.0, 6), (INF, 6)]
+        merged = merge_cumulative([a, b])
+        # at le=1.0 only a has resolved counts; at 2.0 both have
+        assert merged == [(1.0, 4), (2.0, 10), (INF, 10)]
+
+    def test_merge_of_nothing_is_empty(self):
+        assert merge_cumulative([]) == []
+        assert merge_cumulative([[], []]) == []

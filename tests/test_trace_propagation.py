@@ -1,0 +1,255 @@
+"""Cross-service trace propagation: one id stitches the whole journey.
+
+The trace context rides two transports — a 16-byte ``FLAG_TRACE`` prefix
+inside the CRC-protected payload of every binary frame, and a
+``rave:TraceContext`` SOAP header for the control plane — and every hop
+records its spans with a ``trace`` attribute.  These tests pin the wire
+round-trips (including the loud failure modes: truncated prefixes,
+half-written headers), the deterministic id derivation, and the two
+end-to-end stories: a thin-client request whose single trace id spans
+client → grid admission → render service, and a farm job whose per-frame
+leases derive content-addressed span ids from the submitting trace.
+"""
+
+import pytest
+
+from repro import obs
+from repro.core.grid import TenantQuota
+from repro.data.generators import galleon, uv_sphere
+from repro.errors import MarshallingError
+from repro.farm import RenderJob
+from repro.obs.tracing import TraceContext, new_trace_context
+from repro.obs.vocab import EVENT_ADMIT, EVENT_FARM_PREFIX
+from repro.scenegraph.nodes import MeshNode
+from repro.scenegraph.tree import SceneTree
+from repro.services.protocol import (
+    FLAG_TRACE,
+    FarmLease,
+    FarmResult,
+    frame_farm_lease,
+    frame_farm_result,
+    frame_message,
+    frame_reject,
+    frame_telemetry,
+    unframe_farm_lease,
+    unframe_farm_result,
+    unframe_message,
+    unframe_reject,
+)
+from repro.services.soap import soap_decode, soap_encode
+from repro.testbed import build_testbed
+
+CTX = TraceContext(trace_id="00c0ffee00c0ffee", span_id="0badcafe0badcafe")
+
+
+def scene(label):
+    tree = SceneTree(name=f"scene-{label}")
+    tree.add(MeshNode(uv_sphere(nu=24, nv=24)))
+    return tree
+
+
+# -- the binary frame header --------------------------------------------------------
+
+
+class TestFrameTrace:
+    def test_round_trip_preserves_ids_and_body(self):
+        data = frame_message(b"payload", trace=CTX)
+        header, body = unframe_message(data)
+        assert header.flags & FLAG_TRACE
+        assert header.trace == CTX
+        assert body == b"payload"
+
+    def test_untraced_frames_have_no_context(self):
+        header, body = unframe_message(frame_message(b"payload"))
+        assert not header.flags & FLAG_TRACE
+        assert header.trace is None
+        assert body == b"payload"
+
+    def test_prefix_is_inside_the_checksum(self):
+        # flip one bit of the trace prefix: the CRC must catch it, the
+        # reader never sees a half-corrupt context
+        data = bytearray(frame_message(b"payload", trace=CTX))
+        data[-len(b"payload") - 1] ^= 0x01
+        with pytest.raises(MarshallingError, match="checksum"):
+            unframe_message(bytes(data))
+
+    def test_trace_flag_without_a_full_prefix_fails_loudly(self):
+        data = frame_message(b"short", flags=FLAG_TRACE)
+        with pytest.raises(MarshallingError, match="trace"):
+            unframe_message(data)
+
+    def test_telemetry_and_reject_frames_carry_the_context(self):
+        _, body = unframe_message(frame_telemetry({"service": "rs-demo"},
+                                                  trace=CTX))
+        assert b"rs-demo" in body
+        header, _ = unframe_message(frame_telemetry({"s": 1}, trace=CTX))
+        assert header.trace == CTX
+
+        info = unframe_reject(frame_reject("grid full", retry_after=3.0,
+                                           trace=CTX))
+        assert info.trace == CTX
+        assert unframe_reject(frame_reject("grid full")).trace is None
+
+    def test_farm_frames_carry_the_context(self):
+        lease = FarmLease(job_id="anim", frame=4, session_id="scene",
+                          attempt=2, deadline=9.5, trace=CTX)
+        assert unframe_farm_lease(frame_farm_lease(lease)).trace == CTX
+        result = FarmResult(job_id="anim", frame=4, worker="rs-onyx",
+                            render_seconds=0.2, nbytes=1024, trace=CTX)
+        assert unframe_farm_result(frame_farm_result(result)).trace == CTX
+
+
+# -- the SOAP header twin -----------------------------------------------------------
+
+
+class TestSoapTrace:
+    def test_round_trip_through_the_envelope_header(self):
+        data = soap_encode("RequestSession", {"tenant": "acme"}, trace=CTX)
+        envelope = soap_decode(data)
+        assert envelope.trace == CTX
+        assert envelope.body["tenant"] == "acme"
+
+    def test_untraced_envelopes_have_no_context(self):
+        assert soap_decode(soap_encode("Ping", {})).trace is None
+
+    def test_half_written_header_fails_loudly(self):
+        xml = soap_encode("Ping", {}, trace=CTX).decode()
+        broken = xml.replace(f'spanId="{CTX.span_id}"', "")
+        with pytest.raises(MarshallingError, match="TraceContext"):
+            soap_decode(broken.encode())
+
+
+# -- deterministic id derivation ----------------------------------------------------
+
+
+class TestTraceContext:
+    def test_child_keeps_the_trace_and_replaces_the_span(self):
+        import random
+
+        child = CTX.child(random.Random(7))
+        assert child.trace_id == CTX.trace_id
+        assert child.span_id != CTX.span_id
+
+    def test_same_seed_mints_identical_ids(self):
+        import random
+
+        first = new_trace_context(random.Random("client-1"))
+        second = new_trace_context(random.Random("client-1"))
+        assert first == second
+        assert first.child(random.Random(3)) == second.child(random.Random(3))
+
+
+# -- end to end: one request, one id, three services --------------------------------
+
+
+class TestSessionJourney:
+    def test_single_trace_spans_client_grid_and_render_service(self):
+        with obs.observed() as bundle:
+            tb = build_testbed()
+            grid = tb.session_grid(member_hosts=("centrino",),
+                                   recruit=False)
+            grid.register_tenant(TenantQuota(tenant="acme"))
+            client = tb.thin_client("pda-user")
+            client.open_grid_session(grid, "acme", "s0", scene("s0"))
+            client.request_frame(160, 120)
+
+            trace_ids = bundle.tracer.trace_ids()
+            assert len(trace_ids) == 1
+            (tid,) = trace_ids
+            spans = bundle.tracer.trace(tid)
+            names = [s.name for s in spans]
+            assert "request-session" in names
+            assert "admission" in names
+            assert "render" in names
+            # ≥ 3 distinct services touched the one trace
+            services = {s.attrs["service"] for s in spans}
+            assert {"pda-user", grid.name, "rs-centrino"} <= services
+
+            # the flight recorder cross-references the same id
+            admits = bundle.recorder.events(EVENT_ADMIT)
+            assert [e.trace for e in admits] == [tid]
+            dump = bundle.recorder.dump("journey", time=tb.network.sim.now)
+        assert any(e.get("trace") == tid for e in dump["events"]
+                   if e["kind"] == EVENT_ADMIT)
+
+    def test_each_request_journey_is_a_fresh_trace(self):
+        with obs.observed() as bundle:
+            tb = build_testbed()
+            grid = tb.session_grid(member_hosts=("centrino",),
+                                   recruit=False)
+            grid.register_tenant(TenantQuota(tenant="acme"))
+            client = tb.thin_client("pda-user")
+            client.open_grid_session(grid, "acme", "s0", scene("s0"))
+            first = client.trace.trace_id
+            grid.release_session("s0")
+            client.open_grid_session(grid, "acme", "s1", scene("s1"))
+            assert client.trace.trace_id != first
+            assert len(bundle.tracer.trace_ids()) == 2
+
+
+# -- end to end: a farm job's frames share the submitting trace ---------------------
+
+JOB = "anim-001"
+SCENE = "scene"
+JOB_TRACE = "feedbeeffeedbeef"
+
+
+def finished_farm():
+    tb = build_testbed(farm=True)
+    tb.publish_model(SCENE, galleon(2000))
+    queue = tb.farm_queue
+    queue.submit(RenderJob(job_id=JOB, session_id=SCENE,
+                           start_frame=1, end_frame=3, trace_id=JOB_TRACE))
+    farm = tb.render_farm(worker_hosts=("onyx",))
+    farm.start()
+    sim = tb.network.sim
+    deadline = sim.now + 120.0
+    while sim.now < deadline and not queue.job(JOB).finished:
+        sim.run_until(sim.now + 0.25)
+    assert queue.job(JOB).finished
+    return tb, queue
+
+
+class TestFarmJourney:
+    def test_every_frame_renders_under_the_job_trace(self):
+        with obs.observed() as bundle:
+            tb, queue = finished_farm()
+            spans = bundle.tracer.trace(JOB_TRACE)
+            renders = [s for s in spans if s.name == "farm-render"]
+            assert sorted(s.attrs["frame"] for s in renders) == [1, 2, 3]
+            assert {s.attrs["service"] for s in renders} == {"rs-onyx"}
+
+            # lease and completion events carry the id too
+            for kind in (EVENT_FARM_PREFIX + "lease",
+                         EVENT_FARM_PREFIX + "complete"):
+                events = bundle.recorder.events(kind)
+                assert events and all(e.trace == JOB_TRACE for e in events)
+
+        # the per-frame render latency lands in the queue's telemetry,
+        # where the monitoring plane scrapes it
+        snap = queue.telemetry.registry.snapshot()
+        assert snap["rave_farm_render_seconds"]["series"][0]["count"] == 3
+
+    def test_lease_span_ids_are_content_addressed(self):
+        # two independent runs derive identical span ids for the same
+        # (job, frame, attempt) — no RNG in the queue service
+        def first_lease_span():
+            tb = build_testbed(farm=True)
+            tb.publish_model(SCENE, galleon(2000))
+            tb.farm_queue.submit(RenderJob(
+                job_id=JOB, session_id=SCENE, start_frame=1, end_frame=1,
+                trace_id=JOB_TRACE))
+            lease = unframe_farm_lease(tb.farm_queue.lease("w0"))
+            assert lease.trace is not None
+            assert lease.trace.trace_id == JOB_TRACE
+            return lease.trace.span_id
+
+        assert first_lease_span() == first_lease_span()
+
+    def test_untraced_jobs_stay_untraced(self):
+        tb = build_testbed(farm=True)
+        tb.publish_model(SCENE, galleon(2000))
+        tb.farm_queue.submit(RenderJob(job_id=JOB, session_id=SCENE,
+                                       start_frame=1, end_frame=1))
+        lease = unframe_farm_lease(tb.farm_queue.lease("w0"))
+        assert lease.trace is None
