@@ -19,6 +19,14 @@ asserted: CI uploads the JSON so regressions show up as a diff, while
 ``check`` only guards the invariants (every frame rendered exactly
 once, throughput monotone in pool size).
 
+A second, mixed-priority phase measures the fair scheduler: a long
+priority-0 animation is running on a two-worker pool when a short
+priority-1 job from another tenant arrives.  The artifact records the
+short job's completion latency and how far the long job had got when
+the short one finished; ``check`` asserts the short job finished
+before the long job's midpoint (the pre-scheduler FIFO made it wait
+for the whole animation) and that nothing starved.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_renderfarm.py [--smoke]
@@ -49,6 +57,11 @@ POOLS = {
 }
 SCENE = "bench-scene"
 JOB = "bench-anim"
+
+#: the fairness phase: two workers, a long low-priority animation and
+#: a later short high-priority job from another tenant
+FAIRNESS_HOSTS = ("onyx", "v880z")
+LONG_JOB, SHORT_JOB = "bench-long", "bench-short"
 
 
 def run_pool(hosts: tuple[str, ...], polygons: int, frames: int) -> dict:
@@ -85,23 +98,82 @@ def run_pool(hosts: tuple[str, ...], polygons: int, frames: int) -> dict:
     }
 
 
+def run_fairness(polygons: int, long_frames: int,
+                 short_frames: int) -> dict:
+    """Mixed-priority phase: a late short job against a long one.
+
+    Both jobs render the same scene, so the measurement isolates pure
+    queueing: under the old FIFO the short job's frames sat behind
+    every remaining animation frame; under the fair scheduler the
+    first worker to free serves them all before touching the
+    animation's backlog again.
+    """
+    tb = build_testbed(farm=True)
+    tb.publish_model(SCENE, galleon(polygons))
+    queue = tb.farm_queue
+    farm = tb.render_farm(worker_hosts=FAIRNESS_HOSTS)
+    sim = tb.network.sim
+
+    queue.submit(RenderJob(job_id=LONG_JOB, session_id=SCENE,
+                           start_frame=1, end_frame=long_frames,
+                           width=160, height=120,
+                           priority=0, tenant="batch"))
+    farm.start()
+    sim.run_until(sim.now + 1.0)    # the animation holds every worker
+    short_submitted = sim.now
+    queue.submit(RenderJob(job_id=SHORT_JOB, session_id=SCENE,
+                           start_frame=1, end_frame=short_frames,
+                           width=160, height=120,
+                           priority=1, tenant="viz"))
+    deadline = sim.now + 600.0
+    while not (queue.job(LONG_JOB).finished
+               and queue.job(SHORT_JOB).finished) and sim.now < deadline:
+        sim.run_until(sim.now + 0.25)
+    farm.stop()
+    short = queue.job(SHORT_JOB)
+    long_job = queue.job(LONG_JOB)
+    short_done_at = short.finished_at or sim.now
+    long_done_at_short_finish = sum(
+        1 for f in long_job.frames.values()
+        if f.completed_at and f.completed_at <= short_done_at)
+    return {
+        "workers": len(FAIRNESS_HOSTS),
+        "long_frames": long_frames,
+        "short_frames": short_frames,
+        "short_finished": short.finished,
+        "long_finished": long_job.finished,
+        "short_completion_seconds":
+            round(short_done_at - short_submitted, 6),
+        "long_done_at_short_finish": long_done_at_short_finish,
+        "long_midpoint": long_frames // 2,
+        "starved_jobs": queue.starved_jobs(),
+        "audits": {LONG_JOB: queue.audit(LONG_JOB),
+                   SHORT_JOB: queue.audit(SHORT_JOB)},
+        "invalid_results": queue.invalid_results,
+        "duplicates_dropped": queue.duplicates_dropped,
+    }
+
+
 def run(smoke: bool, out: Path) -> Path:
     polygons = 2_000 if smoke else 4_000
     frames = 12 if smoke else 36
+    long_frames, short_frames = (60, 6) if smoke else (500, 10)
     rows = [run_pool(hosts, polygons, frames)
             for _, hosts in sorted(POOLS.items())]
     base = rows[0]["frames_per_second"] or 1.0
     for row in rows:
         row["speedup"] = round(row["frames_per_second"] / base, 3)
+    fairness = run_fairness(polygons, long_frames, short_frames)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(
-        {"format": "rave-renderfarm-bench/1",
+        {"format": "rave-renderfarm-bench/2",
          "benchmark": "renderfarm",
          "mode": "smoke" if smoke else "full",
          "scene_polygons": polygons,
          "frames_per_job": frames,
          "resolution": [160, 120],
-         "pools": rows},
+         "pools": rows,
+         "fairness": fairness},
         indent=2) + "\n")
     return out
 
@@ -121,6 +193,17 @@ def check(path: Path) -> None:
     rates = [r["frames_per_second"] for r in rows]
     assert rates[0] < rates[1] < rates[2], \
         f"frames/sec not monotone in pool size: {rates}"
+    fair = data["fairness"]
+    assert fair["short_finished"] and fair["long_finished"], \
+        "the mixed-priority phase never drained"
+    assert fair["long_done_at_short_finish"] < fair["long_midpoint"], (
+        f"short job finished only after the long job was "
+        f"{fair['long_done_at_short_finish']}/{fair['long_frames']} "
+        f"done — no lease-time preemption")
+    assert fair["starved_jobs"] == [], \
+        f"jobs starved during the fairness phase: {fair['starved_jobs']}"
+    assert all(a == [] for a in fair["audits"].values()), \
+        f"fairness phase lost frames: {fair['audits']}"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -132,11 +215,16 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     path = run(args.smoke, args.out)
     check(path)
-    rows = json.loads(path.read_text())["pools"]
-    for row in rows:
+    data = json.loads(path.read_text())
+    for row in data["pools"]:
         print(f"  pool={row['workers']}  "
               f"{row['frames_per_second']:.2f} frames/s  "
               f"speedup x{row['speedup']:.2f}")
+    fair = data["fairness"]
+    print(f"  fairness: short job ({fair['short_frames']} frames, "
+          f"priority 1) done in {fair['short_completion_seconds']:.2f}s "
+          f"with the long job at {fair['long_done_at_short_finish']}"
+          f"/{fair['long_frames']}")
     print(f"wrote {path}")
     return 0
 

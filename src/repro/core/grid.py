@@ -108,6 +108,18 @@ class TenantQuota:
         if not 0.0 < self.fps_floor_fraction <= 1.0:
             raise ValueError("fps_floor_fraction must be in (0, 1]")
 
+    def lease_cap(self, slots: int) -> int:
+        """Concurrent-lease cap for a pool of ``slots`` worker slots.
+
+        ``max_share`` applied to a discrete resource: the render farm's
+        frame queue charges each outstanding lease against the job's
+        tenant, and admission of a new lease stops at this cap while
+        other tenants have pending work.  Never below one, so a lone
+        tenant always makes progress (the scheduler is work-conserving
+        and ignores the cap when nobody else is waiting).
+        """
+        return max(1, int(self.max_share * max(1, slots)))
+
 
 @dataclass
 class GridSession:

@@ -82,6 +82,8 @@ class RenderFarmController:
             raise ServiceError(f"{service.name!r} already in the farm")
         self._workers[service.name] = service
         self.failed_workers.discard(service.name)
+        # the queue's tenant lease caps are fractions of the pool size
+        self.queue.register_worker(service.name)
         source = HeartbeatSource(
             monitor=self.monitor, network=self.network,
             name=service.name, host=service.host,
@@ -96,6 +98,7 @@ class RenderFarmController:
             source.stop()
         self.monitor.unwatch(name)
         self._busy.discard(name)
+        self.queue.unregister_worker(name)
 
     def workers(self) -> list:
         return [self._workers[n] for n in sorted(self._workers)]
@@ -162,6 +165,9 @@ class RenderFarmController:
             return
         self.failed_workers.add(name)
         self._busy.discard(name)
+        # a dead worker's slot leaves the lease-cap denominator until it
+        # recovers, so quotas track the live pool
+        self.queue.unregister_worker(name)
         lost = self.queue.requeue_worker(name)
         self.frames_lost += len(lost)
         # the worker's render sessions died with its host
@@ -171,6 +177,8 @@ class RenderFarmController:
 
     def _on_worker_recovered(self, name: str) -> None:
         self.failed_workers.discard(name)
+        if name in self._workers:
+            self.queue.register_worker(name)
         self.dispatch()
 
     # -- dispatch --------------------------------------------------------------------

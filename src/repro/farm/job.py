@@ -36,6 +36,8 @@ class FrameRecord:
     worker: str = ""
     #: simulated-clock time after which the lease may be re-issued
     lease_deadline: float = 0.0
+    #: simulated-clock time the frame last entered the pending queue
+    queued_at: float = 0.0
     render_seconds: float = 0.0
     completed_at: float = 0.0
     nbytes: int = 0
@@ -53,8 +55,19 @@ class RenderJob:
     height: int = 120
     #: camera orbit per frame (degrees) — deterministic per-frame views
     orbit_step_degrees: float = 3.0
+    #: lease-time preemption class: a higher-priority job's frames always
+    #: go out before any lower-priority job's (no lease revocation)
+    priority: int = 0
+    #: submitting tenant, charged against its farm quota at lease time
+    tenant: str = ""
+    #: fair-share weight inside a priority class — the job's
+    #: deficit-round-robin quantum in frames per scheduling round
+    weight: float = 1.0
     submitted_at: float = 0.0
     finished_at: float | None = None
+    #: simulated-clock time of the job's most recent lease grant (used by
+    #: the queue's starvation detector; 0 until first leased)
+    last_leased_at: float = 0.0
     #: submitting request's trace id; leases derive per-frame spans from it
     trace_id: str = ""
     frames: dict[int, FrameRecord] = field(default_factory=dict)
@@ -64,6 +77,10 @@ class RenderJob:
             raise ServiceError(
                 f"job {self.job_id!r}: end_frame {self.end_frame} < "
                 f"start_frame {self.start_frame}")
+        if self.weight <= 0:
+            raise ServiceError(
+                f"job {self.job_id!r}: weight must be positive, "
+                f"got {self.weight!r}")
         if not self.frames:
             self.frames = {i: FrameRecord(index=i)
                            for i in range(self.start_frame,
@@ -112,6 +129,9 @@ class RenderJob:
             "job_id": self.job_id,
             "session_id": self.session_id,
             "range": [self.start_frame, self.end_frame],
+            "priority": self.priority,
+            "tenant": self.tenant,
+            "weight": self.weight,
             "done": self.done_frames,
             "total": self.total_frames,
             "progress": self.progress,

@@ -1,28 +1,47 @@
 """The frame queue service: the farm's front door and source of truth.
 
 A fifth RAVE service role (tmodel ``RaveFrameQueueService``), deployed
-in a container and registered in UDDI like the others.  It owns the
-pending-frame FIFO and every job's :class:`~repro.farm.job.FrameRecord`
-ledger:
+in a container and registered in UDDI like the others.  It owns every
+job's :class:`~repro.farm.job.FrameRecord` ledger and a **fair-share
+frame scheduler** in place of the original flat FIFO (which let one
+long animation starve every job submitted after it):
 
-- :meth:`submit` accepts a :class:`~repro.farm.job.RenderJob` and queues
+- :meth:`submit` accepts a :class:`~repro.farm.job.RenderJob` — with a
+  ``priority``, a ``tenant`` and a fair-share ``weight`` — and queues
   its whole range;
 - :meth:`lease` hands an idle worker **exactly one** frame as a wire
   frame (:func:`repro.services.protocol.frame_farm_lease`) with a
-  simulated-clock deadline;
+  simulated-clock deadline.  The frame is chosen by the scheduler:
+  a strictly higher ``priority`` job always goes out first (lease-time
+  preemption, never lease revocation); inside a priority class, active
+  jobs interleave by deficit round robin with per-job ``weight`` as the
+  quantum, so a 10-frame job submitted behind a 500-frame animation
+  still finishes promptly; and a tenant at its
+  :meth:`~repro.core.grid.TenantQuota.lease_cap` is skipped while other
+  tenants have pending work (work-conserving: the cap is ignored when
+  nobody else is waiting).  Within one job, re-queued frames go out
+  before never-leased ones;
 - :meth:`complete` accepts a result frame and is idempotent: a result
   for a frame that is not leased to that worker any more (the lease
   expired and was re-issued, or the frame already completed) is counted
-  and dropped — a frame is never marked done twice;
+  and dropped — a frame is never marked done twice.  A hostile result
+  whose frame index lies outside the job's range is counted as
+  ``invalid_results`` and dropped, never raised;
 - :meth:`requeue_expired` / :meth:`requeue_worker` put lost leases back
-  at the *front* of the FIFO (a re-queued frame goes out next, the
-  render-controller convention), at most one re-queue per failure since
-  only a ``leased`` frame can go back to ``pending``;
+  at the *front of their job's queue*, **in frame order** (a batch of
+  expired frames 3 and 5 re-leases as 3 then 5, not reversed), at most
+  one re-queue per failure since only a ``leased`` frame can go back to
+  ``pending``;
 - :meth:`audit` is the ``checkframes`` pass: the sorted list of frame
   indexes a finished-looking job is still missing.
 
-The queue exports its own telemetry (kind ``farm``): queue depth,
-active leases, trailing-window frames/sec, per-job progress gauges, and
+Starvation is observable, not silent: every lease records the frame's
+queue wait into the ``rave_farm_job_wait_seconds`` histogram (job +
+tenant labels), and jobs with pending frames that have gone unserved
+past ``starvation_after`` raise the ``rave_farm_starved_jobs`` gauge
+the monitor's sustained ``farm-starvation`` alert fires on.  The queue
+exports its own telemetry (kind ``farm``): queue depth, active leases,
+trailing-window frames/sec, per-job progress and priority gauges, and
 ``farm:`` flight-recorder events for every decision.
 """
 
@@ -31,6 +50,7 @@ from __future__ import annotations
 import zlib
 from collections import deque
 
+from repro.core.grid import TenantQuota
 from repro.errors import ServiceError
 from repro.farm.job import FRAME_DONE, FRAME_LEASED, FRAME_PENDING, RenderJob
 from repro.obs import active as _obs
@@ -43,6 +63,10 @@ from repro.services.protocol import (
     frame_farm_lease,
     unframe_farm_result,
 )
+
+#: seconds a job may sit with pending frames and no lease before the
+#: starvation gauge counts it (the ``farm-starvation`` alert's signal)
+DEFAULT_STARVATION_AFTER = 30.0
 
 
 def _lease_span_id(job_id: str, index: int, attempt: int) -> str:
@@ -61,25 +85,47 @@ class FrameQueueService:
     """Batch frame queue deployed in a service container."""
 
     def __init__(self, name: str, container, lease_timeout: float = 30.0,
-                 throughput_window: float = 20.0) -> None:
+                 throughput_window: float = 20.0,
+                 starvation_after: float = DEFAULT_STARVATION_AFTER) -> None:
         from repro.services.wsdl import FRAME_QUEUE_WSDL
 
         if lease_timeout <= 0:
             raise ServiceError("lease_timeout must be positive")
         if throughput_window <= 0:
             raise ServiceError("throughput_window must be positive")
+        if starvation_after <= 0:
+            raise ServiceError("starvation_after must be positive")
         self.name = name
         self.container = container
         self.endpoint = container.deploy(FRAME_QUEUE_WSDL)
         self.lease_timeout = lease_timeout
         self.throughput_window = throughput_window
+        self.starvation_after = starvation_after
         self._jobs: dict[str, RenderJob] = {}
-        #: pending (job_id, frame) pairs, strict FIFO; re-queues go front
-        self._pending: deque[tuple[str, int]] = deque()
+        #: per-job pending frame indexes; re-queues go to the front of
+        #: the owning job's deque, in frame order
+        self._job_pending: dict[str, deque[int]] = {}
+        #: deficit-round-robin rings, one per priority class: the job at
+        #: the left serves while its deficit lasts, then rotates away
+        self._rings: dict[int, deque[str]] = {}
+        #: per-job deficit (frames of credit); reset when backlog empties
+        self._deficit: dict[str, float] = {}
+        #: jobs already granted their quantum for the current ring visit
+        self._charged: set[str] = set()
+        #: per-tenant outstanding lease counts (quota accounting)
+        self._tenant_leases: dict[str, int] = {}
+        self._quotas: dict[str, TenantQuota] = {}
+        #: worker slots the lease caps are computed against — kept by
+        #: the controller via register_worker/unregister_worker, and
+        #: grown lazily by lease() for hand-driven tests
+        self._worker_slots: set[str] = set()
+        #: jobs currently counted starved (for transition events)
+        self._starved: set[str] = set()
         self._completion_times: deque[float] = deque(maxlen=4096)
         self.leases_issued = 0
         self.frames_completed = 0
         self.duplicates_dropped = 0
+        self.invalid_results = 0
         self.requeues = 0
         self.telemetry = ServiceTelemetry(name, container.host,
                                           SERVICE_FARM)
@@ -99,20 +145,47 @@ class FrameQueueService:
     def now(self) -> float:
         return self.network.sim.now
 
+    # -- tenants and workers ---------------------------------------------------------
+
+    def register_tenant(self, quota: TenantQuota) -> None:
+        """Cap a tenant's concurrent leases (the session grid's quota
+        machinery, applied to the farm's discrete worker slots)."""
+        self._quotas[quota.tenant] = quota
+
+    def register_worker(self, worker: str) -> None:
+        """Declare a worker slot (the controller's pool membership)."""
+        self._worker_slots.add(worker)
+
+    def unregister_worker(self, worker: str) -> None:
+        self._worker_slots.discard(worker)
+
+    def _tenant_has_room(self, tenant: str) -> bool:
+        quota = self._quotas.get(tenant)
+        if quota is None:
+            return True
+        cap = quota.lease_cap(len(self._worker_slots))
+        return self._tenant_leases.get(tenant, 0) < cap
+
     # -- jobs ------------------------------------------------------------------------
 
     def submit(self, job: RenderJob) -> str:
         """Enqueue a job's whole frame range; returns its job id."""
         if job.job_id in self._jobs:
             raise ServiceError(f"job {job.job_id!r} already submitted")
-        job.submitted_at = self.now
+        now = self.now
+        job.submitted_at = now
         self._jobs[job.job_id] = job
+        pending = deque()
         for index in sorted(job.frames):
-            self._pending.append((job.job_id, index))
+            job.frames[index].queued_at = now
+            pending.append(index)
+        self._job_pending[job.job_id] = pending
+        self._rings.setdefault(job.priority, deque()).append(job.job_id)
         self._note("submit",
                    f"{job.job_id}: frames {job.start_frame}.."
                    f"{job.end_frame} of {job.session_id} "
-                   f"({job.total_frames} queued)")
+                   f"({job.total_frames} queued, priority {job.priority}, "
+                   f"tenant {job.tenant or '-'}, weight {job.weight:g})")
         return job.job_id
 
     def job(self, job_id: str) -> RenderJob:
@@ -137,10 +210,10 @@ class FrameQueueService:
                    f"{job.total_frames}" + (f" {missing}" if missing else ""))
         return missing
 
-    # -- the frame queue -------------------------------------------------------------
+    # -- the frame scheduler ---------------------------------------------------------
 
     def queue_depth(self) -> int:
-        return len(self._pending)
+        return sum(len(q) for q in self._job_pending.values())
 
     def active_leases(self) -> int:
         return sum(1 for job in self._jobs.values()
@@ -151,18 +224,112 @@ class FrameQueueService:
         """Frames not yet done (pending + leased) — the autoscaler signal."""
         return self.queue_depth() + self.active_leases()
 
+    def starved_jobs(self) -> list[str]:
+        """Jobs with pending frames unserved past ``starvation_after``."""
+        now = self.now
+        out = []
+        for job_id in sorted(self._jobs):
+            if not self._job_pending.get(job_id):
+                continue
+            job = self._jobs[job_id]
+            served = max(job.submitted_at, job.last_leased_at)
+            if now - served > self.starvation_after:
+                out.append(job_id)
+        return out
+
+    def _ring_drop(self, job_id: str, priority: int) -> None:
+        """A job's backlog emptied: it leaves the ring and (per DRR)
+        loses its accumulated deficit."""
+        ring = self._rings.get(priority)
+        if ring is not None and job_id in ring:
+            ring.remove(job_id)
+            if not ring:
+                del self._rings[priority]
+        self._deficit.pop(job_id, None)
+        self._charged.discard(job_id)
+
+    def _ring_add(self, job_id: str, priority: int) -> None:
+        """A job regained backlog: it rejoins the end of its ring."""
+        ring = self._rings.setdefault(priority, deque())
+        if job_id not in ring:
+            ring.append(job_id)
+
+    def _drr_next(self, ring: deque, eligible: set[str]) -> str | None:
+        """Deficit round robin over one priority ring, one frame's worth.
+
+        The job at the ring's left serves while its deficit lasts (its
+        quantum is the job's ``weight``, topped up once per visit); when
+        the deficit drops below one frame — or the job is ineligible —
+        it rotates away and the next job tops up.  Serving does *not*
+        rotate, so a weight-2 job leases two consecutive frames per
+        round against a weight-1 job's one.
+        """
+        min_weight = min(self._jobs[j].weight for j in eligible)
+        limit = (len(ring) + 1) * (int(1.0 / min_weight) + 2)
+        for _ in range(limit):
+            job_id = ring[0]
+            if job_id in eligible:
+                if job_id not in self._charged:
+                    self._deficit[job_id] = (self._deficit.get(job_id, 0.0)
+                                             + self._jobs[job_id].weight)
+                    self._charged.add(job_id)
+                if self._deficit[job_id] >= 1.0:
+                    self._deficit[job_id] -= 1.0
+                    return job_id
+            self._charged.discard(job_id)
+            ring.rotate(-1)
+        return None
+
+    def _pick_job(self) -> str | None:
+        """The scheduling decision for one lease.
+
+        Strict priority first: the highest class with schedulable work
+        wins outright.  Tenant lease caps filter jobs inside every
+        class; if the caps leave *nothing* schedulable anywhere, they
+        are waived (work-conserving — an idle worker is never refused
+        while frames are pending).
+        """
+        for enforce_quota in (True, False):
+            for priority in sorted(self._rings, reverse=True):
+                ring = self._rings[priority]
+                eligible = {
+                    j for j in ring
+                    if self._job_pending.get(j)
+                    and (not enforce_quota
+                         or self._tenant_has_room(self._jobs[j].tenant))
+                }
+                if not eligible:
+                    continue
+                picked = self._drr_next(ring, eligible)
+                if picked is not None:
+                    return picked
+        return None
+
     def lease(self, worker: str) -> bytes | None:
         """Hand ``worker`` exactly one frame, as wire bytes; None if idle."""
-        if not self._pending:
+        self._worker_slots.add(worker)
+        job_id = self._pick_job()
+        if job_id is None:
             return None
-        job_id, index = self._pending.popleft()
         job = self._jobs[job_id]
+        index = self._job_pending[job_id].popleft()
+        if not self._job_pending[job_id]:
+            self._ring_drop(job_id, job.priority)
         record = job.frame(index)
+        now = self.now
+        wait = max(0.0, now - record.queued_at)
         record.state = FRAME_LEASED
         record.attempts += 1
         record.worker = worker
-        record.lease_deadline = self.now + self.lease_timeout
+        record.lease_deadline = now + self.lease_timeout
+        job.last_leased_at = now
         self.leases_issued += 1
+        self._tenant_leases[job.tenant] = \
+            self._tenant_leases.get(job.tenant, 0) + 1
+        self.telemetry.registry.histogram(
+            "rave_farm_job_wait_seconds",
+            "pending-to-lease wait per frame",
+            job=job_id, tenant=job.tenant or "-").observe(wait)
         trace = None
         if job.trace_id:
             trace = TraceContext(
@@ -170,28 +337,48 @@ class FrameQueueService:
                 span_id=_lease_span_id(job_id, index, record.attempts))
         self._note("lease",
                    f"{job_id}#{index} -> {worker} "
-                   f"(attempt {record.attempts}, "
+                   f"(attempt {record.attempts}, priority {job.priority}, "
+                   f"waited {wait:.3f}s, "
                    f"deadline {record.lease_deadline:g}s)",
                    trace=job.trace_id)
         return frame_farm_lease(FarmLease(
             job_id=job_id, frame=index, session_id=job.session_id,
             attempt=record.attempts, deadline=record.lease_deadline,
-            trace=trace))
+            priority=job.priority, trace=trace))
 
     def complete(self, data: bytes) -> bool:
-        """Accept a worker's result frame; False when dropped as duplicate.
+        """Accept a worker's result frame; False when dropped.
 
         Exactly-once: only the worker currently holding the lease may
         complete a frame.  A straggler whose lease expired and was
         re-issued (or whose frame already completed) is dropped, so a
-        re-rendered frame never lands twice.
+        re-rendered frame never lands twice.  A corrupt or hostile
+        result naming a frame outside the job's range is counted as
+        ``invalid_results`` and dropped — never raised into the
+        delivery path.
         """
         result: FarmResult = unframe_farm_result(data)
         job = self._jobs.get(result.job_id)
         if job is None:
-            self.duplicates_dropped += 1
+            self.invalid_results += 1
+            self.telemetry.registry.counter(
+                "rave_farm_invalid_results_total",
+                "results naming no known job or frame").inc()
+            self._note("invalid",
+                       f"result for unknown job {result.job_id!r} "
+                       f"from {result.worker} dropped")
             return False
-        record = job.frame(result.frame)
+        record = job.frames.get(result.frame)
+        if record is None:
+            self.invalid_results += 1
+            self.telemetry.registry.counter(
+                "rave_farm_invalid_results_total",
+                "results naming no known job or frame").inc()
+            self._note("invalid",
+                       f"{result.job_id}#{result.frame} from "
+                       f"{result.worker} dropped (frame outside "
+                       f"{job.start_frame}..{job.end_frame})")
+            return False
         if record.state != FRAME_LEASED or record.worker != result.worker:
             self.duplicates_dropped += 1
             self._note("duplicate",
@@ -204,6 +391,8 @@ class FrameQueueService:
         record.nbytes = result.nbytes
         record.completed_at = now
         self.frames_completed += 1
+        self._tenant_leases[job.tenant] = max(
+            0, self._tenant_leases.get(job.tenant, 0) - 1)
         self._completion_times.append(now)
         self.telemetry.registry.counter(
             "rave_farm_frames_total", "frames completed").inc()
@@ -233,8 +422,7 @@ class FrameQueueService:
             for f in job.frames.values()
             if f.state == FRAME_LEASED and f.lease_deadline <= now
         ]
-        for job_id, index in expired:
-            self._requeue(job_id, index, "lease expired")
+        self._requeue_batch(expired, "lease expired")
         return expired
 
     def requeue_worker(self, worker: str) -> list[tuple[str, int]]:
@@ -245,23 +433,44 @@ class FrameQueueService:
             for f in job.frames.values()
             if f.state == FRAME_LEASED and f.worker == worker
         ]
-        for job_id, index in lost:
-            self._requeue(job_id, index, f"worker {worker} lost")
+        self._requeue_batch(lost, f"worker {worker} lost")
         return lost
 
-    def _requeue(self, job_id: str, index: int, why: str) -> None:
-        record = self._jobs[job_id].frame(index)
-        record.state = FRAME_PENDING
-        record.requeues += 1
-        record.lease_deadline = 0.0
-        # front of the FIFO: a lost frame goes out next, not last
-        self._pending.appendleft((job_id, index))
-        self.requeues += 1
-        self.telemetry.registry.counter(
-            "rave_farm_requeues_total", "frames re-queued after a lost "
-            "lease").inc()
-        self._note("requeue", f"{job_id}#{index}: {why} "
-                              f"(requeue {record.requeues})")
+    def _requeue_batch(self, frames: list[tuple[str, int]],
+                       why: str) -> None:
+        """Re-queue a batch of lost leases, **preserving frame order**.
+
+        Each job's lost frames go to the front of that job's pending
+        deque ahead of never-leased work, but in ascending frame order —
+        a single ``appendleft`` per frame would reverse the batch (frame
+        5 re-leasing before frame 3), which is the ordering bug this
+        method replaced.
+        """
+        per_job: dict[str, list[int]] = {}
+        for job_id, index in frames:
+            per_job.setdefault(job_id, []).append(index)
+        now = self.now
+        for job_id in sorted(per_job):
+            job = self._jobs[job_id]
+            batch = sorted(per_job[job_id])
+            for index in batch:
+                record = job.frame(index)
+                record.state = FRAME_PENDING
+                record.requeues += 1
+                record.lease_deadline = 0.0
+                record.queued_at = now
+                self._tenant_leases[job.tenant] = max(
+                    0, self._tenant_leases.get(job.tenant, 0) - 1)
+                self.requeues += 1
+                self.telemetry.registry.counter(
+                    "rave_farm_requeues_total",
+                    "frames re-queued after a lost lease").inc()
+                self._note("requeue", f"{job_id}#{index}: {why} "
+                                      f"(requeue {record.requeues})")
+            pending = self._job_pending.setdefault(job_id, deque())
+            # front of the job's queue, batch order intact
+            pending.extendleft(reversed(batch))
+            self._ring_add(job_id, job.priority)
 
     # -- telemetry -------------------------------------------------------------------
 
@@ -280,10 +489,25 @@ class FrameQueueService:
         registry.gauge("rave_farm_frames_per_second",
                        "completions per second, trailing window"
                        ).set(self.frames_per_second())
+        starved = self.starved_jobs()
+        for job_id in starved:
+            if job_id not in self._starved:
+                self._note("starved",
+                           f"{job_id}: no lease for "
+                           f"{self.starvation_after:g}s+ with "
+                           f"{len(self._job_pending[job_id])} pending")
+        self._starved = set(starved)
+        registry.gauge("rave_farm_starved_jobs",
+                       "jobs with pending frames unserved past the "
+                       "starvation threshold").set(len(starved))
         for job in self.jobs():
             registry.gauge("rave_farm_job_progress",
                            "per-job completed fraction",
                            job=job.job_id).set(job.progress)
+            registry.gauge("rave_farm_job_priority",
+                           "per-job scheduling priority",
+                           job=job.job_id,
+                           tenant=job.tenant or "-").set(job.priority)
 
     def _note(self, kind: str, detail: str, trace: str = "") -> None:
         self.telemetry.event(EVENT_FARM_PREFIX + kind, self.now, detail)
@@ -299,14 +523,18 @@ class FrameQueueService:
             "leases_issued": self.leases_issued,
             "frames_completed": self.frames_completed,
             "duplicates_dropped": self.duplicates_dropped,
+            "invalid_results": self.invalid_results,
             "requeues": self.requeues,
+            "starved_jobs": self.starved_jobs(),
+            "tenant_leases": {t: n for t, n
+                              in sorted(self._tenant_leases.items()) if n},
             "jobs": [job.describe() for job in self.jobs()],
         }
 
     def __repr__(self) -> str:
         return (f"FrameQueueService(name={self.name!r}, "
-                f"jobs={len(self._jobs)}, pending={len(self._pending)}, "
+                f"jobs={len(self._jobs)}, pending={self.queue_depth()}, "
                 f"leased={self.active_leases()})")
 
 
-__all__ = ["FrameQueueService"]
+__all__ = ["DEFAULT_STARVATION_AFTER", "FrameQueueService"]

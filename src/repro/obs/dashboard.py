@@ -151,18 +151,42 @@ def _farm_rows(farm_entry: dict, federated: dict) -> list[str]:
     fps = metrics.get("rave_farm_frames_per_second", 0.0)
     done = metrics.get("rave_farm_frames_total", 0.0)
     requeues = metrics.get("rave_farm_requeues_total", 0.0)
+    starved = metrics.get("rave_farm_starved_jobs", 0.0)
+    invalid = metrics.get("rave_farm_invalid_results_total", 0.0)
     rows = [
         f"  queue depth: {depth:.0f}   active leases: {leases:.0f}   "
         f"throughput: {fps:.2f} frames/s   "
         f"completed: {done:.0f}   re-queued: {requeues:.0f}",
+        f"  starved jobs: {starved:.0f}   "
+        f"invalid results dropped: {invalid:.0f}",
     ]
+    # the fairness panel: per-job priority/tenant from the scheduler's
+    # gauges, mean pending-to-lease wait from the wait histogram
+    fairness = {}
+    for entry in federated.get("rave_farm_job_priority",
+                               {}).get("series", []):
+        labels = entry.get("labels", {})
+        job = labels.get("job", "?")
+        fairness[job] = {"priority": entry.get("value", 0.0),
+                         "tenant": labels.get("tenant", "-")}
+    for entry in federated.get("rave_farm_job_wait_seconds",
+                               {}).get("series", []):
+        job = entry.get("labels", {}).get("job", "?")
+        count = entry.get("count", 0)
+        if job in fairness and count:
+            fairness[job]["wait"] = entry.get("sum", 0.0) / count
     jobs = federated.get("rave_farm_job_progress", {}).get("series", [])
     for entry in sorted(jobs,
                         key=lambda e: e.get("labels", {}).get("job", "")):
         job = entry.get("labels", {}).get("job", "?")
         progress = entry.get("value", 0.0)
+        fair = fairness.get(job, {})
+        detail = (f" prio {fair['priority']:.0f}"
+                  f" tenant {fair.get('tenant', '-')}"
+                  + (f" wait {fair['wait']:.2f}s" if "wait" in fair else "")
+                  if fair else "")
         rows.append(f"    job {job:<20} {progress:7.1%} "
-                    f"{_bar(progress, 1.0)}")
+                    f"{_bar(progress, 1.0)}{detail}")
     return rows
 
 

@@ -34,6 +34,7 @@ from repro.obs.vocab import (
     ALERT_OVERLOAD,
     ALERT_UNDERLOAD,
     FARM_BACKLOG_KIND,
+    FARM_STARVATION_KIND,
     GRID_OVERLOAD_KIND,
     GRID_SATURATED_KIND,
     GRID_UNDERLOAD_KIND,
@@ -183,12 +184,23 @@ def farm_rules() -> list[AlertRule]:
     A sustained non-empty backlog is the second signal source the
     :class:`~repro.core.autoscale.RecruitmentAutoscaler` grows the farm
     pool on — and its absence is what lets the farm release workers.
+
+    ``farm-starvation`` fires when any job sits with pending frames and
+    no lease grant past the queue's starvation threshold, sustained —
+    the fairness regression the scheduler's priority + deficit-round-
+    robin interleave exists to prevent, made observable instead of
+    silent.
     """
     return [
         AlertRule(name="farm-backlog", metric="rave_grid_farm_backlog",
                   kind=FARM_BACKLOG_KIND, above=0.5,
                   for_seconds=DEFAULT_SMOOTHING_SECONDS,
                   severity="warning"),
+        AlertRule(name="farm-starvation",
+                  metric="rave_grid_farm_starved_jobs",
+                  kind=FARM_STARVATION_KIND, above=0.5,
+                  for_seconds=DEFAULT_SMOOTHING_SECONDS,
+                  severity="critical"),
     ]
 
 
@@ -440,6 +452,7 @@ __all__ = [
     "GRID_UNDERLOAD_KIND",
     "GRID_SATURATED_KIND",
     "FARM_BACKLOG_KIND",
+    "FARM_STARVATION_KIND",
     "TAIL_LATENCY_KIND",
     "AlertRule",
     "Alert",

@@ -77,6 +77,7 @@ GRID_OVERLOAD_KIND = "grid-overload"
 GRID_UNDERLOAD_KIND = "grid-underload"
 GRID_SATURATED_KIND = "grid-saturated"
 FARM_BACKLOG_KIND = "farm-backlog"
+FARM_STARVATION_KIND = "farm-starvation"
 TAIL_LATENCY_KIND = "tail-latency"
 
 ALERT_KINDS = frozenset({
@@ -86,6 +87,7 @@ ALERT_KINDS = frozenset({
     GRID_UNDERLOAD_KIND,
     GRID_SATURATED_KIND,
     FARM_BACKLOG_KIND,
+    FARM_STARVATION_KIND,
     TAIL_LATENCY_KIND,
 })
 
@@ -152,6 +154,7 @@ GRID_QUEUE_DEPTH = "rave_grid_queue_depth"
 GRID_REJECTION_RATE = "rave_grid_rejection_rate"
 GRID_FARM_BACKLOG = "rave_grid_farm_backlog"
 GRID_FARM_THROUGHPUT = "rave_grid_farm_throughput"
+GRID_FARM_STARVED = "rave_grid_farm_starved_jobs"
 
 # Federated tail-latency bases: the monitor merges every service's
 # cumulative buckets per ``le`` and publishes grid-wide quantiles under
@@ -171,6 +174,7 @@ DERIVED_METRICS = frozenset({
     GRID_REJECTION_RATE,
     GRID_FARM_BACKLOG,
     GRID_FARM_THROUGHPUT,
+    GRID_FARM_STARVED,
     GRID_QUEUE_WAIT,
     GRID_FARM_RENDER,
 })
@@ -190,6 +194,7 @@ ADMISSION_REJECTION_RATE = "rave_admission_rejection_rate"
 
 FARM_QUEUE_DEPTH = "rave_farm_queue_depth"
 FARM_FRAMES_PER_SECOND = "rave_farm_frames_per_second"
+FARM_STARVED_JOBS = "rave_farm_starved_jobs"
 
 #: every kind a ``.kind == "..."`` comparison may legitimately name
 KNOWN_KINDS = (EVENT_KINDS | ALERT_KINDS | SERVICE_KINDS
@@ -220,6 +225,7 @@ __all__ = [
     "GRID_UNDERLOAD_KIND",
     "GRID_SATURATED_KIND",
     "FARM_BACKLOG_KIND",
+    "FARM_STARVATION_KIND",
     "TAIL_LATENCY_KIND",
     "ALERT_KINDS",
     "SERVICE_RENDER",
@@ -248,6 +254,7 @@ __all__ = [
     "GRID_REJECTION_RATE",
     "GRID_FARM_BACKLOG",
     "GRID_FARM_THROUGHPUT",
+    "GRID_FARM_STARVED",
     "GRID_QUEUE_WAIT",
     "GRID_FARM_RENDER",
     "DERIVED_METRICS",
@@ -255,5 +262,6 @@ __all__ = [
     "ADMISSION_REJECTION_RATE",
     "FARM_QUEUE_DEPTH",
     "FARM_FRAMES_PER_SECOND",
+    "FARM_STARVED_JOBS",
     "KNOWN_KINDS",
 ]

@@ -51,6 +51,7 @@ from repro.obs.vocab import (
     EVENT_TELEMETRY_PREFIX,
     GRID_FARM_BACKLOG,
     GRID_FARM_RENDER,
+    GRID_FARM_STARVED,
     GRID_FARM_THROUGHPUT,
     GRID_MAX_UTILISATION,
     GRID_MEAN_FPS,
@@ -345,6 +346,10 @@ class MonitorService:
                 values[GRID_FARM_THROUGHPUT] = (
                     values.get(GRID_FARM_THROUGHPUT, 0.0)
                     + flat["rave_farm_frames_per_second"])
+            if "rave_farm_starved_jobs" in flat:
+                values[GRID_FARM_STARVED] = (
+                    values.get(GRID_FARM_STARVED, 0.0)
+                    + flat["rave_farm_starved_jobs"])
         # the tail plane: federated histogram quantiles from the merged
         # (not averaged) per-service bucket counts
         for family, derived in FEDERATED_HISTOGRAMS:

@@ -182,8 +182,9 @@ class FarmLease:
 
     The queue hands out exactly one frame per pull; the lease names the
     job, the frame index, the scene session to render against, which
-    attempt this is, and the simulated-clock deadline after which the
-    queue may re-issue the frame to another worker.
+    attempt this is, the job's scheduling priority, and the
+    simulated-clock deadline after which the queue may re-issue the
+    frame to another worker.
     """
 
     job_id: str
@@ -191,6 +192,7 @@ class FarmLease:
     session_id: str
     attempt: int
     deadline: float
+    priority: int = 0
     trace: TraceContext | None = None
 
 
@@ -211,7 +213,7 @@ def frame_farm_lease(lease: FarmLease) -> bytes:
     body = json.dumps(
         {"type": "lease", "job_id": lease.job_id, "frame": lease.frame,
          "session_id": lease.session_id, "attempt": lease.attempt,
-         "deadline": lease.deadline},
+         "deadline": lease.deadline, "priority": lease.priority},
         sort_keys=True, separators=(",", ":")).encode("utf-8")
     return frame_message(body, flags=FLAG_FARM, trace=lease.trace)
 
@@ -232,6 +234,7 @@ def unframe_farm_lease(data: bytes) -> FarmLease:
         session_id=str(payload.get("session_id", "")),
         attempt=int(payload.get("attempt", 1)),
         deadline=float(payload.get("deadline", 0.0)),
+        priority=int(payload.get("priority", 0)),
         trace=header.trace)
 
 

@@ -228,7 +228,7 @@ def build_testbed(render_hosts: tuple[str, ...] = RENDER_HOSTS,
                   monitor_host: str | None = None,
                   monitor_period: float = 1.0,
                   autoscale: bool | dict = False,
-                  farm: bool = False,
+                  farm: bool | dict = False,
                   farm_host: str | None = None) -> Testbed:
     """Assemble the §4.4 testbed.  See module docstring.
 
@@ -249,6 +249,11 @@ def build_testbed(render_hosts: tuple[str, ...] = RENDER_HOSTS,
     register its ``RaveFrameQueueService`` tmodel + service in UDDI, and
     watch it from the monitoring plane when one is built.
     :meth:`Testbed.render_farm` then assembles the worker pool around it.
+    Pass a dict instead of ``True`` to configure the queue: any
+    :class:`FrameQueueService` keyword argument (``lease_timeout``,
+    ``starvation_after``, ...) plus ``tenants``, a list of
+    :class:`~repro.core.grid.TenantQuota` objects registered up front
+    so the scheduler's per-tenant lease caps apply from the first lease.
     """
     network = Network()
     for name in set(render_hosts) | {data_host}:
@@ -326,6 +331,8 @@ def build_testbed(render_hosts: tuple[str, ...] = RENDER_HOSTS,
     if farm:
         from repro.farm.queue_service import FrameQueueService
 
+        farm_config = dict(farm) if isinstance(farm, dict) else {}
+        farm_tenants = farm_config.pop("tenants", ())
         queue_host = farm_host if farm_host is not None else data_host
         if queue_host not in network.hosts:
             raise ServiceError(f"unknown farm host {queue_host!r}")
@@ -333,7 +340,10 @@ def build_testbed(render_hosts: tuple[str, ...] = RENDER_HOSTS,
         if container is None:
             container = ServiceContainer(queue_host, network)
             containers[queue_host] = container
-        farm_queue = FrameQueueService("rave-farm-queue", container)
+        farm_queue = FrameQueueService("rave-farm-queue", container,
+                                       **farm_config)
+        for quota in farm_tenants:
+            farm_queue.register_tenant(quota)
         if register_uddi:
             farm_tm = registry.register_tmodel(FARM_TMODEL,
                                                FRAME_QUEUE_WSDL)

@@ -16,11 +16,18 @@ import zlib
 import pytest
 
 from repro.errors import MarshallingError
+from repro.farm import RenderJob
 from repro.services.protocol import (
+    FLAG_FARM,
     FLAG_TELEMETRY,
+    FarmLease,
+    FarmResult,
     FrameHeader,
+    frame_farm_lease,
+    frame_farm_result,
     frame_message,
     frame_telemetry,
+    unframe_farm_lease,
     unframe_message,
     unframe_telemetry,
 )
@@ -84,6 +91,74 @@ class TestUnframeMessage:
         frame[-1] ^= 0x40
         with pytest.raises(MarshallingError, match="checksum mismatch"):
             unframe_message(bytes(frame))
+
+
+class TestHostileFarmResults:
+    """Corrupt/hostile farm results must be dropped, never raised.
+
+    The wire layer already rejects mangled bytes; these tests cover the
+    next layer up — a structurally valid :class:`FarmResult` whose
+    *content* is hostile (a frame index outside the job's range, or a
+    job id the queue never saw) reaching
+    :meth:`FrameQueueService.complete`.
+    """
+
+    def queue(self):
+        from repro.data.generators import galleon
+        from repro.testbed import build_testbed
+
+        tb = build_testbed(farm=True)
+        tb.publish_model("scene", galleon(2000))
+        tb.farm_queue.submit(RenderJob(
+            job_id="anim", session_id="scene",
+            start_frame=1, end_frame=4))
+        return tb.farm_queue
+
+    @staticmethod
+    def result(job_id="anim", frame=1, worker="w0"):
+        return frame_farm_result(FarmResult(
+            job_id=job_id, frame=frame, worker=worker,
+            render_seconds=0.01, nbytes=64))
+
+    def test_out_of_range_frame_is_counted_and_dropped(self):
+        # regression: a result naming frame 99 of a 4-frame job used to
+        # crash complete() with a KeyError out of the ledger lookup
+        queue = self.queue()
+        unframe_farm_lease(queue.lease("w0"))
+        assert queue.complete(self.result(frame=99)) is False
+        assert queue.invalid_results == 1
+        assert queue.frames_completed == 0
+        # the honest result for the leased frame still lands
+        assert queue.complete(self.result(frame=1)) is True
+
+    def test_unknown_job_is_counted_and_dropped(self):
+        queue = self.queue()
+        assert queue.complete(self.result(job_id="ghost")) is False
+        assert queue.invalid_results == 1
+        assert queue.duplicates_dropped == 0
+
+    def test_invalid_results_export_a_counter(self):
+        queue = self.queue()
+        queue.complete(self.result(frame=-7))
+        snapshot = queue.telemetry.registry.snapshot()
+        family = snapshot["rave_farm_invalid_results_total"]
+        assert family["series"][0]["value"] == 1
+
+
+class TestFarmLeasePriorityOnTheWire:
+    def test_priority_round_trips(self):
+        lease = FarmLease(job_id="anim", frame=3, session_id="scene",
+                          attempt=1, deadline=42.0, priority=5)
+        assert unframe_farm_lease(frame_farm_lease(lease)).priority == 5
+
+    def test_legacy_lease_body_defaults_to_priority_zero(self):
+        # frames emitted before the scheduler carried no priority field
+        body = json.dumps({
+            "type": "lease", "job_id": "anim", "frame": 3,
+            "session_id": "scene", "attempt": 1, "deadline": 42.0,
+        }).encode()
+        lease = unframe_farm_lease(frame_message(body, flags=FLAG_FARM))
+        assert lease.priority == 0
 
 
 class TestUnframeTelemetry:
