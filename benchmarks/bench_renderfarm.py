@@ -41,10 +41,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from repro.data.generators import galleon
 from repro.farm import RenderJob
+from repro.sanitizer import RaveSanitizer
 from repro.testbed import build_testbed
 
 DEFAULT_OUT = Path(__file__).parent / "results" / "BENCH_renderfarm.json"
@@ -154,6 +156,62 @@ def run_fairness(polygons: int, long_frames: int,
     }
 
 
+def _drive_job(polygons: int, frames: int, sanitize: bool) -> dict:
+    """One two-worker run; wall-clock time of the drive loop.
+
+    Identical scenario either way — the only variable is whether the
+    :class:`RaveSanitizer` is attached and watching the frame ledger,
+    so the wall-clock ratio isolates the per-event checking cost.
+    """
+    tb = build_testbed(farm=True)
+    tb.publish_model(SCENE, galleon(polygons))
+    queue = tb.farm_queue
+    farm = tb.render_farm(worker_hosts=FAIRNESS_HOSTS)
+    sim = tb.network.sim
+    san = None
+    if sanitize:
+        san = RaveSanitizer(sim).attach()
+        san.watch_farm_queue(queue)
+
+    queue.submit(RenderJob(job_id=JOB, session_id=SCENE,
+                           start_frame=1, end_frame=frames,
+                           width=160, height=120))
+    farm.start()
+    deadline = sim.now + 600.0
+    t0 = time.perf_counter()
+    while not queue.job(JOB).finished and sim.now < deadline:
+        sim.run_until(sim.now + 0.25)
+    wall = time.perf_counter() - t0
+    farm.stop()
+    assert queue.job(JOB).finished
+    return {"wall_seconds": wall,
+            "events_checked": san.events_checked if san else 0,
+            "violations": len(san.violations) if san else 0}
+
+
+def run_sanitizer_overhead(polygons: int, frames: int) -> dict:
+    """Wall-clock cost of running the farm story under the sanitizer.
+
+    Each variant runs twice and keeps the faster pass so a one-off
+    scheduler hiccup on the CI runner cannot fake a regression; the
+    acceptance bar (``check``) is a ratio below 2x.
+    """
+    bare = min(_drive_job(polygons, frames, sanitize=False)["wall_seconds"]
+               for _ in range(2))
+    sanitized_runs = [_drive_job(polygons, frames, sanitize=True)
+                      for _ in range(2)]
+    sanitized = min(r["wall_seconds"] for r in sanitized_runs)
+    worst = max(sanitized_runs, key=lambda r: r["wall_seconds"])
+    return {
+        "frames": frames,
+        "bare_seconds": round(bare, 6),
+        "sanitized_seconds": round(sanitized, 6),
+        "overhead_ratio": round(sanitized / bare, 3) if bare else 0.0,
+        "events_checked": worst["events_checked"],
+        "violations": worst["violations"],
+    }
+
+
 def run(smoke: bool, out: Path) -> Path:
     polygons = 2_000 if smoke else 4_000
     frames = 12 if smoke else 36
@@ -164,16 +222,18 @@ def run(smoke: bool, out: Path) -> Path:
     for row in rows:
         row["speedup"] = round(row["frames_per_second"] / base, 3)
     fairness = run_fairness(polygons, long_frames, short_frames)
+    sanitizer = run_sanitizer_overhead(polygons, frames)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(
-        {"format": "rave-renderfarm-bench/2",
+        {"format": "rave-renderfarm-bench/3",
          "benchmark": "renderfarm",
          "mode": "smoke" if smoke else "full",
          "scene_polygons": polygons,
          "frames_per_job": frames,
          "resolution": [160, 120],
          "pools": rows,
-         "fairness": fairness},
+         "fairness": fairness,
+         "sanitizer_overhead": sanitizer},
         indent=2) + "\n")
     return out
 
@@ -204,6 +264,14 @@ def check(path: Path) -> None:
         f"jobs starved during the fairness phase: {fair['starved_jobs']}"
     assert all(a == [] for a in fair["audits"].values()), \
         f"fairness phase lost frames: {fair['audits']}"
+    san = data["sanitizer_overhead"]
+    assert san["events_checked"] > 0, \
+        "the sanitizer variant never checked an event"
+    assert san["violations"] == 0, \
+        f"the sanitizer flagged {san['violations']} violation(s)"
+    assert san["overhead_ratio"] < 2.0, (
+        f"sanitizer overhead {san['overhead_ratio']}x exceeds the 2x "
+        f"budget — per-event invariant checks are too expensive")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -225,6 +293,11 @@ def main(argv: list[str] | None = None) -> int:
           f"priority 1) done in {fair['short_completion_seconds']:.2f}s "
           f"with the long job at {fair['long_done_at_short_finish']}"
           f"/{fair['long_frames']}")
+    san = data["sanitizer_overhead"]
+    print(f"  sanitizer: {san['sanitized_seconds']:.3f}s vs "
+          f"{san['bare_seconds']:.3f}s bare "
+          f"(x{san['overhead_ratio']:.2f}, "
+          f"{san['events_checked']} events checked)")
     print(f"wrote {path}")
     return 0
 

@@ -10,15 +10,21 @@ import it below, and give it fixture tests (see ``docs/ANALYSIS.md``).
 from __future__ import annotations
 
 from repro.analysis.checkers.api_surface import ApiSurfaceChecker
+from repro.analysis.checkers.daemon_race import DaemonRaceChecker
 from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.kinds import KindVocabularyChecker
+from repro.analysis.checkers.label_cardinality import LabelCardinalityChecker
+from repro.analysis.checkers.lifecycle import LifecycleChecker
 from repro.analysis.checkers.metrics_registry import MetricRegistryChecker
 from repro.analysis.checkers.protocol import ProtocolSymmetryChecker
 
 __all__ = [
     "ApiSurfaceChecker",
+    "DaemonRaceChecker",
     "DeterminismChecker",
     "KindVocabularyChecker",
+    "LabelCardinalityChecker",
+    "LifecycleChecker",
     "MetricRegistryChecker",
     "ProtocolSymmetryChecker",
 ]

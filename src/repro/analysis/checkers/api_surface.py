@@ -45,6 +45,13 @@ class ApiSurfaceChecker(Checker):
     severity = "error"
     description = ("__all__ entries must exist, and package __init__ "
                    "re-exports must be listed in __all__")
+    contract = (
+        "Every name in a module's __all__ must be defined or imported "
+        "in that module, and every public re-export in a package "
+        "__init__ must appear in its __all__ — the declared API surface "
+        "and the real one may not drift apart.")
+    example = ("__all__ = [\"Widget\"]        # api-surface: Widget is\n"
+               "                             # never defined or imported\n")
 
     def check(self, tree: SourceTree) -> Iterator[Finding]:
         for sf in tree.src_files:

@@ -74,6 +74,15 @@ class DeterminismChecker(Checker):
     severity = "error"
     description = ("all timing must flow through SimClock and all "
                    "randomness through explicitly seeded generators")
+    contract = (
+        "Simulation results must replay byte for byte: src modules may "
+        "not read wall-clock time (time.time, datetime.now, "
+        "perf_counter...) or use unseeded randomness (random.random, "
+        "np.random.*) — route timing through SimClock and randomness "
+        "through an explicitly seeded Random/Generator instance.")
+    example = ("import time\n"
+               "stamp = time.time()   # determinism: wall clock leaks\n"
+               "                      # into simulated results\n")
 
     def check(self, tree: SourceTree) -> Iterator[Finding]:
         for sf in tree.src_files:

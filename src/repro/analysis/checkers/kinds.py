@@ -38,6 +38,14 @@ class KindVocabularyChecker(Checker):
     severity = "error"
     description = ("flight-recorder, telemetry and alert kinds must come "
                    "from the obs/vocab vocabularies")
+    contract = (
+        "Every event/alert/service kind produced (recorder.note, "
+        "telemetry, alert rules) or compared (.kind == ...) must be a "
+        "constant from obs/vocab.py or extend one of its declared "
+        "prefixes — ad-hoc kind strings silently split dashboards and "
+        "alert routing.")
+    example = ("recorder.note(\"migrations\", ...)   # event-kind: not in\n"
+               "                                   # the vocabulary\n")
 
     def check(self, tree: SourceTree) -> Iterator[Finding]:
         vocab_sf, env = vocab_env(tree)

@@ -1,0 +1,164 @@
+"""Label-cardinality rule: no unbounded label values on ``rave_*`` metrics.
+
+A metric label whose value space is unbounded — a frame index, a raw
+hostname, a trace id — multiplies the series count without bound and
+eventually OOMs whatever scrapes it.  Labels must come from small,
+closed sets (tenant names, declared reasons, service kinds).
+
+This rule inspects every ``counter(...)`` / ``gauge(...)`` /
+``histogram(...)`` call whose metric name literal starts with ``rave_``
+and flags label keyword values that are:
+
+- f-strings with interpolation or string concatenation/formatting
+  (``frame=f"frame-{i}"``) — directly or through a local variable
+  assigned one earlier in the same function;
+- names or attributes whose terminal name is a known unbounded source
+  (``frame``, ``index``, ``hostname``, ``trace_id``...).
+
+Label keys declared in ``obs/vocab.BOUNDED_LABEL_KEYS`` are exempt:
+that set is the auditable declaration that a key's value space is
+bounded by construction (e.g. ``link`` — one series per topology edge).
+The ``help`` and ``buckets`` keywords are metric metadata, not labels.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.astutil import str_set, terminal_name, vocab_env
+from repro.analysis.core import Checker, Finding, SourceFile, SourceTree, \
+    register
+
+_METRIC_FACTORIES = frozenset({"counter", "gauge", "histogram"})
+_NON_LABEL_KWARGS = frozenset({"help", "buckets"})
+
+#: terminal names that are unbounded by nature wherever they appear
+_BANNED_TERMINALS = frozenset({
+    "frame", "frame_index", "index", "host", "hostname", "trace_id",
+    "span_id",
+})
+
+
+def _metric_name(call: ast.Call) -> str | None:
+    if not call.args:
+        return None
+    first = call.args[0]
+    if isinstance(first, ast.Constant) and isinstance(first.value, str):
+        return first.value
+    return None
+
+
+@register
+class LabelCardinalityChecker(Checker):
+    rule = "label-cardinality"
+    severity = "error"
+    description = ("rave_* metric labels must be drawn from bounded value "
+                   "sets — no f-strings, concatenation, or raw "
+                   "host/frame/trace identifiers")
+    contract = (
+        "Every label keyword on a counter()/gauge()/histogram() call "
+        "registering a rave_* metric must have a bounded value space: "
+        "no interpolated or concatenated strings, no str()/format() "
+        "calls, and no values whose name marks them unbounded (frame, "
+        "index, hostname, trace_id...).  Keys listed in "
+        "obs/vocab.BOUNDED_LABEL_KEYS are declared bounded by "
+        "construction and exempt; 'help' and 'buckets' are metadata, "
+        "not labels.")
+    example = (
+        "self.metrics.counter(\"rave_frames\", frame=f\"frame-{i}\")\n"
+        "# label-cardinality: one series per frame index grows without\n"
+        "# bound — drop the label or aggregate it away\n")
+
+    def check(self, tree: SourceTree) -> Iterator[Finding]:
+        vocab_sf, env = vocab_env(tree)
+        bounded = str_set(env, "BOUNDED_LABEL_KEYS") or frozenset() \
+            if vocab_sf is not None else frozenset()
+        for sf in tree.src_files:
+            if sf.tree is None:
+                continue
+            for fn in self._functions(sf.tree):
+                yield from self._check_function(sf, fn, bounded)
+
+    @staticmethod
+    def _functions(tree: ast.AST) -> Iterator[ast.AST]:
+        yielded = False
+        for node in ast.walk(tree):
+            if isinstance(node, ast.FunctionDef | ast.AsyncFunctionDef):
+                yield node
+                yielded = True
+        if not yielded:
+            yield tree
+
+    def _check_function(self, sf: SourceFile, fn: ast.AST,
+                        bounded: frozenset[str]) -> Iterator[Finding]:
+        statements = list(ast.walk(fn))
+        for call in statements:
+            if not isinstance(call, ast.Call):
+                continue
+            if not isinstance(call.func, ast.Attribute) \
+                    or call.func.attr not in _METRIC_FACTORIES:
+                continue
+            name = _metric_name(call)
+            if name is None or not name.startswith("rave_"):
+                continue
+            for kw in call.keywords:
+                if kw.arg is None or kw.arg in _NON_LABEL_KWARGS \
+                        or kw.arg in bounded:
+                    continue
+                reason = self._unbounded(kw.value, fn, call)
+                if reason is not None:
+                    yield self.finding(
+                        sf, kw.value.lineno,
+                        f"metric {name} label {kw.arg!r} has an unbounded "
+                        f"value ({reason}) — draw labels from a closed "
+                        f"set, or declare the key in "
+                        f"obs/vocab.BOUNDED_LABEL_KEYS with a rationale",
+                        symbol=f"{name}:{kw.arg}")
+
+    def _unbounded(self, value: ast.expr, fn: ast.AST,
+                   call: ast.Call) -> str | None:
+        """Why ``value`` is unbounded, or None if it looks bounded."""
+        if isinstance(value, ast.JoinedStr):
+            if any(isinstance(part, ast.FormattedValue)
+                   for part in value.values):
+                return "f-string interpolation"
+            return None
+        if isinstance(value, ast.BinOp) and isinstance(value.op, ast.Add):
+            return "string concatenation"
+        if isinstance(value, ast.Call):
+            name = terminal_name(value.func)
+            if name in ("str", "format", "repr"):
+                return f"{name}() of a runtime value"
+            return None
+        if isinstance(value, ast.BoolOp):
+            for operand in value.values:
+                reason = self._unbounded(operand, fn, call)
+                if reason is not None:
+                    return reason
+            return None
+        name = terminal_name(value)
+        if name in _BANNED_TERMINALS:
+            return f"value named {name!r} is an unbounded identifier"
+        if isinstance(value, ast.Name):
+            assigned = self._last_local_assignment(fn, value.id, call)
+            if assigned is not None:
+                reason = self._unbounded(assigned, fn, call)
+                if reason is not None:
+                    return f"local {value.id!r} holds {reason}"
+        return None
+
+    @staticmethod
+    def _last_local_assignment(fn: ast.AST, name: str,
+                               before: ast.Call) -> ast.expr | None:
+        """The value last assigned to ``name`` before ``before`` in ``fn``."""
+        last: ast.expr | None = None
+        limit = before.lineno
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Assign) or node.lineno >= limit:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    if last is None or node.lineno > last.lineno:
+                        last = node.value
+        return last

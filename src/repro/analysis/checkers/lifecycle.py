@@ -1,0 +1,462 @@
+"""Lifecycle rule: state-field writes must follow the declared statecharts.
+
+Every state machine the simulation depends on is declared once in
+:mod:`repro.analysis.statecharts`; this rule checks every *site* against
+that declaration:
+
+- an assignment ``x.state = FRAME_DONE`` must establish its source state
+  first — an enclosing ``if x.state == FRAME_LEASED:`` (or ``in (...)``),
+  or a preceding early-exit guard ``if x.state != FRAME_LEASED: return``
+  — and the resulting ``from → to`` move must be a declared transition;
+- a raw string literal at a state site (``x.state = "done"``,
+  ``x.state == "alive"``) is flagged: the named constant exists so typos
+  can't mint new states;
+- ``write_once`` charts (admission outcomes) forbid field assignment
+  entirely and validate the ``outcome=`` constructor keyword instead;
+- per chart, states nobody ever produces (**unreachable**) or nobody
+  ever compares against (**unhandled**) are warnings — but only when the
+  chart is *active* in the tree (one of its constants is referenced), so
+  partial fixture trees don't drown in noise.
+
+Sites are matched by the chart's *constant names*, never by imports:
+three different classes may each have a ``state`` field, and only the
+one moved between ``FRAME_*`` constants belongs to the frame-lease
+chart.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.astutil import terminal_name
+from repro.analysis.core import Checker, Finding, SourceFile, SourceTree, \
+    register
+from repro.analysis.statecharts import STATECHARTS, Statechart
+
+#: statements that terminate the enclosing block (early-exit guards)
+_TERMINATORS = (ast.Return, ast.Raise, ast.Continue, ast.Break)
+
+
+def _receiver(node: ast.expr) -> str | None:
+    """A stable source string for an attribute's receiver chain."""
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on exprs
+        return None
+
+
+def _terminates(body: list[ast.stmt]) -> bool:
+    return bool(body) and isinstance(body[-1], _TERMINATORS)
+
+
+@register
+class LifecycleChecker(Checker):
+    rule = "lifecycle"
+    severity = "error"
+    description = ("state-field assignments and comparisons must follow "
+                   "the statecharts declared in analysis/statecharts.py")
+    contract = (
+        "Every write to a declared state field (frame-lease 'state', "
+        "heartbeat-lease 'state', admission 'outcome') must (a) use the "
+        "named constant, not a string literal, (b) establish the source "
+        "state with a guard in the same function, and (c) move along a "
+        "declared transition.  Write-once charts forbid reassignment; "
+        "their outcome keyword must be a declared constant.  States "
+        "never produced or never handled are warnings.")
+    example = (
+        "def complete(self, record):\n"
+        "    record.state = FRAME_DONE   # lifecycle: no guard "
+        "establishes\n"
+        "                                # that state was FRAME_LEASED\n")
+
+    def check(self, tree: SourceTree) -> Iterator[Finding]:
+        for chart in STATECHARTS:
+            if chart.write_once:
+                yield from self._check_write_once(tree, chart)
+            else:
+                yield from self._check_guarded(tree, chart)
+
+    # -- guarded charts ---------------------------------------------------------------
+
+    def _check_guarded(self, tree: SourceTree,
+                       chart: Statechart) -> Iterator[Finding]:
+        produced: set[str] = set()
+        handled: set[str] = set()
+        active = False
+        findings: list[Finding] = []
+        for sf in tree.src_files:
+            if sf.tree is None or sf.rel.endswith("analysis/statecharts.py"):
+                continue
+            for node in ast.walk(sf.tree):
+                if isinstance(node, ast.FunctionDef | ast.AsyncFunctionDef):
+                    findings.extend(
+                        self._check_function(sf, node, chart, produced))
+                elif isinstance(node, ast.ClassDef):
+                    findings.extend(
+                        self._check_class_defaults(sf, node, chart,
+                                                   produced))
+                elif isinstance(node, ast.Compare):
+                    findings.extend(
+                        self._check_compare(sf, node, chart, handled))
+                if not active and isinstance(node, ast.Name | ast.Attribute) \
+                        and terminal_name(node) in chart.constants:
+                    active = True
+        yield from findings
+        if not active:
+            return
+        for state in sorted(chart.states - produced - {chart.initial}):
+            yield self.finding(
+                tree.src_files[0] if tree.src_files else "src",
+                1,
+                f"statechart {chart.name}: state {state!r} is declared "
+                f"but never produced (unreachable) — no assignment sets "
+                f"{chart.field} to {chart.constant_of(state)}",
+                symbol=f"{chart.name}:unreachable:{state}",
+                severity="warning")
+        for state in sorted(chart.states - handled):
+            yield self.finding(
+                tree.src_files[0] if tree.src_files else "src",
+                1,
+                f"statechart {chart.name}: state {state!r} is declared "
+                f"but never handled — nothing compares {chart.field} "
+                f"against {chart.constant_of(state)}",
+                symbol=f"{chart.name}:unhandled:{state}",
+                severity="warning")
+
+    def _check_class_defaults(self, sf: SourceFile, cls: ast.ClassDef,
+                              chart: Statechart,
+                              produced: set[str]) -> list[Finding]:
+        """Class-body defaults (dataclass fields) must be the initial state."""
+        out: list[Finding] = []
+        for stmt in cls.body:
+            target = value = None
+            if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                target, value = stmt.target, stmt.value
+            elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            if not isinstance(target, ast.Name) \
+                    or target.id != chart.field:
+                continue
+            state = self._state_of(value, chart)
+            if state is None:
+                continue
+            produced.add(state)
+            if state != chart.initial:
+                out.append(self.finding(
+                    sf, stmt.lineno,
+                    f"statechart {chart.name}: {cls.name}.{chart.field} "
+                    f"defaults to {state!r}; the declared initial state "
+                    f"is {chart.initial!r}",
+                    symbol=f"{chart.name}:{cls.name}:default"))
+        return out
+
+    def _check_function(self, sf: SourceFile,
+                        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+                        chart: Statechart,
+                        produced: set[str]) -> list[Finding]:
+        out: list[Finding] = []
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Attribute) \
+                    or target.attr != chart.field:
+                continue
+            to_state = self._state_of(node.value, chart)
+            literal = self._literal_state(node.value, chart)
+            if literal is not None:
+                produced.add(literal)
+                out.append(self.finding(
+                    sf, node.lineno,
+                    f"statechart {chart.name}: {chart.field} assigned the "
+                    f"raw literal {literal!r} — use the declared constant "
+                    f"{chart.constant_of(literal)}",
+                    symbol=f"{chart.name}:literal:{literal}"))
+                to_state = literal
+            if to_state is None:
+                continue
+            produced.add(to_state)
+            recv = _receiver(target)
+            if recv is None:
+                continue
+            frm = self._established(fn.body, node, recv, chart)
+            if frm is None:
+                out.append(self.finding(
+                    sf, node.lineno,
+                    f"statechart {chart.name}: {recv} set to {to_state!r} "
+                    f"without establishing the source state — guard with "
+                    f"a check of {recv} first so illegal transitions "
+                    f"cannot slip through",
+                    symbol=f"{chart.name}:unguarded:{to_state}"))
+                continue
+            for state in sorted(frm):
+                if not chart.can(state, to_state):
+                    out.append(self.finding(
+                        sf, node.lineno,
+                        f"statechart {chart.name}: illegal transition "
+                        f"{state!r} -> {to_state!r} at {recv} (declared "
+                        f"transitions allow "
+                        f"{sorted(t for f2, t in chart.transitions if f2 == state) or 'nothing'} "
+                        f"from {state!r})",
+                        symbol=f"{chart.name}:illegal:{state}->{to_state}"))
+        return out
+
+    # -- dataflow: which source states reach an assignment ----------------------------
+
+    def _established(self, body: list[ast.stmt], assign: ast.Assign,
+                     recv: str, chart: Statechart
+                     ) -> frozenset[str] | None:
+        """The possible source states at ``assign``, or None when unknown.
+
+        Walks the statement list containing (transitively) the
+        assignment, narrowing a fact set from enclosing ``if`` tests on
+        ``recv`` and from preceding early-exit guards; a preceding
+        conditional write to ``recv`` invalidates what is known.
+        """
+        states: frozenset[str] | None = None
+        for stmt in body:
+            if self._contains(stmt, assign):
+                if stmt is assign:
+                    return states
+                if isinstance(stmt, ast.If):
+                    true_set, false_set = self._test_facts(stmt.test, recv,
+                                                           chart)
+                    if any(self._contains(s, assign) for s in stmt.body):
+                        inner = self._intersect(states, true_set)
+                        return self._established(stmt.body, assign, recv,
+                                                 chart) \
+                            if states is None and true_set is None \
+                            else self._merge_inner(stmt.body, assign, recv,
+                                                   chart, inner)
+                    inner = self._intersect(states, false_set)
+                    return self._merge_inner(stmt.orelse, assign, recv,
+                                             chart, inner)
+                for block in self._blocks(stmt):
+                    if any(self._contains(s, assign) for s in block):
+                        return self._merge_inner(block, assign, recv,
+                                                 chart, states)
+                return states
+            # statements strictly before the assignment
+            if isinstance(stmt, ast.If) and not stmt.orelse \
+                    and _terminates(stmt.body):
+                _, false_set = self._test_facts(stmt.test, recv, chart)
+                states = self._intersect(states, false_set)
+            elif self._writes_receiver(stmt, recv, chart):
+                direct = self._direct_write(stmt, recv, chart)
+                states = direct  # known state, or None (conditional write)
+        return states
+
+    def _merge_inner(self, body: list[ast.stmt], assign: ast.Assign,
+                     recv: str, chart: Statechart,
+                     outer: frozenset[str] | None
+                     ) -> frozenset[str] | None:
+        inner = self._established(body, assign, recv, chart)
+        return self._intersect(outer, inner)
+
+    @staticmethod
+    def _blocks(stmt: ast.stmt) -> list[list[ast.stmt]]:
+        blocks = []
+        for name in ("body", "orelse", "finalbody"):
+            block = getattr(stmt, name, None)
+            if block:
+                blocks.append(block)
+        for handler in getattr(stmt, "handlers", []) or []:
+            blocks.append(handler.body)
+        return blocks
+
+    @staticmethod
+    def _contains(stmt: ast.stmt, node: ast.AST) -> bool:
+        return any(child is node for child in ast.walk(stmt))
+
+    @staticmethod
+    def _intersect(a: frozenset[str] | None, b: frozenset[str] | None
+                   ) -> frozenset[str] | None:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a & b
+
+    def _writes_receiver(self, stmt: ast.stmt, recv: str,
+                         chart: Statechart) -> bool:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Attribute) \
+                            and target.attr == chart.field \
+                            and _receiver(target) == recv:
+                        return True
+        return False
+
+    def _direct_write(self, stmt: ast.stmt, recv: str,
+                      chart: Statechart) -> frozenset[str] | None:
+        """A top-level unconditional write's state, else None (unknown)."""
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Attribute) \
+                    and target.attr == chart.field \
+                    and _receiver(target) == recv:
+                state = self._state_of(stmt.value, chart) \
+                    or self._literal_state(stmt.value, chart)
+                if state is not None:
+                    return frozenset({state})
+        return None
+
+    def _test_facts(self, test: ast.expr, recv: str, chart: Statechart
+                    ) -> tuple[frozenset[str] | None, frozenset[str] | None]:
+        """``(states_if_true, states_if_false)`` implied by a test."""
+        if isinstance(test, ast.BoolOp):
+            trues: frozenset[str] | None = None
+            falses: frozenset[str] | None = None
+            for value in test.values:
+                t, f = self._test_facts(value, recv, chart)
+                if isinstance(test.op, ast.And):
+                    trues = self._intersect(trues, t)
+                else:
+                    falses = self._intersect(falses, f)
+            return (trues, None) if isinstance(test.op, ast.And) \
+                else (None, falses)
+        if not isinstance(test, ast.Compare) or len(test.ops) != 1:
+            return None, None
+        left, op, right = test.left, test.ops[0], test.comparators[0]
+        if self._is_field(left, recv, chart):
+            other = right
+        elif self._is_field(right, recv, chart) \
+                and isinstance(op, ast.Eq | ast.NotEq):
+            other = left
+        else:
+            return None, None
+        matched = self._states_in(other, chart)
+        if matched is None:
+            return None, None
+        universe = chart.states
+        if isinstance(op, ast.Eq | ast.In):
+            return matched, universe - matched
+        if isinstance(op, ast.NotEq | ast.NotIn):
+            return universe - matched, matched
+        return None, None
+
+    def _is_field(self, node: ast.expr, recv: str,
+                  chart: Statechart) -> bool:
+        return isinstance(node, ast.Attribute) \
+            and node.attr == chart.field and _receiver(node) == recv
+
+    def _states_in(self, node: ast.expr, chart: Statechart
+                   ) -> frozenset[str] | None:
+        if isinstance(node, ast.Set | ast.Tuple | ast.List):
+            states = set()
+            for el in node.elts:
+                state = self._state_of(el, chart) \
+                    or self._literal_state(el, chart)
+                if state is None:
+                    return None
+                states.add(state)
+            return frozenset(states)
+        state = self._state_of(node, chart) \
+            or self._literal_state(node, chart)
+        return frozenset({state}) if state is not None else None
+
+    @staticmethod
+    def _state_of(node: ast.expr, chart: Statechart) -> str | None:
+        name = terminal_name(node)
+        if name is not None:
+            return chart.value_of(name)
+        return None
+
+    @staticmethod
+    def _literal_state(node: ast.expr, chart: Statechart) -> str | None:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str) \
+                and node.value in chart.states:
+            return node.value
+        return None
+
+    # -- comparison sites -------------------------------------------------------------
+
+    def _check_compare(self, sf: SourceFile, node: ast.Compare,
+                       chart: Statechart,
+                       handled: set[str]) -> list[Finding]:
+        out: list[Finding] = []
+        sides = [node.left, *node.comparators]
+        field_side = any(
+            isinstance(s, ast.Attribute) and s.attr == chart.field
+            for s in sides)
+        if not field_side:
+            return out
+        for side in sides:
+            name = terminal_name(side)
+            if name in chart.constants:
+                handled.add(chart.constants[name])
+                continue
+            literal = self._literal_state(side, chart)
+            if literal is not None:
+                handled.add(literal)
+                out.append(self.finding(
+                    sf, side.lineno,
+                    f"statechart {chart.name}: comparison against the "
+                    f"raw literal {literal!r} — use the declared "
+                    f"constant {chart.constant_of(literal)}",
+                    symbol=f"{chart.name}:literal:{literal}"))
+            if isinstance(side, ast.Set | ast.Tuple | ast.List):
+                for el in side.elts:
+                    el_name = terminal_name(el)
+                    if el_name in chart.constants:
+                        handled.add(chart.constants[el_name])
+        return out
+
+    # -- write-once charts (admission outcomes) ---------------------------------------
+
+    def _check_write_once(self, tree: SourceTree,
+                          chart: Statechart) -> Iterator[Finding]:
+        referenced: set[str] = set()
+        active = False
+        findings: list[Finding] = []
+        for sf in tree.src_files:
+            if sf.tree is None or sf.rel.endswith("obs/vocab.py") \
+                    or sf.rel.endswith("analysis/statecharts.py"):
+                continue
+            for node in ast.walk(sf.tree):
+                if isinstance(node, ast.Name | ast.Attribute):
+                    name = terminal_name(node)
+                    if name in chart.constants:
+                        referenced.add(chart.constants[name])
+                        active = True
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if isinstance(target, ast.Attribute) \
+                                and target.attr == chart.field:
+                            state = self._state_of(node.value, chart) \
+                                or self._literal_state(node.value, chart)
+                            if state is not None:
+                                findings.append(self.finding(
+                                    sf, node.lineno,
+                                    f"statechart {chart.name} is "
+                                    f"write-once: {chart.field} may only "
+                                    f"be set at construction, never "
+                                    f"reassigned",
+                                    symbol=f"{chart.name}:reassigned"))
+                if isinstance(node, ast.Call):
+                    for kw in node.keywords:
+                        if kw.arg != chart.field:
+                            continue
+                        literal = self._literal_state(kw.value, chart)
+                        if literal is not None:
+                            findings.append(self.finding(
+                                sf, kw.value.lineno,
+                                f"statechart {chart.name}: "
+                                f"{chart.field}= set to the raw literal "
+                                f"{literal!r} — use the declared "
+                                f"constant {chart.constant_of(literal)}",
+                                symbol=f"{chart.name}:literal:{literal}"))
+        yield from findings
+        if not active:
+            return
+        for state in sorted(chart.states - referenced - {chart.initial}):
+            yield self.finding(
+                tree.src_files[0] if tree.src_files else "src",
+                1,
+                f"statechart {chart.name}: outcome {state!r} is declared "
+                f"but no src module outside the vocabulary references "
+                f"{chart.constant_of(state)} — dead state",
+                symbol=f"{chart.name}:unreachable:{state}",
+                severity="warning")

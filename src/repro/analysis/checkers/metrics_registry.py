@@ -75,6 +75,14 @@ class MetricRegistryChecker(Checker):
     description = ("every consumed rave_* metric name must have a "
                    "registration site, and registrations should have "
                    "consumers")
+    contract = (
+        "A rave_* metric name read anywhere (dashboards, alert rules, "
+        "tests) must be registered by exactly one producer kind "
+        "(counter/gauge/histogram), and registered metrics should have "
+        "at least one consumer — the producer and consumer sides of the "
+        "telemetry plane may not drift.")
+    example = ("flat[\"rave_fps_budgett\"]   # metric-registry: typo'd\n"
+               "                           # name nobody registers\n")
 
     def check(self, tree: SourceTree) -> Iterator[Finding]:
         registered: dict[str, tuple[str, int]] = {}

@@ -29,6 +29,13 @@ class ProtocolSymmetryChecker(Checker):
     severity = "error"
     description = ("every frame_* has a matching unframe_* and FLAG_* "
                    "constants are used on both sides of the wire")
+    contract = (
+        "The wire protocol stays symmetric: every frame_<x> encoder in "
+        "services/protocol.py needs a matching unframe_<x> decoder, and "
+        "every FLAG_* constant must be referenced by both an encoder "
+        "and a decoder — one-sided frames rot into undecodable bytes.")
+    example = ("def frame_ping(...): ...\n"
+               "# protocol-symmetry: no unframe_ping decoder exists\n")
 
     def check(self, tree: SourceTree) -> Iterator[Finding]:
         for sf in tree.src_files:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import sys
 from pathlib import Path
 
 from repro.analysis.core import (
@@ -18,8 +19,15 @@ def add_lint_arguments(parser) -> None:
     """Attach the lint options to an argparse (sub)parser."""
     parser.add_argument("--format", choices=("text", "json"),
                         default="text", help="report format")
-    parser.add_argument("--rules", default=None,
-                        help="comma-separated rule ids (default: all)")
+    parser.add_argument("--rules", "--select", dest="rules", default=None,
+                        help="comma-separated rule ids to run "
+                             "(default: all; --select is an alias)")
+    parser.add_argument("--ignore", default=None,
+                        help="comma-separated rule ids to drop from the "
+                             "selection")
+    parser.add_argument("--explain", metavar="RULE", default=None,
+                        help="print a rule's contract and a minimal "
+                             "violating example, then exit")
     parser.add_argument("--root", default=None,
                         help="repository root to lint (default: the root "
                              "this package was loaded from)")
@@ -39,17 +47,37 @@ def add_lint_arguments(parser) -> None:
                              "(text format)")
 
 
+def _split(value) -> list[str] | None:
+    if not value:
+        return None
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
 def cmd_lint(args) -> int:
     if args.list_rules:
         for rule_id, cls in registered_rules().items():
             print(f"{rule_id:<20} {cls.severity:<8} {cls.description}")
         return 0
+    if args.explain is not None:
+        cls = registered_rules().get(args.explain)
+        if cls is None:
+            print(f"unknown rule {args.explain!r}; run --list-rules",
+                  file=sys.stderr)
+            return 2
+        print(f"{cls.rule} ({cls.severity}): {cls.description}")
+        print()
+        print(cls.contract or "(no extended contract documented)")
+        if cls.example:
+            print()
+            print("Minimal violating example:")
+            for line in cls.example.rstrip("\n").splitlines():
+                print(f"    {line}")
+        return 0
     root = Path(args.root).resolve() if args.root else default_root()
-    rules = ([r.strip() for r in args.rules.split(",") if r.strip()]
-             if args.rules else None)
     baseline = Path(args.baseline) if args.baseline \
         else root / BASELINE_NAME
-    result = run_lint(root=root, rules=rules, baseline_path=baseline)
+    result = run_lint(root=root, rules=_split(args.rules),
+                      baseline_path=baseline, ignore=_split(args.ignore))
     if args.write_baseline:
         payload = write_baseline(baseline, result.findings)
         print(f"wrote {len(payload['findings'])} finding(s) to {baseline}")

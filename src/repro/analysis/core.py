@@ -169,11 +169,17 @@ class Checker:
     ``description``, then yield :class:`Finding` objects from
     :meth:`check`.  Register with :func:`register` so the CLI and
     :func:`run_lint` discover them.
+
+    ``contract`` is the rule's full prose contract and ``example`` a
+    minimal violating snippet — both printed by
+    ``python -m repro lint --explain <rule>``.
     """
 
     rule: str = ""
     severity: str = "warning"
     description: str = ""
+    contract: str = ""
+    example: str = ""
 
     def check(self, tree: SourceTree) -> Iterator[Finding]:
         raise NotImplementedError
@@ -265,13 +271,16 @@ class LintResult:
 
 def run_lint(root: Path | str | None = None,
              rules: Iterable[str] | None = None,
-             baseline_path: Path | str | None = None) -> LintResult:
+             baseline_path: Path | str | None = None,
+             ignore: Iterable[str] | None = None) -> LintResult:
     """Run ravelint over the tree rooted at ``root``.
 
     ``rules`` restricts the run to the named rule ids (default: all
-    registered).  ``baseline_path`` defaults to ``lint-baseline.json``
-    under the root when that file exists.  Unparseable modules surface
-    as ``parse`` findings rather than aborting the run.
+    registered) and ``ignore`` then drops rule ids from that selection
+    — CI granularity without touching suppressions or the baseline.
+    ``baseline_path`` defaults to ``lint-baseline.json`` under the root
+    when that file exists.  Unparseable modules surface as ``parse``
+    findings rather than aborting the run.
     """
     root = Path(root).resolve() if root is not None else default_root()
     available = registered_rules()
@@ -284,6 +293,14 @@ def run_lint(root: Path | str | None = None,
             raise ValueError(
                 f"unknown rule id(s) {unknown}; "
                 f"available: {sorted(available)}")
+    if ignore is not None:
+        dropped = list(ignore)
+        unknown = [r for r in dropped if r not in available]
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s) {unknown}; "
+                f"available: {sorted(available)}")
+        selected = [r for r in selected if r not in dropped]
     tree = load_tree(root)
 
     raw: list[Finding] = []

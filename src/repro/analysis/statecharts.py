@@ -1,0 +1,224 @@
+"""Declared state machines and shared-state contracts (ravelint v2).
+
+The simulation's correctness rests on a handful of tiny state machines
+— a farm frame goes pending → leased → done (or back to pending when a
+lease is lost), a heartbeat lease goes alive → suspected → dead and
+recovers, an admission request resolves to exactly one of
+admit/queue/reject — and on a handful of ledgers (the grid's admission
+queue and session map, the frame queue's pending/lease bookkeeping)
+that only a few *transition methods* may touch.  Before this module
+those machines lived implicitly in scattered ``if`` guards; nothing
+stopped a new ``Simulator.schedule`` callback from flipping a frame
+straight from ``done`` back to ``leased`` or appending to the admission
+queue from the side.
+
+Everything is declared **once** here, and consumed twice:
+
+- statically, by the ``lifecycle`` and ``daemon-race`` checkers in
+  :mod:`repro.analysis.checkers`, which verify every assignment and
+  comparison site against the legal transitions and every ledger
+  mutation against the declared transition methods;
+- at runtime, by :class:`repro.sanitizer.RaveSanitizer`, whose
+  conservation invariants are the dynamic twin of these charts.
+
+The module stays stdlib-only (like the rest of ``repro.analysis``): the
+charts reference runtime constants *by name* (``FRAME_PENDING``,
+``ALIVE``...), never by import, so the checkers can match call sites in
+any tree — including the synthetic fixture trees the lint tests build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Statechart:
+    """One declared state machine over a single attribute.
+
+    ``constants`` maps the *constant names* code must use to the state
+    values they hold; a site assigning or comparing a raw string literal
+    where a constant exists is itself a finding.  ``write_once`` charts
+    (admission decisions) are produced exactly once via a constructor
+    keyword and never reassigned — for those the checker forbids field
+    assignment entirely and validates the keyword instead.
+    """
+
+    name: str
+    #: the attribute the state lives in (``state``, ``outcome``)
+    field: str
+    #: constant name -> state value
+    constants: dict[str, str]
+    initial: str
+    #: legal ``(from_state, to_state)`` moves
+    transitions: frozenset[tuple[str, str]] = frozenset()
+    #: produced once at construction (``outcome=...``), never reassigned
+    write_once: bool = False
+
+    @property
+    def states(self) -> frozenset[str]:
+        return frozenset(self.constants.values())
+
+    def value_of(self, constant: str) -> str | None:
+        return self.constants.get(constant)
+
+    def constant_of(self, value: str) -> str | None:
+        for name, state in self.constants.items():
+            if state == value:
+                return name
+        return None
+
+    def can(self, frm: str, to: str) -> bool:
+        return frm == to or (frm, to) in self.transitions
+
+
+@dataclass(frozen=True)
+class SharedStateContract:
+    """A ledger only its declared transition methods may mutate.
+
+    ``owner`` names the class and ``module`` the src file (matched by
+    path suffix); ``attrs`` are the guarded instance attributes and
+    ``transition_methods`` the only methods allowed to write them
+    (``__init__`` is always allowed).  The ``daemon-race`` checker
+    flags any other mutation site — in particular one reachable from a
+    ``Simulator.schedule`` callback chain.
+    """
+
+    owner: str
+    module: str
+    attrs: tuple[str, ...]
+    transition_methods: tuple[str, ...]
+    rationale: str = ""
+
+    def allows(self, method: str) -> bool:
+        return method == "__init__" or method in self.transition_methods
+
+
+# -- the declared charts --------------------------------------------------------------
+
+#: farm frame lifecycle (src/repro/farm/job.py): a frame is leased from
+#: pending, completes from leased, and only a *leased* frame may go back
+#: to pending (one re-queue per lost lease, never done → anything).
+FRAME_LEASE = Statechart(
+    name="frame-lease",
+    field="state",
+    constants={
+        "FRAME_PENDING": "pending",
+        "FRAME_LEASED": "leased",
+        "FRAME_DONE": "done",
+    },
+    initial="pending",
+    transitions=frozenset({
+        ("pending", "leased"),
+        ("leased", "done"),
+        ("leased", "pending"),
+    }),
+)
+
+#: heartbeat lease lifecycle (src/repro/core/health.py): silence makes a
+#: lease suspected then dead; a beat recovers either back to alive.
+HEARTBEAT_LEASE = Statechart(
+    name="heartbeat-lease",
+    field="state",
+    constants={
+        "ALIVE": "alive",
+        "SUSPECTED": "suspected",
+        "DEAD": "dead",
+    },
+    initial="alive",
+    transitions=frozenset({
+        ("alive", "suspected"),
+        ("suspected", "dead"),
+        ("suspected", "alive"),
+        ("dead", "alive"),
+    }),
+)
+
+#: admission outcome (src/repro/core/grid.py): write-once — a request
+#: resolves to exactly one outcome at AdmissionDecision construction;
+#: shed/restore are the post-admission overload ladder.  The pseudo
+#: state "requested" exists only to give the ladder a root.
+ADMISSION = Statechart(
+    name="admission",
+    field="outcome",
+    constants={
+        "EVENT_ADMIT": "admit",
+        "EVENT_QUEUE": "queue",
+        "EVENT_REJECT": "reject",
+        "EVENT_SHED": "shed",
+        "EVENT_RESTORE": "restore",
+    },
+    initial="requested",
+    transitions=frozenset({
+        ("requested", "admit"),
+        ("requested", "queue"),
+        ("requested", "reject"),
+        ("queue", "admit"),
+        ("queue", "reject"),
+        ("admit", "shed"),
+        ("shed", "restore"),
+        ("restore", "shed"),
+    }),
+    write_once=True,
+)
+
+STATECHARTS: tuple[Statechart, ...] = (
+    FRAME_LEASE,
+    HEARTBEAT_LEASE,
+    ADMISSION,
+)
+
+
+# -- the declared shared-state contracts ----------------------------------------------
+
+GRID_LEDGER = SharedStateContract(
+    owner="SessionGridManager",
+    module="core/grid.py",
+    attrs=("_queue", "_sessions"),
+    transition_methods=("_enqueue", "pump", "_pump_locked", "_try_admit",
+                        "release_session"),
+    rationale="admission queue entries and the admitted-session map are "
+              "the capacity ledger; a schedule callback appending or "
+              "removing from the side would double-admit or leak pps",
+)
+
+FARM_LEDGER = SharedStateContract(
+    owner="FrameQueueService",
+    module="farm/queue_service.py",
+    attrs=("_job_pending", "_rings", "_deficit", "_charged",
+           "_tenant_leases"),
+    transition_methods=("submit", "lease", "complete", "_requeue_batch",
+                        "_ring_drop", "_ring_add", "_drr_next"),
+    rationale="the frame ledger backs exactly-once completion; pending "
+              "deques, DRR rings and tenant lease counts must only move "
+              "through the scheduler's own transitions",
+)
+
+HEALTH_LEDGER = SharedStateContract(
+    owner="HeartbeatMonitor",
+    module="core/health.py",
+    attrs=("_leases",),
+    transition_methods=("watch", "unwatch"),
+    rationale="lease membership changes outside watch/unwatch would "
+              "fire death callbacks for services nobody registered",
+)
+
+CONTRACTS: tuple[SharedStateContract, ...] = (
+    GRID_LEDGER,
+    FARM_LEDGER,
+    HEALTH_LEDGER,
+)
+
+
+__all__ = [
+    "Statechart",
+    "SharedStateContract",
+    "FRAME_LEASE",
+    "HEARTBEAT_LEASE",
+    "ADMISSION",
+    "STATECHARTS",
+    "GRID_LEDGER",
+    "FARM_LEDGER",
+    "HEALTH_LEDGER",
+    "CONTRACTS",
+]

@@ -224,6 +224,7 @@ class SessionGridManager:
         self._quotas: dict[str, TenantQuota] = {}
         self._sessions: dict[str, GridSession] = {}
         self._queue: deque[QueuedRequest] = deque()
+        self._pumping = False
         self.decisions: deque[AdmissionDecision] = deque(maxlen=1024)
         self.shed_actions: list[ShedAction] = []
         self.requests = 0
@@ -558,8 +559,23 @@ class SessionGridManager:
         FIFO order is strict: a small request never skips past a large
         head-of-line request (no starvation of big tenants).  Returns
         the decisions resolved this pass.
+
+        Pumping is non-reentrant: an ``on_reject``/``on_admit`` callback
+        that pumps again (e.g. a thin client retrying synchronously)
+        gets an empty pass back instead of racing the outer pass's
+        snapshot of the queue — the outer pump already drains
+        everything drainable.
         """
         now = self.now if now is None else now
+        if self._pumping:
+            return []
+        self._pumping = True
+        try:
+            return self._pump_locked(now)
+        finally:
+            self._pumping = False
+
+    def _pump_locked(self, now: float) -> list[AdmissionDecision]:
         resolved: list[AdmissionDecision] = []
         for entry in [e for e in self._queue if e.deadline <= now]:
             self._queue.remove(entry)

@@ -228,6 +228,10 @@ class HeartbeatSource:
 
     def start(self) -> HeartbeatSource:
         self.monitor.watch(self.name)
+        # a restarted source must beat again: stop() parks the tick loop
+        # by raising this flag, so re-arming without clearing it would
+        # schedule a loop that exits on its first tick forever
+        self._stopped = False
 
         def tick() -> None:
             if self._stopped:

@@ -296,7 +296,7 @@ class RenderFarmController:
         result_bytes = frame_farm_result(FarmResult(
             job_id=lease.job_id, frame=lease.frame, worker=worker.name,
             render_seconds=timing.total_seconds, nbytes=fb.color.nbytes,
-            trace=lease.trace))
+            attempt=lease.attempt, trace=lease.trace))
         self.sim.schedule(lease_transfer + elapsed,
                           lambda: self._ship(worker, result_bytes))
         return True

@@ -316,6 +316,10 @@ class FrameQueueService:
         if not self._job_pending[job_id]:
             self._ring_drop(job_id, job.priority)
         record = job.frame(index)
+        if record.state != FRAME_PENDING:
+            raise ServiceError(
+                f"frame ledger corrupt: {job_id}#{index} is in the "
+                f"pending deque but its state is {record.state!r}")
         now = self.now
         wait = max(0.0, now - record.queued_at)
         record.state = FRAME_LEASED
@@ -385,6 +389,17 @@ class FrameQueueService:
                        f"{result.job_id}#{result.frame} from "
                        f"{result.worker} dropped ({record.state})")
             return False
+        if result.attempt and result.attempt != record.attempts:
+            # the same worker can hold a *re-issued* lease for a frame it
+            # already lost: an expired attempt's result passes the
+            # state+worker check above but must not complete the frame
+            self.duplicates_dropped += 1
+            self._note("duplicate",
+                       f"{result.job_id}#{result.frame} from "
+                       f"{result.worker} dropped (stale attempt "
+                       f"{result.attempt}, lease attempt "
+                       f"{record.attempts})")
+            return False
         now = self.now
         record.state = FRAME_DONE
         record.render_seconds = result.render_seconds
@@ -452,9 +467,14 @@ class FrameQueueService:
         now = self.now
         for job_id in sorted(per_job):
             job = self._jobs[job_id]
-            batch = sorted(per_job[job_id])
-            for index in batch:
+            requeued: list[int] = []
+            for index in sorted(per_job[job_id]):
                 record = job.frame(index)
+                # only a live lease can lose its lease: a frame that
+                # completed (or was already re-queued) in the same tick
+                # must not be yanked back to pending
+                if record.state != FRAME_LEASED:
+                    continue
                 record.state = FRAME_PENDING
                 record.requeues += 1
                 record.lease_deadline = 0.0
@@ -467,9 +487,12 @@ class FrameQueueService:
                     "frames re-queued after a lost lease").inc()
                 self._note("requeue", f"{job_id}#{index}: {why} "
                                       f"(requeue {record.requeues})")
+                requeued.append(index)
+            if not requeued:
+                continue
             pending = self._job_pending.setdefault(job_id, deque())
             # front of the job's queue, batch order intact
-            pending.extendleft(reversed(batch))
+            pending.extendleft(reversed(requeued))
             self._ring_add(job_id, job.priority)
 
     # -- telemetry -------------------------------------------------------------------

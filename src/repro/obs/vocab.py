@@ -44,6 +44,7 @@ EVENT_SCALE_PREFIX = "scale:"
 EVENT_TELEMETRY_PREFIX = "telemetry:"
 EVENT_FARM_PREFIX = "farm:"
 EVENT_ALERT_PREFIX = "alert:"
+EVENT_SANITIZER_PREFIX = "sanitizer:"
 
 EVENT_KINDS = frozenset({
     EVENT_PLACEMENT,
@@ -65,6 +66,7 @@ EVENT_PREFIXES = frozenset({
     EVENT_TELEMETRY_PREFIX,
     EVENT_FARM_PREFIX,
     EVENT_ALERT_PREFIX,
+    EVENT_SANITIZER_PREFIX,
 })
 
 # -- alert kinds ----------------------------------------------------------------------
@@ -137,6 +139,14 @@ METRIC_KINDS = frozenset({
     METRIC_COUNTER,
     METRIC_GAUGE,
     METRIC_HISTOGRAM,
+})
+
+#: label keys whose value space is bounded by construction rather than
+#: by a closed literal set — the auditable exemption list for the
+#: ``label-cardinality`` lint rule.  ``link``: one series per simulated
+#: topology edge; the topology is finite and fixed per scenario.
+BOUNDED_LABEL_KEYS = frozenset({
+    "link",
 })
 
 # -- derived metric names -------------------------------------------------------------
@@ -217,6 +227,7 @@ __all__ = [
     "EVENT_TELEMETRY_PREFIX",
     "EVENT_FARM_PREFIX",
     "EVENT_ALERT_PREFIX",
+    "EVENT_SANITIZER_PREFIX",
     "EVENT_KINDS",
     "EVENT_PREFIXES",
     "ALERT_OVERLOAD",
@@ -244,6 +255,7 @@ __all__ = [
     "METRIC_GAUGE",
     "METRIC_HISTOGRAM",
     "METRIC_KINDS",
+    "BOUNDED_LABEL_KEYS",
     "GRID_RENDER_SERVICES",
     "GRID_MEAN_FPS",
     "GRID_MIN_FPS",

@@ -1,0 +1,13 @@
+"""RaveSanitizer: a TSan analog for simulated time.
+
+See :mod:`repro.sanitizer.core`.  The static half of the correctness
+tooling lives in :mod:`repro.analysis` (ravelint); this package is the
+dynamic half, run in the chaos suites and the ``sanitizer-smoke`` CI
+job.
+"""
+
+from __future__ import annotations
+
+from repro.sanitizer.core import RaveSanitizer, SanitizerViolation
+
+__all__ = ["RaveSanitizer", "SanitizerViolation"]

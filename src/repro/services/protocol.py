@@ -205,6 +205,9 @@ class FarmResult:
     worker: str
     render_seconds: float
     nbytes: int
+    #: which lease attempt produced this result; 0 is the legacy
+    #: wildcard (pre-attempt senders) and matches any live lease
+    attempt: int = 0
     trace: TraceContext | None = None
 
 
@@ -243,7 +246,7 @@ def frame_farm_result(result: FarmResult) -> bytes:
     body = json.dumps(
         {"type": "result", "job_id": result.job_id, "frame": result.frame,
          "worker": result.worker, "render_seconds": result.render_seconds,
-         "nbytes": result.nbytes},
+         "nbytes": result.nbytes, "attempt": result.attempt},
         sort_keys=True, separators=(",", ":")).encode("utf-8")
     return frame_message(body, flags=FLAG_FARM, trace=result.trace)
 
@@ -264,6 +267,7 @@ def unframe_farm_result(data: bytes) -> FarmResult:
         worker=str(payload.get("worker", "")),
         render_seconds=float(payload.get("render_seconds", 0.0)),
         nbytes=int(payload.get("nbytes", 0)),
+        attempt=int(payload.get("attempt", 0)),
         trace=header.trace)
 
 

@@ -19,6 +19,7 @@ from repro import obs
 from repro.data.generators import galleon
 from repro.farm import FRAME_DONE, RenderJob
 from repro.network.faults import FaultInjector
+from repro.sanitizer import RaveSanitizer
 from repro.testbed import build_testbed
 
 JOB = "anim-chaos"
@@ -35,6 +36,8 @@ def run_scenario(seed):
     sim = tb.network.sim
 
     with obs.observed(clock=tb.clock) as bundle:
+        san = RaveSanitizer(sim).attach()
+        san.watch_farm_queue(queue)
         inj = FaultInjector(tb.network, seed=seed)
         farm = tb.render_farm(worker_hosts=(VICTIM_HOST, "v880z"),
                               dead_after=2.0)
@@ -48,6 +51,11 @@ def run_scenario(seed):
         while not queue.job(JOB).finished and sim.now < deadline:
             sim.run_until(sim.now + 1.0)
         story = [(e.kind, e.detail) for e in bundle.recorder.events()]
+    # the sanitizer rode along for the whole crash-and-recover story:
+    # clock stayed monotonic (scratch clocks restored), the frame
+    # ledger conserved pending + leased + done every event
+    assert san.ok, san.violations
+    assert san.events_checked > 0
     return tb, farm, queue, story
 
 

@@ -470,6 +470,31 @@ class TestHeartbeatSource:
         source.stop()
         mon.stop()
 
+    def test_stopped_source_beats_again_after_restart(self):
+        """Satellite regression: ``stop()`` then ``start()`` must beat.
+
+        ``stop()`` parks the tick loop by raising ``_stopped``, but
+        ``start()`` never cleared it — a restarted source scheduled a
+        tick loop that exited on its first fire, so the service's lease
+        silently died even though the service was healthy.
+        """
+        net = star_network()
+        mon = HeartbeatMonitor(net.sim, suspect_after=1.0, dead_after=3.0)
+        source = HeartbeatSource(monitor=mon, network=net, name="rs-a",
+                                 host="a", monitor_host="c",
+                                 interval=0.25).start()
+        mon.start(period=0.5)
+        net.sim.run_until(2.0)
+        assert source.beats_sent > 0
+        source.stop()
+        baseline = source.beats_sent
+        source.start()
+        net.sim.run_until(6.0)
+        assert source.beats_sent > baseline
+        assert mon.state("rs-a") == ALIVE
+        source.stop()
+        mon.stop()
+
     def test_crash_silences_beats_and_kills_lease(self):
         net = star_network()
         inj = FaultInjector(net)

@@ -629,6 +629,39 @@ class TestAutoscalerGridMode:
         assert len(grid.members) == 1
 
 
+class TestPumpReentrancy:
+    """Satellite regression: a callback pumping mid-pump is safe.
+
+    ``pump()`` snapshots the expired entries before resolving them; an
+    ``on_reject`` callback that synchronously pumps again (a thin client
+    retrying on 429) used to drain the remaining expired entries inside
+    the recursive call, so the outer pass's ``remove()`` hit an entry
+    that was already gone and raised ``ValueError`` out of admission.
+    """
+
+    def test_on_reject_pumping_again_does_not_corrupt_the_pass(self):
+        tb = build_testbed()
+        grid = small_grid(tb, queue_timeout=5.0)
+        open_tenants(grid, "acme", "beta")
+        rejected = []
+
+        def retry_now(decision):
+            rejected.append(decision.session_id)
+            grid.pump()             # reentrant: must be a quiet no-op
+
+        grid.request_session("acme", "s0", scene(0))    # these two fill
+        grid.request_session("beta", "s1", scene(1))    # the grid
+        grid.request_session("acme", "s2", scene(2), on_reject=retry_now)
+        grid.request_session("beta", "s3", scene(3), on_reject=retry_now)
+        assert grid.queue_depth() == 2
+        tb.network.sim.clock.advance(6.0)   # both deadlines pass together
+        resolved = grid.pump()
+        assert rejected == ["s2", "s3"]
+        assert {d.session_id for d in resolved} == {"s2", "s3"}
+        assert grid.queue_timeouts == 2
+        assert grid.queue_depth() == 0
+
+
 class TestDeadlineDrivenByTheClock:
     """Satellite regression: queue deadlines fire from the simulated clock.
 

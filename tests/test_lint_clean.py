@@ -16,10 +16,11 @@ from repro.analysis import registered_rules, run_lint
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
-def test_all_five_rules_are_registered():
+def test_all_eight_rules_are_registered():
     assert set(registered_rules()) >= {
         "determinism", "metric-registry", "event-kind",
         "protocol-symmetry", "api-surface",
+        "daemon-race", "lifecycle", "label-cardinality",
     }
 
 

@@ -26,6 +26,7 @@ from repro.obs.vocab import (
     EVENT_REJECT,
     EVENT_SHED,
 )
+from repro.sanitizer import RaveSanitizer
 from repro.scenegraph.nodes import MeshNode
 from repro.scenegraph.tree import SceneTree
 from repro.services.protocol import unframe_reject
@@ -51,6 +52,8 @@ def run_scenario(seed):
         inj = FaultInjector(tb.network, seed=seed)
         grid = tb.session_grid(member_hosts=POOL, queue_capacity=3,
                                queue_timeout=20.0, target_fps=FPS)
+        san = RaveSanitizer(tb.network.sim).attach()
+        san.watch_grid(grid)
         # t0/t1 are gold (shed last, 10% guaranteed); the rest best-effort
         for i, tenant in enumerate(TENANTS):
             grid.register_tenant(TenantQuota(
@@ -99,6 +102,10 @@ def run_scenario(seed):
         grid.pump(sim.now)
 
         story = [(e.kind, e.detail) for e in bundle.recorder.events()]
+    # the sanitizer rode along: no session double-charged, no share
+    # node rendered by two members, the clock never jumped backwards
+    assert san.ok, san.violations
+    assert san.events_checked > 0
     # the grid's own log is the complete decision record — deadline
     # rejects resolve inside run_until, not in a pump() return value
     return grid, list(grid.decisions), floors_held, story

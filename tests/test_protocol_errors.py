@@ -28,6 +28,7 @@ from repro.services.protocol import (
     frame_message,
     frame_telemetry,
     unframe_farm_lease,
+    unframe_farm_result,
     unframe_message,
     unframe_telemetry,
 )
@@ -159,6 +160,23 @@ class TestFarmLeasePriorityOnTheWire:
         }).encode()
         lease = unframe_farm_lease(frame_message(body, flags=FLAG_FARM))
         assert lease.priority == 0
+
+
+class TestFarmResultAttemptOnTheWire:
+    def test_attempt_round_trips(self):
+        result = FarmResult(job_id="anim", frame=3, worker="w0",
+                            render_seconds=0.01, nbytes=64, attempt=2)
+        assert unframe_farm_result(frame_farm_result(result)).attempt == 2
+
+    def test_legacy_result_body_defaults_to_wildcard_attempt(self):
+        # results emitted before lease fencing carried no attempt field;
+        # 0 is the wildcard that matches any live lease
+        body = json.dumps({
+            "type": "result", "job_id": "anim", "frame": 3,
+            "worker": "w0", "render_seconds": 0.01, "nbytes": 64,
+        }).encode()
+        result = unframe_farm_result(frame_message(body, flags=FLAG_FARM))
+        assert result.attempt == 0
 
 
 class TestUnframeTelemetry:

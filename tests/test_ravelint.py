@@ -311,6 +311,282 @@ class TestApiSurfaceRule:
         assert not lint(root, "api-surface").findings
 
 
+# -- lifecycle ------------------------------------------------------------------------
+
+
+class TestLifecycleRule:
+    def test_unguarded_state_assignment_is_an_error(self, tmp_path):
+        root = make_tree(tmp_path, {"src/repro/farm.py": """
+            FRAME_PENDING = "pending"
+            FRAME_LEASED = "leased"
+            FRAME_DONE = "done"
+
+            class Queue:
+                def complete(self, record):
+                    record.state = FRAME_DONE
+            """})
+        result = lint(root, "lifecycle")
+        assert "frame-lease:unguarded:done" in symbols(result)
+        unguarded = [f for f in result.findings
+                     if f.symbol == "frame-lease:unguarded:done"]
+        assert unguarded[0].severity == "error"
+        assert "record.state" in unguarded[0].message
+
+    def test_illegal_transition_is_an_error(self, tmp_path):
+        root = make_tree(tmp_path, {"src/repro/farm.py": """
+            FRAME_PENDING = "pending"
+            FRAME_LEASED = "leased"
+            FRAME_DONE = "done"
+
+            class Queue:
+                def zombie(self, record):
+                    if record.state == FRAME_DONE:
+                        record.state = FRAME_LEASED
+            """})
+        result = lint(root, "lifecycle")
+        assert "frame-lease:illegal:done->leased" in symbols(result)
+
+    def test_guarded_legal_transitions_pass(self, tmp_path):
+        root = make_tree(tmp_path, {"src/repro/farm.py": """
+            FRAME_PENDING = "pending"
+            FRAME_LEASED = "leased"
+            FRAME_DONE = "done"
+
+            class Queue:
+                def lease(self, record):
+                    if record.state == FRAME_PENDING:
+                        record.state = FRAME_LEASED
+
+                def complete(self, record):
+                    if record.state != FRAME_LEASED:
+                        return
+                    record.state = FRAME_DONE
+
+                def requeue(self, record):
+                    if record.state == FRAME_LEASED:
+                        record.state = FRAME_PENDING
+
+                def finished(self, record):
+                    return record.state == FRAME_DONE
+            """})
+        assert not lint(root, "lifecycle").findings
+
+    def test_raw_literal_at_a_state_site_is_flagged(self, tmp_path):
+        root = make_tree(tmp_path, {"src/repro/farm.py": """
+            FRAME_PENDING = "pending"
+            FRAME_LEASED = "leased"
+            FRAME_DONE = "done"
+
+            class Queue:
+                def complete(self, record):
+                    if record.state == "leased":
+                        record.state = FRAME_DONE
+            """})
+        result = lint(root, "lifecycle")
+        assert "frame-lease:literal:leased" in symbols(result)
+
+    def test_unreachable_and_unhandled_states_warn(self, tmp_path):
+        root = make_tree(tmp_path, {"src/repro/farm.py": """
+            FRAME_PENDING = "pending"
+
+            def poke(record):
+                return record.queued and FRAME_PENDING
+            """})
+        result = lint(root, "lifecycle")
+        syms = symbols(result)
+        assert "frame-lease:unreachable:leased" in syms
+        assert "frame-lease:unreachable:done" in syms
+        assert "frame-lease:unhandled:pending" in syms
+        assert all(f.severity == "warning" for f in result.findings)
+
+    def test_inactive_chart_stays_silent(self, tmp_path):
+        root = make_tree(tmp_path, {"src/repro/other.py": """
+            def helper(x):
+                return x + 1
+            """})
+        assert not lint(root, "lifecycle").findings
+
+    def test_write_once_chart_forbids_reassignment(self, tmp_path):
+        root = make_tree(tmp_path, {"src/repro/grid.py": """
+            EVENT_ADMIT = "admit"
+            EVENT_QUEUE = "queue"
+            EVENT_REJECT = "reject"
+            EVENT_SHED = "shed"
+            EVENT_RESTORE = "restore"
+
+            class Grid:
+                def flip(self, decision):
+                    decision.outcome = EVENT_ADMIT
+
+                def make(self):
+                    return dict(outcome="admit")
+            """})
+        result = lint(root, "lifecycle")
+        assert "admission:reassigned" in symbols(result)
+        assert "admission:literal:admit" in symbols(result)
+
+
+# -- daemon-race ----------------------------------------------------------------------
+
+
+class TestDaemonRaceRule:
+    CONTRACT_FILE = "src/repro/farm/queue_service.py"
+
+    def test_mutation_outside_transition_methods_is_an_error(self, tmp_path):
+        root = make_tree(tmp_path, {self.CONTRACT_FILE: """
+            class FrameQueueService:
+                def __init__(self):
+                    self._job_pending = {}
+
+                def submit(self, job):
+                    self._job_pending[job] = []
+
+                def rogue(self, job):
+                    self._job_pending.pop(job)
+            """})
+        result = lint(root, "daemon-race")
+        assert symbols(result) == {"FrameQueueService.rogue:_job_pending"}
+        assert "not a declared transition method" \
+            in result.findings[0].message
+
+    def test_inline_callback_mutation_is_an_error(self, tmp_path):
+        root = make_tree(tmp_path, {self.CONTRACT_FILE: """
+            class FrameQueueService:
+                def __init__(self, sim):
+                    self._job_pending = {}
+                    self.sim = sim
+
+                def submit(self, job):
+                    self._job_pending[job] = []
+
+                def start(self):
+                    self.sim.schedule(1.0,
+                                      lambda: self._job_pending.clear())
+            """})
+        result = lint(root, "daemon-race")
+        assert symbols(result) == {"FrameQueueService.start:_job_pending"}
+        assert "schedule callback" in result.findings[0].message
+
+    def test_callbacks_routing_through_transitions_pass(self, tmp_path):
+        root = make_tree(tmp_path, {self.CONTRACT_FILE: """
+            class FrameQueueService:
+                def __init__(self, sim):
+                    self._job_pending = {}
+                    self.sim = sim
+
+                def submit(self, job):
+                    self._job_pending[job] = []
+
+                def start(self):
+                    self.sim.schedule(1.0, lambda: self.submit("tick"))
+            """})
+        assert not lint(root, "daemon-race").findings
+
+    def test_undeclared_shared_state_needs_two_callbacks(self, tmp_path):
+        root = make_tree(tmp_path, {"src/repro/collect.py": """
+            class Collector:
+                def start(self, sim):
+                    sim.schedule(1.0, lambda: self._events.append(1))
+
+                def drain(self, sim):
+                    sim.schedule_at(2.0, lambda: self._events.pop())
+
+            class Lonely:
+                def start(self, sim):
+                    sim.schedule(1.0, lambda: self._ticks.append(1))
+            """})
+        result = lint(root, "daemon-race")
+        assert symbols(result) == {"Collector:_events"}
+        assert "SharedStateContract" in result.findings[0].message
+
+    def test_self_rescheduling_tick_counts_once(self, tmp_path):
+        root = make_tree(tmp_path, {"src/repro/collect.py": """
+            class Ticker:
+                def start(self, sim):
+                    def tick():
+                        self._handle = sim.schedule(1.0, tick)
+
+                    self._handle = sim.schedule(1.0, tick)
+            """})
+        assert not lint(root, "daemon-race").findings
+
+
+# -- label-cardinality ----------------------------------------------------------------
+
+
+class TestLabelCardinalityRule:
+    def test_interpolated_and_named_unbounded_labels_flag(self, tmp_path):
+        root = make_tree(tmp_path, {"src/repro/svc.py": """
+            class S:
+                def tick(self, metrics, frame, host):
+                    metrics.counter("rave_fx_frames_total", "per frame",
+                                    frame=f"frame-{frame}").inc()
+                    metrics.gauge("rave_fx_load", "load", host=host).set(1)
+            """})
+        result = lint(root, "label-cardinality")
+        assert symbols(result) == {"rave_fx_frames_total:frame",
+                                   "rave_fx_load:host"}
+        assert all(f.severity == "error" for f in result.findings)
+
+    def test_local_variable_propagation_catches_fstrings(self, tmp_path):
+        root = make_tree(tmp_path, {"src/repro/svc.py": """
+            class S:
+                def tick(self, metrics, key):
+                    label = f"{key[0]}-{key[1]}"
+                    metrics.counter("rave_fx_bytes_total", "bytes",
+                                    path=label).inc()
+            """})
+        result = lint(root, "label-cardinality")
+        assert symbols(result) == {"rave_fx_bytes_total:path"}
+        assert "f-string" in result.findings[0].message
+
+    def test_declared_bounded_keys_are_exempt(self, tmp_path):
+        root = make_tree(tmp_path, {
+            "src/repro/obs/vocab.py": VOCAB_FIXTURE
+            + 'BOUNDED_LABEL_KEYS = frozenset({"link"})\n',
+            "src/repro/svc.py": """
+            class S:
+                def tick(self, metrics, key):
+                    label = f"{key[0]}-{key[1]}"
+                    metrics.counter("rave_fx_bytes_total", "bytes",
+                                    link=label).inc()
+            """})
+        assert not lint(root, "label-cardinality").findings
+
+    def test_closed_set_labels_and_metadata_kwargs_pass(self, tmp_path):
+        root = make_tree(tmp_path, {"src/repro/svc.py": """
+            class S:
+                def tick(self, metrics, tenant, reason):
+                    metrics.counter("rave_fx_sheds_total",
+                                    help="why sessions shed",
+                                    tenant=tenant, reason=reason).inc()
+                    metrics.histogram("rave_fx_wait_seconds", "waits",
+                                      buckets=(0.1, 1.0),
+                                      tenant="acme").observe(1.0)
+            """})
+        assert not lint(root, "label-cardinality").findings
+
+    def test_suppression_and_baseline_round_trip(self, tmp_path):
+        root = make_tree(tmp_path, {"src/repro/svc.py": """
+            class S:
+                def tick(self, metrics, frame, host):
+                    metrics.counter("rave_fx_a_total", "a",
+                                    frame=str(frame)).inc()  # ravelint: ignore[label-cardinality]
+                    metrics.counter("rave_fx_b_total", "b",
+                                    host=host).inc()
+            """})
+        baseline = root / BASELINE_NAME
+        first = lint(root, "label-cardinality", baseline=baseline)
+        assert len(first.suppressed) == 1
+        assert symbols(first) == {"rave_fx_b_total:host"}
+
+        write_baseline(baseline, first.findings)
+        second = lint(root, "label-cardinality", baseline=baseline)
+        assert not second.findings
+        assert len(second.baselined) == 1
+        assert len(second.suppressed) == 1
+
+
 # -- framework: suppression, baseline, parse errors -----------------------------------
 
 
@@ -439,5 +715,30 @@ class TestCli:
         assert self.run("--list-rules") == 0
         out = capsys.readouterr().out
         for rule in ("determinism", "metric-registry", "event-kind",
-                     "protocol-symmetry", "api-surface"):
+                     "protocol-symmetry", "api-surface", "daemon-race",
+                     "lifecycle", "label-cardinality"):
             assert rule in out
+
+    def test_explain_prints_contract_and_example(self, capsys):
+        assert self.run("--explain", "lifecycle") == 0
+        out = capsys.readouterr().out
+        assert out.startswith("lifecycle (error):")
+        assert "statecharts" in out
+        assert "Minimal violating example:" in out
+
+    def test_explain_unknown_rule_fails(self, capsys):
+        assert self.run("--explain", "no-such-rule") == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_select_is_an_alias_for_rules(self, dirty_root, capsys):
+        assert self.run("--root", str(dirty_root),
+                        "--select", "determinism") == 1
+        out = capsys.readouterr().out
+        assert "[determinism]" in out
+        assert "[metric-registry]" not in out
+
+    def test_ignore_drops_a_selected_rule(self, dirty_root, capsys):
+        assert self.run("--root", str(dirty_root),
+                        "--select", "determinism,api-surface",
+                        "--ignore", "determinism") == 0
+        assert "[determinism]" not in capsys.readouterr().out

@@ -55,11 +55,11 @@ def job(start=1, end=8, **kwargs):
                      start_frame=start, end_frame=end, **kwargs)
 
 
-def result_for(lease, worker=None):
+def result_for(lease, worker=None, attempt=0):
     return frame_farm_result(FarmResult(
         job_id=lease.job_id, frame=lease.frame,
         worker=worker if worker is not None else "w0",
-        render_seconds=0.01, nbytes=160 * 120 * 3))
+        render_seconds=0.01, nbytes=160 * 120 * 3, attempt=attempt))
 
 
 class TestRenderJob:
@@ -190,6 +190,34 @@ class TestFrameQueue:
         assert release.attempt == 2
         # and the straggler's late result is now a dropped duplicate
         assert queue.complete(result_for(lease, "w0")) is False
+
+    def test_stale_attempt_from_the_same_worker_is_dropped(self):
+        """Satellite regression: results carry their lease attempt.
+
+        The exactly-once check used to compare only state + worker, so
+        when the *same* worker lost a lease and won the re-issued one,
+        its straggling first-attempt result passed both checks and
+        completed the frame with stale data.  Results now carry the
+        attempt that produced them (0 = pre-attempt wire compat).
+        """
+        tb, queue = self.queue()
+        queue.submit(job(start=1, end=1))
+        first = unframe_farm_lease(queue.lease("w0"))
+        assert first.attempt == 1
+        tb.network.sim.clock.advance(queue.lease_timeout + 1.0)
+        assert queue.requeue_expired() == [(JOB, 1)]
+        # the same worker wins the re-issued lease
+        second = unframe_farm_lease(queue.lease("w0"))
+        assert second.attempt == 2
+        # the straggler from attempt 1: same state, same worker — stale
+        assert queue.complete(result_for(first, "w0",
+                                         attempt=first.attempt)) is False
+        assert queue.duplicates_dropped == 1
+        assert queue.frames_completed == 0
+        # the live attempt still completes exactly once
+        assert queue.complete(result_for(second, "w0",
+                                         attempt=second.attempt)) is True
+        assert queue.progress(JOB) == (1, 1)
 
     def test_dead_worker_requeues_all_its_leases(self):
         tb, queue = self.queue()
